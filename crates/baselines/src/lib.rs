@@ -1,0 +1,33 @@
+//! # fair-baselines — comparison methods used in the paper's evaluation
+//!
+//! DCA is compared against three families of interventions (Section VI-C):
+//!
+//! 1. **Quota / set-aside systems** ([`quota`]) — the mechanism NYC actually
+//!    uses: a fraction of the seats is reserved for students exhibiting any
+//!    dimension of disadvantage (Figure 6);
+//! 2. **Multinomial FA\*IR** ([`fastar`]) — the post-processing re-ranker of
+//!    Zehlike et al. that enforces a per-prefix minimum representation for
+//!    each (non-overlapping) protected group via mtables (Table II);
+//! 3. **(Δ+2)-approximation** ([`celis`]) — the greedy constrained-ranking
+//!    approximation of Celis et al. that maximizes utility subject to
+//!    maximum-count constraints (Figure 7).
+//!
+//! All three are reimplemented from scratch in Rust against the
+//! [`fair_core`] data model so they can be benchmarked head-to-head with DCA
+//! on identical inputs. [`subgroups`] provides the Cartesian-product subgroup
+//! construction FA\*IR needs because it "only works on non-overlapping
+//! fairness parameters".
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(clippy::all)]
+
+pub mod celis;
+pub mod fastar;
+pub mod quota;
+pub mod subgroups;
+
+pub use celis::{caps_excluding_group, celis_rerank, CelisConstraint};
+pub use fastar::{binomial_mtable, FaStarConfig, FaStarRanker, ProtectedGroup};
+pub use quota::{quota_select, QuotaConfig};
+pub use subgroups::{cartesian_subgroups, most_disadvantaged_subgroups, Subgroup};

@@ -1,0 +1,71 @@
+//! Runs every table and figure experiment in sequence and prints the full
+//! report. Control the scale with FAIR_BENCH_SCALE=tiny|default|full.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::*;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Experiment scale: {scale:?}\n");
+
+    println!("{}", table1::run_table1(&scale).expect("Table I failed").render());
+    println!("{}", utility::run_fig1(&scale).expect("Fig 1 failed").render());
+    println!("{}", utility::run_proportion_sweep(&scale).expect("Figs 2-3 failed").render());
+    println!(
+        "{}",
+        vary_k::run_per_k(&scale, true)
+            .expect("Fig 4a failed")
+            .render("Figure 4a — DCA re-optimized for every k")
+    );
+    println!(
+        "{}",
+        vary_k::run_fixed_k(&scale, 0.05)
+            .expect("Fig 4b failed")
+            .render("Figure 4b — bonus optimized at k = 5%, evaluated across k")
+    );
+    println!(
+        "{}",
+        vary_k::run_log_discounted(&scale)
+            .expect("Fig 4c failed")
+            .render("Figure 4c — log-discounted DCA evaluated across k")
+    );
+    println!("{}", caps::run_caps(&scale, None).expect("Fig 5 failed").render());
+    println!("{}", baselines_cmp::run_quota(&scale, 0.7).expect("Fig 6 failed").render());
+    println!("{}", baselines_cmp::run_delta2_comparison(&scale).expect("Fig 7 failed").render());
+    println!(
+        "{}",
+        vary_k::run_per_k(&scale, false)
+            .expect("Fig 8 failed")
+            .render("Figure 8a/8b — Core DCA (no refinement) per k, with timings")
+    );
+    println!(
+        "{}",
+        alt_metrics::run_disparate_impact_comparison(&scale, None)
+            .expect("Fig 9 failed")
+            .render()
+    );
+    println!(
+        "{}",
+        compas::run_fig10a(&scale)
+            .expect("Fig 10a failed")
+            .render("Figure 10a — COMPAS disparity per k")
+    );
+    println!(
+        "{}",
+        compas::run_fig10b(&scale)
+            .expect("Fig 10b failed")
+            .render("Figure 10b — COMPAS FPR differences per k")
+    );
+    println!(
+        "{}",
+        compas::run_fig10c(&scale)
+            .expect("Fig 10c failed")
+            .render("Figure 10c — COMPAS disparity per k, log-discounted bonus")
+    );
+    println!(
+        "{}",
+        baselines_cmp::run_fastar_comparison(&scale, &[16, 17, 18, 19], 0.05)
+            .expect("Table II failed")
+            .render()
+    );
+    println!("{}", baselines_cmp::run_exposure(&scale).expect("Exposure failed").render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section VI-C4 exposure / DDP evaluation.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::baselines_cmp::run_exposure;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_exposure(&scale).expect("Exposure/DDP experiment failed");
+    println!("{}", result.render());
+    println!("Log-discounted bonus vector: {:?}", result.bonus);
+}

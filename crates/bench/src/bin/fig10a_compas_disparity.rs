@@ -1,0 +1,10 @@
+//! Regenerates Figure 10a: COMPAS flagged-set disparity by race, per k,
+//! before and after non-positive bonus points.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::compas::run_fig10a;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_fig10a(&scale).expect("Figure 10a experiment failed");
+    println!("{}", result.render("Figure 10a — COMPAS disparity per k (bonus re-optimized per k)"));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 10b: COMPAS per-group false-positive rates after
+//! FPR-difference-driven DCA.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::compas::run_fig10b;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_fig10b(&scale).expect("Figure 10b experiment failed");
+    println!("{}", result.render("Figure 10b — COMPAS false-positive-rate differences per k"));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 10c: COMPAS disparity across k with a single
+//! log-discounted bonus vector.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::compas::run_fig10c;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_fig10c(&scale).expect("Figure 10c experiment failed");
+    println!("{}", result.render("Figure 10c — COMPAS disparity per k, log-discounted bonus"));
+}

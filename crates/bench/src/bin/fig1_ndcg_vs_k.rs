@@ -1,0 +1,10 @@
+//! Regenerates Figure 1: nDCG@k on the test cohort for varying k.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::utility::run_fig1;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_fig1(&scale).expect("Figure 1 experiment failed");
+    println!("{}", result.render());
+    println!("Bonus vector learned at k = 5%: {:?}", result.bonus);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 2: nDCG and disparity norm for varying proportions of
+//! the recommended bonus points.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::utility::run_proportion_sweep;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_proportion_sweep(&scale).expect("Figure 2 experiment failed");
+    println!("{}", result.render());
+}

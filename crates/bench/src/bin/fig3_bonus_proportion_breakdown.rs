@@ -1,0 +1,11 @@
+//! Regenerates Figure 3: per-dimension disparity for varying proportions of
+//! the recommended bonus points (same sweep as Figure 2, per-attribute view).
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::utility::run_proportion_sweep;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_proportion_sweep(&scale).expect("Figure 3 experiment failed");
+    println!("{}", result.render());
+    println!("Full recommended bonus vector: {:?}", result.full_bonus);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4a: disparity before/after DCA when k is known and the
+//! bonus is re-optimized for every k.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::vary_k::run_per_k;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_per_k(&scale, true).expect("Figure 4a experiment failed");
+    println!("{}", result.render("Figure 4a — DCA re-optimized for every k (test cohort)"));
+}

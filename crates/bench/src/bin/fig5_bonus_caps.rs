@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: log-discounted disparity under maximum bonus limits.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::caps::run_caps;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_caps(&scale, None).expect("Figure 5 experiment failed");
+    println!("{}", result.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: disparity reduction achieved by a single soft quota.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::baselines_cmp::run_quota;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_quota(&scale, 0.7).expect("Figure 6 experiment failed");
+    println!("{}", result.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 7: accuracy vs disparity for DCA and the
+//! (Δ+2)-approximation algorithm.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::baselines_cmp::run_delta2_comparison;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_delta2_comparison(&scale).expect("Figure 7 experiment failed");
+    println!("{}", result.render());
+}

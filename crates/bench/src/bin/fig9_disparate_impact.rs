@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: DCA optimizing Disparity vs Disparate Impact.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::alt_metrics::run_disparate_impact_comparison;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_disparate_impact_comparison(&scale, None).expect("Figure 9 experiment failed");
+    println!("{}", result.render());
+}

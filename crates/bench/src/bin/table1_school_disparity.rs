@@ -1,0 +1,9 @@
+//! Regenerates Table I: school disparity before/after Core DCA and DCA.
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::table1::run_table1;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let result = run_table1(&scale).expect("Table I experiment failed");
+    println!("{}", result.render());
+}

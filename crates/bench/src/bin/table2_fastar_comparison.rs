@@ -1,0 +1,13 @@
+//! Regenerates Table II: DCA vs Multinomial FA*IR on a district-sized
+//! population (~2,500 students at the default scale).
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::baselines_cmp::run_fastar_comparison;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    // Merge four districts so the population is ~2,500 students at the
+    // default 20k-cohort scale, matching the paper's single-district size.
+    let result = run_fastar_comparison(&scale, &[16, 17, 18, 19], 0.05)
+        .expect("Table II experiment failed");
+    println!("{}", result.render());
+}

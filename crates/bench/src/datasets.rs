@@ -1,0 +1,128 @@
+//! Standard experiment datasets and the scale knob.
+
+use fair_data::{CompasConfig, CompasGenerator, SchoolConfig, SchoolGenerator};
+
+/// Controls how large the experiment datasets and DCA iteration counts are.
+///
+/// * `tiny`    — unit/integration-test scale (seconds),
+/// * `default` — laptop scale: 20,000 students per cohort, full-size COMPAS,
+/// * `full`    — the paper's scale: 80,000 students per cohort.
+///
+/// The scale is normally chosen via the `FAIR_BENCH_SCALE` environment
+/// variable (`tiny`, `default`, or `full`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Students per school cohort.
+    pub school_cohort_size: usize,
+    /// Defendants in the COMPAS-like dataset.
+    pub compas_size: usize,
+    /// Objects per DCA sample.
+    pub dca_sample_size: usize,
+    /// Iterations per learning rate (and refinement iterations).
+    pub dca_iterations: usize,
+    /// Base RNG seed shared by the experiments.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Test scale: small cohorts, few iterations.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            school_cohort_size: 4_000,
+            compas_size: 3_000,
+            dca_sample_size: 300,
+            dca_iterations: 60,
+            seed: 2016,
+        }
+    }
+
+    /// Laptop scale (the default for the experiment binaries).
+    #[must_use]
+    pub fn default_scale() -> Self {
+        Self {
+            school_cohort_size: 20_000,
+            compas_size: 7_214,
+            dca_sample_size: 500,
+            dca_iterations: 100,
+            seed: 2016,
+        }
+    }
+
+    /// The paper's full scale (~80,000 students per cohort).
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            school_cohort_size: 80_000,
+            compas_size: 7_214,
+            dca_sample_size: 500,
+            dca_iterations: 100,
+            seed: 2016,
+        }
+    }
+
+    /// Resolve the scale from the `FAIR_BENCH_SCALE` environment variable
+    /// (`tiny` / `default` / `full`); unknown or missing values use the
+    /// default scale.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("FAIR_BENCH_SCALE").as_deref() {
+            Ok("tiny") => Self::tiny(),
+            Ok("full") => Self::full(),
+            _ => Self::default_scale(),
+        }
+    }
+}
+
+/// The standard school train/test cohort pair (2016-17 and 2017-18 analogues).
+#[must_use]
+pub fn standard_school_pair(
+    scale: &ExperimentScale,
+) -> (fair_data::school::SchoolCohort, fair_data::school::SchoolCohort) {
+    SchoolGenerator::new(SchoolConfig {
+        num_students: scale.school_cohort_size,
+        seed: scale.seed,
+        ..SchoolConfig::default()
+    })
+    .train_test_cohorts()
+}
+
+/// The standard COMPAS-like dataset.
+#[must_use]
+pub fn standard_compas(scale: &ExperimentScale) -> fair_core::Dataset {
+    CompasGenerator::new(CompasConfig {
+        num_defendants: scale.compas_size,
+        seed: scale.seed,
+        ..CompasConfig::default()
+    })
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ_in_cohort_size() {
+        assert!(ExperimentScale::tiny().school_cohort_size < ExperimentScale::full().school_cohort_size);
+        assert_eq!(ExperimentScale::full().school_cohort_size, 80_000);
+        assert_eq!(ExperimentScale::default_scale().compas_size, 7_214);
+    }
+
+    #[test]
+    fn standard_datasets_match_the_scale() {
+        let scale = ExperimentScale::tiny();
+        let (train, test) = standard_school_pair(&scale);
+        assert_eq!(train.dataset().len(), scale.school_cohort_size);
+        assert_eq!(test.dataset().len(), scale.school_cohort_size);
+        let compas = standard_compas(&scale);
+        assert_eq!(compas.len(), scale.compas_size);
+    }
+
+    #[test]
+    fn from_env_defaults_to_default_scale() {
+        // The test environment does not set FAIR_BENCH_SCALE to tiny/full.
+        let s = ExperimentScale::from_env();
+        assert!(s == ExperimentScale::default_scale() || s == ExperimentScale::tiny() || s == ExperimentScale::full());
+    }
+}

@@ -1,0 +1,19 @@
+//! One module per experiment of the paper's evaluation section.
+//!
+//! | Module | Paper artifacts |
+//! |--------|-----------------|
+//! | [`table1`] | Table I — school disparity before/after Core DCA and DCA |
+//! | [`utility`] | Figures 1–3 — nDCG@k and the bonus-proportion trade-off |
+//! | [`vary_k`] | Figures 4a–4c and 8a/8b — varying selection sizes, refinement ablation |
+//! | [`caps`] | Figure 5 — maximum-bonus limits |
+//! | [`baselines_cmp`] | Figure 6, Figure 7, Table II, Section VI-C4 — quota, (Δ+2), FA\*IR, exposure |
+//! | [`alt_metrics`] | Figure 9 — DCA driven by Disparity vs Disparate Impact |
+//! | [`compas`] | Figures 10a–10c — COMPAS disparity, FPR, log-discounted mode |
+
+pub mod alt_metrics;
+pub mod baselines_cmp;
+pub mod caps;
+pub mod compas;
+pub mod table1;
+pub mod utility;
+pub mod vary_k;

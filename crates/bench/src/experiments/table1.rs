@@ -1,0 +1,148 @@
+//! Table I — disparity vectors for the school data before and after bonus
+//! points, for Core DCA (Algorithm 1 alone) and full DCA (with the refinement
+//! step), on both the training and the test cohort.
+
+use crate::datasets::{standard_school_pair, ExperimentScale};
+use crate::table::TextTable;
+use crate::{eval_disparity, experiment_dca_config};
+use fair_core::prelude::*;
+use fair_data::SchoolGenerator;
+
+/// One evaluated setting of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Setting label ("Baseline", "Core DCA", "DCA").
+    pub setting: String,
+    /// Bonus values (empty for the baseline).
+    pub bonus: Vec<f64>,
+    /// Disparity on the training cohort.
+    pub train_disparity: Vec<f64>,
+    /// Disparity on the test cohort.
+    pub test_disparity: Vec<f64>,
+}
+
+/// The full Table I result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// Fairness-attribute names (column order).
+    pub names: Vec<String>,
+    /// Selection fraction used (the paper's default of 5%).
+    pub k: f64,
+    /// Rows: baseline, Core DCA, DCA.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Render in the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec!["Setting", "Cohort"];
+        let names: Vec<String> = self.names.clone();
+        header.extend(names.iter().map(String::as_str));
+        header.push("Norm");
+        let mut table = TextTable::new(
+            format!("Table I — school disparity before/after bonus points (k = {:.0}%)", self.k * 100.0),
+            &header,
+        );
+        for row in &self.rows {
+            if !row.bonus.is_empty() {
+                let mut cells = vec![row.setting.clone(), "Bonus pts".to_string()];
+                cells.extend(row.bonus.iter().map(|v| format!("{v:.1}")));
+                cells.push(String::new());
+                table.add_row(cells);
+            }
+            for (cohort, disp) in
+                [("Training", &row.train_disparity), ("Test", &row.test_disparity)]
+            {
+                let mut cells = vec![row.setting.clone(), cohort.to_string()];
+                cells.extend(disp.iter().map(|v| format!("{v:+.3}")));
+                cells.push(format!("{:.3}", norm(disp)));
+                table.add_row(cells);
+            }
+        }
+        table.render()
+    }
+}
+
+/// Run the Table I experiment.
+///
+/// # Errors
+/// Returns an error if DCA or the evaluation fails (e.g. invalid scale).
+pub fn run_table1(scale: &ExperimentScale) -> Result<Table1Result> {
+    let k = 0.05;
+    let (train, test) = standard_school_pair(scale);
+    let rubric = SchoolGenerator::rubric();
+    let names: Vec<String> = train
+        .dataset()
+        .schema()
+        .fairness_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let dims = names.len();
+    let zero = vec![0.0; dims];
+
+    let baseline = Table1Row {
+        setting: "Baseline".into(),
+        bonus: Vec::new(),
+        train_disparity: eval_disparity(train.dataset(), &rubric, &zero, k)?,
+        test_disparity: eval_disparity(test.dataset(), &rubric, &zero, k)?,
+    };
+
+    // Core DCA: no refinement step.
+    let mut core_config = experiment_dca_config(scale, scale.seed);
+    core_config.refinement_iterations = 0;
+    let core = Dca::new(core_config).run(train.dataset(), &rubric, &TopKDisparity::new(k))?;
+    let core_row = Table1Row {
+        setting: "Core DCA".into(),
+        bonus: core.bonus.values().to_vec(),
+        train_disparity: eval_disparity(train.dataset(), &rubric, core.bonus.values(), k)?,
+        test_disparity: eval_disparity(test.dataset(), &rubric, core.bonus.values(), k)?,
+    };
+
+    // DCA with refinement.
+    let config = experiment_dca_config(scale, scale.seed);
+    let dca = Dca::new(config).run(train.dataset(), &rubric, &TopKDisparity::new(k))?;
+    let dca_row = Table1Row {
+        setting: "DCA".into(),
+        bonus: dca.bonus.values().to_vec(),
+        train_disparity: eval_disparity(train.dataset(), &rubric, dca.bonus.values(), k)?,
+        test_disparity: eval_disparity(test.dataset(), &rubric, dca.bonus.values(), k)?,
+    };
+
+    Ok(Table1Result { names, k, rows: vec![baseline, core_row, dca_row] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_the_paper_shape() {
+        let result = run_table1(&ExperimentScale::tiny()).unwrap();
+        assert_eq!(result.rows.len(), 3);
+        let baseline = &result.rows[0];
+        let dca = &result.rows[2];
+        // Baseline: every dimension under-represented, norm clearly positive.
+        assert!(baseline.train_disparity.iter().all(|v| *v < 0.0));
+        assert!(norm(&baseline.train_disparity) > 0.15);
+        // DCA: the norm collapses on both cohorts (paper: 0.377 -> 0.023).
+        assert!(
+            norm(&dca.train_disparity) < norm(&baseline.train_disparity) * 0.55,
+            "train: {:?} vs baseline {:?}",
+            dca.train_disparity,
+            baseline.train_disparity
+        );
+        assert!(
+            norm(&dca.test_disparity) < norm(&baseline.test_disparity) * 0.6,
+            "test: {:?} vs baseline {:?}",
+            dca.test_disparity,
+            baseline.test_disparity
+        );
+        // Bonus points are non-negative and on the 0.5 grid.
+        assert!(dca.bonus.iter().all(|b| *b >= 0.0 && (b * 2.0).fract().abs() < 1e-9));
+        // Rendering mentions every setting.
+        let text = result.render();
+        assert!(text.contains("Baseline") && text.contains("Core DCA") && text.contains("DCA"));
+    }
+}

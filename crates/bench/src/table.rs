@@ -1,0 +1,128 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The experiment binaries print results in the same row/column layout as the
+//! paper's tables and figure series, so a reader can compare shapes directly.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the header length.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row length must match the header");
+        self.rows.push(cells);
+    }
+
+    /// Append a row of labelled numeric values formatted to three decimals.
+    ///
+    /// # Panics
+    /// Panics if `1 + values.len()` differs from the header length.
+    pub fn add_numeric_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:+.3}")));
+        self.add_row(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table as fixed-width text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_header_and_rows_aligned() {
+        let mut t = TextTable::new("Demo", &["Setting", "Low-Income", "Norm"]);
+        t.add_numeric_row("Baseline", &[-0.252, 0.377]);
+        t.add_row(vec!["DCA".into(), "-0.018".into(), "0.023".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("Setting"));
+        assert!(text.contains("-0.252"));
+        assert!(text.contains("DCA"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Every data line has the same column layout (separator present).
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = TextTable::new("x", &["a"]);
+        assert_eq!(t.to_string(), t.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Attribute schemas: ranking features and fairness (protected) attributes.
+//!
+//! Following Definition 1 of the paper, every object carries a set of
+//! *attributes* used by the score-based ranking function, plus a distinguished
+//! subset of *fairness attributes* ("protected attributes") over which
+//! disparity is measured and bonus points are granted. Fairness attributes may
+//! be binary ({0,1} membership, e.g. *Low-Income*, *ELL*) or continuous in
+//! `[0,1]` (e.g. the *Economic Need Index* of the student's school).
+
+use crate::error::{FairError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// The domain of a fairness attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FairnessKind {
+    /// Membership indicator: the attribute value must be exactly 0.0 or 1.0.
+    /// A bonus is *added* to the score of members (value 1).
+    Binary,
+    /// Continuous degree of disadvantage, normalized to `[0, 1]`. The bonus is
+    /// *multiplied* by the attribute value before being added to the score.
+    Continuous,
+}
+
+impl fmt::Display for FairnessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Binary => write!(f, "binary"),
+            Self::Continuous => write!(f, "continuous"),
+        }
+    }
+}
+
+/// Description of one fairness (protected) attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessAttribute {
+    name: String,
+    kind: FairnessKind,
+}
+
+impl FairnessAttribute {
+    /// A binary fairness attribute (e.g. `low_income`).
+    #[must_use]
+    pub fn binary(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: FairnessKind::Binary }
+    }
+
+    /// A continuous fairness attribute normalized to `[0,1]` (e.g. `eni`).
+    #[must_use]
+    pub fn continuous(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: FairnessKind::Continuous }
+    }
+
+    /// The attribute name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute kind.
+    #[must_use]
+    pub fn kind(&self) -> FairnessKind {
+        self.kind
+    }
+
+    /// Validate a raw value against this attribute's domain.
+    pub fn validate(&self, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(FairError::InvalidValue {
+                attribute: self.name.clone(),
+                value,
+                reason: "value must be finite",
+            });
+        }
+        match self.kind {
+            FairnessKind::Binary if value != 0.0 && value != 1.0 => Err(FairError::InvalidValue {
+                attribute: self.name.clone(),
+                value,
+                reason: "binary attributes must be 0 or 1",
+            }),
+            FairnessKind::Continuous if !(0.0..=1.0).contains(&value) => {
+                Err(FairError::InvalidValue {
+                    attribute: self.name.clone(),
+                    value,
+                    reason: "continuous attributes must lie in [0, 1]",
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Immutable schema shared by every object of a dataset: the ordered list of
+/// ranking-feature names and the ordered list of fairness attributes.
+///
+/// Schemas are cheap to clone (`Arc` internally via [`SchemaRef`]) and define
+/// the dimensionality of feature vectors, fairness vectors, bonus vectors and
+/// disparity vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    features: Vec<String>,
+    fairness: Vec<FairnessAttribute>,
+}
+
+/// Shared handle to a [`Schema`].
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from feature names and fairness attributes.
+    ///
+    /// # Errors
+    /// Returns [`FairError::InvalidConfig`] if either list contains duplicate
+    /// names or if the fairness list is empty (a fairness-free dataset has no
+    /// disparity to compensate).
+    pub fn new(
+        features: Vec<String>,
+        fairness: Vec<FairnessAttribute>,
+    ) -> Result<SchemaRef> {
+        if fairness.is_empty() {
+            return Err(FairError::InvalidConfig {
+                reason: "schema requires at least one fairness attribute".into(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for name in features.iter().map(String::as_str).chain(fairness.iter().map(|a| a.name())) {
+            if !seen.insert(name.to_string()) {
+                return Err(FairError::InvalidConfig {
+                    reason: format!("duplicate attribute name `{name}`"),
+                });
+            }
+        }
+        Ok(Arc::new(Self { features, fairness }))
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn from_names(
+        features: &[&str],
+        binary_fairness: &[&str],
+        continuous_fairness: &[&str],
+    ) -> Result<SchemaRef> {
+        let features = features.iter().map(|s| (*s).to_string()).collect();
+        let fairness = binary_fairness
+            .iter()
+            .map(|s| FairnessAttribute::binary(*s))
+            .chain(continuous_fairness.iter().map(|s| FairnessAttribute::continuous(*s)))
+            .collect();
+        Self::new(features, fairness)
+    }
+
+    /// Ordered ranking-feature names.
+    #[must_use]
+    pub fn features(&self) -> &[String] {
+        &self.features
+    }
+
+    /// Ordered fairness attributes.
+    #[must_use]
+    pub fn fairness(&self) -> &[FairnessAttribute] {
+        &self.fairness
+    }
+
+    /// Number of ranking features.
+    #[must_use]
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of fairness attributes (= dimensionality of bonus and disparity
+    /// vectors).
+    #[must_use]
+    pub fn num_fairness(&self) -> usize {
+        self.fairness.len()
+    }
+
+    /// Index of a ranking feature by name.
+    pub fn feature_index(&self, name: &str) -> Result<usize> {
+        self.features
+            .iter()
+            .position(|f| f == name)
+            .ok_or_else(|| FairError::UnknownAttribute { name: name.to_string() })
+    }
+
+    /// Index of a fairness attribute by name.
+    pub fn fairness_index(&self, name: &str) -> Result<usize> {
+        self.fairness
+            .iter()
+            .position(|f| f.name() == name)
+            .ok_or_else(|| FairError::UnknownAttribute { name: name.to_string() })
+    }
+
+    /// Names of the fairness attributes, in order.
+    #[must_use]
+    pub fn fairness_names(&self) -> Vec<&str> {
+        self.fairness.iter().map(FairnessAttribute::name).collect()
+    }
+
+    /// Validate a fairness vector against every attribute's domain.
+    pub fn validate_fairness(&self, values: &[f64]) -> Result<()> {
+        if values.len() != self.fairness.len() {
+            return Err(FairError::DimensionMismatch {
+                what: "fairness vector",
+                expected: self.fairness.len(),
+                actual: values.len(),
+            });
+        }
+        for (attr, &v) in self.fairness.iter().zip(values) {
+            attr.validate(v)?;
+        }
+        Ok(())
+    }
+
+    /// Validate a feature vector's dimensionality and finiteness.
+    pub fn validate_features(&self, values: &[f64]) -> Result<()> {
+        if values.len() != self.features.len() {
+            return Err(FairError::DimensionMismatch {
+                what: "feature vector",
+                expected: self.features.len(),
+                actual: values.len(),
+            });
+        }
+        for (name, &v) in self.features.iter().zip(values) {
+            if !v.is_finite() {
+                return Err(FairError::InvalidValue {
+                    attribute: name.clone(),
+                    value: v,
+                    reason: "value must be finite",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn school_schema() -> SchemaRef {
+        Schema::from_names(
+            &["gpa", "test_scores"],
+            &["low_income", "ell", "special_ed"],
+            &["eni"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_counts_and_lookups() {
+        let s = school_schema();
+        assert_eq!(s.num_features(), 2);
+        assert_eq!(s.num_fairness(), 4);
+        assert_eq!(s.feature_index("gpa").unwrap(), 0);
+        assert_eq!(s.fairness_index("eni").unwrap(), 3);
+        assert_eq!(s.fairness_names(), vec!["low_income", "ell", "special_ed", "eni"]);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let s = school_schema();
+        assert!(matches!(s.feature_index("nope"), Err(FairError::UnknownAttribute { .. })));
+        assert!(matches!(s.fairness_index("nope"), Err(FairError::UnknownAttribute { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::from_names(&["gpa", "gpa"], &["li"], &[]);
+        assert!(matches!(err, Err(FairError::InvalidConfig { .. })));
+        let err = Schema::from_names(&["gpa"], &["gpa"], &[]);
+        assert!(matches!(err, Err(FairError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn empty_fairness_rejected() {
+        assert!(Schema::from_names(&["gpa"], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn binary_validation() {
+        let a = FairnessAttribute::binary("low_income");
+        assert!(a.validate(0.0).is_ok());
+        assert!(a.validate(1.0).is_ok());
+        assert!(a.validate(0.5).is_err());
+        assert!(a.validate(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn continuous_validation() {
+        let a = FairnessAttribute::continuous("eni");
+        assert!(a.validate(0.0).is_ok());
+        assert!(a.validate(0.73).is_ok());
+        assert!(a.validate(1.0).is_ok());
+        assert!(a.validate(1.2).is_err());
+        assert!(a.validate(-0.1).is_err());
+        assert!(a.validate(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn fairness_vector_validation() {
+        let s = school_schema();
+        assert!(s.validate_fairness(&[1.0, 0.0, 1.0, 0.6]).is_ok());
+        assert!(s.validate_fairness(&[1.0, 0.0, 1.0]).is_err());
+        assert!(s.validate_fairness(&[2.0, 0.0, 1.0, 0.6]).is_err());
+    }
+
+    #[test]
+    fn feature_vector_validation() {
+        let s = school_schema();
+        assert!(s.validate_features(&[3.5, 0.8]).is_ok());
+        assert!(s.validate_features(&[3.5]).is_err());
+        assert!(s.validate_features(&[f64::NAN, 0.8]).is_err());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(FairnessKind::Binary.to_string(), "binary");
+        assert_eq!(FairnessKind::Continuous.to_string(), "continuous");
+    }
+}

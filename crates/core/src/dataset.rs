@@ -1,0 +1,449 @@
+//! Dataset container: a schema plus the collection of objects to be ranked.
+
+use crate::attributes::SchemaRef;
+use crate::error::{FairError, Result};
+use crate::object::{DataObject, ObjectId};
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+/// A collection of [`DataObject`]s sharing one [`crate::Schema`].
+///
+/// The dataset is the paper's set `O`. It offers the primitives every metric
+/// and algorithm needs: fairness centroids (the `D_O` term of Definition 3),
+/// uniform random samples (the `S` of Algorithm 1), and subset views.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: SchemaRef,
+    objects: Vec<DataObject>,
+}
+
+impl Dataset {
+    /// Create a dataset from a schema and objects.
+    ///
+    /// # Errors
+    /// Returns an error if any object's vectors do not match the schema
+    /// dimensionality. (Value-domain validation is the responsibility of the
+    /// object constructors.)
+    pub fn new(schema: SchemaRef, objects: Vec<DataObject>) -> Result<Self> {
+        for o in &objects {
+            if o.features().len() != schema.num_features() {
+                return Err(FairError::DimensionMismatch {
+                    what: "feature vector",
+                    expected: schema.num_features(),
+                    actual: o.features().len(),
+                });
+            }
+            if o.fairness().len() != schema.num_fairness() {
+                return Err(FairError::DimensionMismatch {
+                    what: "fairness vector",
+                    expected: schema.num_fairness(),
+                    actual: o.fairness().len(),
+                });
+            }
+        }
+        Ok(Self { schema, objects })
+    }
+
+    /// Create an empty dataset with the given schema.
+    #[must_use]
+    pub fn empty(schema: SchemaRef) -> Self {
+        Self { schema, objects: Vec::new() }
+    }
+
+    /// The shared schema.
+    #[must_use]
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// All objects, in insertion order.
+    #[must_use]
+    pub fn objects(&self) -> &[DataObject] {
+        &self.objects
+    }
+
+    /// Number of objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the dataset holds no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Append an object.
+    ///
+    /// # Errors
+    /// Returns an error if the object's vectors do not match the schema.
+    pub fn push(&mut self, object: DataObject) -> Result<()> {
+        if object.features().len() != self.schema.num_features() {
+            return Err(FairError::DimensionMismatch {
+                what: "feature vector",
+                expected: self.schema.num_features(),
+                actual: object.features().len(),
+            });
+        }
+        if object.fairness().len() != self.schema.num_fairness() {
+            return Err(FairError::DimensionMismatch {
+                what: "fairness vector",
+                expected: self.schema.num_fairness(),
+                actual: object.fairness().len(),
+            });
+        }
+        self.objects.push(object);
+        Ok(())
+    }
+
+    /// Look up an object by id (linear scan; datasets are typically iterated,
+    /// not point-queried).
+    #[must_use]
+    pub fn get_by_id(&self, id: ObjectId) -> Option<&DataObject> {
+        self.objects.iter().find(|o| o.id() == id)
+    }
+
+    /// Centroid of the fairness attributes over the whole dataset — the
+    /// `D_O` term of Definition 3.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset.
+    pub fn fairness_centroid(&self) -> Result<Vec<f64>> {
+        centroid_of(&self.schema, self.objects.iter())
+    }
+
+    /// Centroid of the fairness attributes over a subset of object indices —
+    /// the `D_k` term of Definition 3 when the indices are a top-k selection.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] when `indices` is empty.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn fairness_centroid_of(&self, indices: &[usize]) -> Result<Vec<f64>> {
+        centroid_of(&self.schema, indices.iter().map(|&i| &self.objects[i]))
+    }
+
+    /// Fraction of objects belonging to the (binary) group at fairness index
+    /// `dim`, i.e. with value `>= 0.5`.
+    #[must_use]
+    pub fn group_frequency(&self, dim: usize) -> f64 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        let count = self.objects.iter().filter(|o| o.in_group(dim)).count();
+        count as f64 / self.objects.len() as f64
+    }
+
+    /// Frequency of the *rarest* fairness group — the `r` of the paper's
+    /// sample-size rule `O(max(1/k, 1/r))` (Section IV-D).
+    #[must_use]
+    pub fn rarest_group_frequency(&self) -> f64 {
+        (0..self.schema.num_fairness())
+            .map(|d| self.group_frequency(d))
+            .filter(|f| *f > 0.0)
+            .fold(1.0_f64, f64::min)
+    }
+
+    /// Draw a uniform random sample (without replacement) of `size` objects.
+    /// When `size >= len()` the whole dataset is returned (in index order).
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset and
+    /// [`FairError::InvalidConfig`] when `size == 0`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, size: usize) -> Result<SampleView<'_>> {
+        if self.objects.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        if size == 0 {
+            return Err(FairError::InvalidConfig { reason: "sample size must be positive".into() });
+        }
+        let indices: Vec<usize> = if size >= self.objects.len() {
+            (0..self.objects.len()).collect()
+        } else {
+            index_sample(rng, self.objects.len(), size).into_vec()
+        };
+        Ok(SampleView { dataset: self, indices })
+    }
+
+    /// Borrow the whole dataset as a [`SampleView`] (used by Full DCA, which
+    /// never samples).
+    #[must_use]
+    pub fn full_view(&self) -> SampleView<'_> {
+        SampleView { dataset: self, indices: (0..self.objects.len()).collect() }
+    }
+
+    /// Build a new dataset containing only the objects selected by `predicate`
+    /// (e.g. one school district). Ids are preserved.
+    #[must_use]
+    pub fn filter(&self, mut predicate: impl FnMut(&DataObject) -> bool) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            objects: self.objects.iter().filter(|o| predicate(o)).cloned().collect(),
+        }
+    }
+
+    /// Build a new dataset containing the objects at the given indices, in the
+    /// given order. Ids are preserved.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            objects: indices.iter().map(|&i| self.objects[i].clone()).collect(),
+        }
+    }
+
+    /// Whether every object carries a ground-truth outcome label.
+    #[must_use]
+    pub fn fully_labelled(&self) -> bool {
+        !self.objects.is_empty() && self.objects.iter().all(|o| o.label().is_some())
+    }
+}
+
+/// A borrowed view over a subset of a dataset's objects (a sample, a district,
+/// or the full dataset). All metrics and DCA steps operate on views so that
+/// sampled and full evaluation share one code path.
+#[derive(Debug, Clone)]
+pub struct SampleView<'a> {
+    dataset: &'a Dataset,
+    indices: Vec<usize>,
+}
+
+impl<'a> SampleView<'a> {
+    /// Construct a view from explicit indices into `dataset`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn from_indices(dataset: &'a Dataset, indices: Vec<usize>) -> Self {
+        for &i in &indices {
+            assert!(i < dataset.len(), "index {i} out of bounds for dataset of {}", dataset.len());
+        }
+        Self { dataset, indices }
+    }
+
+    /// The underlying dataset.
+    #[must_use]
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// The schema of the underlying dataset.
+    #[must_use]
+    pub fn schema(&self) -> &SchemaRef {
+        self.dataset.schema()
+    }
+
+    /// Indices (into the dataset) of the viewed objects.
+    #[must_use]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of objects in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterate over the viewed objects.
+    pub fn iter(&self) -> impl Iterator<Item = &DataObject> + '_ {
+        self.indices.iter().map(move |&i| &self.dataset.objects()[i])
+    }
+
+    /// The `i`-th object of the view.
+    #[must_use]
+    pub fn object(&self, i: usize) -> &DataObject {
+        &self.dataset.objects()[self.indices[i]]
+    }
+
+    /// Fairness centroid over the whole view (`D_O` computed on a sample —
+    /// Lemma 4.2's estimator).
+    pub fn fairness_centroid(&self) -> Result<Vec<f64>> {
+        centroid_of(self.dataset.schema(), self.iter())
+    }
+
+    /// Fairness centroid over a subset of *view positions* (not dataset
+    /// indices) — used for the selected top-k of a sample (Lemma 4.4).
+    pub fn fairness_centroid_of(&self, positions: &[usize]) -> Result<Vec<f64>> {
+        centroid_of(self.dataset.schema(), positions.iter().map(|&p| self.object(p)))
+    }
+}
+
+/// Mean fairness vector of an object iterator.
+fn centroid_of<'a>(
+    schema: &SchemaRef,
+    objects: impl Iterator<Item = &'a DataObject>,
+) -> Result<Vec<f64>> {
+    let mut acc = vec![0.0; schema.num_fairness()];
+    let mut n = 0_usize;
+    for o in objects {
+        for (a, v) in acc.iter_mut().zip(o.fairness()) {
+            *a += v;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err(FairError::EmptyDataset);
+    }
+    for a in &mut acc {
+        *a /= n as f64;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> SchemaRef {
+        Schema::from_names(&["score"], &["a", "b"], &[]).unwrap()
+    }
+
+    fn make_dataset() -> Dataset {
+        let s = schema();
+        let objects = vec![
+            DataObject::new_unchecked(0, vec![1.0], vec![1.0, 0.0], Some(true)),
+            DataObject::new_unchecked(1, vec![2.0], vec![0.0, 1.0], Some(false)),
+            DataObject::new_unchecked(2, vec![3.0], vec![1.0, 1.0], Some(true)),
+            DataObject::new_unchecked(3, vec![4.0], vec![0.0, 0.0], Some(false)),
+        ];
+        Dataset::new(s, objects).unwrap()
+    }
+
+    #[test]
+    fn centroid_is_mean_of_fairness_vectors() {
+        let d = make_dataset();
+        let c = d.fairness_centroid().unwrap();
+        assert_eq!(c, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn centroid_of_subset() {
+        let d = make_dataset();
+        let c = d.fairness_centroid_of(&[0, 2]).unwrap();
+        assert_eq!(c, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn empty_centroid_is_error() {
+        let d = Dataset::empty(schema());
+        assert!(matches!(d.fairness_centroid(), Err(FairError::EmptyDataset)));
+    }
+
+    #[test]
+    fn group_frequency_and_rarest() {
+        let d = make_dataset();
+        assert!((d.group_frequency(0) - 0.5).abs() < 1e-12);
+        assert!((d.group_frequency(1) - 0.5).abs() < 1e-12);
+        assert!((d.rarest_group_frequency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_without_replacement_has_unique_indices() {
+        let d = make_dataset();
+        let mut rng = StdRng::seed_from_u64(42);
+        let view = d.sample(&mut rng, 3).unwrap();
+        assert_eq!(view.len(), 3);
+        let mut idx = view.indices().to_vec();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 3, "indices must be unique");
+    }
+
+    #[test]
+    fn oversized_sample_returns_whole_dataset() {
+        let d = make_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let view = d.sample(&mut rng, 100).unwrap();
+        assert_eq!(view.len(), d.len());
+    }
+
+    #[test]
+    fn zero_sample_size_is_error() {
+        let d = make_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(d.sample(&mut rng, 0).is_err());
+    }
+
+    #[test]
+    fn sample_from_empty_dataset_is_error() {
+        let d = Dataset::empty(schema());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(d.sample(&mut rng, 5), Err(FairError::EmptyDataset)));
+    }
+
+    #[test]
+    fn view_centroid_matches_dataset_for_full_view() {
+        let d = make_dataset();
+        let v = d.full_view();
+        assert_eq!(v.fairness_centroid().unwrap(), d.fairness_centroid().unwrap());
+        assert_eq!(v.len(), d.len());
+    }
+
+    #[test]
+    fn view_positions_are_view_relative() {
+        let d = make_dataset();
+        let v = SampleView::from_indices(&d, vec![3, 0]);
+        // Position 0 of the view is dataset object 3.
+        assert_eq!(v.object(0).id(), ObjectId(3));
+        let c = v.fairness_centroid_of(&[0]).unwrap();
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn filter_preserves_ids_and_schema() {
+        let d = make_dataset();
+        let filtered = d.filter(|o| o.label() == Some(true));
+        assert_eq!(filtered.len(), 2);
+        assert!(filtered.get_by_id(ObjectId(0)).is_some());
+        assert!(filtered.get_by_id(ObjectId(1)).is_none());
+    }
+
+    #[test]
+    fn push_validates_dimensions() {
+        let mut d = make_dataset();
+        let bad = DataObject::new_unchecked(9, vec![1.0, 2.0], vec![0.0, 1.0], None);
+        assert!(d.push(bad).is_err());
+        let good = DataObject::new_unchecked(9, vec![1.0], vec![0.0, 1.0], None);
+        assert!(d.push(good).is_ok());
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn fully_labelled_detection() {
+        let d = make_dataset();
+        assert!(d.fully_labelled());
+        let mut d2 = d.clone();
+        d2.push(DataObject::new_unchecked(10, vec![1.0], vec![0.0, 0.0], None)).unwrap();
+        assert!(!d2.fully_labelled());
+        assert!(!Dataset::empty(schema()).fully_labelled());
+    }
+
+    #[test]
+    fn dataset_rejects_mismatched_objects_at_construction() {
+        let s = schema();
+        let bad = vec![DataObject::new_unchecked(0, vec![1.0], vec![1.0], None)];
+        assert!(Dataset::new(s, bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_from_bad_indices_panics() {
+        let d = make_dataset();
+        let _ = SampleView::from_indices(&d, vec![99]);
+    }
+}

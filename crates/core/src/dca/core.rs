@@ -1,0 +1,280 @@
+//! Core DCA — Algorithm 1 of the paper.
+//!
+//! ```text
+//! B <- 0 (or random)
+//! for L in learning_rates (decreasing):
+//!     for x in 1..=iterations:
+//!         S   <- random sample of `sample_size` objects from O
+//!         D_k <- objective evaluated on S under the current bonus B
+//!         B   <- B - L * D_k
+//!         B   <- clamp(B)              // polarity + optional caps
+//! ```
+//!
+//! The entire dataset is never scanned: every step touches only the sample, so
+//! the cost per step is `O(sample_size · log(sample_size))` regardless of
+//! dataset size (Section IV-D).
+
+use crate::bonus::{BonusCaps, BonusPolarity};
+use crate::dataset::Dataset;
+use crate::dca::config::DcaConfig;
+use crate::dca::objective::Objective;
+use crate::error::Result;
+use crate::ranking::Ranker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-step trace entry recorded by Core DCA when tracing is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreTraceEntry {
+    /// Global step index (across all learning rates).
+    pub step: usize,
+    /// Learning rate in effect.
+    pub learning_rate: f64,
+    /// L2 norm of the sampled objective vector.
+    pub objective_norm: f64,
+    /// Bonus values after the update and clamping.
+    pub bonus: Vec<f64>,
+}
+
+/// Output of a Core DCA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreDcaOutcome {
+    /// Final (unrounded) bonus values.
+    pub bonus: Vec<f64>,
+    /// Number of descent steps executed.
+    pub steps: usize,
+    /// Number of objects scored across all samples (work proxy for the
+    /// sub-linearity claim).
+    pub objects_scored: usize,
+    /// Optional per-step trace.
+    pub trace: Vec<CoreTraceEntry>,
+}
+
+/// Clamp a bonus vector in place according to the polarity and optional caps.
+pub(crate) fn clamp_bonus(bonus: &mut [f64], polarity: BonusPolarity, caps: Option<&BonusCaps>) {
+    for (i, b) in bonus.iter_mut().enumerate() {
+        let mut v = polarity.clamp(*b);
+        if let Some(caps) = caps {
+            v = caps.clamp(i, v);
+            v = polarity.clamp(v);
+        }
+        *b = v;
+    }
+}
+
+/// Run Core DCA (Algorithm 1).
+///
+/// * `dataset` — the population `O` (or a training cohort drawn from the
+///   underlying distribution),
+/// * `ranker` — the score-based ranking function,
+/// * `objective` — the unfairness measure to minimize,
+/// * `config` — sample size, learning-rate ladder, polarity, caps, seed,
+/// * `initial` — starting bonus values (`None` starts from zero),
+/// * `trace` — record the per-step trajectory.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, or objective
+/// failures (e.g. the FPR objective on an unlabelled dataset).
+pub fn run_core_dca<R, O>(
+    dataset: &Dataset,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+) -> Result<CoreDcaOutcome>
+where
+    R: Ranker + ?Sized,
+    O: Objective + ?Sized,
+{
+    let dims = dataset.schema().num_fairness();
+    config.validate(dims)?;
+    if dataset.is_empty() {
+        return Err(crate::error::FairError::EmptyDataset);
+    }
+
+    let mut bonus = initial.unwrap_or_else(|| vec![0.0; dims]);
+    assert_eq!(bonus.len(), dims, "initial bonus dimensionality mismatch");
+    clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut trace_entries = Vec::new();
+    let mut steps = 0_usize;
+    let mut objects_scored = 0_usize;
+
+    for &lr in &config.learning_rates {
+        for _ in 0..config.iterations_per_rate {
+            let sample = dataset.sample(&mut rng, config.sample_size)?;
+            let direction = objective.evaluate(&sample, ranker, &bonus)?;
+            debug_assert_eq!(direction.len(), dims);
+            for (b, d) in bonus.iter_mut().zip(&direction) {
+                *b -= lr * d;
+            }
+            clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
+            objects_scored += sample.len();
+            steps += 1;
+            if trace {
+                trace_entries.push(CoreTraceEntry {
+                    step: steps - 1,
+                    learning_rate: lr,
+                    objective_norm: crate::metrics::norm(&direction),
+                    bonus: bonus.clone(),
+                });
+            }
+        }
+    }
+
+    Ok(CoreDcaOutcome { bonus, steps, objects_scored, trace: trace_entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+    use crate::dca::objective::TopKDisparity;
+    use crate::metrics::{disparity_at_k, norm};
+    use crate::object::DataObject;
+    use crate::ranking::{effective_scores, WeightedSumRanker};
+    use crate::ranking::topk::RankedSelection;
+    use rand::Rng;
+
+    /// Synthetic population where group members' scores are shifted down, so
+    /// the uncorrected top-k underrepresents them.
+    fn biased_dataset(n: u64, member_rate: f64, shift: f64, seed: u64) -> Dataset {
+        let schema = Schema::from_names(&["score"], &["g"], &[]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let objects = (0..n)
+            .map(|i| {
+                let member = rng.gen::<f64>() < member_rate;
+                let base: f64 = rng.gen::<f64>() * 100.0;
+                let score = if member { base - shift } else { base };
+                DataObject::new_unchecked(i, vec![score], vec![f64::from(u8::from(member))], None)
+            })
+            .collect();
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    fn disparity_with_bonus(dataset: &Dataset, bonus: &[f64], k: f64) -> f64 {
+        let view = dataset.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let ranking = RankedSelection::from_scores(effective_scores(&view, &ranker, bonus));
+        norm(&disparity_at_k(&view, &ranking, k).unwrap())
+    }
+
+    fn quick_config() -> DcaConfig {
+        DcaConfig {
+            sample_size: 200,
+            learning_rates: vec![10.0, 1.0],
+            iterations_per_rate: 40,
+            refinement_iterations: 0,
+            seed: 7,
+            ..DcaConfig::default()
+        }
+    }
+
+    #[test]
+    fn core_dca_reduces_disparity_on_biased_population() {
+        let dataset = biased_dataset(4000, 0.3, 20.0, 11);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let before = disparity_with_bonus(&dataset, &[0.0], 0.2);
+        let out = run_core_dca(&dataset, &ranker, &objective, &quick_config(), None, false).unwrap();
+        let after = disparity_with_bonus(&dataset, &out.bonus, 0.2);
+        assert!(before > 0.05, "baseline must actually be disparate: {before}");
+        assert!(after < before * 0.5, "DCA must at least halve disparity: {after} vs {before}");
+        assert!(out.bonus[0] > 0.0, "the disadvantaged group must receive a positive bonus");
+    }
+
+    #[test]
+    fn bonus_stays_non_negative() {
+        let dataset = biased_dataset(2000, 0.3, 5.0, 3);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.3);
+        let out = run_core_dca(&dataset, &ranker, &objective, &quick_config(), None, true).unwrap();
+        assert!(out.bonus.iter().all(|b| *b >= 0.0));
+        assert!(out.trace.iter().all(|t| t.bonus.iter().all(|b| *b >= 0.0)));
+    }
+
+    #[test]
+    fn caps_are_respected_at_every_step() {
+        let dataset = biased_dataset(2000, 0.3, 50.0, 5);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let mut config = quick_config();
+        config.caps = Some(BonusCaps::uniform(1, 3.0).unwrap());
+        let out = run_core_dca(&dataset, &ranker, &objective, &config, None, true).unwrap();
+        assert!(out.trace.iter().all(|t| t.bonus[0] <= 3.0 + 1e-12));
+        assert!(out.bonus[0] <= 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_step_and_work_is_counted() {
+        let dataset = biased_dataset(1000, 0.3, 10.0, 9);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let config = quick_config();
+        let out = run_core_dca(&dataset, &ranker, &objective, &config, None, true).unwrap();
+        assert_eq!(out.steps, config.core_steps());
+        assert_eq!(out.trace.len(), config.core_steps());
+        assert_eq!(out.objects_scored, config.core_steps() * config.sample_size);
+    }
+
+    #[test]
+    fn initial_bonus_is_respected_and_clamped() {
+        let dataset = biased_dataset(1000, 0.3, 10.0, 13);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let mut config = quick_config();
+        config.learning_rates = vec![0.001];
+        config.iterations_per_rate = 1;
+        // Negative initial value must be clamped to zero before the first step.
+        let out =
+            run_core_dca(&dataset, &ranker, &objective, &config, Some(vec![-5.0]), true).unwrap();
+        assert!(out.trace[0].bonus[0] >= 0.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let dataset = biased_dataset(1500, 0.25, 15.0, 21);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.1);
+        let config = quick_config();
+        let a = run_core_dca(&dataset, &ranker, &objective, &config, None, false).unwrap();
+        let b = run_core_dca(&dataset, &ranker, &objective, &config, None, false).unwrap();
+        assert_eq!(a.bonus, b.bonus);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_both_reduce_disparity() {
+        let dataset = biased_dataset(3000, 0.3, 20.0, 17);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let before = disparity_with_bonus(&dataset, &[0.0], 0.2);
+        for seed in [1, 2] {
+            let mut config = quick_config();
+            config.seed = seed;
+            let out = run_core_dca(&dataset, &ranker, &objective, &config, None, false).unwrap();
+            let after = disparity_with_bonus(&dataset, &out.bonus, 0.2);
+            assert!(after < before, "seed {seed}: {after} vs {before}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_error() {
+        let schema = Schema::from_names(&["score"], &["g"], &[]).unwrap();
+        let dataset = Dataset::empty(schema);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        assert!(run_core_dca(&dataset, &ranker, &objective, &quick_config(), None, false).is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let dataset = biased_dataset(100, 0.3, 5.0, 1);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let mut config = quick_config();
+        config.sample_size = 5;
+        assert!(run_core_dca(&dataset, &ranker, &objective, &config, None, false).is_err());
+    }
+}

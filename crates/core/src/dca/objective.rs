@@ -1,0 +1,240 @@
+//! Pluggable optimization objectives for DCA.
+//!
+//! DCA moves the bonus vector against a vector-valued unfairness measure. The
+//! paper's primary objective is the Disparity at a known selection fraction
+//! `k` (Definition 3); Section IV-E adds the logarithmically discounted
+//! variant for unknown `k`, and Section VI-C5 shows the same algorithm driven
+//! by a scaled Disparate Impact or by per-group false-positive-rate
+//! differences. Any metric satisfying the contract — one value per fairness
+//! attribute, bounded in `[-1, 1]`, 0 meaning fair, sign giving the direction
+//! of the imbalance — can drive DCA through the [`Objective`] trait.
+
+use crate::dataset::SampleView;
+use crate::error::Result;
+use crate::metrics::{
+    disparity_at_k, fpr_difference_at_k, log_discounted_disparity, scaled_disparate_impact_at_k,
+    LogDiscountConfig,
+};
+use crate::ranking::topk::RankedSelection;
+use crate::ranking::{effective_scores, Ranker};
+
+/// A vector-valued unfairness measure that DCA can minimize.
+pub trait Objective: Send + Sync {
+    /// Evaluate the measure on a (sampled or full) view under the given bonus
+    /// values. The result has one entry per fairness attribute, in `[-1, 1]`.
+    fn evaluate<R: Ranker + ?Sized>(
+        &self,
+        view: &SampleView<'_>,
+        ranker: &R,
+        bonus: &[f64],
+    ) -> Result<Vec<f64>>;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Rank a view under the given bonus values.
+pub(crate) fn rank_view<R: Ranker + ?Sized>(
+    view: &SampleView<'_>,
+    ranker: &R,
+    bonus: &[f64],
+) -> RankedSelection {
+    RankedSelection::from_scores(effective_scores(view, ranker, bonus))
+}
+
+/// The paper's primary objective: Disparity of the top-`k` selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKDisparity {
+    /// Selection fraction in `(0, 1]`.
+    pub k: f64,
+}
+
+impl TopKDisparity {
+    /// Disparity at selection fraction `k`.
+    #[must_use]
+    pub fn new(k: f64) -> Self {
+        Self { k }
+    }
+}
+
+impl Objective for TopKDisparity {
+    fn evaluate<R: Ranker + ?Sized>(
+        &self,
+        view: &SampleView<'_>,
+        ranker: &R,
+        bonus: &[f64],
+    ) -> Result<Vec<f64>> {
+        let ranking = rank_view(view, ranker, bonus);
+        disparity_at_k(view, &ranking, self.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "disparity@k"
+    }
+}
+
+/// Logarithmically discounted disparity over many selection sizes
+/// (Section IV-E), for use when `k` is unknown at bonus-assignment time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LogDiscountedObjective {
+    /// Checkpoint configuration.
+    pub config: LogDiscountConfig,
+}
+
+impl LogDiscountedObjective {
+    /// Log-discounted disparity with the given checkpoint configuration.
+    #[must_use]
+    pub fn new(config: LogDiscountConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Objective for LogDiscountedObjective {
+    fn evaluate<R: Ranker + ?Sized>(
+        &self,
+        view: &SampleView<'_>,
+        ranker: &R,
+        bonus: &[f64],
+    ) -> Result<Vec<f64>> {
+        let ranking = rank_view(view, ranker, bonus);
+        log_discounted_disparity(view, &ranking, &self.config)
+    }
+
+    fn name(&self) -> &'static str {
+        "log-discounted disparity"
+    }
+}
+
+/// Scaled (signed) disparate impact at selection fraction `k`
+/// (Section VI-C5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledDisparateImpact {
+    /// Selection fraction in `(0, 1]`.
+    pub k: f64,
+}
+
+impl ScaledDisparateImpact {
+    /// Scaled disparate impact at selection fraction `k`.
+    #[must_use]
+    pub fn new(k: f64) -> Self {
+        Self { k }
+    }
+}
+
+impl Objective for ScaledDisparateImpact {
+    fn evaluate<R: Ranker + ?Sized>(
+        &self,
+        view: &SampleView<'_>,
+        ranker: &R,
+        bonus: &[f64],
+    ) -> Result<Vec<f64>> {
+        let ranking = rank_view(view, ranker, bonus);
+        scaled_disparate_impact_at_k(view, &ranking, self.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "scaled disparate impact@k"
+    }
+}
+
+/// Per-group false-positive-rate difference at selection fraction `k`
+/// (Section VI-C5). Requires ground-truth labels on every object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FprDifferenceObjective {
+    /// Selection fraction in `(0, 1]` — the flagged (positive-prediction) share.
+    pub k: f64,
+}
+
+impl FprDifferenceObjective {
+    /// FPR-difference objective at selection fraction `k`.
+    #[must_use]
+    pub fn new(k: f64) -> Self {
+        Self { k }
+    }
+}
+
+impl Objective for FprDifferenceObjective {
+    fn evaluate<R: Ranker + ?Sized>(
+        &self,
+        view: &SampleView<'_>,
+        ranker: &R,
+        bonus: &[f64],
+    ) -> Result<Vec<f64>> {
+        let ranking = rank_view(view, ranker, bonus);
+        fpr_difference_at_k(view, &ranking, self.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "FPR difference@k"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+    use crate::dataset::Dataset;
+    use crate::object::DataObject;
+    use crate::ranking::WeightedSumRanker;
+
+    fn dataset() -> Dataset {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let objects = (0..20_u64)
+            .map(|i| {
+                let member = i < 6;
+                let score = if member { i as f64 } else { 100.0 + i as f64 };
+                DataObject::new_unchecked(
+                    i,
+                    vec![score],
+                    vec![f64::from(u8::from(member))],
+                    Some(i % 3 == 0),
+                )
+            })
+            .collect();
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    #[test]
+    fn all_objectives_report_negative_direction_for_excluded_group() {
+        let d = dataset();
+        let view = d.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let b = vec![0.0];
+
+        let disp = TopKDisparity::new(0.25).evaluate(&view, &ranker, &b).unwrap();
+        assert!(disp[0] < 0.0);
+        let logd = LogDiscountedObjective::default().evaluate(&view, &ranker, &b).unwrap();
+        assert!(logd[0] < 0.0);
+        let di = ScaledDisparateImpact::new(0.25).evaluate(&view, &ranker, &b).unwrap();
+        assert!(di[0] < 0.0);
+    }
+
+    #[test]
+    fn objectives_report_their_names() {
+        assert_eq!(TopKDisparity::new(0.05).name(), "disparity@k");
+        assert_eq!(LogDiscountedObjective::default().name(), "log-discounted disparity");
+        assert_eq!(ScaledDisparateImpact::new(0.05).name(), "scaled disparate impact@k");
+        assert_eq!(FprDifferenceObjective::new(0.05).name(), "FPR difference@k");
+    }
+
+    #[test]
+    fn fpr_objective_requires_labels_and_works_when_present() {
+        let d = dataset();
+        let view = d.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let fpr = FprDifferenceObjective::new(0.25).evaluate(&view, &ranker, &[0.0]).unwrap();
+        assert_eq!(fpr.len(), 1);
+        assert!(fpr[0].abs() <= 1.0);
+    }
+
+    #[test]
+    fn bonus_changes_objective_value() {
+        let d = dataset();
+        let view = d.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let obj = TopKDisparity::new(0.25);
+        let before = obj.evaluate(&view, &ranker, &[0.0]).unwrap()[0];
+        let after = obj.evaluate(&view, &ranker, &[1_000.0]).unwrap()[0];
+        assert!(before < 0.0 && after > 0.0);
+    }
+}

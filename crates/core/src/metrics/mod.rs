@@ -1,0 +1,47 @@
+//! Fairness and utility metrics.
+//!
+//! Every fairness metric in this module is *vector-valued*: one entry per
+//! fairness attribute, each bounded in `[-1, 1]`, with `0` meaning fair, a
+//! negative value meaning the group is under-represented among the selected
+//! objects and a positive value meaning it is over-represented. This is the
+//! contract DCA requires of any metric it optimizes (Section VI-C5: "the
+//! minimization metric must be represented as the norm of a vector, and it
+//! must provide bounds between -1, 1").
+//!
+//! | Module | Paper reference |
+//! |--------|-----------------|
+//! | [`disparity`] | Definition 3, the primary metric |
+//! | [`log_discounted`] | Section IV-E, unknown selection sizes |
+//! | [`disparate_impact`] | Section VI-C5, scaled DI variant |
+//! | [`fpr`] | Section VI-C5, equalized-odds / false-positive-rate difference |
+//! | [`exposure`] | Section VI-C4, exposure and the DDP constraint |
+//! | [`ndcg`] | Section VI-A2, utility of the corrected ranking |
+
+pub mod disparate_impact;
+pub mod disparity;
+pub mod exposure;
+pub mod fpr;
+pub mod log_discounted;
+pub mod ndcg;
+
+pub use disparate_impact::{disparate_impact_at_k, scaled_disparate_impact_at_k};
+pub use disparity::{disparity_at_k, disparity_of_selection, DisparityVector};
+pub use exposure::{ddp_for_binary_attributes, exposure_of_group, group_average_exposure};
+pub use fpr::{fpr_difference_at_k, group_fpr_at_k};
+pub use log_discounted::{log_discounted_disparity, LogDiscountConfig};
+pub use ndcg::{dcg, ndcg_at_k};
+
+/// L2 norm of a metric vector — the scalar the paper reports as "Norm".
+#[must_use]
+pub fn norm(values: &[f64]) -> f64 {
+    values.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn norm_is_euclidean() {
+        assert!((super::norm(&[0.3, 0.4]) - 0.5).abs() < 1e-12);
+        assert_eq!(super::norm(&[]), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The ranked object: a record with ranking features, fairness attributes and
+//! an optional ground-truth outcome label.
+
+use crate::attributes::SchemaRef;
+use crate::error::Result;
+
+/// Stable identifier for an object within its dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One object to be ranked: a student application, a defendant record, …
+///
+/// * `features` are the inputs to the score-based ranking function (Def. 1),
+///   ordered according to [`crate::Schema::features`];
+/// * `fairness` are the protected-attribute values, ordered according to
+///   [`crate::Schema::fairness`], binary values in {0,1} and continuous values
+///   in `[0,1]`;
+/// * `label` is an optional ground-truth outcome (e.g. 2-year recidivism) used
+///   only by equalized-odds style objectives such as the false-positive-rate
+///   difference of Section VI-C5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataObject {
+    id: ObjectId,
+    features: Vec<f64>,
+    fairness: Vec<f64>,
+    label: Option<bool>,
+}
+
+impl DataObject {
+    /// Build an object, validating both vectors against the schema.
+    pub fn new(
+        schema: &SchemaRef,
+        id: u64,
+        features: Vec<f64>,
+        fairness: Vec<f64>,
+        label: Option<bool>,
+    ) -> Result<Self> {
+        schema.validate_features(&features)?;
+        schema.validate_fairness(&fairness)?;
+        Ok(Self { id: ObjectId(id), features, fairness, label })
+    }
+
+    /// Build an object without validation. Intended for generators that have
+    /// already validated their output; invalid values will surface as metric
+    /// errors later rather than memory unsafety.
+    #[must_use]
+    pub fn new_unchecked(
+        id: u64,
+        features: Vec<f64>,
+        fairness: Vec<f64>,
+        label: Option<bool>,
+    ) -> Self {
+        Self { id: ObjectId(id), features, fairness, label }
+    }
+
+    /// Object identifier.
+    #[must_use]
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Ranking-feature values, ordered per the schema.
+    #[must_use]
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// Fairness-attribute values, ordered per the schema.
+    #[must_use]
+    pub fn fairness(&self) -> &[f64] {
+        &self.fairness
+    }
+
+    /// Ground-truth outcome label, if known.
+    #[must_use]
+    pub fn label(&self) -> Option<bool> {
+        self.label
+    }
+
+    /// Whether the object belongs to the (binary) fairness group at `index`,
+    /// i.e. has value `>= 0.5` there. For continuous attributes this is a
+    /// "high-need" indicator.
+    #[must_use]
+    pub fn in_group(&self, index: usize) -> bool {
+        self.fairness.get(index).copied().unwrap_or(0.0) >= 0.5
+    }
+
+    /// The bonus-adjusted score increment for this object: the dot product of
+    /// its fairness vector with the bonus vector (Definition 2, `A_f · B`).
+    ///
+    /// # Panics
+    /// Panics if `bonus.len()` differs from the fairness dimensionality.
+    #[must_use]
+    pub fn bonus_increment(&self, bonus: &[f64]) -> f64 {
+        assert_eq!(bonus.len(), self.fairness.len(), "bonus vector dimensionality mismatch");
+        self.fairness.iter().zip(bonus).map(|(a, b)| a * b).sum()
+    }
+
+    /// Replace the label (used by dataset builders that attach outcomes after
+    /// generation).
+    pub fn set_label(&mut self, label: Option<bool>) {
+        self.label = label;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+
+    fn schema() -> SchemaRef {
+        Schema::from_names(&["gpa", "test"], &["low_income", "ell"], &["eni"]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_against_schema() {
+        let s = schema();
+        let ok = DataObject::new(&s, 1, vec![3.5, 0.9], vec![1.0, 0.0, 0.4], None);
+        assert!(ok.is_ok());
+        let bad_feat = DataObject::new(&s, 2, vec![3.5], vec![1.0, 0.0, 0.4], None);
+        assert!(bad_feat.is_err());
+        let bad_fair = DataObject::new(&s, 3, vec![3.5, 0.9], vec![0.7, 0.0, 0.4], None);
+        assert!(bad_fair.is_err(), "0.7 is not a valid binary value");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = schema();
+        let o = DataObject::new(&s, 7, vec![3.0, 0.5], vec![1.0, 1.0, 0.2], Some(true)).unwrap();
+        assert_eq!(o.id(), ObjectId(7));
+        assert_eq!(o.features(), &[3.0, 0.5]);
+        assert_eq!(o.fairness(), &[1.0, 1.0, 0.2]);
+        assert_eq!(o.label(), Some(true));
+        assert_eq!(o.id().to_string(), "#7");
+    }
+
+    #[test]
+    fn bonus_increment_is_dot_product() {
+        let o = DataObject::new_unchecked(1, vec![], vec![1.0, 0.0, 0.5], None);
+        // 1*2 + 0*10 + 0.5*4 = 4
+        assert!((o.bonus_increment(&[2.0, 10.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_group_thresholds_at_half() {
+        let o = DataObject::new_unchecked(1, vec![], vec![1.0, 0.0, 0.6], None);
+        assert!(o.in_group(0));
+        assert!(!o.in_group(1));
+        assert!(o.in_group(2));
+        assert!(!o.in_group(99), "out-of-range index is simply not-a-member");
+    }
+
+    #[test]
+    fn set_label_updates() {
+        let mut o = DataObject::new_unchecked(1, vec![], vec![0.0], None);
+        o.set_label(Some(false));
+        assert_eq!(o.label(), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn bonus_increment_rejects_wrong_length() {
+        let o = DataObject::new_unchecked(1, vec![], vec![1.0, 0.0], None);
+        let _ = o.bonus_increment(&[1.0]);
+    }
+}

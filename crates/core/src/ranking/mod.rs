@@ -1,0 +1,128 @@
+//! Score-based ranking functions and top-k% selection (Definition 1).
+//!
+//! A [`Ranker`] maps an object's *ranking features* to a base score `f(o)`.
+//! Bonus points enter only through [`crate::bonus::BonusVector`]: the effective
+//! score is `f_b(o) = f(o) + A_f · B` (Definition 2). The [`topk`] module turns
+//! effective scores into ranked orders and top-k% selections, which is what
+//! every fairness metric consumes.
+
+pub mod score;
+pub mod topk;
+
+pub use score::{NormalizedWeightedSum, SingleFeatureRanker, WeightedSumRanker};
+pub use topk::{selection_size, RankedSelection};
+
+use crate::dataset::SampleView;
+use crate::object::DataObject;
+
+/// A score-based ranking function `f` over an object's ranking features.
+///
+/// Higher scores rank first; the "selected" set of a ranking process is the
+/// top-k% by effective score. For settings where being selected is the
+/// *unfavorable* outcome (e.g. being flagged high-risk by COMPAS), the same
+/// machinery applies — only the sign policy of the bonus vector changes (see
+/// [`crate::bonus::BonusPolarity`]).
+pub trait Ranker: Send + Sync {
+    /// Base score `f(o)` of an object, before any bonus points.
+    fn base_score(&self, object: &DataObject) -> f64;
+
+    /// A short human-readable description of the ranking function, used in
+    /// explanations shown to stakeholders.
+    fn describe(&self) -> String {
+        "score-based ranking function".to_string()
+    }
+}
+
+impl<T: Ranker + ?Sized> Ranker for &T {
+    fn base_score(&self, object: &DataObject) -> f64 {
+        (**self).base_score(object)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<T: Ranker + ?Sized> Ranker for Box<T> {
+    fn base_score(&self, object: &DataObject) -> f64 {
+        (**self).base_score(object)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Compute the effective (bonus-adjusted) scores of every object in a view:
+/// `f_b(o) = f(o) + A_f · B` for each object, in view order.
+///
+/// # Panics
+/// Panics if `bonus.len()` differs from the view's fairness dimensionality.
+#[must_use]
+pub fn effective_scores<R: Ranker + ?Sized>(
+    view: &SampleView<'_>,
+    ranker: &R,
+    bonus: &[f64],
+) -> Vec<f64> {
+    assert_eq!(
+        bonus.len(),
+        view.schema().num_fairness(),
+        "bonus vector dimensionality mismatch"
+    );
+    view.iter()
+        .map(|o| ranker.base_score(o) + o.bonus_increment(bonus))
+        .collect()
+}
+
+/// Compute base (unadjusted) scores of every object in a view, in view order.
+#[must_use]
+pub fn base_scores<R: Ranker + ?Sized>(view: &SampleView<'_>, ranker: &R) -> Vec<f64> {
+    view.iter().map(|o| ranker.base_score(o)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+    use crate::dataset::Dataset;
+    use crate::object::DataObject;
+
+    fn dataset() -> Dataset {
+        let schema = Schema::from_names(&["gpa"], &["li"], &[]).unwrap();
+        let objects = vec![
+            DataObject::new_unchecked(0, vec![1.0], vec![1.0], None),
+            DataObject::new_unchecked(1, vec![2.0], vec![0.0], None),
+        ];
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    #[test]
+    fn effective_scores_add_bonus_for_members() {
+        let d = dataset();
+        let view = d.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let scores = effective_scores(&view, &ranker, &[5.0]);
+        assert_eq!(scores, vec![6.0, 2.0]);
+        let base = base_scores(&view, &ranker);
+        assert_eq!(base, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranker_is_object_safe_and_usable_behind_references() {
+        let d = dataset();
+        let view = d.full_view();
+        let ranker: Box<dyn Ranker> = Box::new(WeightedSumRanker::new(vec![2.0]).unwrap());
+        let scores = effective_scores(&view, &ranker, &[0.0]);
+        assert_eq!(scores, vec![2.0, 4.0]);
+        assert!(ranker.describe().contains("weighted"));
+        let by_ref: &dyn Ranker = &*ranker;
+        assert_eq!(by_ref.base_score(view.object(1)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_bonus_length_panics() {
+        let d = dataset();
+        let view = d.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let _ = effective_scores(&view, &ranker, &[1.0, 2.0]);
+    }
+}

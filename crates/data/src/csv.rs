@@ -1,0 +1,317 @@
+//! Minimal CSV serialization for [`fair_core::Dataset`].
+//!
+//! The format is self-describing: the header encodes each column's role so a
+//! file can be read back without a separate schema definition.
+//!
+//! ```text
+//! id,feature:gpa,feature:test_scores,fairness_binary:low_income,fairness_continuous:eni,label
+//! 0,81.5,77.0,1,0.74,
+//! 1,92.0,88.5,0,0.31,true
+//! ```
+//!
+//! The `label` column is always present; empty cells mean "no label".
+
+use fair_core::prelude::*;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors produced by CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is structurally malformed (bad header, wrong column count,
+    /// unparsable number…).
+    Malformed {
+        /// 1-based line number, 0 for the header.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The parsed values violate the dataset invariants.
+    Dataset(FairError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Malformed { line, reason } => write!(f, "malformed CSV at line {line}: {reason}"),
+            Self::Dataset(e) => write!(f, "invalid dataset contents: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FairError> for CsvError {
+    fn from(e: FairError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+/// Serialize a dataset to a CSV string.
+#[must_use]
+pub fn to_csv_string(dataset: &Dataset) -> String {
+    let schema = dataset.schema();
+    let mut out = String::new();
+    out.push_str("id");
+    for f in schema.features() {
+        let _ = write!(out, ",feature:{f}");
+    }
+    for attr in schema.fairness() {
+        let kind = match attr.kind() {
+            FairnessKind::Binary => "fairness_binary",
+            FairnessKind::Continuous => "fairness_continuous",
+        };
+        let _ = write!(out, ",{kind}:{}", attr.name());
+    }
+    out.push_str(",label\n");
+
+    for o in dataset.objects() {
+        let _ = write!(out, "{}", o.id().0);
+        for v in o.features() {
+            let _ = write!(out, ",{v}");
+        }
+        for v in o.fairness() {
+            let _ = write!(out, ",{v}");
+        }
+        match o.label() {
+            Some(l) => {
+                let _ = write!(out, ",{l}");
+            }
+            None => out.push(','),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataset to a CSV file.
+///
+/// # Errors
+/// Returns an error on I/O failure.
+pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> std::result::Result<(), CsvError> {
+    fs::write(path, to_csv_string(dataset))?;
+    Ok(())
+}
+
+/// Parse a dataset from a CSV string produced by [`to_csv_string`] (or any
+/// file following the same header convention).
+///
+/// # Errors
+/// Returns an error on malformed input or invalid attribute values.
+pub fn from_csv_string(content: &str) -> std::result::Result<Dataset, CsvError> {
+    let mut lines = content.lines();
+    let header = lines.next().ok_or(CsvError::Malformed {
+        line: 0,
+        reason: "empty file".to_string(),
+    })?;
+
+    let columns: Vec<&str> = header.split(',').collect();
+    if columns.first() != Some(&"id") || columns.last() != Some(&"label") {
+        return Err(CsvError::Malformed {
+            line: 0,
+            reason: "header must start with `id` and end with `label`".to_string(),
+        });
+    }
+
+    let mut features = Vec::new();
+    let mut binary = Vec::new();
+    let mut continuous = Vec::new();
+    // Column roles in order, used to route values while parsing rows.
+    #[derive(Clone, Copy)]
+    enum Role {
+        Feature,
+        Fairness,
+    }
+    let mut roles = Vec::new();
+    for col in &columns[1..columns.len() - 1] {
+        if let Some(name) = col.strip_prefix("feature:") {
+            features.push(name);
+            roles.push(Role::Feature);
+        } else if let Some(name) = col.strip_prefix("fairness_binary:") {
+            binary.push(name);
+            roles.push(Role::Fairness);
+        } else if let Some(name) = col.strip_prefix("fairness_continuous:") {
+            continuous.push(name);
+            roles.push(Role::Fairness);
+        } else {
+            return Err(CsvError::Malformed {
+                line: 0,
+                reason: format!("unknown column kind `{col}`"),
+            });
+        }
+    }
+    let schema = Schema::from_names(&features, &binary, &continuous)?;
+
+    let mut dataset = Dataset::empty(schema.clone());
+    for (line_no, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != columns.len() {
+            return Err(CsvError::Malformed {
+                line: line_no + 1,
+                reason: format!("expected {} cells, found {}", columns.len(), cells.len()),
+            });
+        }
+        let id: u64 = cells[0].trim().parse().map_err(|_| CsvError::Malformed {
+            line: line_no + 1,
+            reason: format!("invalid id `{}`", cells[0]),
+        })?;
+        let mut feat = Vec::with_capacity(schema.num_features());
+        let mut fair = Vec::with_capacity(schema.num_fairness());
+        for (cell, role) in cells[1..cells.len() - 1].iter().zip(&roles) {
+            let v: f64 = cell.trim().parse().map_err(|_| CsvError::Malformed {
+                line: line_no + 1,
+                reason: format!("invalid number `{cell}`"),
+            })?;
+            match role {
+                Role::Feature => feat.push(v),
+                Role::Fairness => fair.push(v),
+            }
+        }
+        let label_cell = cells[cells.len() - 1].trim();
+        let label = match label_cell {
+            "" => None,
+            "true" | "1" => Some(true),
+            "false" | "0" => Some(false),
+            other => {
+                return Err(CsvError::Malformed {
+                    line: line_no + 1,
+                    reason: format!("invalid label `{other}`"),
+                })
+            }
+        };
+        let object = DataObject::new(&schema, id, feat, fair, label)?;
+        dataset.push(object)?;
+    }
+    Ok(dataset)
+}
+
+/// Read a dataset from a CSV file.
+///
+/// # Errors
+/// Returns an error on I/O failure, malformed input, or invalid values.
+pub fn read_csv(path: impl AsRef<Path>) -> std::result::Result<Dataset, CsvError> {
+    let content = fs::read_to_string(path)?;
+    from_csv_string(&content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let schema = Schema::from_names(&["gpa", "test"], &["low_income"], &["eni"]).unwrap();
+        let objects = vec![
+            DataObject::new_unchecked(0, vec![81.5, 77.0], vec![1.0, 0.74], None),
+            DataObject::new_unchecked(1, vec![92.0, 88.5], vec![0.0, 0.31], Some(true)),
+            DataObject::new_unchecked(2, vec![65.0, 50.0], vec![1.0, 0.9], Some(false)),
+        ];
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_dataset();
+        let text = to_csv_string(&original);
+        let parsed = from_csv_string(&text).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        assert_eq!(parsed.schema().features(), original.schema().features());
+        assert_eq!(parsed.schema().num_fairness(), original.schema().num_fairness());
+        for (a, b) in parsed.objects().iter().zip(original.objects()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn header_encodes_column_roles() {
+        let text = to_csv_string(&sample_dataset());
+        let header = text.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "id,feature:gpa,feature:test,fairness_binary:low_income,fairness_continuous:eni,label"
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fair_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cohort.csv");
+        let original = sample_dataset();
+        write_csv(&original, &path).unwrap();
+        let parsed = read_csv(&path).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        assert!(matches!(from_csv_string(""), Err(CsvError::Malformed { line: 0, .. })));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let err = from_csv_string("name,feature:x,label\n");
+        assert!(matches!(err, Err(CsvError::Malformed { line: 0, .. })));
+        let err = from_csv_string("id,mystery:x,label\n");
+        assert!(matches!(err, Err(CsvError::Malformed { line: 0, .. })));
+    }
+
+    #[test]
+    fn wrong_cell_count_is_rejected() {
+        let text = "id,feature:x,fairness_binary:g,label\n0,1.0,1\n";
+        assert!(matches!(from_csv_string(text), Err(CsvError::Malformed { line: 1, .. })));
+    }
+
+    #[test]
+    fn invalid_numbers_and_labels_are_rejected() {
+        let bad_number = "id,feature:x,fairness_binary:g,label\n0,abc,1,\n";
+        assert!(from_csv_string(bad_number).is_err());
+        let bad_label = "id,feature:x,fairness_binary:g,label\n0,1.0,1,maybe\n";
+        assert!(from_csv_string(bad_label).is_err());
+        let bad_id = "id,feature:x,fairness_binary:g,label\nxyz,1.0,1,\n";
+        assert!(from_csv_string(bad_id).is_err());
+    }
+
+    #[test]
+    fn invalid_fairness_value_is_a_dataset_error() {
+        let text = "id,feature:x,fairness_binary:g,label\n0,1.0,0.5,\n";
+        assert!(matches!(from_csv_string(text), Err(CsvError::Dataset(_))));
+    }
+
+    #[test]
+    fn numeric_labels_are_accepted() {
+        let text = "id,feature:x,fairness_binary:g,label\n0,1.0,1,1\n1,2.0,0,0\n";
+        let d = from_csv_string(text).unwrap();
+        assert_eq!(d.objects()[0].label(), Some(true));
+        assert_eq!(d.objects()[1].label(), Some(false));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = "id,feature:x,fairness_binary:g,label\n0,1.0,1,\n\n1,2.0,0,\n";
+        let d = from_csv_string(text).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::Malformed { line: 3, reason: "boom".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = CsvError::Dataset(FairError::EmptyDataset);
+        assert!(e.to_string().contains("invalid dataset"));
+    }
+}

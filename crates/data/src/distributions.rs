@@ -1,0 +1,161 @@
+//! Small seeded samplers used by the synthetic generators.
+//!
+//! Only `rand`'s uniform primitives are used; the normal distribution is
+//! produced with the Box–Muller transform so no extra dependency is required.
+
+use rand::Rng;
+
+/// Draw one standard-normal variate using the Box–Muller transform.
+#[must_use]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw a normal variate with the given mean and standard deviation.
+///
+/// # Panics
+/// Panics if `std_dev` is negative or non-finite.
+#[must_use]
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev.is_finite() && std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draw a normal variate clamped to `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `lo > hi` or `std_dev` is invalid.
+#[must_use]
+pub fn clamped_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "invalid clamp range [{lo}, {hi}]");
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+#[must_use]
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Pick an index from a discrete distribution given by (not necessarily
+/// normalized) non-negative weights.
+///
+/// # Panics
+/// Panics if `weights` is empty, contains a negative or non-finite weight, or
+/// sums to zero.
+#[must_use]
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical distribution requires at least one weight");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be non-negative and finite"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_roughly_zero_mean_and_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_respects_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 65.0, 15.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 65.0).abs() < 0.3, "mean {mean}");
+        assert!((var.sqrt() - 15.0).abs() < 0.3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn clamped_normal_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = clamped_normal(&mut rng, 50.0, 40.0, 0.0, 100.0);
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.7)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.7).abs() < 0.01, "freq {freq}");
+        // Degenerate probabilities.
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+        assert!(bernoulli(&mut rng, 2.0), "out-of-range p clamps to 1");
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [0.5, 0.3, 0.2];
+        let n = 100_000;
+        let mut counts = [0_usize; 3];
+        for _ in 0..n {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        for (c, w) in counts.iter().zip(&weights) {
+            let freq = *c as f64 / n as f64;
+            assert!((freq - w).abs() < 0.01, "freq {freq} vs weight {w}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let va: Vec<f64> = (0..10).map(|_| normal(&mut a, 0.0, 1.0)).collect();
+        let vb: Vec<f64> = (0..10).map(|_| normal(&mut b, 0.0, 1.0)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_dev_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_categorical_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = categorical(&mut rng, &[]);
+    }
+}

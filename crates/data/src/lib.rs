@@ -1,0 +1,43 @@
+//! # fair-data — dataset substrate for the DCA reproduction
+//!
+//! The paper evaluates DCA on two real-world datasets that cannot be
+//! redistributed:
+//!
+//! 1. **NYC public-school student records** (obtained through a NYC DOE data
+//!    request under IRB approval) — roughly 80,000 7th graders per academic
+//!    year with grades, state test scores, and demographic flags;
+//! 2. **COMPAS recidivism records** from Broward County, FL (the ProPublica
+//!    extract) — 7,214 defendants with decile risk scores, race, and two-year
+//!    recidivism outcomes.
+//!
+//! This crate provides *seeded synthetic generators* that reproduce the
+//! published marginals and the bias structure that matters to DCA (group
+//! frequencies, score shifts, attribute correlations), so every experiment in
+//! the paper can be regenerated without access to restricted data. It also
+//! provides plain-text CSV I/O and train/test splitting utilities so users can
+//! run the same pipelines on their own data.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`distributions`] | seeded samplers (normal via Box–Muller, Bernoulli, clamped helpers) |
+//! | [`school`] | the NYC-school-like cohort generator (Section V-A of the paper) |
+//! | [`compas`] | the COMPAS-like defendant generator |
+//! | [`csv`] | minimal CSV reading/writing for [`fair_core::Dataset`] |
+//! | [`split`] | train/test and per-district splitting |
+//! | [`stats`] | dataset summary statistics used by reports and examples |
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(clippy::all)]
+
+pub mod compas;
+pub mod csv;
+pub mod distributions;
+pub mod school;
+pub mod split;
+pub mod stats;
+
+pub use compas::{CompasConfig, CompasGenerator, RACE_GROUPS};
+pub use school::{SchoolConfig, SchoolGenerator, SCHOOL_DISTRICTS};
+pub use split::{holdout_split, stratified_split};
+pub use stats::DatasetSummary;

@@ -1,0 +1,189 @@
+//! Train/test splitting utilities.
+//!
+//! The paper trains DCA on one academic year and evaluates on the next. When
+//! only a single dataset is available, [`holdout_split`] produces a random
+//! train/test partition and [`stratified_split`] keeps the proportion of a
+//! chosen fairness group identical across the two parts (important when a
+//! group is rare, e.g. ELL students at 10%).
+
+use fair_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly split a dataset into `(train, test)` where the test part receives
+/// `test_fraction` of the objects.
+///
+/// # Errors
+/// Returns an error if `test_fraction` is outside `(0, 1)` or the dataset has
+/// fewer than two objects.
+pub fn holdout_split(
+    dataset: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(FairError::InvalidConfig {
+            reason: format!("test fraction must lie in (0, 1), got {test_fraction}"),
+        });
+    }
+    if dataset.len() < 2 {
+        return Err(FairError::InvalidConfig {
+            reason: "holdout split requires at least two objects".into(),
+        });
+    }
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let test_size = ((dataset.len() as f64 * test_fraction).round() as usize)
+        .clamp(1, dataset.len() - 1);
+    let test_set: std::collections::HashSet<usize> =
+        indices[..test_size].iter().copied().collect();
+
+    let mut position = 0;
+    let test = dataset.filter(|_| {
+        let keep = test_set.contains(&position);
+        position += 1;
+        keep
+    });
+    let mut position = 0;
+    let train = dataset.filter(|_| {
+        let keep = !test_set.contains(&position);
+        position += 1;
+        keep
+    });
+    Ok((train, test))
+}
+
+/// Split a dataset while preserving the proportion of the (binary) fairness
+/// group at `stratify_dim` in both parts.
+///
+/// # Errors
+/// Returns an error for invalid fractions, tiny datasets, or an out-of-range
+/// dimension.
+pub fn stratified_split(
+    dataset: &Dataset,
+    stratify_dim: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
+    if stratify_dim >= dataset.schema().num_fairness() {
+        return Err(FairError::InvalidConfig {
+            reason: format!("stratification dimension {stratify_dim} out of range"),
+        });
+    }
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(FairError::InvalidConfig {
+            reason: format!("test fraction must lie in (0, 1), got {test_fraction}"),
+        });
+    }
+    if dataset.len() < 2 {
+        return Err(FairError::InvalidConfig {
+            reason: "stratified split requires at least two objects".into(),
+        });
+    }
+
+    let mut members: Vec<usize> = Vec::new();
+    let mut others: Vec<usize> = Vec::new();
+    for (i, o) in dataset.objects().iter().enumerate() {
+        if o.in_group(stratify_dim) {
+            members.push(i);
+        } else {
+            others.push(i);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    members.shuffle(&mut rng);
+    others.shuffle(&mut rng);
+
+    let mut test_set = std::collections::HashSet::new();
+    for group in [&members, &others] {
+        let take = ((group.len() as f64 * test_fraction).round() as usize).min(group.len());
+        test_set.extend(group.iter().take(take).copied());
+    }
+
+    let mut position = 0;
+    let test = dataset.filter(|_| {
+        let keep = test_set.contains(&position);
+        position += 1;
+        keep
+    });
+    let mut position = 0;
+    let train = dataset.filter(|_| {
+        let keep = !test_set.contains(&position);
+        position += 1;
+        keep
+    });
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: u64, member_every: u64) -> Dataset {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let objects = (0..n)
+            .map(|i| {
+                DataObject::new_unchecked(
+                    i,
+                    vec![i as f64],
+                    vec![if i % member_every == 0 { 1.0 } else { 0.0 }],
+                    None,
+                )
+            })
+            .collect();
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    #[test]
+    fn holdout_partitions_the_dataset() {
+        let d = dataset(1000, 5);
+        let (train, test) = holdout_split(&d, 0.3, 1).unwrap();
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 300);
+        // Disjoint by id.
+        let train_ids: std::collections::HashSet<_> =
+            train.objects().iter().map(|o| o.id()).collect();
+        assert!(test.objects().iter().all(|o| !train_ids.contains(&o.id())));
+    }
+
+    #[test]
+    fn holdout_is_reproducible_and_seed_dependent() {
+        let d = dataset(200, 4);
+        let (a_train, _) = holdout_split(&d, 0.25, 9).unwrap();
+        let (b_train, _) = holdout_split(&d, 0.25, 9).unwrap();
+        let (c_train, _) = holdout_split(&d, 0.25, 10).unwrap();
+        let ids =
+            |ds: &Dataset| ds.objects().iter().map(|o| o.id()).collect::<Vec<_>>();
+        assert_eq!(ids(&a_train), ids(&b_train));
+        assert_ne!(ids(&a_train), ids(&c_train));
+    }
+
+    #[test]
+    fn holdout_validates_inputs() {
+        let d = dataset(100, 3);
+        assert!(holdout_split(&d, 0.0, 1).is_err());
+        assert!(holdout_split(&d, 1.0, 1).is_err());
+        let tiny = dataset(1, 1);
+        assert!(holdout_split(&tiny, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn stratified_split_preserves_group_proportion() {
+        let d = dataset(1000, 10); // 10% members
+        let (train, test) = stratified_split(&d, 0, 0.3, 7).unwrap();
+        assert_eq!(train.len() + test.len(), d.len());
+        let train_rate = train.group_frequency(0);
+        let test_rate = test.group_frequency(0);
+        assert!((train_rate - 0.1).abs() < 0.02, "train rate {train_rate}");
+        assert!((test_rate - 0.1).abs() < 0.02, "test rate {test_rate}");
+    }
+
+    #[test]
+    fn stratified_split_validates_dimension() {
+        let d = dataset(100, 4);
+        assert!(stratified_split(&d, 7, 0.3, 1).is_err());
+        assert!(stratified_split(&d, 0, 1.5, 1).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Dataset summary statistics.
+//!
+//! Used by the experiment harness and the examples to print the kind of
+//! population overview the paper gives in Section V-A (group frequencies, mean
+//! scores per group), and by tests to verify generator calibration.
+
+use fair_core::prelude::*;
+use std::fmt;
+
+/// Per-group score statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Fairness-attribute name.
+    pub name: String,
+    /// Fraction of objects belonging to the group (value >= 0.5).
+    pub frequency: f64,
+    /// Mean of each ranking feature over group members.
+    pub member_feature_means: Vec<f64>,
+    /// Mean of each ranking feature over non-members.
+    pub other_feature_means: Vec<f64>,
+}
+
+/// Summary of a dataset: size, feature statistics, per-group breakdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Number of objects.
+    pub count: usize,
+    /// Feature names.
+    pub feature_names: Vec<String>,
+    /// Mean of each ranking feature over the whole dataset.
+    pub feature_means: Vec<f64>,
+    /// Standard deviation of each ranking feature.
+    pub feature_stds: Vec<f64>,
+    /// Per-fairness-group statistics.
+    pub groups: Vec<GroupStats>,
+    /// Fraction of labelled objects with a positive label, if any labels are
+    /// present.
+    pub positive_label_rate: Option<f64>,
+}
+
+impl DatasetSummary {
+    /// Compute the summary of a dataset.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset.
+    pub fn compute(dataset: &Dataset) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        let schema = dataset.schema();
+        let n = dataset.len() as f64;
+        let nf = schema.num_features();
+
+        let mut means = vec![0.0; nf];
+        for o in dataset.objects() {
+            for (m, v) in means.iter_mut().zip(o.features()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; nf];
+        for o in dataset.objects() {
+            for ((s, v), m) in stds.iter_mut().zip(o.features()).zip(&means) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+
+        let mut groups = Vec::with_capacity(schema.num_fairness());
+        for (dim, attr) in schema.fairness().iter().enumerate() {
+            let mut member_sum = vec![0.0; nf];
+            let mut other_sum = vec![0.0; nf];
+            let mut member_count = 0_usize;
+            for o in dataset.objects() {
+                if o.in_group(dim) {
+                    member_count += 1;
+                    for (s, v) in member_sum.iter_mut().zip(o.features()) {
+                        *s += v;
+                    }
+                } else {
+                    for (s, v) in other_sum.iter_mut().zip(o.features()) {
+                        *s += v;
+                    }
+                }
+            }
+            let other_count = dataset.len() - member_count;
+            let member_means = if member_count == 0 {
+                vec![0.0; nf]
+            } else {
+                member_sum.iter().map(|s| s / member_count as f64).collect()
+            };
+            let other_means = if other_count == 0 {
+                vec![0.0; nf]
+            } else {
+                other_sum.iter().map(|s| s / other_count as f64).collect()
+            };
+            groups.push(GroupStats {
+                name: attr.name().to_string(),
+                frequency: member_count as f64 / n,
+                member_feature_means: member_means,
+                other_feature_means: other_means,
+            });
+        }
+
+        let labelled: Vec<bool> =
+            dataset.objects().iter().filter_map(|o| o.label()).collect();
+        let positive_label_rate = if labelled.is_empty() {
+            None
+        } else {
+            Some(labelled.iter().filter(|l| **l).count() as f64 / labelled.len() as f64)
+        };
+
+        Ok(Self {
+            count: dataset.len(),
+            feature_names: schema.features().to_vec(),
+            feature_means: means,
+            feature_stds: stds,
+            groups,
+            positive_label_rate,
+        })
+    }
+}
+
+impl fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "objects: {}", self.count)?;
+        for ((name, mean), std) in
+            self.feature_names.iter().zip(&self.feature_means).zip(&self.feature_stds)
+        {
+            writeln!(f, "  {name:<14} mean {mean:7.2}  std {std:6.2}")?;
+        }
+        for g in &self.groups {
+            writeln!(
+                f,
+                "  group {:<12} {:5.1}%  member feature means {:?}",
+                g.name,
+                g.frequency * 100.0,
+                g.member_feature_means.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            )?;
+        }
+        if let Some(rate) = self.positive_label_rate {
+            writeln!(f, "  positive-label rate: {:.1}%", rate * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        let schema = Schema::from_names(&["score"], &["g"], &[]).unwrap();
+        let objects = vec![
+            DataObject::new_unchecked(0, vec![10.0], vec![1.0], Some(true)),
+            DataObject::new_unchecked(1, vec![20.0], vec![0.0], Some(false)),
+            DataObject::new_unchecked(2, vec![30.0], vec![0.0], None),
+            DataObject::new_unchecked(3, vec![40.0], vec![1.0], Some(true)),
+        ];
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = DatasetSummary::compute(&dataset()).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.feature_means, vec![25.0]);
+        let expected_std = (125.0_f64).sqrt();
+        assert!((s.feature_stds[0] - expected_std).abs() < 1e-9);
+        assert_eq!(s.groups.len(), 1);
+        assert_eq!(s.groups[0].frequency, 0.5);
+        assert_eq!(s.groups[0].member_feature_means, vec![25.0]);
+        assert_eq!(s.groups[0].other_feature_means, vec![25.0]);
+        assert_eq!(s.positive_label_rate, Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn unlabelled_dataset_has_no_label_rate() {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let objects =
+            vec![DataObject::new_unchecked(0, vec![1.0], vec![0.0], None)];
+        let d = Dataset::new(schema, objects).unwrap();
+        let s = DatasetSummary::compute(&d).unwrap();
+        assert_eq!(s.positive_label_rate, None);
+        // Group with no members reports zeroed means.
+        assert_eq!(s.groups[0].member_feature_means, vec![0.0]);
+    }
+
+    #[test]
+    fn empty_dataset_is_error() {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        assert!(DatasetSummary::compute(&Dataset::empty(schema)).is_err());
+    }
+
+    #[test]
+    fn display_mentions_groups_and_features() {
+        let s = DatasetSummary::compute(&dataset()).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("objects: 4"));
+        assert!(text.contains("score"));
+        assert!(text.contains("group g"));
+        assert!(text.contains("positive-label rate"));
+    }
+}

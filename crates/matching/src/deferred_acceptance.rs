@@ -1,0 +1,313 @@
+//! Student-proposing deferred acceptance (Gale–Shapley) and stability
+//! checking.
+//!
+//! The algorithm is the one used (in essence) by the NYC high-school match:
+//! unassigned students propose to their most-preferred school that has not yet
+//! rejected them; each school tentatively keeps its best applicants up to
+//! capacity and rejects the rest; the process repeats until no student has a
+//! school left to propose to. The result is stable: no student and school
+//! prefer each other to their assigned outcome.
+
+use crate::preferences::{SchoolRanking, StudentPreferences};
+use std::collections::VecDeque;
+
+/// The outcome of a match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `assignment[s]` is the school student `s` was matched to, if any.
+    assignment: Vec<Option<usize>>,
+    /// `roster[c]` lists the students admitted to school `c`.
+    roster: Vec<Vec<usize>>,
+}
+
+impl Matching {
+    /// The school assigned to a student.
+    #[must_use]
+    pub fn school_of(&self, student: usize) -> Option<usize> {
+        self.assignment.get(student).copied().flatten()
+    }
+
+    /// The students admitted to a school.
+    #[must_use]
+    pub fn roster(&self, school: usize) -> &[usize] {
+        &self.roster[school]
+    }
+
+    /// All rosters (indexed by school).
+    #[must_use]
+    pub fn rosters(&self) -> &[Vec<usize>] {
+        &self.roster
+    }
+
+    /// The full per-student assignment vector.
+    #[must_use]
+    pub fn assignments(&self) -> &[Option<usize>] {
+        &self.assignment
+    }
+
+    /// Number of matched students.
+    #[must_use]
+    pub fn matched_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Number of unmatched students.
+    #[must_use]
+    pub fn unmatched_count(&self) -> usize {
+        self.assignment.len() - self.matched_count()
+    }
+}
+
+/// Run student-proposing deferred acceptance.
+///
+/// # Panics
+/// Panics if a preference list references a school index outside
+/// `schools.len()`.
+#[must_use]
+pub fn deferred_acceptance(
+    students: &[StudentPreferences],
+    schools: &[SchoolRanking],
+) -> Matching {
+    let num_students = students.len();
+    let num_schools = schools.len();
+    for (s, prefs) in students.iter().enumerate() {
+        for &c in prefs.schools() {
+            assert!(c < num_schools, "student {s} lists unknown school {c}");
+        }
+    }
+
+    // next_choice[s]: index into student s's preference list to propose to next.
+    let mut next_choice = vec![0_usize; num_students];
+    let mut assignment: Vec<Option<usize>> = vec![None; num_students];
+    // Tentative rosters, kept as plain vectors (capacities are small).
+    let mut roster: Vec<Vec<usize>> = vec![Vec::new(); num_schools];
+
+    let mut queue: VecDeque<usize> = (0..num_students).collect();
+    while let Some(student) = queue.pop_front() {
+        if assignment[student].is_some() {
+            continue;
+        }
+        let prefs = &students[student];
+        // Propose to the next school on the list, if any remain.
+        let Some(&school) = prefs.schools().get(next_choice[student]) else {
+            continue; // exhausted the list: stays unmatched
+        };
+        next_choice[student] += 1;
+
+        let ranking = &schools[school];
+        if !ranking.ranks(student) || ranking.capacity() == 0 {
+            // The school would never admit this student: immediate rejection.
+            queue.push_back(student);
+            continue;
+        }
+
+        if roster[school].len() < ranking.capacity() {
+            roster[school].push(student);
+            assignment[student] = Some(school);
+        } else {
+            // School is full: find its least-preferred tentative admit.
+            let (worst_idx, &worst_student) = roster[school]
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    if ranking.prefers(a, b) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                })
+                .expect("full roster is non-empty");
+            if ranking.prefers(student, worst_student) {
+                // Displace the worst admit.
+                roster[school][worst_idx] = student;
+                assignment[student] = Some(school);
+                assignment[worst_student] = None;
+                queue.push_back(worst_student);
+            } else {
+                queue.push_back(student);
+            }
+        }
+    }
+
+    // Present rosters in the school's preference order for determinism.
+    for (school, list) in roster.iter_mut().enumerate() {
+        list.sort_unstable_by(|&a, &b| {
+            if schools[school].prefers(a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+    }
+    Matching { assignment, roster }
+}
+
+/// Check stability: returns the list of blocking pairs `(student, school)` —
+/// pairs where the student prefers the school to their assignment *and* the
+/// school either has a free seat or prefers the student to one of its admits.
+/// An empty result means the matching is stable.
+#[must_use]
+pub fn is_stable(
+    students: &[StudentPreferences],
+    schools: &[SchoolRanking],
+    matching: &Matching,
+) -> Vec<(usize, usize)> {
+    let mut blocking = Vec::new();
+    for (student, prefs) in students.iter().enumerate() {
+        let current = matching.school_of(student);
+        for &school in prefs.schools() {
+            // Only schools strictly preferred to the current assignment can block.
+            if let Some(cur) = current {
+                if !prefs.prefers(school, cur) {
+                    continue;
+                }
+            }
+            let ranking = &schools[school];
+            if !ranking.ranks(student) {
+                continue;
+            }
+            let roster = matching.roster(school);
+            let has_free_seat = roster.len() < ranking.capacity();
+            let displaces_someone =
+                roster.iter().any(|&admitted| ranking.prefers(student, admitted));
+            if has_free_seat || displaces_someone {
+                blocking.push((student, school));
+            }
+        }
+    }
+    blocking
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic 3x3 example where every student lists every school.
+    fn three_by_three() -> (Vec<StudentPreferences>, Vec<SchoolRanking>) {
+        let students = vec![
+            StudentPreferences::new(vec![0, 1, 2]),
+            StudentPreferences::new(vec![0, 2, 1]),
+            StudentPreferences::new(vec![1, 0, 2]),
+        ];
+        let schools = vec![
+            SchoolRanking::new(vec![1, 0, 2], 1, 3),
+            SchoolRanking::new(vec![0, 2, 1], 1, 3),
+            SchoolRanking::new(vec![2, 1, 0], 1, 3),
+        ];
+        (students, schools)
+    }
+
+    #[test]
+    fn produces_a_stable_perfect_matching() {
+        let (students, schools) = three_by_three();
+        let m = deferred_acceptance(&students, &schools);
+        assert_eq!(m.matched_count(), 3);
+        assert_eq!(m.unmatched_count(), 0);
+        assert!(is_stable(&students, &schools, &m).is_empty());
+        // Every school has exactly one admit.
+        assert!(m.rosters().iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn student_optimality_of_the_proposing_side() {
+        // Student 0 and school 0 rank each other first: they must be matched.
+        let students = vec![
+            StudentPreferences::new(vec![0, 1]),
+            StudentPreferences::new(vec![0, 1]),
+        ];
+        let schools = vec![
+            SchoolRanking::new(vec![0, 1], 1, 2),
+            SchoolRanking::new(vec![0, 1], 1, 2),
+        ];
+        let m = deferred_acceptance(&students, &schools);
+        assert_eq!(m.school_of(0), Some(0));
+        assert_eq!(m.school_of(1), Some(1));
+    }
+
+    #[test]
+    fn capacities_are_respected() {
+        let students: Vec<_> =
+            (0..5).map(|_| StudentPreferences::new(vec![0])).collect();
+        let schools = vec![SchoolRanking::new(vec![4, 3, 2, 1, 0], 2, 5)];
+        let m = deferred_acceptance(&students, &schools);
+        assert_eq!(m.roster(0), &[4, 3]);
+        assert_eq!(m.unmatched_count(), 3);
+        assert!(is_stable(&students, &schools, &m).is_empty());
+    }
+
+    #[test]
+    fn unranked_students_are_never_admitted() {
+        let students = vec![
+            StudentPreferences::new(vec![0]),
+            StudentPreferences::new(vec![0]),
+        ];
+        // School only ranks student 1.
+        let schools = vec![SchoolRanking::new(vec![1], 2, 2)];
+        let m = deferred_acceptance(&students, &schools);
+        assert_eq!(m.school_of(0), None);
+        assert_eq!(m.school_of(1), Some(0));
+    }
+
+    #[test]
+    fn students_with_empty_lists_stay_unmatched() {
+        let students = vec![StudentPreferences::new(vec![]), StudentPreferences::new(vec![0])];
+        let schools = vec![SchoolRanking::new(vec![0, 1], 1, 2)];
+        let m = deferred_acceptance(&students, &schools);
+        assert_eq!(m.school_of(0), None);
+        assert_eq!(m.school_of(1), Some(0));
+    }
+
+    #[test]
+    fn displacement_chains_resolve() {
+        // One seat per school; student 2 displaces student 1 from school 0,
+        // pushing student 1 to school 1.
+        let students = vec![
+            StudentPreferences::new(vec![1, 0]),
+            StudentPreferences::new(vec![0, 1]),
+            StudentPreferences::new(vec![0, 1]),
+        ];
+        let schools = vec![
+            SchoolRanking::new(vec![2, 1, 0], 1, 3),
+            SchoolRanking::new(vec![0, 1, 2], 1, 3),
+        ];
+        let m = deferred_acceptance(&students, &schools);
+        assert_eq!(m.school_of(2), Some(0));
+        assert_eq!(m.school_of(0), Some(1));
+        assert_eq!(m.school_of(1), None, "one student is left over with 2 seats total... ");
+        assert!(is_stable(&students, &schools, &m).is_empty());
+    }
+
+    #[test]
+    fn stability_checker_detects_blocking_pairs() {
+        let (students, schools) = three_by_three();
+        // Deliberately unstable matching: student 0 is sent to its last
+        // choice even though school 0 would prefer it to its current admit.
+        let m = Matching {
+            assignment: vec![Some(2), Some(1), Some(0)],
+            roster: vec![vec![2], vec![1], vec![0]],
+        };
+        let blocking = is_stable(&students, &schools, &m);
+        assert!(!blocking.is_empty(), "student 0 and school 0 should block");
+        assert!(blocking.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn zero_capacity_schools_admit_nobody() {
+        let students = vec![StudentPreferences::new(vec![0, 1])];
+        let schools = vec![
+            SchoolRanking::new(vec![0], 0, 1),
+            SchoolRanking::new(vec![0], 1, 1),
+        ];
+        let m = deferred_acceptance(&students, &schools);
+        assert_eq!(m.school_of(0), Some(1));
+        assert!(m.roster(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown school")]
+    fn unknown_school_in_preferences_panics() {
+        let students = vec![StudentPreferences::new(vec![5])];
+        let schools = vec![SchoolRanking::new(vec![0], 1, 1)];
+        let _ = deferred_acceptance(&students, &schools);
+    }
+}

@@ -1,0 +1,199 @@
+//! Preference structures for the school-choice match.
+
+/// A student's ordered preference list over schools (most preferred first).
+/// Schools not listed are unacceptable to the student.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudentPreferences {
+    ranked_schools: Vec<usize>,
+}
+
+impl StudentPreferences {
+    /// Build a preference list (most preferred first).
+    ///
+    /// # Panics
+    /// Panics if the list contains duplicate schools.
+    #[must_use]
+    pub fn new(ranked_schools: Vec<usize>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for &s in &ranked_schools {
+            assert!(seen.insert(s), "duplicate school {s} in preference list");
+        }
+        Self { ranked_schools }
+    }
+
+    /// The ordered school list.
+    #[must_use]
+    pub fn schools(&self) -> &[usize] {
+        &self.ranked_schools
+    }
+
+    /// Number of schools the student finds acceptable.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranked_schools.len()
+    }
+
+    /// Whether the student listed no schools.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranked_schools.is_empty()
+    }
+
+    /// Preference rank of a school (0 = most preferred), or `None` if
+    /// unlisted.
+    #[must_use]
+    pub fn rank_of(&self, school: usize) -> Option<usize> {
+        self.ranked_schools.iter().position(|&s| s == school)
+    }
+
+    /// Whether the student prefers school `a` to school `b`. Unlisted schools
+    /// are always less preferred than listed ones.
+    #[must_use]
+    pub fn prefers(&self, a: usize, b: usize) -> bool {
+        match (self.rank_of(a), self.rank_of(b)) {
+            (Some(ra), Some(rb)) => ra < rb,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A school's admission ranking: students ordered from best to worst according
+/// to the school's rubric (possibly bonus-adjusted), plus the school's
+/// capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchoolRanking {
+    ranked_students: Vec<usize>,
+    /// Priority of each student: lower = better. `usize::MAX` = unranked
+    /// (never admitted).
+    priority: Vec<usize>,
+    capacity: usize,
+}
+
+impl SchoolRanking {
+    /// Build a ranking from the ordered student list (best first) and the
+    /// school's capacity. `num_students` is the total number of students in
+    /// the market (students missing from the list are never admitted).
+    ///
+    /// # Panics
+    /// Panics if the list contains duplicates or out-of-range students.
+    #[must_use]
+    pub fn new(ranked_students: Vec<usize>, capacity: usize, num_students: usize) -> Self {
+        let mut priority = vec![usize::MAX; num_students];
+        for (rank, &s) in ranked_students.iter().enumerate() {
+            assert!(s < num_students, "student {s} out of range");
+            assert_eq!(priority[s], usize::MAX, "duplicate student {s} in school ranking");
+            priority[s] = rank;
+        }
+        Self { ranked_students, priority, capacity }
+    }
+
+    /// Build a ranking from per-student scores (higher = better); every
+    /// student is ranked.
+    #[must_use]
+    pub fn from_scores(scores: &[f64], capacity: usize) -> Self {
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+        Self::new(order, capacity, scores.len())
+    }
+
+    /// The ranked student list (best first).
+    #[must_use]
+    pub fn students(&self) -> &[usize] {
+        &self.ranked_students
+    }
+
+    /// The school's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the school ranks (i.e. would ever admit) the student.
+    #[must_use]
+    pub fn ranks(&self, student: usize) -> bool {
+        self.priority.get(student).copied().unwrap_or(usize::MAX) != usize::MAX
+    }
+
+    /// Whether the school prefers student `a` to student `b`.
+    #[must_use]
+    pub fn prefers(&self, a: usize, b: usize) -> bool {
+        let pa = self.priority.get(a).copied().unwrap_or(usize::MAX);
+        let pb = self.priority.get(b).copied().unwrap_or(usize::MAX);
+        pa < pb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn student_preferences_rank_and_compare() {
+        let p = StudentPreferences::new(vec![2, 0, 1]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.rank_of(2), Some(0));
+        assert_eq!(p.rank_of(1), Some(2));
+        assert_eq!(p.rank_of(9), None);
+        assert!(p.prefers(2, 0));
+        assert!(!p.prefers(1, 0));
+        assert!(p.prefers(0, 9), "listed schools beat unlisted ones");
+        assert!(!p.prefers(9, 0));
+    }
+
+    #[test]
+    fn empty_preferences_are_allowed() {
+        let p = StudentPreferences::new(vec![]);
+        assert!(p.is_empty());
+        assert!(!p.prefers(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate school")]
+    fn duplicate_school_panics() {
+        let _ = StudentPreferences::new(vec![1, 1]);
+    }
+
+    #[test]
+    fn school_ranking_from_scores_orders_descending() {
+        let r = SchoolRanking::from_scores(&[10.0, 30.0, 20.0], 2);
+        assert_eq!(r.students(), &[1, 2, 0]);
+        assert_eq!(r.capacity(), 2);
+        assert!(r.prefers(1, 0));
+        assert!(r.ranks(0));
+    }
+
+    #[test]
+    fn partial_rankings_leave_students_unranked() {
+        let r = SchoolRanking::new(vec![2, 0], 1, 4);
+        assert!(r.ranks(2));
+        assert!(!r.ranks(3));
+        assert!(r.prefers(2, 0));
+        assert!(r.prefers(0, 3), "ranked students beat unranked ones");
+        assert!(!r.prefers(3, 1) || !r.ranks(1));
+    }
+
+    #[test]
+    fn ties_in_scores_break_by_index() {
+        let r = SchoolRanking::from_scores(&[5.0, 5.0, 5.0], 3);
+        assert_eq!(r.students(), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate student")]
+    fn duplicate_student_panics() {
+        let _ = SchoolRanking::new(vec![0, 0], 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_student_panics() {
+        let _ = SchoolRanking::new(vec![5], 1, 2);
+    }
+}

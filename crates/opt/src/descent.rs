@@ -1,0 +1,333 @@
+//! A generic projected descent loop over an arbitrary *direction oracle*.
+//!
+//! DCA cannot use gradient descent because the disparity-vs-bonus landscape is
+//! a non-differentiable step function (Section IV-A of the paper). Instead it
+//! moves the bonus vector against the (sampled) disparity vector, which acts as
+//! a pseudo-gradient. [`DescentDriver`] packages this pattern — oracle, stepper,
+//! projection, schedule — so that Core DCA, refined DCA and ablation variants
+//! can all be expressed as configurations of the same loop.
+
+use crate::projection::Projection;
+use crate::schedule::LearningRateSchedule;
+use crate::sgd::Sgd;
+use crate::vector::l2_norm;
+use crate::{Adam, Step};
+
+/// Anything that can produce a descent direction for the current parameters.
+///
+/// Core DCA's oracle draws a fresh random sample and returns the disparity of
+/// the top-k selection under the current bonus vector. The oracle is free to
+/// be stochastic; the driver never assumes two calls with identical parameters
+/// return identical directions.
+pub trait DirectionOracle {
+    /// Compute a direction for the given parameters. The driver moves
+    /// parameters *against* this direction.
+    fn direction(&mut self, params: &[f64]) -> Vec<f64>;
+
+    /// Dimensionality of the parameter/direction vectors.
+    fn dims(&self) -> usize;
+}
+
+impl<F> DirectionOracle for F
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    fn direction(&mut self, params: &[f64]) -> Vec<f64> {
+        self(params)
+    }
+
+    fn dims(&self) -> usize {
+        // Closures cannot know their dimensionality; the driver falls back to
+        // the parameter vector's length, which is what matters in practice.
+        0
+    }
+}
+
+/// Configuration of a [`DescentDriver`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DescentConfig {
+    /// Record the per-step trajectory (parameters and direction norms). Off by
+    /// default because experiment sweeps run thousands of descents.
+    pub record_trajectory: bool,
+    /// Stop early once the direction norm stays below this threshold for
+    /// `patience` consecutive steps. `None` disables early stopping (the paper
+    /// always runs the full schedule).
+    pub tolerance: Option<f64>,
+    /// Number of consecutive below-tolerance steps required to stop early.
+    pub patience: usize,
+}
+
+impl Default for DescentConfig {
+    fn default() -> Self {
+        Self { record_trajectory: false, tolerance: None, patience: 5 }
+    }
+}
+
+/// One recorded step of a descent trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Global step index.
+    pub step: usize,
+    /// Learning rate used at this step (for Adam phases this is the base rate).
+    pub learning_rate: f64,
+    /// L2 norm of the direction (disparity) observed at this step.
+    pub direction_norm: f64,
+    /// Parameters after the step and projection.
+    pub params: Vec<f64>,
+}
+
+/// Summary of a completed descent run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DescentReport {
+    /// Final parameter vector.
+    pub params: Vec<f64>,
+    /// Number of steps actually executed.
+    pub steps: usize,
+    /// Direction norm observed at the last step.
+    pub final_direction_norm: f64,
+    /// Whether the run stopped early due to the tolerance criterion.
+    pub converged_early: bool,
+    /// Optional per-step trajectory (empty unless requested).
+    pub trajectory: Vec<StepRecord>,
+}
+
+/// Projected descent driver combining an oracle, a stepper, a projection and a
+/// learning-rate schedule.
+#[derive(Debug)]
+pub struct DescentDriver<P: Projection> {
+    projection: P,
+    config: DescentConfig,
+}
+
+impl<P: Projection> DescentDriver<P> {
+    /// Create a driver with the given projection and configuration.
+    #[must_use]
+    pub fn new(projection: P, config: DescentConfig) -> Self {
+        Self { projection, config }
+    }
+
+    /// Run SGD-style descent following `schedule`, starting from `initial`.
+    ///
+    /// This is the skeleton of Core DCA: for each scheduled step, query the
+    /// oracle, move against the returned direction scaled by the scheduled
+    /// learning rate, then project.
+    pub fn run_scheduled<O, S>(
+        &self,
+        oracle: &mut O,
+        schedule: &S,
+        initial: Vec<f64>,
+    ) -> DescentReport
+    where
+        O: DirectionOracle,
+        S: LearningRateSchedule,
+    {
+        let total = schedule
+            .total_steps()
+            .expect("run_scheduled requires a bounded schedule");
+        let mut params = initial;
+        let mut sgd = Sgd::with_learning_rate(params.len(), schedule.learning_rate(0));
+        let mut trajectory = Vec::new();
+        let mut last_norm = f64::INFINITY;
+        let mut below = 0_usize;
+        let mut executed = 0_usize;
+        let mut converged_early = false;
+
+        for step in 0..total {
+            let lr = schedule.learning_rate(step);
+            sgd.set_learning_rate(lr);
+            let direction = oracle.direction(&params);
+            assert_eq!(direction.len(), params.len(), "oracle direction dimensionality mismatch");
+            sgd.step(&mut params, &direction);
+            self.projection.project(&mut params);
+            last_norm = l2_norm(&direction);
+            executed = step + 1;
+            if self.config.record_trajectory {
+                trajectory.push(StepRecord {
+                    step,
+                    learning_rate: lr,
+                    direction_norm: last_norm,
+                    params: params.clone(),
+                });
+            }
+            if let Some(tol) = self.config.tolerance {
+                if last_norm < tol {
+                    below += 1;
+                    if below >= self.config.patience {
+                        converged_early = true;
+                        break;
+                    }
+                } else {
+                    below = 0;
+                }
+            }
+        }
+
+        DescentReport {
+            params,
+            steps: executed,
+            final_direction_norm: last_norm,
+            converged_early,
+            trajectory,
+        }
+    }
+
+    /// Run Adam-driven descent for `steps` iterations, starting from `initial`.
+    ///
+    /// This is the skeleton of the DCA refinement step (Algorithm 2): every
+    /// iteration queries the oracle, performs one Adam step, projects, and
+    /// yields the projected iterate to `on_iterate` (Algorithm 2 accumulates
+    /// these into a rolling average).
+    pub fn run_adam<O, F>(
+        &self,
+        oracle: &mut O,
+        adam: &mut Adam,
+        steps: usize,
+        initial: Vec<f64>,
+        mut on_iterate: F,
+    ) -> DescentReport
+    where
+        O: DirectionOracle,
+        F: FnMut(&[f64]),
+    {
+        let mut params = initial;
+        assert_eq!(adam.dims(), params.len(), "Adam dimensionality mismatch");
+        let mut trajectory = Vec::new();
+        let mut last_norm = f64::INFINITY;
+        let mut below = 0_usize;
+        let mut executed = 0_usize;
+        let mut converged_early = false;
+
+        for step in 0..steps {
+            let direction = oracle.direction(&params);
+            assert_eq!(direction.len(), params.len(), "oracle direction dimensionality mismatch");
+            adam.step(&mut params, &direction);
+            self.projection.project(&mut params);
+            on_iterate(&params);
+            last_norm = l2_norm(&direction);
+            executed = step + 1;
+            if self.config.record_trajectory {
+                trajectory.push(StepRecord {
+                    step,
+                    learning_rate: adam.config().learning_rate,
+                    direction_norm: last_norm,
+                    params: params.clone(),
+                });
+            }
+            if let Some(tol) = self.config.tolerance {
+                if last_norm < tol {
+                    below += 1;
+                    if below >= self.config.patience {
+                        converged_early = true;
+                        break;
+                    }
+                } else {
+                    below = 0;
+                }
+            }
+        }
+
+        DescentReport {
+            params,
+            steps: executed,
+            final_direction_norm: last_norm,
+            converged_early,
+            trajectory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::{BoxProjection, NonNegativeProjection};
+    use crate::schedule::LadderSchedule;
+    use crate::AdamConfig;
+
+    /// Oracle whose direction is the gradient of ||x - target||^2 / 2, i.e.
+    /// x - target. Descent should converge to the (projected) target.
+    struct QuadraticOracle {
+        target: Vec<f64>,
+    }
+
+    impl DirectionOracle for QuadraticOracle {
+        fn direction(&mut self, params: &[f64]) -> Vec<f64> {
+            params.iter().zip(&self.target).map(|(p, t)| p - t).collect()
+        }
+        fn dims(&self) -> usize {
+            self.target.len()
+        }
+    }
+
+    #[test]
+    fn scheduled_descent_reaches_target() {
+        let driver = DescentDriver::new(NonNegativeProjection, DescentConfig::default());
+        let mut oracle = QuadraticOracle { target: vec![2.0, 5.0] };
+        let schedule = LadderSchedule::new(vec![0.5, 0.1, 0.01], 200);
+        let report = driver.run_scheduled(&mut oracle, &schedule, vec![0.0, 0.0]);
+        assert!((report.params[0] - 2.0).abs() < 1e-2, "{:?}", report.params);
+        assert!((report.params[1] - 5.0).abs() < 1e-2, "{:?}", report.params);
+        assert_eq!(report.steps, 600);
+    }
+
+    #[test]
+    fn projection_keeps_parameters_feasible() {
+        let driver = DescentDriver::new(NonNegativeProjection, DescentConfig::default());
+        // Target is negative, so the projected optimum is 0.
+        let mut oracle = QuadraticOracle { target: vec![-3.0] };
+        let schedule = LadderSchedule::new(vec![0.5], 100);
+        let report = driver.run_scheduled(&mut oracle, &schedule, vec![1.0]);
+        assert_eq!(report.params[0], 0.0);
+    }
+
+    #[test]
+    fn box_projection_caps_the_result() {
+        let driver = DescentDriver::new(BoxProjection::zero_to(1, 2.0), DescentConfig::default());
+        let mut oracle = QuadraticOracle { target: vec![10.0] };
+        let schedule = LadderSchedule::new(vec![0.5], 200);
+        let report = driver.run_scheduled(&mut oracle, &schedule, vec![0.0]);
+        assert_eq!(report.params[0], 2.0);
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let config = DescentConfig { tolerance: Some(1e-6), patience: 3, ..Default::default() };
+        let driver = DescentDriver::new(NonNegativeProjection, config);
+        // Direction is always exactly zero: should stop after `patience` steps.
+        let mut oracle = |_params: &[f64]| vec![0.0, 0.0];
+        let schedule = LadderSchedule::new(vec![1.0], 1000);
+        let report = driver.run_scheduled(&mut oracle, &schedule, vec![1.0, 1.0]);
+        assert!(report.converged_early);
+        assert_eq!(report.steps, 3);
+    }
+
+    #[test]
+    fn trajectory_is_recorded_when_requested() {
+        let config = DescentConfig { record_trajectory: true, ..Default::default() };
+        let driver = DescentDriver::new(NonNegativeProjection, config);
+        let mut oracle = QuadraticOracle { target: vec![1.0] };
+        let schedule = LadderSchedule::new(vec![0.1], 5);
+        let report = driver.run_scheduled(&mut oracle, &schedule, vec![0.0]);
+        assert_eq!(report.trajectory.len(), 5);
+        assert!(report.trajectory.windows(2).all(|w| w[0].step < w[1].step));
+    }
+
+    #[test]
+    fn adam_descent_converges_and_yields_iterates() {
+        let driver = DescentDriver::new(NonNegativeProjection, DescentConfig::default());
+        let mut oracle = QuadraticOracle { target: vec![4.0] };
+        let mut adam = Adam::new(1, AdamConfig { learning_rate: 0.05, ..Default::default() });
+        let mut seen = 0_usize;
+        let report = driver.run_adam(&mut oracle, &mut adam, 3000, vec![0.0], |_p| seen += 1);
+        assert_eq!(seen, 3000);
+        assert!((report.params[0] - 4.0).abs() < 1e-2, "{:?}", report.params);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded schedule")]
+    fn unbounded_schedule_rejected() {
+        let driver = DescentDriver::new(NonNegativeProjection, DescentConfig::default());
+        let mut oracle = QuadraticOracle { target: vec![0.0] };
+        let schedule = crate::schedule::ConstantSchedule::new(0.1, None);
+        let _ = driver.run_scheduled(&mut oracle, &schedule, vec![0.0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Projections onto feasible sets.
+//!
+//! DCA constrains bonus points to be non-negative ("We require bonus points to
+//! be positive… Negative bonus points would be perceived as a penalty") and,
+//! optionally, bounded above by a stakeholder-chosen maximum (Section VI-A4,
+//! "Maximum Bonus Limits"). After every descent step the bonus vector is
+//! projected back onto this box.
+
+/// A projection maps a parameter vector onto a feasible set, in place.
+pub trait Projection {
+    /// Project `params` onto the feasible set.
+    fn project(&self, params: &mut [f64]);
+
+    /// Whether `params` already lies in the feasible set (up to `tol`).
+    fn is_feasible(&self, params: &[f64], tol: f64) -> bool {
+        let mut copy = params.to_vec();
+        self.project(&mut copy);
+        params
+            .iter()
+            .zip(&copy)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Clamp every coordinate at zero: `b_i <- max(b_i, 0)`. This is the exact
+/// inner loop of Algorithm 1 (`for D in B { D <- max(D, 0) }`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NonNegativeProjection;
+
+impl Projection for NonNegativeProjection {
+    fn project(&self, params: &mut [f64]) {
+        for p in params.iter_mut() {
+            if *p < 0.0 {
+                *p = 0.0;
+            }
+        }
+    }
+}
+
+/// Per-dimension box constraints `lo_i <= b_i <= hi_i`.
+///
+/// Used for the maximum-bonus experiments of Figure 5, where "the number of
+/// bonus points can be capped at every refinement step".
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxProjection {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl BoxProjection {
+    /// Build a box from per-dimension lower and upper bounds.
+    ///
+    /// # Panics
+    /// Panics if the bounds have different lengths, are empty, or if any lower
+    /// bound exceeds its upper bound.
+    #[must_use]
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        assert_eq!(lower.len(), upper.len(), "bound length mismatch");
+        assert!(!lower.is_empty(), "box projection requires at least one dimension");
+        for (i, (lo, hi)) in lower.iter().zip(&upper).enumerate() {
+            assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi} in dimension {i}");
+        }
+        Self { lower, upper }
+    }
+
+    /// The box `[0, max]` in every one of `dims` dimensions — the paper's
+    /// "never give negative bonuses, cap at a maximum" setting.
+    #[must_use]
+    pub fn zero_to(dims: usize, max: f64) -> Self {
+        assert!(max >= 0.0, "maximum bonus must be non-negative");
+        Self::new(vec![0.0; dims], vec![max; dims])
+    }
+
+    /// The box `[0, +inf)` in every one of `dims` dimensions (equivalent to
+    /// [`NonNegativeProjection`] but usable where a `BoxProjection` is expected).
+    #[must_use]
+    pub fn non_negative(dims: usize) -> Self {
+        Self::new(vec![0.0; dims], vec![f64::INFINITY; dims])
+    }
+
+    /// Per-dimension lower bounds.
+    #[must_use]
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Per-dimension upper bounds.
+    #[must_use]
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.lower.len()
+    }
+}
+
+impl Projection for BoxProjection {
+    fn project(&self, params: &mut [f64]) {
+        assert_eq!(params.len(), self.lower.len(), "dimensionality mismatch");
+        for ((p, lo), hi) in params.iter_mut().zip(&self.lower).zip(&self.upper) {
+            *p = p.clamp(*lo, *hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_negative_clamps_only_negatives() {
+        let mut v = vec![-1.0, 0.0, 2.5];
+        NonNegativeProjection.project(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn non_negative_feasibility() {
+        assert!(NonNegativeProjection.is_feasible(&[0.0, 1.0], 1e-12));
+        assert!(!NonNegativeProjection.is_feasible(&[-0.5, 1.0], 1e-12));
+    }
+
+    #[test]
+    fn box_projection_clamps_both_sides() {
+        let b = BoxProjection::zero_to(3, 20.0);
+        let mut v = vec![-5.0, 10.0, 25.0];
+        b.project(&mut v);
+        assert_eq!(v, vec![0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn box_projection_with_per_dimension_bounds() {
+        let b = BoxProjection::new(vec![1.0, 0.0], vec![2.0, 5.0]);
+        let mut v = vec![0.0, 10.0];
+        b.project(&mut v);
+        assert_eq!(v, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn unbounded_box_behaves_like_non_negative() {
+        let b = BoxProjection::non_negative(2);
+        let mut v = vec![-1.0, 1e12];
+        b.project(&mut v);
+        assert_eq!(v, vec![0.0, 1e12]);
+    }
+
+    #[test]
+    fn box_feasibility_checks_bounds() {
+        let b = BoxProjection::zero_to(1, 10.0);
+        assert!(b.is_feasible(&[5.0], 1e-9));
+        assert!(!b.is_feasible(&[11.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn inverted_bounds_rejected() {
+        let _ = BoxProjection::new(vec![2.0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_bounds_rejected() {
+        let _ = BoxProjection::new(vec![0.0, 0.0], vec![1.0]);
+    }
+}

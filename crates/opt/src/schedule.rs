@@ -1,0 +1,240 @@
+//! Learning-rate schedules.
+//!
+//! Core DCA "loops through decreasing learning rates (step sizes)" — the paper
+//! uses the ladder `[1.0, 0.1]` with 100 rounds each before handing over to
+//! Adam. [`LadderSchedule`] models exactly that; [`ExponentialDecay`] and
+//! [`ConstantSchedule`] are provided for ablation experiments.
+
+/// A learning-rate schedule maps a global step index to a step size, and knows
+/// its total length (if bounded).
+pub trait LearningRateSchedule {
+    /// Learning rate to use at global step `step` (0-based).
+    ///
+    /// Implementations must return a positive, finite value for every
+    /// `step < total_steps()` (or every step, when unbounded).
+    fn learning_rate(&self, step: usize) -> f64;
+
+    /// Total number of steps this schedule prescribes, or `None` when the
+    /// schedule is unbounded (e.g. a constant rate).
+    fn total_steps(&self) -> Option<usize>;
+
+    /// Iterate over all `(step, learning_rate)` pairs of a bounded schedule.
+    fn iter(&self) -> ScheduleIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        ScheduleIter { schedule: self, step: 0 }
+    }
+}
+
+/// Iterator over a bounded schedule's `(step, learning_rate)` pairs.
+#[derive(Debug)]
+pub struct ScheduleIter<'a, S: LearningRateSchedule> {
+    schedule: &'a S,
+    step: usize,
+}
+
+impl<S: LearningRateSchedule> Iterator for ScheduleIter<'_, S> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.schedule.total_steps() {
+            Some(total) if self.step >= total => None,
+            _ => {
+                let item = (self.step, self.schedule.learning_rate(self.step));
+                self.step += 1;
+                Some(item)
+            }
+        }
+    }
+}
+
+/// The decreasing-ladder schedule of Core DCA: a sorted list of learning rates,
+/// each applied for a fixed number of iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderSchedule {
+    rates: Vec<f64>,
+    steps_per_rate: usize,
+}
+
+impl LadderSchedule {
+    /// Build a ladder from `rates` (applied in the given order) with
+    /// `steps_per_rate` iterations each.
+    ///
+    /// # Panics
+    /// Panics if `rates` is empty, contains a non-positive or non-finite rate,
+    /// or if `steps_per_rate == 0`.
+    #[must_use]
+    pub fn new(rates: Vec<f64>, steps_per_rate: usize) -> Self {
+        assert!(!rates.is_empty(), "ladder schedule requires at least one rate");
+        assert!(steps_per_rate > 0, "steps_per_rate must be positive");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r > 0.0),
+            "all learning rates must be positive and finite"
+        );
+        Self { rates, steps_per_rate }
+    }
+
+    /// The ladder used in the paper's experiments: learning rates 1.0 then 0.1,
+    /// 100 rounds each (Section V-B).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(vec![1.0, 0.1], 100)
+    }
+
+    /// The list of rates in application order.
+    #[must_use]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of iterations spent on each rate.
+    #[must_use]
+    pub fn steps_per_rate(&self) -> usize {
+        self.steps_per_rate
+    }
+}
+
+impl LearningRateSchedule for LadderSchedule {
+    fn learning_rate(&self, step: usize) -> f64 {
+        let idx = (step / self.steps_per_rate).min(self.rates.len() - 1);
+        self.rates[idx]
+    }
+
+    fn total_steps(&self) -> Option<usize> {
+        Some(self.rates.len() * self.steps_per_rate)
+    }
+}
+
+/// A constant learning rate for `total` steps (unbounded when `total` is `None`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantSchedule {
+    rate: f64,
+    total: Option<usize>,
+}
+
+impl ConstantSchedule {
+    /// Constant `rate` for `total` steps.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not positive and finite.
+    #[must_use]
+    pub fn new(rate: f64, total: Option<usize>) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "learning rate must be positive and finite");
+        Self { rate, total }
+    }
+}
+
+impl LearningRateSchedule for ConstantSchedule {
+    fn learning_rate(&self, _step: usize) -> f64 {
+        self.rate
+    }
+    fn total_steps(&self) -> Option<usize> {
+        self.total
+    }
+}
+
+/// Exponentially decaying learning rate: `initial * decay^step`, floored at
+/// `min_rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialDecay {
+    initial: f64,
+    decay: f64,
+    min_rate: f64,
+    total: usize,
+}
+
+impl ExponentialDecay {
+    /// Build an exponential-decay schedule.
+    ///
+    /// # Panics
+    /// Panics on non-positive/non-finite `initial` or `min_rate`, a `decay`
+    /// outside `(0, 1]`, or `total == 0`.
+    #[must_use]
+    pub fn new(initial: f64, decay: f64, min_rate: f64, total: usize) -> Self {
+        assert!(initial.is_finite() && initial > 0.0, "initial rate must be positive");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must lie in (0, 1]");
+        assert!(min_rate.is_finite() && min_rate > 0.0, "min rate must be positive");
+        assert!(total > 0, "total steps must be positive");
+        Self { initial, decay, min_rate, total }
+    }
+}
+
+impl LearningRateSchedule for ExponentialDecay {
+    fn learning_rate(&self, step: usize) -> f64 {
+        (self.initial * self.decay.powi(step as i32)).max(self.min_rate)
+    }
+    fn total_steps(&self) -> Option<usize> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_applies_each_rate_for_fixed_steps() {
+        let s = LadderSchedule::new(vec![1.0, 0.1, 0.01], 10);
+        assert_eq!(s.learning_rate(0), 1.0);
+        assert_eq!(s.learning_rate(9), 1.0);
+        assert_eq!(s.learning_rate(10), 0.1);
+        assert_eq!(s.learning_rate(19), 0.1);
+        assert_eq!(s.learning_rate(20), 0.01);
+        assert_eq!(s.total_steps(), Some(30));
+    }
+
+    #[test]
+    fn ladder_clamps_past_the_end() {
+        let s = LadderSchedule::new(vec![1.0, 0.5], 5);
+        assert_eq!(s.learning_rate(1000), 0.5);
+    }
+
+    #[test]
+    fn paper_default_matches_section_v() {
+        let s = LadderSchedule::paper_default();
+        assert_eq!(s.rates(), &[1.0, 0.1]);
+        assert_eq!(s.steps_per_rate(), 100);
+        assert_eq!(s.total_steps(), Some(200));
+    }
+
+    #[test]
+    fn iterator_covers_all_steps_in_order() {
+        let s = LadderSchedule::new(vec![2.0, 1.0], 2);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![(0, 2.0), (1, 2.0), (2, 1.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn constant_schedule_is_constant() {
+        let s = ConstantSchedule::new(0.3, Some(4));
+        assert_eq!(s.learning_rate(0), 0.3);
+        assert_eq!(s.learning_rate(3), 0.3);
+        assert_eq!(s.iter().count(), 4);
+    }
+
+    #[test]
+    fn unbounded_constant_schedule_reports_none() {
+        let s = ConstantSchedule::new(0.3, None);
+        assert_eq!(s.total_steps(), None);
+    }
+
+    #[test]
+    fn exponential_decay_decreases_and_floors() {
+        let s = ExponentialDecay::new(1.0, 0.5, 0.1, 10);
+        assert!(s.learning_rate(0) > s.learning_rate(1));
+        assert_eq!(s.learning_rate(9), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_ladder_rejected() {
+        let _ = LadderSchedule::new(vec![], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn negative_rate_rejected() {
+        let _ = LadderSchedule::new(vec![1.0, -0.1], 10);
+    }
+}

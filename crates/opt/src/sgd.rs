@@ -1,0 +1,169 @@
+//! Plain (projected) stochastic "gradient" descent with an optional momentum
+//! term.
+//!
+//! Core DCA (Algorithm 1 of the paper) is exactly an SGD update applied to the
+//! sampled disparity vector: `B <- B - L * D_k`, followed by clamping at zero.
+//! [`Sgd`] implements the update; the clamping lives in
+//! [`crate::projection`] so the same projection can be shared with [`crate::Adam`].
+
+use crate::Step;
+
+/// Hyper-parameters for [`Sgd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Step size `L` in the paper's notation.
+    pub learning_rate: f64,
+    /// Classical momentum coefficient; `0.0` reproduces the paper exactly.
+    pub momentum: f64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { learning_rate: 1.0, momentum: 0.0 }
+    }
+}
+
+/// Stochastic descent stepper used by Core DCA.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<f64>,
+    steps: u64,
+}
+
+impl Sgd {
+    /// Create an SGD stepper for `dims` parameters.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`, if the learning rate is not positive and finite,
+    /// or if the momentum lies outside `[0, 1)`.
+    #[must_use]
+    pub fn new(dims: usize, config: SgdConfig) -> Self {
+        assert!(dims > 0, "Sgd requires at least one parameter");
+        assert!(
+            config.learning_rate.is_finite() && config.learning_rate > 0.0,
+            "learning rate must be positive and finite"
+        );
+        assert!((0.0..1.0).contains(&config.momentum), "momentum must lie in [0, 1)");
+        Self { config, velocity: vec![0.0; dims], steps: 0 }
+    }
+
+    /// SGD with the given learning rate and no momentum — the exact update
+    /// rule of Core DCA.
+    #[must_use]
+    pub fn with_learning_rate(dims: usize, learning_rate: f64) -> Self {
+        Self::new(dims, SgdConfig { learning_rate, momentum: 0.0 })
+    }
+
+    /// Change the learning rate in place. Used by the ladder schedule of Core
+    /// DCA, which sweeps a decreasing list of learning rates while keeping the
+    /// same parameter vector.
+    pub fn set_learning_rate(&mut self, learning_rate: f64) {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive and finite"
+        );
+        self.config.learning_rate = learning_rate;
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        self.config.learning_rate
+    }
+
+    /// Number of steps taken since construction or the last reset.
+    #[must_use]
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl Step for Sgd {
+    fn step(&mut self, params: &mut [f64], direction: &[f64]) {
+        assert_eq!(params.len(), self.velocity.len(), "parameter dimensionality mismatch");
+        assert_eq!(direction.len(), self.velocity.len(), "direction dimensionality mismatch");
+        self.steps += 1;
+        let SgdConfig { learning_rate, momentum } = self.config;
+        for i in 0..params.len() {
+            self.velocity[i] = momentum * self.velocity[i] + learning_rate * direction[i];
+            params[i] -= self.velocity[i];
+        }
+    }
+
+    fn dims(&self) -> usize {
+        self.velocity.len()
+    }
+
+    fn reset(&mut self) {
+        self.velocity.iter_mut().for_each(|x| *x = 0.0);
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_core_dca_update_rule() {
+        // B <- B - L * D with L = 0.2, D = (0.1, -0.05)
+        let mut sgd = Sgd::with_learning_rate(2, 0.2);
+        let mut b = vec![1.0, 2.0];
+        sgd.step(&mut b, &[0.1, -0.05]);
+        assert!((b[0] - (1.0 - 0.2 * 0.1)).abs() < 1e-12);
+        assert!((b[1] - (2.0 + 0.2 * 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut sgd = Sgd::with_learning_rate(1, 0.1);
+        let mut x = vec![10.0];
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 4.0)];
+            sgd.step(&mut x, &g);
+        }
+        assert!((x[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut plain = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 0.0 });
+        let mut heavy = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 0.9 });
+        let mut a = vec![0.0];
+        let mut b = vec![0.0];
+        for _ in 0..10 {
+            plain.step(&mut a, &[1.0]);
+            heavy.step(&mut b, &[1.0]);
+        }
+        assert!(b[0] < a[0], "momentum should have travelled further: {b:?} vs {a:?}");
+    }
+
+    #[test]
+    fn set_learning_rate_changes_step_size() {
+        let mut sgd = Sgd::with_learning_rate(1, 1.0);
+        sgd.set_learning_rate(0.5);
+        assert_eq!(sgd.learning_rate(), 0.5);
+        let mut x = vec![0.0];
+        sgd.step(&mut x, &[1.0]);
+        assert!((x[0] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_velocity_and_counter() {
+        let mut sgd = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 0.9 });
+        let mut x = vec![0.0];
+        sgd.step(&mut x, &[1.0]);
+        sgd.reset();
+        assert_eq!(sgd.steps_taken(), 0);
+        let mut y = vec![0.0];
+        sgd.step(&mut y, &[1.0]);
+        assert!((y[0] + 0.1).abs() < 1e-12, "velocity must start from zero after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_rejected() {
+        let _ = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 1.5 });
+    }
+}

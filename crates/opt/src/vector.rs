@@ -1,0 +1,184 @@
+//! Small dense-vector helpers shared by the optimizers and by `fair-core`.
+//!
+//! The vectors manipulated by DCA are tiny (one entry per fairness attribute,
+//! typically 1–10 dimensions), so everything here operates on plain `&[f64]`
+//! slices and `Vec<f64>` values — no linear-algebra dependency is warranted.
+
+/// Euclidean (L2) norm of a vector.
+///
+/// ```
+/// assert!((fair_opt::l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// L1 (Manhattan) norm of a vector.
+#[must_use]
+pub fn l1_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// L∞ (maximum-magnitude) norm of a vector.
+#[must_use]
+pub fn linf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+}
+
+/// In-place element-wise operations on `f64` vectors.
+///
+/// Implemented for `Vec<f64>` and `[f64]`; all methods panic on length
+/// mismatch because a mismatch always indicates a programming error (the
+/// dimensionality of a bonus vector is fixed by the fairness schema).
+pub trait VectorOps {
+    /// `self += other`
+    fn add_assign_vec(&mut self, other: &[f64]);
+    /// `self -= other`
+    fn sub_assign_vec(&mut self, other: &[f64]);
+    /// `self *= scalar`
+    fn scale_assign(&mut self, scalar: f64);
+    /// `self += scalar * other` (axpy)
+    fn axpy_assign(&mut self, scalar: f64, other: &[f64]);
+    /// Dot product with another vector.
+    fn dot(&self, other: &[f64]) -> f64;
+}
+
+impl VectorOps for [f64] {
+    fn add_assign_vec(&mut self, other: &[f64]) {
+        assert_eq!(self.len(), other.len(), "vector length mismatch");
+        for (a, b) in self.iter_mut().zip(other) {
+            *a += b;
+        }
+    }
+
+    fn sub_assign_vec(&mut self, other: &[f64]) {
+        assert_eq!(self.len(), other.len(), "vector length mismatch");
+        for (a, b) in self.iter_mut().zip(other) {
+            *a -= b;
+        }
+    }
+
+    fn scale_assign(&mut self, scalar: f64) {
+        for a in self.iter_mut() {
+            *a *= scalar;
+        }
+    }
+
+    fn axpy_assign(&mut self, scalar: f64, other: &[f64]) {
+        assert_eq!(self.len(), other.len(), "vector length mismatch");
+        for (a, b) in self.iter_mut().zip(other) {
+            *a += scalar * b;
+        }
+    }
+
+    fn dot(&self, other: &[f64]) -> f64 {
+        assert_eq!(self.len(), other.len(), "vector length mismatch");
+        self.iter().zip(other).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl VectorOps for Vec<f64> {
+    fn add_assign_vec(&mut self, other: &[f64]) {
+        self.as_mut_slice().add_assign_vec(other);
+    }
+    fn sub_assign_vec(&mut self, other: &[f64]) {
+        self.as_mut_slice().sub_assign_vec(other);
+    }
+    fn scale_assign(&mut self, scalar: f64) {
+        self.as_mut_slice().scale_assign(scalar);
+    }
+    fn axpy_assign(&mut self, scalar: f64, other: &[f64]) {
+        self.as_mut_slice().axpy_assign(scalar, other);
+    }
+    fn dot(&self, other: &[f64]) -> f64 {
+        self.as_slice().dot(other)
+    }
+}
+
+/// Element-wise difference `a - b` returned as a new vector.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[must_use]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise mean of a set of equally sized vectors.
+///
+/// Returns `None` when `vectors` is empty.
+#[must_use]
+pub fn mean(vectors: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let first = vectors.first()?;
+    let mut acc = vec![0.0; first.len()];
+    for v in vectors {
+        acc.add_assign_vec(v);
+    }
+    acc.scale_assign(1.0 / vectors.len() as f64);
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_norm_of_zero_vector_is_zero() {
+        assert_eq!(l2_norm(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_matches_pythagoras() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_and_linf_norms() {
+        let v = [1.0, -2.0, 3.0];
+        assert!((l1_norm(&v) - 6.0).abs() < 1e-12);
+        assert!((linf_norm(&v) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_sub_assign() {
+        let mut a = vec![1.0, 2.0];
+        a.add_assign_vec(&[3.0, 4.0]);
+        assert_eq!(a, vec![4.0, 6.0]);
+        a.sub_assign_vec(&[1.0, 1.0]);
+        assert_eq!(a, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn scale_and_axpy() {
+        let mut a = vec![1.0, 2.0];
+        a.scale_assign(2.0);
+        assert_eq!(a, vec![2.0, 4.0]);
+        a.axpy_assign(0.5, &[2.0, 2.0]);
+        assert_eq!(a, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert!((vec![1.0, 2.0, 3.0].dot(&[4.0, 5.0, 6.0]) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let vs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(mean(&vs), Some(vec![2.0, 3.0]));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_length_mismatch() {
+        let _ = vec![1.0].dot(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_returns_difference() {
+        assert_eq!(sub(&[3.0, 1.0], &[1.0, 1.0]), vec![2.0, 0.0]);
+    }
+}

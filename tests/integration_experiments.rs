@@ -1,0 +1,46 @@
+//! Smoke tests over the experiment harness: the headline experiments run at
+//! the tiny scale and reproduce the qualitative shape the paper reports.
+
+use fair_bench::datasets::ExperimentScale;
+use fair_bench::experiments::{baselines_cmp, compas, table1, utility};
+use fair_core::metrics::norm;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale { dca_iterations: 60, ..ExperimentScale::tiny() }
+}
+
+#[test]
+fn table_one_shape_holds_end_to_end() {
+    let result = table1::run_table1(&scale()).unwrap();
+    let baseline = &result.rows[0];
+    let dca = &result.rows[2];
+    assert!(norm(&baseline.test_disparity) > 0.15);
+    assert!(norm(&dca.test_disparity) < norm(&baseline.test_disparity) * 0.5);
+    assert!(result.render().contains("Norm"));
+}
+
+#[test]
+fn utility_remains_high_after_correction() {
+    let result = utility::run_fig1(&scale()).unwrap();
+    assert!(result.points.iter().all(|p| p.ndcg > 0.8 && p.ndcg <= 1.0));
+}
+
+#[test]
+fn quota_is_weaker_than_dca_at_small_k() {
+    let quota = baselines_cmp::run_quota(&scale(), 0.7).unwrap();
+    let table1 = table1::run_table1(&scale()).unwrap();
+    let dca_norm = norm(&table1.rows[2].test_disparity);
+    // Quota norm at k = 5% (first grid point).
+    let quota_norm = quota.points[0].2;
+    assert!(dca_norm < quota_norm, "DCA {dca_norm} vs quota {quota_norm}");
+}
+
+#[test]
+fn compas_log_discounted_reduces_average_disparity() {
+    let result = compas::run_fig10c(&scale()).unwrap();
+    let before: f64 =
+        result.rows.iter().map(|r| norm(&r.before)).sum::<f64>() / result.rows.len() as f64;
+    let after: f64 =
+        result.rows.iter().map(|r| norm(&r.after)).sum::<f64>() / result.rows.len() as f64;
+    assert!(after < before);
+}
