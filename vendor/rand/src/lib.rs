@@ -1,0 +1,420 @@
+//! Offline, deterministic drop-in for the subset of the `rand` 0.8 API this
+//! workspace uses. The build environment has no access to crates.io, so the
+//! workspace vendors the few entry points the code relies on:
+//!
+//! * [`Rng::gen`] / [`Rng::gen_range`] / [`Rng::gen_bool`],
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`],
+//! * [`seq::SliceRandom::shuffle`] and [`seq::index::sample`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — not the ChaCha12 stream of upstream `StdRng`, so exact
+//! sequences differ from crates.io `rand`, but every API contract the
+//! workspace depends on (determinism for equal seeds, uniformity, sampling
+//! without replacement) holds.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Create a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the "standard" distribution:
+/// floats in `[0, 1)`, integers over their full domain, fair-coin bools.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that support uniform sampling from a half-open or inclusive range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`; `high` must be strictly greater.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`; `high` must be at least `low`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                // Lemire multiply-shift; bias is span / 2^64, negligible here.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // span = high - low + 1 computed in u128 so that ranges
+                // ending at the type maximum (e.g. 1..=MAX) don't wrap.
+                let span = (high as u128)
+                    .wrapping_sub(low as u128)
+                    .wrapping_add(1) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                low + (high - low) * <$t>::sample_standard(rng)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                // Closed-interval unit draw (53/24 mantissa bits over
+                // 2^bits - 1) so `high` itself is attainable.
+                let unit = (rng.next_u64() >> (64 - <$t>::MANTISSA_DIGITS)) as $t
+                    / (((1u64 << <$t>::MANTISSA_DIGITS) - 1) as $t);
+                low + (high - low) * unit
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f64, f32);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a single uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirroring `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draw a value from the standard distribution for `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draw a uniform value from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Index sampling without replacement (`rand::seq::index`).
+    pub mod index {
+        use super::super::{Rng, RngCore};
+
+        /// The sampled indices, in selection order.
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Consume into a plain `Vec<usize>`.
+            #[must_use]
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            #[must_use]
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the sample is empty.
+            #[must_use]
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        /// Sample `amount` distinct indices uniformly from `0..length`.
+        ///
+        /// Sparse samples (the DCA hot path: a few hundred indices out of a
+        /// large dataset) use Floyd's algorithm in O(amount) time and space;
+        /// dense samples fall back to a partial Fisher–Yates pass over the
+        /// full pool.
+        ///
+        /// # Panics
+        /// Panics if `amount > length`, matching upstream `rand`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from a pool of {length}"
+            );
+            if amount * 4 <= length {
+                // Floyd's algorithm: each draw lands on an unseen index or is
+                // redirected to the newly opened slot `j`, giving a uniform
+                // `amount`-subset without materializing the pool.
+                let mut chosen = std::collections::HashSet::with_capacity(amount);
+                let mut out = Vec::with_capacity(amount);
+                for j in (length - amount)..length {
+                    let t = rng.gen_range(0..=j);
+                    if chosen.insert(t) {
+                        out.push(t);
+                    } else {
+                        chosen.insert(j);
+                        out.push(j);
+                    }
+                }
+                IndexVec(out)
+            } else {
+                let mut pool: Vec<usize> = (0..length).collect();
+                for i in 0..amount {
+                    let j = rng.gen_range(i..length);
+                    pool.swap(i, j);
+                }
+                pool.truncate(amount);
+                IndexVec(pool)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{index, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range_and_look_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5_usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(0..=3_u16);
+            assert!(w <= 3);
+            let f = rng.gen_range(-2.0_f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_ending_at_type_max_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(1_u64..=u64::MAX);
+            assert!(v >= 1);
+            let b = rng.gen_range(250_u8..=u8::MAX);
+            assert!(b >= 250);
+            let full = rng.gen_range(u64::MIN..=u64::MAX);
+            let _ = full;
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_can_reach_the_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut max_seen = 0.0_f64;
+        for _ in 0..100_000 {
+            let v = rng.gen_range(0.0_f64..=1.0);
+            assert!((0.0..=1.0).contains(&v));
+            max_seen = max_seen.max(v);
+        }
+        // A half-open draw caps out below 1 - 2^-53; the closed draw should
+        // get within float-dust of the endpoint over 100k samples.
+        assert!(max_seen > 0.9999, "max seen {max_seen}");
+    }
+
+    #[test]
+    fn index_sample_is_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Dense branch (partial Fisher–Yates).
+        let mut got = index::sample(&mut rng, 50, 20).into_vec();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 20);
+        assert!(got.iter().all(|&i| i < 50));
+        // Sparse branch (Floyd's algorithm).
+        let mut sparse = index::sample(&mut rng, 10_000, 500).into_vec();
+        sparse.sort_unstable();
+        sparse.dedup();
+        assert_eq!(sparse.len(), 500);
+        assert!(sparse.iter().all(|&i| i < 10_000));
+    }
+
+    #[test]
+    fn sparse_index_sample_is_unbiased_across_the_pool() {
+        // Mean of a uniform 500-subset of 0..10_000 should estimate the pool
+        // midpoint; a Floyd's bug that favored high/low indices would shift it.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut total = 0.0_f64;
+        let rounds = 200;
+        for _ in 0..rounds {
+            let s = index::sample(&mut rng, 10_000, 500).into_vec();
+            total += s.iter().sum::<usize>() as f64 / s.len() as f64;
+        }
+        let mean = total / f64::from(rounds);
+        assert!((mean - 4_999.5).abs() < 60.0, "mean index {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}
