@@ -40,7 +40,10 @@ use fair_core::prelude::*;
 #[must_use]
 pub fn binomial_mtable(n: usize, p: f64, alpha: f64) -> Vec<usize> {
     assert!((0.0..=1.0).contains(&p), "proportion must lie in [0, 1]");
-    assert!(alpha > 0.0 && alpha < 1.0, "significance must lie in (0, 1)");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "significance must lie in (0, 1)"
+    );
     let mut table = Vec::with_capacity(n);
     for i in 1..=n {
         // Walk the binomial CDF of Binomial(i, p) until it exceeds alpha.
@@ -226,11 +229,15 @@ impl FaStarRanker {
         }
 
         let mut output = Vec::with_capacity(output_size);
-        for rank in 0..output_size {
+        while output.len() < output_size {
             // A group's constraint binds when its current count is below the
-            // mtable requirement for the prefix ending at this rank.
+            // mtable requirement for the prefix ending at the current rank
+            // (which is exactly the number of items already emitted).
+            let rank = output.len();
             let binding: Vec<usize> = (0..self.groups.len())
-                .filter(|&g| counts[g] < mtables[g][rank] && group_cursors[g] < group_orders[g].len())
+                .filter(|&g| {
+                    counts[g] < mtables[g][rank] && group_cursors[g] < group_orders[g].len()
+                })
                 .collect();
 
             let chosen = if binding.is_empty() {
@@ -311,7 +318,11 @@ mod tests {
         for (i, &m) in t.iter().enumerate() {
             assert!(m as f64 <= 0.3 * (i + 1) as f64 + 1.0);
         }
-        assert!(t[99] >= 20, "at n=100, p=0.3, alpha=0.1 the requirement is near 24: {}", t[99]);
+        assert!(
+            t[99] >= 20,
+            "at n=100, p=0.3, alpha=0.1 the requirement is near 24: {}",
+            t[99]
+        );
     }
 
     #[test]
@@ -363,7 +374,11 @@ mod tests {
             if view.object(pos).in_group(0) {
                 count += 1;
             }
-            assert!(count >= mtable[i], "prefix {i}: {count} < required {}", mtable[i]);
+            assert!(
+                count >= mtable[i],
+                "prefix {i}: {count} < required {}",
+                mtable[i]
+            );
         }
     }
 
@@ -373,13 +388,15 @@ mod tests {
         let view = d.full_view();
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let plain = RankedSelection::from_scores(base_scores(&view, &ranker));
-        let before =
-            norm(&disparity_of_selection(&view, plain.selected(0.5).unwrap()).unwrap());
+        let before = norm(&disparity_of_selection(&view, plain.selected(0.5).unwrap()).unwrap());
         let config = FaStarConfig::new(0.1, 20).unwrap();
         let fastar = FaStarRanker::new(config, vec![group_a(&view)]).unwrap();
         let order = fastar.rerank(&view, &ranker).unwrap();
         let after = norm(&disparity_of_selection(&view, &order).unwrap());
-        assert!(after < before, "FA*IR should reduce disparity: {after} vs {before}");
+        assert!(
+            after < before,
+            "FA*IR should reduce disparity: {after} vs {before}"
+        );
     }
 
     #[test]
@@ -388,7 +405,10 @@ mod tests {
         let view = d.full_view();
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         // Zero target proportion -> no constraint ever binds.
-        let group = ProtectedGroup { target_proportion: 0.0, ..group_a(&view) };
+        let group = ProtectedGroup {
+            target_proportion: 0.0,
+            ..group_a(&view)
+        };
         let config = FaStarConfig::new(0.1, 10).unwrap();
         let fastar = FaStarRanker::new(config, vec![group]).unwrap();
         let order = fastar.rerank(&view, &ranker).unwrap();
@@ -406,13 +426,23 @@ mod tests {
             for _ in 0..10 {
                 let mut fairness = vec![0.0; 3];
                 fairness[dim] = 1.0;
-                objects.push(DataObject::new_unchecked(id, vec![base + id as f64], fairness, None));
+                objects.push(DataObject::new_unchecked(
+                    id,
+                    vec![base + id as f64],
+                    fairness,
+                    None,
+                ));
                 id += 1;
             }
         }
         // 30 unprotected objects with the highest scores.
         for _ in 0..30 {
-            objects.push(DataObject::new_unchecked(id, vec![200.0 + id as f64], vec![0.0; 3], None));
+            objects.push(DataObject::new_unchecked(
+                id,
+                vec![200.0 + id as f64],
+                vec![0.0; 3],
+                None,
+            ));
             id += 1;
         }
         let d = Dataset::new(schema, objects).unwrap();
@@ -442,7 +472,10 @@ mod tests {
         let d = dataset();
         let view = d.full_view();
         let a = group_a(&view);
-        let overlapping = ProtectedGroup { name: "copy".into(), ..a.clone() };
+        let overlapping = ProtectedGroup {
+            name: "copy".into(),
+            ..a.clone()
+        };
         let config = FaStarConfig::new(0.1, 10).unwrap();
         assert!(FaStarRanker::new(config, vec![a, overlapping]).is_err());
     }
@@ -456,7 +489,10 @@ mod tests {
         let view = d.full_view();
         let config = FaStarConfig::new(0.1, 10).unwrap();
         assert!(FaStarRanker::new(config.clone(), vec![]).is_err());
-        let bad_prop = ProtectedGroup { target_proportion: 1.5, ..group_a(&view) };
+        let bad_prop = ProtectedGroup {
+            target_proportion: 1.5,
+            ..group_a(&view)
+        };
         assert!(FaStarRanker::new(config, vec![bad_prop]).is_err());
     }
 

@@ -86,7 +86,11 @@ impl DcaConfig {
                 reason: "learning-rate ladder cannot be empty".into(),
             });
         }
-        if self.learning_rates.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+        if self
+            .learning_rates
+            .iter()
+            .any(|r| !r.is_finite() || *r <= 0.0)
+        {
             return Err(FairError::InvalidConfig {
                 reason: "learning rates must be positive and finite".into(),
             });
@@ -133,7 +137,9 @@ impl DcaConfig {
         if dataset.is_empty() {
             return Err(FairError::EmptyDataset);
         }
-        let r = dataset.rarest_group_frequency().max(1.0 / dataset.len() as f64);
+        let r = dataset
+            .rarest_group_frequency()
+            .max(1.0 / dataset.len() as f64);
         let needed = (CLT_MINIMUM as f64 * (1.0 / k).max(1.0 / r)).ceil() as usize;
         Ok(needed.min(dataset.len()).max(CLT_MINIMUM))
     }
@@ -165,26 +171,40 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_settings() {
-        let mut c = DcaConfig::default();
-        c.sample_size = 10;
+        let c = DcaConfig {
+            sample_size: 10,
+            ..DcaConfig::default()
+        };
         assert!(c.validate(2).is_err());
-        let mut c = DcaConfig::default();
-        c.learning_rates = vec![];
+        let c = DcaConfig {
+            learning_rates: vec![],
+            ..DcaConfig::default()
+        };
         assert!(c.validate(2).is_err());
-        let mut c = DcaConfig::default();
-        c.learning_rates = vec![-1.0];
+        let c = DcaConfig {
+            learning_rates: vec![-1.0],
+            ..DcaConfig::default()
+        };
         assert!(c.validate(2).is_err());
-        let mut c = DcaConfig::default();
-        c.iterations_per_rate = 0;
+        let c = DcaConfig {
+            iterations_per_rate: 0,
+            ..DcaConfig::default()
+        };
         assert!(c.validate(2).is_err());
-        let mut c = DcaConfig::default();
-        c.granularity = Some(0.0);
+        let c = DcaConfig {
+            granularity: Some(0.0),
+            ..DcaConfig::default()
+        };
         assert!(c.validate(2).is_err());
-        let mut c = DcaConfig::default();
-        c.rolling_window = 0;
+        let c = DcaConfig {
+            rolling_window: 0,
+            ..DcaConfig::default()
+        };
         assert!(c.validate(2).is_err());
-        let mut c = DcaConfig::default();
-        c.caps = Some(BonusCaps::uniform(3, 10.0).unwrap());
+        let c = DcaConfig {
+            caps: Some(BonusCaps::uniform(3, 10.0).unwrap()),
+            ..DcaConfig::default()
+        };
         assert!(c.validate(2).is_err(), "cap dimensionality must match");
         assert!(c.validate(3).is_ok());
     }

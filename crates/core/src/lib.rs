@@ -24,6 +24,7 @@
 //! | [`explain`] | per-applicant score breakdowns and threshold-margin explanations |
 //! | [`metrics`] | Disparity, log-discounted disparity, disparate impact, FPR difference, exposure/DDP, nDCG |
 //! | [`dca`] | Core DCA, the Adam refinement step, Full DCA, and the [`dca::Dca`] facade |
+//! | [`error`] | [`error::FairError`] and the crate-wide [`error::Result`] alias |
 //!
 //! ## Quick example
 //!
@@ -89,7 +90,9 @@ pub mod prelude {
         TopKDisparity,
     };
     pub use crate::error::{FairError, Result};
-    pub use crate::explain::{score_breakdown, selection_outcome, OutcomeExplanation, ScoreBreakdown};
+    pub use crate::explain::{
+        score_breakdown, selection_outcome, OutcomeExplanation, ScoreBreakdown,
+    };
     pub use crate::metrics::{
         ddp_for_binary_attributes, disparate_impact_at_k, disparity_at_k, exposure_of_group,
         fpr_difference_at_k, group_fpr_at_k, log_discounted_disparity, ndcg_at_k, norm,

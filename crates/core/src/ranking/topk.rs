@@ -15,7 +15,7 @@ use crate::error::{FairError, Result};
 /// # Errors
 /// Returns [`FairError::InvalidSelectionFraction`] unless `0 < k <= 1`.
 pub fn selection_size(n: usize, k: f64) -> Result<usize> {
-    if !(k > 0.0 && k <= 1.0) || !k.is_finite() {
+    if !(k > 0.0 && k <= 1.0 && k.is_finite()) {
         return Err(FairError::InvalidSelectionFraction { k });
     }
     if n == 0 {
@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn invalid_k_propagates_errors() {
         let r = RankedSelection::from_scores(vec![1.0, 2.0]);
-        assert!(matches!(r.selected(0.0), Err(FairError::InvalidSelectionFraction { .. })));
+        assert!(matches!(
+            r.selected(0.0),
+            Err(FairError::InvalidSelectionFraction { .. })
+        ));
         assert!(r.selection_mask(2.0).is_err());
     }
 }

@@ -66,7 +66,11 @@ impl CompasConfig {
     /// A smaller cohort for tests and quick experiments.
     #[must_use]
     pub fn small(num_defendants: usize, seed: u64) -> Self {
-        Self { num_defendants, seed, ..Self::default() }
+        Self {
+            num_defendants,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -119,7 +123,10 @@ impl CompasGenerator {
     /// Panics if `num_defendants == 0`.
     #[must_use]
     pub fn generate(&self) -> Dataset {
-        assert!(self.config.num_defendants > 0, "cohort must contain at least one defendant");
+        assert!(
+            self.config.num_defendants > 0,
+            "cohort must contain at least one defendant"
+        );
         let schema = Self::schema();
         let c = &self.config;
         let mut rng = StdRng::seed_from_u64(c.seed);
@@ -146,7 +153,9 @@ impl CompasGenerator {
         // Second pass: convert observed scores into population deciles (1-10).
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_unstable_by(|&a, &b| {
-            biased_scores[a].partial_cmp(&biased_scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+            biased_scores[a]
+                .partial_cmp(&biased_scores[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut deciles = vec![0.0_f64; n];
         for (rank, &idx) in order.iter().enumerate() {
@@ -196,8 +205,8 @@ mod tests {
             assert!((1..=10).contains(&dec), "decile {dec}");
             counts[dec] += 1;
         }
-        for dec in 1..=10 {
-            let share = counts[dec] as f64 / d.len() as f64;
+        for (dec, &count) in counts.iter().enumerate().skip(1) {
+            let share = count as f64 / d.len() as f64;
             assert!((share - 0.1).abs() < 0.02, "decile {dec} share {share}");
         }
     }
@@ -242,16 +251,31 @@ mod tests {
             &[0.0; RACE_GROUPS.len()],
         ));
         let (per_group, overall) = group_fpr_at_k(&view, &ranking, 0.3).unwrap();
-        assert!(per_group[0] > overall, "AA FPR {} vs overall {overall}", per_group[0]);
-        assert!(per_group[1] < overall, "Caucasian FPR {} vs overall {overall}", per_group[1]);
+        assert!(
+            per_group[0] > overall,
+            "AA FPR {} vs overall {overall}",
+            per_group[0]
+        );
+        assert!(
+            per_group[1] < overall,
+            "Caucasian FPR {} vs overall {overall}",
+            per_group[1]
+        );
     }
 
     #[test]
     fn recidivism_rate_is_plausible() {
         let d = generate(20_000, 6);
-        let recid =
-            d.objects().iter().filter(|o| o.label() == Some(true)).count() as f64 / d.len() as f64;
-        assert!((0.3..0.6).contains(&recid), "two-year recidivism rate {recid}");
+        let recid = d
+            .objects()
+            .iter()
+            .filter(|o| o.label() == Some(true))
+            .count() as f64
+            / d.len() as f64;
+        assert!(
+            (0.3..0.6).contains(&recid),
+            "two-year recidivism rate {recid}"
+        );
     }
 
     #[test]
