@@ -86,8 +86,14 @@ pub fn caps_excluding_group(
         let member_share =
             view.iter().filter(|o| o.in_group(dim)).count() as f64 / view.len() as f64;
         let complement_share = 1.0 - member_share;
-        let cap = ((complement_share + slack) * selection_size as f64).round().max(0.0) as usize;
-        constraints.push(CelisConstraint::for_complement(view, dim, cap.min(selection_size)));
+        let cap = ((complement_share + slack) * selection_size as f64)
+            .round()
+            .max(0.0) as usize;
+        constraints.push(CelisConstraint::for_complement(
+            view,
+            dim,
+            cap.min(selection_size),
+        ));
     }
     Ok(constraints)
 }
@@ -196,9 +202,15 @@ mod tests {
         let constraints = vec![CelisConstraint::for_complement(&view, 0, 4)];
         let selected = celis_rerank(&view, &ranker, 8, &constraints).unwrap();
         assert_eq!(selected.len(), 8);
-        let non_members = selected.iter().filter(|&&p| !view.object(p).in_group(0)).count();
+        let non_members = selected
+            .iter()
+            .filter(|&&p| !view.object(p).in_group(0))
+            .count();
         assert_eq!(non_members, 4);
-        let members = selected.iter().filter(|&&p| view.object(p).in_group(0)).count();
+        let members = selected
+            .iter()
+            .filter(|&&p| view.object(p).in_group(0))
+            .count();
         assert_eq!(members, 4);
     }
 
@@ -212,7 +224,10 @@ mod tests {
         let constraints = caps_excluding_group(&view, &[0], 8, 0.0).unwrap();
         let selected = celis_rerank(&view, &ranker, 8, &constraints).unwrap();
         let after = norm(&disparity_of_selection(&view, &selected).unwrap());
-        assert!(after < before, "(Δ+2) should reduce disparity: {after} vs {before}");
+        assert!(
+            after < before,
+            "(Δ+2) should reduce disparity: {after} vs {before}"
+        );
         // Utility of the constrained selection stays reasonable.
         let mut fake_ranking_scores = vec![f64::MIN; view.len()];
         for (rank, &pos) in selected.iter().enumerate() {
@@ -273,7 +288,11 @@ mod tests {
         let view = d.full_view();
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         assert!(celis_rerank(&view, &ranker, 0, &[]).is_err());
-        let bad_mask = CelisConstraint { name: "bad".into(), mask: vec![true], max_count: 1 };
+        let bad_mask = CelisConstraint {
+            name: "bad".into(),
+            mask: vec![true],
+            max_count: 1,
+        };
         assert!(celis_rerank(&view, &ranker, 5, &[bad_mask]).is_err());
         assert!(caps_excluding_group(&view, &[9], 5, 0.0).is_err());
         let empty = Dataset::empty(Schema::from_names(&["s"], &["g"], &[]).unwrap());

@@ -39,7 +39,10 @@ impl QuotaConfig {
                 reason: "quota requires at least one protected dimension".into(),
             });
         }
-        Ok(Self { reserve_fraction, protected_dims })
+        Ok(Self {
+            reserve_fraction,
+            protected_dims,
+        })
     }
 }
 
@@ -67,14 +70,16 @@ pub fn quota_select<R: Ranker + ?Sized>(
         });
     }
     let total_seats = selection_size(view.len(), k)?;
-    let reserved_seats =
-        ((total_seats as f64) * config.reserve_fraction).round() as usize;
+    let reserved_seats = ((total_seats as f64) * config.reserve_fraction).round() as usize;
 
     let scores = base_scores(view, ranker);
     let ranking = RankedSelection::from_scores(scores);
 
     let is_protected = |pos: usize| {
-        config.protected_dims.iter().any(|&d| view.object(pos).in_group(d))
+        config
+            .protected_dims
+            .iter()
+            .any(|&d| view.object(pos).in_group(d))
     };
 
     // Fill the reserved seats with the best-ranked protected applicants.
@@ -132,7 +137,10 @@ mod tests {
         // Top 40% = 8 seats; 4 reserved for protected applicants.
         let selected = quota_select(&view, &ranker, 0.4, &config).unwrap();
         assert_eq!(selected.len(), 8);
-        let protected = selected.iter().filter(|&&p| view.object(p).in_group(0)).count();
+        let protected = selected
+            .iter()
+            .filter(|&&p| view.object(p).in_group(0))
+            .count();
         assert_eq!(protected, 4);
     }
 
@@ -146,7 +154,10 @@ mod tests {
         let config = QuotaConfig::new(0.3, vec![0]).unwrap();
         let selected = quota_select(&view, &ranker, 0.4, &config).unwrap();
         let after = norm(&disparity_of_selection(&view, &selected).unwrap());
-        assert!(after < before, "quota should reduce disparity: {after} vs {before}");
+        assert!(
+            after < before,
+            "quota should reduce disparity: {after} vs {before}"
+        );
     }
 
     #[test]
@@ -183,7 +194,11 @@ mod tests {
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let config = QuotaConfig::new(0.5, vec![0]).unwrap();
         let selected = quota_select(&view, &ranker, 0.6, &config).unwrap();
-        assert_eq!(selected.len(), 6, "all seats are filled even without enough protected applicants");
+        assert_eq!(
+            selected.len(),
+            6,
+            "all seats are filled even without enough protected applicants"
+        );
     }
 
     #[test]

@@ -132,8 +132,10 @@ pub fn most_disadvantaged_subgroups<R: Ranker + ?Sized>(
         .into_iter()
         .filter(|g| g.size < view.len())
         .map(|g| {
-            let in_selection =
-                selected.iter().filter(|&&pos| g.contains(view.object(pos))).count() as f64;
+            let in_selection = selected
+                .iter()
+                .filter(|&&pos| g.contains(view.object(pos)))
+                .count() as f64;
             let disparity = in_selection / selected_count - g.population_share;
             (g, disparity)
         })
@@ -156,19 +158,39 @@ mod tests {
         // only, 6 with both (lowest scores) — the intersection is both the
         // largest protected subgroup and the most excluded one.
         for _ in 0..8 {
-            objects.push(DataObject::new_unchecked(id, vec![100.0 + id as f64], vec![0.0, 0.0], None));
+            objects.push(DataObject::new_unchecked(
+                id,
+                vec![100.0 + id as f64],
+                vec![0.0, 0.0],
+                None,
+            ));
             id += 1;
         }
         for _ in 0..3 {
-            objects.push(DataObject::new_unchecked(id, vec![50.0 + id as f64], vec![1.0, 0.0], None));
+            objects.push(DataObject::new_unchecked(
+                id,
+                vec![50.0 + id as f64],
+                vec![1.0, 0.0],
+                None,
+            ));
             id += 1;
         }
         for _ in 0..3 {
-            objects.push(DataObject::new_unchecked(id, vec![40.0 + id as f64], vec![0.0, 1.0], None));
+            objects.push(DataObject::new_unchecked(
+                id,
+                vec![40.0 + id as f64],
+                vec![0.0, 1.0],
+                None,
+            ));
             id += 1;
         }
         for _ in 0..6 {
-            objects.push(DataObject::new_unchecked(id, vec![10.0 + id as f64], vec![1.0, 1.0], None));
+            objects.push(DataObject::new_unchecked(
+                id,
+                vec![10.0 + id as f64],
+                vec![1.0, 1.0],
+                None,
+            ));
             id += 1;
         }
         Dataset::new(schema, objects).unwrap()
@@ -182,7 +204,10 @@ mod tests {
         assert_eq!(groups.len(), 4);
         let total: usize = groups.iter().map(|g| g.size).sum();
         assert_eq!(total, d.len());
-        let both = groups.iter().find(|g| g.pattern == vec![true, true]).unwrap();
+        let both = groups
+            .iter()
+            .find(|g| g.pattern == vec![true, true])
+            .unwrap();
         assert_eq!(both.size, 6);
         assert!((both.population_share - 0.3).abs() < 1e-12);
     }
@@ -192,7 +217,10 @@ mod tests {
         let d = dataset();
         let view = d.full_view();
         let groups = cartesian_subgroups(&view, &[0, 1]).unwrap();
-        let both = groups.iter().find(|g| g.pattern == vec![true, true]).unwrap();
+        let both = groups
+            .iter()
+            .find(|g| g.pattern == vec![true, true])
+            .unwrap();
         assert!(both.contains(view.object(d.len() - 1)));
         assert!(!both.contains(view.object(0)));
         assert_eq!(both.label(view.schema()), "a=1,b=1");

@@ -14,12 +14,16 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn school(n: usize) -> Dataset {
-    SchoolGenerator::new(SchoolConfig::small(n, 11)).generate().into_dataset()
+    SchoolGenerator::new(SchoolConfig::small(n, 11))
+        .generate()
+        .into_dataset()
 }
 
 fn quota_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/quota");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     let dataset = school(20_000);
     let view = dataset.full_view();
     let rubric = SchoolGenerator::rubric();
@@ -34,14 +38,18 @@ fn quota_bench(c: &mut Criterion) {
 
 fn fastar_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/fastar");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     // FA*IR is run on a district-sized population, as in the paper.
     let dataset = school(2_500);
     let view = dataset.full_view();
     let rubric = SchoolGenerator::rubric();
     let worst = most_disadvantaged_subgroups(&view, &rubric, &[0, 1, 2], 0.05, 3).unwrap();
-    let groups: Vec<ProtectedGroup> =
-        worst.iter().map(|(g, _)| ProtectedGroup::from_subgroup(&view, g)).collect();
+    let groups: Vec<ProtectedGroup> = worst
+        .iter()
+        .map(|(g, _)| ProtectedGroup::from_subgroup(&view, g))
+        .collect();
     for &k in &[0.05_f64, 0.3] {
         let output = selection_size(dataset.len(), k).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
@@ -58,7 +66,9 @@ fn fastar_bench(c: &mut Criterion) {
 
 fn celis_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/delta2");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let dataset = school(20_000);
     let view = dataset.full_view();
     let rubric = SchoolGenerator::rubric();
@@ -74,7 +84,9 @@ fn celis_bench(c: &mut Criterion) {
 
 fn dca_reference(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/dca_reference");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let dataset = school(20_000);
     let rubric = SchoolGenerator::rubric();
     for &k in &[0.05_f64, 0.3] {
@@ -89,7 +101,10 @@ fn dca_reference(c: &mut Criterion) {
                     ..DcaConfig::default()
                 };
                 black_box(
-                    Dca::new(config).run(&dataset, &rubric, &TopKDisparity::new(k)).unwrap().bonus,
+                    Dca::new(config)
+                        .run(&dataset, &rubric, &TopKDisparity::new(k))
+                        .unwrap()
+                        .bonus,
                 )
             });
         });
@@ -97,5 +112,11 @@ fn dca_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, quota_bench, fastar_bench, celis_bench, dca_reference);
+criterion_group!(
+    benches,
+    quota_bench,
+    fastar_bench,
+    celis_bench,
+    dca_reference
+);
 criterion_main!(benches);

@@ -18,7 +18,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn school(n: usize, seed: u64) -> Dataset {
-    SchoolGenerator::new(SchoolConfig::small(n, seed)).generate().into_dataset()
+    SchoolGenerator::new(SchoolConfig::small(n, seed))
+        .generate()
+        .into_dataset()
 }
 
 fn bench_config(sample_size: usize, iterations: usize, refine: bool) -> DcaConfig {
@@ -36,7 +38,9 @@ fn bench_config(sample_size: usize, iterations: usize, refine: bool) -> DcaConfi
 /// Core DCA cost as the dataset grows (sub-linearity claim).
 fn dca_vs_dataset_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("dca_core/dataset_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let rubric = SchoolGenerator::rubric();
     for &n in &[5_000usize, 20_000, 40_000] {
         let dataset = school(n, 42);
@@ -62,14 +66,20 @@ fn dca_vs_dataset_size(c: &mut Criterion) {
 /// Core DCA vs refined DCA (the Figure 8b ablation).
 fn core_vs_refined(c: &mut Criterion) {
     let mut group = c.benchmark_group("dca_refinement");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let dataset = school(20_000, 42);
     let rubric = SchoolGenerator::rubric();
     for (name, refine) in [("core_only", false), ("with_refinement", true)] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let dca = Dca::new(bench_config(500, 30, refine));
-                black_box(dca.run(&dataset, &rubric, &TopKDisparity::new(0.05)).unwrap().bonus)
+                black_box(
+                    dca.run(&dataset, &rubric, &TopKDisparity::new(0.05))
+                        .unwrap()
+                        .bonus,
+                )
             });
         });
     }
@@ -79,7 +89,9 @@ fn core_vs_refined(c: &mut Criterion) {
 /// Full DCA scales linearly with the dataset (contrast with Core DCA).
 fn full_dca_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("dca_full/dataset_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let rubric = SchoolGenerator::rubric();
     for &n in &[2_000usize, 8_000] {
         let dataset = school(n, 42);
@@ -106,7 +118,9 @@ fn full_dca_scaling(c: &mut Criterion) {
 /// 1/k per the Section IV-D rule).
 fn dca_vs_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("dca_core/selection_fraction");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let dataset = school(20_000, 42);
     let rubric = SchoolGenerator::rubric();
     for &k in &[0.05_f64, 0.2, 0.5] {
@@ -134,14 +148,22 @@ fn dca_vs_k(c: &mut Criterion) {
 /// variant (the extra factor of Section IV-E).
 fn objective_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("objective_eval");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     let scale = ExperimentScale::tiny();
     let dataset = school(scale.school_cohort_size, 42);
     let rubric = SchoolGenerator::rubric();
     let view = dataset.full_view();
     let bonus = vec![1.0, 10.0, 12.0, 12.0];
     group.bench_function("topk_disparity", |b| {
-        b.iter(|| black_box(TopKDisparity::new(0.05).evaluate(&view, &rubric, &bonus).unwrap()));
+        b.iter(|| {
+            black_box(
+                TopKDisparity::new(0.05)
+                    .evaluate(&view, &rubric, &bonus)
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("log_discounted", |b| {
         let objective = LogDiscountedObjective::new(LogDiscountConfig::default());

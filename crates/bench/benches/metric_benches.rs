@@ -13,7 +13,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn ranked(n: usize) -> (Dataset, Vec<f64>) {
-    let dataset = SchoolGenerator::new(SchoolConfig::small(n, 7)).generate().into_dataset();
+    let dataset = SchoolGenerator::new(SchoolConfig::small(n, 7))
+        .generate()
+        .into_dataset();
     let rubric = SchoolGenerator::rubric();
     let scores = {
         let view = dataset.full_view();
@@ -24,7 +26,9 @@ fn ranked(n: usize) -> (Dataset, Vec<f64>) {
 
 fn ranking_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("ranking/sort");
-    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
     for &n in &[1_000usize, 10_000, 50_000] {
         let (_, scores) = ranked(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &scores, |b, scores| {
@@ -36,7 +40,9 @@ fn ranking_construction(c: &mut Criterion) {
 
 fn disparity_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics");
-    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
     let (dataset, scores) = ranked(20_000);
     let view = dataset.full_view();
     let ranking = RankedSelection::from_scores(scores);
@@ -63,7 +69,9 @@ fn disparity_metrics(c: &mut Criterion) {
 
 fn sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataset/sample");
-    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
     let (dataset, _) = ranked(50_000);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     use rand::SeedableRng;

@@ -7,9 +7,20 @@ fn main() {
     let scale = ExperimentScale::from_env();
     println!("Experiment scale: {scale:?}\n");
 
-    println!("{}", table1::run_table1(&scale).expect("Table I failed").render());
-    println!("{}", utility::run_fig1(&scale).expect("Fig 1 failed").render());
-    println!("{}", utility::run_proportion_sweep(&scale).expect("Figs 2-3 failed").render());
+    println!(
+        "{}",
+        table1::run_table1(&scale).expect("Table I failed").render()
+    );
+    println!(
+        "{}",
+        utility::run_fig1(&scale).expect("Fig 1 failed").render()
+    );
+    println!(
+        "{}",
+        utility::run_proportion_sweep(&scale)
+            .expect("Figs 2-3 failed")
+            .render()
+    );
     println!(
         "{}",
         vary_k::run_per_k(&scale, true)
@@ -28,9 +39,22 @@ fn main() {
             .expect("Fig 4c failed")
             .render("Figure 4c — log-discounted DCA evaluated across k")
     );
-    println!("{}", caps::run_caps(&scale, None).expect("Fig 5 failed").render());
-    println!("{}", baselines_cmp::run_quota(&scale, 0.7).expect("Fig 6 failed").render());
-    println!("{}", baselines_cmp::run_delta2_comparison(&scale).expect("Fig 7 failed").render());
+    println!(
+        "{}",
+        caps::run_caps(&scale, None).expect("Fig 5 failed").render()
+    );
+    println!(
+        "{}",
+        baselines_cmp::run_quota(&scale, 0.7)
+            .expect("Fig 6 failed")
+            .render()
+    );
+    println!(
+        "{}",
+        baselines_cmp::run_delta2_comparison(&scale)
+            .expect("Fig 7 failed")
+            .render()
+    );
     println!(
         "{}",
         vary_k::run_per_k(&scale, false)
@@ -67,5 +91,10 @@ fn main() {
             .expect("Table II failed")
             .render()
     );
-    println!("{}", baselines_cmp::run_exposure(&scale).expect("Exposure failed").render());
+    println!(
+        "{}",
+        baselines_cmp::run_exposure(&scale)
+            .expect("Exposure failed")
+            .render()
+    );
 }

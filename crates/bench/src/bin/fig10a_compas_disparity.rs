@@ -6,5 +6,8 @@ use fair_bench::experiments::compas::run_fig10a;
 fn main() {
     let scale = ExperimentScale::from_env();
     let result = run_fig10a(&scale).expect("Figure 10a experiment failed");
-    println!("{}", result.render("Figure 10a — COMPAS disparity per k (bonus re-optimized per k)"));
+    println!(
+        "{}",
+        result.render("Figure 10a — COMPAS disparity per k (bonus re-optimized per k)")
+    );
 }

@@ -6,5 +6,8 @@ use fair_bench::experiments::compas::run_fig10b;
 fn main() {
     let scale = ExperimentScale::from_env();
     let result = run_fig10b(&scale).expect("Figure 10b experiment failed");
-    println!("{}", result.render("Figure 10b — COMPAS false-positive-rate differences per k"));
+    println!(
+        "{}",
+        result.render("Figure 10b — COMPAS false-positive-rate differences per k")
+    );
 }

@@ -6,5 +6,8 @@ use fair_bench::experiments::compas::run_fig10c;
 fn main() {
     let scale = ExperimentScale::from_env();
     let result = run_fig10c(&scale).expect("Figure 10c experiment failed");
-    println!("{}", result.render("Figure 10c — COMPAS disparity per k, log-discounted bonus"));
+    println!(
+        "{}",
+        result.render("Figure 10c — COMPAS disparity per k, log-discounted bonus")
+    );
 }

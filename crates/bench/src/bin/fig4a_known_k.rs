@@ -6,5 +6,8 @@ use fair_bench::experiments::vary_k::run_per_k;
 fn main() {
     let scale = ExperimentScale::from_env();
     let result = run_per_k(&scale, true).expect("Figure 4a experiment failed");
-    println!("{}", result.render("Figure 4a — DCA re-optimized for every k (test cohort)"));
+    println!(
+        "{}",
+        result.render("Figure 4a — DCA re-optimized for every k (test cohort)")
+    );
 }

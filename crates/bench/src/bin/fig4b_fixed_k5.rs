@@ -6,6 +6,9 @@ use fair_bench::experiments::vary_k::run_fixed_k;
 fn main() {
     let scale = ExperimentScale::from_env();
     let result = run_fixed_k(&scale, 0.05).expect("Figure 4b experiment failed");
-    println!("{}", result.render("Figure 4b — bonus optimized at k = 5%, evaluated across k"));
+    println!(
+        "{}",
+        result.render("Figure 4b — bonus optimized at k = 5%, evaluated across k")
+    );
     println!("Bonus vector: {:?}", result.bonus);
 }

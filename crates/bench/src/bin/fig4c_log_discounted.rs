@@ -6,6 +6,9 @@ use fair_bench::experiments::vary_k::run_log_discounted;
 fn main() {
     let scale = ExperimentScale::from_env();
     let result = run_log_discounted(&scale).expect("Figure 4c experiment failed");
-    println!("{}", result.render("Figure 4c — log-discounted DCA evaluated across k"));
+    println!(
+        "{}",
+        result.render("Figure 4c — log-discounted DCA evaluated across k")
+    );
     println!("Bonus vector: {:?}", result.bonus);
 }

@@ -6,7 +6,13 @@ use fair_bench::experiments::vary_k::run_per_k;
 fn main() {
     let scale = ExperimentScale::from_env();
     let unrefined = run_per_k(&scale, false).expect("Figure 8a experiment failed");
-    println!("{}", unrefined.render("Figure 8a — Core DCA (no refinement) re-optimized per k"));
+    println!(
+        "{}",
+        unrefined.render("Figure 8a — Core DCA (no refinement) re-optimized per k")
+    );
     let refined = run_per_k(&scale, true).expect("Figure 8b experiment failed");
-    println!("{}", refined.render("Figure 8b reference — refined DCA per k (compare the Time column)"));
+    println!(
+        "{}",
+        refined.render("Figure 8b reference — refined DCA per k (compare the Time column)")
+    );
 }

@@ -7,7 +7,7 @@ fn main() {
     let scale = ExperimentScale::from_env();
     // Merge four districts so the population is ~2,500 students at the
     // default 20k-cohort scale, matching the paper's single-district size.
-    let result = run_fastar_comparison(&scale, &[16, 17, 18, 19], 0.05)
-        .expect("Table II experiment failed");
+    let result =
+        run_fastar_comparison(&scale, &[16, 17, 18, 19], 0.05).expect("Table II experiment failed");
     println!("{}", result.render());
 }

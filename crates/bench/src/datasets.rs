@@ -78,7 +78,10 @@ impl ExperimentScale {
 #[must_use]
 pub fn standard_school_pair(
     scale: &ExperimentScale,
-) -> (fair_data::school::SchoolCohort, fair_data::school::SchoolCohort) {
+) -> (
+    fair_data::school::SchoolCohort,
+    fair_data::school::SchoolCohort,
+) {
     SchoolGenerator::new(SchoolConfig {
         num_students: scale.school_cohort_size,
         seed: scale.seed,
@@ -104,7 +107,9 @@ mod tests {
 
     #[test]
     fn scales_differ_in_cohort_size() {
-        assert!(ExperimentScale::tiny().school_cohort_size < ExperimentScale::full().school_cohort_size);
+        assert!(
+            ExperimentScale::tiny().school_cohort_size < ExperimentScale::full().school_cohort_size
+        );
         assert_eq!(ExperimentScale::full().school_cohort_size, 80_000);
         assert_eq!(ExperimentScale::default_scale().compas_size, 7_214);
     }
@@ -123,6 +128,10 @@ mod tests {
     fn from_env_defaults_to_default_scale() {
         // The test environment does not set FAIR_BENCH_SCALE to tiny/full.
         let s = ExperimentScale::from_env();
-        assert!(s == ExperimentScale::default_scale() || s == ExperimentScale::tiny() || s == ExperimentScale::full());
+        assert!(
+            s == ExperimentScale::default_scale()
+                || s == ExperimentScale::tiny()
+                || s == ExperimentScale::full()
+        );
     }
 }

@@ -5,8 +5,8 @@
 //! are reported, showing the two objectives behave similarly (Section VI-C5).
 
 use crate::datasets::{standard_school_pair, ExperimentScale};
-use crate::table::TextTable;
 use crate::experiment_dca_config;
+use crate::table::TextTable;
 use fair_core::metrics::scaled_disparate_impact_at_k;
 use fair_core::prelude::*;
 use fair_data::SchoolGenerator;
@@ -44,7 +44,13 @@ impl Fig9Result {
     pub fn render(&self) -> String {
         let mut table = TextTable::new(
             "Figure 9 — DCA optimizing Disparity vs Disparate Impact",
-            &["k", "Disp norm (Disp obj)", "Disp norm (DI obj)", "DI norm (Disp obj)", "DI norm (DI obj)"],
+            &[
+                "k",
+                "Disp norm (Disp obj)",
+                "Disp norm (DI obj)",
+                "DI norm (Disp obj)",
+                "DI norm (DI obj)",
+            ],
         );
         for r in &self.rows {
             table.add_row(vec![
@@ -80,8 +86,7 @@ pub fn run_disparate_impact_comparison(
     let test_view = test.dataset().full_view();
 
     let evaluate = |bonus: &[f64], k: f64| -> Result<(f64, f64)> {
-        let ranking =
-            RankedSelection::from_scores(effective_scores(&test_view, &rubric, bonus));
+        let ranking = RankedSelection::from_scores(effective_scores(&test_view, &rubric, bonus));
         let disp = disparity_at_k(&test_view, &ranking, k)?;
         let di = scaled_disparate_impact_at_k(&test_view, &ranking, k)?;
         Ok((norm(&disp), norm(&di)))
@@ -111,25 +116,32 @@ pub fn run_disparate_impact_comparison(
             di_norm_with_di: di_b,
         });
     }
-    Ok(Fig9Result { rows, disparity_time, di_time })
+    Ok(Fig9Result {
+        rows,
+        disparity_time,
+        di_time,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval_disparity;
     use crate::datasets::standard_school_pair;
+    use crate::eval_disparity;
 
     #[test]
     fn both_objectives_reduce_disparity_similarly() {
-        let scale = ExperimentScale { dca_iterations: 30, ..ExperimentScale::tiny() };
-        let result =
-            run_disparate_impact_comparison(&scale, Some(vec![0.05, 0.2])).unwrap();
+        let scale = ExperimentScale {
+            dca_iterations: 30,
+            ..ExperimentScale::tiny()
+        };
+        let result = run_disparate_impact_comparison(&scale, Some(vec![0.05, 0.2])).unwrap();
         assert_eq!(result.rows.len(), 2);
         let (_, test) = standard_school_pair(&scale);
         let rubric = SchoolGenerator::rubric();
         for row in &result.rows {
-            let baseline = norm(&eval_disparity(test.dataset(), &rubric, &[0.0; 4], row.k).unwrap());
+            let baseline =
+                norm(&eval_disparity(test.dataset(), &rubric, &[0.0; 4], row.k).unwrap());
             assert!(row.disparity_norm_with_disparity < baseline);
             assert!(row.disparity_norm_with_di < baseline);
             // The two objectives land in the same neighbourhood.

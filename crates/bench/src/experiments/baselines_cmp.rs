@@ -46,8 +46,7 @@ impl QuotaResult {
             &header,
         );
         for ((k, disp, n), (_, base)) in self.points.iter().zip(&self.baseline_norms) {
-            let mut cells =
-                vec![format!("{k:.2}"), format!("{base:.3}"), format!("{n:.3}")];
+            let mut cells = vec![format!("{k:.2}"), format!("{base:.3}"), format!("{n:.3}")];
             cells.extend(disp.iter().map(|v| format!("{v:+.3}")));
             table.add_row(cells);
         }
@@ -64,8 +63,12 @@ pub fn run_quota(scale: &ExperimentScale, reserve_fraction: f64) -> Result<Quota
     let (_, test) = standard_school_pair(scale);
     let rubric = SchoolGenerator::rubric();
     let dataset = test.dataset();
-    let names: Vec<String> =
-        dataset.schema().fairness_names().iter().map(|s| (*s).to_string()).collect();
+    let names: Vec<String> = dataset
+        .schema()
+        .fairness_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
     let dims = names.len();
     let zero = vec![0.0; dims];
     // Protected = any of the binary dimensions (low-income, ELL, special-ed).
@@ -89,7 +92,12 @@ pub fn run_quota(scale: &ExperimentScale, reserve_fraction: f64) -> Result<Quota
         let base = eval_disparity(dataset, &rubric, &zero, k)?;
         baseline_norms.push((k, norm(&base)));
     }
-    Ok(QuotaResult { names, reserve_fraction, points, baseline_norms })
+    Ok(QuotaResult {
+        names,
+        reserve_fraction,
+        points,
+        baseline_norms,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -128,7 +136,13 @@ impl Fig7Result {
     pub fn render(&self) -> String {
         let mut table = TextTable::new(
             "Figure 7 — accuracy vs disparity, DCA and the (Δ+2)-approximation (training cohort)",
-            &["Proportion", "DCA norm", "DCA nDCG", "(Δ+2) norm", "(Δ+2) nDCG"],
+            &[
+                "Proportion",
+                "DCA norm",
+                "DCA nDCG",
+                "(Δ+2) norm",
+                "(Δ+2) nDCG",
+            ],
         );
         for p in &self.points {
             table.add_row(vec![
@@ -207,7 +221,11 @@ pub fn run_delta2_comparison(scale: &ExperimentScale) -> Result<Fig7Result> {
             delta2_ndcg,
         });
     }
-    Ok(Fig7Result { points, delta2_time, dca_time })
+    Ok(Fig7Result {
+        points,
+        delta2_time,
+        dca_time,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -269,7 +287,10 @@ impl Table2Result {
             table.add_row(cells);
         }
         let mut out = table.render();
-        out.push_str(&format!("FA*IR protected subgroups: {}\n", self.fastar_groups.join(" | ")));
+        out.push_str(&format!(
+            "FA*IR protected subgroups: {}\n",
+            self.fastar_groups.join(" | ")
+        ));
         out
     }
 }
@@ -306,8 +327,10 @@ pub fn run_fastar_comparison(
         .filter(|(_, a)| a.kind() == FairnessKind::Binary)
         .map(|(i, _)| i)
         .collect();
-    let names: Vec<String> =
-        binary_dims.iter().map(|&d| schema.fairness()[d].name().to_string()).collect();
+    let names: Vec<String> = binary_dims
+        .iter()
+        .map(|&d| schema.fairness()[d].name().to_string())
+        .collect();
     let project = |full: &[f64]| -> Vec<f64> { binary_dims.iter().map(|&d| full[d]).collect() };
 
     let dims = schema.num_fairness();
@@ -325,8 +348,10 @@ pub fn run_fastar_comparison(
     // Multinomial FA*IR on the 3 most-disadvantaged Cartesian subgroups.
     let view = dataset.full_view();
     let worst = most_disadvantaged_subgroups(&view, &rubric, &binary_dims, k, 3)?;
-    let groups: Vec<ProtectedGroup> =
-        worst.iter().map(|(g, _)| ProtectedGroup::from_subgroup(&view, g)).collect();
+    let groups: Vec<ProtectedGroup> = worst
+        .iter()
+        .map(|(g, _)| ProtectedGroup::from_subgroup(&view, g))
+        .collect();
     let group_labels: Vec<String> = worst.iter().map(|(g, _)| g.label(&schema)).collect();
     let selection = selection_size(dataset.len(), k)?;
     let fastar = FaStarRanker::new(FaStarConfig::new(0.1, selection)?, groups)?;
@@ -335,8 +360,16 @@ pub fn run_fastar_comparison(
     let fastar_disp = project(&fastar_full);
 
     let rows = vec![
-        Table2Row { setting: "Baseline".into(), norm: norm(&baseline), disparity: baseline },
-        Table2Row { setting: "DCA".into(), norm: norm(&dca_disp), disparity: dca_disp },
+        Table2Row {
+            setting: "Baseline".into(),
+            norm: norm(&baseline),
+            disparity: baseline,
+        },
+        Table2Row {
+            setting: "DCA".into(),
+            norm: norm(&dca_disp),
+            disparity: dca_disp,
+        },
         Table2Row {
             setting: "Mult. FA*IR".into(),
             norm: norm(&fastar_disp),
@@ -378,11 +411,18 @@ impl ExposureResult {
             &["Setting", "DDP"],
         );
         table.add_row(vec!["Baseline".into(), format!("{:.5}", self.ddp_before)]);
-        table.add_row(vec!["DCA (log-discounted)".into(), format!("{:.5}", self.ddp_after)]);
+        table.add_row(vec![
+            "DCA (log-discounted)".into(),
+            format!("{:.5}", self.ddp_after),
+        ]);
         let mut out = table.render();
         out.push_str(&format!(
             "Improvement factor: {:.1}x\n",
-            if self.ddp_after > 0.0 { self.ddp_before / self.ddp_after } else { f64::INFINITY }
+            if self.ddp_after > 0.0 {
+                self.ddp_before / self.ddp_after
+            } else {
+                f64::INFINITY
+            }
         ));
         out
     }
@@ -397,7 +437,10 @@ pub fn run_exposure(scale: &ExperimentScale) -> Result<ExposureResult> {
     let (train, test) = standard_school_pair(scale);
     let rubric = SchoolGenerator::rubric();
     let config = experiment_dca_config(scale, scale.seed);
-    let objective = LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 });
+    let objective = LogDiscountedObjective::new(LogDiscountConfig {
+        step: 10,
+        max_fraction: 0.5,
+    });
     let dca = Dca::new(config).run(train.dataset(), &rubric, &objective)?;
 
     let view = test.dataset().full_view();
@@ -418,15 +461,22 @@ mod tests {
     use super::*;
 
     fn scale() -> ExperimentScale {
-        ExperimentScale { dca_iterations: 30, ..ExperimentScale::tiny() }
+        ExperimentScale {
+            dca_iterations: 30,
+            ..ExperimentScale::tiny()
+        }
     }
 
     #[test]
     fn quota_reduces_disparity_but_less_than_perfectly() {
         let result = run_quota(&scale(), 0.7).unwrap();
         assert_eq!(result.points.len(), 10);
-        for ((_, _, quota_norm), (_, base_norm)) in result.points.iter().zip(&result.baseline_norms) {
-            assert!(*quota_norm <= base_norm + 1e-9, "quota must not worsen disparity");
+        for ((_, _, quota_norm), (_, base_norm)) in result.points.iter().zip(&result.baseline_norms)
+        {
+            assert!(
+                *quota_norm <= base_norm + 1e-9,
+                "quota must not worsen disparity"
+            );
         }
         // The quota helps at the smallest k, where the baseline is worst.
         assert!(result.points[0].2 < result.baseline_norms[0].1);
@@ -466,7 +516,12 @@ mod tests {
         );
         // The paper finds DCA at least as good as FA*IR thanks to overlap
         // handling; allow a small tolerance for the synthetic cohort.
-        assert!(dca.norm <= fastar.norm + 0.05, "dca {} vs fastar {}", dca.norm, fastar.norm);
+        assert!(
+            dca.norm <= fastar.norm + 0.05,
+            "dca {} vs fastar {}",
+            dca.norm,
+            fastar.norm
+        );
         assert_eq!(result.fastar_groups.len(), 3);
         assert!(result.render().contains("Table II"));
     }

@@ -5,8 +5,8 @@
 //! cap is relaxed and approaches the uncapped optimum.
 
 use crate::datasets::{standard_school_pair, ExperimentScale};
-use crate::table::TextTable;
 use crate::experiment_dca_config;
+use crate::table::TextTable;
 use fair_core::prelude::*;
 use fair_data::SchoolGenerator;
 
@@ -40,8 +40,10 @@ impl CapsResult {
         let names: Vec<String> = self.names.clone();
         header.extend(names.iter().map(String::as_str));
         header.push("Norm");
-        let mut table =
-            TextTable::new("Figure 5 — log-discounted disparity under maximum bonus limits", &header);
+        let mut table = TextTable::new(
+            "Figure 5 — log-discounted disparity under maximum bonus limits",
+            &header,
+        );
         for p in &self.points {
             let mut cells = vec![format!("{:.1}", p.max_bonus)];
             cells.extend(p.disparity.iter().map(|v| format!("{v:+.3}")));
@@ -70,7 +72,10 @@ pub fn run_caps(scale: &ExperimentScale, cap_levels: Option<Vec<f64>>) -> Result
         .collect();
     let dims = names.len();
     // Figure 5 uses the log-discounted disparity restricted to small k.
-    let discount = LogDiscountConfig { step: 10, max_fraction: 0.05 };
+    let discount = LogDiscountConfig {
+        step: 10,
+        max_fraction: 0.05,
+    };
     let objective = LogDiscountedObjective::new(discount);
 
     let mut points = Vec::with_capacity(caps.len());
@@ -99,7 +104,10 @@ mod tests {
 
     #[test]
     fn relaxing_the_cap_reduces_disparity() {
-        let scale = ExperimentScale { dca_iterations: 25, ..ExperimentScale::tiny() };
+        let scale = ExperimentScale {
+            dca_iterations: 25,
+            ..ExperimentScale::tiny()
+        };
         let result = run_caps(&scale, Some(vec![0.0, 5.0, 20.0])).unwrap();
         assert_eq!(result.points.len(), 3);
         let zero_cap = &result.points[0];

@@ -45,7 +45,11 @@ impl CompasResult {
     /// Render before/after norms per k.
     #[must_use]
     pub fn render(&self, title: &str) -> String {
-        let mut header = vec!["k".to_string(), "Norm before".to_string(), "Norm after".to_string()];
+        let mut header = vec![
+            "k".to_string(),
+            "Norm before".to_string(),
+            "Norm after".to_string(),
+        ];
         header.extend(self.names.iter().map(|n| format!("{n} (after)")));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut table = TextTable::new(title, &header_refs);
@@ -81,8 +85,12 @@ fn compas_config(scale: &ExperimentScale) -> DcaConfig {
 pub fn run_fig10a(scale: &ExperimentScale) -> Result<CompasResult> {
     let dataset = standard_compas(scale);
     let ranker = CompasGenerator::decile_ranker();
-    let names: Vec<String> =
-        dataset.schema().fairness_names().iter().map(|s| (*s).to_string()).collect();
+    let names: Vec<String> = dataset
+        .schema()
+        .fairness_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
     let dims = names.len();
     let zero = vec![0.0; dims];
 
@@ -96,7 +104,11 @@ pub fn run_fig10a(scale: &ExperimentScale) -> Result<CompasResult> {
             bonus: dca.bonus.values().to_vec(),
         });
     }
-    Ok(CompasResult { names, measure: "disparity".into(), rows })
+    Ok(CompasResult {
+        names,
+        measure: "disparity".into(),
+        rows,
+    })
 }
 
 /// Run Figure 10b: per-group false-positive rates, per k, before and after an
@@ -107,8 +119,12 @@ pub fn run_fig10a(scale: &ExperimentScale) -> Result<CompasResult> {
 pub fn run_fig10b(scale: &ExperimentScale) -> Result<CompasResult> {
     let dataset = standard_compas(scale);
     let ranker = CompasGenerator::decile_ranker();
-    let names: Vec<String> =
-        dataset.schema().fairness_names().iter().map(|s| (*s).to_string()).collect();
+    let names: Vec<String> = dataset
+        .schema()
+        .fairness_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
     let dims = names.len();
     let zero = vec![0.0; dims];
     let view = dataset.full_view();
@@ -121,8 +137,11 @@ pub fn run_fig10b(scale: &ExperimentScale) -> Result<CompasResult> {
 
     let mut rows = Vec::new();
     for k in k_grid() {
-        let dca =
-            Dca::new(compas_config(scale)).run(&dataset, &ranker, &FprDifferenceObjective::new(k))?;
+        let dca = Dca::new(compas_config(scale)).run(
+            &dataset,
+            &ranker,
+            &FprDifferenceObjective::new(k),
+        )?;
         rows.push(CompasRow {
             k,
             before: fpr_diff(&zero, k)?,
@@ -130,7 +149,11 @@ pub fn run_fig10b(scale: &ExperimentScale) -> Result<CompasResult> {
             bonus: dca.bonus.values().to_vec(),
         });
     }
-    Ok(CompasResult { names, measure: "FPR difference".into(), rows })
+    Ok(CompasResult {
+        names,
+        measure: "FPR difference".into(),
+        rows,
+    })
 }
 
 /// Run Figure 10c: one log-discounted DCA run, evaluated across the k grid.
@@ -140,12 +163,19 @@ pub fn run_fig10b(scale: &ExperimentScale) -> Result<CompasResult> {
 pub fn run_fig10c(scale: &ExperimentScale) -> Result<CompasResult> {
     let dataset = standard_compas(scale);
     let ranker = CompasGenerator::decile_ranker();
-    let names: Vec<String> =
-        dataset.schema().fairness_names().iter().map(|s| (*s).to_string()).collect();
+    let names: Vec<String> = dataset
+        .schema()
+        .fairness_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
     let dims = names.len();
     let zero = vec![0.0; dims];
 
-    let objective = LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 });
+    let objective = LogDiscountedObjective::new(LogDiscountConfig {
+        step: 10,
+        max_fraction: 0.5,
+    });
     let dca = Dca::new(compas_config(scale)).run(&dataset, &ranker, &objective)?;
 
     let mut rows = Vec::new();
@@ -157,7 +187,11 @@ pub fn run_fig10c(scale: &ExperimentScale) -> Result<CompasResult> {
             bonus: dca.bonus.values().to_vec(),
         });
     }
-    Ok(CompasResult { names, measure: "disparity (log-discounted bonus)".into(), rows })
+    Ok(CompasResult {
+        names,
+        measure: "disparity (log-discounted bonus)".into(),
+        rows,
+    })
 }
 
 #[cfg(test)]
@@ -165,7 +199,11 @@ mod tests {
     use super::*;
 
     fn scale() -> ExperimentScale {
-        ExperimentScale { dca_iterations: 30, compas_size: 4_000, ..ExperimentScale::tiny() }
+        ExperimentScale {
+            dca_iterations: 30,
+            compas_size: 4_000,
+            ..ExperimentScale::tiny()
+        }
     }
 
     #[test]
@@ -174,7 +212,11 @@ mod tests {
         assert_eq!(result.rows.len(), 10);
         // Before: African-American (dim 0) over-flagged, Caucasian (dim 1)
         // under-flagged, at moderate k.
-        let row = result.rows.iter().find(|r| (r.k - 0.25).abs() < 1e-9).unwrap();
+        let row = result
+            .rows
+            .iter()
+            .find(|r| (r.k - 0.25).abs() < 1e-9)
+            .unwrap();
         assert!(row.before[0] > 0.03, "{:?}", row.before);
         assert!(row.before[1] < -0.03, "{:?}", row.before);
         // After: the norm shrinks and bonuses are non-positive.
@@ -186,13 +228,20 @@ mod tests {
     #[test]
     fn fig10b_reduces_fpr_gaps() {
         let result = run_fig10b(&scale()).unwrap();
-        let row = result.rows.iter().find(|r| (r.k - 0.3).abs() < 1e-9).unwrap();
+        let row = result
+            .rows
+            .iter()
+            .find(|r| (r.k - 0.3).abs() < 1e-9)
+            .unwrap();
         assert!(
             norm(&row.after) <= norm(&row.before) + 1e-9,
             "FPR gaps should not grow: {:?}",
             row
         );
-        assert!(row.before[0] > 0.0, "African-American FPR above average before correction");
+        assert!(
+            row.before[0] > 0.0,
+            "African-American FPR above average before correction"
+        );
     }
 
     #[test]

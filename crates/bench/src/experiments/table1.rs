@@ -41,7 +41,10 @@ impl Table1Result {
         header.extend(names.iter().map(String::as_str));
         header.push("Norm");
         let mut table = TextTable::new(
-            format!("Table I — school disparity before/after bonus points (k = {:.0}%)", self.k * 100.0),
+            format!(
+                "Table I — school disparity before/after bonus points (k = {:.0}%)",
+                self.k * 100.0
+            ),
             &header,
         );
         for row in &self.rows {
@@ -51,9 +54,10 @@ impl Table1Result {
                 cells.push(String::new());
                 table.add_row(cells);
             }
-            for (cohort, disp) in
-                [("Training", &row.train_disparity), ("Test", &row.test_disparity)]
-            {
+            for (cohort, disp) in [
+                ("Training", &row.train_disparity),
+                ("Test", &row.test_disparity),
+            ] {
                 let mut cells = vec![row.setting.clone(), cohort.to_string()];
                 cells.extend(disp.iter().map(|v| format!("{v:+.3}")));
                 cells.push(format!("{:.3}", norm(disp)));
@@ -110,7 +114,11 @@ pub fn run_table1(scale: &ExperimentScale) -> Result<Table1Result> {
         test_disparity: eval_disparity(test.dataset(), &rubric, dca.bonus.values(), k)?,
     };
 
-    Ok(Table1Result { names, k, rows: vec![baseline, core_row, dca_row] })
+    Ok(Table1Result {
+        names,
+        k,
+        rows: vec![baseline, core_row, dca_row],
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +148,10 @@ mod tests {
             baseline.test_disparity
         );
         // Bonus points are non-negative and on the 0.5 grid.
-        assert!(dca.bonus.iter().all(|b| *b >= 0.0 && (b * 2.0).fract().abs() < 1e-9));
+        assert!(dca
+            .bonus
+            .iter()
+            .all(|b| *b >= 0.0 && (b * 2.0).fract().abs() < 1e-9));
         // Rendering mentions every setting.
         let text = result.render();
         assert!(text.contains("Baseline") && text.contains("Core DCA") && text.contains("DCA"));

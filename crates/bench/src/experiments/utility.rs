@@ -9,7 +9,9 @@
 
 use crate::datasets::{standard_school_pair, ExperimentScale};
 use crate::table::TextTable;
-use crate::{disparity_curve, eval_disparity, eval_ndcg, experiment_dca_config, k_grid, CurvePoint};
+use crate::{
+    disparity_curve, eval_disparity, eval_ndcg, experiment_dca_config, k_grid, CurvePoint,
+};
 use fair_core::prelude::*;
 use fair_data::SchoolGenerator;
 
@@ -26,8 +28,10 @@ impl Fig1Result {
     /// Render the nDCG@k series.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut table =
-            TextTable::new("Figure 1 — nDCG@k on the test cohort", &["k", "nDCG", "Disparity norm"]);
+        let mut table = TextTable::new(
+            "Figure 1 — nDCG@k on the test cohort",
+            &["k", "nDCG", "Disparity norm"],
+        );
         for p in &self.points {
             table.add_row(vec![
                 format!("{:.2}", p.k),
@@ -76,7 +80,10 @@ impl ProportionSweepResult {
         let names: Vec<String> = self.names.clone();
         header.extend(names.iter().map(String::as_str));
         let mut table = TextTable::new(
-            format!("Figures 2-3 — bonus-proportion sweep (evaluated at k = {:.0}%)", self.k * 100.0),
+            format!(
+                "Figures 2-3 — bonus-proportion sweep (evaluated at k = {:.0}%)",
+                self.k * 100.0
+            ),
             &header,
         );
         for p in &self.points {
@@ -103,7 +110,10 @@ pub fn run_fig1(scale: &ExperimentScale) -> Result<Fig1Result> {
     let config = experiment_dca_config(scale, scale.seed);
     let dca = Dca::new(config).run(train.dataset(), &rubric, &TopKDisparity::new(0.05))?;
     let points = disparity_curve(test.dataset(), &rubric, dca.bonus.values(), &k_grid())?;
-    Ok(Fig1Result { bonus: dca.bonus.values().to_vec(), points })
+    Ok(Fig1Result {
+        bonus: dca.bonus.values().to_vec(),
+        points,
+    })
 }
 
 /// Run Figures 2–3: sweep the proportion of recommended bonus points.
@@ -142,7 +152,12 @@ pub fn run_proportion_sweep(scale: &ExperimentScale) -> Result<ProportionSweepRe
             ndcg,
         });
     }
-    Ok(ProportionSweepResult { names, k, full_bonus: full.values().to_vec(), points })
+    Ok(ProportionSweepResult {
+        names,
+        k,
+        full_bonus: full.values().to_vec(),
+        points,
+    })
 }
 
 #[cfg(test)]
@@ -154,8 +169,11 @@ mod tests {
         let result = run_fig1(&ExperimentScale::tiny()).unwrap();
         assert_eq!(result.points.len(), 10);
         // The paper reports nDCG@0.05 ≈ 0.957 and > 0.9 everywhere.
-        assert!(result.points.iter().all(|p| p.ndcg > 0.85), "{:?}",
-            result.points.iter().map(|p| p.ndcg).collect::<Vec<_>>());
+        assert!(
+            result.points.iter().all(|p| p.ndcg > 0.85),
+            "{:?}",
+            result.points.iter().map(|p| p.ndcg).collect::<Vec<_>>()
+        );
         assert!(result.points.iter().all(|p| p.ndcg <= 1.0));
         assert!(result.render().contains("Figure 1"));
     }

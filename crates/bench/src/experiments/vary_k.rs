@@ -48,10 +48,7 @@ impl PerKResult {
     /// Render before/after norms and timing per `k`.
     #[must_use]
     pub fn render(&self, title: &str) -> String {
-        let mut table = TextTable::new(
-            title,
-            &["k", "Norm before", "Norm after", "Time (ms)"],
-        );
+        let mut table = TextTable::new(title, &["k", "Norm before", "Norm after", "Time (ms)"]);
         for row in &self.rows {
             table.add_row(vec![
                 format!("{:.2}", row.k),
@@ -130,7 +127,11 @@ pub fn run_per_k(scale: &ExperimentScale, refined: bool) -> Result<PerKResult> {
             elapsed,
         });
     }
-    Ok(PerKResult { names, refined, rows })
+    Ok(PerKResult {
+        names,
+        refined,
+        rows,
+    })
 }
 
 /// Run Figure 4b: optimize at `opt_k` (5% in the paper) and evaluate the
@@ -154,7 +155,10 @@ pub fn run_fixed_k(scale: &ExperimentScale, opt_k: f64) -> Result<FixedBonusAcro
     Ok(FixedBonusAcrossK {
         names,
         bonus: dca.bonus.values().to_vec(),
-        points: curve.into_iter().map(|p| (p.k, p.disparity, p.norm)).collect(),
+        points: curve
+            .into_iter()
+            .map(|p| (p.k, p.disparity, p.norm))
+            .collect(),
     })
 }
 
@@ -174,13 +178,19 @@ pub fn run_log_discounted(scale: &ExperimentScale) -> Result<FixedBonusAcrossK> 
         .map(|s| (*s).to_string())
         .collect();
     let config = experiment_dca_config(scale, scale.seed);
-    let objective = LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 });
+    let objective = LogDiscountedObjective::new(LogDiscountConfig {
+        step: 10,
+        max_fraction: 0.5,
+    });
     let dca = Dca::new(config).run(train.dataset(), &rubric, &objective)?;
     let curve = disparity_curve(test.dataset(), &rubric, dca.bonus.values(), &k_grid())?;
     Ok(FixedBonusAcrossK {
         names,
         bonus: dca.bonus.values().to_vec(),
-        points: curve.into_iter().map(|p| (p.k, p.disparity, p.norm)).collect(),
+        points: curve
+            .into_iter()
+            .map(|p| (p.k, p.disparity, p.norm))
+            .collect(),
     })
 }
 
@@ -190,7 +200,10 @@ mod tests {
 
     fn tiny_with_fewer_ks() -> ExperimentScale {
         // Smaller iteration counts keep the 10-point grid affordable in tests.
-        ExperimentScale { dca_iterations: 25, ..ExperimentScale::tiny() }
+        ExperimentScale {
+            dca_iterations: 25,
+            ..ExperimentScale::tiny()
+        }
     }
 
     #[test]

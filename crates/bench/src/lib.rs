@@ -58,7 +58,12 @@ pub fn disparity_curve<R: Ranker + ?Sized>(
     for &k in ks {
         let disparity = disparity_at_k(&view, &ranking, k)?;
         let ndcg = ndcg_at_k(&view, ranker, &ranking, k)?;
-        points.push(CurvePoint { k, norm: norm(&disparity), disparity, ndcg });
+        points.push(CurvePoint {
+            k,
+            norm: norm(&disparity),
+            disparity,
+            ndcg,
+        });
     }
     Ok(points)
 }
@@ -137,7 +142,10 @@ mod tests {
         assert_eq!(curve.len(), 2);
         let direct = eval_disparity(train.dataset(), &ranker, &[0.0; 4], 0.05).unwrap();
         assert_eq!(curve[0].disparity, direct);
-        assert!((curve[0].ndcg - 1.0).abs() < 1e-12, "zero bonus leaves the ranking unchanged");
+        assert!(
+            (curve[0].ndcg - 1.0).abs() < 1e-12,
+            "zero bonus leaves the ranking unchanged"
+        );
         assert!(curve[0].norm > 0.0);
     }
 

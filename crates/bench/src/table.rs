@@ -29,7 +29,11 @@ impl TextTable {
     /// # Panics
     /// Panics if the row length differs from the header length.
     pub fn add_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row length must match the header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row length must match the header"
+        );
         self.rows.push(cells);
     }
 

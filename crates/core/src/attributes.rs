@@ -42,13 +42,19 @@ impl FairnessAttribute {
     /// A binary fairness attribute (e.g. `low_income`).
     #[must_use]
     pub fn binary(name: impl Into<String>) -> Self {
-        Self { name: name.into(), kind: FairnessKind::Binary }
+        Self {
+            name: name.into(),
+            kind: FairnessKind::Binary,
+        }
     }
 
     /// A continuous fairness attribute normalized to `[0,1]` (e.g. `eni`).
     #[must_use]
     pub fn continuous(name: impl Into<String>) -> Self {
-        Self { name: name.into(), kind: FairnessKind::Continuous }
+        Self {
+            name: name.into(),
+            kind: FairnessKind::Continuous,
+        }
     }
 
     /// The attribute name.
@@ -112,17 +118,18 @@ impl Schema {
     /// Returns [`FairError::InvalidConfig`] if either list contains duplicate
     /// names or if the fairness list is empty (a fairness-free dataset has no
     /// disparity to compensate).
-    pub fn new(
-        features: Vec<String>,
-        fairness: Vec<FairnessAttribute>,
-    ) -> Result<SchemaRef> {
+    pub fn new(features: Vec<String>, fairness: Vec<FairnessAttribute>) -> Result<SchemaRef> {
         if fairness.is_empty() {
             return Err(FairError::InvalidConfig {
                 reason: "schema requires at least one fairness attribute".into(),
             });
         }
         let mut seen = std::collections::HashSet::new();
-        for name in features.iter().map(String::as_str).chain(fairness.iter().map(|a| a.name())) {
+        for name in features
+            .iter()
+            .map(String::as_str)
+            .chain(fairness.iter().map(|a| a.name()))
+        {
             if !seen.insert(name.to_string()) {
                 return Err(FairError::InvalidConfig {
                     reason: format!("duplicate attribute name `{name}`"),
@@ -142,7 +149,11 @@ impl Schema {
         let fairness = binary_fairness
             .iter()
             .map(|s| FairnessAttribute::binary(*s))
-            .chain(continuous_fairness.iter().map(|s| FairnessAttribute::continuous(*s)))
+            .chain(
+                continuous_fairness
+                    .iter()
+                    .map(|s| FairnessAttribute::continuous(*s)),
+            )
             .collect();
         Self::new(features, fairness)
     }
@@ -177,7 +188,9 @@ impl Schema {
         self.features
             .iter()
             .position(|f| f == name)
-            .ok_or_else(|| FairError::UnknownAttribute { name: name.to_string() })
+            .ok_or_else(|| FairError::UnknownAttribute {
+                name: name.to_string(),
+            })
     }
 
     /// Index of a fairness attribute by name.
@@ -185,7 +198,9 @@ impl Schema {
         self.fairness
             .iter()
             .position(|f| f.name() == name)
-            .ok_or_else(|| FairError::UnknownAttribute { name: name.to_string() })
+            .ok_or_else(|| FairError::UnknownAttribute {
+                name: name.to_string(),
+            })
     }
 
     /// Names of the fairness attributes, in order.
@@ -251,14 +266,23 @@ mod tests {
         assert_eq!(s.num_fairness(), 4);
         assert_eq!(s.feature_index("gpa").unwrap(), 0);
         assert_eq!(s.fairness_index("eni").unwrap(), 3);
-        assert_eq!(s.fairness_names(), vec!["low_income", "ell", "special_ed", "eni"]);
+        assert_eq!(
+            s.fairness_names(),
+            vec!["low_income", "ell", "special_ed", "eni"]
+        );
     }
 
     #[test]
     fn unknown_attribute_is_an_error() {
         let s = school_schema();
-        assert!(matches!(s.feature_index("nope"), Err(FairError::UnknownAttribute { .. })));
-        assert!(matches!(s.fairness_index("nope"), Err(FairError::UnknownAttribute { .. })));
+        assert!(matches!(
+            s.feature_index("nope"),
+            Err(FairError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            s.fairness_index("nope"),
+            Err(FairError::UnknownAttribute { .. })
+        ));
     }
 
     #[test]

@@ -62,7 +62,9 @@ impl BonusCaps {
                 reason: format!("bonus cap must be a non-negative finite number, got {max_abs}"),
             });
         }
-        Ok(Self { max_abs: vec![max_abs; dims] })
+        Ok(Self {
+            max_abs: vec![max_abs; dims],
+        })
     }
 
     /// Per-dimension caps.
@@ -72,7 +74,9 @@ impl BonusCaps {
     /// empty.
     pub fn per_dimension(max_abs: Vec<f64>) -> Result<Self> {
         if max_abs.is_empty() {
-            return Err(FairError::InvalidConfig { reason: "caps cannot be empty".into() });
+            return Err(FairError::InvalidConfig {
+                reason: "caps cannot be empty".into(),
+            });
         }
         if max_abs.iter().any(|c| !c.is_finite() || *c < 0.0) {
             return Err(FairError::InvalidConfig {
@@ -115,7 +119,11 @@ impl BonusVector {
     #[must_use]
     pub fn zeros(schema: SchemaRef) -> Self {
         let dims = schema.num_fairness();
-        Self { schema, values: vec![0.0; dims], polarity: BonusPolarity::NonNegative }
+        Self {
+            schema,
+            values: vec![0.0; dims],
+            polarity: BonusPolarity::NonNegative,
+        }
     }
 
     /// Build from explicit values.
@@ -147,7 +155,11 @@ impl BonusVector {
                 });
             }
         }
-        Ok(Self { schema, values, polarity })
+        Ok(Self {
+            schema,
+            values,
+            polarity,
+        })
     }
 
     /// Build from `(name, value)` pairs; unspecified attributes get 0.
@@ -222,7 +234,11 @@ impl BonusVector {
             .map(|v| (v / granularity).round() * granularity)
             .map(|v| self.polarity.clamp(v))
             .collect();
-        Ok(Self { schema: self.schema.clone(), values, polarity: self.polarity })
+        Ok(Self {
+            schema: self.schema.clone(),
+            values,
+            polarity: self.polarity,
+        })
     }
 
     /// A copy scaled by `proportion` (Figures 2–3: "applying a reducing weight
@@ -234,11 +250,17 @@ impl BonusVector {
     pub fn scaled(&self, proportion: f64) -> Result<Self> {
         if !(proportion.is_finite() && proportion >= 0.0) {
             return Err(FairError::InvalidConfig {
-                reason: format!("scaling proportion must be non-negative and finite, got {proportion}"),
+                reason: format!(
+                    "scaling proportion must be non-negative and finite, got {proportion}"
+                ),
             });
         }
         let values = self.values.iter().map(|v| v * proportion).collect();
-        Ok(Self { schema: self.schema.clone(), values, polarity: self.polarity })
+        Ok(Self {
+            schema: self.schema.clone(),
+            values,
+            polarity: self.polarity,
+        })
     }
 
     /// A copy with every dimension clamped to the given caps.
@@ -259,7 +281,11 @@ impl BonusVector {
             .enumerate()
             .map(|(i, &v)| self.polarity.clamp(caps.clamp(i, v)))
             .collect();
-        Ok(Self { schema: self.schema.clone(), values, polarity: self.polarity })
+        Ok(Self {
+            schema: self.schema.clone(),
+            values,
+            polarity: self.polarity,
+        })
     }
 
     /// Human-readable explanation of the intervention — the transparency
@@ -321,8 +347,12 @@ mod tests {
 
     #[test]
     fn from_named_fills_missing_with_zero() {
-        let b = BonusVector::from_named(schema(), &[("ell", 11.5), ("eni", 12.0)], BonusPolarity::NonNegative)
-            .unwrap();
+        let b = BonusVector::from_named(
+            schema(),
+            &[("ell", 11.5), ("eni", 12.0)],
+            BonusPolarity::NonNegative,
+        )
+        .unwrap();
         assert_eq!(b.values(), &[0.0, 11.5, 0.0, 12.0]);
         assert_eq!(b.get("ell").unwrap(), 11.5);
         assert!(b.get("unknown").is_err());
@@ -330,11 +360,23 @@ mod tests {
 
     #[test]
     fn polarity_is_enforced_at_construction() {
-        let bad = BonusVector::new(schema(), vec![-1.0, 0.0, 0.0, 0.0], BonusPolarity::NonNegative);
+        let bad = BonusVector::new(
+            schema(),
+            vec![-1.0, 0.0, 0.0, 0.0],
+            BonusPolarity::NonNegative,
+        );
         assert!(bad.is_err());
-        let ok = BonusVector::new(schema(), vec![-1.0, 0.0, 0.0, 0.0], BonusPolarity::NonPositive);
+        let ok = BonusVector::new(
+            schema(),
+            vec![-1.0, 0.0, 0.0, 0.0],
+            BonusPolarity::NonPositive,
+        );
         assert!(ok.is_ok());
-        let bad2 = BonusVector::new(schema(), vec![1.0, 0.0, 0.0, 0.0], BonusPolarity::NonPositive);
+        let bad2 = BonusVector::new(
+            schema(),
+            vec![1.0, 0.0, 0.0, 0.0],
+            BonusPolarity::NonPositive,
+        );
         assert!(bad2.is_err());
     }
 
@@ -367,8 +409,12 @@ mod tests {
 
     #[test]
     fn scaling_is_linear_and_validated() {
-        let b = BonusVector::new(schema(), vec![2.0, 10.0, 14.0, 12.0], BonusPolarity::NonNegative)
-            .unwrap();
+        let b = BonusVector::new(
+            schema(),
+            vec![2.0, 10.0, 14.0, 12.0],
+            BonusPolarity::NonNegative,
+        )
+        .unwrap();
         let half = b.scaled(0.5).unwrap();
         assert_eq!(half.values(), &[1.0, 5.0, 7.0, 6.0]);
         let zero = b.scaled(0.0).unwrap();
@@ -378,8 +424,12 @@ mod tests {
 
     #[test]
     fn caps_clamp_magnitudes() {
-        let b = BonusVector::new(schema(), vec![2.0, 25.0, 14.0, 12.0], BonusPolarity::NonNegative)
-            .unwrap();
+        let b = BonusVector::new(
+            schema(),
+            vec![2.0, 25.0, 14.0, 12.0],
+            BonusPolarity::NonNegative,
+        )
+        .unwrap();
         let caps = BonusCaps::uniform(4, 15.0).unwrap();
         let capped = b.capped(&caps).unwrap();
         assert_eq!(capped.values(), &[2.0, 15.0, 14.0, 12.0]);
@@ -390,8 +440,12 @@ mod tests {
 
     #[test]
     fn caps_work_for_negative_polarity() {
-        let b = BonusVector::new(schema(), vec![-2.0, -25.0, 0.0, 0.0], BonusPolarity::NonPositive)
-            .unwrap();
+        let b = BonusVector::new(
+            schema(),
+            vec![-2.0, -25.0, 0.0, 0.0],
+            BonusPolarity::NonPositive,
+        )
+        .unwrap();
         let caps = BonusCaps::uniform(4, 10.0).unwrap();
         let capped = b.capped(&caps).unwrap();
         assert_eq!(capped.values(), &[-2.0, -10.0, 0.0, 0.0]);
@@ -410,8 +464,12 @@ mod tests {
 
     #[test]
     fn norm_matches_euclidean_norm() {
-        let b = BonusVector::new(schema(), vec![3.0, 4.0, 0.0, 0.0], BonusPolarity::NonNegative)
-            .unwrap();
+        let b = BonusVector::new(
+            schema(),
+            vec![3.0, 4.0, 0.0, 0.0],
+            BonusPolarity::NonNegative,
+        )
+        .unwrap();
         assert!((b.norm() - 5.0).abs() < 1e-12);
     }
 
@@ -426,13 +484,17 @@ mod tests {
         let text = b.explain();
         assert!(text.contains("ell"));
         assert!(text.contains("+11.50"));
-        assert!(text.contains("multiplied"), "continuous attributes explain the multiplication");
+        assert!(
+            text.contains("multiplied"),
+            "continuous attributes explain the multiplication"
+        );
         assert!(text.contains("no adjustment"));
     }
 
     #[test]
     fn display_is_compact() {
-        let b = BonusVector::from_named(schema(), &[("ell", 1.0)], BonusPolarity::NonNegative).unwrap();
+        let b =
+            BonusVector::from_named(schema(), &[("ell", 1.0)], BonusPolarity::NonNegative).unwrap();
         let s = b.to_string();
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("ell: 1.00"));

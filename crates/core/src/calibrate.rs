@@ -159,7 +159,13 @@ pub fn calibrate_proportion<R: Ranker + ?Sized>(
                 }
             }
             let (n, u, b) = evaluate(dataset, ranker, full_bonus, lo, k, granularity)?;
-            Ok(CalibrationResult { proportion: lo, bonus: b, disparity_norm: n, ndcg: u, target_met: true })
+            Ok(CalibrationResult {
+                proportion: lo,
+                bonus: b,
+                disparity_norm: n,
+                ndcg: u,
+                target_met: true,
+            })
         }
         CalibrationTarget::MaxDisparityNorm(_) => {
             // Disparity is (weakly) minimal at proportion 1. If even the full
@@ -194,7 +200,13 @@ pub fn calibrate_proportion<R: Ranker + ?Sized>(
                 }
             }
             let (n, u, b) = evaluate(dataset, ranker, full_bonus, hi, k, granularity)?;
-            Ok(CalibrationResult { proportion: hi, bonus: b, disparity_norm: n, ndcg: u, target_met: true })
+            Ok(CalibrationResult {
+                proportion: hi,
+                bonus: b,
+                disparity_norm: n,
+                ndcg: u,
+                target_met: true,
+            })
         }
     }
 }
@@ -223,7 +235,12 @@ mod tests {
     }
 
     fn full_bonus(dataset: &Dataset) -> BonusVector {
-        BonusVector::new(dataset.schema().clone(), vec![20.0], BonusPolarity::NonNegative).unwrap()
+        BonusVector::new(
+            dataset.schema().clone(),
+            vec![20.0],
+            BonusPolarity::NonNegative,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -247,13 +264,23 @@ mod tests {
         )
         .unwrap();
         assert!(result.target_met);
-        assert!(result.ndcg >= floor - 1e-9, "{} vs floor {floor}", result.ndcg);
+        assert!(
+            result.ndcg >= floor - 1e-9,
+            "{} vs floor {floor}",
+            result.ndcg
+        );
         assert!(result.proportion > 0.0 && result.proportion < 1.0);
         // Nudging the proportion up should break the floor (within the search
         // resolution) — i.e. we really found the frontier.
-        let (_, u_above, _) =
-            evaluate(&dataset, &ranker, &bonus, (result.proportion + 0.05).min(1.0), 0.1, None)
-                .unwrap();
+        let (_, u_above, _) = evaluate(
+            &dataset,
+            &ranker,
+            &bonus,
+            (result.proportion + 0.05).min(1.0),
+            0.1,
+            None,
+        )
+        .unwrap();
         assert!(u_above <= result.ndcg + 1e-9);
     }
 
@@ -288,14 +315,26 @@ mod tests {
         let bonus = full_bonus(&dataset);
         // A utility floor of 0 is met by the full intervention.
         let r = calibrate_proportion(
-            &dataset, &ranker, &bonus, 0.1, CalibrationTarget::MinUtility(0.0), None, 10,
+            &dataset,
+            &ranker,
+            &bonus,
+            0.1,
+            CalibrationTarget::MinUtility(0.0),
+            None,
+            10,
         )
         .unwrap();
         assert_eq!(r.proportion, 1.0);
         assert!(r.target_met);
         // A huge disparity ceiling is met without any intervention.
         let r = calibrate_proportion(
-            &dataset, &ranker, &bonus, 0.1, CalibrationTarget::MaxDisparityNorm(1.0), None, 10,
+            &dataset,
+            &ranker,
+            &bonus,
+            0.1,
+            CalibrationTarget::MaxDisparityNorm(1.0),
+            None,
+            10,
         )
         .unwrap();
         assert_eq!(r.proportion, 0.0);
@@ -307,9 +346,12 @@ mod tests {
         let dataset = biased_dataset(2_000);
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         // A tiny bonus cannot repair the gap.
-        let weak =
-            BonusVector::new(dataset.schema().clone(), vec![0.5], BonusPolarity::NonNegative)
-                .unwrap();
+        let weak = BonusVector::new(
+            dataset.schema().clone(),
+            vec![0.5],
+            BonusPolarity::NonNegative,
+        )
+        .unwrap();
         let r = calibrate_proportion(
             &dataset,
             &ranker,
@@ -350,22 +392,46 @@ mod tests {
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let bonus = full_bonus(&dataset);
         assert!(calibrate_proportion(
-            &dataset, &ranker, &bonus, 0.1, CalibrationTarget::MinUtility(1.5), None, 10
+            &dataset,
+            &ranker,
+            &bonus,
+            0.1,
+            CalibrationTarget::MinUtility(1.5),
+            None,
+            10
         )
         .is_err());
         assert!(calibrate_proportion(
-            &dataset, &ranker, &bonus, 0.1, CalibrationTarget::MaxDisparityNorm(-0.1), None, 10
+            &dataset,
+            &ranker,
+            &bonus,
+            0.1,
+            CalibrationTarget::MaxDisparityNorm(-0.1),
+            None,
+            10
         )
         .is_err());
         let other_schema = Schema::from_names(&["s"], &["a", "b"], &[]).unwrap();
         let wrong = BonusVector::zeros(other_schema);
         assert!(calibrate_proportion(
-            &dataset, &ranker, &wrong, 0.1, CalibrationTarget::MinUtility(0.9), None, 10
+            &dataset,
+            &ranker,
+            &wrong,
+            0.1,
+            CalibrationTarget::MinUtility(0.9),
+            None,
+            10
         )
         .is_err());
         let empty = Dataset::empty(dataset.schema().clone());
         assert!(calibrate_proportion(
-            &empty, &ranker, &bonus, 0.1, CalibrationTarget::MinUtility(0.9), None, 10
+            &empty,
+            &ranker,
+            &bonus,
+            0.1,
+            CalibrationTarget::MinUtility(0.9),
+            None,
+            10
         )
         .is_err());
     }

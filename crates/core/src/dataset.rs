@@ -47,7 +47,10 @@ impl Dataset {
     /// Create an empty dataset with the given schema.
     #[must_use]
     pub fn empty(schema: SchemaRef) -> Self {
-        Self { schema, objects: Vec::new() }
+        Self {
+            schema,
+            objects: Vec::new(),
+        }
     }
 
     /// The shared schema.
@@ -157,21 +160,29 @@ impl Dataset {
             return Err(FairError::EmptyDataset);
         }
         if size == 0 {
-            return Err(FairError::InvalidConfig { reason: "sample size must be positive".into() });
+            return Err(FairError::InvalidConfig {
+                reason: "sample size must be positive".into(),
+            });
         }
         let indices: Vec<usize> = if size >= self.objects.len() {
             (0..self.objects.len()).collect()
         } else {
             index_sample(rng, self.objects.len(), size).into_vec()
         };
-        Ok(SampleView { dataset: self, indices })
+        Ok(SampleView {
+            dataset: self,
+            indices,
+        })
     }
 
     /// Borrow the whole dataset as a [`SampleView`] (used by Full DCA, which
     /// never samples).
     #[must_use]
     pub fn full_view(&self) -> SampleView<'_> {
-        SampleView { dataset: self, indices: (0..self.objects.len()).collect() }
+        SampleView {
+            dataset: self,
+            indices: (0..self.objects.len()).collect(),
+        }
     }
 
     /// Build a new dataset containing only the objects selected by `predicate`
@@ -180,7 +191,12 @@ impl Dataset {
     pub fn filter(&self, mut predicate: impl FnMut(&DataObject) -> bool) -> Dataset {
         Dataset {
             schema: self.schema.clone(),
-            objects: self.objects.iter().filter(|o| predicate(o)).cloned().collect(),
+            objects: self
+                .objects
+                .iter()
+                .filter(|o| predicate(o))
+                .cloned()
+                .collect(),
         }
     }
 
@@ -221,7 +237,11 @@ impl<'a> SampleView<'a> {
     #[must_use]
     pub fn from_indices(dataset: &'a Dataset, indices: Vec<usize>) -> Self {
         for &i in &indices {
-            assert!(i < dataset.len(), "index {i} out of bounds for dataset of {}", dataset.len());
+            assert!(
+                i < dataset.len(),
+                "index {i} out of bounds for dataset of {}",
+                dataset.len()
+            );
         }
         Self { dataset, indices }
     }
@@ -258,7 +278,9 @@ impl<'a> SampleView<'a> {
 
     /// Iterate over the viewed objects.
     pub fn iter(&self) -> impl Iterator<Item = &DataObject> + '_ {
-        self.indices.iter().map(move |&i| &self.dataset.objects()[i])
+        self.indices
+            .iter()
+            .map(move |&i| &self.dataset.objects()[i])
     }
 
     /// The `i`-th object of the view.
@@ -276,7 +298,10 @@ impl<'a> SampleView<'a> {
     /// Fairness centroid over a subset of *view positions* (not dataset
     /// indices) — used for the selected top-k of a sample (Lemma 4.4).
     pub fn fairness_centroid_of(&self, positions: &[usize]) -> Result<Vec<f64>> {
-        centroid_of(self.dataset.schema(), positions.iter().map(|&p| self.object(p)))
+        centroid_of(
+            self.dataset.schema(),
+            positions.iter().map(|&p| self.object(p)),
+        )
     }
 }
 
@@ -341,7 +366,10 @@ mod tests {
     #[test]
     fn empty_centroid_is_error() {
         let d = Dataset::empty(schema());
-        assert!(matches!(d.fairness_centroid(), Err(FairError::EmptyDataset)));
+        assert!(matches!(
+            d.fairness_centroid(),
+            Err(FairError::EmptyDataset)
+        ));
     }
 
     #[test]
@@ -383,14 +411,20 @@ mod tests {
     fn sample_from_empty_dataset_is_error() {
         let d = Dataset::empty(schema());
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(matches!(d.sample(&mut rng, 5), Err(FairError::EmptyDataset)));
+        assert!(matches!(
+            d.sample(&mut rng, 5),
+            Err(FairError::EmptyDataset)
+        ));
     }
 
     #[test]
     fn view_centroid_matches_dataset_for_full_view() {
         let d = make_dataset();
         let v = d.full_view();
-        assert_eq!(v.fairness_centroid().unwrap(), d.fairness_centroid().unwrap());
+        assert_eq!(
+            v.fairness_centroid().unwrap(),
+            d.fairness_centroid().unwrap()
+        );
         assert_eq!(v.len(), d.len());
     }
 
@@ -428,7 +462,13 @@ mod tests {
         let d = make_dataset();
         assert!(d.fully_labelled());
         let mut d2 = d.clone();
-        d2.push(DataObject::new_unchecked(10, vec![1.0], vec![0.0, 0.0], None)).unwrap();
+        d2.push(DataObject::new_unchecked(
+            10,
+            vec![1.0],
+            vec![0.0, 0.0],
+            None,
+        ))
+        .unwrap();
         assert!(!d2.fully_labelled());
         assert!(!Dataset::empty(schema()).fully_labelled());
     }

@@ -124,7 +124,12 @@ where
         }
     }
 
-    Ok(CoreDcaOutcome { bonus, steps, objects_scored, trace: trace_entries })
+    Ok(CoreDcaOutcome {
+        bonus,
+        steps,
+        objects_scored,
+        trace: trace_entries,
+    })
 }
 
 #[cfg(test)]
@@ -134,8 +139,8 @@ mod tests {
     use crate::dca::objective::TopKDisparity;
     use crate::metrics::{disparity_at_k, norm};
     use crate::object::DataObject;
-    use crate::ranking::{effective_scores, WeightedSumRanker};
     use crate::ranking::topk::RankedSelection;
+    use crate::ranking::{effective_scores, WeightedSumRanker};
     use rand::Rng;
 
     /// Synthetic population where group members' scores are shifted down, so
@@ -178,11 +183,21 @@ mod tests {
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let objective = TopKDisparity::new(0.2);
         let before = disparity_with_bonus(&dataset, &[0.0], 0.2);
-        let out = run_core_dca(&dataset, &ranker, &objective, &quick_config(), None, false).unwrap();
+        let out =
+            run_core_dca(&dataset, &ranker, &objective, &quick_config(), None, false).unwrap();
         let after = disparity_with_bonus(&dataset, &out.bonus, 0.2);
-        assert!(before > 0.05, "baseline must actually be disparate: {before}");
-        assert!(after < before * 0.5, "DCA must at least halve disparity: {after} vs {before}");
-        assert!(out.bonus[0] > 0.0, "the disadvantaged group must receive a positive bonus");
+        assert!(
+            before > 0.05,
+            "baseline must actually be disparate: {before}"
+        );
+        assert!(
+            after < before * 0.5,
+            "DCA must at least halve disparity: {after} vs {before}"
+        );
+        assert!(
+            out.bonus[0] > 0.0,
+            "the disadvantaged group must receive a positive bonus"
+        );
     }
 
     #[test]
@@ -228,8 +243,15 @@ mod tests {
         config.learning_rates = vec![0.001];
         config.iterations_per_rate = 1;
         // Negative initial value must be clamped to zero before the first step.
-        let out =
-            run_core_dca(&dataset, &ranker, &objective, &config, Some(vec![-5.0]), true).unwrap();
+        let out = run_core_dca(
+            &dataset,
+            &ranker,
+            &objective,
+            &config,
+            Some(vec![-5.0]),
+            true,
+        )
+        .unwrap();
         assert!(out.trace[0].bonus[0] >= 0.0);
     }
 

@@ -85,7 +85,12 @@ where
         }
     }
 
-    Ok(FullDcaOutcome { bonus, steps, objects_scored, trace: trace_entries })
+    Ok(FullDcaOutcome {
+        bonus,
+        steps,
+        objects_scored,
+        trace: trace_entries,
+    })
 }
 
 #[cfg(test)]
@@ -130,10 +135,12 @@ mod tests {
         let objective = TopKDisparity::new(0.2);
         let out = run_full_dca(&dataset, &ranker, &objective, &config(), None, false).unwrap();
         let view = dataset.full_view();
-        let ranking =
-            RankedSelection::from_scores(effective_scores(&view, &ranker, &out.bonus));
+        let ranking = RankedSelection::from_scores(effective_scores(&view, &ranker, &out.bonus));
         let after = norm(&disparity_at_k(&view, &ranking, 0.2).unwrap());
-        assert!(after < 0.05, "Full DCA should essentially eliminate disparity: {after}");
+        assert!(
+            after < 0.05,
+            "Full DCA should essentially eliminate disparity: {after}"
+        );
     }
 
     #[test]
@@ -177,8 +184,7 @@ mod tests {
         for entry in &out.trace {
             // The direction used at this step was evaluated at `previous`.
             let direction = objective.evaluate(&view, &ranker, &previous).unwrap();
-            let ranking =
-                RankedSelection::from_scores(effective_scores(&view, &ranker, &previous));
+            let ranking = RankedSelection::from_scores(effective_scores(&view, &ranker, &previous));
             let selected = ranking.selected(k).unwrap().to_vec();
             let unselected = ranking.unselected(k).unwrap().to_vec();
             let centroid_all = view.fairness_centroid().unwrap();
@@ -197,8 +203,11 @@ mod tests {
                         .zip(&centroid_all)
                         .map(|((c, (vp, vq)), a)| c + (vp - vq) / s - a)
                         .collect();
-                    let current: Vec<f64> =
-                        centroid_sel.iter().zip(&centroid_all).map(|(c, a)| c - a).collect();
+                    let current: Vec<f64> = centroid_sel
+                        .iter()
+                        .zip(&centroid_all)
+                        .map(|(c, a)| c - a)
+                        .collect();
                     if norm(&swapped) < norm(&current) - 1e-12 {
                         // The additional bonus granted this step is
                         // L * (-direction) · F, so p must gain at least as much

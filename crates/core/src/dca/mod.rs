@@ -44,8 +44,7 @@ pub use self::core::{run_core_dca, CoreDcaOutcome, CoreTraceEntry};
 pub use config::{DcaConfig, CLT_MINIMUM};
 pub use full::{run_full_dca, FullDcaOutcome};
 pub use objective::{
-    FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact,
-    TopKDisparity,
+    FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact, TopKDisparity,
 };
 pub use refine::{run_refinement, RefinementOutcome};
 
@@ -125,8 +124,11 @@ impl Dca {
         O: Objective + ?Sized,
     {
         let schema = dataset.schema().clone();
-        let names: Vec<String> =
-            schema.fairness_names().iter().map(|s| (*s).to_string()).collect();
+        let names: Vec<String> = schema
+            .fairness_names()
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
         let full = dataset.full_view();
 
         // Baseline objective (no bonus).
@@ -135,8 +137,7 @@ impl Dca {
 
         // Phase 1: Core DCA.
         let core_start = Instant::now();
-        let core =
-            self::core::run_core_dca(dataset, ranker, objective, &self.config, None, false)?;
+        let core = self::core::run_core_dca(dataset, ranker, objective, &self.config, None, false)?;
         let core_time = core_start.elapsed();
         let core_eval = objective.evaluate(&full, ranker, &core.bonus)?;
         let core_bonus_rounded = match self.config.granularity {
@@ -184,8 +185,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn biased_dataset(n: u64, seed: u64) -> Dataset {
-        let schema =
-            Schema::from_names(&["score"], &["low_income", "ell"], &[]).unwrap();
+        let schema = Schema::from_names(&["score"], &["low_income", "ell"], &[]).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let objects = (0..n)
             .map(|i| {
@@ -230,8 +230,14 @@ mod tests {
             .unwrap();
         let before = result.report.disparity_before.norm();
         let after = result.report.disparity_after.norm();
-        assert!(before > 0.15, "baseline should be clearly disparate: {before}");
-        assert!(after < before * 0.4, "DCA should cut the norm substantially: {after} vs {before}");
+        assert!(
+            before > 0.15,
+            "baseline should be clearly disparate: {before}"
+        );
+        assert!(
+            after < before * 0.4,
+            "DCA should cut the norm substantially: {after} vs {before}"
+        );
         // Both disadvantaged groups should receive non-negative bonuses and at
         // least one should be clearly positive.
         let values = result.bonus.values();
@@ -243,8 +249,9 @@ mod tests {
     fn report_contains_core_and_refined_evaluations_and_timings() {
         let dataset = biased_dataset(3000, 7);
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
-        let result =
-            Dca::new(fast_config()).run(&dataset, &ranker, &TopKDisparity::new(0.1)).unwrap();
+        let result = Dca::new(fast_config())
+            .run(&dataset, &ranker, &TopKDisparity::new(0.1))
+            .unwrap();
         let r = &result.report;
         assert_eq!(r.disparity_before.values().len(), 2);
         assert_eq!(r.core_bonus.len(), 2);
@@ -261,7 +268,9 @@ mod tests {
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let mut config = fast_config();
         config.refinement_iterations = 0;
-        let result = Dca::new(config).run(&dataset, &ranker, &TopKDisparity::new(0.1)).unwrap();
+        let result = Dca::new(config)
+            .run(&dataset, &ranker, &TopKDisparity::new(0.1))
+            .unwrap();
         assert_eq!(result.report.refinement_objects_scored, 0);
         // Without refinement the published bonus equals the rounded core bonus.
         assert_eq!(result.bonus.values(), result.report.core_bonus.as_slice());
@@ -271,11 +280,15 @@ mod tests {
     fn final_bonus_respects_granularity() {
         let dataset = biased_dataset(2000, 11);
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
-        let result =
-            Dca::new(fast_config()).run(&dataset, &ranker, &TopKDisparity::new(0.1)).unwrap();
+        let result = Dca::new(fast_config())
+            .run(&dataset, &ranker, &TopKDisparity::new(0.1))
+            .unwrap();
         for v in result.bonus.values() {
             let scaled = v / 0.5;
-            assert!((scaled - scaled.round()).abs() < 1e-9, "{v} not on a 0.5 grid");
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-9,
+                "{v} not on a 0.5 grid"
+            );
         }
     }
 

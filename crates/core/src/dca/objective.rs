@@ -201,19 +201,31 @@ mod tests {
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let b = vec![0.0];
 
-        let disp = TopKDisparity::new(0.25).evaluate(&view, &ranker, &b).unwrap();
+        let disp = TopKDisparity::new(0.25)
+            .evaluate(&view, &ranker, &b)
+            .unwrap();
         assert!(disp[0] < 0.0);
-        let logd = LogDiscountedObjective::default().evaluate(&view, &ranker, &b).unwrap();
+        let logd = LogDiscountedObjective::default()
+            .evaluate(&view, &ranker, &b)
+            .unwrap();
         assert!(logd[0] < 0.0);
-        let di = ScaledDisparateImpact::new(0.25).evaluate(&view, &ranker, &b).unwrap();
+        let di = ScaledDisparateImpact::new(0.25)
+            .evaluate(&view, &ranker, &b)
+            .unwrap();
         assert!(di[0] < 0.0);
     }
 
     #[test]
     fn objectives_report_their_names() {
         assert_eq!(TopKDisparity::new(0.05).name(), "disparity@k");
-        assert_eq!(LogDiscountedObjective::default().name(), "log-discounted disparity");
-        assert_eq!(ScaledDisparateImpact::new(0.05).name(), "scaled disparate impact@k");
+        assert_eq!(
+            LogDiscountedObjective::default().name(),
+            "log-discounted disparity"
+        );
+        assert_eq!(
+            ScaledDisparateImpact::new(0.05).name(),
+            "scaled disparate impact@k"
+        );
         assert_eq!(FprDifferenceObjective::new(0.05).name(), "FPR difference@k");
     }
 
@@ -222,7 +234,9 @@ mod tests {
         let d = dataset();
         let view = d.full_view();
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
-        let fpr = FprDifferenceObjective::new(0.25).evaluate(&view, &ranker, &[0.0]).unwrap();
+        let fpr = FprDifferenceObjective::new(0.25)
+            .evaluate(&view, &ranker, &[0.0])
+            .unwrap();
         assert_eq!(fpr.len(), 1);
         assert!(fpr[0].abs() <= 1.0);
     }

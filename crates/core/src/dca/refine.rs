@@ -91,7 +91,12 @@ where
     };
     clamp_bonus(&mut rounded, config.polarity, config.caps.as_ref());
 
-    Ok(RefinementOutcome { bonus: rounded, unrounded, steps, objects_scored })
+    Ok(RefinementOutcome {
+        bonus: rounded,
+        unrounded,
+        steps,
+        objects_scored,
+    })
 }
 
 #[cfg(test)]
@@ -169,7 +174,10 @@ mod tests {
         let refined = run_refinement(&dataset, &ranker, &objective, &cfg, vec![5.0]).unwrap();
         for b in &refined.bonus {
             let scaled = b / 0.5;
-            assert!((scaled - scaled.round()).abs() < 1e-9, "{b} is not a multiple of 0.5");
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-9,
+                "{b} is not a multiple of 0.5"
+            );
         }
     }
 
@@ -219,7 +227,10 @@ mod tests {
         let cfg = config();
         let refined = run_refinement(&dataset, &ranker, &objective, &cfg, vec![0.0]).unwrap();
         assert_eq!(refined.steps, cfg.refinement_iterations);
-        assert_eq!(refined.objects_scored, cfg.refinement_iterations * cfg.sample_size);
+        assert_eq!(
+            refined.objects_scored,
+            cfg.refinement_iterations * cfg.sample_size
+        );
     }
 
     #[test]

@@ -51,11 +51,22 @@ impl fmt::Display for FairError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownAttribute { name } => write!(f, "unknown attribute `{name}`"),
-            Self::DimensionMismatch { what, expected, actual } => {
+            Self::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what} has dimension {actual}, expected {expected}")
             }
-            Self::InvalidValue { attribute, value, reason } => {
-                write!(f, "invalid value {value} for attribute `{attribute}`: {reason}")
+            Self::InvalidValue {
+                attribute,
+                value,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid value {value} for attribute `{attribute}`: {reason}"
+                )
             }
             Self::InvalidSelectionFraction { k } => {
                 write!(f, "selection fraction {k} must lie in (0, 1]")
@@ -63,7 +74,10 @@ impl fmt::Display for FairError {
             Self::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             Self::MissingLabels => {
-                write!(f, "operation requires ground-truth outcome labels on every object")
+                write!(
+                    f,
+                    "operation requires ground-truth outcome labels on every object"
+                )
             }
         }
     }
@@ -82,12 +96,18 @@ mod tests {
     fn display_messages_are_informative() {
         let e = FairError::UnknownAttribute { name: "ell".into() };
         assert!(e.to_string().contains("ell"));
-        let e = FairError::DimensionMismatch { what: "bonus vector", expected: 4, actual: 2 };
+        let e = FairError::DimensionMismatch {
+            what: "bonus vector",
+            expected: 4,
+            actual: 2,
+        };
         assert!(e.to_string().contains("bonus vector"));
         assert!(e.to_string().contains('4'));
         let e = FairError::InvalidSelectionFraction { k: 1.5 };
         assert!(e.to_string().contains("1.5"));
-        let e = FairError::InvalidConfig { reason: "sample size must be positive".into() };
+        let e = FairError::InvalidConfig {
+            reason: "sample size must be positive".into(),
+        };
         assert!(e.to_string().contains("sample size"));
         assert!(FairError::MissingLabels.to_string().contains("labels"));
         assert!(FairError::EmptyDataset.to_string().contains("non-empty"));

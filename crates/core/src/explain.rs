@@ -44,11 +44,17 @@ impl fmt::Display for ScoreBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Score breakdown for object {}", self.object_id)?;
         for (name, weight, value, contribution) in &self.feature_contributions {
-            writeln!(f, "  {name:<14} {weight:>6.2} x {value:>7.2} = {contribution:>8.2}")?;
+            writeln!(
+                f,
+                "  {name:<14} {weight:>6.2} x {value:>7.2} = {contribution:>8.2}"
+            )?;
         }
         writeln!(f, "  {:<14} {:>27.2}", "base score", self.base_score)?;
         for (name, bonus, value, contribution) in &self.bonus_contributions {
-            writeln!(f, "  {name:<14} {bonus:>+6.2} x {value:>7.2} = {contribution:>8.2}")?;
+            writeln!(
+                f,
+                "  {name:<14} {bonus:>+6.2} x {value:>7.2} = {contribution:>8.2}"
+            )?;
         }
         writeln!(f, "  {:<14} {:>27.2}", "total bonus", self.total_bonus)?;
         write!(f, "  {:<14} {:>27.2}", "effective", self.effective_score)
@@ -175,13 +181,18 @@ pub fn selection_outcome<R: Ranker + ?Sized>(
     }
     if view_position >= view.len() {
         return Err(FairError::InvalidConfig {
-            reason: format!("view position {view_position} out of range ({} objects)", view.len()),
+            reason: format!(
+                "view position {view_position} out of range ({} objects)",
+                view.len()
+            ),
         });
     }
     let ranking = RankedSelection::from_scores(effective_scores(view, ranker, bonus.values()));
     let selected_positions = ranking.selected(k)?;
     let selection_count = selected_positions.len();
-    let rank = ranking.rank_of(view_position).expect("position exists in its own ranking");
+    let rank = ranking
+        .rank_of(view_position)
+        .expect("position exists in its own ranking");
     let threshold = ranking
         .threshold_score(k)?
         .expect("non-empty view has a threshold");
@@ -214,9 +225,12 @@ mod tests {
         ];
         let dataset = Dataset::new(schema.clone(), objects).unwrap();
         let rubric = WeightedSumRanker::new(vec![0.55, 0.45]).unwrap();
-        let bonus =
-            BonusVector::from_named(schema, &[("low_income", 2.0), ("ell", 20.0)], BonusPolarity::NonNegative)
-                .unwrap();
+        let bonus = BonusVector::from_named(
+            schema,
+            &[("low_income", 2.0), ("ell", 20.0)],
+            BonusPolarity::NonNegative,
+        )
+        .unwrap();
         (dataset, rubric, bonus)
     }
 
@@ -255,7 +269,10 @@ mod tests {
         let out1 = selection_outcome(&view, &rubric, &bonus, 0.5, 1).unwrap();
         let out3 = selection_outcome(&view, &rubric, &bonus, 0.5, 3).unwrap();
         assert!(out0.selected);
-        assert!(out1.selected, "the double bonus lifts object 1 into the top half: {out1}");
+        assert!(
+            out1.selected,
+            "the double bonus lifts object 1 into the top half: {out1}"
+        );
         assert!(!out3.selected);
         assert!(out3.margin < 0.0);
         assert!(out0.margin >= 0.0);
@@ -281,9 +298,21 @@ mod tests {
         let (dataset, rubric, bonus) = setup();
         let other_schema = Schema::from_names(&["x"], &["g"], &[]).unwrap();
         let wrong_bonus = BonusVector::zeros(other_schema.clone());
-        assert!(score_breakdown(dataset.schema(), &rubric, &wrong_bonus, &dataset.objects()[0]).is_err());
+        assert!(score_breakdown(
+            dataset.schema(),
+            &rubric,
+            &wrong_bonus,
+            &dataset.objects()[0]
+        )
+        .is_err());
         let wrong_rubric = WeightedSumRanker::new(vec![1.0]).unwrap();
-        assert!(score_breakdown(dataset.schema(), &wrong_rubric, &bonus, &dataset.objects()[0]).is_err());
+        assert!(score_breakdown(
+            dataset.schema(),
+            &wrong_rubric,
+            &bonus,
+            &dataset.objects()[0]
+        )
+        .is_err());
         let view = dataset.full_view();
         assert!(selection_outcome(&view, &rubric, &bonus, 0.5, 99).is_err());
         assert!(selection_outcome(&view, &rubric, &bonus, 0.0, 0).is_err());

@@ -221,8 +221,14 @@ mod tests {
             .collect();
         let d = Dataset::new(schema, objects).unwrap();
         let (view, ranking) = rank(&d, 0.0);
-        assert_eq!(disparate_impact_at_k(&view, &ranking, 0.4).unwrap(), vec![1.0]);
-        assert_eq!(scaled_disparate_impact_at_k(&view, &ranking, 0.4).unwrap(), vec![0.0]);
+        assert_eq!(
+            disparate_impact_at_k(&view, &ranking, 0.4).unwrap(),
+            vec![1.0]
+        );
+        assert_eq!(
+            scaled_disparate_impact_at_k(&view, &ranking, 0.4).unwrap(),
+            vec![0.0]
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl DisparityVector {
     /// Disparity of a named dimension.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.names.iter().position(|n| n == name).map(|i| self.values[i])
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
     }
 
     /// L2 norm — the "Norm" column of the paper's tables.
@@ -100,7 +103,12 @@ pub fn named_disparity_at_k(
     k: f64,
 ) -> Result<DisparityVector> {
     let values = disparity_at_k(view, ranking, k)?;
-    let names = view.schema().fairness_names().iter().map(|s| (*s).to_string()).collect();
+    let names = view
+        .schema()
+        .fairness_names()
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
     Ok(DisparityVector::new(names, values))
 }
 
@@ -119,7 +127,11 @@ mod tests {
         let mut objects = Vec::new();
         for i in 0..10_u64 {
             let member = i < 3; // objects 0,1,2 are members
-            let score = if member { 10.0 + i as f64 } else { 50.0 + i as f64 };
+            let score = if member {
+                10.0 + i as f64
+            } else {
+                50.0 + i as f64
+            };
             objects.push(DataObject::new_unchecked(
                 i,
                 vec![score],
@@ -160,7 +172,11 @@ mod tests {
         let ranking = RankedSelection::from_scores(scores);
         let disp = disparity_at_k(&view, &ranking, 0.2).unwrap();
         // Selection has 0% members vs 30% in the population.
-        assert!((disp[0] + 0.3).abs() < 1e-12, "expected -0.3, got {}", disp[0]);
+        assert!(
+            (disp[0] + 0.3).abs() < 1e-12,
+            "expected -0.3, got {}",
+            disp[0]
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ use crate::ranking::topk::RankedSelection;
 /// Panics if the mask length differs from the ranking length.
 #[must_use]
 pub fn exposure_of_group(ranking: &RankedSelection, members: &[bool]) -> f64 {
-    assert_eq!(members.len(), ranking.len(), "membership mask length mismatch");
+    assert_eq!(
+        members.len(),
+        ranking.len(),
+        "membership mask length mismatch"
+    );
     ranking
         .order()
         .iter()
@@ -54,10 +58,7 @@ pub fn group_average_exposure(ranking: &RankedSelection, members: &[bool]) -> f6
 ///
 /// # Errors
 /// Returns an error on an empty view.
-pub fn ddp_for_binary_attributes(
-    view: &SampleView<'_>,
-    ranking: &RankedSelection,
-) -> Result<f64> {
+pub fn ddp_for_binary_attributes(view: &SampleView<'_>, ranking: &RankedSelection) -> Result<f64> {
     if view.is_empty() {
         return Err(FairError::EmptyDataset);
     }

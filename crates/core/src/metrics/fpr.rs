@@ -58,9 +58,19 @@ pub fn group_fpr_at_k(
         }
     }
 
-    let overall = if total_neg == 0 { 0.0 } else { total_fp as f64 / total_neg as f64 };
+    let overall = if total_neg == 0 {
+        0.0
+    } else {
+        total_fp as f64 / total_neg as f64
+    };
     let per_group = (0..dims)
-        .map(|d| if group_neg[d] == 0 { 0.0 } else { group_fp[d] as f64 / group_neg[d] as f64 })
+        .map(|d| {
+            if group_neg[d] == 0 {
+                0.0
+            } else {
+                group_fp[d] as f64 / group_neg[d] as f64
+            }
+        })
         .collect();
     Ok((per_group, overall))
 }
@@ -119,7 +129,10 @@ mod tests {
         Dataset::new(schema, objects).unwrap()
     }
 
-    fn rank<'a>(d: &'a Dataset, bonus: &[f64]) -> (crate::dataset::SampleView<'a>, RankedSelection) {
+    fn rank<'a>(
+        d: &'a Dataset,
+        bonus: &[f64],
+    ) -> (crate::dataset::SampleView<'a>, RankedSelection) {
         let view = d.full_view();
         let ranker = SingleFeatureRanker::new(0);
         let scores = effective_scores(&view, &ranker, bonus);

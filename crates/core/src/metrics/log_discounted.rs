@@ -32,7 +32,10 @@ pub struct LogDiscountConfig {
 
 impl Default for LogDiscountConfig {
     fn default() -> Self {
-        Self { step: 10, max_fraction: 0.5 }
+        Self {
+            step: 10,
+            max_fraction: 0.5,
+        }
     }
 }
 
@@ -43,10 +46,14 @@ impl LogDiscountConfig {
     /// Returns an error if `step == 0` or `max_fraction` is outside `(0, 1]`.
     pub fn validate(&self) -> Result<()> {
         if self.step == 0 {
-            return Err(FairError::InvalidConfig { reason: "log-discount step must be positive".into() });
+            return Err(FairError::InvalidConfig {
+                reason: "log-discount step must be positive".into(),
+            });
         }
         if !(self.max_fraction > 0.0 && self.max_fraction <= 1.0) {
-            return Err(FairError::InvalidSelectionFraction { k: self.max_fraction });
+            return Err(FairError::InvalidSelectionFraction {
+                k: self.max_fraction,
+            });
         }
         Ok(())
     }
@@ -134,7 +141,10 @@ mod tests {
 
     #[test]
     fn checkpoints_every_step_up_to_max_fraction() {
-        let c = LogDiscountConfig { step: 10, max_fraction: 0.5 };
+        let c = LogDiscountConfig {
+            step: 10,
+            max_fraction: 0.5,
+        };
         assert_eq!(c.checkpoints(100), vec![10, 20, 30, 40, 50]);
         assert_eq!(c.checkpoints(25), vec![10]);
         // Tiny rankings still get one checkpoint.
@@ -144,9 +154,24 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert!(LogDiscountConfig { step: 0, max_fraction: 0.5 }.validate().is_err());
-        assert!(LogDiscountConfig { step: 10, max_fraction: 0.0 }.validate().is_err());
-        assert!(LogDiscountConfig { step: 10, max_fraction: 1.5 }.validate().is_err());
+        assert!(LogDiscountConfig {
+            step: 0,
+            max_fraction: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(LogDiscountConfig {
+            step: 10,
+            max_fraction: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(LogDiscountConfig {
+            step: 10,
+            max_fraction: 1.5
+        }
+        .validate()
+        .is_err());
         assert!(LogDiscountConfig::default().validate().is_ok());
     }
 
@@ -154,8 +179,13 @@ mod tests {
     fn discounted_disparity_is_negative_when_group_ranks_last() {
         let d = dataset(200, 4); // 25% members, all at the bottom
         let (view, ranking) = rank(&d, 0.0);
-        let disp = log_discounted_disparity(&view, &ranking, &LogDiscountConfig::default()).unwrap();
-        assert!(disp[0] < -0.1, "members are absent from every prefix: {}", disp[0]);
+        let disp =
+            log_discounted_disparity(&view, &ranking, &LogDiscountConfig::default()).unwrap();
+        assert!(
+            disp[0] < -0.1,
+            "members are absent from every prefix: {}",
+            disp[0]
+        );
         assert!(disp[0] >= -1.0);
     }
 
@@ -166,7 +196,10 @@ mod tests {
             let (view, ranking) = rank(&d, bonus);
             let disp =
                 log_discounted_disparity(&view, &ranking, &LogDiscountConfig::default()).unwrap();
-            assert!(disp.iter().all(|v| (-1.0..=1.0).contains(v)), "bonus {bonus}: {disp:?}");
+            assert!(
+                disp.iter().all(|v| (-1.0..=1.0).contains(v)),
+                "bonus {bonus}: {disp:?}"
+            );
         }
     }
 
@@ -174,8 +207,13 @@ mod tests {
     fn large_bonus_flips_the_sign() {
         let d = dataset(200, 4);
         let (view, ranking) = rank(&d, 10_000.0);
-        let disp = log_discounted_disparity(&view, &ranking, &LogDiscountConfig::default()).unwrap();
-        assert!(disp[0] > 0.1, "members now dominate every prefix: {}", disp[0]);
+        let disp =
+            log_discounted_disparity(&view, &ranking, &LogDiscountConfig::default()).unwrap();
+        assert!(
+            disp[0] > 0.1,
+            "members now dominate every prefix: {}",
+            disp[0]
+        );
     }
 
     #[test]
@@ -192,7 +230,10 @@ mod tests {
         // Ranking B: members at the very top (huge bonus).
         let scores_b = effective_scores(&view, &ranker, &[100_000.0]);
         let ranking_b = RankedSelection::from_scores(scores_b);
-        let cfg = LogDiscountConfig { step: 5, max_fraction: 1.0 };
+        let cfg = LogDiscountConfig {
+            step: 5,
+            max_fraction: 1.0,
+        };
         let a = log_discounted_disparity(&view, &ranking_a, &cfg).unwrap()[0];
         let b = log_discounted_disparity(&view, &ranking_b, &cfg).unwrap()[0];
         assert!(a < 0.0 && b > 0.0);

@@ -51,8 +51,16 @@ pub fn ndcg_at_k<R: Ranker + ?Sized>(
     let shift = if min < 0.0 { -min } else { 0.0 };
 
     let original = RankedSelection::from_scores(base.clone());
-    let ideal_weights: Vec<f64> = original.top(count).iter().map(|&p| base[p] + shift).collect();
-    let measured_weights: Vec<f64> = adjusted.top(count).iter().map(|&p| base[p] + shift).collect();
+    let ideal_weights: Vec<f64> = original
+        .top(count)
+        .iter()
+        .map(|&p| base[p] + shift)
+        .collect();
+    let measured_weights: Vec<f64> = adjusted
+        .top(count)
+        .iter()
+        .map(|&p| base[p] + shift)
+        .collect();
 
     let ideal = dcg(&ideal_weights);
     if ideal == 0.0 {
@@ -130,7 +138,10 @@ mod tests {
         };
         let small = utility(5.0);
         let large = utility(50.0);
-        assert!(large <= small, "a larger distortion cannot increase nDCG: {large} vs {small}");
+        assert!(
+            large <= small,
+            "a larger distortion cannot increase nDCG: {large} vs {small}"
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ impl DataObject {
     ) -> Result<Self> {
         schema.validate_features(&features)?;
         schema.validate_fairness(&fairness)?;
-        Ok(Self { id: ObjectId(id), features, fairness, label })
+        Ok(Self {
+            id: ObjectId(id),
+            features,
+            fairness,
+            label,
+        })
     }
 
     /// Build an object without validation. Intended for generators that have
@@ -56,7 +61,12 @@ impl DataObject {
         fairness: Vec<f64>,
         label: Option<bool>,
     ) -> Self {
-        Self { id: ObjectId(id), features, fairness, label }
+        Self {
+            id: ObjectId(id),
+            features,
+            fairness,
+            label,
+        }
     }
 
     /// Object identifier.
@@ -98,7 +108,11 @@ impl DataObject {
     /// Panics if `bonus.len()` differs from the fairness dimensionality.
     #[must_use]
     pub fn bonus_increment(&self, bonus: &[f64]) -> f64 {
-        assert_eq!(bonus.len(), self.fairness.len(), "bonus vector dimensionality mismatch");
+        assert_eq!(
+            bonus.len(),
+            self.fairness.len(),
+            "bonus vector dimensionality mismatch"
+        );
         self.fairness.iter().zip(bonus).map(|(a, b)| a * b).sum()
     }
 

@@ -102,7 +102,9 @@ impl NormalizedWeightedSum {
         }
         for ((w, lo), hi) in weights.iter().zip(&mins).zip(&maxs) {
             if !w.is_finite() || !lo.is_finite() || !hi.is_finite() {
-                return Err(FairError::InvalidConfig { reason: "values must be finite".into() });
+                return Err(FairError::InvalidConfig {
+                    reason: "values must be finite".into(),
+                });
             }
             if hi <= lo {
                 return Err(FairError::InvalidConfig {
@@ -110,7 +112,11 @@ impl NormalizedWeightedSum {
                 });
             }
         }
-        Ok(Self { weights, mins, maxs })
+        Ok(Self {
+            weights,
+            mins,
+            maxs,
+        })
     }
 
     /// Rescale one feature value to `[0, 100]`, clamping out-of-range inputs.
@@ -132,7 +138,10 @@ impl Ranker for NormalizedWeightedSum {
     }
 
     fn describe(&self) -> String {
-        format!("normalized weighted sum over {} features (0-100 scale)", self.weights.len())
+        format!(
+            "normalized weighted sum over {} features (0-100 scale)",
+            self.weights.len()
+        )
     }
 }
 
@@ -153,13 +162,19 @@ impl SingleFeatureRanker {
     /// Rank by the feature at `feature_index` (higher value ranks first).
     #[must_use]
     pub fn new(feature_index: usize) -> Self {
-        Self { feature_index, negate: false }
+        Self {
+            feature_index,
+            negate: false,
+        }
     }
 
     /// Rank by the negated feature (lower raw value ranks first).
     #[must_use]
     pub fn negated(feature_index: usize) -> Self {
-        Self { feature_index, negate: true }
+        Self {
+            feature_index,
+            negate: true,
+        }
     }
 
     /// The feature column this ranker reads.
@@ -171,7 +186,11 @@ impl SingleFeatureRanker {
 
 impl Ranker for SingleFeatureRanker {
     fn base_score(&self, object: &DataObject) -> f64 {
-        let v = object.features().get(self.feature_index).copied().unwrap_or(f64::NEG_INFINITY);
+        let v = object
+            .features()
+            .get(self.feature_index)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
         if self.negate {
             -v
         } else {
@@ -181,7 +200,10 @@ impl Ranker for SingleFeatureRanker {
 
     fn describe(&self) -> String {
         if self.negate {
-            format!("single feature #{} (negated: lower is better)", self.feature_index)
+            format!(
+                "single feature #{} (negated: lower is better)",
+                self.feature_index
+            )
         } else {
             format!("single feature #{}", self.feature_index)
         }
@@ -216,7 +238,8 @@ mod tests {
     #[test]
     fn normalized_weighted_sum_rescales_to_percentages() {
         // GPA in [1, 4], test in [0, 800]; 50/50 rubric.
-        let r = NormalizedWeightedSum::new(vec![0.5, 0.5], vec![1.0, 0.0], vec![4.0, 800.0]).unwrap();
+        let r =
+            NormalizedWeightedSum::new(vec![0.5, 0.5], vec![1.0, 0.0], vec![4.0, 800.0]).unwrap();
         // GPA 4.0 -> 100, test 400 -> 50 => 0.5*100 + 0.5*50 = 75
         let o = obj(vec![4.0, 400.0]);
         assert!((r.base_score(&o) - 75.0).abs() < 1e-9);
@@ -242,12 +265,17 @@ mod tests {
         assert_eq!(SingleFeatureRanker::new(1).base_score(&o), 7.0);
         assert_eq!(SingleFeatureRanker::negated(1).base_score(&o), -7.0);
         assert_eq!(SingleFeatureRanker::new(1).feature_index(), 1);
-        assert!(SingleFeatureRanker::negated(0).describe().contains("negated"));
+        assert!(SingleFeatureRanker::negated(0)
+            .describe()
+            .contains("negated"));
     }
 
     #[test]
     fn single_feature_out_of_range_ranks_last() {
         let o = obj(vec![3.0]);
-        assert_eq!(SingleFeatureRanker::new(5).base_score(&o), f64::NEG_INFINITY);
+        assert_eq!(
+            SingleFeatureRanker::new(5).base_score(&o),
+            f64::NEG_INFINITY
+        );
     }
 }

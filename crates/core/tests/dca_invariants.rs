@@ -176,7 +176,10 @@ fn theorem_4_1_inequality_on_random_instances() {
                 let current = centroid_sel[0] - centroid_all[0];
                 if swapped.abs() < current.abs() - 1e-12 {
                     let dot = disparity[0] * (fp - fq);
-                    assert!(dot <= 1e-9, "seed {seed}: D·(Fp−Fq) = {dot} must be non-positive");
+                    assert!(
+                        dot <= 1e-9,
+                        "seed {seed}: D·(Fp−Fq) = {dot} must be non-positive"
+                    );
                 }
             }
         }

@@ -229,7 +229,10 @@ mod tests {
         let parsed = from_csv_string(&text).unwrap();
         assert_eq!(parsed.len(), original.len());
         assert_eq!(parsed.schema().features(), original.schema().features());
-        assert_eq!(parsed.schema().num_fairness(), original.schema().num_fairness());
+        assert_eq!(
+            parsed.schema().num_fairness(),
+            original.schema().num_fairness()
+        );
         for (a, b) in parsed.objects().iter().zip(original.objects()) {
             assert_eq!(a, b);
         }
@@ -259,7 +262,10 @@ mod tests {
 
     #[test]
     fn empty_file_is_rejected() {
-        assert!(matches!(from_csv_string(""), Err(CsvError::Malformed { line: 0, .. })));
+        assert!(matches!(
+            from_csv_string(""),
+            Err(CsvError::Malformed { line: 0, .. })
+        ));
     }
 
     #[test]
@@ -273,7 +279,10 @@ mod tests {
     #[test]
     fn wrong_cell_count_is_rejected() {
         let text = "id,feature:x,fairness_binary:g,label\n0,1.0,1\n";
-        assert!(matches!(from_csv_string(text), Err(CsvError::Malformed { line: 1, .. })));
+        assert!(matches!(
+            from_csv_string(text),
+            Err(CsvError::Malformed { line: 1, .. })
+        ));
     }
 
     #[test]
@@ -309,7 +318,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = CsvError::Malformed { line: 3, reason: "boom".into() };
+        let e = CsvError::Malformed {
+            line: 3,
+            reason: "boom".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = CsvError::Dataset(FairError::EmptyDataset);
         assert!(e.to_string().contains("invalid dataset"));

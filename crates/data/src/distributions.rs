@@ -20,7 +20,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// Panics if `std_dev` is negative or non-finite.
 #[must_use]
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    assert!(std_dev.is_finite() && std_dev >= 0.0, "standard deviation must be non-negative");
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "standard deviation must be non-negative"
+    );
     mean + std_dev * standard_normal(rng)
 }
 
@@ -54,7 +57,10 @@ pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 /// sums to zero.
 #[must_use]
 pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
-    assert!(!weights.is_empty(), "categorical distribution requires at least one weight");
+    assert!(
+        !weights.is_empty(),
+        "categorical distribution requires at least one weight"
+    );
     assert!(
         weights.iter().all(|w| w.is_finite() && *w >= 0.0),
         "weights must be non-negative and finite"

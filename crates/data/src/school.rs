@@ -83,7 +83,11 @@ impl SchoolConfig {
     /// bias structure.
     #[must_use]
     pub fn small(num_students: usize, seed: u64) -> Self {
-        Self { num_students, seed, ..Self::default() }
+        Self {
+            num_students,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -121,7 +125,10 @@ impl SchoolCohort {
     /// Panics if `district >= SCHOOL_DISTRICTS`.
     #[must_use]
     pub fn district(&self, district: u16) -> Dataset {
-        assert!((district as usize) < SCHOOL_DISTRICTS, "district out of range");
+        assert!(
+            (district as usize) < SCHOOL_DISTRICTS,
+            "district out of range"
+        );
         let member: Vec<bool> = self.districts.iter().map(|d| *d == district).collect();
         let mut idx = 0;
         self.dataset.filter(|_| {
@@ -202,7 +209,10 @@ impl SchoolGenerator {
     /// Panics if `num_students == 0`.
     #[must_use]
     pub fn generate(&self) -> SchoolCohort {
-        assert!(self.config.num_students > 0, "cohort must contain at least one student");
+        assert!(
+            self.config.num_students > 0,
+            "cohort must contain at least one student"
+        );
         let schema = Self::schema();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let c = &self.config;
@@ -250,7 +260,12 @@ impl SchoolGenerator {
                 f64::from(u8::from(special_ed)),
                 eni,
             ];
-            objects.push(DataObject::new_unchecked(id, vec![gpa, test], fairness, None));
+            objects.push(DataObject::new_unchecked(
+                id,
+                vec![gpa, test],
+                fairness,
+                None,
+            ));
             districts.push(district);
         }
 
@@ -311,7 +326,10 @@ mod tests {
         }
         let li_mean = li_eni.0 / li_eni.1 as f64;
         let other_mean = other_eni.0 / other_eni.1 as f64;
-        assert!(li_mean > other_mean + 0.03, "ENI must correlate with low income: {li_mean} vs {other_mean}");
+        assert!(
+            li_mean > other_mean + 0.03,
+            "ENI must correlate with low income: {li_mean} vs {other_mean}"
+        );
     }
 
     #[test]
@@ -342,7 +360,8 @@ mod tests {
 
     #[test]
     fn train_and_test_cohorts_share_structure_but_not_samples() {
-        let (train, test) = SchoolGenerator::new(SchoolConfig::small(10_000, 7)).train_test_cohorts();
+        let (train, test) =
+            SchoolGenerator::new(SchoolConfig::small(10_000, 7)).train_test_cohorts();
         assert_eq!(train.dataset().len(), test.dataset().len());
         assert_ne!(train.dataset().objects()[0], test.dataset().objects()[0]);
         // Marginals stay comparable between years.
@@ -354,7 +373,9 @@ mod tests {
     #[test]
     fn districts_partition_the_cohort() {
         let cohort = small_cohort(20_000, 9);
-        let total: usize = (0..SCHOOL_DISTRICTS as u16).map(|d| cohort.district(d).len()).sum();
+        let total: usize = (0..SCHOOL_DISTRICTS as u16)
+            .map(|d| cohort.district(d).len())
+            .sum();
         assert_eq!(total, cohort.dataset().len());
         // District sizes are roughly balanced (20k / 32 ≈ 625).
         let d0 = cohort.district(0).len();

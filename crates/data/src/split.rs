@@ -35,10 +35,9 @@ pub fn holdout_split(
     let mut indices: Vec<usize> = (0..dataset.len()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
-    let test_size = ((dataset.len() as f64 * test_fraction).round() as usize)
-        .clamp(1, dataset.len() - 1);
-    let test_set: std::collections::HashSet<usize> =
-        indices[..test_size].iter().copied().collect();
+    let test_size =
+        ((dataset.len() as f64 * test_fraction).round() as usize).clamp(1, dataset.len() - 1);
+    let test_set: std::collections::HashSet<usize> = indices[..test_size].iter().copied().collect();
 
     let mut position = 0;
     let test = dataset.filter(|_| {
@@ -154,8 +153,7 @@ mod tests {
         let (a_train, _) = holdout_split(&d, 0.25, 9).unwrap();
         let (b_train, _) = holdout_split(&d, 0.25, 9).unwrap();
         let (c_train, _) = holdout_split(&d, 0.25, 10).unwrap();
-        let ids =
-            |ds: &Dataset| ds.objects().iter().map(|o| o.id()).collect::<Vec<_>>();
+        let ids = |ds: &Dataset| ds.objects().iter().map(|o| o.id()).collect::<Vec<_>>();
         assert_eq!(ids(&a_train), ids(&b_train));
         assert_ne!(ids(&a_train), ids(&c_train));
     }

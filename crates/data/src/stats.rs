@@ -106,8 +106,7 @@ impl DatasetSummary {
             });
         }
 
-        let labelled: Vec<bool> =
-            dataset.objects().iter().filter_map(|o| o.label()).collect();
+        let labelled: Vec<bool> = dataset.objects().iter().filter_map(|o| o.label()).collect();
         let positive_label_rate = if labelled.is_empty() {
             None
         } else {
@@ -128,8 +127,11 @@ impl DatasetSummary {
 impl fmt::Display for DatasetSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "objects: {}", self.count)?;
-        for ((name, mean), std) in
-            self.feature_names.iter().zip(&self.feature_means).zip(&self.feature_stds)
+        for ((name, mean), std) in self
+            .feature_names
+            .iter()
+            .zip(&self.feature_means)
+            .zip(&self.feature_stds)
         {
             writeln!(f, "  {name:<14} mean {mean:7.2}  std {std:6.2}")?;
         }
@@ -139,7 +141,10 @@ impl fmt::Display for DatasetSummary {
                 "  group {:<12} {:5.1}%  member feature means {:?}",
                 g.name,
                 g.frequency * 100.0,
-                g.member_feature_means.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+                g.member_feature_means
+                    .iter()
+                    .map(|v| (v * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
             )?;
         }
         if let Some(rate) = self.positive_label_rate {
@@ -181,8 +186,7 @@ mod tests {
     #[test]
     fn unlabelled_dataset_has_no_label_rate() {
         let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
-        let objects =
-            vec![DataObject::new_unchecked(0, vec![1.0], vec![0.0], None)];
+        let objects = vec![DataObject::new_unchecked(0, vec![1.0], vec![0.0], None)];
         let d = Dataset::new(schema, objects).unwrap();
         let s = DatasetSummary::compute(&d).unwrap();
         assert_eq!(s.positive_label_rate, None);

@@ -101,9 +101,15 @@ fn recommended_sample_size_reflects_the_rarest_group() {
     let d = cohort.dataset();
     let small_k = DcaConfig::recommended_sample_size(d, 0.01).unwrap();
     let large_k = DcaConfig::recommended_sample_size(d, 0.5).unwrap();
-    assert!(small_k > large_k, "smaller selections need bigger samples: {small_k} vs {large_k}");
+    assert!(
+        small_k > large_k,
+        "smaller selections need bigger samples: {small_k} vs {large_k}"
+    );
     // At large k the binding constraint is the ~10% ELL group: 30 / 0.1 ≈ 300.
-    assert!((250..=400).contains(&large_k), "rarest-group rule gives ≈300, got {large_k}");
+    assert!(
+        (250..=400).contains(&large_k),
+        "rarest-group rule gives ≈300, got {large_k}"
+    );
 }
 
 /// District extraction is a partition of the cohort with poverty gradients.
@@ -118,5 +124,8 @@ fn district_poverty_gradient_is_monotone_on_average() {
     let q = shares.len() / 4;
     let low: f64 = shares[..q].iter().sum::<f64>() / q as f64;
     let high: f64 = shares[shares.len() - q..].iter().sum::<f64>() / q as f64;
-    assert!(high > low + 0.15, "district poverty gradient: {low:.2} vs {high:.2}");
+    assert!(
+        high > low + 0.15,
+        "district poverty gradient: {low:.2} vs {high:.2}"
+    );
 }

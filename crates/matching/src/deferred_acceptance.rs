@@ -64,10 +64,7 @@ impl Matching {
 /// Panics if a preference list references a school index outside
 /// `schools.len()`.
 #[must_use]
-pub fn deferred_acceptance(
-    students: &[StudentPreferences],
-    schools: &[SchoolRanking],
-) -> Matching {
+pub fn deferred_acceptance(students: &[StudentPreferences], schools: &[SchoolRanking]) -> Matching {
     let num_students = students.len();
     let num_schools = schools.len();
     for (s, prefs) in students.iter().enumerate() {
@@ -168,8 +165,9 @@ pub fn is_stable(
             }
             let roster = matching.roster(school);
             let has_free_seat = roster.len() < ranking.capacity();
-            let displaces_someone =
-                roster.iter().any(|&admitted| ranking.prefers(student, admitted));
+            let displaces_someone = roster
+                .iter()
+                .any(|&admitted| ranking.prefers(student, admitted));
             if has_free_seat || displaces_someone {
                 blocking.push((student, school));
             }
@@ -226,8 +224,7 @@ mod tests {
 
     #[test]
     fn capacities_are_respected() {
-        let students: Vec<_> =
-            (0..5).map(|_| StudentPreferences::new(vec![0])).collect();
+        let students: Vec<_> = (0..5).map(|_| StudentPreferences::new(vec![0])).collect();
         let schools = vec![SchoolRanking::new(vec![4, 3, 2, 1, 0], 2, 5)];
         let m = deferred_acceptance(&students, &schools);
         assert_eq!(m.roster(0), &[4, 3]);
@@ -250,7 +247,10 @@ mod tests {
 
     #[test]
     fn students_with_empty_lists_stay_unmatched() {
-        let students = vec![StudentPreferences::new(vec![]), StudentPreferences::new(vec![0])];
+        let students = vec![
+            StudentPreferences::new(vec![]),
+            StudentPreferences::new(vec![0]),
+        ];
         let schools = vec![SchoolRanking::new(vec![0, 1], 1, 2)];
         let m = deferred_acceptance(&students, &schools);
         assert_eq!(m.school_of(0), None);
@@ -273,7 +273,11 @@ mod tests {
         let m = deferred_acceptance(&students, &schools);
         assert_eq!(m.school_of(2), Some(0));
         assert_eq!(m.school_of(0), Some(1));
-        assert_eq!(m.school_of(1), None, "one student is left over with 2 seats total... ");
+        assert_eq!(
+            m.school_of(1),
+            None,
+            "one student is left over with 2 seats total... "
+        );
         assert!(is_stable(&students, &schools, &m).is_empty());
     }
 

@@ -82,10 +82,18 @@ impl SchoolRanking {
         let mut priority = vec![usize::MAX; num_students];
         for (rank, &s) in ranked_students.iter().enumerate() {
             assert!(s < num_students, "student {s} out of range");
-            assert_eq!(priority[s], usize::MAX, "duplicate student {s} in school ranking");
+            assert_eq!(
+                priority[s],
+                usize::MAX,
+                "duplicate student {s} in school ranking"
+            );
             priority[s] = rank;
         }
-        Self { ranked_students, priority, capacity }
+        Self {
+            ranked_students,
+            priority,
+            capacity,
+        }
     }
 
     /// Build a ranking from per-student scores (higher = better); every

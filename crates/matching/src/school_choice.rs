@@ -84,7 +84,9 @@ impl SchoolChoiceSimulator {
     /// fraction outside `(0, 1]`.
     pub fn new(config: SchoolChoiceConfig) -> Result<Self> {
         if config.num_schools == 0 {
-            return Err(FairError::InvalidConfig { reason: "need at least one school".into() });
+            return Err(FairError::InvalidConfig {
+                reason: "need at least one school".into(),
+            });
         }
         if config.list_length == 0 {
             return Err(FairError::InvalidConfig {
@@ -157,13 +159,16 @@ impl SchoolChoiceSimulator {
         let total_seats = ((n as f64) * c.capacity_fraction).round().max(1.0) as usize;
         let base = total_seats / c.num_schools;
         let remainder = total_seats % c.num_schools;
-        let capacities: Vec<usize> =
-            (0..c.num_schools).map(|i| base + usize::from(i < remainder)).collect();
+        let capacities: Vec<usize> = (0..c.num_schools)
+            .map(|i| base + usize::from(i < remainder))
+            .collect();
 
         // Every school uses the same rubric (and the same bonus), as in the
         // paper's single-rubric evaluation; schools differ in desirability.
-        let schools: Vec<SchoolRanking> =
-            capacities.iter().map(|&cap| SchoolRanking::from_scores(&scores, cap)).collect();
+        let schools: Vec<SchoolRanking> = capacities
+            .iter()
+            .map(|&cap| SchoolRanking::from_scores(&scores, cap))
+            .collect();
 
         // Student preferences: common desirability (school 0 most desirable)
         // blended with idiosyncratic noise.
@@ -179,11 +184,14 @@ impl SchoolChoiceSimulator {
                         (school, u)
                     })
                     .collect();
-                utilities.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                });
+                utilities
+                    .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 StudentPreferences::new(
-                    utilities.into_iter().take(c.list_length).map(|(s, _)| s).collect(),
+                    utilities
+                        .into_iter()
+                        .take(c.list_length)
+                        .map(|(s, _)| s)
+                        .collect(),
                 )
             })
             .collect();
@@ -202,12 +210,23 @@ impl SchoolChoiceSimulator {
                 continue;
             }
             let centroid = dataset.fairness_centroid_of(roster)?;
-            per_school_disparity
-                .push(centroid.iter().zip(&population_centroid).map(|(s, p)| s - p).collect());
+            per_school_disparity.push(
+                centroid
+                    .iter()
+                    .zip(&population_centroid)
+                    .map(|(s, p)| s - p)
+                    .collect(),
+            );
             // How deep into the school's ranked list the last admit sits.
             let deepest = roster
                 .iter()
-                .map(|&s| schools[school].students().iter().position(|&x| x == s).unwrap_or(0))
+                .map(|&s| {
+                    schools[school]
+                        .students()
+                        .iter()
+                        .position(|&x| x == s)
+                        .unwrap_or(0)
+                })
                 .max()
                 .unwrap_or(0);
             effective_k.push((deepest + 1) as f64 / n as f64);
@@ -217,7 +236,11 @@ impl SchoolChoiceSimulator {
             vec![0.0; dims]
         } else {
             let centroid = dataset.fairness_centroid_of(&all_admitted)?;
-            centroid.iter().zip(&population_centroid).map(|(s, p)| s - p).collect()
+            centroid
+                .iter()
+                .zip(&population_centroid)
+                .map(|(s, p)| s - p)
+                .collect()
         };
 
         Ok(AdmissionsOutcome {
@@ -250,7 +273,12 @@ mod tests {
     }
 
     fn config() -> SchoolChoiceConfig {
-        SchoolChoiceConfig { num_schools: 4, capacity_fraction: 0.2, list_length: 4, ..Default::default() }
+        SchoolChoiceConfig {
+            num_schools: 4,
+            capacity_fraction: 0.2,
+            list_length: 4,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -261,9 +289,17 @@ mod tests {
         let outcome = sim.run(&dataset, &rubric, None).unwrap();
         let total_seats: usize = outcome.capacities.iter().sum();
         assert_eq!(total_seats, 200);
-        assert_eq!(outcome.matching.matched_count(), 200, "demand exceeds supply so seats fill");
+        assert_eq!(
+            outcome.matching.matched_count(),
+            200,
+            "demand exceeds supply so seats fill"
+        );
         // Low-income students are underrepresented among admits.
-        assert!(outcome.overall_disparity[0] < -0.05, "{:?}", outcome.overall_disparity);
+        assert!(
+            outcome.overall_disparity[0] < -0.05,
+            "{:?}",
+            outcome.overall_disparity
+        );
         assert!(outcome.overall_norm() > 0.05);
         assert_eq!(outcome.per_school_disparity.len(), 4);
         assert!(outcome.effective_k.iter().all(|k| *k > 0.0 && *k <= 1.0));
@@ -314,12 +350,21 @@ mod tests {
                     .map(|school| {
                         let common = 1.0 - school as f64 / c.num_schools as f64;
                         let noise: f64 = rng.gen();
-                        (school, c.preference_consensus * common + (1.0 - c.preference_consensus) * noise)
+                        (
+                            school,
+                            c.preference_consensus * common
+                                + (1.0 - c.preference_consensus) * noise,
+                        )
                     })
                     .collect();
-                utilities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                utilities
+                    .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 StudentPreferences::new(
-                    utilities.into_iter().take(c.list_length).map(|(s, _)| s).collect(),
+                    utilities
+                        .into_iter()
+                        .take(c.list_length)
+                        .map(|(s, _)| s)
+                        .collect(),
                 )
             })
             .collect();

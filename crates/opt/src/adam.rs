@@ -96,8 +96,16 @@ impl Adam {
 
 impl Step for Adam {
     fn step(&mut self, params: &mut [f64], direction: &[f64]) {
-        assert_eq!(params.len(), self.m.len(), "parameter dimensionality mismatch");
-        assert_eq!(direction.len(), self.m.len(), "direction dimensionality mismatch");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "parameter dimensionality mismatch"
+        );
+        assert_eq!(
+            direction.len(),
+            self.m.len(),
+            "direction dimensionality mismatch"
+        );
 
         self.t += 1;
         let AdamConfig {
@@ -158,11 +166,21 @@ mod tests {
     fn first_step_moves_against_direction_by_learning_rate() {
         // With bias correction, the very first Adam step has magnitude close
         // to the learning rate regardless of the gradient scale.
-        let mut adam = Adam::new(1, AdamConfig { learning_rate: 0.5, ..Default::default() });
+        let mut adam = Adam::new(
+            1,
+            AdamConfig {
+                learning_rate: 0.5,
+                ..Default::default()
+            },
+        );
         let mut x = vec![0.0];
         adam.step(&mut x, &[1000.0]);
         assert!(x[0] < 0.0, "must move against a positive direction");
-        assert!((x[0].abs() - 0.5).abs() < 1e-6, "step magnitude ≈ lr, got {}", x[0]);
+        assert!(
+            (x[0].abs() - 0.5).abs() < 1e-6,
+            "step magnitude ≈ lr, got {}",
+            x[0]
+        );
     }
 
     #[test]
@@ -176,7 +194,11 @@ mod tests {
             let g = vec![2.0 * (x[0] - 1.0) + noise, 0.01 * (x[1] - 1.0)];
             adam.step(&mut x, &g);
         }
-        assert!((x[1] - 1.0).abs() < 0.2, "small-gradient coordinate converged: {}", x[1]);
+        assert!(
+            (x[1] - 1.0).abs() < 0.2,
+            "small-gradient coordinate converged: {}",
+            x[1]
+        );
     }
 
     #[test]
@@ -218,6 +240,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "learning rate")]
     fn non_positive_learning_rate_rejected() {
-        let _ = Adam::new(1, AdamConfig { learning_rate: 0.0, ..Default::default() });
+        let _ = Adam::new(
+            1,
+            AdamConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+        );
     }
 }

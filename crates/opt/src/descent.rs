@@ -59,7 +59,11 @@ pub struct DescentConfig {
 
 impl Default for DescentConfig {
     fn default() -> Self {
-        Self { record_trajectory: false, tolerance: None, patience: 5 }
+        Self {
+            record_trajectory: false,
+            tolerance: None,
+            patience: 5,
+        }
     }
 }
 
@@ -136,7 +140,11 @@ impl<P: Projection> DescentDriver<P> {
             let lr = schedule.learning_rate(step);
             sgd.set_learning_rate(lr);
             let direction = oracle.direction(&params);
-            assert_eq!(direction.len(), params.len(), "oracle direction dimensionality mismatch");
+            assert_eq!(
+                direction.len(),
+                params.len(),
+                "oracle direction dimensionality mismatch"
+            );
             sgd.step(&mut params, &direction);
             self.projection.project(&mut params);
             last_norm = l2_norm(&direction);
@@ -199,7 +207,11 @@ impl<P: Projection> DescentDriver<P> {
 
         for step in 0..steps {
             let direction = oracle.direction(&params);
-            assert_eq!(direction.len(), params.len(), "oracle direction dimensionality mismatch");
+            assert_eq!(
+                direction.len(),
+                params.len(),
+                "oracle direction dimensionality mismatch"
+            );
             adam.step(&mut params, &direction);
             self.projection.project(&mut params);
             on_iterate(&params);
@@ -251,7 +263,11 @@ mod tests {
 
     impl DirectionOracle for QuadraticOracle {
         fn direction(&mut self, params: &[f64]) -> Vec<f64> {
-            params.iter().zip(&self.target).map(|(p, t)| p - t).collect()
+            params
+                .iter()
+                .zip(&self.target)
+                .map(|(p, t)| p - t)
+                .collect()
         }
         fn dims(&self) -> usize {
             self.target.len()
@@ -261,7 +277,9 @@ mod tests {
     #[test]
     fn scheduled_descent_reaches_target() {
         let driver = DescentDriver::new(NonNegativeProjection, DescentConfig::default());
-        let mut oracle = QuadraticOracle { target: vec![2.0, 5.0] };
+        let mut oracle = QuadraticOracle {
+            target: vec![2.0, 5.0],
+        };
         let schedule = LadderSchedule::new(vec![0.5, 0.1, 0.01], 200);
         let report = driver.run_scheduled(&mut oracle, &schedule, vec![0.0, 0.0]);
         assert!((report.params[0] - 2.0).abs() < 1e-2, "{:?}", report.params);
@@ -290,7 +308,11 @@ mod tests {
 
     #[test]
     fn early_stopping_respects_patience() {
-        let config = DescentConfig { tolerance: Some(1e-6), patience: 3, ..Default::default() };
+        let config = DescentConfig {
+            tolerance: Some(1e-6),
+            patience: 3,
+            ..Default::default()
+        };
         let driver = DescentDriver::new(NonNegativeProjection, config);
         // Direction is always exactly zero: should stop after `patience` steps.
         let mut oracle = |_params: &[f64]| vec![0.0, 0.0];
@@ -302,7 +324,10 @@ mod tests {
 
     #[test]
     fn trajectory_is_recorded_when_requested() {
-        let config = DescentConfig { record_trajectory: true, ..Default::default() };
+        let config = DescentConfig {
+            record_trajectory: true,
+            ..Default::default()
+        };
         let driver = DescentDriver::new(NonNegativeProjection, config);
         let mut oracle = QuadraticOracle { target: vec![1.0] };
         let schedule = LadderSchedule::new(vec![0.1], 5);
@@ -315,7 +340,13 @@ mod tests {
     fn adam_descent_converges_and_yields_iterates() {
         let driver = DescentDriver::new(NonNegativeProjection, DescentConfig::default());
         let mut oracle = QuadraticOracle { target: vec![4.0] };
-        let mut adam = Adam::new(1, AdamConfig { learning_rate: 0.05, ..Default::default() });
+        let mut adam = Adam::new(
+            1,
+            AdamConfig {
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+        );
         let mut seen = 0_usize;
         let report = driver.run_adam(&mut oracle, &mut adam, 3000, vec![0.0], |_p| seen += 1);
         assert_eq!(seen, 3000);

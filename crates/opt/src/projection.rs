@@ -15,10 +15,7 @@ pub trait Projection {
     fn is_feasible(&self, params: &[f64], tol: f64) -> bool {
         let mut copy = params.to_vec();
         self.project(&mut copy);
-        params
-            .iter()
-            .zip(&copy)
-            .all(|(a, b)| (a - b).abs() <= tol)
+        params.iter().zip(&copy).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -56,9 +53,15 @@ impl BoxProjection {
     #[must_use]
     pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
         assert_eq!(lower.len(), upper.len(), "bound length mismatch");
-        assert!(!lower.is_empty(), "box projection requires at least one dimension");
+        assert!(
+            !lower.is_empty(),
+            "box projection requires at least one dimension"
+        );
         for (i, (lo, hi)) in lower.iter().zip(&upper).enumerate() {
-            assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi} in dimension {i}");
+            assert!(
+                lo <= hi,
+                "lower bound {lo} exceeds upper bound {hi} in dimension {i}"
+            );
         }
         Self { lower, upper }
     }

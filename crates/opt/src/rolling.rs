@@ -27,7 +27,10 @@ impl RollingAverage {
     #[must_use]
     pub fn new(dims: usize) -> Self {
         assert!(dims > 0, "RollingAverage requires at least one dimension");
-        Self { sum: vec![0.0; dims], count: 0 }
+        Self {
+            sum: vec![0.0; dims],
+            count: 0,
+        }
     }
 
     /// Add one iterate.

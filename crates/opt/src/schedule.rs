@@ -23,7 +23,10 @@ pub trait LearningRateSchedule {
     where
         Self: Sized,
     {
-        ScheduleIter { schedule: self, step: 0 }
+        ScheduleIter {
+            schedule: self,
+            step: 0,
+        }
     }
 }
 
@@ -66,13 +69,19 @@ impl LadderSchedule {
     /// or if `steps_per_rate == 0`.
     #[must_use]
     pub fn new(rates: Vec<f64>, steps_per_rate: usize) -> Self {
-        assert!(!rates.is_empty(), "ladder schedule requires at least one rate");
+        assert!(
+            !rates.is_empty(),
+            "ladder schedule requires at least one rate"
+        );
         assert!(steps_per_rate > 0, "steps_per_rate must be positive");
         assert!(
             rates.iter().all(|r| r.is_finite() && *r > 0.0),
             "all learning rates must be positive and finite"
         );
-        Self { rates, steps_per_rate }
+        Self {
+            rates,
+            steps_per_rate,
+        }
     }
 
     /// The ladder used in the paper's experiments: learning rates 1.0 then 0.1,
@@ -120,7 +129,10 @@ impl ConstantSchedule {
     /// Panics if `rate` is not positive and finite.
     #[must_use]
     pub fn new(rate: f64, total: Option<usize>) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "learning rate must be positive and finite");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "learning rate must be positive and finite"
+        );
         Self { rate, total }
     }
 }
@@ -152,11 +164,22 @@ impl ExponentialDecay {
     /// outside `(0, 1]`, or `total == 0`.
     #[must_use]
     pub fn new(initial: f64, decay: f64, min_rate: f64, total: usize) -> Self {
-        assert!(initial.is_finite() && initial > 0.0, "initial rate must be positive");
+        assert!(
+            initial.is_finite() && initial > 0.0,
+            "initial rate must be positive"
+        );
         assert!(decay > 0.0 && decay <= 1.0, "decay must lie in (0, 1]");
-        assert!(min_rate.is_finite() && min_rate > 0.0, "min rate must be positive");
+        assert!(
+            min_rate.is_finite() && min_rate > 0.0,
+            "min rate must be positive"
+        );
         assert!(total > 0, "total steps must be positive");
-        Self { initial, decay, min_rate, total }
+        Self {
+            initial,
+            decay,
+            min_rate,
+            total,
+        }
     }
 }
 

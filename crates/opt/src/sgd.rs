@@ -19,7 +19,10 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { learning_rate: 1.0, momentum: 0.0 }
+        Self {
+            learning_rate: 1.0,
+            momentum: 0.0,
+        }
     }
 }
 
@@ -44,15 +47,28 @@ impl Sgd {
             config.learning_rate.is_finite() && config.learning_rate > 0.0,
             "learning rate must be positive and finite"
         );
-        assert!((0.0..1.0).contains(&config.momentum), "momentum must lie in [0, 1)");
-        Self { config, velocity: vec![0.0; dims], steps: 0 }
+        assert!(
+            (0.0..1.0).contains(&config.momentum),
+            "momentum must lie in [0, 1)"
+        );
+        Self {
+            config,
+            velocity: vec![0.0; dims],
+            steps: 0,
+        }
     }
 
     /// SGD with the given learning rate and no momentum — the exact update
     /// rule of Core DCA.
     #[must_use]
     pub fn with_learning_rate(dims: usize, learning_rate: f64) -> Self {
-        Self::new(dims, SgdConfig { learning_rate, momentum: 0.0 })
+        Self::new(
+            dims,
+            SgdConfig {
+                learning_rate,
+                momentum: 0.0,
+            },
+        )
     }
 
     /// Change the learning rate in place. Used by the ladder schedule of Core
@@ -81,10 +97,21 @@ impl Sgd {
 
 impl Step for Sgd {
     fn step(&mut self, params: &mut [f64], direction: &[f64]) {
-        assert_eq!(params.len(), self.velocity.len(), "parameter dimensionality mismatch");
-        assert_eq!(direction.len(), self.velocity.len(), "direction dimensionality mismatch");
+        assert_eq!(
+            params.len(),
+            self.velocity.len(),
+            "parameter dimensionality mismatch"
+        );
+        assert_eq!(
+            direction.len(),
+            self.velocity.len(),
+            "direction dimensionality mismatch"
+        );
         self.steps += 1;
-        let SgdConfig { learning_rate, momentum } = self.config;
+        let SgdConfig {
+            learning_rate,
+            momentum,
+        } = self.config;
         for i in 0..params.len() {
             self.velocity[i] = momentum * self.velocity[i] + learning_rate * direction[i];
             params[i] -= self.velocity[i];
@@ -128,15 +155,30 @@ mod tests {
 
     #[test]
     fn momentum_accumulates_velocity() {
-        let mut plain = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 0.0 });
-        let mut heavy = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 0.9 });
+        let mut plain = Sgd::new(
+            1,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 0.0,
+            },
+        );
+        let mut heavy = Sgd::new(
+            1,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 0.9,
+            },
+        );
         let mut a = vec![0.0];
         let mut b = vec![0.0];
         for _ in 0..10 {
             plain.step(&mut a, &[1.0]);
             heavy.step(&mut b, &[1.0]);
         }
-        assert!(b[0] < a[0], "momentum should have travelled further: {b:?} vs {a:?}");
+        assert!(
+            b[0] < a[0],
+            "momentum should have travelled further: {b:?} vs {a:?}"
+        );
     }
 
     #[test]
@@ -151,19 +193,34 @@ mod tests {
 
     #[test]
     fn reset_zeroes_velocity_and_counter() {
-        let mut sgd = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 0.9 });
+        let mut sgd = Sgd::new(
+            1,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 0.9,
+            },
+        );
         let mut x = vec![0.0];
         sgd.step(&mut x, &[1.0]);
         sgd.reset();
         assert_eq!(sgd.steps_taken(), 0);
         let mut y = vec![0.0];
         sgd.step(&mut y, &[1.0]);
-        assert!((y[0] + 0.1).abs() < 1e-12, "velocity must start from zero after reset");
+        assert!(
+            (y[0] + 0.1).abs() < 1e-12,
+            "velocity must start from zero after reset"
+        );
     }
 
     #[test]
     #[should_panic(expected = "momentum")]
     fn invalid_momentum_rejected() {
-        let _ = Sgd::new(1, SgdConfig { learning_rate: 0.1, momentum: 1.5 });
+        let _ = Sgd::new(
+            1,
+            SgdConfig {
+                learning_rate: 0.1,
+                momentum: 1.5,
+            },
+        );
     }
 }

@@ -3,9 +3,9 @@
 //! algebra.
 
 use fair_opt::{
-    Adam, AdamConfig, BoxProjection, DescentConfig, DescentDriver, DirectionOracle,
-    LadderSchedule, LearningRateSchedule, NonNegativeProjection, Projection, RollingAverage,
-    RollingWindow, Sgd, SgdConfig, Step,
+    Adam, AdamConfig, BoxProjection, DescentConfig, DescentDriver, DirectionOracle, LadderSchedule,
+    LearningRateSchedule, NonNegativeProjection, Projection, RollingAverage, RollingWindow, Sgd,
+    SgdConfig, Step,
 };
 use proptest::prelude::*;
 
@@ -16,7 +16,11 @@ struct Quadratic {
 
 impl DirectionOracle for Quadratic {
     fn direction(&mut self, params: &[f64]) -> Vec<f64> {
-        params.iter().zip(&self.target).map(|(p, t)| p - t).collect()
+        params
+            .iter()
+            .zip(&self.target)
+            .map(|(p, t)| p - t)
+            .collect()
     }
     fn dims(&self) -> usize {
         self.target.len()

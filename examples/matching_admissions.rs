@@ -13,8 +13,11 @@
 use fair_ranking::prelude::*;
 
 fn main() -> Result<()> {
-    let cohort = SchoolGenerator::new(SchoolConfig { num_students: 20_000, ..SchoolConfig::default() })
-        .generate();
+    let cohort = SchoolGenerator::new(SchoolConfig {
+        num_students: 20_000,
+        ..SchoolConfig::default()
+    })
+    .generate();
     let dataset = cohort.dataset();
     let rubric = SchoolGenerator::rubric();
 
@@ -22,7 +25,10 @@ fn main() -> Result<()> {
     let dca = Dca::with_paper_defaults().run(
         dataset,
         &rubric,
-        &LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 }),
+        &LogDiscountedObjective::new(LogDiscountConfig {
+            step: 10,
+            max_fraction: 0.5,
+        }),
     )?;
     println!("Log-discounted bonus points:\n{}\n", dca.bonus.explain());
 
@@ -35,7 +41,10 @@ fn main() -> Result<()> {
     let uncorrected = simulator.run(dataset, &rubric, None)?;
     let corrected = simulator.run(dataset, &rubric, Some(&dca.bonus))?;
 
-    println!("{:<8} {:>10} {:>22} {:>22}", "school", "seats", "disparity norm before", "disparity norm after");
+    println!(
+        "{:<8} {:>10} {:>22} {:>22}",
+        "school", "seats", "disparity norm before", "disparity norm after"
+    );
     for school in 0..uncorrected.capacities.len() {
         println!(
             "{:<8} {:>10} {:>22.3} {:>22.3}",

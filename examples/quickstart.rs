@@ -43,7 +43,10 @@ fn main() -> Result<()> {
 
     // 5. The published, explainable intervention.
     println!("{}\n", result.bonus.explain());
-    println!("Disparity after bonus points:\n{}", result.report.disparity_after);
+    println!(
+        "Disparity after bonus points:\n{}",
+        result.report.disparity_after
+    );
     println!(
         "\nCore DCA took {:?}, refinement took {:?} ({} + {} objects scored)",
         result.report.core_time,

@@ -17,7 +17,11 @@ fn main() -> Result<()> {
     let dataset = CompasGenerator::paper_scale().generate();
     let ranker = CompasGenerator::decile_ranker();
     let names = dataset.schema().fairness_names();
-    println!("Defendants: {}, flagged fraction: {:.0}%\n", dataset.len(), k * 100.0);
+    println!(
+        "Defendants: {}, flagged fraction: {:.0}%\n",
+        dataset.len(),
+        k * 100.0
+    );
 
     let view = dataset.full_view();
     let zero = vec![0.0; names.len()];
@@ -30,16 +34,25 @@ fn main() -> Result<()> {
     for ((name, d), f) in names.iter().zip(&disparity).zip(&fpr) {
         println!("  {name:<18} {d:>+10.3} {f:>10.3}");
     }
-    println!("  {:<18} {:>10.3} {overall_fpr:>10.3}\n", "norm / overall", norm(&disparity));
+    println!(
+        "  {:<18} {:>10.3} {overall_fpr:>10.3}\n",
+        "norm / overall",
+        norm(&disparity)
+    );
 
     // Compensate the flagged-set disparity with non-positive bonus points.
-    let config = DcaConfig { polarity: BonusPolarity::NonPositive, ..DcaConfig::paper_default() };
+    let config = DcaConfig {
+        polarity: BonusPolarity::NonPositive,
+        ..DcaConfig::paper_default()
+    };
     let result = Dca::new(config.clone()).run(&dataset, &ranker, &TopKDisparity::new(k))?;
     println!("Disparity-driven adjustment (points subtracted from the decile):");
     println!("{}\n", result.bonus.explain());
-    println!("Flagged-set disparity norm: {:.3} -> {:.3}\n",
+    println!(
+        "Flagged-set disparity norm: {:.3} -> {:.3}\n",
         result.report.disparity_before.norm(),
-        result.report.disparity_after.norm());
+        result.report.disparity_after.norm()
+    );
 
     // Alternatively, equalize false-positive rates directly.
     let fpr_result = Dca::new(config).run(&dataset, &ranker, &FprDifferenceObjective::new(k))?;
@@ -51,6 +64,9 @@ fn main() -> Result<()> {
     for ((name, before), after) in names.iter().zip(&fpr).zip(&fpr_after) {
         println!("  {name:<18} {before:>10.3} {after:>10.3}");
     }
-    println!("  {:<18} {overall_fpr:>10.3} {overall_after:>10.3}", "overall");
+    println!(
+        "  {:<18} {overall_fpr:>10.3} {overall_after:>10.3}",
+        "overall"
+    );
     Ok(())
 }

@@ -16,7 +16,10 @@ use fair_ranking::prelude::*;
 fn main() -> Result<()> {
     let k = 0.05;
     // Two academic years: train on the first, evaluate on the second.
-    let generator = SchoolGenerator::new(SchoolConfig { num_students: 20_000, ..SchoolConfig::default() });
+    let generator = SchoolGenerator::new(SchoolConfig {
+        num_students: 20_000,
+        ..SchoolConfig::default()
+    });
     let (train, test) = generator.train_test_cohorts();
     let rubric = SchoolGenerator::rubric();
 
@@ -24,11 +27,8 @@ fn main() -> Result<()> {
     println!("Test cohort:     {} students\n", test.dataset().len());
 
     // Learn the bonus points on the training year.
-    let result = Dca::with_paper_defaults().run(
-        train.dataset(),
-        &rubric,
-        &TopKDisparity::new(k),
-    )?;
+    let result =
+        Dca::with_paper_defaults().run(train.dataset(), &rubric, &TopKDisparity::new(k))?;
     println!("Published intervention for next year's admissions:");
     println!("{}\n", result.bonus.explain());
 
@@ -40,7 +40,11 @@ fn main() -> Result<()> {
     let disparity_before = disparity_at_k(&view, &before, k)?;
     let disparity_after = disparity_at_k(&view, &after, k)?;
     let utility = ndcg_at_k(&view, &rubric, &after, k)?;
-    println!("Test-year disparity norm: {:.3} -> {:.3}", norm(&disparity_before), norm(&disparity_after));
+    println!(
+        "Test-year disparity norm: {:.3} -> {:.3}",
+        norm(&disparity_before),
+        norm(&disparity_after)
+    );
     println!("Test-year nDCG@5%:        {utility:.3}");
 
     // Transparency artifacts: the admission threshold and a what-if example.
@@ -60,7 +64,11 @@ fn main() -> Result<()> {
                 "Example applicant {} (low-income, ELL): rubric score {base:.1}, \
                  with bonus {adjusted:.1} -> {}",
                 student.id(),
-                if adjusted >= threshold { "admitted" } else { "not admitted" }
+                if adjusted >= threshold {
+                    "admitted"
+                } else {
+                    "not admitted"
+                }
             );
         }
     }
@@ -69,7 +77,10 @@ fn main() -> Result<()> {
     let log_result = Dca::with_paper_defaults().run(
         train.dataset(),
         &rubric,
-        &LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 }),
+        &LogDiscountedObjective::new(LogDiscountConfig {
+            step: 10,
+            max_fraction: 0.5,
+        }),
     )?;
     println!("\nIf the selection size is unknown (matching context), publish instead:");
     println!("{}", log_result.bonus.explain());

@@ -4,7 +4,9 @@
 use fair_ranking::prelude::*;
 
 fn cohort() -> fair_ranking::core::Dataset {
-    SchoolGenerator::new(SchoolConfig::small(6_000, 77)).generate().into_dataset()
+    SchoolGenerator::new(SchoolConfig::small(6_000, 77))
+        .generate()
+        .into_dataset()
 }
 
 fn dca_config() -> DcaConfig {
@@ -37,7 +39,9 @@ fn dca_beats_a_single_quota_on_multidimensional_disparity() {
     let quota_norm = selection_disparity(&dataset, &quota_selected);
 
     // DCA.
-    let dca = Dca::new(dca_config()).run(&dataset, &rubric, &TopKDisparity::new(k)).unwrap();
+    let dca = Dca::new(dca_config())
+        .run(&dataset, &rubric, &TopKDisparity::new(k))
+        .unwrap();
     let ranking =
         RankedSelection::from_scores(effective_scores(&view, &rubric, dca.bonus.values()));
     let dca_norm = norm(&disparity_at_k(&view, &ranking, k).unwrap());
@@ -46,8 +50,14 @@ fn dca_beats_a_single_quota_on_multidimensional_disparity() {
     let base_ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &[0.0; 4]));
     let base_norm = norm(&disparity_at_k(&view, &base_ranking, k).unwrap());
 
-    assert!(quota_norm < base_norm, "the quota does help: {quota_norm} vs {base_norm}");
-    assert!(dca_norm < quota_norm, "DCA should beat the single quota: {dca_norm} vs {quota_norm}");
+    assert!(
+        quota_norm < base_norm,
+        "the quota does help: {quota_norm} vs {base_norm}"
+    );
+    assert!(
+        dca_norm < quota_norm,
+        "DCA should beat the single quota: {dca_norm} vs {quota_norm}"
+    );
 }
 
 #[test]
@@ -58,7 +68,9 @@ fn delta2_with_dca_derived_constraints_matches_dca_quality() {
     let view = dataset.full_view();
     let m = selection_size(dataset.len(), k).unwrap();
 
-    let dca = Dca::new(dca_config()).run(&dataset, &rubric, &TopKDisparity::new(k)).unwrap();
+    let dca = Dca::new(dca_config())
+        .run(&dataset, &rubric, &TopKDisparity::new(k))
+        .unwrap();
     let ranking =
         RankedSelection::from_scores(effective_scores(&view, &rubric, dca.bonus.values()));
     let dca_norm = norm(&disparity_at_k(&view, &ranking, k).unwrap());
@@ -72,20 +84,27 @@ fn delta2_with_dca_derived_constraints_matches_dca_quality() {
     assert!(dca_norm < base_norm * 0.6);
     assert!(delta2_norm < base_norm, "(Δ+2) improves over the baseline");
     // The two post-hoc methods land in the same quality neighbourhood.
-    assert!((delta2_norm - dca_norm).abs() < 0.25, "{delta2_norm} vs {dca_norm}");
+    assert!(
+        (delta2_norm - dca_norm).abs() < 0.25,
+        "{delta2_norm} vs {dca_norm}"
+    );
 }
 
 #[test]
 fn fastar_respects_its_mtables_on_a_district_sized_population() {
-    let dataset = SchoolGenerator::new(SchoolConfig::small(2_500, 5)).generate().into_dataset();
+    let dataset = SchoolGenerator::new(SchoolConfig::small(2_500, 5))
+        .generate()
+        .into_dataset();
     let rubric = SchoolGenerator::rubric();
     let view = dataset.full_view();
     let k = 0.1;
     let m = selection_size(dataset.len(), k).unwrap();
 
     let worst = most_disadvantaged_subgroups(&view, &rubric, &[0, 1, 2], k, 3).unwrap();
-    let groups: Vec<ProtectedGroup> =
-        worst.iter().map(|(g, _)| ProtectedGroup::from_subgroup(&view, g)).collect();
+    let groups: Vec<ProtectedGroup> = worst
+        .iter()
+        .map(|(g, _)| ProtectedGroup::from_subgroup(&view, g))
+        .collect();
     let shares: Vec<f64> = groups.iter().map(|g| g.target_proportion).collect();
     let ranker = FaStarRanker::new(FaStarConfig::new(0.1, m).unwrap(), groups).unwrap();
     let order = ranker.rerank(&view, &rubric).unwrap();
@@ -111,7 +130,10 @@ fn fastar_respects_its_mtables_on_a_district_sized_population() {
                 mtable[i]
             );
         }
-        let final_count = order.iter().filter(|&&pos| ranker.groups()[g].members[pos]).count();
+        let final_count = order
+            .iter()
+            .filter(|&&pos| ranker.groups()[g].members[pos])
+            .count();
         assert!(
             final_count >= mtable[m - 1],
             "group {g} final count {final_count} < {}",
@@ -129,13 +151,14 @@ fn exposure_ddp_improves_after_dca() {
         .run(
             &dataset,
             &rubric,
-            &LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 }),
+            &LogDiscountedObjective::new(LogDiscountConfig {
+                step: 10,
+                max_fraction: 0.5,
+            }),
         )
         .unwrap();
-    let before =
-        RankedSelection::from_scores(effective_scores(&view, &rubric, &[0.0; 4]));
-    let after =
-        RankedSelection::from_scores(effective_scores(&view, &rubric, dca.bonus.values()));
+    let before = RankedSelection::from_scores(effective_scores(&view, &rubric, &[0.0; 4]));
+    let after = RankedSelection::from_scores(effective_scores(&view, &rubric, dca.bonus.values()));
     let ddp_before = ddp_for_binary_attributes(&view, &before).unwrap();
     let ddp_after = ddp_for_binary_attributes(&view, &after).unwrap();
     assert!(ddp_after < ddp_before, "{ddp_after} vs {ddp_before}");

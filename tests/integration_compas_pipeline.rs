@@ -31,7 +31,12 @@ fn flagged_set_disparity_is_reduced_with_non_positive_bonuses() {
     let after = result.report.disparity_after;
     // African-American defendants (dim 0) are over-flagged before correction.
     assert!(before.values()[0] > 0.03, "{:?}", before.values());
-    assert!(after.norm() < before.norm(), "{} vs {}", after.norm(), before.norm());
+    assert!(
+        after.norm() < before.norm(),
+        "{} vs {}",
+        after.norm(),
+        before.norm()
+    );
     // The adjustment only ever subtracts points.
     assert!(result.bonus.values().iter().all(|v| *v <= 0.0));
 }
@@ -57,7 +62,10 @@ fn fpr_objective_narrows_false_positive_gaps() {
         .run(&dataset, &ranker, &FprDifferenceObjective::new(k))
         .expect("FPR-driven DCA run");
     let after = gaps(result.bonus.values());
-    assert!(before[0] > 0.05, "the over-flagged group has an FPR excess before correction: {before:?}");
+    assert!(
+        before[0] > 0.05,
+        "the over-flagged group has an FPR excess before correction: {before:?}"
+    );
     // The headline gap (over-flagged group vs the population) shrinks; the
     // overall vector norm may wobble because the smallest race groups have
     // only a handful of true negatives at this cohort size.
@@ -65,7 +73,10 @@ fn fpr_objective_narrows_false_positive_gaps() {
         after[0].abs() < before[0].abs(),
         "over-flagged group's FPR excess shrinks: {after:?} vs {before:?}"
     );
-    assert!(norm(&after) < norm(&before) * 1.5, "no blow-up of the remaining gaps");
+    assert!(
+        norm(&after) < norm(&before) * 1.5,
+        "no blow-up of the remaining gaps"
+    );
 }
 
 #[test]
@@ -76,7 +87,10 @@ fn decile_scores_are_coarse_but_log_discounted_mode_still_helps() {
         .run(
             &dataset,
             &ranker,
-            &LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 }),
+            &LogDiscountedObjective::new(LogDiscountConfig {
+                step: 10,
+                max_fraction: 0.5,
+            }),
         )
         .expect("log-discounted DCA run");
 

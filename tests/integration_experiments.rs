@@ -6,7 +6,10 @@ use fair_bench::experiments::{baselines_cmp, compas, table1, utility};
 use fair_core::metrics::norm;
 
 fn scale() -> ExperimentScale {
-    ExperimentScale { dca_iterations: 60, ..ExperimentScale::tiny() }
+    ExperimentScale {
+        dca_iterations: 60,
+        ..ExperimentScale::tiny()
+    }
 }
 
 #[test]
@@ -32,7 +35,10 @@ fn quota_is_weaker_than_dca_at_small_k() {
     let dca_norm = norm(&table1.rows[2].test_disparity);
     // Quota norm at k = 5% (first grid point).
     let quota_norm = quota.points[0].2;
-    assert!(dca_norm < quota_norm, "DCA {dca_norm} vs quota {quota_norm}");
+    assert!(
+        dca_norm < quota_norm,
+        "DCA {dca_norm} vs quota {quota_norm}"
+    );
 }
 
 #[test]

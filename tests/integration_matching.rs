@@ -23,7 +23,10 @@ fn dca_bonus_points_reduce_admitted_disparity_inside_a_stable_match() {
         .run(
             dataset,
             &rubric,
-            &LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 }),
+            &LogDiscountedObjective::new(LogDiscountConfig {
+                step: 10,
+                max_fraction: 0.5,
+            }),
         )
         .unwrap();
 

@@ -18,8 +18,7 @@ fn fast_config() -> DcaConfig {
 
 #[test]
 fn table_one_pipeline_generalizes_to_the_test_year() {
-    let (train, test) =
-        SchoolGenerator::new(SchoolConfig::small(6_000, 2016)).train_test_cohorts();
+    let (train, test) = SchoolGenerator::new(SchoolConfig::small(6_000, 2016)).train_test_cohorts();
     let rubric = SchoolGenerator::rubric();
     let k = 0.05;
 
@@ -40,7 +39,10 @@ fn table_one_pipeline_generalizes_to_the_test_year() {
     let uncorrected = RankedSelection::from_scores(effective_scores(&view, &rubric, &[0.0; 4]));
     let test_before = norm(&disparity_at_k(&view, &uncorrected, k).unwrap());
     let test_after = norm(&disparity_at_k(&view, &corrected, k).unwrap());
-    assert!(test_after < test_before * 0.6, "test norm {test_after} vs {test_before}");
+    assert!(
+        test_after < test_before * 0.6,
+        "test norm {test_after} vs {test_before}"
+    );
 
     // Utility stays high (paper: ≈ 0.957 at 5%).
     let utility = ndcg_at_k(&view, &rubric, &corrected, k).unwrap();
@@ -66,7 +68,10 @@ fn log_discounted_mode_handles_unknown_selection_sizes() {
         .run(
             cohort.dataset(),
             &rubric,
-            &LogDiscountedObjective::new(LogDiscountConfig { step: 10, max_fraction: 0.5 }),
+            &LogDiscountedObjective::new(LogDiscountConfig {
+                step: 10,
+                max_fraction: 0.5,
+            }),
         )
         .expect("log-discounted DCA run");
 
@@ -106,8 +111,14 @@ fn scaled_interventions_trade_fairness_for_utility() {
     let half = result.bonus.scaled(0.5).unwrap();
     let (half_disparity, half_utility) = evaluate(&half);
 
-    assert!(full_disparity <= half_disparity + 1e-9, "more bonus, less disparity");
-    assert!(full_utility <= half_utility + 1e-9, "more bonus, less utility");
+    assert!(
+        full_disparity <= half_disparity + 1e-9,
+        "more bonus, less disparity"
+    );
+    assert!(
+        full_utility <= half_utility + 1e-9,
+        "more bonus, less utility"
+    );
 }
 
 #[test]

@@ -9,10 +9,10 @@ use proptest::prelude::*;
 /// Strategy: a small population of (score, group-membership) pairs with at
 /// least one member and one non-member.
 fn population() -> impl Strategy<Value = Vec<(f64, bool)>> {
-    proptest::collection::vec((0.0_f64..100.0, any::<bool>()), 10..120).prop_filter(
-        "need both members and non-members",
-        |v| v.iter().any(|(_, m)| *m) && v.iter().any(|(_, m)| !*m),
-    )
+    proptest::collection::vec((0.0_f64..100.0, any::<bool>()), 10..120)
+        .prop_filter("need both members and non-members", |v| {
+            v.iter().any(|(_, m)| *m) && v.iter().any(|(_, m)| !*m)
+        })
 }
 
 fn build_dataset(pop: &[(f64, bool)]) -> Dataset {
