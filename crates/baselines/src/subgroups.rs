@@ -28,7 +28,7 @@ pub struct Subgroup {
 impl Subgroup {
     /// Whether an object belongs to this subgroup.
     #[must_use]
-    pub fn contains(&self, object: &DataObject) -> bool {
+    pub fn contains(&self, object: ObjectView<'_>) -> bool {
         self.dims
             .iter()
             .zip(&self.pattern)

@@ -172,12 +172,52 @@ fn objective_eval(c: &mut Criterion) {
     group.finish();
 }
 
+/// One DCA-step objective evaluation, three ways: the old allocating
+/// full-sort path, the partial-selection path with fresh buffers, and the
+/// full hot-loop path (partial selection + reused scratch). The deltas are
+/// exactly what every one of the run's hundreds of steps saves.
+fn objective_eval_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_eval/paths");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
+    let dataset = school(20_000, 42);
+    let rubric = SchoolGenerator::rubric();
+    let view = dataset.full_view();
+    let bonus = vec![1.0, 10.0, 12.0, 12.0];
+    let k = 0.05;
+
+    group.bench_function("full_sort_alloc", |b| {
+        b.iter(|| {
+            let ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &bonus));
+            black_box(disparity_at_k(&view, &ranking, k).unwrap())
+        });
+    });
+    group.bench_function("partial_topk_alloc", |b| {
+        let objective = TopKDisparity::new(k);
+        b.iter(|| black_box(objective.evaluate(&view, &rubric, &bonus).unwrap()));
+    });
+    group.bench_function("partial_topk_scratch", |b| {
+        let objective = TopKDisparity::new(k);
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            objective
+                .evaluate_into(&view, &rubric, &bonus, &mut scratch, &mut out)
+                .unwrap();
+            black_box(out.first().copied())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     dca_vs_dataset_size,
     core_vs_refined,
     full_dca_scaling,
     dca_vs_k,
-    objective_eval
+    objective_eval,
+    objective_eval_paths
 );
 criterion_main!(benches);

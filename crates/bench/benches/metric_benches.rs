@@ -38,6 +38,72 @@ fn ranking_construction(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fixed-k fast path: `select_nth_unstable` partition + prefix sort
+/// (`O(s + m log m)`) against the full `O(s log s)` sort, at the paper's
+/// k = 5% selection boundary.
+fn partial_vs_full_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking/partial_vs_full");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let (_, scores) = ranked(n);
+        let m = selection_size(n, 0.05).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("full_sort", n),
+            &scores,
+            |b, scores: &Vec<f64>| {
+                b.iter(|| black_box(RankedSelection::from_scores(scores.clone())));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("partial_topk", n),
+            &scores,
+            |b, scores: &Vec<f64>| {
+                b.iter(|| black_box(RankedSelection::from_scores_topk(scores.clone(), m)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Columnar (structure-of-arrays) streaming vs one-heap-allocation-per-object
+/// (array-of-structs) scoring of the same cohort under the same rubric.
+fn aos_vs_soa_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring/aos_vs_soa");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(5));
+    let (dataset, _) = ranked(50_000);
+    let rubric = SchoolGenerator::rubric();
+    let view = dataset.full_view();
+    let bonus = [1.0, 10.0, 12.0, 12.0];
+    // Materialize the pre-refactor layout: one owned object (two Vec
+    // allocations) per row.
+    let objects: Vec<DataObject> = dataset.iter().map(|o| o.to_object()).collect();
+
+    group.bench_function("soa_stream", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            effective_scores_into(&view, &rubric, &bonus, &mut out);
+            black_box(out.last().copied())
+        });
+    });
+    group.bench_function("aos_pointer_chase", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            out.extend(
+                objects
+                    .iter()
+                    .map(|o| rubric.base_score(o.as_view()) + o.bonus_increment(&bonus)),
+            );
+            black_box(out.last().copied())
+        });
+    });
+    group.finish();
+}
+
 fn disparity_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics");
     group
@@ -86,5 +152,12 @@ fn sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ranking_construction, disparity_metrics, sampling);
+criterion_group!(
+    benches,
+    ranking_construction,
+    partial_vs_full_selection,
+    aos_vs_soa_scoring,
+    disparity_metrics,
+    sampling
+);
 criterion_main!(benches);

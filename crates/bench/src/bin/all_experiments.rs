@@ -1,100 +1,165 @@
-//! Runs every table and figure experiment in sequence and prints the full
-//! report. Control the scale with FAIR_BENCH_SCALE=tiny|default|full.
+//! Runs every table and figure experiment and prints the full report.
+//! Control the scale with FAIR_BENCH_SCALE=tiny|default|full.
+//!
+//! The experiments are independent pure computations, so they run on a
+//! scoped worker pool (`fair_core::parallel_map`). Reports are streamed to
+//! stdout in the paper's order as soon as they (and their predecessors)
+//! finish — a failure in a late experiment cannot discard earlier results —
+//! and per-experiment completion is logged to stderr. Note that wall-clock
+//! columns inside the reports (Figure 8b) are measured under this
+//! concurrency, so they show the per-k shape, not isolated per-run cost;
+//! run the `fig8_refinement_ablation` binary alone for uncontended timings.
 use fair_bench::datasets::ExperimentScale;
 use fair_bench::experiments::*;
+use fair_core::parallel_map;
+use std::sync::Mutex;
+
+type Job<'a> = (&'a str, Box<dyn Fn() -> String + Send + Sync + 'a>);
 
 fn main() {
     let scale = ExperimentScale::from_env();
     println!("Experiment scale: {scale:?}\n");
 
-    println!(
-        "{}",
-        table1::run_table1(&scale).expect("Table I failed").render()
-    );
-    println!(
-        "{}",
-        utility::run_fig1(&scale).expect("Fig 1 failed").render()
-    );
-    println!(
-        "{}",
-        utility::run_proportion_sweep(&scale)
-            .expect("Figs 2-3 failed")
-            .render()
-    );
-    println!(
-        "{}",
-        vary_k::run_per_k(&scale, true)
-            .expect("Fig 4a failed")
-            .render("Figure 4a — DCA re-optimized for every k")
-    );
-    println!(
-        "{}",
-        vary_k::run_fixed_k(&scale, 0.05)
-            .expect("Fig 4b failed")
-            .render("Figure 4b — bonus optimized at k = 5%, evaluated across k")
-    );
-    println!(
-        "{}",
-        vary_k::run_log_discounted(&scale)
-            .expect("Fig 4c failed")
-            .render("Figure 4c — log-discounted DCA evaluated across k")
-    );
-    println!(
-        "{}",
-        caps::run_caps(&scale, None).expect("Fig 5 failed").render()
-    );
-    println!(
-        "{}",
-        baselines_cmp::run_quota(&scale, 0.7)
-            .expect("Fig 6 failed")
-            .render()
-    );
-    println!(
-        "{}",
-        baselines_cmp::run_delta2_comparison(&scale)
-            .expect("Fig 7 failed")
-            .render()
-    );
-    println!(
-        "{}",
-        vary_k::run_per_k(&scale, false)
-            .expect("Fig 8 failed")
-            .render("Figure 8a/8b — Core DCA (no refinement) per k, with timings")
-    );
-    println!(
-        "{}",
-        alt_metrics::run_disparate_impact_comparison(&scale, None)
-            .expect("Fig 9 failed")
-            .render()
-    );
-    println!(
-        "{}",
-        compas::run_fig10a(&scale)
-            .expect("Fig 10a failed")
-            .render("Figure 10a — COMPAS disparity per k")
-    );
-    println!(
-        "{}",
-        compas::run_fig10b(&scale)
-            .expect("Fig 10b failed")
-            .render("Figure 10b — COMPAS FPR differences per k")
-    );
-    println!(
-        "{}",
-        compas::run_fig10c(&scale)
-            .expect("Fig 10c failed")
-            .render("Figure 10c — COMPAS disparity per k, log-discounted bonus")
-    );
-    println!(
-        "{}",
-        baselines_cmp::run_fastar_comparison(&scale, &[16, 17, 18, 19], 0.05)
-            .expect("Table II failed")
-            .render()
-    );
-    println!(
-        "{}",
-        baselines_cmp::run_exposure(&scale)
-            .expect("Exposure failed")
-            .render()
-    );
+    let jobs: Vec<Job<'_>> = vec![
+        (
+            "Table I",
+            Box::new(|| table1::run_table1(&scale).expect("Table I failed").render()),
+        ),
+        (
+            "Fig 1",
+            Box::new(|| utility::run_fig1(&scale).expect("Fig 1 failed").render()),
+        ),
+        (
+            "Figs 2-3",
+            Box::new(|| {
+                utility::run_proportion_sweep(&scale)
+                    .expect("Figs 2-3 failed")
+                    .render()
+            }),
+        ),
+        (
+            "Fig 4a",
+            Box::new(|| {
+                vary_k::run_per_k(&scale, true)
+                    .expect("Fig 4a failed")
+                    .render("Figure 4a — DCA re-optimized for every k")
+            }),
+        ),
+        (
+            "Fig 4b",
+            Box::new(|| {
+                vary_k::run_fixed_k(&scale, 0.05)
+                    .expect("Fig 4b failed")
+                    .render("Figure 4b — bonus optimized at k = 5%, evaluated across k")
+            }),
+        ),
+        (
+            "Fig 4c",
+            Box::new(|| {
+                vary_k::run_log_discounted(&scale)
+                    .expect("Fig 4c failed")
+                    .render("Figure 4c — log-discounted DCA evaluated across k")
+            }),
+        ),
+        (
+            "Fig 5",
+            Box::new(|| caps::run_caps(&scale, None).expect("Fig 5 failed").render()),
+        ),
+        (
+            "Fig 6",
+            Box::new(|| {
+                baselines_cmp::run_quota(&scale, 0.7)
+                    .expect("Fig 6 failed")
+                    .render()
+            }),
+        ),
+        (
+            "Fig 7",
+            Box::new(|| {
+                baselines_cmp::run_delta2_comparison(&scale)
+                    .expect("Fig 7 failed")
+                    .render()
+            }),
+        ),
+        (
+            "Fig 8",
+            Box::new(|| {
+                vary_k::run_per_k(&scale, false)
+                    .expect("Fig 8 failed")
+                    .render("Figure 8a/8b — Core DCA (no refinement) per k, with timings")
+            }),
+        ),
+        (
+            "Fig 9",
+            Box::new(|| {
+                alt_metrics::run_disparate_impact_comparison(&scale, None)
+                    .expect("Fig 9 failed")
+                    .render()
+            }),
+        ),
+        (
+            "Fig 10a",
+            Box::new(|| {
+                compas::run_fig10a(&scale)
+                    .expect("Fig 10a failed")
+                    .render("Figure 10a — COMPAS disparity per k")
+            }),
+        ),
+        (
+            "Fig 10b",
+            Box::new(|| {
+                compas::run_fig10b(&scale)
+                    .expect("Fig 10b failed")
+                    .render("Figure 10b — COMPAS FPR differences per k")
+            }),
+        ),
+        (
+            "Fig 10c",
+            Box::new(|| {
+                compas::run_fig10c(&scale)
+                    .expect("Fig 10c failed")
+                    .render("Figure 10c — COMPAS disparity per k, log-discounted bonus")
+            }),
+        ),
+        (
+            "Table II",
+            Box::new(|| {
+                baselines_cmp::run_fastar_comparison(&scale, &[16, 17, 18, 19], 0.05)
+                    .expect("Table II failed")
+                    .render()
+            }),
+        ),
+        (
+            "Exposure",
+            Box::new(|| {
+                baselines_cmp::run_exposure(&scale)
+                    .expect("Exposure failed")
+                    .render()
+            }),
+        ),
+    ];
+
+    // In-order streaming: slot results by index and advance a print
+    // watermark, so each report is printed the moment it and every
+    // predecessor are done.
+    let slots: Vec<Mutex<Option<String>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let watermark = Mutex::new(0_usize);
+    let indices: Vec<usize> = (0..jobs.len()).collect();
+    parallel_map(&indices, |&i| {
+        let (name, job) = &jobs[i];
+        let report = job();
+        eprintln!("[all_experiments] {name} done");
+        *slots[i].lock().expect("report slot poisoned") = Some(report);
+        let mut next = watermark.lock().expect("watermark poisoned");
+        while *next < slots.len() {
+            let mut slot = slots[*next].lock().expect("report slot poisoned");
+            match slot.take() {
+                Some(ready) => {
+                    println!("{ready}");
+                    *next += 1;
+                }
+                None => break,
+            }
+        }
+    });
 }

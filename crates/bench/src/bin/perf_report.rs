@@ -1,0 +1,309 @@
+//! Performance report for the DCA data plane — seeds and extends the
+//! `BENCH_DCA.json` perf trajectory at the repository root.
+//!
+//! ```text
+//! cargo run --release -p fair-bench --bin perf_report            # 10k/100k/1M
+//! cargo run --release -p fair-bench --bin perf_report -- --quick # 10k only (CI)
+//! cargo run --release -p fair-bench --bin perf_report -- --out p.json
+//! ```
+//!
+//! For each synthetic school cohort the report times:
+//!
+//! * **Core DCA** (Algorithm 1, sampled; the paper's sub-linearity claim is
+//!   that its per-step cost does not grow with the cohort),
+//! * **Full DCA** (non-sampled; linear per step, for contrast),
+//! * the **metric evaluations** a single step pays (disparity@k,
+//!   log-discounted disparity, nDCG@k) on the full cohort.
+//!
+//! The summary line checks the headline claim directly: Core DCA's per-step
+//! time at the largest cohort must stay within 2x of the 10k per-step time.
+
+use fair_bench::datasets::ExperimentScale;
+use fair_core::metrics::{disparity_at_k, log_discounted_disparity, ndcg_at_k, LogDiscountConfig};
+use fair_core::prelude::*;
+use fair_data::{SchoolConfig, SchoolGenerator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed numbers for one cohort size.
+struct CohortReport {
+    n: usize,
+    sample_size: usize,
+    generate_ms: f64,
+    core_total_ms: f64,
+    core_steps: usize,
+    core_per_step_us: f64,
+    core_objects_scored: usize,
+    core_objects_per_sec: f64,
+    full_total_ms: f64,
+    full_steps: usize,
+    full_per_step_ms: f64,
+    disparity_ms: f64,
+    log_discounted_ms: f64,
+    ndcg_ms: f64,
+}
+
+fn core_config(sample_size: usize) -> DcaConfig {
+    DcaConfig {
+        sample_size,
+        learning_rates: vec![1.0, 0.1],
+        // 500 steps per timed run: long enough that per-step timings are not
+        // dominated by timer granularity and scheduler jitter.
+        iterations_per_rate: 250,
+        refinement_iterations: 0,
+        seed: 7,
+        ..DcaConfig::default()
+    }
+}
+
+fn full_config() -> DcaConfig {
+    DcaConfig {
+        learning_rates: vec![1.0],
+        iterations_per_rate: 3,
+        refinement_iterations: 0,
+        seed: 7,
+        ..DcaConfig::default()
+    }
+}
+
+/// Best-of-`reps` wall-clock time of `routine`, in milliseconds.
+fn time_best<T>(reps: usize, mut routine: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn measure_cohort(n: usize) -> CohortReport {
+    let rubric = SchoolGenerator::rubric();
+    let objective = TopKDisparity::new(0.05);
+    let sample_size = ExperimentScale::default_scale().dca_sample_size;
+
+    let gen_start = Instant::now();
+    let dataset = SchoolGenerator::new(SchoolConfig::small(n, 42))
+        .generate()
+        .into_dataset();
+    let generate_ms = gen_start.elapsed().as_secs_f64() * 1e3;
+
+    // Core DCA: one untimed warm-up run primes the scratch buffers and
+    // caches, then best-of-7 timed runs (each a complete 500-step descent) —
+    // the minimum filters out scheduler and frequency-scaling noise, which
+    // otherwise dominates a few-ms measurement.
+    let mut scratch = DcaScratch::new();
+    let config = core_config(sample_size);
+    let mut run_core = || {
+        run_core_dca_with(
+            &dataset,
+            &rubric,
+            &objective,
+            &config,
+            None,
+            false,
+            &mut scratch,
+        )
+        .expect("core DCA run")
+    };
+    let outcome = run_core();
+    let core_total_ms = time_best(7, &mut run_core);
+    let core_steps = outcome.steps;
+    let core_objects_scored = outcome.objects_scored;
+
+    // Full DCA: 3 steps over the whole cohort (linear per step — kept short
+    // so the 1M cohort stays affordable).
+    let fcfg = full_config();
+    let mut run_full = || {
+        run_full_dca_with(
+            &dataset,
+            &rubric,
+            &objective,
+            &fcfg,
+            None,
+            false,
+            &mut scratch,
+        )
+        .expect("full DCA run")
+    };
+    let full_outcome = run_full();
+    let full_total_ms = time_best(2, &mut run_full);
+    let full_steps = full_outcome.steps;
+
+    // Single-metric evaluations on the full cohort.
+    let view = dataset.full_view();
+    let bonus = vec![1.0, 10.0, 12.0, 12.0];
+    let scores = effective_scores(&view, &rubric, &bonus);
+    let ranking = RankedSelection::from_scores(scores);
+    let disparity_ms = time_best(3, || disparity_at_k(&view, &ranking, 0.05).unwrap());
+    let log_cfg = LogDiscountConfig::default();
+    let log_discounted_ms = time_best(3, || {
+        log_discounted_disparity(&view, &ranking, &log_cfg).unwrap()
+    });
+    let ndcg_ms = time_best(3, || ndcg_at_k(&view, &rubric, &ranking, 0.05).unwrap());
+
+    CohortReport {
+        n,
+        sample_size,
+        generate_ms,
+        core_total_ms,
+        core_steps,
+        core_per_step_us: core_total_ms * 1e3 / core_steps as f64,
+        core_objects_scored,
+        core_objects_per_sec: core_objects_scored as f64 / (core_total_ms / 1e3),
+        full_total_ms,
+        full_steps,
+        full_per_step_ms: full_total_ms / full_steps as f64,
+        disparity_ms,
+        log_discounted_ms,
+        ndcg_ms,
+    }
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_json(mode: &str, reports: &[CohortReport], ratio: Option<f64>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let sample_size = reports.first().map_or(0, |r| r.sample_size);
+    let _ = writeln!(s, "  \"core_sample_size\": {sample_size},");
+    s.push_str("  \"cohorts\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"n\": {},", r.n);
+        let _ = writeln!(s, "      \"generate_ms\": {},", json_number(r.generate_ms));
+        let _ = writeln!(
+            s,
+            "      \"core_dca\": {{ \"steps\": {}, \"total_ms\": {}, \"per_step_us\": {}, \"objects_scored\": {}, \"objects_per_sec\": {} }},",
+            r.core_steps,
+            json_number(r.core_total_ms),
+            json_number(r.core_per_step_us),
+            r.core_objects_scored,
+            json_number(r.core_objects_per_sec),
+        );
+        let _ = writeln!(
+            s,
+            "      \"full_dca\": {{ \"steps\": {}, \"total_ms\": {}, \"per_step_ms\": {} }},",
+            r.full_steps,
+            json_number(r.full_total_ms),
+            json_number(r.full_per_step_ms),
+        );
+        let _ = writeln!(
+            s,
+            "      \"metrics_ms\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }}",
+            json_number(r.disparity_ms),
+            json_number(r.log_discounted_ms),
+            json_number(r.ndcg_ms),
+        );
+        s.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ],\n");
+    match ratio {
+        Some(v) => {
+            let _ = writeln!(
+                s,
+                "  \"core_per_step_ratio_largest_vs_smallest\": {}",
+                json_number(v)
+            );
+        }
+        None => {
+            s.push_str("  \"core_per_step_ratio_largest_vs_smallest\": null\n");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn default_output_path() -> std::path::PathBuf {
+    // crates/bench -> repository root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_DCA.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_output_path);
+
+    let sizes: &[usize] = if quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let mode = if quick { "quick" } else { "full" };
+
+    println!("perf_report — Core DCA / Full DCA / metric timings ({mode} mode)\n");
+    println!(
+        "{:>9}  {:>12} {:>14} {:>16}  {:>14}  {:>12} {:>14} {:>10}",
+        "cohort",
+        "core total",
+        "core per-step",
+        "objects/sec",
+        "full per-step",
+        "disparity@k",
+        "log-discounted",
+        "nDCG@k"
+    );
+
+    let mut reports = Vec::new();
+    for &n in sizes {
+        let r = measure_cohort(n);
+        println!(
+            "{:>9}  {:>10.2}ms {:>12.2}us {:>14.0}/s  {:>12.2}ms  {:>10.3}ms {:>12.3}ms {:>8.3}ms",
+            r.n,
+            r.core_total_ms,
+            r.core_per_step_us,
+            r.core_objects_per_sec,
+            r.full_per_step_ms,
+            r.disparity_ms,
+            r.log_discounted_ms,
+            r.ndcg_ms
+        );
+        reports.push(r);
+    }
+
+    let ratio = (reports.len() > 1).then(|| {
+        reports.last().unwrap().core_per_step_us / reports.first().unwrap().core_per_step_us
+    });
+    if let Some(v) = ratio {
+        let largest = reports.last().unwrap().n;
+        let smallest = reports.first().unwrap().n;
+        println!(
+            "\nCore DCA per-step time at {largest} is {v:.2}x the {smallest} per-step time \
+             (sample-bounded cost claim: must stay within 2x)."
+        );
+    }
+
+    let json = render_json(mode, &reports, ratio);
+    std::fs::write(&out_path, &json).expect("write BENCH_DCA.json");
+    println!("\nWrote {}", out_path.display());
+
+    // The sub-linearity budget is a gate, not a suggestion: fail the process
+    // so a regressing change cannot sail through a full perf run.
+    if let Some(v) = ratio {
+        if v > 2.0 {
+            eprintln!("ERROR: per-step ratio {v:.2} exceeds the 2x sub-linearity budget");
+            std::process::exit(1);
+        }
+    }
+}

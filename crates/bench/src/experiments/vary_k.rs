@@ -110,8 +110,15 @@ pub fn run_per_k(scale: &ExperimentScale, refined: bool) -> Result<PerKResult> {
     let dims = names.len();
     let zero = vec![0.0; dims];
 
-    let mut rows = Vec::new();
-    for k in k_grid() {
+    // Every k is an independent DCA run plus its own full-dataset
+    // evaluations, so the sweep maps cleanly onto scoped worker threads.
+    // Per-k seeds and configs are unchanged, so bonuses and disparities are
+    // identical to a sequential sweep; the per-row `elapsed` wall-clock is
+    // measured under concurrent execution, so it carries scheduler
+    // contention (fine for the Figure 8b shape, not for absolute per-run
+    // comparisons across machines).
+    let ks = k_grid();
+    let rows = parallel_map(&ks, |&k| -> Result<PerKRow> {
         let mut config = experiment_dca_config(scale, scale.seed);
         if !refined {
             config.refinement_iterations = 0;
@@ -119,14 +126,16 @@ pub fn run_per_k(scale: &ExperimentScale, refined: bool) -> Result<PerKResult> {
         let start = std::time::Instant::now();
         let dca = Dca::new(config).run(train.dataset(), &rubric, &TopKDisparity::new(k))?;
         let elapsed = start.elapsed();
-        rows.push(PerKRow {
+        Ok(PerKRow {
             k,
             before: eval_disparity(test.dataset(), &rubric, &zero, k)?,
             after: eval_disparity(test.dataset(), &rubric, dca.bonus.values(), k)?,
             bonus: dca.bonus.values().to_vec(),
             elapsed,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>>>()?;
     Ok(PerKResult {
         names,
         refined,

@@ -1,12 +1,25 @@
 //! Dataset container: a schema plus the collection of objects to be ranked.
+//!
+//! Storage is **columnar** (structure-of-arrays): all feature vectors live in
+//! one contiguous row-major matrix, all fairness vectors in another, with ids
+//! and labels in parallel arrays. The DCA hot loop — effective-score
+//! computation, centroids, selection metrics — therefore streams over dense
+//! `f64` slices instead of chasing one heap allocation per object, which is
+//! what makes the per-step cost truly sample-bounded in practice
+//! (Section IV-D). Rows are exposed through the zero-copy
+//! [`ObjectView`](crate::object::ObjectView); the owned
+//! [`DataObject`](crate::object::DataObject) remains the construction-time
+//! input type.
 
 use crate::attributes::SchemaRef;
 use crate::error::{FairError, Result};
-use crate::object::{DataObject, ObjectId};
-use rand::seq::index::sample as index_sample;
+use crate::object::{DataObject, ObjectId, ObjectView};
+use rand::seq::index::{sample_into, IndexBuffer};
 use rand::Rng;
+use std::borrow::Cow;
 
-/// A collection of [`DataObject`]s sharing one [`crate::Schema`].
+/// A collection of ranked objects sharing one [`crate::Schema`], stored
+/// column-wise.
 ///
 /// The dataset is the paper's set `O`. It offers the primitives every metric
 /// and algorithm needs: fairness centroids (the `D_O` term of Definition 3),
@@ -14,7 +27,12 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: SchemaRef,
-    objects: Vec<DataObject>,
+    ids: Vec<ObjectId>,
+    /// Row-major `len × num_features` matrix of ranking features.
+    features: Vec<f64>,
+    /// Row-major `len × num_fairness` matrix of fairness attributes.
+    fairness: Vec<f64>,
+    labels: Vec<Option<bool>>,
 }
 
 impl Dataset {
@@ -25,31 +43,30 @@ impl Dataset {
     /// dimensionality. (Value-domain validation is the responsibility of the
     /// object constructors.)
     pub fn new(schema: SchemaRef, objects: Vec<DataObject>) -> Result<Self> {
-        for o in &objects {
-            if o.features().len() != schema.num_features() {
-                return Err(FairError::DimensionMismatch {
-                    what: "feature vector",
-                    expected: schema.num_features(),
-                    actual: o.features().len(),
-                });
-            }
-            if o.fairness().len() != schema.num_fairness() {
-                return Err(FairError::DimensionMismatch {
-                    what: "fairness vector",
-                    expected: schema.num_fairness(),
-                    actual: o.fairness().len(),
-                });
-            }
+        let mut dataset = Self::with_capacity(schema, objects.len());
+        for o in objects {
+            dataset.push(o)?;
         }
-        Ok(Self { schema, objects })
+        Ok(dataset)
     }
 
     /// Create an empty dataset with the given schema.
     #[must_use]
     pub fn empty(schema: SchemaRef) -> Self {
+        Self::with_capacity(schema, 0)
+    }
+
+    /// Create an empty dataset with room for `capacity` objects.
+    #[must_use]
+    pub fn with_capacity(schema: SchemaRef, capacity: usize) -> Self {
+        let nf = schema.num_features();
+        let na = schema.num_fairness();
         Self {
             schema,
-            objects: Vec::new(),
+            ids: Vec::with_capacity(capacity),
+            features: Vec::with_capacity(capacity * nf),
+            fairness: Vec::with_capacity(capacity * na),
+            labels: Vec::with_capacity(capacity),
         }
     }
 
@@ -59,25 +76,70 @@ impl Dataset {
         &self.schema
     }
 
-    /// All objects, in insertion order.
-    #[must_use]
-    pub fn objects(&self) -> &[DataObject] {
-        &self.objects
-    }
-
     /// Number of objects.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.ids.len()
     }
 
     /// Whether the dataset holds no objects.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Append an object.
+    /// The contiguous row-major `len × num_features` feature matrix.
+    #[must_use]
+    pub fn features_matrix(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// The contiguous row-major `len × num_fairness` fairness matrix.
+    #[must_use]
+    pub fn fairness_matrix(&self) -> &[f64] {
+        &self.fairness
+    }
+
+    /// The feature row of object `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn feature_row(&self, i: usize) -> &[f64] {
+        let w = self.schema.num_features();
+        &self.features[i * w..i * w + w]
+    }
+
+    /// The fairness row of object `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn fairness_row(&self, i: usize) -> &[f64] {
+        let w = self.schema.num_fairness();
+        &self.fairness[i * w..i * w + w]
+    }
+
+    /// Zero-copy view of the object at index `i` (insertion order).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> ObjectView<'_> {
+        ObjectView::new(
+            self.ids[i],
+            self.feature_row(i),
+            self.fairness_row(i),
+            self.labels[i],
+        )
+    }
+
+    /// Iterate over all objects, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectView<'_>> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// Append an object (copying its vectors into the column store).
     ///
     /// # Errors
     /// Returns an error if the object's vectors do not match the schema.
@@ -96,15 +158,39 @@ impl Dataset {
                 actual: object.fairness().len(),
             });
         }
-        self.objects.push(object);
+        self.ids.push(object.id());
+        self.features.extend_from_slice(object.features());
+        self.fairness.extend_from_slice(object.fairness());
+        self.labels.push(object.label());
         Ok(())
+    }
+
+    /// Copy a row of another (schema-compatible) dataset into this one.
+    fn push_row(&mut self, view: ObjectView<'_>) {
+        debug_assert_eq!(view.features().len(), self.schema.num_features());
+        debug_assert_eq!(view.fairness().len(), self.schema.num_fairness());
+        self.ids.push(view.id());
+        self.features.extend_from_slice(view.features());
+        self.fairness.extend_from_slice(view.fairness());
+        self.labels.push(view.label());
     }
 
     /// Look up an object by id (linear scan; datasets are typically iterated,
     /// not point-queried).
     #[must_use]
-    pub fn get_by_id(&self, id: ObjectId) -> Option<&DataObject> {
-        self.objects.iter().find(|o| o.id() == id)
+    pub fn get_by_id(&self, id: ObjectId) -> Option<ObjectView<'_>> {
+        self.ids
+            .iter()
+            .position(|&i| i == id)
+            .map(|pos| self.row(pos))
+    }
+
+    /// Replace the label of object `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn set_label(&mut self, i: usize, label: Option<bool>) {
+        self.labels[i] = label;
     }
 
     /// Centroid of the fairness attributes over the whole dataset — the
@@ -113,7 +199,21 @@ impl Dataset {
     /// # Errors
     /// Returns [`FairError::EmptyDataset`] on an empty dataset.
     pub fn fairness_centroid(&self) -> Result<Vec<f64>> {
-        centroid_of(&self.schema, self.objects.iter())
+        let mut out = Vec::new();
+        self.fairness_centroid_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`Dataset::fairness_centroid`] writing into a caller-provided buffer.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset.
+    pub fn fairness_centroid_into(&self, out: &mut Vec<f64>) -> Result<()> {
+        centroid_rows_into(
+            self.schema.num_fairness(),
+            (0..self.len()).map(|i| self.fairness_row(i)),
+            out,
+        )
     }
 
     /// Centroid of the fairness attributes over a subset of object indices —
@@ -125,18 +225,34 @@ impl Dataset {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn fairness_centroid_of(&self, indices: &[usize]) -> Result<Vec<f64>> {
-        centroid_of(&self.schema, indices.iter().map(|&i| &self.objects[i]))
+        let mut out = Vec::new();
+        centroid_rows_into(
+            self.schema.num_fairness(),
+            indices.iter().map(|&i| self.fairness_row(i)),
+            &mut out,
+        )?;
+        Ok(out)
     }
 
     /// Fraction of objects belonging to the (binary) group at fairness index
     /// `dim`, i.e. with value `>= 0.5`.
     #[must_use]
     pub fn group_frequency(&self, dim: usize) -> f64 {
-        if self.objects.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        let count = self.objects.iter().filter(|o| o.in_group(dim)).count();
-        count as f64 / self.objects.len() as f64
+        let w = self.schema.num_fairness();
+        if dim >= w {
+            return 0.0;
+        }
+        let count = self
+            .fairness
+            .iter()
+            .skip(dim)
+            .step_by(w)
+            .filter(|v| **v >= 0.5)
+            .count();
+        count as f64 / self.len() as f64
     }
 
     /// Frequency of the *rarest* fairness group — the `r` of the paper's
@@ -156,7 +272,33 @@ impl Dataset {
     /// Returns [`FairError::EmptyDataset`] on an empty dataset and
     /// [`FairError::InvalidConfig`] when `size == 0`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, size: usize) -> Result<SampleView<'_>> {
-        if self.objects.is_empty() {
+        let mut buf = IndexBuffer::new();
+        self.sample_indices_into(rng, size, &mut buf)?;
+        Ok(SampleView {
+            dataset: self,
+            indices: Cow::Owned(buf.into_vec()),
+        })
+    }
+
+    /// Allocation-free variant of [`Dataset::sample`]: draw the sampled
+    /// indices into a reusable [`IndexBuffer`]. Combine with
+    /// [`Dataset::view_of`] to obtain a borrowed [`SampleView`]; this is the
+    /// DCA hot-loop path.
+    ///
+    /// The index sequence is identical to [`Dataset::sample`] for the same RNG
+    /// state, so sampled experiments are reproducible across both entry
+    /// points.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset and
+    /// [`FairError::InvalidConfig`] when `size == 0`.
+    pub fn sample_indices_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        size: usize,
+        buf: &mut IndexBuffer,
+    ) -> Result<()> {
+        if self.is_empty() {
             return Err(FairError::EmptyDataset);
         }
         if size == 0 {
@@ -164,15 +306,12 @@ impl Dataset {
                 reason: "sample size must be positive".into(),
             });
         }
-        let indices: Vec<usize> = if size >= self.objects.len() {
-            (0..self.objects.len()).collect()
+        if size >= self.len() {
+            buf.fill_sequential(self.len());
         } else {
-            index_sample(rng, self.objects.len(), size).into_vec()
-        };
-        Ok(SampleView {
-            dataset: self,
-            indices,
-        })
+            sample_into(rng, self.len(), size, buf);
+        }
+        Ok(())
     }
 
     /// Borrow the whole dataset as a [`SampleView`] (used by Full DCA, which
@@ -181,23 +320,37 @@ impl Dataset {
     pub fn full_view(&self) -> SampleView<'_> {
         SampleView {
             dataset: self,
-            indices: (0..self.objects.len()).collect(),
+            indices: Cow::Owned((0..self.len()).collect()),
+        }
+    }
+
+    /// Borrow a view over externally owned indices without copying them —
+    /// the allocation-free counterpart of [`SampleView::from_indices`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any index is out of bounds; out-of-bounds
+    /// indices surface as row-access panics otherwise.
+    #[must_use]
+    pub fn view_of<'a>(&'a self, indices: &'a [usize]) -> SampleView<'a> {
+        debug_assert!(indices.iter().all(|&i| i < self.len()));
+        SampleView {
+            dataset: self,
+            indices: Cow::Borrowed(indices),
         }
     }
 
     /// Build a new dataset containing only the objects selected by `predicate`
     /// (e.g. one school district). Ids are preserved.
     #[must_use]
-    pub fn filter(&self, mut predicate: impl FnMut(&DataObject) -> bool) -> Dataset {
-        Dataset {
-            schema: self.schema.clone(),
-            objects: self
-                .objects
-                .iter()
-                .filter(|o| predicate(o))
-                .cloned()
-                .collect(),
+    pub fn filter(&self, mut predicate: impl FnMut(ObjectView<'_>) -> bool) -> Dataset {
+        let mut out = Self::with_capacity(self.schema.clone(), 0);
+        for i in 0..self.len() {
+            let view = self.row(i);
+            if predicate(view) {
+                out.push_row(view);
+            }
         }
+        out
     }
 
     /// Build a new dataset containing the objects at the given indices, in the
@@ -207,26 +360,32 @@ impl Dataset {
     /// Panics if any index is out of bounds.
     #[must_use]
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        Dataset {
-            schema: self.schema.clone(),
-            objects: indices.iter().map(|&i| self.objects[i].clone()).collect(),
+        let mut out = Self::with_capacity(self.schema.clone(), indices.len());
+        for &i in indices {
+            out.push_row(self.row(i));
         }
+        out
     }
 
     /// Whether every object carries a ground-truth outcome label.
     #[must_use]
     pub fn fully_labelled(&self) -> bool {
-        !self.objects.is_empty() && self.objects.iter().all(|o| o.label().is_some())
+        !self.is_empty() && self.labels.iter().all(Option::is_some)
     }
 }
 
 /// A borrowed view over a subset of a dataset's objects (a sample, a district,
 /// or the full dataset). All metrics and DCA steps operate on views so that
 /// sampled and full evaluation share one code path.
+///
+/// The index list is a [`Cow`]: experiment code owns its indices
+/// ([`SampleView::from_indices`], [`Dataset::sample`]) while the DCA hot loop
+/// borrows a reusable buffer ([`Dataset::view_of`]) so that no per-step
+/// allocation occurs.
 #[derive(Debug, Clone)]
 pub struct SampleView<'a> {
     dataset: &'a Dataset,
-    indices: Vec<usize>,
+    indices: Cow<'a, [usize]>,
 }
 
 impl<'a> SampleView<'a> {
@@ -243,18 +402,21 @@ impl<'a> SampleView<'a> {
                 dataset.len()
             );
         }
-        Self { dataset, indices }
+        Self {
+            dataset,
+            indices: Cow::Owned(indices),
+        }
     }
 
     /// The underlying dataset.
     #[must_use]
-    pub fn dataset(&self) -> &Dataset {
+    pub fn dataset(&self) -> &'a Dataset {
         self.dataset
     }
 
     /// The schema of the underlying dataset.
     #[must_use]
-    pub fn schema(&self) -> &SchemaRef {
+    pub fn schema(&self) -> &'a SchemaRef {
         self.dataset.schema()
     }
 
@@ -277,43 +439,78 @@ impl<'a> SampleView<'a> {
     }
 
     /// Iterate over the viewed objects.
-    pub fn iter(&self) -> impl Iterator<Item = &DataObject> + '_ {
-        self.indices
-            .iter()
-            .map(move |&i| &self.dataset.objects()[i])
+    pub fn iter(&self) -> impl Iterator<Item = ObjectView<'a>> + '_ {
+        self.indices.iter().map(move |&i| self.dataset.row(i))
     }
 
     /// The `i`-th object of the view.
     #[must_use]
-    pub fn object(&self, i: usize) -> &DataObject {
-        &self.dataset.objects()[self.indices[i]]
+    pub fn object(&self, i: usize) -> ObjectView<'a> {
+        self.dataset.row(self.indices[i])
     }
 
     /// Fairness centroid over the whole view (`D_O` computed on a sample —
     /// Lemma 4.2's estimator).
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty view.
     pub fn fairness_centroid(&self) -> Result<Vec<f64>> {
-        centroid_of(self.dataset.schema(), self.iter())
+        let mut out = Vec::new();
+        self.fairness_centroid_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`SampleView::fairness_centroid`] writing into a caller-provided
+    /// buffer.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty view.
+    pub fn fairness_centroid_into(&self, out: &mut Vec<f64>) -> Result<()> {
+        centroid_rows_into(
+            self.dataset.schema().num_fairness(),
+            self.indices.iter().map(|&i| self.dataset.fairness_row(i)),
+            out,
+        )
     }
 
     /// Fairness centroid over a subset of *view positions* (not dataset
     /// indices) — used for the selected top-k of a sample (Lemma 4.4).
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] when `positions` is empty.
     pub fn fairness_centroid_of(&self, positions: &[usize]) -> Result<Vec<f64>> {
-        centroid_of(
-            self.dataset.schema(),
-            positions.iter().map(|&p| self.object(p)),
+        let mut out = Vec::new();
+        self.fairness_centroid_of_into(positions, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SampleView::fairness_centroid_of`] writing into a caller-provided
+    /// buffer.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] when `positions` is empty.
+    pub fn fairness_centroid_of_into(&self, positions: &[usize], out: &mut Vec<f64>) -> Result<()> {
+        centroid_rows_into(
+            self.dataset.schema().num_fairness(),
+            positions
+                .iter()
+                .map(|&p| self.dataset.fairness_row(self.indices[p])),
+            out,
         )
     }
 }
 
-/// Mean fairness vector of an object iterator.
-fn centroid_of<'a>(
-    schema: &SchemaRef,
-    objects: impl Iterator<Item = &'a DataObject>,
-) -> Result<Vec<f64>> {
-    let mut acc = vec![0.0; schema.num_fairness()];
+/// Mean of an iterator of equally sized fairness rows, written into `out`.
+fn centroid_rows_into<'a>(
+    dims: usize,
+    rows: impl Iterator<Item = &'a [f64]>,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    out.clear();
+    out.resize(dims, 0.0);
     let mut n = 0_usize;
-    for o in objects {
-        for (a, v) in acc.iter_mut().zip(o.fairness()) {
+    for row in rows {
+        for (a, v) in out.iter_mut().zip(row) {
             *a += v;
         }
         n += 1;
@@ -321,10 +518,10 @@ fn centroid_of<'a>(
     if n == 0 {
         return Err(FairError::EmptyDataset);
     }
-    for a in &mut acc {
+    for a in out.iter_mut() {
         *a /= n as f64;
     }
-    Ok(acc)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -373,11 +570,27 @@ mod tests {
     }
 
     #[test]
+    fn columnar_storage_exposes_contiguous_rows() {
+        let d = make_dataset();
+        assert_eq!(d.features_matrix(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.fairness_matrix().len(), 8);
+        assert_eq!(d.feature_row(2), &[3.0]);
+        assert_eq!(d.fairness_row(2), &[1.0, 1.0]);
+        let row = d.row(1);
+        assert_eq!(row.id(), ObjectId(1));
+        assert_eq!(row.features(), &[2.0]);
+        assert_eq!(row.fairness(), &[0.0, 1.0]);
+        assert_eq!(row.label(), Some(false));
+        assert_eq!(d.iter().count(), 4);
+    }
+
+    #[test]
     fn group_frequency_and_rarest() {
         let d = make_dataset();
         assert!((d.group_frequency(0) - 0.5).abs() < 1e-12);
         assert!((d.group_frequency(1) - 0.5).abs() < 1e-12);
         assert!((d.rarest_group_frequency() - 0.5).abs() < 1e-12);
+        assert_eq!(d.group_frequency(99), 0.0);
     }
 
     #[test]
@@ -390,6 +603,27 @@ mod tests {
         idx.sort_unstable();
         idx.dedup();
         assert_eq!(idx.len(), 3, "indices must be unique");
+    }
+
+    #[test]
+    fn sample_into_matches_owning_sample_for_equal_seeds() {
+        let d = {
+            let s = schema();
+            let objects = (0..200_u64)
+                .map(|i| DataObject::new_unchecked(i, vec![i as f64], vec![0.0, 1.0], None))
+                .collect();
+            Dataset::new(s, objects).unwrap()
+        };
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut buf = IndexBuffer::new();
+        for size in [3, 20, 150, 500] {
+            let owned = d.sample(&mut rng_a, size).unwrap();
+            d.sample_indices_into(&mut rng_b, size, &mut buf).unwrap();
+            assert_eq!(owned.indices(), buf.as_slice(), "size {size}");
+            let borrowed = d.view_of(buf.as_slice());
+            assert_eq!(borrowed.len(), owned.len());
+        }
     }
 
     #[test]
@@ -448,6 +682,16 @@ mod tests {
     }
 
     #[test]
+    fn subset_gathers_rows_in_order() {
+        let d = make_dataset();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0).id(), ObjectId(2));
+        assert_eq!(s.row(1).id(), ObjectId(0));
+        assert_eq!(s.feature_row(0), d.feature_row(2));
+    }
+
+    #[test]
     fn push_validates_dimensions() {
         let mut d = make_dataset();
         let bad = DataObject::new_unchecked(9, vec![1.0, 2.0], vec![0.0, 1.0], None);
@@ -470,6 +714,8 @@ mod tests {
         ))
         .unwrap();
         assert!(!d2.fully_labelled());
+        d2.set_label(4, Some(true));
+        assert!(d2.fully_labelled());
         assert!(!Dataset::empty(schema()).fully_labelled());
     }
 

@@ -18,6 +18,7 @@ use crate::bonus::{BonusCaps, BonusPolarity};
 use crate::dataset::Dataset;
 use crate::dca::config::DcaConfig;
 use crate::dca::objective::Objective;
+use crate::dca::scratch::DcaScratch;
 use crate::error::Result;
 use crate::ranking::Ranker;
 use rand::rngs::StdRng;
@@ -87,6 +88,37 @@ where
     R: Ranker + ?Sized,
     O: Objective + ?Sized,
 {
+    let mut scratch = DcaScratch::new();
+    run_core_dca_with(
+        dataset,
+        ranker,
+        objective,
+        config,
+        initial,
+        trace,
+        &mut scratch,
+    )
+}
+
+/// [`run_core_dca`] reusing a caller-provided [`DcaScratch`], so repeated
+/// runs (sweeps, benchmarks) and every step within a run are allocation-free.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, or objective
+/// failures.
+pub fn run_core_dca_with<R, O>(
+    dataset: &Dataset,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+    scratch: &mut DcaScratch,
+) -> Result<CoreDcaOutcome>
+where
+    R: Ranker + ?Sized,
+    O: Objective + ?Sized,
+{
     let dims = dataset.schema().num_fairness();
     config.validate(dims)?;
     if dataset.is_empty() {
@@ -104,10 +136,18 @@ where
 
     for &lr in &config.learning_rates {
         for _ in 0..config.iterations_per_rate {
-            let sample = dataset.sample(&mut rng, config.sample_size)?;
-            let direction = objective.evaluate(&sample, ranker, &bonus)?;
+            dataset.sample_indices_into(&mut rng, config.sample_size, &mut scratch.indices)?;
+            let sample = dataset.view_of(scratch.indices.as_slice());
+            objective.evaluate_into(
+                &sample,
+                ranker,
+                &bonus,
+                &mut scratch.eval,
+                &mut scratch.direction,
+            )?;
+            let direction = &scratch.direction;
             debug_assert_eq!(direction.len(), dims);
-            for (b, d) in bonus.iter_mut().zip(&direction) {
+            for (b, d) in bonus.iter_mut().zip(direction) {
                 *b -= lr * d;
             }
             clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
@@ -117,7 +157,7 @@ where
                 trace_entries.push(CoreTraceEntry {
                     step: steps - 1,
                     learning_rate: lr,
-                    objective_norm: crate::metrics::norm(&direction),
+                    objective_norm: crate::metrics::norm(direction),
                     bonus: bonus.clone(),
                 });
             }

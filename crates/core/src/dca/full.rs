@@ -12,6 +12,7 @@ use crate::dataset::Dataset;
 use crate::dca::config::DcaConfig;
 use crate::dca::core::{clamp_bonus, CoreTraceEntry};
 use crate::dca::objective::Objective;
+use crate::dca::scratch::DcaScratch;
 use crate::error::{FairError, Result};
 use crate::ranking::Ranker;
 
@@ -46,6 +47,37 @@ where
     R: Ranker + ?Sized,
     O: Objective + ?Sized,
 {
+    let mut scratch = DcaScratch::new();
+    run_full_dca_with(
+        dataset,
+        ranker,
+        objective,
+        config,
+        initial,
+        trace,
+        &mut scratch,
+    )
+}
+
+/// [`run_full_dca`] reusing a caller-provided [`DcaScratch`], so every step
+/// is allocation-free.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, or objective
+/// failures.
+pub fn run_full_dca_with<R, O>(
+    dataset: &Dataset,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+    scratch: &mut DcaScratch,
+) -> Result<FullDcaOutcome>
+where
+    R: Ranker + ?Sized,
+    O: Objective + ?Sized,
+{
     let dims = dataset.schema().num_fairness();
     // Full DCA ignores the sample size, so validate a copy with a size that
     // always passes the CLT check.
@@ -67,8 +99,15 @@ where
 
     for &lr in &config.learning_rates {
         for _ in 0..config.iterations_per_rate {
-            let direction = objective.evaluate(&view, ranker, &bonus)?;
-            for (b, d) in bonus.iter_mut().zip(&direction) {
+            objective.evaluate_into(
+                &view,
+                ranker,
+                &bonus,
+                &mut scratch.eval,
+                &mut scratch.direction,
+            )?;
+            let direction = &scratch.direction;
+            for (b, d) in bonus.iter_mut().zip(direction) {
                 *b -= lr * d;
             }
             clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
@@ -78,7 +117,7 @@ where
                 trace_entries.push(CoreTraceEntry {
                     step: steps - 1,
                     learning_rate: lr,
-                    objective_norm: crate::metrics::norm(&direction),
+                    objective_norm: crate::metrics::norm(direction),
                     bonus: bonus.clone(),
                 });
             }

@@ -39,14 +39,16 @@ pub mod core;
 pub mod full;
 pub mod objective;
 pub mod refine;
+pub mod scratch;
 
-pub use self::core::{run_core_dca, CoreDcaOutcome, CoreTraceEntry};
+pub use self::core::{run_core_dca, run_core_dca_with, CoreDcaOutcome, CoreTraceEntry};
 pub use config::{DcaConfig, CLT_MINIMUM};
-pub use full::{run_full_dca, FullDcaOutcome};
+pub use full::{run_full_dca, run_full_dca_with, FullDcaOutcome};
 pub use objective::{
     FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact, TopKDisparity,
 };
-pub use refine::{run_refinement, RefinementOutcome};
+pub use refine::{run_refinement, run_refinement_with, RefinementOutcome};
+pub use scratch::{DcaScratch, EvalScratch};
 
 use crate::bonus::BonusVector;
 use crate::dataset::Dataset;
@@ -135,9 +137,20 @@ impl Dca {
         let zero = vec![0.0; schema.num_fairness()];
         let before = objective.evaluate(&full, ranker, &zero)?;
 
+        // One scratch serves both phases: all per-step buffers are reused.
+        let mut scratch = DcaScratch::new();
+
         // Phase 1: Core DCA.
         let core_start = Instant::now();
-        let core = self::core::run_core_dca(dataset, ranker, objective, &self.config, None, false)?;
+        let core = self::core::run_core_dca_with(
+            dataset,
+            ranker,
+            objective,
+            &self.config,
+            None,
+            false,
+            &mut scratch,
+        )?;
         let core_time = core_start.elapsed();
         let core_eval = objective.evaluate(&full, ranker, &core.bonus)?;
         let core_bonus_rounded = match self.config.granularity {
@@ -148,8 +161,14 @@ impl Dca {
         // Phase 2: refinement (optional).
         let refine_start = Instant::now();
         let (final_values, refinement_objects) = if self.config.refinement_iterations > 0 {
-            let refined =
-                refine::run_refinement(dataset, ranker, objective, &self.config, core.bonus)?;
+            let refined = refine::run_refinement_with(
+                dataset,
+                ranker,
+                objective,
+                &self.config,
+                core.bonus,
+                &mut scratch,
+            )?;
             (refined.bonus, refined.objects_scored)
         } else {
             (core_bonus_rounded.clone(), 0)

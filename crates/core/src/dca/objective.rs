@@ -8,38 +8,84 @@
 //! differences. Any metric satisfying the contract — one value per fairness
 //! attribute, bounded in `[-1, 1]`, 0 meaning fair, sign giving the direction
 //! of the imbalance — can drive DCA through the [`Objective`] trait.
+//!
+//! The hot entry point is [`Objective::evaluate_into`], which reuses the
+//! buffers of an [`EvalScratch`] so a DCA step allocates nothing. Objectives
+//! whose selection boundary is fixed (`k` known up front) rank their sample
+//! through the partial-selection fast path
+//! ([`RankedSelection::from_scores_topk`]'s `O(s + m log m)` partition)
+//! instead of a full `O(s log s)` sort; the log-discounted objective, which
+//! reads many prefixes, keeps the full sort.
 
 use crate::dataset::SampleView;
+use crate::dca::scratch::EvalScratch;
 use crate::error::Result;
 use crate::metrics::{
-    disparity_at_k, fpr_difference_at_k, log_discounted_disparity, scaled_disparate_impact_at_k,
-    LogDiscountConfig,
+    disparity_at_k_into, fpr_difference_at_k_into, log_discounted_disparity_into,
+    scaled_disparate_impact_at_k_into, LogDiscountConfig,
 };
-use crate::ranking::topk::RankedSelection;
-use crate::ranking::{effective_scores, Ranker};
+use crate::ranking::topk::{selection_size, RankedSelection};
+use crate::ranking::{effective_scores_into, Ranker};
 
 /// A vector-valued unfairness measure that DCA can minimize.
 pub trait Objective: Send + Sync {
     /// Evaluate the measure on a (sampled or full) view under the given bonus
-    /// values. The result has one entry per fairness attribute, in `[-1, 1]`.
+    /// values, writing one entry per fairness attribute (each in `[-1, 1]`)
+    /// into `out` and reusing the buffers of `scratch` — the allocation-free
+    /// path every DCA step takes.
+    ///
+    /// # Errors
+    /// Returns an error on empty views, invalid configurations, or missing
+    /// labels (objective-dependent).
+    fn evaluate_into<R: Ranker + ?Sized>(
+        &self,
+        view: &SampleView<'_>,
+        ranker: &R,
+        bonus: &[f64],
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()>;
+
+    /// Convenience wrapper around [`Objective::evaluate_into`] that allocates
+    /// fresh buffers and returns the objective vector.
+    ///
+    /// # Errors
+    /// Returns an error on empty views, invalid configurations, or missing
+    /// labels (objective-dependent).
     fn evaluate<R: Ranker + ?Sized>(
         &self,
         view: &SampleView<'_>,
         ranker: &R,
         bonus: &[f64],
-    ) -> Result<Vec<f64>>;
+    ) -> Result<Vec<f64>> {
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        self.evaluate_into(view, ranker, bonus, &mut scratch, &mut out)?;
+        Ok(out)
+    }
 
     /// Short name used in reports.
     fn name(&self) -> &'static str;
 }
 
-/// Rank a view under the given bonus values.
-pub(crate) fn rank_view<R: Ranker + ?Sized>(
+/// Refill the scratch ranking with the view's effective scores. `topk` of
+/// `Some(k)` sorts only the top `selection_size(len, k)` positions (the
+/// partial-selection fast path for fixed-`k` objectives); `None` fully sorts.
+fn rank_view_into<'s, R: Ranker + ?Sized>(
     view: &SampleView<'_>,
     ranker: &R,
     bonus: &[f64],
-) -> RankedSelection {
-    RankedSelection::from_scores(effective_scores(view, ranker, bonus))
+    topk: Option<f64>,
+    scratch: &'s mut EvalScratch,
+) -> Result<&'s RankedSelection> {
+    let boundary = match topk {
+        Some(k) => Some(selection_size(view.len(), k)?),
+        None => None,
+    };
+    scratch.ranking.refill_with(boundary, |scores| {
+        effective_scores_into(view, ranker, bonus, scores);
+    });
+    Ok(&scratch.ranking)
 }
 
 /// The paper's primary objective: Disparity of the top-`k` selection.
@@ -58,14 +104,16 @@ impl TopKDisparity {
 }
 
 impl Objective for TopKDisparity {
-    fn evaluate<R: Ranker + ?Sized>(
+    fn evaluate_into<R: Ranker + ?Sized>(
         &self,
         view: &SampleView<'_>,
         ranker: &R,
         bonus: &[f64],
-    ) -> Result<Vec<f64>> {
-        let ranking = rank_view(view, ranker, bonus);
-        disparity_at_k(view, &ranking, self.k)
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        rank_view_into(view, ranker, bonus, Some(self.k), scratch)?;
+        disparity_at_k_into(view, &scratch.ranking, self.k, out)
     }
 
     fn name(&self) -> &'static str {
@@ -90,14 +138,17 @@ impl LogDiscountedObjective {
 }
 
 impl Objective for LogDiscountedObjective {
-    fn evaluate<R: Ranker + ?Sized>(
+    fn evaluate_into<R: Ranker + ?Sized>(
         &self,
         view: &SampleView<'_>,
         ranker: &R,
         bonus: &[f64],
-    ) -> Result<Vec<f64>> {
-        let ranking = rank_view(view, ranker, bonus);
-        log_discounted_disparity(view, &ranking, &self.config)
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        // Reads every checkpoint prefix, so the full sort is required.
+        rank_view_into(view, ranker, bonus, None, scratch)?;
+        log_discounted_disparity_into(view, &scratch.ranking, &self.config, out)
     }
 
     fn name(&self) -> &'static str {
@@ -122,14 +173,17 @@ impl ScaledDisparateImpact {
 }
 
 impl Objective for ScaledDisparateImpact {
-    fn evaluate<R: Ranker + ?Sized>(
+    fn evaluate_into<R: Ranker + ?Sized>(
         &self,
         view: &SampleView<'_>,
         ranker: &R,
         bonus: &[f64],
-    ) -> Result<Vec<f64>> {
-        let ranking = rank_view(view, ranker, bonus);
-        scaled_disparate_impact_at_k(view, &ranking, self.k)
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        rank_view_into(view, ranker, bonus, Some(self.k), scratch)?;
+        let EvalScratch { ranking, mask } = scratch;
+        scaled_disparate_impact_at_k_into(view, ranking, self.k, mask, out)
     }
 
     fn name(&self) -> &'static str {
@@ -154,14 +208,17 @@ impl FprDifferenceObjective {
 }
 
 impl Objective for FprDifferenceObjective {
-    fn evaluate<R: Ranker + ?Sized>(
+    fn evaluate_into<R: Ranker + ?Sized>(
         &self,
         view: &SampleView<'_>,
         ranker: &R,
         bonus: &[f64],
-    ) -> Result<Vec<f64>> {
-        let ranking = rank_view(view, ranker, bonus);
-        fpr_difference_at_k(view, &ranking, self.k)
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        rank_view_into(view, ranker, bonus, Some(self.k), scratch)?;
+        let EvalScratch { ranking, mask } = scratch;
+        fpr_difference_at_k_into(view, ranking, self.k, mask, out)
     }
 
     fn name(&self) -> &'static str {
@@ -250,5 +307,32 @@ mod tests {
         let before = obj.evaluate(&view, &ranker, &[0.0]).unwrap()[0];
         let after = obj.evaluate(&view, &ranker, &[1_000.0]).unwrap()[0];
         assert!(before < 0.0 && after > 0.0);
+    }
+
+    #[test]
+    fn evaluate_into_with_reused_scratch_matches_fresh_evaluation() {
+        let d = dataset();
+        let view = d.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::new();
+        // Interleave objectives with different ranking modes (partial vs
+        // full) through the same scratch to prove refills are clean.
+        for bonus in [0.0, 5.0, 50.0, 0.0] {
+            for k in [0.1, 0.25, 0.5] {
+                let obj = TopKDisparity::new(k);
+                obj.evaluate_into(&view, &ranker, &[bonus], &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(out, obj.evaluate(&view, &ranker, &[bonus]).unwrap());
+            }
+            let logd = LogDiscountedObjective::default();
+            logd.evaluate_into(&view, &ranker, &[bonus], &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, logd.evaluate(&view, &ranker, &[bonus]).unwrap());
+            let fpr = FprDifferenceObjective::new(0.25);
+            fpr.evaluate_into(&view, &ranker, &[bonus], &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, fpr.evaluate(&view, &ranker, &[bonus]).unwrap());
+        }
     }
 }

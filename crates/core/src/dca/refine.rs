@@ -20,6 +20,7 @@ use crate::dataset::Dataset;
 use crate::dca::config::DcaConfig;
 use crate::dca::core::clamp_bonus;
 use crate::dca::objective::Objective;
+use crate::dca::scratch::DcaScratch;
 use crate::error::Result;
 use crate::ranking::Ranker;
 use fair_opt::{Adam, RollingWindow, Step};
@@ -56,6 +57,29 @@ where
     R: Ranker + ?Sized,
     O: Objective + ?Sized,
 {
+    let mut scratch = DcaScratch::new();
+    run_refinement_with(dataset, ranker, objective, config, initial, &mut scratch)
+}
+
+/// [`run_refinement`] reusing a caller-provided [`DcaScratch`], so every
+/// Adam step is allocation-free (apart from the dims-sized rolling-window
+/// snapshots).
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, or objective
+/// failures.
+pub fn run_refinement_with<R, O>(
+    dataset: &Dataset,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Vec<f64>,
+    scratch: &mut DcaScratch,
+) -> Result<RefinementOutcome>
+where
+    R: Ranker + ?Sized,
+    O: Objective + ?Sized,
+{
     let dims = dataset.schema().num_fairness();
     config.validate(dims)?;
     if dataset.is_empty() {
@@ -75,9 +99,16 @@ where
     let mut steps = 0_usize;
 
     for _ in 0..config.refinement_iterations {
-        let sample = dataset.sample(&mut rng, config.sample_size)?;
-        let direction = objective.evaluate(&sample, ranker, &bonus)?;
-        adam.step(&mut bonus, &direction);
+        dataset.sample_indices_into(&mut rng, config.sample_size, &mut scratch.indices)?;
+        let sample = dataset.view_of(scratch.indices.as_slice());
+        objective.evaluate_into(
+            &sample,
+            ranker,
+            &bonus,
+            &mut scratch.eval,
+            &mut scratch.direction,
+        )?;
+        adam.step(&mut bonus, &scratch.direction);
         clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
         window.push(bonus.clone());
         objects_scored += sample.len();

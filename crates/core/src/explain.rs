@@ -16,7 +16,7 @@
 use crate::bonus::BonusVector;
 use crate::dataset::SampleView;
 use crate::error::{FairError, Result};
-use crate::object::{DataObject, ObjectId};
+use crate::object::{ObjectId, ObjectView};
 use crate::ranking::score::WeightedSumRanker;
 use crate::ranking::topk::RankedSelection;
 use crate::ranking::{effective_scores, Ranker};
@@ -71,7 +71,7 @@ pub fn score_breakdown(
     schema: &crate::attributes::SchemaRef,
     rubric: &WeightedSumRanker,
     bonus: &BonusVector,
-    object: &DataObject,
+    object: ObjectView<'_>,
 ) -> Result<ScoreBreakdown> {
     if rubric.weights().len() != schema.num_features() {
         return Err(FairError::DimensionMismatch {
@@ -214,6 +214,7 @@ mod tests {
     use crate::attributes::Schema;
     use crate::bonus::BonusPolarity;
     use crate::dataset::Dataset;
+    use crate::object::DataObject;
 
     fn setup() -> (Dataset, WeightedSumRanker, BonusVector) {
         let schema = Schema::from_names(&["gpa", "test"], &["low_income", "ell"], &[]).unwrap();
@@ -238,7 +239,7 @@ mod tests {
     fn breakdown_sums_match_the_effective_score() {
         let (dataset, rubric, bonus) = setup();
         let schema = dataset.schema();
-        let object = &dataset.objects()[1];
+        let object = dataset.row(1);
         let b = score_breakdown(schema, &rubric, &bonus, object).unwrap();
         // 0.55*70 + 0.45*60 = 38.5 + 27 = 65.5; bonus = 2 + 20 = 22.
         assert!((b.base_score - 65.5).abs() < 1e-9);
@@ -255,7 +256,7 @@ mod tests {
         let (dataset, rubric, bonus) = setup();
         let schema = dataset.schema();
         // Object 0 belongs to no protected group.
-        let b = score_breakdown(schema, &rubric, &bonus, &dataset.objects()[0]).unwrap();
+        let b = score_breakdown(schema, &rubric, &bonus, dataset.row(0)).unwrap();
         assert!(b.bonus_contributions.is_empty());
         assert_eq!(b.total_bonus, 0.0);
     }
@@ -298,21 +299,9 @@ mod tests {
         let (dataset, rubric, bonus) = setup();
         let other_schema = Schema::from_names(&["x"], &["g"], &[]).unwrap();
         let wrong_bonus = BonusVector::zeros(other_schema.clone());
-        assert!(score_breakdown(
-            dataset.schema(),
-            &rubric,
-            &wrong_bonus,
-            &dataset.objects()[0]
-        )
-        .is_err());
+        assert!(score_breakdown(dataset.schema(), &rubric, &wrong_bonus, dataset.row(0)).is_err());
         let wrong_rubric = WeightedSumRanker::new(vec![1.0]).unwrap();
-        assert!(score_breakdown(
-            dataset.schema(),
-            &wrong_rubric,
-            &bonus,
-            &dataset.objects()[0]
-        )
-        .is_err());
+        assert!(score_breakdown(dataset.schema(), &wrong_rubric, &bonus, dataset.row(0)).is_err());
         let view = dataset.full_view();
         assert!(selection_outcome(&view, &rubric, &bonus, 0.5, 99).is_err());
         assert!(selection_outcome(&view, &rubric, &bonus, 0.0, 0).is_err());

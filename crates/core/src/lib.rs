@@ -68,15 +68,17 @@ pub mod error;
 pub mod explain;
 pub mod metrics;
 pub mod object;
+pub mod parallel;
 pub mod ranking;
 
 pub use attributes::{FairnessAttribute, FairnessKind, Schema, SchemaRef};
 pub use bonus::{BonusCaps, BonusPolarity, BonusVector};
 pub use calibrate::{calibrate_proportion, CalibrationResult, CalibrationTarget};
 pub use dataset::{Dataset, SampleView};
-pub use dca::{Dca, DcaConfig, DcaReport, DcaResult};
+pub use dca::{Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch};
 pub use error::{FairError, Result};
-pub use object::{DataObject, ObjectId};
+pub use object::{DataObject, ObjectId, ObjectView};
+pub use parallel::parallel_map;
 
 /// Convenient glob import for applications and examples.
 pub mod prelude {
@@ -85,7 +87,8 @@ pub mod prelude {
     pub use crate::calibrate::{calibrate_proportion, CalibrationResult, CalibrationTarget};
     pub use crate::dataset::{Dataset, SampleView};
     pub use crate::dca::{
-        run_core_dca, run_full_dca, run_refinement, Dca, DcaConfig, DcaReport, DcaResult,
+        run_core_dca, run_core_dca_with, run_full_dca, run_full_dca_with, run_refinement,
+        run_refinement_with, Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch,
         FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact,
         TopKDisparity,
     };
@@ -98,9 +101,10 @@ pub mod prelude {
         fpr_difference_at_k, group_fpr_at_k, log_discounted_disparity, ndcg_at_k, norm,
         DisparityVector, LogDiscountConfig,
     };
-    pub use crate::object::{DataObject, ObjectId};
+    pub use crate::object::{DataObject, ObjectId, ObjectView};
+    pub use crate::parallel::parallel_map;
     pub use crate::ranking::{
-        base_scores, effective_scores, selection_size, NormalizedWeightedSum, RankedSelection,
-        Ranker, SingleFeatureRanker, WeightedSumRanker,
+        base_scores, base_scores_into, effective_scores, effective_scores_into, selection_size,
+        NormalizedWeightedSum, RankedSelection, Ranker, SingleFeatureRanker, WeightedSumRanker,
     };
 }

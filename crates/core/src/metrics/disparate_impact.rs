@@ -60,23 +60,40 @@ pub fn scaled_disparate_impact_at_k(
     ranking: &RankedSelection,
     k: f64,
 ) -> Result<Vec<f64>> {
-    let rates = selection_rates(view, ranking, k)?;
-    Ok(rates
-        .into_iter()
-        .map(|(p1, p0)| {
-            let di = if p1 <= 0.0 || p0 <= 0.0 {
-                if p1 == p0 {
-                    1.0
-                } else {
-                    0.0
-                }
+    let mut mask = Vec::new();
+    let mut out = Vec::new();
+    scaled_disparate_impact_at_k_into(view, ranking, k, &mut mask, &mut out)?;
+    Ok(out)
+}
+
+/// [`scaled_disparate_impact_at_k`] writing into caller-provided buffers (the
+/// allocation-light path the DCA inner loop uses).
+///
+/// # Errors
+/// Returns an error on an empty view or invalid `k`.
+pub fn scaled_disparate_impact_at_k_into(
+    view: &SampleView<'_>,
+    ranking: &RankedSelection,
+    k: f64,
+    mask: &mut Vec<bool>,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let rates = selection_rates_with_mask(view, ranking, k, mask)?;
+    out.clear();
+    out.extend(rates.into_iter().map(|(p1, p0)| {
+        let di = if p1 <= 0.0 || p0 <= 0.0 {
+            if p1 == p0 {
+                1.0
             } else {
-                (p1 / p0).min(p0 / p1)
-            };
-            let sign = if p1 >= p0 { 1.0 } else { -1.0 };
-            sign * (1.0 - di)
-        })
-        .collect())
+                0.0
+            }
+        } else {
+            (p1 / p0).min(p0 / p1)
+        };
+        let sign = if p1 >= p0 { 1.0 } else { -1.0 };
+        sign * (1.0 - di)
+    }));
+    Ok(())
 }
 
 /// For every fairness dimension, the pair `(P(selected | member),
@@ -87,10 +104,21 @@ fn selection_rates(
     ranking: &RankedSelection,
     k: f64,
 ) -> Result<Vec<(f64, f64)>> {
+    let mut mask = Vec::new();
+    selection_rates_with_mask(view, ranking, k, &mut mask)
+}
+
+/// [`selection_rates`] using a caller-provided selection-mask buffer.
+fn selection_rates_with_mask(
+    view: &SampleView<'_>,
+    ranking: &RankedSelection,
+    k: f64,
+    mask: &mut Vec<bool>,
+) -> Result<Vec<(f64, f64)>> {
     if view.is_empty() {
         return Err(FairError::EmptyDataset);
     }
-    let mask = ranking.selection_mask(k)?;
+    ranking.selection_mask_into(k, mask)?;
     let dims = view.schema().num_fairness();
     let mut member_total = vec![0_usize; dims];
     let mut member_selected = vec![0_usize; dims];

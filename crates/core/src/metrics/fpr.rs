@@ -28,10 +28,25 @@ pub fn group_fpr_at_k(
     ranking: &RankedSelection,
     k: f64,
 ) -> Result<(Vec<f64>, f64)> {
+    let mut mask = Vec::new();
+    group_fpr_at_k_with_mask(view, ranking, k, &mut mask)
+}
+
+/// [`group_fpr_at_k`] using a caller-provided selection-mask buffer (the
+/// allocation-free path).
+///
+/// # Errors
+/// Returns an error on empty views, invalid `k`, or missing labels.
+pub fn group_fpr_at_k_with_mask(
+    view: &SampleView<'_>,
+    ranking: &RankedSelection,
+    k: f64,
+    mask: &mut Vec<bool>,
+) -> Result<(Vec<f64>, f64)> {
     if view.is_empty() {
         return Err(FairError::EmptyDataset);
     }
-    let mask = ranking.selection_mask(k)?;
+    ranking.selection_mask_into(k, mask)?;
     let dims = view.schema().num_fairness();
     let mut group_neg = vec![0_usize; dims];
     let mut group_fp = vec![0_usize; dims];
@@ -92,6 +107,24 @@ pub fn fpr_difference_at_k(
 ) -> Result<Vec<f64>> {
     let (per_group, overall) = group_fpr_at_k(view, ranking, k)?;
     Ok(per_group.into_iter().map(|f| f - overall).collect())
+}
+
+/// [`fpr_difference_at_k`] writing into caller-provided buffers (the
+/// allocation-light path the DCA inner loop uses).
+///
+/// # Errors
+/// Returns an error on empty views, invalid `k`, or missing labels.
+pub fn fpr_difference_at_k_into(
+    view: &SampleView<'_>,
+    ranking: &RankedSelection,
+    k: f64,
+    mask: &mut Vec<bool>,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let (per_group, overall) = group_fpr_at_k_with_mask(view, ranking, k, mask)?;
+    out.clear();
+    out.extend(per_group.into_iter().map(|f| f - overall));
+    Ok(())
 }
 
 #[cfg(test)]

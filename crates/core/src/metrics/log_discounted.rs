@@ -15,7 +15,7 @@
 
 use crate::dataset::SampleView;
 use crate::error::{FairError, Result};
-use crate::metrics::disparity::disparity_of_selection;
+
 use crate::ranking::topk::RankedSelection;
 
 /// Configuration of the log-discounted disparity.
@@ -86,29 +86,64 @@ pub fn log_discounted_disparity(
     ranking: &RankedSelection,
     config: &LogDiscountConfig,
 ) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    log_discounted_disparity_into(view, ranking, config, &mut out)?;
+    Ok(out)
+}
+
+/// [`log_discounted_disparity`] writing into a caller-provided buffer.
+///
+/// The checkpoints are strictly increasing prefixes of one ranked order, so
+/// the per-checkpoint selection centroids are computed with a single running
+/// prefix sum over the ranking — `O(n · dims)` total instead of the
+/// `O(n²/step · dims)` of re-summing every prefix from scratch. The running
+/// sum performs the exact same additions in the exact same order as the
+/// from-scratch sums, so the result is bit-for-bit identical.
+///
+/// # Errors
+/// Returns an error on an empty view or invalid configuration.
+pub fn log_discounted_disparity_into(
+    view: &SampleView<'_>,
+    ranking: &RankedSelection,
+    config: &LogDiscountConfig,
+    out: &mut Vec<f64>,
+) -> Result<()> {
     config.validate()?;
     if view.is_empty() {
         return Err(FairError::EmptyDataset);
     }
     let checkpoints = config.checkpoints(ranking.len());
     let dims = view.schema().num_fairness();
-    let mut acc = vec![0.0; dims];
+    out.clear();
+    out.resize(dims, 0.0);
+    let all = view.fairness_centroid()?;
+    let mut running = vec![0.0; dims];
+    let mut consumed = 0_usize;
     let mut z = 0.0;
     for &count in &checkpoints {
+        debug_assert!(count >= consumed, "checkpoints must be increasing");
         let weight = 1.0 / ((count as f64) + 1.0).log2();
-        let selected = ranking.top(count);
-        let disp = disparity_of_selection(view, selected)?;
-        for (a, d) in acc.iter_mut().zip(&disp) {
-            *a += weight * d;
+        for &p in &ranking.top(count)[consumed..] {
+            let row = view.object(p).fairness();
+            for (a, v) in running.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        consumed = count;
+        if count == 0 {
+            return Err(FairError::EmptyDataset);
+        }
+        for ((o, r), a) in out.iter_mut().zip(&running).zip(&all) {
+            *o += weight * (r / count as f64 - a);
         }
         z += weight;
     }
     if z > 0.0 {
-        for a in &mut acc {
+        for a in out.iter_mut() {
             *a /= z;
         }
     }
-    Ok(acc)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -240,6 +275,49 @@ mod tests {
         // Both evaluate to 0 at the full-selection checkpoint, so the
         // magnitude comes from the discounted earlier checkpoints.
         assert!(a.abs() > 0.05 && b.abs() > 0.05);
+    }
+
+    /// The incremental prefix-sum implementation must agree bit-for-bit with
+    /// a from-scratch evaluation of every checkpoint (the pre-optimization
+    /// semantics).
+    #[test]
+    fn incremental_prefix_sums_match_naive_reference_bit_for_bit() {
+        use crate::metrics::disparity::disparity_of_selection;
+        let d = dataset(317, 3);
+        for bonus in [0.0, 42.0, 5_000.0] {
+            let (view, ranking) = rank(&d, bonus);
+            for cfg in [
+                LogDiscountConfig::default(),
+                LogDiscountConfig {
+                    step: 7,
+                    max_fraction: 1.0,
+                },
+                LogDiscountConfig {
+                    step: 1,
+                    max_fraction: 0.3,
+                },
+            ] {
+                let fast = log_discounted_disparity(&view, &ranking, &cfg).unwrap();
+                // Naive reference: re-sum every prefix from scratch.
+                let dims = view.schema().num_fairness();
+                let mut acc = vec![0.0; dims];
+                let mut z = 0.0;
+                for count in cfg.checkpoints(ranking.len()) {
+                    let weight = 1.0 / ((count as f64) + 1.0).log2();
+                    let disp = disparity_of_selection(&view, ranking.top(count)).unwrap();
+                    for (a, v) in acc.iter_mut().zip(&disp) {
+                        *a += weight * v;
+                    }
+                    z += weight;
+                }
+                for a in &mut acc {
+                    *a /= z;
+                }
+                let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+                let naive_bits: Vec<u64> = acc.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fast_bits, naive_bits, "step {} bonus {bonus}", cfg.step);
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,99 @@ impl std::fmt::Display for ObjectId {
     }
 }
 
+/// A borrowed, zero-copy view of one object — either a row of a columnar
+/// [`crate::Dataset`] or a standalone [`DataObject`] (via
+/// [`DataObject::as_view`]).
+///
+/// `ObjectView` is the type every ranking function and metric consumes. It is
+/// `Copy` (two pointers-with-length plus an id and a label), so passing it by
+/// value is free, and its accessors mirror [`DataObject`] exactly: code that
+/// used to take `&DataObject` migrates by taking `ObjectView<'_>` instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectView<'a> {
+    id: ObjectId,
+    features: &'a [f64],
+    fairness: &'a [f64],
+    label: Option<bool>,
+}
+
+impl<'a> ObjectView<'a> {
+    /// Assemble a view from its parts (datasets use this to expose rows;
+    /// applications normally obtain views from [`crate::Dataset::row`]).
+    #[must_use]
+    pub fn new(
+        id: ObjectId,
+        features: &'a [f64],
+        fairness: &'a [f64],
+        label: Option<bool>,
+    ) -> Self {
+        Self {
+            id,
+            features,
+            fairness,
+            label,
+        }
+    }
+
+    /// Object identifier.
+    #[must_use]
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Ranking-feature values, ordered per the schema.
+    #[must_use]
+    pub fn features(&self) -> &'a [f64] {
+        self.features
+    }
+
+    /// Fairness-attribute values, ordered per the schema.
+    #[must_use]
+    pub fn fairness(&self) -> &'a [f64] {
+        self.fairness
+    }
+
+    /// Ground-truth outcome label, if known.
+    #[must_use]
+    pub fn label(&self) -> Option<bool> {
+        self.label
+    }
+
+    /// Whether the object belongs to the (binary) fairness group at `index`,
+    /// i.e. has value `>= 0.5` there. For continuous attributes this is a
+    /// "high-need" indicator.
+    #[must_use]
+    pub fn in_group(&self, index: usize) -> bool {
+        self.fairness.get(index).copied().unwrap_or(0.0) >= 0.5
+    }
+
+    /// The bonus-adjusted score increment for this object: the dot product of
+    /// its fairness vector with the bonus vector (Definition 2, `A_f · B`).
+    ///
+    /// # Panics
+    /// Panics if `bonus.len()` differs from the fairness dimensionality.
+    #[must_use]
+    pub fn bonus_increment(&self, bonus: &[f64]) -> f64 {
+        assert_eq!(
+            bonus.len(),
+            self.fairness.len(),
+            "bonus vector dimensionality mismatch"
+        );
+        self.fairness.iter().zip(bonus).map(|(a, b)| a * b).sum()
+    }
+
+    /// Copy the viewed row into an owned [`DataObject`].
+    #[must_use]
+    pub fn to_object(&self) -> DataObject {
+        DataObject {
+            id: self.id,
+            features: self.features.to_vec(),
+            fairness: self.fairness.to_vec(),
+            label: self.label,
+        }
+    }
+}
+
 /// One object to be ranked: a student application, a defendant record, …
 ///
 /// * `features` are the inputs to the score-based ranking function (Def. 1),
@@ -121,6 +214,18 @@ impl DataObject {
     pub fn set_label(&mut self, label: Option<bool>) {
         self.label = label;
     }
+
+    /// Borrow this object as an [`ObjectView`] — the type rankers and metrics
+    /// consume.
+    #[must_use]
+    pub fn as_view(&self) -> ObjectView<'_> {
+        ObjectView {
+            id: self.id,
+            features: &self.features,
+            fairness: &self.fairness,
+            label: self.label,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +287,22 @@ mod tests {
     fn bonus_increment_rejects_wrong_length() {
         let o = DataObject::new_unchecked(1, vec![], vec![1.0, 0.0], None);
         let _ = o.bonus_increment(&[1.0]);
+    }
+
+    #[test]
+    fn view_mirrors_object_and_round_trips() {
+        let o = DataObject::new_unchecked(9, vec![1.0, 2.0], vec![1.0, 0.0, 0.7], Some(true));
+        let v = o.as_view();
+        assert_eq!(v.id(), o.id());
+        assert_eq!(v.features(), o.features());
+        assert_eq!(v.fairness(), o.fairness());
+        assert_eq!(v.label(), o.label());
+        assert_eq!(v.in_group(0), o.in_group(0));
+        assert_eq!(v.in_group(2), o.in_group(2));
+        assert!(
+            (v.bonus_increment(&[1.0, 2.0, 3.0]) - o.bonus_increment(&[1.0, 2.0, 3.0])).abs()
+                < 1e-15
+        );
+        assert_eq!(v.to_object(), o);
     }
 }

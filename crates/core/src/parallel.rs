@@ -1,0 +1,105 @@
+//! A dependency-free parallel map built on [`std::thread::scope`].
+//!
+//! The vendored dependency set is fixed (no rayon in the build environment),
+//! but the experiment layer has several embarrassingly parallel sweeps — the
+//! per-`k` full-DCA/refinement sweep behind Figures 4a/8, and the
+//! `all_experiments` harness that regenerates every table. [`parallel_map`]
+//! covers exactly that shape: run one closure per item on a small scoped
+//! worker pool and return the results in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item of `items` on up to
+/// [`std::thread::available_parallelism`] scoped worker threads, returning
+/// the results in input order.
+///
+/// Work is claimed dynamically (one atomic fetch-add per item), so uneven
+/// per-item costs — e.g. DCA runs whose sample size grows with `1/k` — still
+/// balance. With zero or one item, or on a single-core machine, `f` runs on
+/// the calling thread. `f` must be [`Sync`] because multiple workers share
+/// it; per-item mutable state (scratch buffers, RNGs) belongs inside `f`.
+///
+/// # Panics
+/// Propagates the panic of any worker once all threads have been joined.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, |&i| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let items: Vec<usize> = (0..257).collect();
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map(&items, |&i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = parallel_map(&items, |&i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

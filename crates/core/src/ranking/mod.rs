@@ -13,7 +13,7 @@ pub use score::{NormalizedWeightedSum, SingleFeatureRanker, WeightedSumRanker};
 pub use topk::{selection_size, RankedSelection};
 
 use crate::dataset::SampleView;
-use crate::object::DataObject;
+use crate::object::ObjectView;
 
 /// A score-based ranking function `f` over an object's ranking features.
 ///
@@ -22,9 +22,30 @@ use crate::object::DataObject;
 /// *unfavorable* outcome (e.g. being flagged high-risk by COMPAS), the same
 /// machinery applies — only the sign policy of the bonus vector changes (see
 /// [`crate::bonus::BonusPolarity`]).
+///
+/// Rankers consume the zero-copy [`ObjectView`] row type, so scoring a view
+/// streams over the dataset's contiguous column store; an owned
+/// [`crate::object::DataObject`] is scored via
+/// [`crate::object::DataObject::as_view`].
 pub trait Ranker: Send + Sync {
     /// Base score `f(o)` of an object, before any bonus points.
-    fn base_score(&self, object: &DataObject) -> f64;
+    fn base_score(&self, object: ObjectView<'_>) -> f64;
+
+    /// Score an object directly from its ranking-feature row, for ranking
+    /// functions that depend on the features alone (every built-in ranker
+    /// does). Returning `None` — the default — routes scoring through
+    /// [`Ranker::base_score`] with the full object view.
+    ///
+    /// This is the columnar fast path: when a ranker answers here,
+    /// [`effective_scores_into`] scores a view by streaming only the feature
+    /// and fairness matrices, skipping the random-access gathers of the id
+    /// and label columns that sampled scoring would otherwise pay on large
+    /// datasets. Implementations must compute exactly the same value as
+    /// [`Ranker::base_score`].
+    fn feature_score(&self, features: &[f64]) -> Option<f64> {
+        let _ = features;
+        None
+    }
 
     /// A short human-readable description of the ranking function, used in
     /// explanations shown to stakeholders.
@@ -34,8 +55,11 @@ pub trait Ranker: Send + Sync {
 }
 
 impl<T: Ranker + ?Sized> Ranker for &T {
-    fn base_score(&self, object: &DataObject) -> f64 {
+    fn base_score(&self, object: ObjectView<'_>) -> f64 {
         (**self).base_score(object)
+    }
+    fn feature_score(&self, features: &[f64]) -> Option<f64> {
+        (**self).feature_score(features)
     }
     fn describe(&self) -> String {
         (**self).describe()
@@ -43,8 +67,11 @@ impl<T: Ranker + ?Sized> Ranker for &T {
 }
 
 impl<T: Ranker + ?Sized> Ranker for Box<T> {
-    fn base_score(&self, object: &DataObject) -> f64 {
+    fn base_score(&self, object: ObjectView<'_>) -> f64 {
         (**self).base_score(object)
+    }
+    fn feature_score(&self, features: &[f64]) -> Option<f64> {
+        (**self).feature_score(features)
     }
     fn describe(&self) -> String {
         (**self).describe()
@@ -62,20 +89,66 @@ pub fn effective_scores<R: Ranker + ?Sized>(
     ranker: &R,
     bonus: &[f64],
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    effective_scores_into(view, ranker, bonus, &mut out);
+    out
+}
+
+/// [`effective_scores`] writing into a caller-provided buffer — the
+/// allocation-free path used by the DCA hot loop.
+///
+/// # Panics
+/// Panics if `bonus.len()` differs from the view's fairness dimensionality.
+pub fn effective_scores_into<R: Ranker + ?Sized>(
+    view: &SampleView<'_>,
+    ranker: &R,
+    bonus: &[f64],
+    out: &mut Vec<f64>,
+) {
     assert_eq!(
         bonus.len(),
         view.schema().num_fairness(),
         "bonus vector dimensionality mismatch"
     );
-    view.iter()
-        .map(|o| ranker.base_score(o) + o.bonus_increment(bonus))
-        .collect()
+    out.clear();
+    out.reserve(view.len());
+    let dataset = view.dataset();
+    out.extend(view.indices().iter().map(|&i| {
+        // Feature-only rankers skip the id/label gathers entirely; sampled
+        // scoring then touches just two cache lines per row.
+        let base = match ranker.feature_score(dataset.feature_row(i)) {
+            Some(score) => score,
+            None => ranker.base_score(dataset.row(i)),
+        };
+        let increment: f64 = dataset
+            .fairness_row(i)
+            .iter()
+            .zip(bonus)
+            .map(|(a, b)| a * b)
+            .sum();
+        base + increment
+    }));
 }
 
 /// Compute base (unadjusted) scores of every object in a view, in view order.
 #[must_use]
 pub fn base_scores<R: Ranker + ?Sized>(view: &SampleView<'_>, ranker: &R) -> Vec<f64> {
-    view.iter().map(|o| ranker.base_score(o)).collect()
+    let mut out = Vec::new();
+    base_scores_into(view, ranker, &mut out);
+    out
+}
+
+/// [`base_scores`] writing into a caller-provided buffer.
+pub fn base_scores_into<R: Ranker + ?Sized>(view: &SampleView<'_>, ranker: &R, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(view.len());
+    let dataset = view.dataset();
+    out.extend(view.indices().iter().map(
+        |&i| match ranker.feature_score(dataset.feature_row(i)) {
+            Some(score) => score,
+            None => ranker.base_score(dataset.row(i)),
+        },
+    ));
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //!   practice *is* the (proprietary) score itself.
 
 use crate::error::{FairError, Result};
-use crate::object::DataObject;
+use crate::object::ObjectView;
 use crate::ranking::Ranker;
 
 /// Weighted sum of the ranking features: `f(o) = Σ w_i · a_i`.
@@ -54,18 +54,18 @@ impl WeightedSumRanker {
 }
 
 impl Ranker for WeightedSumRanker {
-    fn base_score(&self, object: &DataObject) -> f64 {
+    fn base_score(&self, object: ObjectView<'_>) -> f64 {
         debug_assert_eq!(
             object.features().len(),
             self.weights.len(),
             "feature dimensionality mismatch"
         );
-        object
-            .features()
-            .iter()
-            .zip(&self.weights)
-            .map(|(a, w)| a * w)
-            .sum()
+        self.feature_score(object.features())
+            .expect("weighted sum scores any feature row")
+    }
+
+    fn feature_score(&self, features: &[f64]) -> Option<f64> {
+        Some(features.iter().zip(&self.weights).map(|(a, w)| a * w).sum())
     }
 
     fn describe(&self) -> String {
@@ -127,14 +127,20 @@ impl NormalizedWeightedSum {
 }
 
 impl Ranker for NormalizedWeightedSum {
-    fn base_score(&self, object: &DataObject) -> f64 {
+    fn base_score(&self, object: ObjectView<'_>) -> f64 {
         debug_assert_eq!(object.features().len(), self.weights.len());
-        object
-            .features()
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| self.weights[i] * self.rescale(i, a))
-            .sum()
+        self.feature_score(object.features())
+            .expect("normalized weighted sum scores any feature row")
+    }
+
+    fn feature_score(&self, features: &[f64]) -> Option<f64> {
+        Some(
+            features
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| self.weights[i] * self.rescale(i, a))
+                .sum(),
+        )
     }
 
     fn describe(&self) -> String {
@@ -185,17 +191,17 @@ impl SingleFeatureRanker {
 }
 
 impl Ranker for SingleFeatureRanker {
-    fn base_score(&self, object: &DataObject) -> f64 {
-        let v = object
-            .features()
+    fn base_score(&self, object: ObjectView<'_>) -> f64 {
+        self.feature_score(object.features())
+            .expect("single-feature ranker scores any feature row")
+    }
+
+    fn feature_score(&self, features: &[f64]) -> Option<f64> {
+        let v = features
             .get(self.feature_index)
             .copied()
             .unwrap_or(f64::NEG_INFINITY);
-        if self.negate {
-            -v
-        } else {
-            v
-        }
+        Some(if self.negate { -v } else { v })
     }
 
     fn describe(&self) -> String {
@@ -224,7 +230,7 @@ mod tests {
         let r = WeightedSumRanker::school_rubric().unwrap();
         // 0.55*90 + 0.45*80 = 49.5 + 36 = 85.5
         let o = obj(vec![90.0, 80.0]);
-        assert!((r.base_score(&o) - 85.5).abs() < 1e-12);
+        assert!((r.base_score(o.as_view()) - 85.5).abs() < 1e-12);
         assert_eq!(r.weights(), &[0.55, 0.45]);
         assert!(r.describe().contains("0.55"));
     }
@@ -242,14 +248,14 @@ mod tests {
             NormalizedWeightedSum::new(vec![0.5, 0.5], vec![1.0, 0.0], vec![4.0, 800.0]).unwrap();
         // GPA 4.0 -> 100, test 400 -> 50 => 0.5*100 + 0.5*50 = 75
         let o = obj(vec![4.0, 400.0]);
-        assert!((r.base_score(&o) - 75.0).abs() < 1e-9);
+        assert!((r.base_score(o.as_view()) - 75.0).abs() < 1e-9);
     }
 
     #[test]
     fn normalized_weighted_sum_clamps_out_of_range() {
         let r = NormalizedWeightedSum::new(vec![1.0], vec![0.0], vec![10.0]).unwrap();
-        assert!((r.base_score(&obj(vec![20.0])) - 100.0).abs() < 1e-9);
-        assert!((r.base_score(&obj(vec![-5.0])) - 0.0).abs() < 1e-9);
+        assert!((r.base_score(obj(vec![20.0]).as_view()) - 100.0).abs() < 1e-9);
+        assert!((r.base_score(obj(vec![-5.0]).as_view()) - 0.0).abs() < 1e-9);
     }
 
     #[test]
@@ -262,8 +268,11 @@ mod tests {
     #[test]
     fn single_feature_ranker_reads_and_negates() {
         let o = obj(vec![3.0, 7.0]);
-        assert_eq!(SingleFeatureRanker::new(1).base_score(&o), 7.0);
-        assert_eq!(SingleFeatureRanker::negated(1).base_score(&o), -7.0);
+        assert_eq!(SingleFeatureRanker::new(1).base_score(o.as_view()), 7.0);
+        assert_eq!(
+            SingleFeatureRanker::negated(1).base_score(o.as_view()),
+            -7.0
+        );
         assert_eq!(SingleFeatureRanker::new(1).feature_index(), 1);
         assert!(SingleFeatureRanker::negated(0)
             .describe()
@@ -274,7 +283,7 @@ mod tests {
     fn single_feature_out_of_range_ranks_last() {
         let o = obj(vec![3.0]);
         assert_eq!(
-            SingleFeatureRanker::new(5).base_score(&o),
+            SingleFeatureRanker::new(5).base_score(o.as_view()),
             f64::NEG_INFINITY
         );
     }

@@ -200,7 +200,7 @@ mod tests {
     fn deciles_cover_one_to_ten_roughly_uniformly() {
         let d = generate(10_000, 2);
         let mut counts = [0_usize; 11];
-        for o in d.objects() {
+        for o in d.iter() {
             let dec = o.features()[0] as usize;
             assert!((1..=10).contains(&dec), "decile {dec}");
             counts[dec] += 1;
@@ -215,7 +215,7 @@ mod tests {
     fn every_defendant_is_labelled_and_one_hot_encoded() {
         let d = generate(5_000, 3);
         assert!(d.fully_labelled());
-        for o in d.objects() {
+        for o in d.iter() {
             let ones = o.fairness().iter().filter(|v| **v == 1.0).count();
             let zeros = o.fairness().iter().filter(|v| **v == 0.0).count();
             assert_eq!(ones, 1);
@@ -266,12 +266,7 @@ mod tests {
     #[test]
     fn recidivism_rate_is_plausible() {
         let d = generate(20_000, 6);
-        let recid = d
-            .objects()
-            .iter()
-            .filter(|o| o.label() == Some(true))
-            .count() as f64
-            / d.len() as f64;
+        let recid = d.iter().filter(|o| o.label() == Some(true)).count() as f64 / d.len() as f64;
         assert!(
             (0.3..0.6).contains(&recid),
             "two-year recidivism rate {recid}"
@@ -282,7 +277,7 @@ mod tests {
     fn generation_is_reproducible() {
         let a = generate(1_000, 7);
         let b = generate(1_000, 7);
-        assert_eq!(a.objects()[10], b.objects()[10]);
+        assert_eq!(a.row(10), b.row(10));
     }
 
     #[test]

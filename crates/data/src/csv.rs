@@ -76,7 +76,7 @@ pub fn to_csv_string(dataset: &Dataset) -> String {
     }
     out.push_str(",label\n");
 
-    for o in dataset.objects() {
+    for o in dataset.iter() {
         let _ = write!(out, "{}", o.id().0);
         for v in o.features() {
             let _ = write!(out, ",{v}");
@@ -233,7 +233,7 @@ mod tests {
             parsed.schema().num_fairness(),
             original.schema().num_fairness()
         );
-        for (a, b) in parsed.objects().iter().zip(original.objects()) {
+        for (a, b) in parsed.iter().zip(original.iter()) {
             assert_eq!(a, b);
         }
     }
@@ -305,8 +305,8 @@ mod tests {
     fn numeric_labels_are_accepted() {
         let text = "id,feature:x,fairness_binary:g,label\n0,1.0,1,1\n1,2.0,0,0\n";
         let d = from_csv_string(text).unwrap();
-        assert_eq!(d.objects()[0].label(), Some(true));
-        assert_eq!(d.objects()[1].label(), Some(false));
+        assert_eq!(d.row(0).label(), Some(true));
+        assert_eq!(d.row(1).label(), Some(false));
     }
 
     #[test]

@@ -313,7 +313,7 @@ mod tests {
         let d = cohort.dataset();
         let mut li_eni = (0.0, 0_usize);
         let mut other_eni = (0.0, 0_usize);
-        for o in d.objects() {
+        for o in d.iter() {
             let eni = o.fairness()[3];
             assert!((0.0..=1.0).contains(&eni));
             if o.in_group(0) {
@@ -354,8 +354,8 @@ mod tests {
         let a = small_cohort(2_000, 5);
         let b = small_cohort(2_000, 5);
         let c = small_cohort(2_000, 6);
-        assert_eq!(a.dataset().objects()[0], b.dataset().objects()[0]);
-        assert_ne!(a.dataset().objects()[0], c.dataset().objects()[0]);
+        assert_eq!(a.dataset().row(0), b.dataset().row(0));
+        assert_ne!(a.dataset().row(0), c.dataset().row(0));
     }
 
     #[test]
@@ -363,7 +363,7 @@ mod tests {
         let (train, test) =
             SchoolGenerator::new(SchoolConfig::small(10_000, 7)).train_test_cohorts();
         assert_eq!(train.dataset().len(), test.dataset().len());
-        assert_ne!(train.dataset().objects()[0], test.dataset().objects()[0]);
+        assert_ne!(train.dataset().row(0), test.dataset().row(0));
         // Marginals stay comparable between years.
         let li_train = train.dataset().group_frequency(0);
         let li_test = test.dataset().group_frequency(0);
@@ -394,7 +394,7 @@ mod tests {
     #[test]
     fn features_are_on_the_percentage_scale() {
         let cohort = small_cohort(5_000, 13);
-        for o in cohort.dataset().objects() {
+        for o in cohort.dataset().iter() {
             for f in o.features() {
                 assert!((0.0..=100.0).contains(f));
             }

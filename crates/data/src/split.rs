@@ -84,7 +84,7 @@ pub fn stratified_split(
 
     let mut members: Vec<usize> = Vec::new();
     let mut others: Vec<usize> = Vec::new();
-    for (i, o) in dataset.objects().iter().enumerate() {
+    for (i, o) in dataset.iter().enumerate() {
         if o.in_group(stratify_dim) {
             members.push(i);
         } else {
@@ -142,9 +142,8 @@ mod tests {
         assert_eq!(train.len() + test.len(), d.len());
         assert_eq!(test.len(), 300);
         // Disjoint by id.
-        let train_ids: std::collections::HashSet<_> =
-            train.objects().iter().map(|o| o.id()).collect();
-        assert!(test.objects().iter().all(|o| !train_ids.contains(&o.id())));
+        let train_ids: std::collections::HashSet<_> = train.iter().map(|o| o.id()).collect();
+        assert!(test.iter().all(|o| !train_ids.contains(&o.id())));
     }
 
     #[test]
@@ -153,7 +152,7 @@ mod tests {
         let (a_train, _) = holdout_split(&d, 0.25, 9).unwrap();
         let (b_train, _) = holdout_split(&d, 0.25, 9).unwrap();
         let (c_train, _) = holdout_split(&d, 0.25, 10).unwrap();
-        let ids = |ds: &Dataset| ds.objects().iter().map(|o| o.id()).collect::<Vec<_>>();
+        let ids = |ds: &Dataset| ds.iter().map(|o| o.id()).collect::<Vec<_>>();
         assert_eq!(ids(&a_train), ids(&b_train));
         assert_ne!(ids(&a_train), ids(&c_train));
     }

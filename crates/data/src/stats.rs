@@ -52,7 +52,7 @@ impl DatasetSummary {
         let nf = schema.num_features();
 
         let mut means = vec![0.0; nf];
-        for o in dataset.objects() {
+        for o in dataset.iter() {
             for (m, v) in means.iter_mut().zip(o.features()) {
                 *m += v;
             }
@@ -61,7 +61,7 @@ impl DatasetSummary {
             *m /= n;
         }
         let mut stds = vec![0.0; nf];
-        for o in dataset.objects() {
+        for o in dataset.iter() {
             for ((s, v), m) in stds.iter_mut().zip(o.features()).zip(&means) {
                 *s += (v - m).powi(2);
             }
@@ -75,7 +75,7 @@ impl DatasetSummary {
             let mut member_sum = vec![0.0; nf];
             let mut other_sum = vec![0.0; nf];
             let mut member_count = 0_usize;
-            for o in dataset.objects() {
+            for o in dataset.iter() {
                 if o.in_group(dim) {
                     member_count += 1;
                     for (s, v) in member_sum.iter_mut().zip(o.features()) {
@@ -106,7 +106,7 @@ impl DatasetSummary {
             });
         }
 
-        let labelled: Vec<bool> = dataset.objects().iter().filter_map(|o| o.label()).collect();
+        let labelled: Vec<bool> = dataset.iter().filter_map(|o| o.label()).collect();
         let positive_label_rate = if labelled.is_empty() {
             None
         } else {

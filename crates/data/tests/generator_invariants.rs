@@ -23,7 +23,7 @@ proptest! {
         // ENI stays in [0, 1] and has non-trivial spread.
         let summary = DatasetSummary::compute(d).unwrap();
         prop_assert_eq!(summary.count, 12_000);
-        prop_assert!(d.objects().iter().all(|o| (0.0..=1.0).contains(&o.fairness()[3])));
+        prop_assert!(d.iter().all(|o| (0.0..=1.0).contains(&o.fairness()[3])));
     }
 
     /// The uncorrected 5% selection always under-represents every
@@ -48,7 +48,7 @@ proptest! {
         prop_assert!(dataset.fully_labelled());
         prop_assert!((dataset.group_frequency(0) - 0.512).abs() < 0.03, "african american share");
         prop_assert!((dataset.group_frequency(1) - 0.340).abs() < 0.03, "caucasian share");
-        for o in dataset.objects() {
+        for o in dataset.iter() {
             let decile = o.features()[0];
             prop_assert!((1.0..=10.0).contains(&decile) && decile.fract() == 0.0);
         }
@@ -86,7 +86,7 @@ proptest! {
         let text = fair_data::csv::to_csv_string(&dataset);
         let parsed = fair_data::csv::from_csv_string(&text).unwrap();
         prop_assert_eq!(parsed.len(), dataset.len());
-        for (a, b) in parsed.objects().iter().zip(dataset.objects()) {
+        for (a, b) in parsed.iter().zip(dataset.iter()) {
             prop_assert_eq!(a.fairness(), b.fairness());
             prop_assert_eq!(a.label(), b.label());
         }

@@ -76,7 +76,6 @@ fn main() -> Result<()> {
     //    published threshold, for the first low-income ELL applicant.
     let view = dataset.full_view();
     let position = dataset
-        .objects()
         .iter()
         .position(|o| o.in_group(0) && o.in_group(1))
         .expect("cohort contains low-income ELL students");
@@ -84,7 +83,7 @@ fn main() -> Result<()> {
         dataset.schema(),
         &rubric,
         &fairness_ceiling.bonus,
-        &dataset.objects()[position],
+        dataset.row(position),
     )?;
     println!("{breakdown}\n");
     let outcome = selection_outcome(&view, &rubric, &fairness_ceiling.bonus, k, position)?;

@@ -54,7 +54,6 @@ fn main() -> Result<()> {
         // show how the bonus affects their standing.
         if let Some(student) = test
             .dataset()
-            .objects()
             .iter()
             .find(|o| o.in_group(0) && o.in_group(1))
         {

@@ -195,7 +195,7 @@ proptest! {
         let text = fair_ranking::data::csv::to_csv_string(&dataset);
         let parsed = fair_ranking::data::csv::from_csv_string(&text).unwrap();
         prop_assert_eq!(parsed.len(), dataset.len());
-        for (a, b) in parsed.objects().iter().zip(dataset.objects()) {
+        for (a, b) in parsed.iter().zip(dataset.iter()) {
             prop_assert_eq!(a.id(), b.id());
             prop_assert_eq!(a.fairness(), b.fairness());
             prop_assert_eq!(a.label(), b.label());

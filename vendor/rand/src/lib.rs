@@ -267,6 +267,54 @@ pub mod seq {
             }
         }
 
+        /// Reusable scratch space for [`sample_into`]: the output indices plus
+        /// the internal membership set and shuffle pool, so that repeated
+        /// sampling (the DCA hot loop) performs no steady-state allocation.
+        #[derive(Clone, Debug, Default)]
+        pub struct IndexBuffer {
+            out: Vec<usize>,
+            chosen: std::collections::HashSet<usize>,
+            pool: Vec<usize>,
+        }
+
+        impl IndexBuffer {
+            /// An empty buffer; capacity grows on first use and is retained.
+            #[must_use]
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// The most recently sampled indices, in selection order.
+            #[must_use]
+            pub fn as_slice(&self) -> &[usize] {
+                &self.out
+            }
+
+            /// Number of indices currently held.
+            #[must_use]
+            pub fn len(&self) -> usize {
+                self.out.len()
+            }
+
+            /// Whether the buffer currently holds no indices.
+            #[must_use]
+            pub fn is_empty(&self) -> bool {
+                self.out.is_empty()
+            }
+
+            /// Fill with `0..length` in order (the "sample everything" case).
+            pub fn fill_sequential(&mut self, length: usize) {
+                self.out.clear();
+                self.out.extend(0..length);
+            }
+
+            /// Consume the buffer into its index vector.
+            #[must_use]
+            pub fn into_vec(self) -> Vec<usize> {
+                self.out
+            }
+        }
+
         /// Sample `amount` distinct indices uniformly from `0..length`.
         ///
         /// Sparse samples (the DCA hot path: a few hundred indices out of a
@@ -277,34 +325,51 @@ pub mod seq {
         /// # Panics
         /// Panics if `amount > length`, matching upstream `rand`.
         pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            let mut buf = IndexBuffer::new();
+            sample_into(rng, length, amount, &mut buf);
+            IndexVec(buf.into_vec())
+        }
+
+        /// Allocation-free variant of [`sample`]: writes the sampled indices
+        /// into `buf`, reusing its capacity across calls. The index sequence
+        /// for a given RNG state is identical to [`sample`]'s.
+        ///
+        /// # Panics
+        /// Panics if `amount > length`, matching upstream `rand`.
+        pub fn sample_into<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+            buf: &mut IndexBuffer,
+        ) {
             assert!(
                 amount <= length,
                 "cannot sample {amount} indices from a pool of {length}"
             );
+            buf.out.clear();
             if amount * 4 <= length {
                 // Floyd's algorithm: each draw lands on an unseen index or is
                 // redirected to the newly opened slot `j`, giving a uniform
                 // `amount`-subset without materializing the pool.
-                let mut chosen = std::collections::HashSet::with_capacity(amount);
-                let mut out = Vec::with_capacity(amount);
+                buf.chosen.clear();
                 for j in (length - amount)..length {
                     let t = rng.gen_range(0..=j);
-                    if chosen.insert(t) {
-                        out.push(t);
+                    if buf.chosen.insert(t) {
+                        buf.out.push(t);
                     } else {
-                        chosen.insert(j);
-                        out.push(j);
+                        buf.chosen.insert(j);
+                        buf.out.push(j);
                     }
                 }
-                IndexVec(out)
             } else {
-                let mut pool: Vec<usize> = (0..length).collect();
+                let pool = &mut buf.pool;
+                pool.clear();
+                pool.extend(0..length);
                 for i in 0..amount {
                     let j = rng.gen_range(i..length);
                     pool.swap(i, j);
                 }
-                pool.truncate(amount);
-                IndexVec(pool)
+                buf.out.extend_from_slice(&pool[..amount]);
             }
         }
     }
@@ -405,6 +470,24 @@ mod tests {
         }
         let mean = total / f64::from(rounds);
         assert!((mean - 4_999.5).abs() < 60.0, "mean index {mean}");
+    }
+
+    #[test]
+    fn sample_into_reproduces_sample_exactly() {
+        let mut rng_a = StdRng::seed_from_u64(23);
+        let mut rng_b = StdRng::seed_from_u64(23);
+        let mut buf = index::IndexBuffer::new();
+        // Cover both the sparse (Floyd) and dense (Fisher–Yates) branches,
+        // reusing the one buffer throughout.
+        for (length, amount) in [(10_000, 500), (50, 20), (8, 8), (100, 1)] {
+            let owned = index::sample(&mut rng_a, length, amount).into_vec();
+            index::sample_into(&mut rng_b, length, amount, &mut buf);
+            assert_eq!(owned, buf.as_slice(), "length {length} amount {amount}");
+            assert_eq!(buf.len(), amount);
+            assert!(!buf.is_empty());
+        }
+        buf.fill_sequential(5);
+        assert_eq!(buf.as_slice(), &[0, 1, 2, 3, 4]);
     }
 
     #[test]
