@@ -137,6 +137,14 @@ fn main() {
                     .render()
             }),
         ),
+        (
+            "Sharded engine",
+            Box::new(|| {
+                sharded::run_sharded_parity(&scale)
+                    .expect("Sharded engine failed")
+                    .render()
+            }),
+        ),
     ];
 
     // In-order streaming: slot results by index and advance a print

@@ -13,12 +13,17 @@
 //!   that its per-step cost does not grow with the cohort),
 //! * **Full DCA** (non-sampled; linear per step, for contrast),
 //! * the **metric evaluations** a single step pays (disparity@k,
-//!   log-discounted disparity, nDCG@k) on the full cohort.
+//!   log-discounted disparity, nDCG@k) on the full cohort,
+//! * the same whole-cohort metrics **end to end** (score → rank → measure)
+//!   through the serial path and through the shard-wise parallel engine
+//!   (`metrics_serial_e2e_ms` / `metrics_sharded_ms` /
+//!   `metrics_sharded_speedup`, plus the shard layout and worker count).
 //!
 //! The summary line checks the headline claim directly: Core DCA's per-step
 //! time at the largest cohort must stay within 2x of the 10k per-step time.
 
 use fair_bench::datasets::ExperimentScale;
+use fair_core::metrics::sharded as shmetrics;
 use fair_core::metrics::{disparity_at_k, log_discounted_disparity, ndcg_at_k, LogDiscountConfig};
 use fair_core::prelude::*;
 use fair_data::{SchoolConfig, SchoolGenerator};
@@ -38,6 +43,21 @@ struct CohortReport {
     full_total_ms: f64,
     full_steps: usize,
     full_per_step_ms: f64,
+    disparity_ms: f64,
+    log_discounted_ms: f64,
+    ndcg_ms: f64,
+    /// Shard layout used by the shard-wise engine timings.
+    shard_size: usize,
+    num_shards: usize,
+    /// Serial end-to-end (score → sort → measure) per metric, ms.
+    serial_e2e: MetricTriple,
+    /// Shard-wise end-to-end per metric, ms.
+    sharded_e2e: MetricTriple,
+}
+
+/// `(disparity@k, log-discounted, nDCG@k)` timings in milliseconds.
+#[derive(Clone, Copy)]
+struct MetricTriple {
     disparity_ms: f64,
     log_discounted_ms: f64,
     ndcg_ms: f64,
@@ -142,6 +162,39 @@ fn measure_cohort(n: usize) -> CohortReport {
     });
     let ndcg_ms = time_best(3, || ndcg_at_k(&view, &rubric, &ranking, 0.05).unwrap());
 
+    // Serial vs shard-wise end-to-end metric evaluation (score → rank →
+    // measure). The serial side is the pre-refactor whole-cohort path: a
+    // full sort of the effective scores feeding each metric. The sharded
+    // side is the shard-wise engine (per-shard scoring kernels + partial
+    // selection + ordered combine).
+    let serial_e2e = MetricTriple {
+        disparity_ms: time_best(3, || {
+            let ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &bonus));
+            disparity_at_k(&view, &ranking, 0.05).unwrap()
+        }),
+        log_discounted_ms: time_best(3, || {
+            let ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &bonus));
+            log_discounted_disparity(&view, &ranking, &log_cfg).unwrap()
+        }),
+        ndcg_ms: time_best(3, || {
+            let ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &bonus));
+            ndcg_at_k(&view, &rubric, &ranking, 0.05).unwrap()
+        }),
+    };
+    let shard_size = fair_core::default_shard_size();
+    let sharded = ShardedDataset::from_dataset(&dataset, shard_size);
+    let sharded_e2e = MetricTriple {
+        disparity_ms: time_best(3, || {
+            shmetrics::disparity_at_k(&sharded, &rubric, &bonus, 0.05).unwrap()
+        }),
+        log_discounted_ms: time_best(3, || {
+            shmetrics::log_discounted_disparity(&sharded, &rubric, &bonus, &log_cfg).unwrap()
+        }),
+        ndcg_ms: time_best(3, || {
+            shmetrics::ndcg_at_k(&sharded, &rubric, &bonus, 0.05).unwrap()
+        }),
+    };
+
     CohortReport {
         n,
         sample_size,
@@ -157,6 +210,10 @@ fn measure_cohort(n: usize) -> CohortReport {
         disparity_ms,
         log_discounted_ms,
         ndcg_ms,
+        shard_size,
+        num_shards: sharded.num_shards(),
+        serial_e2e,
+        sharded_e2e,
     }
 }
 
@@ -169,11 +226,15 @@ fn json_number(v: f64) -> String {
 }
 
 fn render_json(mode: &str, reports: &[CohortReport], ratio: Option<f64>) -> String {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"schema_version\": 2,");
     let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"threads\": {threads},");
     let sample_size = reports.first().map_or(0, |r| r.sample_size);
     let _ = writeln!(s, "  \"core_sample_size\": {sample_size},");
     s.push_str("  \"cohorts\": [\n");
@@ -199,10 +260,36 @@ fn render_json(mode: &str, reports: &[CohortReport], ratio: Option<f64>) -> Stri
         );
         let _ = writeln!(
             s,
-            "      \"metrics_ms\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }}",
+            "      \"metrics_ms\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }},",
             json_number(r.disparity_ms),
             json_number(r.log_discounted_ms),
             json_number(r.ndcg_ms),
+        );
+        let _ = writeln!(
+            s,
+            "      \"shard_size\": {}, \"num_shards\": {},",
+            r.shard_size, r.num_shards
+        );
+        let _ = writeln!(
+            s,
+            "      \"metrics_serial_e2e_ms\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }},",
+            json_number(r.serial_e2e.disparity_ms),
+            json_number(r.serial_e2e.log_discounted_ms),
+            json_number(r.serial_e2e.ndcg_ms),
+        );
+        let _ = writeln!(
+            s,
+            "      \"metrics_sharded_ms\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }},",
+            json_number(r.sharded_e2e.disparity_ms),
+            json_number(r.sharded_e2e.log_discounted_ms),
+            json_number(r.sharded_e2e.ndcg_ms),
+        );
+        let _ = writeln!(
+            s,
+            "      \"metrics_sharded_speedup\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }}",
+            json_number(r.serial_e2e.disparity_ms / r.sharded_e2e.disparity_ms),
+            json_number(r.serial_e2e.log_discounted_ms / r.sharded_e2e.log_discounted_ms),
+            json_number(r.serial_e2e.ndcg_ms / r.sharded_e2e.ndcg_ms),
         );
         s.push_str(if i + 1 == reports.len() {
             "    }\n"
@@ -278,6 +365,18 @@ fn main() {
             r.disparity_ms,
             r.log_discounted_ms,
             r.ndcg_ms
+        );
+        println!(
+            "{:>9}  sharded engine ({} x {}): disparity {:.3}ms ({:.2}x), log-disc {:.3}ms ({:.2}x), nDCG {:.3}ms ({:.2}x) vs serial end-to-end",
+            "",
+            r.num_shards,
+            r.shard_size,
+            r.sharded_e2e.disparity_ms,
+            r.serial_e2e.disparity_ms / r.sharded_e2e.disparity_ms,
+            r.sharded_e2e.log_discounted_ms,
+            r.serial_e2e.log_discounted_ms / r.sharded_e2e.log_discounted_ms,
+            r.sharded_e2e.ndcg_ms,
+            r.serial_e2e.ndcg_ms / r.sharded_e2e.ndcg_ms,
         );
         reports.push(r);
     }

@@ -9,11 +9,13 @@
 //! | [`baselines_cmp`] | Figure 6, Figure 7, Table II, Section VI-C4 — quota, (Δ+2), FA\*IR, exposure |
 //! | [`alt_metrics`] | Figure 9 — DCA driven by Disparity vs Disparate Impact |
 //! | [`compas`] | Figures 10a–10c — COMPAS disparity, FPR, log-discounted mode |
+//! | [`sharded`] | Sharded-engine parity: serial vs shard-wise evaluation of every whole-cohort metric |
 
 pub mod alt_metrics;
 pub mod baselines_cmp;
 pub mod caps;
 pub mod compas;
+pub mod sharded;
 pub mod table1;
 pub mod utility;
 pub mod vary_k;

@@ -165,8 +165,17 @@ impl Dataset {
         Ok(())
     }
 
+    /// Remove every object, retaining the allocated capacity — the gather
+    /// buffer reset of the sharded-sampling DCA loop.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.features.clear();
+        self.fairness.clear();
+        self.labels.clear();
+    }
+
     /// Copy a row of another (schema-compatible) dataset into this one.
-    fn push_row(&mut self, view: ObjectView<'_>) {
+    pub(crate) fn push_row(&mut self, view: ObjectView<'_>) {
         debug_assert_eq!(view.features().len(), self.schema.num_features());
         debug_assert_eq!(view.fairness().len(), self.schema.num_fairness());
         self.ids.push(view.id());

@@ -78,13 +78,42 @@ where
     R: Ranker + ?Sized,
     O: Objective + ?Sized,
 {
-    let dims = dataset.schema().num_fairness();
+    let view = dataset.full_view();
+    let eval = &mut scratch.eval;
+    run_full_descent(
+        dataset.schema().num_fairness(),
+        dataset.len(),
+        config,
+        initial,
+        trace,
+        |bonus, out| objective.evaluate_into(&view, ranker, bonus, eval, out),
+    )
+}
+
+/// The one Full-DCA descent loop: CLT-bypassing validation, initial-bonus
+/// clamp, the learning-rate schedule, and step/trace accounting. Both the
+/// serial runner and [`crate::dca::run_full_dca_sharded`] execute exactly
+/// this driver, so their bonus trajectories can only differ through the
+/// `evaluate` callback itself — which is what the serial==sharded bit-for-bit
+/// guarantee rests on.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty cohorts, or evaluation
+/// failures.
+pub(crate) fn run_full_descent(
+    dims: usize,
+    cohort_len: usize,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+    mut evaluate: impl FnMut(&[f64], &mut Vec<f64>) -> Result<()>,
+) -> Result<FullDcaOutcome> {
     // Full DCA ignores the sample size, so validate a copy with a size that
     // always passes the CLT check.
     let mut check = config.clone();
     check.sample_size = check.sample_size.max(crate::dca::config::CLT_MINIMUM);
     check.validate(dims)?;
-    if dataset.is_empty() {
+    if cohort_len == 0 {
         return Err(FairError::EmptyDataset);
     }
 
@@ -92,32 +121,26 @@ where
     assert_eq!(bonus.len(), dims, "initial bonus dimensionality mismatch");
     clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
 
-    let view = dataset.full_view();
+    let mut direction = Vec::new();
     let mut trace_entries = Vec::new();
     let mut steps = 0_usize;
     let mut objects_scored = 0_usize;
 
     for &lr in &config.learning_rates {
         for _ in 0..config.iterations_per_rate {
-            objective.evaluate_into(
-                &view,
-                ranker,
-                &bonus,
-                &mut scratch.eval,
-                &mut scratch.direction,
-            )?;
-            let direction = &scratch.direction;
-            for (b, d) in bonus.iter_mut().zip(direction) {
+            evaluate(&bonus, &mut direction)?;
+            debug_assert_eq!(direction.len(), dims);
+            for (b, d) in bonus.iter_mut().zip(&direction) {
                 *b -= lr * d;
             }
             clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
             steps += 1;
-            objects_scored += view.len();
+            objects_scored += cohort_len;
             if trace {
                 trace_entries.push(CoreTraceEntry {
                     step: steps - 1,
                     learning_rate: lr,
-                    objective_norm: crate::metrics::norm(direction),
+                    objective_norm: crate::metrics::norm(&direction),
                     bonus: bonus.clone(),
                 });
             }

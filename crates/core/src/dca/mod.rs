@@ -40,6 +40,7 @@ pub mod full;
 pub mod objective;
 pub mod refine;
 pub mod scratch;
+pub mod sharded;
 
 pub use self::core::{run_core_dca, run_core_dca_with, CoreDcaOutcome, CoreTraceEntry};
 pub use config::{DcaConfig, CLT_MINIMUM};
@@ -49,6 +50,7 @@ pub use objective::{
 };
 pub use refine::{run_refinement, run_refinement_with, RefinementOutcome};
 pub use scratch::{DcaScratch, EvalScratch};
+pub use sharded::{run_core_dca_sharded, run_full_dca_sharded, ShardedObjective};
 
 use crate::bonus::BonusVector;
 use crate::dataset::Dataset;

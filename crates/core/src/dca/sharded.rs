@@ -1,0 +1,345 @@
+//! DCA over the sharded column store.
+//!
+//! * [`run_full_dca_sharded`] — Full DCA whose per-step objective evaluation
+//!   (scoring, selection, centroid accumulation) runs through the shard-wise
+//!   parallel engine instead of one serial pass. For binary/dyadic fairness
+//!   values the bonus trajectory is bit-for-bit the serial
+//!   [`crate::dca::run_full_dca`] trajectory at every shard size (see the
+//!   determinism notes on [`crate::shard`]).
+//! * [`run_core_dca_sharded`] — Core DCA (Algorithm 1) drawing each step's
+//!   sample **per shard**: quotas are apportioned proportionally and every
+//!   shard samples its own rows with an RNG stream split deterministically
+//!   off the step seed ([`crate::shard::shard_seed`]), so shards can sample
+//!   independently — the building block for distributed DCA, where no node
+//!   ever sees another node's rows. The sampled rows are gathered into a
+//!   reused scratch block and evaluated with the ordinary [`Objective`]s.
+//!
+//! The sampled variant draws a *different* (but equally distributed,
+//! seed-deterministic) sample stream than the serial
+//! [`crate::dca::run_core_dca`], so their trajectories are not comparable
+//! step for step; each is reproducible under its own seed.
+
+use crate::dataset::Dataset;
+use crate::dca::config::DcaConfig;
+use crate::dca::core::{clamp_bonus, CoreDcaOutcome, CoreTraceEntry};
+use crate::dca::full::FullDcaOutcome;
+use crate::dca::objective::Objective;
+use crate::dca::scratch::DcaScratch;
+use crate::error::{FairError, Result};
+use crate::metrics::sharded::ShardedEvalScratch;
+use crate::metrics::{sharded, LogDiscountConfig};
+use crate::ranking::Ranker;
+use crate::shard::ShardedDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An [`Objective`] that can also be evaluated over a [`ShardedDataset`]
+/// through the shard-wise engine. Implementations must compute the same
+/// mathematical quantity as their serial `evaluate_into`; the built-in
+/// objectives delegate to [`crate::metrics::sharded`].
+pub trait ShardedObjective: Objective {
+    /// Evaluate the measure over the whole sharded cohort under `bonus`,
+    /// writing one entry per fairness attribute into `out`.
+    ///
+    /// # Errors
+    /// Returns an error on empty datasets, invalid configurations, or missing
+    /// labels (objective-dependent).
+    fn evaluate_sharded<R: Ranker + ?Sized>(
+        &self,
+        data: &ShardedDataset,
+        ranker: &R,
+        bonus: &[f64],
+        scratch: &mut ShardedEvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()>;
+}
+
+impl ShardedObjective for crate::dca::objective::TopKDisparity {
+    fn evaluate_sharded<R: Ranker + ?Sized>(
+        &self,
+        data: &ShardedDataset,
+        ranker: &R,
+        bonus: &[f64],
+        scratch: &mut ShardedEvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        sharded::disparity_at_k_into(data, ranker, bonus, self.k, scratch, out)
+    }
+}
+
+impl ShardedObjective for crate::dca::objective::LogDiscountedObjective {
+    fn evaluate_sharded<R: Ranker + ?Sized>(
+        &self,
+        data: &ShardedDataset,
+        ranker: &R,
+        bonus: &[f64],
+        _scratch: &mut ShardedEvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let config: &LogDiscountConfig = &self.config;
+        *out = sharded::log_discounted_disparity(data, ranker, bonus, config)?;
+        Ok(())
+    }
+}
+
+impl ShardedObjective for crate::dca::objective::ScaledDisparateImpact {
+    fn evaluate_sharded<R: Ranker + ?Sized>(
+        &self,
+        data: &ShardedDataset,
+        ranker: &R,
+        bonus: &[f64],
+        _scratch: &mut ShardedEvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        *out = sharded::scaled_disparate_impact_at_k(data, ranker, bonus, self.k)?;
+        Ok(())
+    }
+}
+
+impl ShardedObjective for crate::dca::objective::FprDifferenceObjective {
+    fn evaluate_sharded<R: Ranker + ?Sized>(
+        &self,
+        data: &ShardedDataset,
+        ranker: &R,
+        bonus: &[f64],
+        _scratch: &mut ShardedEvalScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        *out = sharded::fpr_difference_at_k(data, ranker, bonus, self.k)?;
+        Ok(())
+    }
+}
+
+/// Run Full DCA with every step's whole-cohort evaluation on the shard-wise
+/// engine. The descent itself is [`crate::dca::full`]'s shared driver — the
+/// exact loop the serial [`crate::dca::run_full_dca`] executes — so the two
+/// trajectories can only differ through the objective evaluation.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, or objective
+/// failures.
+pub fn run_full_dca_sharded<R, O>(
+    data: &ShardedDataset,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+) -> Result<FullDcaOutcome>
+where
+    R: Ranker + ?Sized,
+    O: ShardedObjective + ?Sized,
+{
+    let mut scratch = ShardedEvalScratch::new();
+    crate::dca::full::run_full_descent(
+        data.schema().num_fairness(),
+        data.len(),
+        config,
+        initial,
+        trace,
+        |bonus, out| objective.evaluate_sharded(data, ranker, bonus, &mut scratch, out),
+    )
+}
+
+/// Run Core DCA (Algorithm 1) with per-shard sampling: each step draws its
+/// sample shard by shard under a deterministically split seed stream, gathers
+/// the sampled rows into a reused contiguous block, and evaluates the
+/// ordinary sampled objective on it.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, or objective
+/// failures.
+pub fn run_core_dca_sharded<R, O>(
+    data: &ShardedDataset,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+) -> Result<CoreDcaOutcome>
+where
+    R: Ranker + ?Sized,
+    O: Objective + ?Sized,
+{
+    let dims = data.schema().num_fairness();
+    config.validate(dims)?;
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+
+    let mut bonus = initial.unwrap_or_else(|| vec![0.0; dims]);
+    assert_eq!(bonus.len(), dims, "initial bonus dimensionality mismatch");
+    clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
+
+    // The master stream only emits one step seed per step; every shard's
+    // sampling RNG is split off that seed (shard_seed), so the sample a shard
+    // draws is independent of how many other shards exist on this node.
+    let mut master = StdRng::seed_from_u64(config.seed);
+    let mut sample_indices = Vec::new();
+    let mut gather = Dataset::with_capacity(data.schema().clone(), config.sample_size);
+    let mut scratch = DcaScratch::new();
+    let mut trace_entries = Vec::new();
+    let mut steps = 0_usize;
+    let mut objects_scored = 0_usize;
+
+    for &lr in &config.learning_rates {
+        for _ in 0..config.iterations_per_rate {
+            let step_seed: u64 = master.gen();
+            data.sample_indices_into(step_seed, config.sample_size, &mut sample_indices)?;
+            gather.clear();
+            for &g in &sample_indices {
+                gather.push_row(data.row(g));
+            }
+            let sample = gather.full_view();
+            objective.evaluate_into(
+                &sample,
+                ranker,
+                &bonus,
+                &mut scratch.eval,
+                &mut scratch.direction,
+            )?;
+            let direction = &scratch.direction;
+            debug_assert_eq!(direction.len(), dims);
+            for (b, d) in bonus.iter_mut().zip(direction) {
+                *b -= lr * d;
+            }
+            clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
+            objects_scored += sample.len();
+            steps += 1;
+            if trace {
+                trace_entries.push(CoreTraceEntry {
+                    step: steps - 1,
+                    learning_rate: lr,
+                    objective_norm: crate::metrics::norm(direction),
+                    bonus: bonus.clone(),
+                });
+            }
+        }
+    }
+
+    Ok(CoreDcaOutcome {
+        bonus,
+        steps,
+        objects_scored,
+        trace: trace_entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+    use crate::dca::full::run_full_dca;
+    use crate::dca::objective::TopKDisparity;
+    use crate::metrics::norm;
+    use crate::object::DataObject;
+    use crate::ranking::WeightedSumRanker;
+
+    /// Biased cohort whose scores and fairness values all sit on a dyadic
+    /// grid, so every summation order produces identical bits.
+    fn dyadic_biased(n: u64, seed: u64) -> Dataset {
+        let schema = Schema::from_names(&["score"], &["g"], &[]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let objects = (0..n)
+            .map(|i| {
+                let member = rng.gen::<f64>() < 0.3;
+                // Scores on a 1/64 grid in [0, 128).
+                let base = f64::from(rng.gen_range(0_u32..8192)) / 64.0;
+                let score = if member { base - 16.0 } else { base };
+                DataObject::new_unchecked(i, vec![score], vec![f64::from(u8::from(member))], None)
+            })
+            .collect();
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    fn config() -> DcaConfig {
+        DcaConfig {
+            sample_size: 150,
+            learning_rates: vec![10.0, 1.0],
+            iterations_per_rate: 15,
+            refinement_iterations: 0,
+            seed: 11,
+            ..DcaConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_full_dca_matches_serial_bitwise_across_shard_sizes() {
+        let flat = dyadic_biased(700, 3);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let cfg = config();
+        let serial = run_full_dca(&flat, &ranker, &objective, &cfg, None, true).unwrap();
+        for shard_size in [1, 7, 700, 65_536] {
+            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let sharded =
+                run_full_dca_sharded(&data, &ranker, &objective, &cfg, None, true).unwrap();
+            let a: Vec<u64> = serial.bonus.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = sharded.bonus.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "shard size {shard_size}");
+            assert_eq!(serial.steps, sharded.steps);
+            assert_eq!(serial.objects_scored, sharded.objects_scored);
+            for (s, t) in serial.trace.iter().zip(&sharded.trace) {
+                assert_eq!(s.bonus, t.bonus, "shard size {shard_size} step {}", s.step);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_core_dca_reduces_disparity_and_is_reproducible() {
+        let flat = dyadic_biased(3000, 5);
+        let data = ShardedDataset::from_dataset(&flat, 256);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let mut cfg = config();
+        cfg.iterations_per_rate = 40;
+        let a = run_core_dca_sharded(&data, &ranker, &objective, &cfg, None, false).unwrap();
+        let b = run_core_dca_sharded(&data, &ranker, &objective, &cfg, None, false).unwrap();
+        assert_eq!(a.bonus, b.bonus, "same seed, same trajectory");
+        assert_eq!(a.objects_scored, cfg.core_steps() * cfg.sample_size);
+
+        let before = sharded::disparity_at_k(&data, &ranker, &[0.0], 0.2).unwrap();
+        let after = sharded::disparity_at_k(&data, &ranker, &a.bonus, 0.2).unwrap();
+        assert!(
+            norm(&after) < norm(&before) * 0.5,
+            "sharded-sampled DCA must reduce disparity: {} -> {}",
+            norm(&before),
+            norm(&after)
+        );
+        assert!(a.bonus[0] > 0.0);
+    }
+
+    #[test]
+    fn sharded_core_dca_shard_layout_changes_samples_but_not_convergence() {
+        let flat = dyadic_biased(2000, 9);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let mut cfg = config();
+        cfg.iterations_per_rate = 40;
+        for shard_size in [64, 500] {
+            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let out = run_core_dca_sharded(&data, &ranker, &objective, &cfg, None, false).unwrap();
+            let after = sharded::disparity_at_k(&data, &ranker, &out.bonus, 0.2).unwrap();
+            assert!(
+                norm(&after) < 0.1,
+                "shard size {shard_size}: residual {}",
+                norm(&after)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_reject_empty_and_invalid_inputs() {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let empty = ShardedDataset::with_shard_size(schema, 8);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        assert!(run_full_dca_sharded(&empty, &ranker, &objective, &config(), None, false).is_err());
+        assert!(run_core_dca_sharded(&empty, &ranker, &objective, &config(), None, false).is_err());
+        let flat = dyadic_biased(100, 1);
+        let data = ShardedDataset::from_dataset(&flat, 16);
+        let mut bad = config();
+        bad.sample_size = 5;
+        assert!(run_core_dca_sharded(&data, &ranker, &objective, &bad, None, false).is_err());
+    }
+}

@@ -208,6 +208,55 @@ pub fn selection_outcome<R: Ranker + ?Sized>(
     })
 }
 
+/// Explain the selection outcome of the row at `global_position` of a
+/// sharded cohort — the shard-wise counterpart of [`selection_outcome`].
+///
+/// Scoring runs per shard, the rank is an exact per-shard count of
+/// better-ordered rows, and the threshold comes from the merged top-`k`
+/// selection, so every reported number is bit-for-bit what the serial path
+/// reports on the flattened cohort.
+///
+/// # Errors
+/// Returns an error on an empty dataset, an invalid `k`, or an out-of-range
+/// position.
+pub fn selection_outcome_sharded<R: Ranker + ?Sized>(
+    data: &crate::shard::ShardedDataset,
+    ranker: &R,
+    bonus: &BonusVector,
+    k: f64,
+    global_position: usize,
+) -> Result<OutcomeExplanation> {
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    if global_position >= data.len() {
+        return Err(FairError::InvalidConfig {
+            reason: format!(
+                "row {global_position} out of range ({} objects)",
+                data.len()
+            ),
+        });
+    }
+    let scores = crate::ranking::sharded::effective_scores(data, ranker, bonus.values());
+    let selected = crate::ranking::sharded::selected_at_k(data, &scores, k)?;
+    let selection_count = selected.len();
+    let rank = crate::ranking::sharded::rank_of(data, &scores, global_position);
+    let threshold = selected
+        .last()
+        .map(|&p| scores[p])
+        .expect("non-empty selection has a threshold");
+    let effective_score = scores[global_position];
+    Ok(OutcomeExplanation {
+        object_id: data.row(global_position).id(),
+        rank,
+        selection_count,
+        selected: rank < selection_count,
+        effective_score,
+        threshold,
+        margin: effective_score - threshold,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +264,7 @@ mod tests {
     use crate::bonus::BonusPolarity;
     use crate::dataset::Dataset;
     use crate::object::DataObject;
+    use crate::shard::ShardedDataset;
 
     fn setup() -> (Dataset, WeightedSumRanker, BonusVector) {
         let schema = Schema::from_names(&["gpa", "test"], &["low_income", "ell"], &[]).unwrap();
@@ -292,6 +342,30 @@ mod tests {
         assert!(out2.selected, "object 2 has the second-best raw score");
         let out1 = selection_outcome(&view, &rubric, &zero, 0.5, 1).unwrap();
         assert!(!out1.selected);
+    }
+
+    #[test]
+    fn sharded_outcome_matches_serial_bitwise() {
+        let (dataset, rubric, bonus) = setup();
+        let view = dataset.full_view();
+        for shard_size in [1, 3, 4, 100] {
+            let data = ShardedDataset::from_dataset(&dataset, shard_size);
+            for pos in 0..dataset.len() {
+                let serial = selection_outcome(&view, &rubric, &bonus, 0.5, pos).unwrap();
+                let sharded = selection_outcome_sharded(&data, &rubric, &bonus, 0.5, pos).unwrap();
+                assert_eq!(serial, sharded, "shard {shard_size} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_outcome_rejects_bad_inputs() {
+        let (dataset, rubric, bonus) = setup();
+        let data = ShardedDataset::from_dataset(&dataset, 2);
+        assert!(selection_outcome_sharded(&data, &rubric, &bonus, 0.5, 99).is_err());
+        assert!(selection_outcome_sharded(&data, &rubric, &bonus, 0.0, 0).is_err());
+        let empty = ShardedDataset::with_shard_size(dataset.schema().clone(), 2);
+        assert!(selection_outcome_sharded(&empty, &rubric, &bonus, 0.5, 0).is_err());
     }
 
     #[test]

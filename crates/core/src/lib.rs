@@ -18,6 +18,7 @@
 //! |--------|----------|
 //! | [`attributes`] | schemas: ranking features + binary/continuous fairness attributes |
 //! | [`object`], [`dataset`] | the ranked objects, datasets, centroids, sampling |
+//! | [`shard`] | sharded column store + the shard-wise parallel evaluation engine |
 //! | [`ranking`] | score-based ranking functions and top-k% selection |
 //! | [`bonus`] | bonus vectors: polarity, caps, granularity rounding, scaling |
 //! | [`calibrate`] | binary-search calibration of the intervention strength (Fig. 2) |
@@ -70,6 +71,7 @@ pub mod metrics;
 pub mod object;
 pub mod parallel;
 pub mod ranking;
+pub mod shard;
 
 pub use attributes::{FairnessAttribute, FairnessKind, Schema, SchemaRef};
 pub use bonus::{BonusCaps, BonusPolarity, BonusVector};
@@ -79,6 +81,7 @@ pub use dca::{Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch};
 pub use error::{FairError, Result};
 pub use object::{DataObject, ObjectId, ObjectView};
 pub use parallel::parallel_map;
+pub use shard::{default_shard_size, shard_seed, ShardView, ShardedDataset};
 
 /// Convenient glob import for applications and examples.
 pub mod prelude {
@@ -87,14 +90,15 @@ pub mod prelude {
     pub use crate::calibrate::{calibrate_proportion, CalibrationResult, CalibrationTarget};
     pub use crate::dataset::{Dataset, SampleView};
     pub use crate::dca::{
-        run_core_dca, run_core_dca_with, run_full_dca, run_full_dca_with, run_refinement,
-        run_refinement_with, Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch,
-        FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact,
-        TopKDisparity,
+        run_core_dca, run_core_dca_sharded, run_core_dca_with, run_full_dca, run_full_dca_sharded,
+        run_full_dca_with, run_refinement, run_refinement_with, Dca, DcaConfig, DcaReport,
+        DcaResult, DcaScratch, EvalScratch, FprDifferenceObjective, LogDiscountedObjective,
+        Objective, ScaledDisparateImpact, ShardedObjective, TopKDisparity,
     };
     pub use crate::error::{FairError, Result};
     pub use crate::explain::{
-        score_breakdown, selection_outcome, OutcomeExplanation, ScoreBreakdown,
+        score_breakdown, selection_outcome, selection_outcome_sharded, OutcomeExplanation,
+        ScoreBreakdown,
     };
     pub use crate::metrics::{
         ddp_for_binary_attributes, disparate_impact_at_k, disparity_at_k, exposure_of_group,
@@ -107,4 +111,5 @@ pub mod prelude {
         base_scores, base_scores_into, effective_scores, effective_scores_into, selection_size,
         NormalizedWeightedSum, RankedSelection, Ranker, SingleFeatureRanker, WeightedSumRanker,
     };
+    pub use crate::shard::{default_shard_size, shard_seed, ShardView, ShardedDataset};
 }

@@ -23,6 +23,7 @@ pub mod exposure;
 pub mod fpr;
 pub mod log_discounted;
 pub mod ndcg;
+pub mod sharded;
 
 pub use disparate_impact::{
     disparate_impact_at_k, scaled_disparate_impact_at_k, scaled_disparate_impact_at_k_into,

@@ -1,0 +1,610 @@
+//! Whole-cohort metric evaluation on the shard-wise parallel engine.
+//!
+//! Every function here is the sharded counterpart of a serial metric in this
+//! module's siblings, decomposed into **per-shard kernels plus an ordered
+//! combine** on [`ShardedDataset`]'s engine:
+//!
+//! 1. *score* — per-shard scoring kernels (embarrassingly parallel,
+//!    bit-for-bit the serial scores),
+//! 2. *select* — per-shard partial top-`m` merged under the serial strict
+//!    total order ([`crate::ranking::sharded::top_m`]), so the selected set
+//!    and order are exactly the full sort's,
+//! 3. *measure* — integer count reductions (exact for every shard size) or
+//!    per-shard partial sums combined in shard order (bit-for-bit for
+//!    binary/dyadic fairness values, reassociation-ulp-deterministic
+//!    otherwise); selection centroids are accumulated serially in rank order,
+//!    exactly as the serial metrics do.
+//!
+//! Unlike the serial metrics, which take a pre-built
+//! [`RankedSelection`](crate::ranking::RankedSelection), these functions are
+//! end-to-end: they take the ranker and bonus vector and perform scoring,
+//! selection and measurement through the engine, because on large cohorts the
+//! full sort the serial callers pre-pay is precisely the cost being removed.
+
+use crate::dca::scratch::EvalScratch;
+use crate::error::{FairError, Result};
+use crate::metrics::LogDiscountConfig;
+use crate::ranking::sharded::{base_scores, effective_scores, selected_at_k, top_m};
+use crate::ranking::topk::selection_size;
+use crate::ranking::Ranker;
+use crate::shard::ShardedDataset;
+
+/// Scratch buffers reused across sharded metric evaluations (scores,
+/// selection, mask), so repeated evaluation — the sharded full-DCA loop —
+/// avoids re-allocating cohort-sized vectors.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedEvalScratch {
+    /// Effective scores, global row order.
+    pub(crate) scores: Vec<f64>,
+    /// Global top-k selection mask.
+    pub(crate) mask: Vec<bool>,
+}
+
+impl ShardedEvalScratch {
+    /// Empty scratch; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Mean of the fairness rows at `positions` (global indices), accumulated
+/// serially **in the given order** — the same summation order the serial
+/// selection centroids use, so the result is bit-for-bit identical to
+/// [`crate::dataset::SampleView::fairness_centroid_of`] on the flattened
+/// dataset.
+fn centroid_of_positions_into(
+    data: &ShardedDataset,
+    positions: &[usize],
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let dims = data.schema().num_fairness();
+    out.clear();
+    out.resize(dims, 0.0);
+    if positions.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    for &p in positions {
+        for (a, v) in out.iter_mut().zip(data.fairness_row(p)) {
+            *a += v;
+        }
+    }
+    for a in out.iter_mut() {
+        *a /= positions.len() as f64;
+    }
+    Ok(())
+}
+
+/// Disparity of the top-`k` selection (Definition 3): selection centroid
+/// minus population centroid, the population side reduced shard-wise.
+///
+/// # Errors
+/// Returns an error on an empty dataset or invalid `k`.
+pub fn disparity_at_k<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    disparity_at_k_into(
+        data,
+        ranker,
+        bonus,
+        k,
+        &mut ShardedEvalScratch::new(),
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// [`disparity_at_k`] reusing caller-provided scratch buffers.
+///
+/// # Errors
+/// Returns an error on an empty dataset or invalid `k`.
+pub fn disparity_at_k_into<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+    scratch: &mut ShardedEvalScratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    let all = data.fairness_centroid()?;
+    crate::ranking::sharded::effective_scores_into(data, ranker, bonus, &mut scratch.scores);
+    let selected = selected_at_k(data, &scratch.scores, k)?;
+    centroid_of_positions_into(data, &selected, out)?;
+    for (s, a) in out.iter_mut().zip(&all) {
+        *s -= a;
+    }
+    Ok(())
+}
+
+/// nDCG@k of the bonus-adjusted ranking against the original (zero-bonus)
+/// ranking — the sharded counterpart of [`crate::metrics::ndcg_at_k`], with
+/// both top-`k` prefixes found by per-shard partial selection instead of full
+/// sorts.
+///
+/// # Errors
+/// Returns an error on an empty dataset or invalid `k`.
+pub fn ndcg_at_k<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<f64> {
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    let count = selection_size(data.len(), k)?;
+    let base = base_scores(data, ranker);
+    // Same non-negativity shift as the serial metric, computed in the same
+    // left-to-right order.
+    let min = base.iter().copied().fold(f64::INFINITY, f64::min);
+    let shift = if min < 0.0 { -min } else { 0.0 };
+
+    let original = top_m(data, &base, count);
+    // The adjusted scores reuse the base vector (same arithmetic as scoring
+    // from scratch, bit for bit) instead of re-running the ranker.
+    let adjusted_scores = crate::ranking::sharded::adjust_base_scores(data, &base, bonus);
+    let measured = top_m(data, &adjusted_scores, count);
+
+    let ideal_weights: Vec<f64> = original.iter().map(|&p| base[p] + shift).collect();
+    let measured_weights: Vec<f64> = measured.iter().map(|&p| base[p] + shift).collect();
+    let ideal = crate::metrics::dcg(&ideal_weights);
+    if ideal == 0.0 {
+        return Ok(1.0);
+    }
+    Ok((crate::metrics::dcg(&measured_weights) / ideal).clamp(0.0, 1.0))
+}
+
+/// Logarithmically discounted disparity (Section IV-E) — scoring and
+/// checkpoint-prefix selection run shard-wise; the running prefix sums walk
+/// the merged ranked prefix in rank order, exactly like the serial metric.
+///
+/// # Errors
+/// Returns an error on an empty dataset or invalid configuration.
+pub fn log_discounted_disparity<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    config: &LogDiscountConfig,
+) -> Result<Vec<f64>> {
+    config.validate()?;
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    let checkpoints = config.checkpoints(data.len());
+    let last = checkpoints.last().copied().unwrap_or(0);
+    let scores = effective_scores(data, ranker, bonus);
+    let prefix = top_m(data, &scores, last);
+
+    let dims = data.schema().num_fairness();
+    let mut out = vec![0.0; dims];
+    let all = data.fairness_centroid()?;
+    let mut running = vec![0.0; dims];
+    let mut consumed = 0_usize;
+    let mut z = 0.0;
+    for &count in &checkpoints {
+        debug_assert!(count >= consumed, "checkpoints must be increasing");
+        let weight = 1.0 / ((count as f64) + 1.0).log2();
+        for &p in &prefix[consumed..count] {
+            for (a, v) in running.iter_mut().zip(data.fairness_row(p)) {
+                *a += v;
+            }
+        }
+        consumed = count;
+        if count == 0 {
+            return Err(FairError::EmptyDataset);
+        }
+        for ((o, r), a) in out.iter_mut().zip(&running).zip(&all) {
+            *o += weight * (r / count as f64 - a);
+        }
+        z += weight;
+    }
+    if z > 0.0 {
+        for a in out.iter_mut() {
+            *a /= z;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-shard selection/label counts for the rate-based metrics, reduced by
+/// exact integer addition.
+#[derive(Clone, Default)]
+struct GroupCounts {
+    group_neg: Vec<usize>,
+    group_fp: Vec<usize>,
+    total_neg: usize,
+    total_fp: usize,
+    member_total: Vec<usize>,
+    member_selected: Vec<usize>,
+    other_total: Vec<usize>,
+    other_selected: Vec<usize>,
+}
+
+impl GroupCounts {
+    fn new(dims: usize) -> Self {
+        Self {
+            group_neg: vec![0; dims],
+            group_fp: vec![0; dims],
+            member_total: vec![0; dims],
+            member_selected: vec![0; dims],
+            other_total: vec![0; dims],
+            other_selected: vec![0; dims],
+            ..Self::default()
+        }
+    }
+
+    fn merge(mut self, other: &Self) -> Self {
+        for (a, b) in self.group_neg.iter_mut().zip(&other.group_neg) {
+            *a += b;
+        }
+        for (a, b) in self.group_fp.iter_mut().zip(&other.group_fp) {
+            *a += b;
+        }
+        for (a, b) in self.member_total.iter_mut().zip(&other.member_total) {
+            *a += b;
+        }
+        for (a, b) in self.member_selected.iter_mut().zip(&other.member_selected) {
+            *a += b;
+        }
+        for (a, b) in self.other_total.iter_mut().zip(&other.other_total) {
+            *a += b;
+        }
+        for (a, b) in self.other_selected.iter_mut().zip(&other.other_selected) {
+            *a += b;
+        }
+        self.total_neg += other.total_neg;
+        self.total_fp += other.total_fp;
+        self
+    }
+}
+
+/// Build the global top-`k` selection mask into `scratch`, then tally
+/// per-group counts shard by shard. `need_labels` makes unlabelled rows an
+/// error (the FPR metrics).
+fn selection_counts<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+    need_labels: bool,
+    scratch: &mut ShardedEvalScratch,
+) -> Result<GroupCounts> {
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    crate::ranking::sharded::effective_scores_into(data, ranker, bonus, &mut scratch.scores);
+    let selected = selected_at_k(data, &scratch.scores, k)?;
+    scratch.mask.clear();
+    scratch.mask.resize(data.len(), false);
+    for &p in &selected {
+        scratch.mask[p] = true;
+    }
+    let mask = &scratch.mask;
+    let dims = data.schema().num_fairness();
+    let per_shard = data.map_shards(|shard| -> Result<GroupCounts> {
+        let d = shard.data();
+        let mut counts = GroupCounts::new(dims);
+        for i in 0..d.len() {
+            let object = d.row(i);
+            let selected = mask[shard.global_index(i)];
+            for dim in 0..dims {
+                if object.in_group(dim) {
+                    counts.member_total[dim] += 1;
+                    if selected {
+                        counts.member_selected[dim] += 1;
+                    }
+                } else {
+                    counts.other_total[dim] += 1;
+                    if selected {
+                        counts.other_selected[dim] += 1;
+                    }
+                }
+            }
+            if need_labels {
+                let label = object.label().ok_or(FairError::MissingLabels)?;
+                if label {
+                    continue;
+                }
+                counts.total_neg += 1;
+                if selected {
+                    counts.total_fp += 1;
+                }
+                for dim in 0..dims {
+                    if object.in_group(dim) {
+                        counts.group_neg[dim] += 1;
+                        if selected {
+                            counts.group_fp[dim] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(counts)
+    });
+    // Ordered combine: the first (lowest-shard) error wins, deterministically.
+    let mut total = GroupCounts::new(dims);
+    for counts in per_shard {
+        total = total.merge(&counts?);
+    }
+    Ok(total)
+}
+
+/// Per-group and overall false-positive rates of the top-`k` selection — the
+/// sharded counterpart of [`crate::metrics::group_fpr_at_k`].
+///
+/// # Errors
+/// Returns an error on empty datasets, invalid `k`, or missing labels.
+pub fn group_fpr_at_k<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<(Vec<f64>, f64)> {
+    let counts = selection_counts(data, ranker, bonus, k, true, &mut ShardedEvalScratch::new())?;
+    let overall = if counts.total_neg == 0 {
+        0.0
+    } else {
+        counts.total_fp as f64 / counts.total_neg as f64
+    };
+    let per_group = (0..data.schema().num_fairness())
+        .map(|d| {
+            if counts.group_neg[d] == 0 {
+                0.0
+            } else {
+                counts.group_fp[d] as f64 / counts.group_neg[d] as f64
+            }
+        })
+        .collect();
+    Ok((per_group, overall))
+}
+
+/// FPR-difference vector (`FPR_group − FPR_overall`) of the top-`k`
+/// selection — the sharded counterpart of
+/// [`crate::metrics::fpr_difference_at_k`].
+///
+/// # Errors
+/// Returns an error on empty datasets, invalid `k`, or missing labels.
+pub fn fpr_difference_at_k<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<Vec<f64>> {
+    let (per_group, overall) = group_fpr_at_k(data, ranker, bonus, k)?;
+    Ok(per_group.into_iter().map(|f| f - overall).collect())
+}
+
+/// Signed, scaled disparate impact of the top-`k` selection — the sharded
+/// counterpart of [`crate::metrics::scaled_disparate_impact_at_k`].
+///
+/// # Errors
+/// Returns an error on an empty dataset or invalid `k`.
+pub fn scaled_disparate_impact_at_k<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<Vec<f64>> {
+    let counts = selection_counts(
+        data,
+        ranker,
+        bonus,
+        k,
+        false,
+        &mut ShardedEvalScratch::new(),
+    )?;
+    Ok((0..data.schema().num_fairness())
+        .map(|d| {
+            let (p1, p0) = if counts.member_total[d] == 0 || counts.other_total[d] == 0 {
+                (0.0, 0.0)
+            } else {
+                (
+                    counts.member_selected[d] as f64 / counts.member_total[d] as f64,
+                    counts.other_selected[d] as f64 / counts.other_total[d] as f64,
+                )
+            };
+            let di = if p1 <= 0.0 || p0 <= 0.0 {
+                if p1 == p0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                (p1 / p0).min(p0 / p1)
+            };
+            let sign = if p1 >= p0 { 1.0 } else { -1.0 };
+            sign * (1.0 - di)
+        })
+        .collect())
+}
+
+/// The serial reference for a sharded evaluation: flatten and evaluate with
+/// the single-`Dataset` metrics. Used by tests and the parity experiment;
+/// exactly the pre-refactor code path.
+///
+/// # Errors
+/// Returns an error on empty datasets or invalid `k`.
+pub fn serial_disparity_at_k<R: Ranker + ?Sized>(
+    dataset: &crate::dataset::Dataset,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<Vec<f64>> {
+    let view = dataset.full_view();
+    let mut scratch = EvalScratch::new();
+    scratch.ranking.refill_with(None, |scores| {
+        crate::ranking::effective_scores_into(&view, ranker, bonus, scores);
+    });
+    crate::metrics::disparity_at_k(&view, &scratch.ranking, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+    use crate::dataset::Dataset;
+    use crate::object::DataObject;
+    use crate::ranking::topk::RankedSelection;
+    use crate::ranking::{SingleFeatureRanker, WeightedSumRanker};
+
+    /// A labelled cohort with binary fairness attributes (exact sums) and
+    /// tied scores (exercises the deterministic tie-break).
+    fn cohort(n: u64) -> Dataset {
+        let schema = Schema::from_names(&["s"], &["a", "b"], &[]).unwrap();
+        let objects = (0..n)
+            .map(|i| {
+                let member = i % 3 == 0;
+                let other = i % 5 == 0;
+                let score = f64::from(u32::try_from((i * 11) % 17).unwrap())
+                    - if member { 4.0 } else { 0.0 };
+                DataObject::new_unchecked(
+                    i,
+                    vec![score],
+                    vec![f64::from(u8::from(member)), f64::from(u8::from(other))],
+                    Some(i % 4 == 0),
+                )
+            })
+            .collect();
+        Dataset::new(schema, objects).unwrap()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn sharded_disparity_matches_serial_bitwise() {
+        let flat = cohort(61);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        for shard_size in [1, 7, 61, 4096] {
+            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            for k in [0.05, 0.2, 0.5, 1.0] {
+                let serial = serial_disparity_at_k(&flat, &ranker, &[2.5, 0.5], k).unwrap();
+                let sharded = disparity_at_k(&data, &ranker, &[2.5, 0.5], k).unwrap();
+                assert_eq!(bits(&serial), bits(&sharded), "shard {shard_size} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ndcg_matches_serial_bitwise() {
+        let flat = cohort(61);
+        let view = flat.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        for shard_size in [1, 7, 61, 4096] {
+            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            for bonus in [[0.0, 0.0], [3.0, 1.5]] {
+                for k in [0.1, 0.3, 1.0] {
+                    let ranking = RankedSelection::from_scores(crate::ranking::effective_scores(
+                        &view, &ranker, &bonus,
+                    ));
+                    let serial = crate::metrics::ndcg_at_k(&view, &ranker, &ranking, k).unwrap();
+                    let sharded = ndcg_at_k(&data, &ranker, &bonus, k).unwrap();
+                    assert_eq!(
+                        serial.to_bits(),
+                        sharded.to_bits(),
+                        "shard {shard_size} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_log_discounted_matches_serial_bitwise() {
+        let flat = cohort(83);
+        let view = flat.full_view();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let cfg = LogDiscountConfig {
+            step: 7,
+            max_fraction: 0.6,
+        };
+        for shard_size in [1, 7, 83, 4096] {
+            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let ranking = RankedSelection::from_scores(crate::ranking::effective_scores(
+                &view,
+                &ranker,
+                &[1.0, 0.0],
+            ));
+            let serial = crate::metrics::log_discounted_disparity(&view, &ranking, &cfg).unwrap();
+            let sharded = log_discounted_disparity(&data, &ranker, &[1.0, 0.0], &cfg).unwrap();
+            assert_eq!(bits(&serial), bits(&sharded), "shard {shard_size}");
+        }
+    }
+
+    #[test]
+    fn sharded_fpr_and_di_match_serial_bitwise() {
+        let flat = cohort(59);
+        let view = flat.full_view();
+        let ranker = SingleFeatureRanker::new(0);
+        for shard_size in [1, 7, 59] {
+            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            for k in [0.2, 0.5] {
+                let ranking = RankedSelection::from_scores(crate::ranking::effective_scores(
+                    &view,
+                    &ranker,
+                    &[0.0, -1.0],
+                ));
+                let serial_fpr = crate::metrics::fpr_difference_at_k(&view, &ranking, k).unwrap();
+                let sharded_fpr = fpr_difference_at_k(&data, &ranker, &[0.0, -1.0], k).unwrap();
+                assert_eq!(bits(&serial_fpr), bits(&sharded_fpr), "fpr {shard_size}");
+                let (serial_groups, serial_overall) =
+                    crate::metrics::group_fpr_at_k(&view, &ranking, k).unwrap();
+                let (sharded_groups, sharded_overall) =
+                    group_fpr_at_k(&data, &ranker, &[0.0, -1.0], k).unwrap();
+                assert_eq!(bits(&serial_groups), bits(&sharded_groups));
+                assert_eq!(serial_overall.to_bits(), sharded_overall.to_bits());
+                let serial_di =
+                    crate::metrics::scaled_disparate_impact_at_k(&view, &ranking, k).unwrap();
+                let sharded_di =
+                    scaled_disparate_impact_at_k(&data, &ranker, &[0.0, -1.0], k).unwrap();
+                assert_eq!(bits(&serial_di), bits(&sharded_di), "di {shard_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_labels_error_propagates_from_shards() {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let objects = (0..10_u64)
+            .map(|i| {
+                DataObject::new_unchecked(
+                    i,
+                    vec![i as f64],
+                    vec![f64::from(u8::from(i % 2 == 0))],
+                    // One unlabelled row in a late shard.
+                    if i == 7 { None } else { Some(true) },
+                )
+            })
+            .collect();
+        let data = ShardedDataset::from_objects(schema, objects, 3).unwrap();
+        let ranker = SingleFeatureRanker::new(0);
+        assert!(matches!(
+            fpr_difference_at_k(&data, &ranker, &[0.0], 0.5),
+            Err(FairError::MissingLabels)
+        ));
+        // The label-free DI metric still works on the same data.
+        assert!(scaled_disparate_impact_at_k(&data, &ranker, &[0.0], 0.5).is_ok());
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let data = ShardedDataset::with_shard_size(schema, 4);
+        let ranker = SingleFeatureRanker::new(0);
+        assert!(disparity_at_k(&data, &ranker, &[0.0], 0.5).is_err());
+        assert!(ndcg_at_k(&data, &ranker, &[0.0], 0.5).is_err());
+        assert!(
+            log_discounted_disparity(&data, &ranker, &[0.0], &LogDiscountConfig::default())
+                .is_err()
+        );
+        assert!(group_fpr_at_k(&data, &ranker, &[0.0], 0.5).is_err());
+    }
+}

@@ -29,11 +29,12 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 {
+    // Inline fast path: zero or one item never needs a thread, and with one
+    // available worker spawning would only add scope overhead. The worker
+    // count is additionally capped at the item count so tiny inputs (e.g. a
+    // two-shard dataset on a 16-core machine) never spawn idle threads.
+    let workers = worker_count(n);
+    if n <= 1 || workers <= 1 {
         return items.iter().map(f).collect();
     }
 
@@ -59,6 +60,16 @@ where
                 .expect("every slot is filled before the scope ends")
         })
         .collect()
+}
+
+/// Number of scoped workers [`parallel_map`] spawns for `items` work items:
+/// the machine's available parallelism, capped at the item count (an item
+/// can occupy at most one worker, so extra threads would only idle).
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items)
 }
 
 #[cfg(test)]
@@ -89,6 +100,36 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), items.len());
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn single_item_runs_inline_on_the_calling_thread() {
+        // An inline run executes `f` on the caller's thread; a spawned worker
+        // would observe a different thread id.
+        let caller = std::thread::current().id();
+        let ids = parallel_map(&[()], |()| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+        let empty: Vec<()> = Vec::new();
+        assert!(parallel_map(&empty, |()| std::thread::current().id()).is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_capped_at_the_item_count() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(worker_count(0), 0);
+        assert_eq!(worker_count(1), 1);
+        assert_eq!(
+            worker_count(2),
+            cores.min(2),
+            "never more workers than items"
+        );
+        assert_eq!(
+            worker_count(1_000_000),
+            cores,
+            "never more workers than cores"
+        );
     }
 
     #[test]

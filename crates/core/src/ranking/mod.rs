@@ -7,6 +7,7 @@
 //! every fairness metric consumes.
 
 pub mod score;
+pub mod sharded;
 pub mod topk;
 
 pub use score::{NormalizedWeightedSum, SingleFeatureRanker, WeightedSumRanker};

@@ -1,0 +1,384 @@
+//! Shard-wise scoring and selection: the ranking-layer kernels of the
+//! parallel evaluation engine.
+//!
+//! Scoring is embarrassingly parallel (one kernel per shard, concatenated in
+//! shard order — bit-for-bit the serial scores). Selection runs a per-shard
+//! partial top-`m` ([`std::slice::select_nth_unstable_by`]) and merges the
+//! candidate sets under the same strict total order the serial
+//! [`RankedSelection`](crate::ranking::topk::RankedSelection) uses
+//! (descending [`f64::total_cmp`], ties by ascending global position), so the
+//! selected positions — set *and* order — are identical to a full sort for
+//! every shard size and worker count.
+
+use crate::ranking::topk::{rank_cmp, selection_size};
+use crate::ranking::Ranker;
+use crate::shard::ShardedDataset;
+
+/// Effective (bonus-adjusted) scores of every row, in global row order —
+/// per-shard scoring kernels concatenated in shard order.
+///
+/// # Panics
+/// Panics if `bonus.len()` differs from the schema's fairness dimensionality.
+#[must_use]
+pub fn effective_scores<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    effective_scores_into(data, ranker, bonus, &mut out);
+    out
+}
+
+/// [`effective_scores`] writing into a caller-provided buffer.
+///
+/// # Panics
+/// Panics if `bonus.len()` differs from the schema's fairness dimensionality.
+pub fn effective_scores_into<R: Ranker + ?Sized>(
+    data: &ShardedDataset,
+    ranker: &R,
+    bonus: &[f64],
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(
+        bonus.len(),
+        data.schema().num_fairness(),
+        "bonus vector dimensionality mismatch"
+    );
+    let per_shard = data.map_shards(|shard| {
+        let d = shard.data();
+        let mut scores = Vec::with_capacity(d.len());
+        scores.extend((0..d.len()).map(|i| {
+            let base = match ranker.feature_score(d.feature_row(i)) {
+                Some(score) => score,
+                None => ranker.base_score(d.row(i)),
+            };
+            let increment: f64 = d
+                .fairness_row(i)
+                .iter()
+                .zip(bonus)
+                .map(|(a, b)| a * b)
+                .sum();
+            base + increment
+        }));
+        scores
+    });
+    out.clear();
+    out.reserve(data.len());
+    for scores in per_shard {
+        out.extend_from_slice(&scores);
+    }
+}
+
+/// Effective scores derived from already-computed base scores:
+/// `adjusted[i] = base[i] + fairness_row(i) · bonus`, per shard. Exactly the
+/// arithmetic of [`effective_scores`] (base term first, increment added
+/// once), so the result is bit-for-bit identical — at half the work, since
+/// the ranker is not re-run.
+///
+/// # Panics
+/// Panics if `base.len()` differs from `data.len()` or `bonus.len()` from
+/// the fairness dimensionality.
+#[must_use]
+pub fn adjust_base_scores(data: &ShardedDataset, base: &[f64], bonus: &[f64]) -> Vec<f64> {
+    assert_eq!(base.len(), data.len(), "one base score per row required");
+    assert_eq!(
+        bonus.len(),
+        data.schema().num_fairness(),
+        "bonus vector dimensionality mismatch"
+    );
+    let per_shard = data.map_shards(|shard| {
+        let d = shard.data();
+        let mut scores = Vec::with_capacity(d.len());
+        scores.extend((0..d.len()).map(|i| {
+            let increment: f64 = d
+                .fairness_row(i)
+                .iter()
+                .zip(bonus)
+                .map(|(a, b)| a * b)
+                .sum();
+            base[shard.global_index(i)] + increment
+        }));
+        scores
+    });
+    let mut out = Vec::with_capacity(data.len());
+    for scores in per_shard {
+        out.extend_from_slice(&scores);
+    }
+    out
+}
+
+/// Base (unadjusted) scores of every row, in global row order.
+#[must_use]
+pub fn base_scores<R: Ranker + ?Sized>(data: &ShardedDataset, ranker: &R) -> Vec<f64> {
+    let per_shard = data.map_shards(|shard| {
+        let d = shard.data();
+        let mut scores = Vec::with_capacity(d.len());
+        scores.extend(
+            (0..d.len()).map(|i| match ranker.feature_score(d.feature_row(i)) {
+                Some(score) => score,
+                None => ranker.base_score(d.row(i)),
+            }),
+        );
+        scores
+    });
+    let mut out = Vec::with_capacity(data.len());
+    for scores in per_shard {
+        out.extend_from_slice(&scores);
+    }
+    out
+}
+
+/// A `u64` whose natural ascending order equals **descending**
+/// [`f64::total_cmp`] order of the score. The standard monotone IEEE-754 map
+/// (flip all bits of negatives, flip the sign bit of non-negatives) turns
+/// `total_cmp` into unsigned integer order; inverting it flips the direction.
+/// Pairing the key with the position gives a POD tuple whose derived `Ord`
+/// is exactly [`rank_cmp`] — descending score, ties by ascending position —
+/// so partitions and sorts run on 16-byte values with branch-friendly
+/// integer comparisons instead of chasing `scores[a]`/`scores[b]` gathers.
+#[inline]
+fn descending_key(score: f64) -> u64 {
+    let bits = score.to_bits();
+    let ascending = bits ^ ((((bits as i64) >> 63) as u64) | 0x8000_0000_0000_0000);
+    !ascending
+}
+
+/// The global positions of the `m` best scores, best first — exactly the
+/// prefix a full descending sort would produce (same strict total order, same
+/// deterministic tie-break).
+///
+/// When per-shard pruning pays off (`m` well below the shard size), each
+/// shard partial-selects its own top `min(m, len)` in parallel and only the
+/// merged candidates are partitioned; otherwise a single global partition is
+/// used. Both paths produce the canonical top-`m` under the strict total
+/// order, so the choice is invisible to callers.
+///
+/// `scores` must hold one score per global row; `m` is clamped to the row
+/// count.
+///
+/// # Panics
+/// Panics if `scores.len()` differs from `data.len()`.
+#[must_use]
+pub fn top_m(data: &ShardedDataset, scores: &[f64], m: usize) -> Vec<usize> {
+    assert_eq!(scores.len(), data.len(), "one score per row required");
+    let n = data.len();
+    let m = m.min(n);
+    if m == 0 {
+        return Vec::new();
+    }
+    let keyed = |range: std::ops::Range<usize>| -> Vec<(u64, u64)> {
+        range
+            .map(|p| (descending_key(scores[p]), p as u64))
+            .collect()
+    };
+    // Per-shard candidate pruning only helps when the surviving candidate set
+    // is materially smaller than the cohort.
+    let candidate_total: usize = data.shards().map(|s| s.len().min(m)).sum();
+    let mut candidates: Vec<(u64, u64)> = if candidate_total * 2 <= n {
+        let per_shard = data.map_shards(|shard| {
+            let mut local = keyed(shard.offset()..shard.offset() + shard.len());
+            let keep = m.min(local.len());
+            if keep < local.len() {
+                local.select_nth_unstable(keep);
+                local.truncate(keep);
+            }
+            local
+        });
+        per_shard.into_iter().flatten().collect()
+    } else {
+        keyed(0..n)
+    };
+    if m < candidates.len() {
+        candidates.select_nth_unstable(m);
+        candidates.truncate(m);
+    }
+    candidates.sort_unstable();
+    candidates
+        .into_iter()
+        .map(|(_, p)| usize::try_from(p).expect("positions fit usize"))
+        .collect()
+}
+
+/// The global positions of the top-`k`-fraction selection, best first.
+///
+/// # Errors
+/// Returns an error for `k` outside `(0, 1]`.
+///
+/// # Panics
+/// Panics if `scores.len()` differs from `data.len()`.
+pub fn selected_at_k(
+    data: &ShardedDataset,
+    scores: &[f64],
+    k: f64,
+) -> crate::error::Result<Vec<usize>> {
+    let m = selection_size(data.len(), k)?;
+    Ok(top_m(data, scores, m))
+}
+
+/// The 0-based rank a full descending sort would assign to `position`: the
+/// number of positions ordered strictly before it — counted shard by shard in
+/// parallel (an exact integer reduction).
+///
+/// # Panics
+/// Panics if `scores.len()` differs from `data.len()` or `position` is out of
+/// bounds.
+#[must_use]
+pub fn rank_of(data: &ShardedDataset, scores: &[f64], position: usize) -> usize {
+    assert_eq!(scores.len(), data.len(), "one score per row required");
+    assert!(position < data.len(), "position out of bounds");
+    data.reduce_shards(
+        0_usize,
+        |shard| {
+            (shard.offset()..shard.offset() + shard.len())
+                .filter(|&p| p != position && rank_cmp(scores, p, position).is_lt())
+                .count()
+        },
+        |acc, c| acc + c,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+    use crate::object::DataObject;
+    use crate::ranking::topk::RankedSelection;
+    use crate::ranking::WeightedSumRanker;
+    use crate::shard::ShardedDataset;
+
+    fn sharded(n: u64, shard_size: usize) -> ShardedDataset {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let objects = (0..n)
+            .map(|i| {
+                // Non-monotone scores with ties to exercise the tie-break.
+                let score = f64::from(u32::try_from((i * 7) % 13).unwrap());
+                DataObject::new_unchecked(
+                    i,
+                    vec![score],
+                    vec![f64::from(u8::from(i % 4 == 0))],
+                    None,
+                )
+            })
+            .collect();
+        ShardedDataset::from_objects(schema, objects, shard_size).unwrap()
+    }
+
+    #[test]
+    fn sharded_scores_match_serial_bitwise() {
+        let data = sharded(53, 7);
+        let flat = data.to_dataset();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let view = flat.full_view();
+        let serial = crate::ranking::effective_scores(&view, &ranker, &[2.5]);
+        let shardwise = effective_scores(&data, &ranker, &[2.5]);
+        assert_eq!(serial, shardwise);
+        let serial_base = crate::ranking::base_scores(&view, &ranker);
+        assert_eq!(serial_base, base_scores(&data, &ranker));
+    }
+
+    #[test]
+    fn adjusting_base_scores_matches_scoring_from_scratch_bitwise() {
+        let data = sharded(53, 7);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let base = base_scores(&data, &ranker);
+        for bonus in [[0.0], [2.5], [-1.75]] {
+            let from_scratch = effective_scores(&data, &ranker, &bonus);
+            let adjusted = adjust_base_scores(&data, &base, &bonus);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&from_scratch), bits(&adjusted), "bonus {bonus:?}");
+        }
+    }
+
+    #[test]
+    fn top_m_matches_full_sort_for_every_shard_size_and_m() {
+        for shard_size in [1, 5, 7, 64, 1000] {
+            let data = sharded(53, shard_size);
+            let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+            let scores = effective_scores(&data, &ranker, &[0.0]);
+            let full = RankedSelection::from_scores(scores.clone());
+            for m in [0, 1, 2, 7, 26, 52, 53, 99] {
+                let got = top_m(&data, &scores, m);
+                assert_eq!(got, full.top(m), "shard {shard_size}, m {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn selected_at_k_matches_ranked_selection() {
+        let data = sharded(40, 6);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let scores = effective_scores(&data, &ranker, &[1.0]);
+        let full = RankedSelection::from_scores(scores.clone());
+        for k in [0.05, 0.25, 0.5, 1.0] {
+            assert_eq!(
+                selected_at_k(&data, &scores, k).unwrap(),
+                full.selected(k).unwrap(),
+                "k {k}"
+            );
+        }
+        assert!(selected_at_k(&data, &scores, 0.0).is_err());
+    }
+
+    #[test]
+    fn rank_of_matches_full_sort() {
+        let data = sharded(29, 4);
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let scores = effective_scores(&data, &ranker, &[0.5]);
+        let full = RankedSelection::from_scores(scores.clone());
+        for p in 0..29 {
+            assert_eq!(Some(rank_of(&data, &scores, p)), full.rank_of(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn descending_key_order_is_exactly_total_cmp_descending() {
+        let tricky = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            5e300,
+            -5e300,
+        ];
+        for &a in &tricky {
+            for &b in &tricky {
+                assert_eq!(
+                    super::descending_key(a).cmp(&super::descending_key(b)),
+                    b.total_cmp(&a),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_m_handles_nan_and_signed_zero_like_the_full_sort() {
+        let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
+        let tricky = [f64::NAN, 1.0, -0.0, 0.0, f64::INFINITY, -1.0, f64::NAN];
+        let objects = tricky
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| DataObject::new_unchecked(i as u64, vec![s], vec![0.0], None))
+            .collect();
+        let data = ShardedDataset::from_objects(schema, objects, 2).unwrap();
+        let scores: Vec<f64> = tricky.to_vec();
+        let full = RankedSelection::from_scores(scores.clone());
+        for m in 1..=tricky.len() {
+            assert_eq!(top_m(&data, &scores, m), full.top(m), "m {m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per row")]
+    fn mismatched_scores_panic() {
+        let data = sharded(10, 3);
+        let _ = top_m(&data, &[1.0, 2.0], 1);
+    }
+}

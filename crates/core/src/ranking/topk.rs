@@ -43,9 +43,11 @@ pub fn selection_size(n: usize, k: f64) -> Result<usize> {
 }
 
 /// The strict total order used for ranking: descending score, ties broken by
-/// ascending original position — deterministic and NaN-sound.
+/// ascending original position — deterministic and NaN-sound. Shared with the
+/// shard-wise selection kernels so that per-shard partial selections merge
+/// into exactly the order a full sort would produce.
 #[inline]
-fn rank_cmp(scores: &[f64], a: usize, b: usize) -> Ordering {
+pub(crate) fn rank_cmp(scores: &[f64], a: usize, b: usize) -> Ordering {
     scores[b].total_cmp(&scores[a]).then_with(|| a.cmp(&b))
 }
 

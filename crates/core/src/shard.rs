@@ -1,0 +1,766 @@
+//! Sharded column store: the cohort split into fixed-size contiguous blocks.
+//!
+//! [`ShardedDataset`] holds the population as a sequence of fixed-size
+//! **shards**, each a self-contained [`Dataset`] (the same contiguous
+//! structure-of-arrays block the single-dataset path uses). The shard is the
+//! unit of parallelism, of streaming ingest, and — eventually — of
+//! out-of-core residency and distributed placement:
+//!
+//! ```text
+//!   ShardedDataset
+//!   ├── shard 0   rows [0, S)        ──┐
+//!   ├── shard 1   rows [S, 2S)         │  map: per-shard kernel
+//!   ├── …                              │  (parallel_map workers)
+//!   └── shard m   rows [mS, n)       ──┘
+//!                       │
+//!                       ▼
+//!          ordered reduce (shard 0, 1, …, m)  →  deterministic result
+//! ```
+//!
+//! The engine methods ([`ShardedDataset::map_shards`],
+//! [`ShardedDataset::reduce_shards`], [`ShardedDataset::for_each_shard`]) run
+//! one closure per shard on [`crate::parallel_map`]'s scoped worker pool and
+//! always combine results **in shard order**, so evaluation is deterministic
+//! for a fixed shard size regardless of worker count or scheduling. Metrics
+//! written against this engine (see [`crate::metrics::sharded`]) are
+//! therefore parallel by construction — parallelism is a property of the
+//! engine, not of each metric.
+//!
+//! ## Determinism and floating point
+//!
+//! Per-row computations (scoring) and integer reductions (group counts,
+//! selection masks) are bit-for-bit identical to the serial single-`Dataset`
+//! path for every shard size. Floating-point *sum* reductions (fairness
+//! centroids) accumulate per shard and then combine partial sums in shard
+//! order; for values on a dyadic grid — binary group indicators, and any
+//! value set whose sums are exactly representable — this is bit-for-bit
+//! identical to the serial left-to-right sum for every shard size. For
+//! arbitrary continuous values the result is deterministic per shard size and
+//! differs from the serial sum only by the usual reassociation ulps.
+
+use crate::attributes::SchemaRef;
+use crate::dataset::Dataset;
+use crate::error::{FairError, Result};
+use crate::object::{DataObject, ObjectView};
+use crate::parallel::parallel_map;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The built-in default shard size (rows per shard) when the
+/// `FAIR_SHARD_SIZE` environment variable is not set.
+pub const DEFAULT_SHARD_SIZE: usize = 64 * 1024;
+
+/// The default number of rows per shard: the `FAIR_SHARD_SIZE` environment
+/// variable when set to a positive integer, [`DEFAULT_SHARD_SIZE`] otherwise.
+///
+/// CI exercises the suite with `FAIR_SHARD_SIZE=7` so the non-divisible
+/// final-shard path is covered on every push.
+#[must_use]
+pub fn default_shard_size() -> usize {
+    std::env::var("FAIR_SHARD_SIZE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_SHARD_SIZE)
+}
+
+/// A borrowed view of one shard: its index, the global row offset of its
+/// first row, and the underlying contiguous [`Dataset`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    index: usize,
+    offset: usize,
+    data: &'a Dataset,
+}
+
+impl<'a> ShardView<'a> {
+    /// Position of this shard within the sharded dataset.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Global row index of this shard's first row.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The shard's rows as a contiguous columnar [`Dataset`] block.
+    #[must_use]
+    pub fn data(&self) -> &'a Dataset {
+        self.data
+    }
+
+    /// Number of rows in this shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the shard holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Global row index of the shard-local row `local`.
+    #[must_use]
+    pub fn global_index(&self, local: usize) -> usize {
+        self.offset + local
+    }
+}
+
+/// A cohort stored as fixed-size shards, each a contiguous columnar block.
+///
+/// All rows except possibly the final shard's hold exactly
+/// [`ShardedDataset::shard_size`] rows; the final shard holds the remainder.
+/// Global row order is shard order, so flattening the shards
+/// ([`ShardedDataset::to_dataset`]) reproduces the original insertion order.
+#[derive(Debug, Clone)]
+pub struct ShardedDataset {
+    schema: SchemaRef,
+    shard_size: usize,
+    shards: Vec<Dataset>,
+    len: usize,
+}
+
+impl ShardedDataset {
+    /// Create an empty sharded dataset with the given shard size.
+    ///
+    /// # Panics
+    /// Panics if `shard_size == 0`.
+    #[must_use]
+    pub fn with_shard_size(schema: SchemaRef, shard_size: usize) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        Self {
+            schema,
+            shard_size,
+            shards: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Create an empty sharded dataset with the environment-resolved
+    /// [`default_shard_size`].
+    #[must_use]
+    pub fn new(schema: SchemaRef) -> Self {
+        Self::with_shard_size(schema, default_shard_size())
+    }
+
+    /// Build a sharded dataset from owned objects.
+    ///
+    /// # Errors
+    /// Returns an error if any object's vectors do not match the schema.
+    ///
+    /// # Panics
+    /// Panics if `shard_size == 0`.
+    pub fn from_objects(
+        schema: SchemaRef,
+        objects: Vec<DataObject>,
+        shard_size: usize,
+    ) -> Result<Self> {
+        let mut this = Self::with_shard_size(schema, shard_size);
+        for o in objects {
+            this.push(o)?;
+        }
+        Ok(this)
+    }
+
+    /// Re-shard an existing contiguous dataset (copies the rows).
+    ///
+    /// # Panics
+    /// Panics if `shard_size == 0`.
+    #[must_use]
+    pub fn from_dataset(dataset: &Dataset, shard_size: usize) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        let schema = dataset.schema().clone();
+        let n = dataset.len();
+        let mut shards = Vec::with_capacity(n.div_ceil(shard_size.max(1)));
+        let mut start = 0;
+        while start < n {
+            let end = (start + shard_size).min(n);
+            let indices: Vec<usize> = (start..end).collect();
+            shards.push(dataset.subset(&indices));
+            start = end;
+        }
+        Self {
+            schema,
+            shard_size,
+            shards,
+            len: n,
+        }
+    }
+
+    /// The shared schema.
+    #[must_use]
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The configured rows-per-shard.
+    #[must_use]
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Total number of rows across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// View of shard `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> ShardView<'_> {
+        ShardView {
+            index: i,
+            offset: i * self.shard_size,
+            data: &self.shards[i],
+        }
+    }
+
+    /// Iterate over all shards in order.
+    pub fn shards(&self) -> impl Iterator<Item = ShardView<'_>> + '_ {
+        (0..self.num_shards()).map(move |i| self.shard(i))
+    }
+
+    /// Split a global row index into `(shard index, shard-local row index)`.
+    ///
+    /// # Panics
+    /// Panics if `global` is out of bounds.
+    #[must_use]
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        assert!(
+            global < self.len,
+            "row {global} out of bounds ({})",
+            self.len
+        );
+        (global / self.shard_size, global % self.shard_size)
+    }
+
+    /// Zero-copy view of the row at `global` index (insertion order).
+    ///
+    /// # Panics
+    /// Panics if `global` is out of bounds.
+    #[must_use]
+    pub fn row(&self, global: usize) -> ObjectView<'_> {
+        let (s, local) = self.locate(global);
+        self.shards[s].row(local)
+    }
+
+    /// The fairness row at `global` index.
+    ///
+    /// # Panics
+    /// Panics if `global` is out of bounds.
+    #[must_use]
+    pub fn fairness_row(&self, global: usize) -> &[f64] {
+        let (s, local) = self.locate(global);
+        self.shards[s].fairness_row(local)
+    }
+
+    /// The feature row at `global` index.
+    ///
+    /// # Panics
+    /// Panics if `global` is out of bounds.
+    #[must_use]
+    pub fn feature_row(&self, global: usize) -> &[f64] {
+        let (s, local) = self.locate(global);
+        self.shards[s].feature_row(local)
+    }
+
+    /// Iterate over all rows in global order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectView<'_>> + '_ {
+        self.shards().flat_map(|s| {
+            let d = s.data();
+            (0..d.len()).map(move |i| d.row(i))
+        })
+    }
+
+    /// Append a row, opening a new shard when the last one is full.
+    ///
+    /// # Errors
+    /// Returns an error if the object's vectors do not match the schema.
+    pub fn push(&mut self, object: DataObject) -> Result<()> {
+        // Validate before touching the shard list, so a rejected object can
+        // never leave an empty trailing shard behind.
+        if object.features().len() != self.schema.num_features() {
+            return Err(FairError::DimensionMismatch {
+                what: "feature vector",
+                expected: self.schema.num_features(),
+                actual: object.features().len(),
+            });
+        }
+        if object.fairness().len() != self.schema.num_fairness() {
+            return Err(FairError::DimensionMismatch {
+                what: "fairness vector",
+                expected: self.schema.num_fairness(),
+                actual: object.fairness().len(),
+            });
+        }
+        let open = matches!(self.shards.last(), Some(last) if last.len() < self.shard_size);
+        if !open {
+            self.shards.push(Dataset::with_capacity(
+                self.schema.clone(),
+                self.shard_size.min(1 << 20),
+            ));
+        }
+        let shard = self.shards.last_mut().expect("a shard was just ensured");
+        shard.push(object)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Flatten the shards back into one contiguous [`Dataset`]
+    /// (rows in global order). Intended for interop and tests.
+    #[must_use]
+    pub fn to_dataset(&self) -> Dataset {
+        let mut out = Dataset::with_capacity(self.schema.clone(), self.len);
+        for view in self.iter() {
+            out.push(view.to_object())
+                .expect("rows of a sharded dataset match its schema");
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // The shard-wise evaluation engine.
+    // ------------------------------------------------------------------
+
+    /// Apply `f` to every shard on the scoped worker pool, returning the
+    /// per-shard results **in shard order**.
+    pub fn map_shards<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ShardView<'_>) -> T + Sync,
+    {
+        let indices: Vec<usize> = (0..self.num_shards()).collect();
+        parallel_map(&indices, |&i| f(self.shard(i)))
+    }
+
+    /// Run `f` on every shard (parallel, no results collected).
+    pub fn for_each_shard<F>(&self, f: F)
+    where
+        F: Fn(ShardView<'_>) + Sync,
+    {
+        self.map_shards(&f);
+    }
+
+    /// Map every shard in parallel, then fold the per-shard results **in
+    /// shard order** — the deterministic reduction every sharded metric is
+    /// built on.
+    pub fn reduce_shards<T, A, F, G>(&self, init: A, map: F, mut fold: G) -> A
+    where
+        T: Send,
+        F: Fn(ShardView<'_>) -> T + Sync,
+        G: FnMut(A, T) -> A,
+    {
+        self.map_shards(map).into_iter().fold(init, &mut fold)
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-cohort primitives built on the engine.
+    // ------------------------------------------------------------------
+
+    /// Fairness centroid over the whole cohort (`D_O` of Definition 3):
+    /// per-shard sums combined in shard order, then divided once.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset.
+    pub fn fairness_centroid(&self) -> Result<Vec<f64>> {
+        if self.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        let dims = self.schema.num_fairness();
+        let sums = self.reduce_shards(
+            vec![0.0_f64; dims],
+            |shard| {
+                let mut acc = vec![0.0_f64; dims];
+                let d = shard.data();
+                for i in 0..d.len() {
+                    for (a, v) in acc.iter_mut().zip(d.fairness_row(i)) {
+                        *a += v;
+                    }
+                }
+                acc
+            },
+            |mut acc, partial| {
+                for (a, p) in acc.iter_mut().zip(&partial) {
+                    *a += p;
+                }
+                acc
+            },
+        );
+        Ok(sums.into_iter().map(|s| s / self.len as f64).collect())
+    }
+
+    /// Fraction of rows belonging to the (binary) group at fairness index
+    /// `dim` (value `>= 0.5`). Integer count reduction — exact for every
+    /// shard size.
+    #[must_use]
+    pub fn group_frequency(&self, dim: usize) -> f64 {
+        if self.is_empty() || dim >= self.schema.num_fairness() {
+            return 0.0;
+        }
+        let count = self.reduce_shards(
+            0_usize,
+            |shard| {
+                let d = shard.data();
+                (0..d.len())
+                    .filter(|&i| d.fairness_row(i)[dim] >= 0.5)
+                    .count()
+            },
+            |acc, c| acc + c,
+        );
+        count as f64 / self.len as f64
+    }
+
+    /// Frequency of the rarest non-empty fairness group — the `r` of the
+    /// paper's sample-size rule.
+    #[must_use]
+    pub fn rarest_group_frequency(&self) -> f64 {
+        (0..self.schema.num_fairness())
+            .map(|d| self.group_frequency(d))
+            .filter(|f| *f > 0.0)
+            .fold(1.0_f64, f64::min)
+    }
+
+    /// Whether every row carries a ground-truth label.
+    #[must_use]
+    pub fn fully_labelled(&self) -> bool {
+        !self.is_empty()
+            && self.reduce_shards(
+                true,
+                |shard| shard.data().fully_labelled(),
+                |acc, ok| acc && ok,
+            )
+    }
+
+    // ------------------------------------------------------------------
+    // Per-shard sampling (the distributed-DCA building block).
+    // ------------------------------------------------------------------
+
+    /// Draw a uniform-rate stratified sample of `size` rows: each shard
+    /// contributes a quota proportional to its length (largest-remainder
+    /// apportionment, deterministic), sampled **within the shard** with its
+    /// own RNG stream split off `seed` — so shards can sample independently
+    /// and in parallel, and a distributed deployment draws the identical
+    /// sample without any cross-shard coordination.
+    ///
+    /// Returns global row indices grouped by shard (ascending shard order,
+    /// selection order within a shard). When `size >= len()` every row is
+    /// returned in global order.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset and
+    /// [`FairError::InvalidConfig`] when `size == 0`.
+    pub fn sample_indices_into(&self, seed: u64, size: usize, out: &mut Vec<usize>) -> Result<()> {
+        if self.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        if size == 0 {
+            return Err(FairError::InvalidConfig {
+                reason: "sample size must be positive".into(),
+            });
+        }
+        out.clear();
+        if size >= self.len {
+            out.extend(0..self.len);
+            return Ok(());
+        }
+        let quotas = self.shard_quotas(size);
+        let per_shard: Vec<Vec<usize>> = self.map_shards(|shard| {
+            let quota = quotas[shard.index()];
+            if quota == 0 {
+                return Vec::new();
+            }
+            let mut rng = StdRng::seed_from_u64(shard_seed(seed, shard.index()));
+            let mut buf = rand::seq::index::IndexBuffer::new();
+            if quota >= shard.len() {
+                buf.fill_sequential(shard.len());
+            } else {
+                rand::seq::index::sample_into(&mut rng, shard.len(), quota, &mut buf);
+            }
+            let offset = shard.offset();
+            buf.as_slice().iter().map(|&i| offset + i).collect()
+        });
+        for indices in per_shard {
+            out.extend(indices);
+        }
+        Ok(())
+    }
+
+    /// Largest-remainder apportionment of `size` sample slots across shards,
+    /// proportional to shard lengths; deterministic and clamped to shard
+    /// lengths.
+    fn shard_quotas(&self, size: usize) -> Vec<usize> {
+        let n = self.len as f64;
+        let mut quotas: Vec<usize> = Vec::with_capacity(self.num_shards());
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(self.num_shards());
+        let mut assigned = 0_usize;
+        for s in self.shards() {
+            let exact = size as f64 * s.len() as f64 / n;
+            let floor = (exact.floor() as usize).min(s.len());
+            quotas.push(floor);
+            remainders.push((s.index(), exact - floor as f64));
+            assigned += floor;
+        }
+        // Hand the remaining slots to the largest fractional remainders
+        // (ties broken by shard index for determinism), skipping full shards.
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut left = size.saturating_sub(assigned);
+        let mut cursor = 0;
+        while left > 0 {
+            let (idx, _) = remainders[cursor % remainders.len()];
+            if quotas[idx] < self.shards[idx].len() {
+                quotas[idx] += 1;
+                left -= 1;
+            }
+            cursor += 1;
+            assert!(
+                cursor <= remainders.len() * (size + 1),
+                "quota apportionment must terminate"
+            );
+        }
+        quotas
+    }
+}
+
+/// Derive the RNG seed of shard `index` from the base `seed`: a
+/// SplitMix64-style mix so per-shard streams are decorrelated but fully
+/// determined by `(seed, index)`.
+#[must_use]
+pub fn shard_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Schema;
+
+    fn schema() -> SchemaRef {
+        Schema::from_names(&["score"], &["g"], &[]).unwrap()
+    }
+
+    fn objects(n: u64) -> Vec<DataObject> {
+        (0..n)
+            .map(|i| {
+                DataObject::new_unchecked(
+                    i,
+                    vec![i as f64],
+                    vec![f64::from(u8::from(i % 3 == 0))],
+                    Some(i % 2 == 0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharding_splits_rows_with_a_short_final_shard() {
+        let d = ShardedDataset::from_objects(schema(), objects(23), 7).unwrap();
+        assert_eq!(d.len(), 23);
+        assert_eq!(d.num_shards(), 4);
+        assert_eq!(d.shard(0).len(), 7);
+        assert_eq!(d.shard(3).len(), 2, "non-divisible final shard");
+        assert_eq!(d.shard(2).offset(), 14);
+        assert_eq!(d.shard(1).global_index(3), 10);
+        assert!(!d.shard(0).is_empty());
+    }
+
+    #[test]
+    fn global_rows_match_flat_dataset() {
+        let objs = objects(23);
+        let flat = Dataset::new(schema(), objs.clone()).unwrap();
+        let sharded = ShardedDataset::from_objects(schema(), objs, 7).unwrap();
+        for i in 0..flat.len() {
+            assert_eq!(sharded.row(i), flat.row(i), "row {i}");
+        }
+        assert_eq!(sharded.iter().count(), flat.len());
+        let back = sharded.to_dataset();
+        assert_eq!(back.len(), flat.len());
+        assert_eq!(back.row(22), flat.row(22));
+    }
+
+    #[test]
+    fn from_dataset_reshards_identically() {
+        let flat = Dataset::new(schema(), objects(23)).unwrap();
+        let sharded = ShardedDataset::from_dataset(&flat, 5);
+        assert_eq!(sharded.num_shards(), 5);
+        for i in 0..flat.len() {
+            assert_eq!(sharded.row(i), flat.row(i));
+        }
+        assert_eq!(sharded.feature_row(13), flat.feature_row(13));
+        assert_eq!(sharded.fairness_row(13), flat.fairness_row(13));
+    }
+
+    #[test]
+    fn centroid_matches_serial_for_binary_attributes() {
+        let flat = Dataset::new(schema(), objects(23)).unwrap();
+        for size in [1, 7, 23, 1000] {
+            let sharded = ShardedDataset::from_dataset(&flat, size);
+            assert_eq!(
+                sharded.fairness_centroid().unwrap(),
+                flat.fairness_centroid().unwrap(),
+                "shard size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_stats_match_serial() {
+        let flat = Dataset::new(schema(), objects(23)).unwrap();
+        let sharded = ShardedDataset::from_dataset(&flat, 4);
+        assert_eq!(sharded.group_frequency(0), flat.group_frequency(0));
+        assert_eq!(sharded.group_frequency(9), 0.0);
+        assert_eq!(
+            sharded.rarest_group_frequency(),
+            flat.rarest_group_frequency()
+        );
+        assert!(sharded.fully_labelled());
+    }
+
+    #[test]
+    fn reduce_shards_folds_in_shard_order() {
+        let d = ShardedDataset::from_objects(schema(), objects(10), 3).unwrap();
+        let order = d.reduce_shards(
+            Vec::new(),
+            |s| s.index(),
+            |mut acc, i| {
+                acc.push(i);
+                acc
+            },
+        );
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        let lens = d.map_shards(|s| s.len());
+        assert_eq!(lens, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn stratified_sample_is_deterministic_and_in_range() {
+        let d = ShardedDataset::from_objects(schema(), objects(100), 9).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        d.sample_indices_into(42, 30, &mut a).unwrap();
+        d.sample_indices_into(42, 30, &mut b).unwrap();
+        assert_eq!(a, b, "same seed, same sample");
+        assert_eq!(a.len(), 30);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "no duplicates");
+        assert!(a.iter().all(|&i| i < 100));
+        let mut c = Vec::new();
+        d.sample_indices_into(43, 30, &mut c).unwrap();
+        assert_ne!(a, c, "different seed, different sample");
+    }
+
+    #[test]
+    fn sample_quotas_are_proportional() {
+        let d = ShardedDataset::from_objects(schema(), objects(100), 25).unwrap();
+        let mut out = Vec::new();
+        d.sample_indices_into(7, 40, &mut out).unwrap();
+        // 4 equal shards of 25 rows each must contribute exactly 10 apiece.
+        for s in 0..4 {
+            let in_shard = out
+                .iter()
+                .filter(|&&i| i >= s * 25 && i < (s + 1) * 25)
+                .count();
+            assert_eq!(in_shard, 10, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn oversized_sample_returns_every_row() {
+        let d = ShardedDataset::from_objects(schema(), objects(10), 3).unwrap();
+        let mut out = Vec::new();
+        d.sample_indices_into(1, 99, &mut out).unwrap();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_errors_match_dataset_semantics() {
+        let empty = ShardedDataset::with_shard_size(schema(), 4);
+        let mut out = Vec::new();
+        assert!(matches!(
+            empty.sample_indices_into(1, 5, &mut out),
+            Err(FairError::EmptyDataset)
+        ));
+        let d = ShardedDataset::from_objects(schema(), objects(10), 3).unwrap();
+        assert!(d.sample_indices_into(1, 0, &mut out).is_err());
+        assert!(matches!(
+            empty.fairness_centroid(),
+            Err(FairError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn push_validates_and_opens_shards() {
+        let mut d = ShardedDataset::with_shard_size(schema(), 2);
+        for o in objects(5) {
+            d.push(o).unwrap();
+        }
+        assert_eq!(d.num_shards(), 3);
+        let bad = DataObject::new_unchecked(9, vec![1.0, 2.0], vec![0.0], None);
+        assert!(d.push(bad).is_err());
+        assert_eq!(d.len(), 5, "failed push must not change the length");
+    }
+
+    #[test]
+    fn rejected_push_never_opens_an_empty_trailing_shard() {
+        // Fill shards exactly (4 rows, shard size 2), then push a
+        // schema-mismatched object: the shard layout must be untouched.
+        let mut d = ShardedDataset::from_objects(schema(), objects(4), 2).unwrap();
+        assert_eq!(d.num_shards(), 2);
+        let bad_features = DataObject::new_unchecked(9, vec![1.0, 2.0], vec![0.0], None);
+        assert!(d.push(bad_features).is_err());
+        let bad_fairness = DataObject::new_unchecked(9, vec![1.0], vec![0.0, 1.0], None);
+        assert!(d.push(bad_fairness).is_err());
+        assert_eq!(d.num_shards(), 2, "no empty shard may be opened");
+        assert_eq!(d.len(), 4);
+        assert!(d.shards().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn shard_seed_is_stable_and_decorrelated() {
+        assert_eq!(shard_seed(7, 3), shard_seed(7, 3));
+        assert_ne!(shard_seed(7, 3), shard_seed(7, 4));
+        assert_ne!(shard_seed(7, 3), shard_seed(8, 3));
+    }
+
+    #[test]
+    fn default_shard_size_is_positive() {
+        assert!(default_shard_size() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be positive")]
+    fn zero_shard_size_panics() {
+        let _ = ShardedDataset::with_shard_size(schema(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_row_panics() {
+        let d = ShardedDataset::from_objects(schema(), objects(5), 2).unwrap();
+        let _ = d.row(5);
+    }
+}

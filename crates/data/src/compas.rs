@@ -117,17 +117,17 @@ impl CompasGenerator {
         &self.config
     }
 
-    /// Generate the defendant dataset.
-    ///
-    /// # Panics
-    /// Panics if `num_defendants == 0`.
-    #[must_use]
-    pub fn generate(&self) -> Dataset {
+    /// Drive the generator and hand each finished defendant row to `emit` —
+    /// the shared code path behind the contiguous and shard-by-shard
+    /// builders. Decile assignment needs the population rank of every
+    /// observed score, so the primitive per-defendant draws (race, risk,
+    /// observed score, outcome) are buffered as flat arrays; only the final
+    /// emission pass materializes objects, one at a time.
+    fn generate_rows(&self, mut emit: impl FnMut(DataObject)) {
         assert!(
             self.config.num_defendants > 0,
             "cohort must contain at least one defendant"
         );
-        let schema = Self::schema();
         let c = &self.config;
         let mut rng = StdRng::seed_from_u64(c.seed);
         let weights: Vec<f64> = RACE_GROUPS.iter().map(|(_, share, _)| *share).collect();
@@ -135,7 +135,6 @@ impl CompasGenerator {
         // First pass: latent risk, race, observed (biased) score, outcome.
         let n = c.num_defendants;
         let mut races = Vec::with_capacity(n);
-        let mut risks = Vec::with_capacity(n);
         let mut biased_scores = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
@@ -145,7 +144,6 @@ impl CompasGenerator {
             let observed = normal(&mut rng, risk + bias, c.score_noise);
             let recid = bernoulli(&mut rng, risk);
             races.push(race);
-            risks.push(risk);
             biased_scores.push(observed);
             labels.push(recid);
         }
@@ -163,14 +161,50 @@ impl CompasGenerator {
             deciles[idx] = decile as f64;
         }
 
-        let objects = (0..n)
-            .map(|i| {
-                let mut fairness = vec![0.0; RACE_GROUPS.len()];
-                fairness[races[i]] = 1.0;
-                DataObject::new_unchecked(i as u64, vec![deciles[i]], fairness, Some(labels[i]))
-            })
-            .collect();
-        Dataset::new(schema, objects).expect("generated objects match the schema")
+        // Emission pass: one object at a time, in id order.
+        for i in 0..n {
+            let mut fairness = vec![0.0; RACE_GROUPS.len()];
+            fairness[races[i]] = 1.0;
+            emit(DataObject::new_unchecked(
+                i as u64,
+                vec![deciles[i]],
+                fairness,
+                Some(labels[i]),
+            ));
+        }
+    }
+
+    /// Generate the defendant dataset.
+    ///
+    /// # Panics
+    /// Panics if `num_defendants == 0`.
+    #[must_use]
+    pub fn generate(&self) -> Dataset {
+        let mut dataset = Dataset::with_capacity(Self::schema(), self.config.num_defendants);
+        self.generate_rows(|object| {
+            dataset
+                .push(object)
+                .expect("generated objects match the schema");
+        });
+        dataset
+    }
+
+    /// Generate the defendant dataset **shard by shard**: rows append to a
+    /// [`ShardedDataset`] as they are emitted, bit-for-bit identical to
+    /// [`CompasGenerator::generate`] for the same seed. (The decile pass
+    /// still buffers the flat per-defendant score arrays — deciles are
+    /// population ranks — but no whole-cohort `Vec<DataObject>` is built.)
+    ///
+    /// # Panics
+    /// Panics if `num_defendants == 0` or `shard_size == 0`.
+    #[must_use]
+    pub fn generate_sharded(&self, shard_size: usize) -> ShardedDataset {
+        let mut data = ShardedDataset::with_shard_size(Self::schema(), shard_size);
+        self.generate_rows(|object| {
+            data.push(object)
+                .expect("generated objects match the schema");
+        });
+        data
     }
 }
 
@@ -278,6 +312,20 @@ mod tests {
         let a = generate(1_000, 7);
         let b = generate(1_000, 7);
         assert_eq!(a.row(10), b.row(10));
+    }
+
+    #[test]
+    fn sharded_generation_matches_contiguous_bit_for_bit() {
+        let generator = CompasGenerator::new(CompasConfig::small(1_001, 13));
+        let flat = generator.generate();
+        let sharded = generator.generate_sharded(100);
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.num_shards(), 11);
+        assert_eq!(sharded.shard(10).len(), 1, "non-divisible final shard");
+        for i in 0..flat.len() {
+            assert_eq!(sharded.row(i), flat.row(i), "row {i}");
+        }
+        assert!(sharded.fully_labelled());
     }
 
     #[test]

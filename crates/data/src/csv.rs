@@ -1,4 +1,5 @@
-//! Minimal CSV serialization for [`fair_core::Dataset`].
+//! Minimal CSV serialization for [`fair_core::Dataset`] and streaming
+//! ingestion into [`fair_core::ShardedDataset`].
 //!
 //! The format is self-describing: the header encodes each column's role so a
 //! file can be read back without a separate schema definition.
@@ -10,11 +11,19 @@
 //! ```
 //!
 //! The `label` column is always present; empty cells mean "no label".
+//!
+//! Reading is **streaming**: [`read_csv`] and [`read_csv_sharded`] pull one
+//! line at a time through a [`BufReader`] and append rows directly into the
+//! target container — no whole-file string and no whole-cohort intermediate
+//! `Vec<DataObject>` — so the peak memory of loading an out-of-core-sized
+//! cohort into shards is one shard plus one line. Malformed rows report a
+//! structured location: the 1-based line *and* the 1-based column of the
+//! offending cell.
 
 use fair_core::prelude::*;
 use std::fmt::Write as _;
 use std::fs;
-use std::io;
+use std::io::{self, BufRead, BufReader};
 use std::path::Path;
 
 /// Errors produced by CSV parsing.
@@ -27,6 +36,10 @@ pub enum CsvError {
     Malformed {
         /// 1-based line number, 0 for the header.
         line: usize,
+        /// 1-based column (cell) number of the offending value, when the
+        /// failure is attributable to one cell (`None` e.g. for a wrong cell
+        /// count).
+        column: Option<usize>,
         /// Explanation.
         reason: String,
     },
@@ -38,7 +51,16 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "I/O error: {e}"),
-            Self::Malformed { line, reason } => write!(f, "malformed CSV at line {line}: {reason}"),
+            Self::Malformed {
+                line,
+                column: Some(column),
+                reason,
+            } => write!(f, "malformed CSV at line {line}, column {column}: {reason}"),
+            Self::Malformed {
+                line,
+                column: None,
+                reason,
+            } => write!(f, "malformed CSV at line {line}: {reason}"),
             Self::Dataset(e) => write!(f, "invalid dataset contents: {e}"),
         }
     }
@@ -104,37 +126,34 @@ pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> std::result::Resu
     Ok(())
 }
 
-/// Parse a dataset from a CSV string produced by [`to_csv_string`] (or any
-/// file following the same header convention).
-///
-/// # Errors
-/// Returns an error on malformed input or invalid attribute values.
-pub fn from_csv_string(content: &str) -> std::result::Result<Dataset, CsvError> {
-    let mut lines = content.lines();
-    let header = lines.next().ok_or(CsvError::Malformed {
-        line: 0,
-        reason: "empty file".to_string(),
-    })?;
+/// Column roles in order, used to route values while parsing rows.
+#[derive(Clone, Copy)]
+enum Role {
+    Feature,
+    Fairness,
+}
 
+/// The parsed header: the schema plus the per-column routing table.
+struct CsvLayout {
+    schema: SchemaRef,
+    roles: Vec<Role>,
+    num_columns: usize,
+}
+
+fn parse_header(header: &str) -> std::result::Result<CsvLayout, CsvError> {
     let columns: Vec<&str> = header.split(',').collect();
     if columns.first() != Some(&"id") || columns.last() != Some(&"label") {
         return Err(CsvError::Malformed {
             line: 0,
+            column: None,
             reason: "header must start with `id` and end with `label`".to_string(),
         });
     }
-
     let mut features = Vec::new();
     let mut binary = Vec::new();
     let mut continuous = Vec::new();
-    // Column roles in order, used to route values while parsing rows.
-    #[derive(Clone, Copy)]
-    enum Role {
-        Feature,
-        Fairness,
-    }
     let mut roles = Vec::new();
-    for col in &columns[1..columns.len() - 1] {
+    for (i, col) in columns[1..columns.len() - 1].iter().enumerate() {
         if let Some(name) = col.strip_prefix("feature:") {
             features.push(name);
             roles.push(Role::Feature);
@@ -147,65 +166,167 @@ pub fn from_csv_string(content: &str) -> std::result::Result<Dataset, CsvError> 
         } else {
             return Err(CsvError::Malformed {
                 line: 0,
+                column: Some(i + 2),
                 reason: format!("unknown column kind `{col}`"),
             });
         }
     }
     let schema = Schema::from_names(&features, &binary, &continuous)?;
-
-    let mut dataset = Dataset::empty(schema.clone());
-    for (line_no, line) in lines.enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let cells: Vec<&str> = line.split(',').collect();
-        if cells.len() != columns.len() {
-            return Err(CsvError::Malformed {
-                line: line_no + 1,
-                reason: format!("expected {} cells, found {}", columns.len(), cells.len()),
-            });
-        }
-        let id: u64 = cells[0].trim().parse().map_err(|_| CsvError::Malformed {
-            line: line_no + 1,
-            reason: format!("invalid id `{}`", cells[0]),
-        })?;
-        let mut feat = Vec::with_capacity(schema.num_features());
-        let mut fair = Vec::with_capacity(schema.num_fairness());
-        for (cell, role) in cells[1..cells.len() - 1].iter().zip(&roles) {
-            let v: f64 = cell.trim().parse().map_err(|_| CsvError::Malformed {
-                line: line_no + 1,
-                reason: format!("invalid number `{cell}`"),
-            })?;
-            match role {
-                Role::Feature => feat.push(v),
-                Role::Fairness => fair.push(v),
-            }
-        }
-        let label_cell = cells[cells.len() - 1].trim();
-        let label = match label_cell {
-            "" => None,
-            "true" | "1" => Some(true),
-            "false" | "0" => Some(false),
-            other => {
-                return Err(CsvError::Malformed {
-                    line: line_no + 1,
-                    reason: format!("invalid label `{other}`"),
-                })
-            }
-        };
-        let object = DataObject::new(&schema, id, feat, fair, label)?;
-        dataset.push(object)?;
-    }
-    Ok(dataset)
+    Ok(CsvLayout {
+        schema,
+        roles,
+        num_columns: columns.len(),
+    })
 }
 
-/// Read a dataset from a CSV file.
+/// Parse one data row against the header layout. `line_no` is 1-based.
+fn parse_row(
+    layout: &CsvLayout,
+    line: &str,
+    line_no: usize,
+) -> std::result::Result<DataObject, CsvError> {
+    let cells: Vec<&str> = line.split(',').collect();
+    if cells.len() != layout.num_columns {
+        return Err(CsvError::Malformed {
+            line: line_no,
+            column: None,
+            reason: format!(
+                "expected {} cells, found {}",
+                layout.num_columns,
+                cells.len()
+            ),
+        });
+    }
+    let id: u64 = cells[0].trim().parse().map_err(|_| CsvError::Malformed {
+        line: line_no,
+        column: Some(1),
+        reason: format!("invalid id `{}`", cells[0]),
+    })?;
+    let mut feat = Vec::with_capacity(layout.schema.num_features());
+    let mut fair = Vec::with_capacity(layout.schema.num_fairness());
+    for (i, (cell, role)) in cells[1..cells.len() - 1]
+        .iter()
+        .zip(&layout.roles)
+        .enumerate()
+    {
+        let v: f64 = cell.trim().parse().map_err(|_| CsvError::Malformed {
+            line: line_no,
+            column: Some(i + 2),
+            reason: format!("invalid number `{cell}`"),
+        })?;
+        match role {
+            Role::Feature => feat.push(v),
+            Role::Fairness => fair.push(v),
+        }
+    }
+    let label_cell = cells[cells.len() - 1].trim();
+    let label = match label_cell {
+        "" => None,
+        "true" | "1" => Some(true),
+        "false" | "0" => Some(false),
+        other => {
+            return Err(CsvError::Malformed {
+                line: line_no,
+                column: Some(cells.len()),
+                reason: format!("invalid label `{other}`"),
+            })
+        }
+    };
+    Ok(DataObject::new(&layout.schema, id, feat, fair, label)?)
+}
+
+/// Read and parse the header line from an opened reader.
+fn read_header<R: BufRead>(reader: &mut R) -> std::result::Result<CsvLayout, CsvError> {
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Err(CsvError::Malformed {
+            line: 0,
+            column: None,
+            reason: "empty file".to_string(),
+        });
+    }
+    parse_header(first.trim_end_matches(['\r', '\n']))
+}
+
+/// Parse a dataset from a CSV string produced by [`to_csv_string`] (or any
+/// file following the same header convention). Shares the streaming driver
+/// with [`read_csv`] (a `&[u8]` is a [`BufRead`]).
+///
+/// # Errors
+/// Returns an error on malformed input or invalid attribute values.
+pub fn from_csv_string(content: &str) -> std::result::Result<Dataset, CsvError> {
+    read_dataset(content.as_bytes())
+}
+
+/// Read a dataset from a CSV file, streaming line by line through a
+/// [`BufReader`] (the file is never held in memory as a whole).
 ///
 /// # Errors
 /// Returns an error on I/O failure, malformed input, or invalid values.
 pub fn read_csv(path: impl AsRef<Path>) -> std::result::Result<Dataset, CsvError> {
-    let content = fs::read_to_string(path)?;
-    from_csv_string(&content)
+    read_dataset(BufReader::new(fs::File::open(path)?))
+}
+
+/// The single contiguous-dataset reader behind [`from_csv_string`] and
+/// [`read_csv`].
+fn read_dataset<R: BufRead>(mut reader: R) -> std::result::Result<Dataset, CsvError> {
+    let layout = read_header(&mut reader)?;
+    let mut dataset = Dataset::empty(layout.schema.clone());
+    stream_rows(reader, &layout, |object| {
+        dataset.push(object)?;
+        Ok(())
+    })?;
+    Ok(dataset)
+}
+
+/// Read a cohort from a CSV file **directly into shards**: rows stream
+/// through a [`BufReader`] and append to a [`ShardedDataset`] with the given
+/// shard size, so peak transient memory is one line plus the shard being
+/// filled — the out-of-core ingestion path.
+///
+/// # Errors
+/// Returns an error on I/O failure, malformed input, or invalid values.
+///
+/// # Panics
+/// Panics if `shard_size == 0`.
+pub fn read_csv_sharded(
+    path: impl AsRef<Path>,
+    shard_size: usize,
+) -> std::result::Result<ShardedDataset, CsvError> {
+    let mut reader = BufReader::new(fs::File::open(path)?);
+    let layout = read_header(&mut reader)?;
+    let mut sharded = ShardedDataset::with_shard_size(layout.schema.clone(), shard_size);
+    stream_rows(reader, &layout, |object| {
+        sharded.push(object)?;
+        Ok(())
+    })?;
+    Ok(sharded)
+}
+
+/// Drive the streaming row loop over an opened reader, reusing one line
+/// buffer for the whole file.
+fn stream_rows<R: BufRead, S>(
+    mut reader: R,
+    layout: &CsvLayout,
+    mut sink: S,
+) -> std::result::Result<(), CsvError>
+where
+    S: FnMut(DataObject) -> std::result::Result<(), CsvError>,
+{
+    let mut buf = String::new();
+    let mut line_no = 0_usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            return Ok(());
+        }
+        line_no += 1;
+        let line = buf.trim_end_matches(['\r', '\n']);
+        if line.trim().is_empty() {
+            continue;
+        }
+        sink(parse_row(layout, line, line_no)?)?;
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +378,39 @@ mod tests {
         write_csv(&original, &path).unwrap();
         let parsed = read_csv(&path).unwrap();
         assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.iter().zip(original.iter()) {
+            assert_eq!(a, b, "streaming reader must reproduce every row");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn sharded_file_read_matches_flat_read() {
+        let dir = std::env::temp_dir().join("fair_data_csv_shard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cohort.csv");
+        let schema = Schema::from_names(&["x"], &["g"], &[]).unwrap();
+        let objects = (0..23_u64)
+            .map(|i| {
+                DataObject::new_unchecked(
+                    i,
+                    vec![i as f64],
+                    vec![f64::from(u8::from(i % 3 == 0))],
+                    Some(i % 2 == 0),
+                )
+            })
+            .collect();
+        let original = Dataset::new(schema, objects).unwrap();
+        write_csv(&original, &path).unwrap();
+
+        let flat = read_csv(&path).unwrap();
+        let sharded = read_csv_sharded(&path, 7).unwrap();
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.num_shards(), 4, "23 rows / shard size 7");
+        assert_eq!(sharded.shard(3).len(), 2, "non-divisible final shard");
+        for i in 0..flat.len() {
+            assert_eq!(sharded.row(i), flat.row(i), "row {i}");
+        }
         std::fs::remove_file(path).unwrap();
     }
 
@@ -273,7 +427,14 @@ mod tests {
         let err = from_csv_string("name,feature:x,label\n");
         assert!(matches!(err, Err(CsvError::Malformed { line: 0, .. })));
         let err = from_csv_string("id,mystery:x,label\n");
-        assert!(matches!(err, Err(CsvError::Malformed { line: 0, .. })));
+        assert!(matches!(
+            err,
+            Err(CsvError::Malformed {
+                line: 0,
+                column: Some(2),
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -281,7 +442,48 @@ mod tests {
         let text = "id,feature:x,fairness_binary:g,label\n0,1.0,1\n";
         assert!(matches!(
             from_csv_string(text),
-            Err(CsvError::Malformed { line: 1, .. })
+            Err(CsvError::Malformed {
+                line: 1,
+                column: None,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn malformed_cells_report_line_and_column() {
+        // Row 2, third cell (the fairness value) is not a number.
+        let text = "id,feature:x,fairness_binary:g,label\n0,1.0,1,\n1,2.0,abc,\n";
+        match from_csv_string(text) {
+            Err(CsvError::Malformed {
+                line,
+                column,
+                reason,
+            }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, Some(3));
+                assert!(reason.contains("abc"), "{reason}");
+            }
+            other => panic!("expected a structured malformed error, got {other:?}"),
+        }
+        // Bad id: column 1; bad label: last column.
+        let bad_id = "id,feature:x,fairness_binary:g,label\nxyz,1.0,1,\n";
+        assert!(matches!(
+            from_csv_string(bad_id),
+            Err(CsvError::Malformed {
+                line: 1,
+                column: Some(1),
+                ..
+            })
+        ));
+        let bad_label = "id,feature:x,fairness_binary:g,label\n0,1.0,1,maybe\n";
+        assert!(matches!(
+            from_csv_string(bad_label),
+            Err(CsvError::Malformed {
+                line: 1,
+                column: Some(4),
+                ..
+            })
         ));
     }
 
@@ -320,9 +522,17 @@ mod tests {
     fn error_display_is_informative() {
         let e = CsvError::Malformed {
             line: 3,
+            column: Some(2),
             reason: "boom".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("column 2"));
+        let e = CsvError::Malformed {
+            line: 3,
+            column: None,
+            reason: "boom".into(),
+        };
+        assert!(!e.to_string().contains("column"));
         let e = CsvError::Dataset(FairError::EmptyDataset);
         assert!(e.to_string().contains("invalid dataset"));
     }

@@ -22,7 +22,7 @@
 //! | [`distributions`] | seeded samplers (normal via Box–Muller, Bernoulli, clamped helpers) |
 //! | [`school`] | the NYC-school-like cohort generator (Section V-A of the paper) |
 //! | [`compas`] | the COMPAS-like defendant generator |
-//! | [`csv`] | minimal CSV reading/writing for [`fair_core::Dataset`] |
+//! | [`csv`] | CSV writing plus streaming readers into [`fair_core::Dataset`] / [`fair_core::ShardedDataset`] |
 //! | [`split`] | train/test and per-district splitting |
 //! | [`stats`] | dataset summary statistics used by reports and examples |
 
@@ -38,6 +38,7 @@ pub mod split;
 pub mod stats;
 
 pub use compas::{CompasConfig, CompasGenerator, RACE_GROUPS};
-pub use school::{SchoolConfig, SchoolGenerator, SCHOOL_DISTRICTS};
+pub use csv::{read_csv, read_csv_sharded, write_csv, CsvError};
+pub use school::{SchoolConfig, SchoolGenerator, ShardedSchoolCohort, SCHOOL_DISTRICTS};
 pub use split::{holdout_split, stratified_split};
 pub use stats::DatasetSummary;

@@ -139,10 +139,41 @@ impl SchoolCohort {
     }
 }
 
+/// A cohort generated straight into the sharded column store: the sharded
+/// dataset plus each student's district assignment (parallel to global row
+/// order).
+#[derive(Debug, Clone)]
+pub struct ShardedSchoolCohort {
+    data: ShardedDataset,
+    districts: Vec<u16>,
+}
+
+impl ShardedSchoolCohort {
+    /// The sharded cohort.
+    #[must_use]
+    pub fn dataset(&self) -> &ShardedDataset {
+        &self.data
+    }
+
+    /// Consume the cohort and return the sharded dataset.
+    #[must_use]
+    pub fn into_dataset(self) -> ShardedDataset {
+        self.data
+    }
+
+    /// District assignment of each student, in global row order.
+    #[must_use]
+    pub fn districts(&self) -> &[u16] {
+        &self.districts
+    }
+}
+
 /// The generator itself. Construct with a [`SchoolConfig`], then call
-/// [`SchoolGenerator::generate`] (one cohort) or
-/// [`SchoolGenerator::train_test_cohorts`] (two cohorts with different seeds,
-/// modelling consecutive academic years as in the paper).
+/// [`SchoolGenerator::generate`] (one cohort),
+/// [`SchoolGenerator::generate_sharded`] (the same cohort emitted
+/// shard-by-shard), or [`SchoolGenerator::train_test_cohorts`] (two cohorts
+/// with different seeds, modelling consecutive academic years as in the
+/// paper).
 #[derive(Debug, Clone)]
 pub struct SchoolGenerator {
     config: SchoolConfig,
@@ -203,21 +234,17 @@ impl SchoolGenerator {
         (center - 0.2 + 0.4 * position).clamp(0.05, 0.95)
     }
 
-    /// Generate one cohort.
-    ///
-    /// # Panics
-    /// Panics if `num_students == 0`.
-    #[must_use]
-    pub fn generate(&self) -> SchoolCohort {
+    /// Drive the row generator, handing each student (and their district) to
+    /// `emit` as soon as it is drawn — the single code path behind both the
+    /// contiguous and the shard-by-shard cohort builders, so they are
+    /// row-for-row (bit-for-bit) identical for the same seed.
+    fn generate_rows(&self, mut emit: impl FnMut(DataObject, u16)) {
         assert!(
             self.config.num_students > 0,
             "cohort must contain at least one student"
         );
-        let schema = Self::schema();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let c = &self.config;
-        let mut objects = Vec::with_capacity(c.num_students);
-        let mut districts = Vec::with_capacity(c.num_students);
 
         for id in 0..c.num_students as u64 {
             let district = rng.gen_range(0..SCHOOL_DISTRICTS as u16);
@@ -260,17 +287,49 @@ impl SchoolGenerator {
                 f64::from(u8::from(special_ed)),
                 eni,
             ];
-            objects.push(DataObject::new_unchecked(
-                id,
-                vec![gpa, test],
-                fairness,
-                None,
-            ));
-            districts.push(district);
+            emit(
+                DataObject::new_unchecked(id, vec![gpa, test], fairness, None),
+                district,
+            );
         }
+    }
 
-        let dataset = Dataset::new(schema, objects).expect("generated objects match the schema");
+    /// Generate one cohort.
+    ///
+    /// # Panics
+    /// Panics if `num_students == 0`.
+    #[must_use]
+    pub fn generate(&self) -> SchoolCohort {
+        let c = &self.config;
+        let mut dataset = Dataset::with_capacity(Self::schema(), c.num_students);
+        let mut districts = Vec::with_capacity(c.num_students);
+        self.generate_rows(|object, district| {
+            dataset
+                .push(object)
+                .expect("generated objects match the schema");
+            districts.push(district);
+        });
         SchoolCohort { dataset, districts }
+    }
+
+    /// Generate one cohort **shard by shard**: each student is appended to a
+    /// [`ShardedDataset`] the moment it is drawn, so no whole-cohort
+    /// `Vec<DataObject>` ever exists and the peak transient memory is one
+    /// shard. Rows are bit-for-bit identical to [`SchoolGenerator::generate`]
+    /// for the same seed.
+    ///
+    /// # Panics
+    /// Panics if `num_students == 0` or `shard_size == 0`.
+    #[must_use]
+    pub fn generate_sharded(&self, shard_size: usize) -> ShardedSchoolCohort {
+        let mut data = ShardedDataset::with_shard_size(Self::schema(), shard_size);
+        let mut districts = Vec::with_capacity(self.config.num_students);
+        self.generate_rows(|object, district| {
+            data.push(object)
+                .expect("generated objects match the schema");
+            districts.push(district);
+        });
+        ShardedSchoolCohort { data, districts }
     }
 
     /// Generate a training cohort and a test cohort from consecutive seeds —
@@ -399,6 +458,21 @@ mod tests {
                 assert!((0.0..=100.0).contains(f));
             }
         }
+    }
+
+    #[test]
+    fn sharded_generation_matches_contiguous_bit_for_bit() {
+        let generator = SchoolGenerator::new(SchoolConfig::small(1_000, 17));
+        let flat = generator.generate();
+        let sharded = generator.generate_sharded(64);
+        assert_eq!(sharded.dataset().len(), flat.dataset().len());
+        assert_eq!(sharded.dataset().num_shards(), 16, "1000 rows / 64");
+        assert_eq!(sharded.districts(), flat.districts());
+        for i in 0..flat.dataset().len() {
+            assert_eq!(sharded.dataset().row(i), flat.dataset().row(i), "row {i}");
+        }
+        let back = sharded.into_dataset().to_dataset();
+        assert_eq!(back.len(), 1_000);
     }
 
     #[test]
