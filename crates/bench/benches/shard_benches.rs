@@ -17,7 +17,7 @@ const BONUS: [f64; 4] = [1.0, 10.0, 12.0, 12.0];
 fn cohorts(n: usize) -> (Dataset, ShardedDataset) {
     let generator = SchoolGenerator::new(SchoolConfig::small(n, 7));
     let flat = generator.generate().into_dataset();
-    let sharded = ShardedDataset::from_dataset(&flat, SHARD_SIZE);
+    let sharded = ShardedDataset::from_dataset(&flat, SHARD_SIZE).unwrap();
     (flat, sharded)
 }
 
@@ -81,7 +81,15 @@ fn generation(c: &mut Criterion) {
         b.iter(|| black_box(generator.generate().into_dataset().len()));
     });
     group.bench_function("shard_by_shard", |b| {
-        b.iter(|| black_box(generator.generate_sharded(SHARD_SIZE).into_dataset().len()));
+        b.iter(|| {
+            black_box(
+                generator
+                    .generate_sharded(SHARD_SIZE)
+                    .unwrap()
+                    .into_dataset()
+                    .len(),
+            )
+        });
     });
     group.finish();
 }

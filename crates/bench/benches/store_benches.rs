@@ -1,0 +1,103 @@
+//! Criterion benchmarks for the out-of-core store: whole-cohort metric
+//! evaluation through the in-memory sharded engine vs the disk-paged
+//! `ShardStore` at several cache budgets, plus raw ingest (write) and
+//! page-in (read) throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_core::metrics::sharded as shmetrics;
+use fair_core::prelude::*;
+use fair_data::store::school_to_store;
+use fair_data::{SchoolConfig, SchoolGenerator};
+use fair_store::{column_bytes, ShardStore};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SHARD_SIZE: usize = 2 * 1024;
+const BONUS: [f64; 4] = [1.0, 10.0, 12.0, 12.0];
+
+fn store_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fair_store_bench_{tag}_{}.fss", std::process::id()))
+}
+
+/// In-memory sharded engine vs the paged store at descending cache budgets:
+/// the cost of out-of-core evaluation is the page-in work the budget forces.
+fn memory_vs_paged_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/metrics_e2e");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(5));
+    let n = 50_000;
+    let generator = SchoolGenerator::new(SchoolConfig::small(n, 7));
+    let path = store_path("metrics");
+    school_to_store(&generator, SHARD_SIZE, &path).expect("write store");
+    let mem = generator
+        .generate_sharded(SHARD_SIZE)
+        .expect("positive shard size")
+        .into_dataset();
+    let rubric = SchoolGenerator::rubric();
+    let shard_bytes = column_bytes(mem.shard(0).data());
+    let total_bytes: usize = (0..mem.num_shards())
+        .map(|i| column_bytes(mem.shard(i).data()))
+        .sum();
+
+    group.bench_function(BenchmarkId::new("disparity_at_k", "memory"), |b| {
+        b.iter(|| black_box(shmetrics::disparity_at_k(&mem, &rubric, &BONUS, 0.05).unwrap()));
+    });
+    let budgets = [
+        ("cache_all", usize::MAX),
+        ("cache_half", total_bytes / 2),
+        ("cache_2_shards", 2 * shard_bytes + shard_bytes / 2),
+    ];
+    for (label, budget) in budgets {
+        let store = ShardStore::open_with_budget(&path, budget).expect("open store");
+        group.bench_function(BenchmarkId::new("disparity_at_k", label), |b| {
+            b.iter(|| black_box(shmetrics::disparity_at_k(&store, &rubric, &BONUS, 0.05).unwrap()));
+        });
+    }
+    group.bench_function(BenchmarkId::new("ndcg_at_k", "memory"), |b| {
+        b.iter(|| black_box(shmetrics::ndcg_at_k(&mem, &rubric, &BONUS, 0.05).unwrap()));
+    });
+    for (label, budget) in budgets {
+        let store = ShardStore::open_with_budget(&path, budget).expect("open store");
+        group.bench_function(BenchmarkId::new("ndcg_at_k", label), |b| {
+            b.iter(|| black_box(shmetrics::ndcg_at_k(&store, &rubric, &BONUS, 0.05).unwrap()));
+        });
+    }
+    group.finish();
+    std::fs::remove_file(path).ok();
+}
+
+/// Raw store I/O: streaming a generated cohort onto disk, and paging every
+/// shard back through a cold cache.
+fn ingest_and_page_in(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/io");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let n = 20_000;
+    let generator = SchoolGenerator::new(SchoolConfig::small(n, 7));
+    let path = store_path("io");
+
+    group.bench_function("write_streaming", |b| {
+        b.iter(|| {
+            let summary = school_to_store(&generator, SHARD_SIZE, &path).expect("write store");
+            black_box(summary.rows)
+        });
+    });
+
+    school_to_store(&generator, SHARD_SIZE, &path).expect("write store");
+    group.bench_function("page_in_cold", |b| {
+        b.iter(|| {
+            // Budget 0: every access decodes from disk (no retention).
+            let store = ShardStore::open_with_budget(&path, 0).expect("open store");
+            let rows = store.reduce_shards(0_usize, |shard| shard.len(), |acc, l| acc + l);
+            black_box(rows)
+        });
+    });
+    group.finish();
+    std::fs::remove_file(path).ok();
+}
+
+criterion_group!(benches, memory_vs_paged_metrics, ingest_and_page_in);
+criterion_main!(benches);

@@ -145,6 +145,14 @@ fn main() {
                     .render()
             }),
         ),
+        (
+            "Out-of-core store",
+            Box::new(|| {
+                out_of_core::run_out_of_core(&scale)
+                    .expect("Out-of-core store failed")
+                    .render()
+            }),
+        ),
     ];
 
     // In-order streaming: slot results by index and advance a print

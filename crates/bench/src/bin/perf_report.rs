@@ -2,9 +2,10 @@
 //! `BENCH_DCA.json` perf trajectory at the repository root.
 //!
 //! ```text
-//! cargo run --release -p fair-bench --bin perf_report            # 10k/100k/1M
-//! cargo run --release -p fair-bench --bin perf_report -- --quick # 10k only (CI)
+//! cargo run --release -p fair-bench --bin perf_report              # 10k/100k/1M
+//! cargo run --release -p fair-bench --bin perf_report -- --quick   # 10k only (CI)
 //! cargo run --release -p fair-bench --bin perf_report -- --out p.json
+//! cargo run --release -p fair-bench --bin perf_report -- --repeats 5
 //! ```
 //!
 //! For each synthetic school cohort the report times:
@@ -17,7 +18,16 @@
 //! * the same whole-cohort metrics **end to end** (score → rank → measure)
 //!   through the serial path and through the shard-wise parallel engine
 //!   (`metrics_serial_e2e_ms` / `metrics_sharded_ms` /
-//!   `metrics_sharded_speedup`, plus the shard layout and worker count).
+//!   `metrics_sharded_speedup`, plus the shard layout and worker count),
+//! * the **out-of-core path**: the cohort written to an on-disk `fair-store`
+//!   file and the same metrics evaluated through the paged shard cache at a
+//!   quarter-cohort budget, with the cache hit/miss/eviction/peak counters
+//!   recorded alongside (`out_of_core` in the JSON).
+//!
+//! Every timing is the **median of `--repeats` runs** (default 3; recorded
+//! in the JSON as `repeats`) — the 1M Core-DCA timing is bimodal ±30%
+//! run-to-run on some boxes, and a median absorbs that where a single run or
+//! a best-of can land on either mode.
 //!
 //! The summary line checks the headline claim directly: Core DCA's per-step
 //! time at the largest cohort must stay within 2x of the 10k per-step time.
@@ -26,7 +36,9 @@ use fair_bench::datasets::ExperimentScale;
 use fair_core::metrics::sharded as shmetrics;
 use fair_core::metrics::{disparity_at_k, log_discounted_disparity, ndcg_at_k, LogDiscountConfig};
 use fair_core::prelude::*;
+use fair_data::store::school_to_store;
 use fair_data::{SchoolConfig, SchoolGenerator};
+use fair_store::{column_bytes, CacheStats, ShardStore};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -53,6 +65,22 @@ struct CohortReport {
     serial_e2e: MetricTriple,
     /// Shard-wise end-to-end per metric, ms.
     sharded_e2e: MetricTriple,
+    /// Out-of-core numbers: the cohort evaluated from its on-disk store.
+    out_of_core: OutOfCoreReport,
+}
+
+/// Timings and cache behaviour of the paged (on-disk) evaluation.
+struct OutOfCoreReport {
+    /// One-off cost of streaming the cohort onto disk.
+    store_write_ms: f64,
+    /// Cache byte budget the paged evaluation ran under.
+    budget_bytes: usize,
+    /// disparity@k end-to-end over the store, ms (median).
+    disparity_ms: f64,
+    /// nDCG@k end-to-end over the store, ms (median).
+    ndcg_ms: f64,
+    /// Cumulative cache counters after the timed runs.
+    cache: CacheStats,
 }
 
 /// `(disparity@k, log-discounted, nDCG@k)` timings in milliseconds.
@@ -86,18 +114,24 @@ fn full_config() -> DcaConfig {
     }
 }
 
-/// Best-of-`reps` wall-clock time of `routine`, in milliseconds.
-fn time_best<T>(reps: usize, mut routine: impl FnMut() -> T) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        std::hint::black_box(routine());
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    best
+/// Median-of-`reps` wall-clock time of `routine`, in milliseconds. A median
+/// (unlike a best-of) is stable when a timing is bimodal — the 1M Core-DCA
+/// run flips between two modes ±30% apart on some boxes — while still
+/// shrugging off one-off scheduler stalls.
+fn time_median<T>(reps: usize, mut routine: impl FnMut() -> T) -> f64 {
+    assert!(reps > 0, "at least one repetition required");
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
 }
 
-fn measure_cohort(n: usize) -> CohortReport {
+fn measure_cohort(n: usize, reps: usize) -> CohortReport {
     let rubric = SchoolGenerator::rubric();
     let objective = TopKDisparity::new(0.05);
     let sample_size = ExperimentScale::default_scale().dca_sample_size;
@@ -109,9 +143,9 @@ fn measure_cohort(n: usize) -> CohortReport {
     let generate_ms = gen_start.elapsed().as_secs_f64() * 1e3;
 
     // Core DCA: one untimed warm-up run primes the scratch buffers and
-    // caches, then best-of-7 timed runs (each a complete 500-step descent) —
-    // the minimum filters out scheduler and frequency-scaling noise, which
-    // otherwise dominates a few-ms measurement.
+    // caches, then median-of-`reps` timed runs (each a complete 500-step
+    // descent) — the median filters scheduler noise and bimodal flips, which
+    // otherwise dominate a few-ms measurement.
     let mut scratch = DcaScratch::new();
     let config = core_config(sample_size);
     let mut run_core = || {
@@ -127,7 +161,7 @@ fn measure_cohort(n: usize) -> CohortReport {
         .expect("core DCA run")
     };
     let outcome = run_core();
-    let core_total_ms = time_best(7, &mut run_core);
+    let core_total_ms = time_median(reps, &mut run_core);
     let core_steps = outcome.steps;
     let core_objects_scored = outcome.objects_scored;
 
@@ -147,7 +181,7 @@ fn measure_cohort(n: usize) -> CohortReport {
         .expect("full DCA run")
     };
     let full_outcome = run_full();
-    let full_total_ms = time_best(2, &mut run_full);
+    let full_total_ms = time_median(reps, &mut run_full);
     let full_steps = full_outcome.steps;
 
     // Single-metric evaluations on the full cohort.
@@ -155,12 +189,12 @@ fn measure_cohort(n: usize) -> CohortReport {
     let bonus = vec![1.0, 10.0, 12.0, 12.0];
     let scores = effective_scores(&view, &rubric, &bonus);
     let ranking = RankedSelection::from_scores(scores);
-    let disparity_ms = time_best(3, || disparity_at_k(&view, &ranking, 0.05).unwrap());
+    let disparity_ms = time_median(reps, || disparity_at_k(&view, &ranking, 0.05).unwrap());
     let log_cfg = LogDiscountConfig::default();
-    let log_discounted_ms = time_best(3, || {
+    let log_discounted_ms = time_median(reps, || {
         log_discounted_disparity(&view, &ranking, &log_cfg).unwrap()
     });
-    let ndcg_ms = time_best(3, || ndcg_at_k(&view, &rubric, &ranking, 0.05).unwrap());
+    let ndcg_ms = time_median(reps, || ndcg_at_k(&view, &rubric, &ranking, 0.05).unwrap());
 
     // Serial vs shard-wise end-to-end metric evaluation (score → rank →
     // measure). The serial side is the pre-refactor whole-cohort path: a
@@ -168,32 +202,64 @@ fn measure_cohort(n: usize) -> CohortReport {
     // side is the shard-wise engine (per-shard scoring kernels + partial
     // selection + ordered combine).
     let serial_e2e = MetricTriple {
-        disparity_ms: time_best(3, || {
+        disparity_ms: time_median(reps, || {
             let ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &bonus));
             disparity_at_k(&view, &ranking, 0.05).unwrap()
         }),
-        log_discounted_ms: time_best(3, || {
+        log_discounted_ms: time_median(reps, || {
             let ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &bonus));
             log_discounted_disparity(&view, &ranking, &log_cfg).unwrap()
         }),
-        ndcg_ms: time_best(3, || {
+        ndcg_ms: time_median(reps, || {
             let ranking = RankedSelection::from_scores(effective_scores(&view, &rubric, &bonus));
             ndcg_at_k(&view, &rubric, &ranking, 0.05).unwrap()
         }),
     };
     let shard_size = fair_core::default_shard_size();
-    let sharded = ShardedDataset::from_dataset(&dataset, shard_size);
+    let sharded = ShardedDataset::from_dataset(&dataset, shard_size).expect("positive shard size");
     let sharded_e2e = MetricTriple {
-        disparity_ms: time_best(3, || {
+        disparity_ms: time_median(reps, || {
             shmetrics::disparity_at_k(&sharded, &rubric, &bonus, 0.05).unwrap()
         }),
-        log_discounted_ms: time_best(3, || {
+        log_discounted_ms: time_median(reps, || {
             shmetrics::log_discounted_disparity(&sharded, &rubric, &bonus, &log_cfg).unwrap()
         }),
-        ndcg_ms: time_best(3, || {
+        ndcg_ms: time_median(reps, || {
             shmetrics::ndcg_at_k(&sharded, &rubric, &bonus, 0.05).unwrap()
         }),
     };
+
+    // Out-of-core: stream the same cohort onto disk, then evaluate through
+    // the paged shard cache at a quarter-cohort budget (clamped so the
+    // worker pool's pinned working set always fits).
+    let generator = SchoolGenerator::new(SchoolConfig::small(n, 42));
+    let store_path =
+        std::env::temp_dir().join(format!("fair_perf_report_{n}_{}.fss", std::process::id()));
+    let write_start = Instant::now();
+    school_to_store(&generator, shard_size, &store_path).expect("write cohort store");
+    let store_write_ms = write_start.elapsed().as_secs_f64() * 1e3;
+    let shard_bytes = column_bytes(sharded.shard(0).data());
+    let total_column_bytes: usize = (0..sharded.num_shards())
+        .map(|i| column_bytes(sharded.shard(i).data()))
+        .sum();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let budget_bytes = (total_column_bytes / 4).max((workers + 1) * shard_bytes);
+    let store = ShardStore::open_with_budget(&store_path, budget_bytes).expect("open cohort store");
+    let out_of_core = OutOfCoreReport {
+        store_write_ms,
+        budget_bytes,
+        disparity_ms: time_median(reps, || {
+            shmetrics::disparity_at_k(&store, &rubric, &bonus, 0.05).unwrap()
+        }),
+        ndcg_ms: time_median(reps, || {
+            shmetrics::ndcg_at_k(&store, &rubric, &bonus, 0.05).unwrap()
+        }),
+        cache: store.cache_stats(),
+    };
+    drop(store);
+    std::fs::remove_file(&store_path).ok();
 
     CohortReport {
         n,
@@ -214,6 +280,7 @@ fn measure_cohort(n: usize) -> CohortReport {
         num_shards: sharded.num_shards(),
         serial_e2e,
         sharded_e2e,
+        out_of_core,
     }
 }
 
@@ -225,15 +292,16 @@ fn json_number(v: f64) -> String {
     }
 }
 
-fn render_json(mode: &str, reports: &[CohortReport], ratio: Option<f64>) -> String {
+fn render_json(mode: &str, reps: usize, reports: &[CohortReport], ratio: Option<f64>) -> String {
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 2,");
+    let _ = writeln!(s, "  \"schema_version\": 3,");
     let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"repeats\": {reps},");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let sample_size = reports.first().map_or(0, |r| r.sample_size);
     let _ = writeln!(s, "  \"core_sample_size\": {sample_size},");
@@ -286,10 +354,23 @@ fn render_json(mode: &str, reports: &[CohortReport], ratio: Option<f64>) -> Stri
         );
         let _ = writeln!(
             s,
-            "      \"metrics_sharded_speedup\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }}",
+            "      \"metrics_sharded_speedup\": {{ \"disparity_at_k\": {}, \"log_discounted\": {}, \"ndcg_at_k\": {} }},",
             json_number(r.serial_e2e.disparity_ms / r.sharded_e2e.disparity_ms),
             json_number(r.serial_e2e.log_discounted_ms / r.sharded_e2e.log_discounted_ms),
             json_number(r.serial_e2e.ndcg_ms / r.sharded_e2e.ndcg_ms),
+        );
+        let o = &r.out_of_core;
+        let _ = writeln!(
+            s,
+            "      \"out_of_core\": {{ \"store_write_ms\": {}, \"budget_bytes\": {}, \"disparity_at_k_ms\": {}, \"ndcg_at_k_ms\": {}, \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"peak_bytes\": {} }} }}",
+            json_number(o.store_write_ms),
+            o.budget_bytes,
+            json_number(o.disparity_ms),
+            json_number(o.ndcg_ms),
+            o.cache.hits,
+            o.cache.misses,
+            o.cache.evictions,
+            o.cache.peak_bytes,
         );
         s.push_str(if i + 1 == reports.len() {
             "    }\n"
@@ -325,6 +406,13 @@ fn default_output_path() -> std::path::PathBuf {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let reps = args
+        .iter()
+        .position(|a| a == "--repeats")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(3);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -339,7 +427,9 @@ fn main() {
     };
     let mode = if quick { "quick" } else { "full" };
 
-    println!("perf_report — Core DCA / Full DCA / metric timings ({mode} mode)\n");
+    println!(
+        "perf_report — Core DCA / Full DCA / metric timings ({mode} mode, median of {reps})\n"
+    );
     println!(
         "{:>9}  {:>12} {:>14} {:>16}  {:>14}  {:>12} {:>14} {:>10}",
         "cohort",
@@ -354,7 +444,7 @@ fn main() {
 
     let mut reports = Vec::new();
     for &n in sizes {
-        let r = measure_cohort(n);
+        let r = measure_cohort(n, reps);
         println!(
             "{:>9}  {:>10.2}ms {:>12.2}us {:>14.0}/s  {:>12.2}ms  {:>10.3}ms {:>12.3}ms {:>8.3}ms",
             r.n,
@@ -378,6 +468,18 @@ fn main() {
             r.sharded_e2e.ndcg_ms,
             r.serial_e2e.ndcg_ms / r.sharded_e2e.ndcg_ms,
         );
+        println!(
+            "{:>9}  out-of-core (budget {} KiB): write {:.1}ms, disparity {:.3}ms, nDCG {:.3}ms; cache {}h/{}m/{}e, peak {} KiB",
+            "",
+            r.out_of_core.budget_bytes / 1024,
+            r.out_of_core.store_write_ms,
+            r.out_of_core.disparity_ms,
+            r.out_of_core.ndcg_ms,
+            r.out_of_core.cache.hits,
+            r.out_of_core.cache.misses,
+            r.out_of_core.cache.evictions,
+            r.out_of_core.cache.peak_bytes / 1024,
+        );
         reports.push(r);
     }
 
@@ -393,7 +495,7 @@ fn main() {
         );
     }
 
-    let json = render_json(mode, &reports, ratio);
+    let json = render_json(mode, reps, &reports, ratio);
     std::fs::write(&out_path, &json).expect("write BENCH_DCA.json");
     println!("\nWrote {}", out_path.display());
 

@@ -10,11 +10,13 @@
 //! | [`alt_metrics`] | Figure 9 — DCA driven by Disparity vs Disparate Impact |
 //! | [`compas`] | Figures 10a–10c — COMPAS disparity, FPR, log-discounted mode |
 //! | [`sharded`] | Sharded-engine parity: serial vs shard-wise evaluation of every whole-cohort metric |
+//! | [`out_of_core`] | Out-of-core store: paged vs in-memory evaluation at several cache budgets |
 
 pub mod alt_metrics;
 pub mod baselines_cmp;
 pub mod caps;
 pub mod compas;
+pub mod out_of_core;
 pub mod sharded;
 pub mod table1;
 pub mod utility;

@@ -104,7 +104,7 @@ pub fn run_sharded_parity(scale: &ExperimentScale) -> Result<ShardedParityResult
         seed: scale.seed,
         ..SchoolConfig::default()
     });
-    let sharded = generator.generate_sharded(shard_size).into_dataset();
+    let sharded = generator.generate_sharded(shard_size)?.into_dataset();
     let flat = generator.generate().into_dataset();
     let rubric = SchoolGenerator::rubric();
     let bonus = vec![1.0, 10.0, 12.0, 12.0];

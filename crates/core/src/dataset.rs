@@ -56,6 +56,54 @@ impl Dataset {
         Self::with_capacity(schema, 0)
     }
 
+    /// Assemble a dataset directly from its columns — the decode path of
+    /// storage backends that persist the columnar layout as-is (e.g. the
+    /// `fair-store` shard files). Lengths are validated against the schema;
+    /// the *values* are trusted exactly like
+    /// [`DataObject::new_unchecked`](crate::object::DataObject::new_unchecked)
+    /// trusts its caller (integrity is the storage layer's checksum job).
+    ///
+    /// # Errors
+    /// Returns a dimension error when any column's length is inconsistent
+    /// with `ids.len()` rows under the schema.
+    pub fn from_columns(
+        schema: SchemaRef,
+        ids: Vec<ObjectId>,
+        features: Vec<f64>,
+        fairness: Vec<f64>,
+        labels: Vec<Option<bool>>,
+    ) -> Result<Self> {
+        let n = ids.len();
+        if features.len() != n * schema.num_features() {
+            return Err(FairError::DimensionMismatch {
+                what: "feature matrix",
+                expected: n * schema.num_features(),
+                actual: features.len(),
+            });
+        }
+        if fairness.len() != n * schema.num_fairness() {
+            return Err(FairError::DimensionMismatch {
+                what: "fairness matrix",
+                expected: n * schema.num_fairness(),
+                actual: fairness.len(),
+            });
+        }
+        if labels.len() != n {
+            return Err(FairError::DimensionMismatch {
+                what: "label column",
+                expected: n,
+                actual: labels.len(),
+            });
+        }
+        Ok(Self {
+            schema,
+            ids,
+            features,
+            fairness,
+            labels,
+        })
+    }
+
     /// Create an empty dataset with room for `capacity` objects.
     #[must_use]
     pub fn with_capacity(schema: SchemaRef, capacity: usize) -> Self {
@@ -98,6 +146,18 @@ impl Dataset {
     #[must_use]
     pub fn fairness_matrix(&self) -> &[f64] {
         &self.fairness
+    }
+
+    /// The object ids, in insertion order.
+    #[must_use]
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// The labels, in insertion order.
+    #[must_use]
+    pub fn labels(&self) -> &[Option<bool>] {
+        &self.labels
     }
 
     /// The feature row of object `i`.

@@ -1,4 +1,4 @@
-//! DCA over the sharded column store.
+//! DCA over the sharded column store — in memory or paged from disk.
 //!
 //! * [`run_full_dca_sharded`] — Full DCA whose per-step objective evaluation
 //!   (scoring, selection, centroid accumulation) runs through the shard-wise
@@ -29,14 +29,15 @@ use crate::error::{FairError, Result};
 use crate::metrics::sharded::ShardedEvalScratch;
 use crate::metrics::{sharded, LogDiscountConfig};
 use crate::ranking::Ranker;
-use crate::shard::ShardedDataset;
+use crate::shard::ShardSource;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// An [`Objective`] that can also be evaluated over a [`ShardedDataset`]
-/// through the shard-wise engine. Implementations must compute the same
-/// mathematical quantity as their serial `evaluate_into`; the built-in
-/// objectives delegate to [`crate::metrics::sharded`].
+/// An [`Objective`] that can also be evaluated over any [`ShardSource`]
+/// through the shard-wise engine — in-memory or paged from disk.
+/// Implementations must compute the same mathematical quantity as their
+/// serial `evaluate_into`; the built-in objectives delegate to
+/// [`crate::metrics::sharded`].
 pub trait ShardedObjective: Objective {
     /// Evaluate the measure over the whole sharded cohort under `bonus`,
     /// writing one entry per fairness attribute into `out`.
@@ -44,9 +45,9 @@ pub trait ShardedObjective: Objective {
     /// # Errors
     /// Returns an error on empty datasets, invalid configurations, or missing
     /// labels (objective-dependent).
-    fn evaluate_sharded<R: Ranker + ?Sized>(
+    fn evaluate_sharded<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
         &self,
-        data: &ShardedDataset,
+        data: &S,
         ranker: &R,
         bonus: &[f64],
         scratch: &mut ShardedEvalScratch,
@@ -55,9 +56,9 @@ pub trait ShardedObjective: Objective {
 }
 
 impl ShardedObjective for crate::dca::objective::TopKDisparity {
-    fn evaluate_sharded<R: Ranker + ?Sized>(
+    fn evaluate_sharded<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
         &self,
-        data: &ShardedDataset,
+        data: &S,
         ranker: &R,
         bonus: &[f64],
         scratch: &mut ShardedEvalScratch,
@@ -68,9 +69,9 @@ impl ShardedObjective for crate::dca::objective::TopKDisparity {
 }
 
 impl ShardedObjective for crate::dca::objective::LogDiscountedObjective {
-    fn evaluate_sharded<R: Ranker + ?Sized>(
+    fn evaluate_sharded<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
         &self,
-        data: &ShardedDataset,
+        data: &S,
         ranker: &R,
         bonus: &[f64],
         _scratch: &mut ShardedEvalScratch,
@@ -83,9 +84,9 @@ impl ShardedObjective for crate::dca::objective::LogDiscountedObjective {
 }
 
 impl ShardedObjective for crate::dca::objective::ScaledDisparateImpact {
-    fn evaluate_sharded<R: Ranker + ?Sized>(
+    fn evaluate_sharded<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
         &self,
-        data: &ShardedDataset,
+        data: &S,
         ranker: &R,
         bonus: &[f64],
         _scratch: &mut ShardedEvalScratch,
@@ -97,9 +98,9 @@ impl ShardedObjective for crate::dca::objective::ScaledDisparateImpact {
 }
 
 impl ShardedObjective for crate::dca::objective::FprDifferenceObjective {
-    fn evaluate_sharded<R: Ranker + ?Sized>(
+    fn evaluate_sharded<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
         &self,
-        data: &ShardedDataset,
+        data: &S,
         ranker: &R,
         bonus: &[f64],
         _scratch: &mut ShardedEvalScratch,
@@ -118,8 +119,8 @@ impl ShardedObjective for crate::dca::objective::FprDifferenceObjective {
 /// # Errors
 /// Returns an error for invalid configurations, empty datasets, or objective
 /// failures.
-pub fn run_full_dca_sharded<R, O>(
-    data: &ShardedDataset,
+pub fn run_full_dca_sharded<S, R, O>(
+    data: &S,
     ranker: &R,
     objective: &O,
     config: &DcaConfig,
@@ -127,6 +128,7 @@ pub fn run_full_dca_sharded<R, O>(
     trace: bool,
 ) -> Result<FullDcaOutcome>
 where
+    S: ShardSource + ?Sized,
     R: Ranker + ?Sized,
     O: ShardedObjective + ?Sized,
 {
@@ -149,8 +151,8 @@ where
 /// # Errors
 /// Returns an error for invalid configurations, empty datasets, or objective
 /// failures.
-pub fn run_core_dca_sharded<R, O>(
-    data: &ShardedDataset,
+pub fn run_core_dca_sharded<S, R, O>(
+    data: &S,
     ranker: &R,
     objective: &O,
     config: &DcaConfig,
@@ -158,6 +160,7 @@ pub fn run_core_dca_sharded<R, O>(
     trace: bool,
 ) -> Result<CoreDcaOutcome>
 where
+    S: ShardSource + ?Sized,
     R: Ranker + ?Sized,
     O: Objective + ?Sized,
 {
@@ -187,9 +190,20 @@ where
             let step_seed: u64 = master.gen();
             data.sample_indices_into(step_seed, config.sample_size, &mut sample_indices)?;
             gather.clear();
-            for &g in &sample_indices {
-                gather.push_row(data.row(g));
-            }
+            // The sample comes back grouped by shard, so each run of indices
+            // pages its shard in exactly once (a cache hit per run for the
+            // in-memory source, one decode per run for a paged store).
+            crate::shard::for_each_shard_run(
+                data,
+                &sample_indices,
+                |&g| g / data.shard_size(),
+                |view, run| {
+                    let d = view.data();
+                    for &g in run {
+                        gather.push_row(d.row(g - view.offset()));
+                    }
+                },
+            );
             let sample = gather.full_view();
             objective.evaluate_into(
                 &sample,
@@ -234,6 +248,7 @@ mod tests {
     use crate::metrics::norm;
     use crate::object::DataObject;
     use crate::ranking::WeightedSumRanker;
+    use crate::shard::ShardedDataset;
 
     /// Biased cohort whose scores and fairness values all sit on a dyadic
     /// grid, so every summation order produces identical bits.
@@ -271,7 +286,7 @@ mod tests {
         let cfg = config();
         let serial = run_full_dca(&flat, &ranker, &objective, &cfg, None, true).unwrap();
         for shard_size in [1, 7, 700, 65_536] {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             let sharded =
                 run_full_dca_sharded(&data, &ranker, &objective, &cfg, None, true).unwrap();
             let a: Vec<u64> = serial.bonus.iter().map(|v| v.to_bits()).collect();
@@ -288,7 +303,7 @@ mod tests {
     #[test]
     fn sharded_core_dca_reduces_disparity_and_is_reproducible() {
         let flat = dyadic_biased(3000, 5);
-        let data = ShardedDataset::from_dataset(&flat, 256);
+        let data = ShardedDataset::from_dataset(&flat, 256).unwrap();
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let objective = TopKDisparity::new(0.2);
         let mut cfg = config();
@@ -317,7 +332,7 @@ mod tests {
         let mut cfg = config();
         cfg.iterations_per_rate = 40;
         for shard_size in [64, 500] {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             let out = run_core_dca_sharded(&data, &ranker, &objective, &cfg, None, false).unwrap();
             let after = sharded::disparity_at_k(&data, &ranker, &out.bonus, 0.2).unwrap();
             assert!(
@@ -331,13 +346,13 @@ mod tests {
     #[test]
     fn sharded_runs_reject_empty_and_invalid_inputs() {
         let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
-        let empty = ShardedDataset::with_shard_size(schema, 8);
+        let empty = ShardedDataset::with_shard_size(schema, 8).unwrap();
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         let objective = TopKDisparity::new(0.2);
         assert!(run_full_dca_sharded(&empty, &ranker, &objective, &config(), None, false).is_err());
         assert!(run_core_dca_sharded(&empty, &ranker, &objective, &config(), None, false).is_err());
         let flat = dyadic_biased(100, 1);
-        let data = ShardedDataset::from_dataset(&flat, 16);
+        let data = ShardedDataset::from_dataset(&flat, 16).unwrap();
         let mut bad = config();
         bad.sample_size = 5;
         assert!(run_core_dca_sharded(&data, &ranker, &objective, &bad, None, false).is_err());

@@ -219,8 +219,8 @@ pub fn selection_outcome<R: Ranker + ?Sized>(
 /// # Errors
 /// Returns an error on an empty dataset, an invalid `k`, or an out-of-range
 /// position.
-pub fn selection_outcome_sharded<R: Ranker + ?Sized>(
-    data: &crate::shard::ShardedDataset,
+pub fn selection_outcome_sharded<S: crate::shard::ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &BonusVector,
     k: f64,
@@ -247,7 +247,7 @@ pub fn selection_outcome_sharded<R: Ranker + ?Sized>(
         .expect("non-empty selection has a threshold");
     let effective_score = scores[global_position];
     Ok(OutcomeExplanation {
-        object_id: data.row(global_position).id(),
+        object_id: data.with_row(global_position, |r| r.id()),
         rank,
         selection_count,
         selected: rank < selection_count,
@@ -349,7 +349,7 @@ mod tests {
         let (dataset, rubric, bonus) = setup();
         let view = dataset.full_view();
         for shard_size in [1, 3, 4, 100] {
-            let data = ShardedDataset::from_dataset(&dataset, shard_size);
+            let data = ShardedDataset::from_dataset(&dataset, shard_size).unwrap();
             for pos in 0..dataset.len() {
                 let serial = selection_outcome(&view, &rubric, &bonus, 0.5, pos).unwrap();
                 let sharded = selection_outcome_sharded(&data, &rubric, &bonus, 0.5, pos).unwrap();
@@ -361,10 +361,10 @@ mod tests {
     #[test]
     fn sharded_outcome_rejects_bad_inputs() {
         let (dataset, rubric, bonus) = setup();
-        let data = ShardedDataset::from_dataset(&dataset, 2);
+        let data = ShardedDataset::from_dataset(&dataset, 2).unwrap();
         assert!(selection_outcome_sharded(&data, &rubric, &bonus, 0.5, 99).is_err());
         assert!(selection_outcome_sharded(&data, &rubric, &bonus, 0.0, 0).is_err());
-        let empty = ShardedDataset::with_shard_size(dataset.schema().clone(), 2);
+        let empty = ShardedDataset::with_shard_size(dataset.schema().clone(), 2).unwrap();
         assert!(selection_outcome_sharded(&empty, &rubric, &bonus, 0.5, 0).is_err());
     }
 

@@ -81,7 +81,9 @@ pub use dca::{Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch};
 pub use error::{FairError, Result};
 pub use object::{DataObject, ObjectId, ObjectView};
 pub use parallel::parallel_map;
-pub use shard::{default_shard_size, shard_seed, ShardView, ShardedDataset};
+pub use shard::{
+    default_shard_size, for_each_shard_run, shard_seed, ShardSource, ShardView, ShardedDataset,
+};
 
 /// Convenient glob import for applications and examples.
 pub mod prelude {
@@ -111,5 +113,7 @@ pub mod prelude {
         base_scores, base_scores_into, effective_scores, effective_scores_into, selection_size,
         NormalizedWeightedSum, RankedSelection, Ranker, SingleFeatureRanker, WeightedSumRanker,
     };
-    pub use crate::shard::{default_shard_size, shard_seed, ShardView, ShardedDataset};
+    pub use crate::shard::{
+        default_shard_size, shard_seed, ShardSource, ShardView, ShardedDataset,
+    };
 }

@@ -2,7 +2,9 @@
 //!
 //! Every function here is the sharded counterpart of a serial metric in this
 //! module's siblings, decomposed into **per-shard kernels plus an ordered
-//! combine** on [`ShardedDataset`]'s engine:
+//! combine** on the [`ShardSource`] engine — so the same code path serves
+//! the in-memory [`crate::shard::ShardedDataset`] and the out-of-core
+//! `fair_store::ShardStore`:
 //!
 //! 1. *score* — per-shard scoring kernels (embarrassingly parallel,
 //!    bit-for-bit the serial scores),
@@ -27,7 +29,7 @@ use crate::metrics::LogDiscountConfig;
 use crate::ranking::sharded::{base_scores, effective_scores, selected_at_k, top_m};
 use crate::ranking::topk::selection_size;
 use crate::ranking::Ranker;
-use crate::shard::ShardedDataset;
+use crate::shard::ShardSource;
 
 /// Scratch buffers reused across sharded metric evaluations (scores,
 /// selection, mask), so repeated evaluation — the sharded full-DCA loop —
@@ -38,6 +40,11 @@ pub struct ShardedEvalScratch {
     pub(crate) scores: Vec<f64>,
     /// Global top-k selection mask.
     pub(crate) mask: Vec<bool>,
+    /// `(shard, rank)` pairs of the selection, sorted by shard — the
+    /// shard-sequential gather plan.
+    pub(crate) order: Vec<(usize, usize)>,
+    /// Gathered fairness rows of the selection, in rank order.
+    pub(crate) gathered: Vec<f64>,
 }
 
 impl ShardedEvalScratch {
@@ -48,14 +55,59 @@ impl ShardedEvalScratch {
     }
 }
 
+/// Copy the fairness rows at `positions` (global indices) into the dense
+/// `positions.len() × num_fairness` buffer `gathered`, **visiting each shard
+/// exactly once** ([`crate::shard::for_each_shard_run`]) — positions land in
+/// rank order, which hops shards arbitrarily, so a caching out-of-core
+/// source would otherwise re-page a shard per row. Only the copy is
+/// regrouped; `gathered` is laid out in the given position order, so callers
+/// accumulate in exactly the serial order (bit-for-bit) while the storage
+/// layer sees a shard-sequential access pattern. `order` and `gathered` are
+/// caller-owned so the DCA hot loop reuses them across steps.
+fn gather_fairness_rows_into<S: ShardSource + ?Sized>(
+    data: &S,
+    positions: &[usize],
+    order: &mut Vec<(usize, usize)>,
+    gathered: &mut Vec<f64>,
+) {
+    let dims = data.schema().num_fairness();
+    gathered.clear();
+    gathered.resize(positions.len() * dims, 0.0);
+    // (shard, rank) pairs sorted by shard: one with_shard per distinct shard.
+    order.clear();
+    order.extend(
+        positions
+            .iter()
+            .enumerate()
+            .map(|(rank, &p)| (p / data.shard_size(), rank)),
+    );
+    order.sort_unstable();
+    crate::shard::for_each_shard_run(
+        data,
+        order,
+        |t| t.0,
+        |view, run| {
+            let d = view.data();
+            for &(_, rank) in run {
+                let local = positions[rank] - view.offset();
+                gathered[rank * dims..(rank + 1) * dims].copy_from_slice(d.fairness_row(local));
+            }
+        },
+    );
+}
+
 /// Mean of the fairness rows at `positions` (global indices), accumulated
 /// serially **in the given order** — the same summation order the serial
 /// selection centroids use, so the result is bit-for-bit identical to
 /// [`crate::dataset::SampleView::fairness_centroid_of`] on the flattened
-/// dataset.
-fn centroid_of_positions_into(
-    data: &ShardedDataset,
+/// dataset. Rows are pre-gathered shard by shard
+/// ([`gather_fairness_rows_into`]) into the scratch buffers, so an
+/// out-of-core source pages each shard at most once and the DCA hot loop
+/// allocates nothing in the steady state.
+fn centroid_of_positions_into<S: ShardSource + ?Sized>(
+    data: &S,
     positions: &[usize],
+    scratch: &mut ShardedEvalScratch,
     out: &mut Vec<f64>,
 ) -> Result<()> {
     let dims = data.schema().num_fairness();
@@ -64,8 +116,9 @@ fn centroid_of_positions_into(
     if positions.is_empty() {
         return Err(FairError::EmptyDataset);
     }
-    for &p in positions {
-        for (a, v) in out.iter_mut().zip(data.fairness_row(p)) {
+    gather_fairness_rows_into(data, positions, &mut scratch.order, &mut scratch.gathered);
+    for row in scratch.gathered.chunks_exact(dims) {
+        for (a, v) in out.iter_mut().zip(row) {
             *a += v;
         }
     }
@@ -80,8 +133,8 @@ fn centroid_of_positions_into(
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid `k`.
-pub fn disparity_at_k<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+pub fn disparity_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     k: f64,
@@ -102,8 +155,8 @@ pub fn disparity_at_k<R: Ranker + ?Sized>(
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid `k`.
-pub fn disparity_at_k_into<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+pub fn disparity_at_k_into<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     k: f64,
@@ -116,7 +169,7 @@ pub fn disparity_at_k_into<R: Ranker + ?Sized>(
     let all = data.fairness_centroid()?;
     crate::ranking::sharded::effective_scores_into(data, ranker, bonus, &mut scratch.scores);
     let selected = selected_at_k(data, &scratch.scores, k)?;
-    centroid_of_positions_into(data, &selected, out)?;
+    centroid_of_positions_into(data, &selected, scratch, out)?;
     for (s, a) in out.iter_mut().zip(&all) {
         *s -= a;
     }
@@ -130,8 +183,8 @@ pub fn disparity_at_k_into<R: Ranker + ?Sized>(
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid `k`.
-pub fn ndcg_at_k<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+pub fn ndcg_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     k: f64,
@@ -167,8 +220,8 @@ pub fn ndcg_at_k<R: Ranker + ?Sized>(
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid configuration.
-pub fn log_discounted_disparity<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+pub fn log_discounted_disparity<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     config: &LogDiscountConfig,
@@ -181,6 +234,11 @@ pub fn log_discounted_disparity<R: Ranker + ?Sized>(
     let last = checkpoints.last().copied().unwrap_or(0);
     let scores = effective_scores(data, ranker, bonus);
     let prefix = top_m(data, &scores, last);
+    // One shard-sequential gather for the whole ranked prefix: the running
+    // prefix sums below walk it in rank order without re-paging shards.
+    let mut order = Vec::new();
+    let mut prefix_rows = Vec::new();
+    gather_fairness_rows_into(data, &prefix, &mut order, &mut prefix_rows);
 
     let dims = data.schema().num_fairness();
     let mut out = vec![0.0; dims];
@@ -191,8 +249,8 @@ pub fn log_discounted_disparity<R: Ranker + ?Sized>(
     for &count in &checkpoints {
         debug_assert!(count >= consumed, "checkpoints must be increasing");
         let weight = 1.0 / ((count as f64) + 1.0).log2();
-        for &p in &prefix[consumed..count] {
-            for (a, v) in running.iter_mut().zip(data.fairness_row(p)) {
+        for row in prefix_rows[consumed * dims..count * dims].chunks_exact(dims) {
+            for (a, v) in running.iter_mut().zip(row) {
                 *a += v;
             }
         }
@@ -268,8 +326,8 @@ impl GroupCounts {
 /// Build the global top-`k` selection mask into `scratch`, then tally
 /// per-group counts shard by shard. `need_labels` makes unlabelled rows an
 /// error (the FPR metrics).
-fn selection_counts<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+fn selection_counts<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     k: f64,
@@ -341,8 +399,8 @@ fn selection_counts<R: Ranker + ?Sized>(
 ///
 /// # Errors
 /// Returns an error on empty datasets, invalid `k`, or missing labels.
-pub fn group_fpr_at_k<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+pub fn group_fpr_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     k: f64,
@@ -371,8 +429,8 @@ pub fn group_fpr_at_k<R: Ranker + ?Sized>(
 ///
 /// # Errors
 /// Returns an error on empty datasets, invalid `k`, or missing labels.
-pub fn fpr_difference_at_k<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+pub fn fpr_difference_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     k: f64,
@@ -386,8 +444,8 @@ pub fn fpr_difference_at_k<R: Ranker + ?Sized>(
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid `k`.
-pub fn scaled_disparate_impact_at_k<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
+pub fn scaled_disparate_impact_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
     ranker: &R,
     bonus: &[f64],
     k: f64,
@@ -453,6 +511,7 @@ mod tests {
     use crate::object::DataObject;
     use crate::ranking::topk::RankedSelection;
     use crate::ranking::{SingleFeatureRanker, WeightedSumRanker};
+    use crate::shard::ShardedDataset;
 
     /// A labelled cohort with binary fairness attributes (exact sums) and
     /// tied scores (exercises the deterministic tie-break).
@@ -484,7 +543,7 @@ mod tests {
         let flat = cohort(61);
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         for shard_size in [1, 7, 61, 4096] {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             for k in [0.05, 0.2, 0.5, 1.0] {
                 let serial = serial_disparity_at_k(&flat, &ranker, &[2.5, 0.5], k).unwrap();
                 let sharded = disparity_at_k(&data, &ranker, &[2.5, 0.5], k).unwrap();
@@ -499,7 +558,7 @@ mod tests {
         let view = flat.full_view();
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
         for shard_size in [1, 7, 61, 4096] {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             for bonus in [[0.0, 0.0], [3.0, 1.5]] {
                 for k in [0.1, 0.3, 1.0] {
                     let ranking = RankedSelection::from_scores(crate::ranking::effective_scores(
@@ -527,7 +586,7 @@ mod tests {
             max_fraction: 0.6,
         };
         for shard_size in [1, 7, 83, 4096] {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             let ranking = RankedSelection::from_scores(crate::ranking::effective_scores(
                 &view,
                 &ranker,
@@ -545,7 +604,7 @@ mod tests {
         let view = flat.full_view();
         let ranker = SingleFeatureRanker::new(0);
         for shard_size in [1, 7, 59] {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             for k in [0.2, 0.5] {
                 let ranking = RankedSelection::from_scores(crate::ranking::effective_scores(
                     &view,
@@ -597,7 +656,7 @@ mod tests {
     #[test]
     fn empty_dataset_errors() {
         let schema = Schema::from_names(&["s"], &["g"], &[]).unwrap();
-        let data = ShardedDataset::with_shard_size(schema, 4);
+        let data = ShardedDataset::with_shard_size(schema, 4).unwrap();
         let ranker = SingleFeatureRanker::new(0);
         assert!(disparity_at_k(&data, &ranker, &[0.0], 0.5).is_err());
         assert!(ndcg_at_k(&data, &ranker, &[0.0], 0.5).is_err());

@@ -1,18 +1,24 @@
 //! Shard-wise scoring and selection: the ranking-layer kernels of the
 //! parallel evaluation engine.
 //!
-//! Scoring is embarrassingly parallel (one kernel per shard, concatenated in
-//! shard order — bit-for-bit the serial scores). Selection runs a per-shard
-//! partial top-`m` ([`std::slice::select_nth_unstable_by`]) and merges the
-//! candidate sets under the same strict total order the serial
+//! Every function is generic over [`ShardSource`], so the same kernels drive
+//! the in-memory [`crate::shard::ShardedDataset`] and the out-of-core
+//! `fair_store::ShardStore` unchanged. Scoring is embarrassingly parallel
+//! (one kernel per shard, concatenated in shard order — bit-for-bit the
+//! serial scores). Selection runs a per-shard partial top-`m`
+//! ([`std::slice::select_nth_unstable_by`]) and merges the candidate sets
+//! under the same strict total order the serial
 //! [`RankedSelection`](crate::ranking::topk::RankedSelection) uses
 //! (descending [`f64::total_cmp`], ties by ascending global position), so the
 //! selected positions — set *and* order — are identical to a full sort for
-//! every shard size and worker count.
+//! every shard size and worker count. The selection kernels ([`top_m`],
+//! [`rank_of`]) consume only the score vector and the shard *layout* — no
+//! shard data is paged in, which matters for cached out-of-core sources.
 
+use crate::parallel::parallel_map;
 use crate::ranking::topk::{rank_cmp, selection_size};
 use crate::ranking::Ranker;
-use crate::shard::ShardedDataset;
+use crate::shard::ShardSource;
 
 /// Effective (bonus-adjusted) scores of every row, in global row order —
 /// per-shard scoring kernels concatenated in shard order.
@@ -20,11 +26,11 @@ use crate::shard::ShardedDataset;
 /// # Panics
 /// Panics if `bonus.len()` differs from the schema's fairness dimensionality.
 #[must_use]
-pub fn effective_scores<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
-    ranker: &R,
-    bonus: &[f64],
-) -> Vec<f64> {
+pub fn effective_scores<S, R>(data: &S, ranker: &R, bonus: &[f64]) -> Vec<f64>
+where
+    S: ShardSource + ?Sized,
+    R: Ranker + ?Sized,
+{
     let mut out = Vec::new();
     effective_scores_into(data, ranker, bonus, &mut out);
     out
@@ -34,12 +40,11 @@ pub fn effective_scores<R: Ranker + ?Sized>(
 ///
 /// # Panics
 /// Panics if `bonus.len()` differs from the schema's fairness dimensionality.
-pub fn effective_scores_into<R: Ranker + ?Sized>(
-    data: &ShardedDataset,
-    ranker: &R,
-    bonus: &[f64],
-    out: &mut Vec<f64>,
-) {
+pub fn effective_scores_into<S, R>(data: &S, ranker: &R, bonus: &[f64], out: &mut Vec<f64>)
+where
+    S: ShardSource + ?Sized,
+    R: Ranker + ?Sized,
+{
     assert_eq!(
         bonus.len(),
         data.schema().num_fairness(),
@@ -80,7 +85,10 @@ pub fn effective_scores_into<R: Ranker + ?Sized>(
 /// Panics if `base.len()` differs from `data.len()` or `bonus.len()` from
 /// the fairness dimensionality.
 #[must_use]
-pub fn adjust_base_scores(data: &ShardedDataset, base: &[f64], bonus: &[f64]) -> Vec<f64> {
+pub fn adjust_base_scores<S>(data: &S, base: &[f64], bonus: &[f64]) -> Vec<f64>
+where
+    S: ShardSource + ?Sized,
+{
     assert_eq!(base.len(), data.len(), "one base score per row required");
     assert_eq!(
         bonus.len(),
@@ -110,7 +118,11 @@ pub fn adjust_base_scores(data: &ShardedDataset, base: &[f64], bonus: &[f64]) ->
 
 /// Base (unadjusted) scores of every row, in global row order.
 #[must_use]
-pub fn base_scores<R: Ranker + ?Sized>(data: &ShardedDataset, ranker: &R) -> Vec<f64> {
+pub fn base_scores<S, R>(data: &S, ranker: &R) -> Vec<f64>
+where
+    S: ShardSource + ?Sized,
+    R: Ranker + ?Sized,
+{
     let per_shard = data.map_shards(|shard| {
         let d = shard.data();
         let mut scores = Vec::with_capacity(d.len());
@@ -152,7 +164,8 @@ fn descending_key(score: f64) -> u64 {
 /// shard partial-selects its own top `min(m, len)` in parallel and only the
 /// merged candidates are partitioned; otherwise a single global partition is
 /// used. Both paths produce the canonical top-`m` under the strict total
-/// order, so the choice is invisible to callers.
+/// order, so the choice is invisible to callers. Only `scores` and the shard
+/// *layout* are consulted — no shard data is paged in.
 ///
 /// `scores` must hold one score per global row; `m` is clamped to the row
 /// count.
@@ -160,7 +173,10 @@ fn descending_key(score: f64) -> u64 {
 /// # Panics
 /// Panics if `scores.len()` differs from `data.len()`.
 #[must_use]
-pub fn top_m(data: &ShardedDataset, scores: &[f64], m: usize) -> Vec<usize> {
+pub fn top_m<S>(data: &S, scores: &[f64], m: usize) -> Vec<usize>
+where
+    S: ShardSource + ?Sized,
+{
     assert_eq!(scores.len(), data.len(), "one score per row required");
     let n = data.len();
     let m = m.min(n);
@@ -174,10 +190,13 @@ pub fn top_m(data: &ShardedDataset, scores: &[f64], m: usize) -> Vec<usize> {
     };
     // Per-shard candidate pruning only helps when the surviving candidate set
     // is materially smaller than the cohort.
-    let candidate_total: usize = data.shards().map(|s| s.len().min(m)).sum();
+    let num_shards = data.num_shards();
+    let candidate_total: usize = (0..num_shards).map(|i| data.shard_len(i).min(m)).sum();
     let mut candidates: Vec<(u64, u64)> = if candidate_total * 2 <= n {
-        let per_shard = data.map_shards(|shard| {
-            let mut local = keyed(shard.offset()..shard.offset() + shard.len());
+        let indices: Vec<usize> = (0..num_shards).collect();
+        let per_shard = parallel_map(&indices, |&i| {
+            let offset = data.shard_offset(i);
+            let mut local = keyed(offset..offset + data.shard_len(i));
             let keep = m.min(local.len());
             if keep < local.len() {
                 local.select_nth_unstable(keep);
@@ -207,35 +226,38 @@ pub fn top_m(data: &ShardedDataset, scores: &[f64], m: usize) -> Vec<usize> {
 ///
 /// # Panics
 /// Panics if `scores.len()` differs from `data.len()`.
-pub fn selected_at_k(
-    data: &ShardedDataset,
-    scores: &[f64],
-    k: f64,
-) -> crate::error::Result<Vec<usize>> {
+pub fn selected_at_k<S>(data: &S, scores: &[f64], k: f64) -> crate::error::Result<Vec<usize>>
+where
+    S: ShardSource + ?Sized,
+{
     let m = selection_size(data.len(), k)?;
     Ok(top_m(data, scores, m))
 }
 
 /// The 0-based rank a full descending sort would assign to `position`: the
 /// number of positions ordered strictly before it — counted shard by shard in
-/// parallel (an exact integer reduction).
+/// parallel (an exact integer reduction over the score vector; no shard data
+/// is paged in).
 ///
 /// # Panics
 /// Panics if `scores.len()` differs from `data.len()` or `position` is out of
 /// bounds.
 #[must_use]
-pub fn rank_of(data: &ShardedDataset, scores: &[f64], position: usize) -> usize {
+pub fn rank_of<S>(data: &S, scores: &[f64], position: usize) -> usize
+where
+    S: ShardSource + ?Sized,
+{
     assert_eq!(scores.len(), data.len(), "one score per row required");
     assert!(position < data.len(), "position out of bounds");
-    data.reduce_shards(
-        0_usize,
-        |shard| {
-            (shard.offset()..shard.offset() + shard.len())
-                .filter(|&p| p != position && rank_cmp(scores, p, position).is_lt())
-                .count()
-        },
-        |acc, c| acc + c,
-    )
+    let indices: Vec<usize> = (0..data.num_shards()).collect();
+    parallel_map(&indices, |&i| {
+        let offset = data.shard_offset(i);
+        (offset..offset + data.shard_len(i))
+            .filter(|&p| p != position && rank_cmp(scores, p, position).is_lt())
+            .count()
+    })
+    .into_iter()
+    .sum()
 }
 
 #[cfg(test)]

@@ -1,13 +1,21 @@
 //! Sharded column store: the cohort split into fixed-size contiguous blocks.
 //!
-//! [`ShardedDataset`] holds the population as a sequence of fixed-size
-//! **shards**, each a self-contained [`Dataset`] (the same contiguous
-//! structure-of-arrays block the single-dataset path uses). The shard is the
-//! unit of parallelism, of streaming ingest, and — eventually — of
-//! out-of-core residency and distributed placement:
+//! The shard is the unit of parallelism, of streaming ingest, of out-of-core
+//! residency, and — eventually — of distributed placement. Two storage
+//! backends provide shards today:
+//!
+//! * [`ShardedDataset`] (this module) holds every shard in RAM, each a
+//!   self-contained [`Dataset`] (the same contiguous structure-of-arrays
+//!   block the single-dataset path uses);
+//! * `fair_store::ShardStore` (the `fair-store` crate) pages shards in from
+//!   an on-disk columnar file through a byte-budgeted LRU cache.
+//!
+//! Both implement the [`ShardSource`] trait, which carries the shard-wise
+//! **evaluation engine**: every metric, ranking kernel and DCA driver written
+//! against `ShardSource` runs unchanged over in-RAM and out-of-core cohorts.
 //!
 //! ```text
-//!   ShardedDataset
+//!   ShardSource (ShardedDataset | fair_store::ShardStore)
 //!   ├── shard 0   rows [0, S)        ──┐
 //!   ├── shard 1   rows [S, 2S)         │  map: per-shard kernel
 //!   ├── …                              │  (parallel_map workers)
@@ -17,14 +25,14 @@
 //!          ordered reduce (shard 0, 1, …, m)  →  deterministic result
 //! ```
 //!
-//! The engine methods ([`ShardedDataset::map_shards`],
-//! [`ShardedDataset::reduce_shards`], [`ShardedDataset::for_each_shard`]) run
-//! one closure per shard on [`crate::parallel_map`]'s scoped worker pool and
+//! The engine methods ([`ShardSource::map_shards`],
+//! [`ShardSource::reduce_shards`], [`ShardSource::for_each_shard`]) run one
+//! closure per shard on [`crate::parallel_map`]'s scoped worker pool and
 //! always combine results **in shard order**, so evaluation is deterministic
-//! for a fixed shard size regardless of worker count or scheduling. Metrics
-//! written against this engine (see [`crate::metrics::sharded`]) are
-//! therefore parallel by construction — parallelism is a property of the
-//! engine, not of each metric.
+//! for a fixed shard size regardless of worker count, scheduling, or storage
+//! backend. Metrics written against this engine (see
+//! [`crate::metrics::sharded`]) are therefore parallel by construction —
+//! parallelism is a property of the engine, not of each metric.
 //!
 //! ## Determinism and floating point
 //!
@@ -36,7 +44,10 @@
 //! value set whose sums are exactly representable — this is bit-for-bit
 //! identical to the serial left-to-right sum for every shard size. For
 //! arbitrary continuous values the result is deterministic per shard size and
-//! differs from the serial sum only by the usual reassociation ulps.
+//! differs from the serial sum only by the usual reassociation ulps. Because
+//! a paged shard decodes to exactly the bytes that were written, evaluation
+//! over a `ShardStore` is bit-for-bit the in-memory evaluation at the same
+//! shard size.
 
 use crate::attributes::SchemaRef;
 use crate::dataset::Dataset;
@@ -74,6 +85,18 @@ pub struct ShardView<'a> {
 }
 
 impl<'a> ShardView<'a> {
+    /// Assemble a shard view from its parts — the constructor storage
+    /// backends ([`ShardSource::with_shard`] implementations) use to present
+    /// a decoded block to the engine.
+    #[must_use]
+    pub fn new(index: usize, offset: usize, data: &'a Dataset) -> Self {
+        Self {
+            index,
+            offset,
+            data,
+        }
+    }
+
     /// Position of this shard within the sharded dataset.
     #[must_use]
     pub fn index(&self) -> usize {
@@ -111,7 +134,341 @@ impl<'a> ShardView<'a> {
     }
 }
 
-/// A cohort stored as fixed-size shards, each a contiguous columnar block.
+/// A cohort that can present itself one shard at a time — the storage
+/// abstraction the shard-wise evaluation engine runs on.
+///
+/// A source describes a fixed shard layout (`len` rows cut into
+/// `num_shards` blocks of `shard_size`, the last possibly short) and lends
+/// out one decoded shard per [`ShardSource::with_shard`] call. In-memory
+/// sources ([`ShardedDataset`]) lend a borrow at zero cost; out-of-core
+/// sources (`fair_store::ShardStore`) page the shard in on a cache miss and
+/// **pin it for the duration of the closure**, so a kernel can never observe
+/// a shard being evicted under it.
+///
+/// Everything else — the parallel engine, whole-cohort statistics, and the
+/// per-shard stratified sampler — is provided on top of those five methods,
+/// which is what makes the evaluation layer storage-agnostic: the same
+/// kernels drive in-RAM and beyond-RAM cohorts unchanged.
+pub trait ShardSource: Sync {
+    /// The shared schema.
+    fn schema(&self) -> &SchemaRef;
+
+    /// Total number of rows across all shards.
+    fn len(&self) -> usize;
+
+    /// The configured rows-per-shard (every shard but the last holds exactly
+    /// this many rows).
+    fn shard_size(&self) -> usize;
+
+    /// Number of shards.
+    fn num_shards(&self) -> usize;
+
+    /// Lend shard `index` to `f`, returning `f`'s result. The shard stays
+    /// valid (and, for caching backends, pinned) for the whole call.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds. Storage backends also panic when
+    /// the shard cannot be produced at all (I/O failure, corruption detected
+    /// by a checksum); recoverable validation belongs to the backend's own
+    /// fallible API (e.g. `ShardStore::read_shard`).
+    fn with_shard<T>(&self, index: usize, f: impl FnOnce(ShardView<'_>) -> T) -> T;
+
+    // ------------------------------------------------------------------
+    // Shard layout arithmetic.
+    // ------------------------------------------------------------------
+
+    /// Whether the source holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global row index of shard `index`'s first row.
+    fn shard_offset(&self, index: usize) -> usize {
+        index * self.shard_size()
+    }
+
+    /// Number of rows in shard `index` — pure layout arithmetic, no shard is
+    /// paged in.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    fn shard_len(&self, index: usize) -> usize {
+        assert!(
+            index < self.num_shards(),
+            "shard {index} out of bounds ({})",
+            self.num_shards()
+        );
+        (self.len() - self.shard_offset(index)).min(self.shard_size())
+    }
+
+    /// Split a global row index into `(shard index, shard-local row index)`.
+    ///
+    /// # Panics
+    /// Panics if `global` is out of bounds.
+    fn locate(&self, global: usize) -> (usize, usize) {
+        assert!(
+            global < self.len(),
+            "row {global} out of bounds ({})",
+            self.len()
+        );
+        (global / self.shard_size(), global % self.shard_size())
+    }
+
+    /// Lend the row at `global` index (insertion order) to `f`. Pages in the
+    /// owning shard on caching backends; zero-copy on in-memory ones.
+    ///
+    /// # Panics
+    /// Panics if `global` is out of bounds.
+    fn with_row<T>(&self, global: usize, f: impl FnOnce(ObjectView<'_>) -> T) -> T {
+        let (shard, local) = self.locate(global);
+        self.with_shard(shard, |s| f(s.data().row(local)))
+    }
+
+    /// Lend the fairness row at `global` index to `f`.
+    ///
+    /// # Panics
+    /// Panics if `global` is out of bounds.
+    fn with_fairness_row<T>(&self, global: usize, f: impl FnOnce(&[f64]) -> T) -> T {
+        let (shard, local) = self.locate(global);
+        self.with_shard(shard, |s| f(s.data().fairness_row(local)))
+    }
+
+    // ------------------------------------------------------------------
+    // The shard-wise evaluation engine.
+    // ------------------------------------------------------------------
+
+    /// Apply `f` to every shard on the scoped worker pool, returning the
+    /// per-shard results **in shard order**.
+    fn map_shards<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ShardView<'_>) -> T + Sync,
+    {
+        let indices: Vec<usize> = (0..self.num_shards()).collect();
+        parallel_map(&indices, |&i| self.with_shard(i, &f))
+    }
+
+    /// Run `f` on every shard (parallel, no results collected).
+    fn for_each_shard<F>(&self, f: F)
+    where
+        F: Fn(ShardView<'_>) + Sync,
+    {
+        self.map_shards(&f);
+    }
+
+    /// Map every shard in parallel, then fold the per-shard results **in
+    /// shard order** — the deterministic reduction every sharded metric is
+    /// built on.
+    fn reduce_shards<T, A, F, G>(&self, init: A, map: F, mut fold: G) -> A
+    where
+        T: Send,
+        F: Fn(ShardView<'_>) -> T + Sync,
+        G: FnMut(A, T) -> A,
+    {
+        self.map_shards(map).into_iter().fold(init, &mut fold)
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-cohort primitives built on the engine.
+    // ------------------------------------------------------------------
+
+    /// Fairness centroid over the whole cohort (`D_O` of Definition 3):
+    /// per-shard sums combined in shard order, then divided once.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset.
+    fn fairness_centroid(&self) -> Result<Vec<f64>> {
+        if self.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        let dims = self.schema().num_fairness();
+        let sums = self.reduce_shards(
+            vec![0.0_f64; dims],
+            |shard| {
+                let mut acc = vec![0.0_f64; dims];
+                let d = shard.data();
+                for i in 0..d.len() {
+                    for (a, v) in acc.iter_mut().zip(d.fairness_row(i)) {
+                        *a += v;
+                    }
+                }
+                acc
+            },
+            |mut acc, partial| {
+                for (a, p) in acc.iter_mut().zip(&partial) {
+                    *a += p;
+                }
+                acc
+            },
+        );
+        Ok(sums.into_iter().map(|s| s / self.len() as f64).collect())
+    }
+
+    /// Fraction of rows belonging to the (binary) group at fairness index
+    /// `dim` (value `>= 0.5`). Integer count reduction — exact for every
+    /// shard size.
+    fn group_frequency(&self, dim: usize) -> f64 {
+        if self.is_empty() || dim >= self.schema().num_fairness() {
+            return 0.0;
+        }
+        let count = self.reduce_shards(
+            0_usize,
+            |shard| {
+                let d = shard.data();
+                (0..d.len())
+                    .filter(|&i| d.fairness_row(i)[dim] >= 0.5)
+                    .count()
+            },
+            |acc, c| acc + c,
+        );
+        count as f64 / self.len() as f64
+    }
+
+    /// Frequency of the rarest non-empty fairness group — the `r` of the
+    /// paper's sample-size rule.
+    fn rarest_group_frequency(&self) -> f64 {
+        (0..self.schema().num_fairness())
+            .map(|d| self.group_frequency(d))
+            .filter(|f| *f > 0.0)
+            .fold(1.0_f64, f64::min)
+    }
+
+    /// Whether every row carries a ground-truth label.
+    fn fully_labelled(&self) -> bool {
+        !self.is_empty()
+            && self.reduce_shards(
+                true,
+                |shard| shard.data().fully_labelled(),
+                |acc, ok| acc && ok,
+            )
+    }
+
+    // ------------------------------------------------------------------
+    // Per-shard sampling (the distributed-DCA building block).
+    // ------------------------------------------------------------------
+
+    /// Draw a uniform-rate stratified sample of `size` rows: each shard
+    /// contributes a quota proportional to its length (largest-remainder
+    /// apportionment, deterministic), sampled **within the shard** with its
+    /// own RNG stream split off `seed` — so shards can sample independently
+    /// and in parallel, and a distributed deployment draws the identical
+    /// sample without any cross-shard coordination.
+    ///
+    /// Only the shard *layout* is consulted — no shard data is paged in —
+    /// so sampling an out-of-core cohort touches the disk not at all; the
+    /// caller gathers exactly the sampled rows afterwards.
+    ///
+    /// Returns global row indices grouped by shard (ascending shard order,
+    /// selection order within a shard). When `size >= len()` every row is
+    /// returned in global order.
+    ///
+    /// # Errors
+    /// Returns [`FairError::EmptyDataset`] on an empty dataset and
+    /// [`FairError::InvalidConfig`] when `size == 0`.
+    fn sample_indices_into(&self, seed: u64, size: usize, out: &mut Vec<usize>) -> Result<()> {
+        if self.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        if size == 0 {
+            return Err(FairError::InvalidConfig {
+                reason: "sample size must be positive".into(),
+            });
+        }
+        out.clear();
+        if size >= self.len() {
+            out.extend(0..self.len());
+            return Ok(());
+        }
+        let quotas = shard_quotas(self, size);
+        let indices: Vec<usize> = (0..self.num_shards()).collect();
+        let per_shard: Vec<Vec<usize>> = parallel_map(&indices, |&i| {
+            let quota = quotas[i];
+            if quota == 0 {
+                return Vec::new();
+            }
+            let len = self.shard_len(i);
+            let mut rng = StdRng::seed_from_u64(shard_seed(seed, i));
+            let mut buf = rand::seq::index::IndexBuffer::new();
+            if quota >= len {
+                buf.fill_sequential(len);
+            } else {
+                rand::seq::index::sample_into(&mut rng, len, quota, &mut buf);
+            }
+            let offset = self.shard_offset(i);
+            buf.as_slice().iter().map(|&x| offset + x).collect()
+        });
+        for indices in per_shard {
+            out.extend(indices);
+        }
+        Ok(())
+    }
+}
+
+/// Visit each shard that appears in `items` exactly once, handing `f` the
+/// shard view and the contiguous run of items that live in it. `items` must
+/// already be grouped by shard (`shard_of` constant within a run) — the
+/// natural order of sample indices and of position lists sorted by shard.
+/// This is the access pattern caching out-of-core sources want: one page-in
+/// per shard instead of one per item.
+pub fn for_each_shard_run<S, T>(
+    data: &S,
+    items: &[T],
+    shard_of: impl Fn(&T) -> usize,
+    mut f: impl FnMut(ShardView<'_>, &[T]),
+) where
+    S: ShardSource + ?Sized,
+{
+    let mut start = 0;
+    while start < items.len() {
+        let shard = shard_of(&items[start]);
+        let mut end = start + 1;
+        while end < items.len() && shard_of(&items[end]) == shard {
+            end += 1;
+        }
+        data.with_shard(shard, |view| f(view, &items[start..end]));
+        start = end;
+    }
+}
+
+/// Largest-remainder apportionment of `size` sample slots across shards,
+/// proportional to shard lengths; deterministic and clamped to shard
+/// lengths. Layout arithmetic only — no shard data is touched.
+fn shard_quotas<S: ShardSource + ?Sized>(data: &S, size: usize) -> Vec<usize> {
+    let n = data.len() as f64;
+    let num_shards = data.num_shards();
+    let mut quotas: Vec<usize> = Vec::with_capacity(num_shards);
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(num_shards);
+    let mut assigned = 0_usize;
+    for i in 0..num_shards {
+        let len = data.shard_len(i);
+        let exact = size as f64 * len as f64 / n;
+        let floor = (exact.floor() as usize).min(len);
+        quotas.push(floor);
+        remainders.push((i, exact - floor as f64));
+        assigned += floor;
+    }
+    // Hand the remaining slots to the largest fractional remainders
+    // (ties broken by shard index for determinism), skipping full shards.
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut left = size.saturating_sub(assigned);
+    let mut cursor = 0;
+    while left > 0 {
+        let (idx, _) = remainders[cursor % remainders.len()];
+        if quotas[idx] < data.shard_len(idx) {
+            quotas[idx] += 1;
+            left -= 1;
+        }
+        cursor += 1;
+        assert!(
+            cursor <= remainders.len() * (size + 1),
+            "quota apportionment must terminate"
+        );
+    }
+    quotas
+}
+
+/// A cohort stored as fixed-size shards, each a contiguous columnar block —
+/// the in-memory [`ShardSource`].
 ///
 /// All rows except possibly the final shard's hold exactly
 /// [`ShardedDataset::shard_size`] rows; the final shard holds the remainder.
@@ -128,17 +485,20 @@ pub struct ShardedDataset {
 impl ShardedDataset {
     /// Create an empty sharded dataset with the given shard size.
     ///
-    /// # Panics
-    /// Panics if `shard_size == 0`.
-    #[must_use]
-    pub fn with_shard_size(schema: SchemaRef, shard_size: usize) -> Self {
-        assert!(shard_size > 0, "shard size must be positive");
-        Self {
+    /// # Errors
+    /// Returns [`FairError::InvalidConfig`] if `shard_size == 0`.
+    pub fn with_shard_size(schema: SchemaRef, shard_size: usize) -> Result<Self> {
+        if shard_size == 0 {
+            return Err(FairError::InvalidConfig {
+                reason: "shard size must be positive".into(),
+            });
+        }
+        Ok(Self {
             schema,
             shard_size,
             shards: Vec::new(),
             len: 0,
-        }
+        })
     }
 
     /// Create an empty sharded dataset with the environment-resolved
@@ -146,21 +506,20 @@ impl ShardedDataset {
     #[must_use]
     pub fn new(schema: SchemaRef) -> Self {
         Self::with_shard_size(schema, default_shard_size())
+            .expect("the default shard size is positive")
     }
 
     /// Build a sharded dataset from owned objects.
     ///
     /// # Errors
-    /// Returns an error if any object's vectors do not match the schema.
-    ///
-    /// # Panics
-    /// Panics if `shard_size == 0`.
+    /// Returns [`FairError::InvalidConfig`] if `shard_size == 0`, or a
+    /// dimension error if any object's vectors do not match the schema.
     pub fn from_objects(
         schema: SchemaRef,
         objects: Vec<DataObject>,
         shard_size: usize,
     ) -> Result<Self> {
-        let mut this = Self::with_shard_size(schema, shard_size);
+        let mut this = Self::with_shard_size(schema, shard_size)?;
         for o in objects {
             this.push(o)?;
         }
@@ -169,14 +528,17 @@ impl ShardedDataset {
 
     /// Re-shard an existing contiguous dataset (copies the rows).
     ///
-    /// # Panics
-    /// Panics if `shard_size == 0`.
-    #[must_use]
-    pub fn from_dataset(dataset: &Dataset, shard_size: usize) -> Self {
-        assert!(shard_size > 0, "shard size must be positive");
+    /// # Errors
+    /// Returns [`FairError::InvalidConfig`] if `shard_size == 0`.
+    pub fn from_dataset(dataset: &Dataset, shard_size: usize) -> Result<Self> {
+        if shard_size == 0 {
+            return Err(FairError::InvalidConfig {
+                reason: "shard size must be positive".into(),
+            });
+        }
         let schema = dataset.schema().clone();
         let n = dataset.len();
-        let mut shards = Vec::with_capacity(n.div_ceil(shard_size.max(1)));
+        let mut shards = Vec::with_capacity(n.div_ceil(shard_size));
         let mut start = 0;
         while start < n {
             let end = (start + shard_size).min(n);
@@ -184,12 +546,12 @@ impl ShardedDataset {
             shards.push(dataset.subset(&indices));
             start = end;
         }
-        Self {
+        Ok(Self {
             schema,
             shard_size,
             shards,
             len: n,
-        }
+        })
     }
 
     /// The shared schema.
@@ -222,7 +584,7 @@ impl ShardedDataset {
         self.shards.len()
     }
 
-    /// View of shard `i`.
+    /// View of shard `i` — a zero-cost borrow of the resident block.
     ///
     /// # Panics
     /// Panics if `i` is out of bounds.
@@ -337,207 +699,27 @@ impl ShardedDataset {
         }
         out
     }
+}
 
-    // ------------------------------------------------------------------
-    // The shard-wise evaluation engine.
-    // ------------------------------------------------------------------
-
-    /// Apply `f` to every shard on the scoped worker pool, returning the
-    /// per-shard results **in shard order**.
-    pub fn map_shards<T, F>(&self, f: F) -> Vec<T>
-    where
-        T: Send,
-        F: Fn(ShardView<'_>) -> T + Sync,
-    {
-        let indices: Vec<usize> = (0..self.num_shards()).collect();
-        parallel_map(&indices, |&i| f(self.shard(i)))
+impl ShardSource for ShardedDataset {
+    fn schema(&self) -> &SchemaRef {
+        ShardedDataset::schema(self)
     }
 
-    /// Run `f` on every shard (parallel, no results collected).
-    pub fn for_each_shard<F>(&self, f: F)
-    where
-        F: Fn(ShardView<'_>) + Sync,
-    {
-        self.map_shards(&f);
+    fn len(&self) -> usize {
+        ShardedDataset::len(self)
     }
 
-    /// Map every shard in parallel, then fold the per-shard results **in
-    /// shard order** — the deterministic reduction every sharded metric is
-    /// built on.
-    pub fn reduce_shards<T, A, F, G>(&self, init: A, map: F, mut fold: G) -> A
-    where
-        T: Send,
-        F: Fn(ShardView<'_>) -> T + Sync,
-        G: FnMut(A, T) -> A,
-    {
-        self.map_shards(map).into_iter().fold(init, &mut fold)
+    fn shard_size(&self) -> usize {
+        ShardedDataset::shard_size(self)
     }
 
-    // ------------------------------------------------------------------
-    // Whole-cohort primitives built on the engine.
-    // ------------------------------------------------------------------
-
-    /// Fairness centroid over the whole cohort (`D_O` of Definition 3):
-    /// per-shard sums combined in shard order, then divided once.
-    ///
-    /// # Errors
-    /// Returns [`FairError::EmptyDataset`] on an empty dataset.
-    pub fn fairness_centroid(&self) -> Result<Vec<f64>> {
-        if self.is_empty() {
-            return Err(FairError::EmptyDataset);
-        }
-        let dims = self.schema.num_fairness();
-        let sums = self.reduce_shards(
-            vec![0.0_f64; dims],
-            |shard| {
-                let mut acc = vec![0.0_f64; dims];
-                let d = shard.data();
-                for i in 0..d.len() {
-                    for (a, v) in acc.iter_mut().zip(d.fairness_row(i)) {
-                        *a += v;
-                    }
-                }
-                acc
-            },
-            |mut acc, partial| {
-                for (a, p) in acc.iter_mut().zip(&partial) {
-                    *a += p;
-                }
-                acc
-            },
-        );
-        Ok(sums.into_iter().map(|s| s / self.len as f64).collect())
+    fn num_shards(&self) -> usize {
+        ShardedDataset::num_shards(self)
     }
 
-    /// Fraction of rows belonging to the (binary) group at fairness index
-    /// `dim` (value `>= 0.5`). Integer count reduction — exact for every
-    /// shard size.
-    #[must_use]
-    pub fn group_frequency(&self, dim: usize) -> f64 {
-        if self.is_empty() || dim >= self.schema.num_fairness() {
-            return 0.0;
-        }
-        let count = self.reduce_shards(
-            0_usize,
-            |shard| {
-                let d = shard.data();
-                (0..d.len())
-                    .filter(|&i| d.fairness_row(i)[dim] >= 0.5)
-                    .count()
-            },
-            |acc, c| acc + c,
-        );
-        count as f64 / self.len as f64
-    }
-
-    /// Frequency of the rarest non-empty fairness group — the `r` of the
-    /// paper's sample-size rule.
-    #[must_use]
-    pub fn rarest_group_frequency(&self) -> f64 {
-        (0..self.schema.num_fairness())
-            .map(|d| self.group_frequency(d))
-            .filter(|f| *f > 0.0)
-            .fold(1.0_f64, f64::min)
-    }
-
-    /// Whether every row carries a ground-truth label.
-    #[must_use]
-    pub fn fully_labelled(&self) -> bool {
-        !self.is_empty()
-            && self.reduce_shards(
-                true,
-                |shard| shard.data().fully_labelled(),
-                |acc, ok| acc && ok,
-            )
-    }
-
-    // ------------------------------------------------------------------
-    // Per-shard sampling (the distributed-DCA building block).
-    // ------------------------------------------------------------------
-
-    /// Draw a uniform-rate stratified sample of `size` rows: each shard
-    /// contributes a quota proportional to its length (largest-remainder
-    /// apportionment, deterministic), sampled **within the shard** with its
-    /// own RNG stream split off `seed` — so shards can sample independently
-    /// and in parallel, and a distributed deployment draws the identical
-    /// sample without any cross-shard coordination.
-    ///
-    /// Returns global row indices grouped by shard (ascending shard order,
-    /// selection order within a shard). When `size >= len()` every row is
-    /// returned in global order.
-    ///
-    /// # Errors
-    /// Returns [`FairError::EmptyDataset`] on an empty dataset and
-    /// [`FairError::InvalidConfig`] when `size == 0`.
-    pub fn sample_indices_into(&self, seed: u64, size: usize, out: &mut Vec<usize>) -> Result<()> {
-        if self.is_empty() {
-            return Err(FairError::EmptyDataset);
-        }
-        if size == 0 {
-            return Err(FairError::InvalidConfig {
-                reason: "sample size must be positive".into(),
-            });
-        }
-        out.clear();
-        if size >= self.len {
-            out.extend(0..self.len);
-            return Ok(());
-        }
-        let quotas = self.shard_quotas(size);
-        let per_shard: Vec<Vec<usize>> = self.map_shards(|shard| {
-            let quota = quotas[shard.index()];
-            if quota == 0 {
-                return Vec::new();
-            }
-            let mut rng = StdRng::seed_from_u64(shard_seed(seed, shard.index()));
-            let mut buf = rand::seq::index::IndexBuffer::new();
-            if quota >= shard.len() {
-                buf.fill_sequential(shard.len());
-            } else {
-                rand::seq::index::sample_into(&mut rng, shard.len(), quota, &mut buf);
-            }
-            let offset = shard.offset();
-            buf.as_slice().iter().map(|&i| offset + i).collect()
-        });
-        for indices in per_shard {
-            out.extend(indices);
-        }
-        Ok(())
-    }
-
-    /// Largest-remainder apportionment of `size` sample slots across shards,
-    /// proportional to shard lengths; deterministic and clamped to shard
-    /// lengths.
-    fn shard_quotas(&self, size: usize) -> Vec<usize> {
-        let n = self.len as f64;
-        let mut quotas: Vec<usize> = Vec::with_capacity(self.num_shards());
-        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(self.num_shards());
-        let mut assigned = 0_usize;
-        for s in self.shards() {
-            let exact = size as f64 * s.len() as f64 / n;
-            let floor = (exact.floor() as usize).min(s.len());
-            quotas.push(floor);
-            remainders.push((s.index(), exact - floor as f64));
-            assigned += floor;
-        }
-        // Hand the remaining slots to the largest fractional remainders
-        // (ties broken by shard index for determinism), skipping full shards.
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        let mut left = size.saturating_sub(assigned);
-        let mut cursor = 0;
-        while left > 0 {
-            let (idx, _) = remainders[cursor % remainders.len()];
-            if quotas[idx] < self.shards[idx].len() {
-                quotas[idx] += 1;
-                left -= 1;
-            }
-            cursor += 1;
-            assert!(
-                cursor <= remainders.len() * (size + 1),
-                "quota apportionment must terminate"
-            );
-        }
-        quotas
+    fn with_shard<T>(&self, index: usize, f: impl FnOnce(ShardView<'_>) -> T) -> T {
+        f(self.shard(index))
     }
 }
 
@@ -584,6 +766,10 @@ mod tests {
         assert_eq!(d.shard(2).offset(), 14);
         assert_eq!(d.shard(1).global_index(3), 10);
         assert!(!d.shard(0).is_empty());
+        // Layout arithmetic agrees with the materialized shards.
+        assert_eq!(d.shard_len(0), 7);
+        assert_eq!(d.shard_len(3), 2);
+        assert_eq!(d.shard_offset(2), 14);
     }
 
     #[test]
@@ -593,6 +779,7 @@ mod tests {
         let sharded = ShardedDataset::from_objects(schema(), objs, 7).unwrap();
         for i in 0..flat.len() {
             assert_eq!(sharded.row(i), flat.row(i), "row {i}");
+            sharded.with_row(i, |r| assert_eq!(r, flat.row(i)));
         }
         assert_eq!(sharded.iter().count(), flat.len());
         let back = sharded.to_dataset();
@@ -603,20 +790,21 @@ mod tests {
     #[test]
     fn from_dataset_reshards_identically() {
         let flat = Dataset::new(schema(), objects(23)).unwrap();
-        let sharded = ShardedDataset::from_dataset(&flat, 5);
+        let sharded = ShardedDataset::from_dataset(&flat, 5).unwrap();
         assert_eq!(sharded.num_shards(), 5);
         for i in 0..flat.len() {
             assert_eq!(sharded.row(i), flat.row(i));
         }
         assert_eq!(sharded.feature_row(13), flat.feature_row(13));
         assert_eq!(sharded.fairness_row(13), flat.fairness_row(13));
+        sharded.with_fairness_row(13, |row| assert_eq!(row, flat.fairness_row(13)));
     }
 
     #[test]
     fn centroid_matches_serial_for_binary_attributes() {
         let flat = Dataset::new(schema(), objects(23)).unwrap();
         for size in [1, 7, 23, 1000] {
-            let sharded = ShardedDataset::from_dataset(&flat, size);
+            let sharded = ShardedDataset::from_dataset(&flat, size).unwrap();
             assert_eq!(
                 sharded.fairness_centroid().unwrap(),
                 flat.fairness_centroid().unwrap(),
@@ -628,7 +816,7 @@ mod tests {
     #[test]
     fn group_stats_match_serial() {
         let flat = Dataset::new(schema(), objects(23)).unwrap();
-        let sharded = ShardedDataset::from_dataset(&flat, 4);
+        let sharded = ShardedDataset::from_dataset(&flat, 4).unwrap();
         assert_eq!(sharded.group_frequency(0), flat.group_frequency(0));
         assert_eq!(sharded.group_frequency(9), 0.0);
         assert_eq!(
@@ -698,7 +886,7 @@ mod tests {
 
     #[test]
     fn sample_errors_match_dataset_semantics() {
-        let empty = ShardedDataset::with_shard_size(schema(), 4);
+        let empty = ShardedDataset::with_shard_size(schema(), 4).unwrap();
         let mut out = Vec::new();
         assert!(matches!(
             empty.sample_indices_into(1, 5, &mut out),
@@ -714,7 +902,7 @@ mod tests {
 
     #[test]
     fn push_validates_and_opens_shards() {
-        let mut d = ShardedDataset::with_shard_size(schema(), 2);
+        let mut d = ShardedDataset::with_shard_size(schema(), 2).unwrap();
         for o in objects(5) {
             d.push(o).unwrap();
         }
@@ -752,9 +940,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shard size must be positive")]
-    fn zero_shard_size_panics() {
-        let _ = ShardedDataset::with_shard_size(schema(), 0);
+    fn zero_shard_size_is_a_structured_error() {
+        // Regression: every shard-size-taking constructor must reject 0 with
+        // FairError::InvalidConfig instead of panicking.
+        assert!(matches!(
+            ShardedDataset::with_shard_size(schema(), 0),
+            Err(FairError::InvalidConfig { .. })
+        ));
+        let flat = Dataset::new(schema(), objects(5)).unwrap();
+        assert!(matches!(
+            ShardedDataset::from_dataset(&flat, 0),
+            Err(FairError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ShardedDataset::from_objects(schema(), objects(5), 0),
+            Err(FairError::InvalidConfig { .. })
+        ));
+        let err = ShardedDataset::with_shard_size(schema(), 0).unwrap_err();
+        assert!(err.to_string().contains("shard size"), "{err}");
     }
 
     #[test]
@@ -762,5 +965,12 @@ mod tests {
     fn out_of_bounds_row_panics() {
         let d = ShardedDataset::from_objects(schema(), objects(5), 2).unwrap();
         let _ = d.row(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_shard_len_panics() {
+        let d = ShardedDataset::from_objects(schema(), objects(5), 2).unwrap();
+        let _ = d.shard_len(3);
     }
 }

@@ -195,16 +195,29 @@ impl CompasGenerator {
     /// still buffers the flat per-defendant score arrays — deciles are
     /// population ranks — but no whole-cohort `Vec<DataObject>` is built.)
     ///
+    /// # Errors
+    /// Returns [`FairError::InvalidConfig`] if `shard_size == 0`.
+    ///
     /// # Panics
-    /// Panics if `num_defendants == 0` or `shard_size == 0`.
-    #[must_use]
-    pub fn generate_sharded(&self, shard_size: usize) -> ShardedDataset {
-        let mut data = ShardedDataset::with_shard_size(Self::schema(), shard_size);
+    /// Panics if `num_defendants == 0`.
+    pub fn generate_sharded(&self, shard_size: usize) -> Result<ShardedDataset> {
+        let mut data = ShardedDataset::with_shard_size(Self::schema(), shard_size)?;
         self.generate_rows(|object| {
             data.push(object)
                 .expect("generated objects match the schema");
         });
-        data
+        Ok(data)
+    }
+
+    /// Stream the defendants to `emit` the moment each is assembled — the
+    /// zero-materialization hook behind the on-disk store converters.
+    /// Row-for-row (bit-for-bit) identical to [`CompasGenerator::generate`]
+    /// for the same seed.
+    ///
+    /// # Panics
+    /// Panics if `num_defendants == 0`.
+    pub fn for_each_defendant(&self, emit: impl FnMut(DataObject)) {
+        self.generate_rows(emit);
     }
 }
 
@@ -318,7 +331,7 @@ mod tests {
     fn sharded_generation_matches_contiguous_bit_for_bit() {
         let generator = CompasGenerator::new(CompasConfig::small(1_001, 13));
         let flat = generator.generate();
-        let sharded = generator.generate_sharded(100);
+        let sharded = generator.generate_sharded(100).unwrap();
         assert_eq!(sharded.len(), flat.len());
         assert_eq!(sharded.num_shards(), 11);
         assert_eq!(sharded.shard(10).len(), 1, "non-divisible final shard");

@@ -134,10 +134,17 @@ enum Role {
 }
 
 /// The parsed header: the schema plus the per-column routing table.
-struct CsvLayout {
+pub(crate) struct CsvLayout {
     schema: SchemaRef,
     roles: Vec<Role>,
     num_columns: usize,
+}
+
+impl CsvLayout {
+    /// The schema the header declares.
+    pub(crate) fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
 }
 
 fn parse_header(header: &str) -> std::result::Result<CsvLayout, CsvError> {
@@ -236,7 +243,7 @@ fn parse_row(
 }
 
 /// Read and parse the header line from an opened reader.
-fn read_header<R: BufRead>(reader: &mut R) -> std::result::Result<CsvLayout, CsvError> {
+pub(crate) fn read_header<R: BufRead>(reader: &mut R) -> std::result::Result<CsvLayout, CsvError> {
     let mut first = String::new();
     if reader.read_line(&mut first)? == 0 {
         return Err(CsvError::Malformed {
@@ -272,10 +279,14 @@ pub fn read_csv(path: impl AsRef<Path>) -> std::result::Result<Dataset, CsvError
 fn read_dataset<R: BufRead>(mut reader: R) -> std::result::Result<Dataset, CsvError> {
     let layout = read_header(&mut reader)?;
     let mut dataset = Dataset::empty(layout.schema.clone());
-    stream_rows(reader, &layout, |object| {
-        dataset.push(object)?;
-        Ok(())
-    })?;
+    stream_rows(
+        reader,
+        &layout,
+        |object| -> std::result::Result<(), CsvError> {
+            dataset.push(object)?;
+            Ok(())
+        },
+    )?;
     Ok(dataset)
 }
 
@@ -285,39 +296,47 @@ fn read_dataset<R: BufRead>(mut reader: R) -> std::result::Result<Dataset, CsvEr
 /// filled — the out-of-core ingestion path.
 ///
 /// # Errors
-/// Returns an error on I/O failure, malformed input, or invalid values.
-///
-/// # Panics
-/// Panics if `shard_size == 0`.
+/// Returns an error on I/O failure, malformed input, invalid values, or a
+/// zero shard size.
 pub fn read_csv_sharded(
     path: impl AsRef<Path>,
     shard_size: usize,
 ) -> std::result::Result<ShardedDataset, CsvError> {
     let mut reader = BufReader::new(fs::File::open(path)?);
     let layout = read_header(&mut reader)?;
-    let mut sharded = ShardedDataset::with_shard_size(layout.schema.clone(), shard_size);
-    stream_rows(reader, &layout, |object| {
-        sharded.push(object)?;
-        Ok(())
-    })?;
+    let mut sharded = ShardedDataset::with_shard_size(layout.schema.clone(), shard_size)?;
+    stream_rows(
+        reader,
+        &layout,
+        |object| -> std::result::Result<(), CsvError> {
+            sharded.push(object)?;
+            Ok(())
+        },
+    )?;
     Ok(sharded)
 }
 
 /// Drive the streaming row loop over an opened reader, reusing one line
-/// buffer for the whole file.
-fn stream_rows<R: BufRead, S>(
+/// buffer for the whole file. Generic over the sink's error type so store
+/// converters can thread their own failures through the loop.
+pub(crate) fn stream_rows<R: BufRead, S, E>(
     mut reader: R,
     layout: &CsvLayout,
     mut sink: S,
-) -> std::result::Result<(), CsvError>
+) -> std::result::Result<(), E>
 where
-    S: FnMut(DataObject) -> std::result::Result<(), CsvError>,
+    S: FnMut(DataObject) -> std::result::Result<(), E>,
+    E: From<CsvError>,
 {
     let mut buf = String::new();
     let mut line_no = 0_usize;
     loop {
         buf.clear();
-        if reader.read_line(&mut buf)? == 0 {
+        if reader
+            .read_line(&mut buf)
+            .map_err(|e| E::from(CsvError::Io(e)))?
+            == 0
+        {
             return Ok(());
         }
         line_no += 1;
@@ -325,7 +344,7 @@ where
         if line.trim().is_empty() {
             continue;
         }
-        sink(parse_row(layout, line, line_no)?)?;
+        sink(parse_row(layout, line, line_no).map_err(E::from)?)?;
     }
 }
 

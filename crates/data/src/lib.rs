@@ -23,6 +23,7 @@
 //! | [`school`] | the NYC-school-like cohort generator (Section V-A of the paper) |
 //! | [`compas`] | the COMPAS-like defendant generator |
 //! | [`csv`] | CSV writing plus streaming readers into [`fair_core::Dataset`] / [`fair_core::ShardedDataset`] |
+//! | [`store`] | streaming converters into the on-disk shard store (`fair-store`) |
 //! | [`split`] | train/test and per-district splitting |
 //! | [`stats`] | dataset summary statistics used by reports and examples |
 
@@ -36,9 +37,11 @@ pub mod distributions;
 pub mod school;
 pub mod split;
 pub mod stats;
+pub mod store;
 
 pub use compas::{CompasConfig, CompasGenerator, RACE_GROUPS};
 pub use csv::{read_csv, read_csv_sharded, write_csv, CsvError};
 pub use school::{SchoolConfig, SchoolGenerator, ShardedSchoolCohort, SCHOOL_DISTRICTS};
 pub use split::{holdout_split, stratified_split};
 pub use stats::DatasetSummary;
+pub use store::{compas_to_store, csv_to_store, school_to_store, IngestError};

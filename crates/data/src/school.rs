@@ -318,18 +318,31 @@ impl SchoolGenerator {
     /// shard. Rows are bit-for-bit identical to [`SchoolGenerator::generate`]
     /// for the same seed.
     ///
+    /// # Errors
+    /// Returns [`FairError::InvalidConfig`] if `shard_size == 0`.
+    ///
     /// # Panics
-    /// Panics if `num_students == 0` or `shard_size == 0`.
-    #[must_use]
-    pub fn generate_sharded(&self, shard_size: usize) -> ShardedSchoolCohort {
-        let mut data = ShardedDataset::with_shard_size(Self::schema(), shard_size);
+    /// Panics if `num_students == 0`.
+    pub fn generate_sharded(&self, shard_size: usize) -> Result<ShardedSchoolCohort> {
+        let mut data = ShardedDataset::with_shard_size(Self::schema(), shard_size)?;
         let mut districts = Vec::with_capacity(self.config.num_students);
         self.generate_rows(|object, district| {
             data.push(object)
                 .expect("generated objects match the schema");
             districts.push(district);
         });
-        ShardedSchoolCohort { data, districts }
+        Ok(ShardedSchoolCohort { data, districts })
+    }
+
+    /// Stream the cohort's students to `emit` (with their district
+    /// assignment) the moment each is drawn — the zero-materialization hook
+    /// behind the on-disk store converters. Row-for-row (bit-for-bit)
+    /// identical to [`SchoolGenerator::generate`] for the same seed.
+    ///
+    /// # Panics
+    /// Panics if `num_students == 0`.
+    pub fn for_each_student(&self, emit: impl FnMut(DataObject, u16)) {
+        self.generate_rows(emit);
     }
 
     /// Generate a training cohort and a test cohort from consecutive seeds —
@@ -464,7 +477,7 @@ mod tests {
     fn sharded_generation_matches_contiguous_bit_for_bit() {
         let generator = SchoolGenerator::new(SchoolConfig::small(1_000, 17));
         let flat = generator.generate();
-        let sharded = generator.generate_sharded(64);
+        let sharded = generator.generate_sharded(64).unwrap();
         assert_eq!(sharded.dataset().len(), flat.dataset().len());
         assert_eq!(sharded.dataset().num_shards(), 16, "1000 rows / 64");
         assert_eq!(sharded.districts(), flat.districts());

@@ -1,0 +1,552 @@
+//! The FSS1 on-disk layout: header, embedded schema, shard blocks, and the
+//! trailing shard directory — plus the std-only CRC32/FNV primitives that
+//! checksum them.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ header (52 B): magic "FSS1" · version · schema hash · shard size │
+//! │                total rows · shard count · directory offset · CRC │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ schema block: length-prefixed serialization + CRC                │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ shard 0: rows ┆ ids+CRC ┆ features+CRC ┆ fairness+CRC ┆ labels+CRC
+//! │ shard 1: …                                                       │
+//! │ ⋮   (appended as they are built — streaming writes)              │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ directory: per shard (offset, rows) + CRC   (written at finalize)│
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every multi-byte integer is little-endian. Each column block carries its
+//! own CRC32 so a flipped byte anywhere is caught before any value is
+//! interpreted; the header additionally pins the schema by an FNV-1a hash so
+//! a file can never be decoded under the wrong column layout.
+
+use crate::error::{Result, StoreError};
+use fair_core::{FairnessAttribute, FairnessKind, Schema, SchemaRef};
+
+/// The four magic bytes opening every shard file.
+pub const MAGIC: [u8; 4] = *b"FSS1";
+/// Current format revision.
+pub const VERSION: u16 = 1;
+/// Fixed byte length of the file header.
+pub const HEADER_LEN: usize = 52;
+/// Byte length of one shard-directory entry (`offset u64`, `rows u64`).
+pub const DIR_ENTRY_LEN: usize = 16;
+
+// ---------------------------------------------------------------------
+// Checksums.
+// ---------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built once.
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0_u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    0xEDB8_8320 ^ (crc >> 1)
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC32 (IEEE) of `bytes` — the per-block integrity check.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hash — pins the schema serialization in the header.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Little-endian cursor helpers.
+// ---------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over a byte slice; every overrun is
+/// a structured corruption error, never a panic.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// File offset of `bytes[0]`, for error reporting.
+    base: u64,
+    /// What is being decoded, for error reporting.
+    what: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap `bytes` (starting at file offset `base`) for decoding `what`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], base: u64, what: &'a str) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            base,
+            what,
+        }
+    }
+
+    fn corrupt(&self, reason: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            offset: self.base + self.pos as u64,
+            what: self.what.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.corrupt(format!("truncated: {n} more bytes expected")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid UTF-8 in name"))
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Header.
+// ---------------------------------------------------------------------
+
+/// The decoded fixed-size file header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// FNV-1a hash of the schema block's serialization.
+    pub schema_hash: u64,
+    /// Rows per shard (every shard but the last).
+    pub shard_size: u64,
+    /// Total rows across all shards.
+    pub total_rows: u64,
+    /// Number of shards.
+    pub num_shards: u64,
+    /// File offset of the shard directory.
+    pub directory_offset: u64,
+}
+
+impl Header {
+    /// Serialize to the fixed [`HEADER_LEN`] bytes (including the CRC).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0_u16.to_le_bytes()); // reserved flags
+        put_u64(&mut out, self.schema_hash);
+        put_u64(&mut out, self.shard_size);
+        put_u64(&mut out, self.total_rows);
+        put_u64(&mut out, self.num_shards);
+        put_u64(&mut out, self.directory_offset);
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        debug_assert_eq!(out.len(), HEADER_LEN);
+        out
+    }
+
+    /// Decode and validate a [`HEADER_LEN`]-byte header.
+    ///
+    /// # Errors
+    /// Returns a structured error on bad magic, an unsupported version, or a
+    /// failed header checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut c = Cursor::new(bytes, 0, "file header");
+        let magic = c.take(4)?;
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt {
+                offset: 0,
+                what: "file header".into(),
+                reason: format!("bad magic {magic:02x?}, expected \"FSS1\""),
+            });
+        }
+        let version = c.u16()?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let _flags = c.u16()?;
+        let header = Self {
+            schema_hash: c.u64()?,
+            shard_size: c.u64()?,
+            total_rows: c.u64()?,
+            num_shards: c.u64()?,
+            directory_offset: c.u64()?,
+        };
+        let stored_crc = c.u32()?;
+        let actual = crc32(&bytes[..HEADER_LEN - 4]);
+        if stored_crc != actual {
+            return Err(StoreError::Corrupt {
+                offset: (HEADER_LEN - 4) as u64,
+                what: "file header".into(),
+                reason: format!(
+                    "checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+                ),
+            });
+        }
+        Ok(header)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema block.
+// ---------------------------------------------------------------------
+
+/// Serialize a schema: feature names, then fairness attributes with their
+/// kinds. This byte sequence is what [`fnv1a64`] pins in the header.
+#[must_use]
+pub fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(
+        &mut out,
+        u32::try_from(schema.num_features()).expect("few features"),
+    );
+    for name in schema.features() {
+        put_u32(&mut out, u32::try_from(name.len()).expect("short name"));
+        out.extend_from_slice(name.as_bytes());
+    }
+    put_u32(
+        &mut out,
+        u32::try_from(schema.num_fairness()).expect("few attributes"),
+    );
+    for attr in schema.fairness() {
+        out.push(match attr.kind() {
+            FairnessKind::Binary => 0,
+            FairnessKind::Continuous => 1,
+        });
+        put_u32(
+            &mut out,
+            u32::try_from(attr.name().len()).expect("short name"),
+        );
+        out.extend_from_slice(attr.name().as_bytes());
+    }
+    out
+}
+
+/// Reconstruct the schema from its serialization (at file offset `base`).
+///
+/// # Errors
+/// Returns a structured error on truncation, unknown attribute kinds, or a
+/// serialization that violates schema invariants.
+pub fn decode_schema(bytes: &[u8], base: u64) -> Result<SchemaRef> {
+    let mut c = Cursor::new(bytes, base, "schema block");
+    let num_features = c.u32()? as usize;
+    if num_features > bytes.len() {
+        return Err(StoreError::Corrupt {
+            offset: base,
+            what: "schema block".into(),
+            reason: format!("implausible feature count {num_features}"),
+        });
+    }
+    let mut features = Vec::with_capacity(num_features);
+    for _ in 0..num_features {
+        features.push(c.string()?);
+    }
+    let num_fairness = c.u32()? as usize;
+    if num_fairness > bytes.len() {
+        return Err(StoreError::Corrupt {
+            offset: base,
+            what: "schema block".into(),
+            reason: format!("implausible fairness count {num_fairness}"),
+        });
+    }
+    let mut fairness = Vec::with_capacity(num_fairness);
+    for _ in 0..num_fairness {
+        let kind = c.take(1)?[0];
+        let name = c.string()?;
+        fairness.push(match kind {
+            0 => FairnessAttribute::binary(name),
+            1 => FairnessAttribute::continuous(name),
+            other => {
+                return Err(StoreError::Corrupt {
+                    offset: base,
+                    what: "schema block".into(),
+                    reason: format!("unknown fairness kind {other}"),
+                })
+            }
+        });
+    }
+    if !c.exhausted() {
+        return Err(StoreError::Corrupt {
+            offset: base,
+            what: "schema block".into(),
+            reason: "trailing bytes after schema".into(),
+        });
+    }
+    Ok(Schema::new(features, fairness)?)
+}
+
+// ---------------------------------------------------------------------
+// Shard directory.
+// ---------------------------------------------------------------------
+
+/// One directory entry: where a shard block starts and how many rows it
+/// holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// File offset of the shard block.
+    pub offset: u64,
+    /// Rows in the shard.
+    pub rows: u64,
+}
+
+/// Serialize the directory (entries + trailing CRC).
+#[must_use]
+pub fn encode_directory(entries: &[ShardEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * DIR_ENTRY_LEN + 4);
+    for e in entries {
+        put_u64(&mut out, e.offset);
+        put_u64(&mut out, e.rows);
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Decode and checksum-validate a directory of `num_shards` entries read
+/// from file offset `base`.
+///
+/// # Errors
+/// Returns a structured error on truncation or a failed checksum.
+pub fn decode_directory(bytes: &[u8], num_shards: usize, base: u64) -> Result<Vec<ShardEntry>> {
+    let body_len = num_shards * DIR_ENTRY_LEN;
+    if bytes.len() < body_len + 4 {
+        return Err(StoreError::Corrupt {
+            offset: base,
+            what: "shard directory".into(),
+            reason: format!(
+                "truncated: {} bytes present, {} expected",
+                bytes.len(),
+                body_len + 4
+            ),
+        });
+    }
+    let stored_crc = u32::from_le_bytes(bytes[body_len..body_len + 4].try_into().expect("4"));
+    let actual = crc32(&bytes[..body_len]);
+    if stored_crc != actual {
+        return Err(StoreError::Corrupt {
+            offset: base + body_len as u64,
+            what: "shard directory".into(),
+            reason: format!(
+                "checksum mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+            ),
+        });
+    }
+    let mut c = Cursor::new(&bytes[..body_len], base, "shard directory");
+    let mut entries = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        entries.push(ShardEntry {
+            offset: c.u64()?,
+            rows: c.u64()?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Byte length of one shard block holding `rows` rows under a schema with
+/// `num_features`/`num_fairness` columns: the row count, then the four
+/// CRC-suffixed column blocks (ids, features, fairness, labels). Saturating
+/// arithmetic: implausible (crafted-header) inputs yield `u64::MAX`, which
+/// every bounds check downstream rejects — never an overflow panic.
+#[must_use]
+pub fn shard_block_len(rows: u64, num_features: usize, num_fairness: usize) -> u64 {
+    let column = |width: u64| {
+        rows.saturating_mul(8)
+            .saturating_mul(width)
+            .saturating_add(4)
+    };
+    let ids = column(1);
+    let features = column(num_features as u64);
+    let fairness = column(num_fairness as u64);
+    let labels = rows.saturating_add(4);
+    8_u64
+        .saturating_add(ids)
+        .saturating_add(features)
+        .saturating_add(fairness)
+        .saturating_add(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_ne!(fnv1a64(b"schema-a"), fnv1a64(b"schema-b"));
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = Header {
+            schema_hash: 0xDEAD_BEEF_CAFE_F00D,
+            shard_size: 64 * 1024,
+            total_rows: 1_000_003,
+            num_shards: 16,
+            directory_offset: 123_456_789,
+        };
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        assert_eq!(Header::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_version_and_crc() {
+        let h = Header {
+            schema_hash: 1,
+            shard_size: 2,
+            total_rows: 3,
+            num_shards: 2,
+            directory_offset: 99,
+        };
+        let mut bytes = h.encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let mut bytes = h.encode();
+        bytes[4] = 9;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 9 })
+        ));
+        let mut bytes = h.encode();
+        bytes[20] ^= 0x01; // flip a payload byte: CRC must catch it
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_round_trips_with_stable_hash() {
+        let schema =
+            Schema::from_names(&["gpa", "test"], &["low_income", "ell"], &["eni"]).unwrap();
+        let bytes = encode_schema(&schema);
+        let back = decode_schema(&bytes, 52).unwrap();
+        assert_eq!(*back, *schema);
+        assert_eq!(fnv1a64(&bytes), fnv1a64(&encode_schema(&back)));
+        // Kinds survive.
+        assert_eq!(back.fairness()[2].kind(), FairnessKind::Continuous);
+    }
+
+    #[test]
+    fn schema_decode_rejects_corruption() {
+        let schema = Schema::from_names(&["x"], &["g"], &[]).unwrap();
+        let bytes = encode_schema(&schema);
+        // Truncated.
+        assert!(decode_schema(&bytes[..bytes.len() - 2], 0).is_err());
+        // Unknown kind byte.
+        let mut bad = bytes.clone();
+        let kind_pos = bad.len() - (4 + 1 + 1); // kind byte precedes the name
+        bad[kind_pos] = 7;
+        assert!(decode_schema(&bad, 0).is_err());
+        // Trailing garbage.
+        let mut long = bytes;
+        long.push(0);
+        assert!(decode_schema(&long, 0).is_err());
+    }
+
+    #[test]
+    fn directory_round_trips_and_detects_flips() {
+        let entries = vec![
+            ShardEntry {
+                offset: 100,
+                rows: 7,
+            },
+            ShardEntry {
+                offset: 400,
+                rows: 3,
+            },
+        ];
+        let bytes = encode_directory(&entries);
+        assert_eq!(decode_directory(&bytes, 2, 500).unwrap(), entries);
+        let mut bad = bytes.clone();
+        bad[3] ^= 0x10;
+        assert!(matches!(
+            decode_directory(&bad, 2, 500),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            decode_directory(&bytes[..10], 2, 500),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_block_len_counts_every_section() {
+        // 8 (rows) + ids (2*8+4) + features (2*8*1+4) + fairness (2*8*2+4)
+        // + labels (2+4)
+        assert_eq!(shard_block_len(2, 1, 2), 8 + 20 + 20 + 36 + 6);
+        // Crafted-header scale saturates instead of overflowing.
+        assert_eq!(shard_block_len(u64::MAX / 2, 1 << 30, 1 << 30), u64::MAX);
+    }
+}

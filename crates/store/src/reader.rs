@@ -1,0 +1,1013 @@
+//! [`ShardStore`]: the paging reader over an FSS1 file, with a byte-budgeted
+//! LRU shard cache.
+//!
+//! Opening a store validates the header, the embedded schema (checksum *and*
+//! schema hash), and the shard directory (checksum, offsets, block bounds,
+//! row counts) — so after a successful open, the only way a page-in can fail
+//! is genuine data corruption, which the per-block CRCs catch before any byte
+//! is interpreted. Shards decode on demand through the cache:
+//!
+//! * **byte budget** — `FAIR_CACHE_BYTES` (default 256 MiB) bounds the
+//!   resident column bytes; the least-recently-used unpinned shard is evicted
+//!   *before* a new one is admitted, so the resident set never outgrows the
+//!   budget beyond the currently pinned working set;
+//! * **pin while borrowed** — [`fair_core::ShardSource::with_shard`] pins the
+//!   shard for the duration of the kernel closure; a pinned shard is never
+//!   evicted, so a parallel worker can never have its block freed mid-kernel;
+//! * **observability** — hit/miss/eviction counters and a peak-resident-bytes
+//!   high-water mark ([`ShardStore::cache_stats`]) make the out-of-core
+//!   claim testable: evaluating a cohort larger than the budget must leave
+//!   `peak_bytes <= budget`.
+
+use crate::error::{Result, StoreError};
+use crate::format::{
+    crc32, decode_directory, decode_schema, fnv1a64, shard_block_len, Header, ShardEntry,
+    DIR_ENTRY_LEN, HEADER_LEN,
+};
+use fair_core::{Dataset, ObjectId, SchemaRef, ShardSource, ShardView};
+use std::collections::HashMap;
+use std::fs::File;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Default cache budget (bytes) when `FAIR_CACHE_BYTES` is not set.
+pub const DEFAULT_CACHE_BYTES: usize = 256 * 1024 * 1024;
+
+/// The shard-cache byte budget: the `FAIR_CACHE_BYTES` environment variable
+/// when set to an unsigned integer (`0` disables retention entirely — every
+/// unpinned shard is evicted immediately, forcing a re-page on each access,
+/// which CI uses to hammer the eviction path), [`DEFAULT_CACHE_BYTES`]
+/// otherwise.
+#[must_use]
+pub fn default_cache_bytes() -> usize {
+    std::env::var("FAIR_CACHE_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_CACHE_BYTES)
+}
+
+/// Column bytes of a decoded shard: the ids, feature, fairness, and label
+/// columns (the payload the cache budget accounts; `Vec` headers and the
+/// `Arc` are excluded).
+#[must_use]
+pub fn column_bytes(data: &Dataset) -> usize {
+    let per_row = 8 * (data.schema().num_features() + data.schema().num_fairness()) + 8 + 1;
+    data.len() * per_row
+}
+
+/// A point-in-time snapshot of the shard cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that had to page the shard in from disk.
+    pub misses: u64,
+    /// Shards evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Column bytes currently resident.
+    pub resident_bytes: usize,
+    /// High-water mark of [`CacheStats::resident_bytes`] over the store's
+    /// lifetime — the number the out-of-core acceptance test pins under the
+    /// budget.
+    pub peak_bytes: usize,
+    /// Shards currently pinned by in-flight kernels.
+    pub pinned_shards: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+}
+
+struct CacheEntry {
+    data: Arc<Dataset>,
+    bytes: usize,
+    pins: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<usize, CacheEntry>,
+    tick: u64,
+    resident: usize,
+    peak: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Positional reads shared by concurrent page-ins.
+struct StoreFile {
+    file: File,
+    #[cfg(not(unix))]
+    lock: Mutex<()>,
+}
+
+impl StoreFile {
+    fn new(file: File) -> Self {
+        Self {
+            file,
+            #[cfg(not(unix))]
+            lock: Mutex::new(()),
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let _guard = self.lock.lock().expect("file lock poisoned");
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)
+        }
+    }
+}
+
+/// An open FSS1 shard file: validated layout, on-demand shard paging, and
+/// the LRU cache. Implements [`ShardSource`], so every sharded metric,
+/// ranking kernel, and DCA driver evaluates straight off the disk file with
+/// memory bounded by the cache budget.
+pub struct ShardStore {
+    file: StoreFile,
+    schema: SchemaRef,
+    shard_size: usize,
+    total_rows: usize,
+    directory: Vec<ShardEntry>,
+    budget: usize,
+    cache: Mutex<CacheState>,
+}
+
+impl std::fmt::Debug for ShardStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardStore")
+            .field("rows", &self.total_rows)
+            .field("shards", &self.directory.len())
+            .field("shard_size", &self.shard_size)
+            .field("budget_bytes", &self.budget)
+            .finish()
+    }
+}
+
+impl ShardStore {
+    /// Open a store with the environment-resolved cache budget
+    /// ([`default_cache_bytes`]).
+    ///
+    /// # Errors
+    /// Returns a structured error for any I/O failure or any header, schema,
+    /// or directory corruption — truncated files included. Never panics.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_budget(path, default_cache_bytes())
+    }
+
+    /// Open a store with an explicit cache byte budget.
+    ///
+    /// # Errors
+    /// Returns a structured error for any I/O failure or any header, schema,
+    /// or directory corruption — truncated files included. Never panics.
+    pub fn open_with_budget(path: impl AsRef<Path>, budget: usize) -> Result<Self> {
+        let file = StoreFile::new(File::open(path)?);
+        let file_len = file.file.metadata()?.len();
+
+        let header_bytes = read_block(&file, 0, HEADER_LEN, "file header")?;
+        let header = Header::decode(&header_bytes)?;
+        if header.directory_offset == 0 {
+            return Err(StoreError::Corrupt {
+                offset: 40,
+                what: "file header".into(),
+                reason: "zero directory offset: the writer never finalized this file".into(),
+            });
+        }
+        if header.shard_size == 0 {
+            return Err(StoreError::Corrupt {
+                offset: 16,
+                what: "file header".into(),
+                reason: "zero shard size".into(),
+            });
+        }
+        let shard_size = usize::try_from(header.shard_size).map_err(|_| StoreError::Corrupt {
+            offset: 16,
+            what: "file header".into(),
+            reason: "shard size exceeds the address space".into(),
+        })?;
+        let total_rows = usize::try_from(header.total_rows).map_err(|_| StoreError::Corrupt {
+            offset: 24,
+            what: "file header".into(),
+            reason: "row count exceeds the address space".into(),
+        })?;
+        // Every stored row occupies at least 9 bytes (id + label) in its
+        // block, so a row count beyond the file length is a crafted or
+        // corrupt header — reject it before any size arithmetic.
+        if header.total_rows > file_len {
+            return Err(StoreError::Corrupt {
+                offset: 24,
+                what: "file header".into(),
+                reason: format!(
+                    "{} rows cannot fit a {}-byte file",
+                    header.total_rows, file_len
+                ),
+            });
+        }
+        let expected_shards = total_rows.div_ceil(shard_size);
+        if header.num_shards != expected_shards as u64 {
+            return Err(StoreError::Corrupt {
+                offset: 32,
+                what: "file header".into(),
+                reason: format!(
+                    "{} shards recorded, but {} rows at shard size {} need {}",
+                    header.num_shards, total_rows, shard_size, expected_shards
+                ),
+            });
+        }
+        if header.directory_offset > file_len {
+            return Err(StoreError::Corrupt {
+                offset: 40,
+                what: "file header".into(),
+                reason: format!(
+                    "directory offset {} beyond the file end {}",
+                    header.directory_offset, file_len
+                ),
+            });
+        }
+
+        // Schema block.
+        let len_bytes = read_block(&file, HEADER_LEN as u64, 4, "schema block")?;
+        let schema_len = u32::from_le_bytes(len_bytes[..4].try_into().expect("4")) as usize;
+        if (HEADER_LEN + 8 + schema_len) as u64 > file_len {
+            return Err(StoreError::Corrupt {
+                offset: HEADER_LEN as u64,
+                what: "schema block".into(),
+                reason: format!("length {schema_len} runs past the file end"),
+            });
+        }
+        let schema_bytes = read_block(&file, (HEADER_LEN + 4) as u64, schema_len, "schema block")?;
+        let crc_bytes = read_block(
+            &file,
+            (HEADER_LEN + 4 + schema_len) as u64,
+            4,
+            "schema block",
+        )?;
+        let stored_crc = u32::from_le_bytes(crc_bytes[..4].try_into().expect("4"));
+        if stored_crc != crc32(&schema_bytes) {
+            return Err(StoreError::Corrupt {
+                offset: (HEADER_LEN + 4 + schema_len) as u64,
+                what: "schema block".into(),
+                reason: "checksum mismatch".into(),
+            });
+        }
+        if fnv1a64(&schema_bytes) != header.schema_hash {
+            return Err(StoreError::Corrupt {
+                offset: 8,
+                what: "file header".into(),
+                reason: "schema hash does not match the schema block".into(),
+            });
+        }
+        let schema = decode_schema(&schema_bytes, (HEADER_LEN + 4) as u64)?;
+
+        // Shard directory. All arithmetic is checked and bounded by the file
+        // length *before* any allocation, so a crafted header with a huge
+        // row count is a structured error, not an overflow or OOM panic.
+        let num_shards = expected_shards;
+        let dir_len = num_shards
+            .checked_mul(DIR_ENTRY_LEN)
+            .and_then(|v| v.checked_add(4))
+            .ok_or_else(|| StoreError::Corrupt {
+                offset: 32,
+                what: "file header".into(),
+                reason: format!("{num_shards} shards overflow the directory size"),
+            })?;
+        let dir_end = (dir_len as u64).checked_add(header.directory_offset);
+        if dir_end.is_none() || dir_end.expect("checked") > file_len {
+            return Err(StoreError::Corrupt {
+                offset: header.directory_offset,
+                what: "shard directory".into(),
+                reason: format!(
+                    "truncated: needs {} bytes, file ends {} bytes in",
+                    dir_len,
+                    file_len - header.directory_offset
+                ),
+            });
+        }
+        let dir_bytes = read_block(&file, header.directory_offset, dir_len, "shard directory")?;
+        let directory = decode_directory(&dir_bytes, num_shards, header.directory_offset)?;
+
+        // Entry-by-entry layout validation: offsets in range, blocks inside
+        // the data region, row counts matching the fixed-size layout.
+        let data_start = (HEADER_LEN + 8 + schema_len) as u64;
+        for (i, entry) in directory.iter().enumerate() {
+            let expected_rows = if i + 1 == num_shards {
+                (total_rows - i * shard_size) as u64
+            } else {
+                shard_size as u64
+            };
+            if entry.rows != expected_rows {
+                return Err(StoreError::Corrupt {
+                    offset: header.directory_offset + (i * DIR_ENTRY_LEN) as u64,
+                    what: format!("shard {i} directory entry"),
+                    reason: format!(
+                        "{} rows recorded, layout requires {expected_rows}",
+                        entry.rows
+                    ),
+                });
+            }
+            let block_len =
+                shard_block_len(entry.rows, schema.num_features(), schema.num_fairness());
+            if entry.offset < data_start || entry.offset + block_len > header.directory_offset {
+                return Err(StoreError::Corrupt {
+                    offset: header.directory_offset + (i * DIR_ENTRY_LEN) as u64,
+                    what: format!("shard {i} directory entry"),
+                    reason: format!(
+                        "block [{}, {}) outside the data region [{}, {})",
+                        entry.offset,
+                        entry.offset + block_len,
+                        data_start,
+                        header.directory_offset
+                    ),
+                });
+            }
+        }
+
+        Ok(Self {
+            file,
+            schema,
+            shard_size,
+            total_rows,
+            directory,
+            budget,
+            cache: Mutex::new(CacheState::default()),
+        })
+    }
+
+    /// The configured cache byte budget.
+    #[must_use]
+    pub fn cache_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Snapshot of the cache counters.
+    ///
+    /// # Panics
+    /// Panics if the cache lock is poisoned (a kernel panicked mid-access).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        let st = self.cache.lock().expect("shard cache poisoned");
+        CacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+            resident_bytes: st.resident,
+            peak_bytes: st.peak,
+            pinned_shards: st.entries.values().filter(|e| e.pins > 0).count(),
+            budget_bytes: self.budget,
+        }
+    }
+
+    /// Read shard `index` through the cache, returning an owning handle.
+    /// The cache itself may drop its reference afterwards (the handle keeps
+    /// the block alive regardless).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidConfig`] for an out-of-range index, and a
+    /// structured corruption or I/O error when the block fails its checksums.
+    pub fn read_shard(&self, index: usize) -> Result<Arc<Dataset>> {
+        if index >= self.directory.len() {
+            return Err(StoreError::InvalidConfig {
+                reason: format!(
+                    "shard {index} out of range ({} shards)",
+                    self.directory.len()
+                ),
+            });
+        }
+        let data = self.pin(index)?;
+        self.unpin(index);
+        Ok(data)
+    }
+
+    /// Decode every shard front to back, verifying all checksums, without
+    /// retaining anything in the cache — a full-file integrity scan.
+    ///
+    /// # Errors
+    /// Returns the first corruption or I/O error encountered.
+    pub fn verify(&self) -> Result<()> {
+        for i in 0..self.directory.len() {
+            self.load_shard(i)?;
+        }
+        Ok(())
+    }
+
+    /// Decode shard `index` straight from disk (no cache interaction).
+    fn load_shard(&self, index: usize) -> Result<Dataset> {
+        let entry = self.directory[index];
+        let rows = usize::try_from(entry.rows).expect("rows fit usize (validated at open)");
+        let nf = self.schema.num_features();
+        let na = self.schema.num_fairness();
+        let block_len = shard_block_len(entry.rows, nf, na);
+        let bytes = read_block(
+            &self.file,
+            entry.offset,
+            usize::try_from(block_len).expect("block fits usize"),
+            "shard block",
+        )
+        .map_err(|e| relabel(e, &format!("shard {index} block")))?;
+
+        let mut pos = 0_usize;
+        let take = |pos: &mut usize, n: usize| -> &[u8] {
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            s
+        };
+        let stored_rows = u64::from_le_bytes(take(&mut pos, 8).try_into().expect("8"));
+        if stored_rows != entry.rows {
+            return Err(StoreError::Corrupt {
+                offset: entry.offset,
+                what: format!("shard {index} block"),
+                reason: format!(
+                    "{} rows in the block header, directory records {}",
+                    stored_rows, entry.rows
+                ),
+            });
+        }
+
+        let checked = |pos: &mut usize, n: usize, what: &str| -> Result<&[u8]> {
+            let start = entry.offset + *pos as u64;
+            let body = take(pos, n);
+            let stored = u32::from_le_bytes(take(pos, 4).try_into().expect("4"));
+            let actual = crc32(body);
+            if stored != actual {
+                return Err(StoreError::Corrupt {
+                    offset: start,
+                    what: format!("shard {index} {what}"),
+                    reason: format!(
+                        "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                    ),
+                });
+            }
+            Ok(body)
+        };
+
+        let ids: Vec<ObjectId> = checked(&mut pos, rows * 8, "ids block")?
+            .chunks_exact(8)
+            .map(|c| ObjectId(u64::from_le_bytes(c.try_into().expect("8"))))
+            .collect();
+        let features: Vec<f64> = checked(&mut pos, rows * 8 * nf, "features block")?
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8"))))
+            .collect();
+        let fairness: Vec<f64> = checked(&mut pos, rows * 8 * na, "fairness block")?
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8"))))
+            .collect();
+        let label_bytes = checked(&mut pos, rows, "labels block")?;
+        let mut labels = Vec::with_capacity(rows);
+        for (row, &b) in label_bytes.iter().enumerate() {
+            labels.push(match b {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                other => {
+                    return Err(StoreError::Corrupt {
+                        offset: entry.offset,
+                        what: format!("shard {index} labels block"),
+                        reason: format!("invalid label byte {other} at row {row}"),
+                    })
+                }
+            });
+        }
+        Ok(Dataset::from_columns(
+            self.schema.clone(),
+            ids,
+            features,
+            fairness,
+            labels,
+        )?)
+    }
+
+    /// Look the shard up in the cache (pinning it) or page it in on a miss.
+    fn pin(&self, index: usize) -> Result<Arc<Dataset>> {
+        {
+            let mut st = self.cache.lock().expect("shard cache poisoned");
+            st.tick += 1;
+            let tick = st.tick;
+            if let Some(e) = st.entries.get_mut(&index) {
+                e.pins += 1;
+                e.last_used = tick;
+                let data = e.data.clone();
+                st.hits += 1;
+                return Ok(data);
+            }
+            st.misses += 1;
+        }
+        // Decode outside the lock so concurrent workers page different
+        // shards in parallel. Two workers racing on the same shard decode it
+        // twice; the loser adopts the winner's copy below.
+        let data = Arc::new(self.load_shard(index)?);
+        let bytes = column_bytes(&data);
+        let mut st = self.cache.lock().expect("shard cache poisoned");
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(e) = st.entries.get_mut(&index) {
+            e.pins += 1;
+            e.last_used = tick;
+            return Ok(e.data.clone());
+        }
+        // Make room *before* admitting, so the resident set only ever
+        // exceeds the budget by what is genuinely pinned.
+        evict_until(&mut st, self.budget.saturating_sub(bytes));
+        st.resident += bytes;
+        st.peak = st.peak.max(st.resident);
+        st.entries.insert(
+            index,
+            CacheEntry {
+                data: data.clone(),
+                bytes,
+                pins: 1,
+                last_used: tick,
+            },
+        );
+        Ok(data)
+    }
+
+    /// Release one pin; shed any over-budget residue that eviction had to
+    /// tolerate while the shard was pinned.
+    fn unpin(&self, index: usize) {
+        let mut st = self.cache.lock().expect("shard cache poisoned");
+        if let Some(e) = st.entries.get_mut(&index) {
+            debug_assert!(e.pins > 0, "unbalanced unpin");
+            e.pins = e.pins.saturating_sub(1);
+        }
+        evict_until(&mut st, self.budget);
+    }
+}
+
+/// Evict least-recently-used unpinned shards until at most `target` column
+/// bytes stay resident (or nothing evictable remains).
+fn evict_until(st: &mut CacheState, target: usize) {
+    while st.resident > target {
+        let victim = st
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&k, _)| k);
+        match victim {
+            Some(k) => {
+                let e = st.entries.remove(&k).expect("victim exists");
+                st.resident -= e.bytes;
+                st.evictions += 1;
+            }
+            None => break,
+        }
+    }
+}
+
+/// Read `len` bytes at `offset`, mapping short reads to structured
+/// truncation errors.
+fn read_block(file: &StoreFile, offset: u64, len: usize, what: &str) -> Result<Vec<u8>> {
+    let mut buf = vec![0_u8; len];
+    file.read_exact_at(&mut buf, offset).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Corrupt {
+                offset,
+                what: what.to_string(),
+                reason: format!("truncated: {len} bytes expected"),
+            }
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+/// Re-label a corruption error with a more specific structure name.
+fn relabel(e: StoreError, what: &str) -> StoreError {
+    match e {
+        StoreError::Corrupt { offset, reason, .. } => StoreError::Corrupt {
+            offset,
+            what: what.to_string(),
+            reason,
+        },
+        other => other,
+    }
+}
+
+struct PinGuard<'a> {
+    store: &'a ShardStore,
+    index: usize,
+    data: Arc<Dataset>,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.store.unpin(self.index);
+    }
+}
+
+impl ShardSource for ShardStore {
+    fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    fn len(&self) -> usize {
+        self.total_rows
+    }
+
+    fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    fn num_shards(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Page the shard in (cache hit or disk read), pin it for the duration
+    /// of `f`, and unpin on return — eviction can then reclaim it.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index, and on I/O failure or block
+    /// corruption at page-in time. [`ShardStore::open`] validates the
+    /// header, schema, and directory but — deliberately, to keep opening a
+    /// beyond-RAM file cheap — does **not** read the shard payloads, so
+    /// at-rest corruption inside a column block surfaces here, where the
+    /// infallible engine API leaves no error channel. Run
+    /// [`ShardStore::verify`] first when the file is untrusted, or use
+    /// [`ShardStore::read_shard`] for fallible access.
+    fn with_shard<T>(&self, index: usize, f: impl FnOnce(ShardView<'_>) -> T) -> T {
+        assert!(
+            index < self.directory.len(),
+            "shard {index} out of bounds ({})",
+            self.directory.len()
+        );
+        let guard = PinGuard {
+            store: self,
+            index,
+            data: match self.pin(index) {
+                Ok(data) => data,
+                Err(e) => panic!("fair-store: cannot page in shard {index}: {e}"),
+            },
+        };
+        f(ShardView::new(index, index * self.shard_size, &guard.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_source, StoreWriter};
+    use fair_core::{DataObject, Schema, ShardedDataset};
+
+    fn schema() -> SchemaRef {
+        Schema::from_names(&["score"], &["g"], &["need"]).unwrap()
+    }
+
+    fn objects(n: u64) -> Vec<DataObject> {
+        (0..n)
+            .map(|i| {
+                DataObject::new_unchecked(
+                    i,
+                    vec![i as f64 / 2.0],
+                    vec![f64::from(u8::from(i % 3 == 0)), (i % 7) as f64 / 8.0],
+                    match i % 3 {
+                        0 => None,
+                        1 => Some(false),
+                        _ => Some(true),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fair_store_reader_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.fss", std::process::id()))
+    }
+
+    fn sample_store(name: &str, n: u64, shard_size: usize) -> std::path::PathBuf {
+        let data = ShardedDataset::from_objects(schema(), objects(n), shard_size).unwrap();
+        let path = temp_path(name);
+        write_source(&data, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn round_trips_every_shard_bit_for_bit() {
+        let data = ShardedDataset::from_objects(schema(), objects(23), 7).unwrap();
+        let path = temp_path("round_trip");
+        let summary = write_source(&data, &path).unwrap();
+        assert_eq!(summary.rows, 23);
+        assert_eq!(summary.shards, 4);
+
+        let store = ShardStore::open_with_budget(&path, usize::MAX).unwrap();
+        assert_eq!(store.len(), 23);
+        assert_eq!(store.num_shards(), 4);
+        assert_eq!(store.shard_size(), 7);
+        assert_eq!(**store.schema(), *schema());
+        for i in 0..4 {
+            let disk = store.read_shard(i).unwrap();
+            let mem = data.shard(i);
+            assert_eq!(disk.len(), mem.len(), "shard {i}");
+            assert_eq!(disk.ids(), mem.data().ids());
+            assert_eq!(disk.labels(), mem.data().labels());
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(disk.features_matrix()),
+                bits(mem.data().features_matrix())
+            );
+            assert_eq!(
+                bits(disk.fairness_matrix()),
+                bits(mem.data().fairness_matrix())
+            );
+        }
+        store.verify().unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn with_shard_pins_and_counts() {
+        let path = sample_store("pins", 40, 8);
+        // Budget 0: nothing survives unpinned.
+        let store = ShardStore::open_with_budget(&path, 0).unwrap();
+        store.with_shard(2, |view| {
+            assert_eq!(view.index(), 2);
+            assert_eq!(view.offset(), 16);
+            assert_eq!(view.len(), 8);
+            let stats = store.cache_stats();
+            assert_eq!(stats.pinned_shards, 1, "borrowed shard is pinned");
+            assert!(stats.resident_bytes > 0, "pinned shard is resident");
+            // Re-entrant access to the same shard is a cache hit even while
+            // the budget is zero — the pin protects it.
+            store.with_shard(2, |inner| assert_eq!(inner.len(), 8));
+            assert_eq!(store.cache_stats().hits, 1);
+        });
+        let stats = store.cache_stats();
+        assert_eq!(stats.pinned_shards, 0);
+        assert_eq!(stats.resident_bytes, 0, "budget 0 retains nothing");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.peak_bytes > 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn eviction_respects_the_byte_budget_and_lru_order() {
+        let path = sample_store("lru", 40, 8); // 5 shards of 8 rows
+        let store = ShardStore::open_with_budget(&path, usize::MAX).unwrap();
+        let shard_bytes = column_bytes(&store.read_shard(0).unwrap());
+        drop(store);
+
+        // Room for exactly two shards.
+        let store = ShardStore::open_with_budget(&path, 2 * shard_bytes).unwrap();
+        store.with_shard(0, |_| ());
+        store.with_shard(1, |_| ());
+        assert_eq!(store.cache_stats().resident_bytes, 2 * shard_bytes);
+        store.with_shard(0, |_| ()); // refresh 0 → 1 becomes the LRU victim
+        store.with_shard(2, |_| ());
+        let stats = store.cache_stats();
+        assert_eq!(stats.resident_bytes, 2 * shard_bytes);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.peak_bytes <= 2 * shard_bytes, "make-room-then-admit");
+        // 0 must still be cached (hit), 1 must have been evicted (miss).
+        let before = store.cache_stats().hits;
+        store.with_shard(0, |_| ());
+        assert_eq!(store.cache_stats().hits, before + 1);
+        let misses = store.cache_stats().misses;
+        store.with_shard(1, |_| ());
+        assert_eq!(store.cache_stats().misses, misses + 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_rejects_corruption_with_structured_errors() {
+        let path = sample_store("corrupt", 23, 7);
+        let original = std::fs::read(&path).unwrap();
+
+        // Wrong magic.
+        let mut bad = original.clone();
+        bad[0] = b'Z';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ShardStore::open_with_budget(&path, 0),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        // Truncated directory: cut the file mid-directory.
+        std::fs::write(&path, &original[..original.len() - 10]).unwrap();
+        match ShardStore::open_with_budget(&path, 0) {
+            Err(StoreError::Corrupt { what, .. }) => assert!(what.contains("directory"), "{what}"),
+            other => panic!("expected a directory corruption error, got {other:?}"),
+        }
+
+        // Empty file.
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            ShardStore::open_with_budget(&path, 0),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        std::fs::write(&path, &original).unwrap();
+        ShardStore::open_with_budget(&path, 0).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn flipped_data_byte_is_caught_by_the_block_checksum() {
+        let path = sample_store("flip", 23, 7);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the first shard's feature area (the header +
+        // schema occupy the prefix; shard 0 starts right after).
+        let store = ShardStore::open_with_budget(&path, 0).unwrap();
+        drop(store);
+        let flip_at = bytes.len() / 2;
+        bytes[flip_at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = ShardStore::open_with_budget(&path, 0).unwrap();
+        let mut failures = 0;
+        for i in 0..store.num_shards() {
+            if let Err(e) = store.read_shard(i) {
+                assert!(matches!(e, StoreError::Corrupt { .. }), "{e}");
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "a flipped byte must fail at least one shard");
+        assert!(store.verify().is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn writer_usage_errors_are_structured() {
+        let path = temp_path("writer_errors");
+        assert!(matches!(
+            StoreWriter::create(&path, schema(), 0),
+            Err(StoreError::InvalidConfig { .. })
+        ));
+        let mut w = StoreWriter::create(&path, schema(), 4).unwrap();
+        // Oversized shard.
+        let big = ShardedDataset::from_objects(schema(), objects(6), 6).unwrap();
+        assert!(w.append_shard(big.shard(0).data()).is_err());
+        // Short shard seals the writer.
+        let short = ShardedDataset::from_objects(schema(), objects(3), 4).unwrap();
+        w.append_shard(short.shard(0).data()).unwrap();
+        let again = ShardedDataset::from_objects(schema(), objects(4), 4).unwrap();
+        assert!(matches!(
+            w.append_shard(again.shard(0).data()),
+            Err(StoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            w.push(objects(1).pop().unwrap()),
+            Err(StoreError::InvalidConfig { .. })
+        ));
+        // Schema mismatch.
+        let other_schema = Schema::from_names(&["x"], &["g2"], &[]).unwrap();
+        let mut w2 =
+            StoreWriter::create(temp_path("writer_errors2"), other_schema.clone(), 4).unwrap();
+        assert!(matches!(
+            w2.append_shard(short.shard(0).data()),
+            Err(StoreError::InvalidConfig { .. })
+        ));
+        // Dimension-mismatched push is a schema error.
+        assert!(w2
+            .push(DataObject::new_unchecked(
+                0,
+                vec![1.0, 2.0],
+                vec![0.0],
+                None
+            ))
+            .is_err());
+        std::fs::remove_file(temp_path("writer_errors")).ok();
+        std::fs::remove_file(temp_path("writer_errors2")).ok();
+    }
+
+    #[test]
+    fn push_path_matches_append_path() {
+        let objs = objects(23);
+        let sharded = ShardedDataset::from_objects(schema(), objs.clone(), 7).unwrap();
+        let appended = temp_path("append");
+        write_source(&sharded, &appended).unwrap();
+        let pushed = temp_path("pushed");
+        let mut w = StoreWriter::create(&pushed, schema(), 7).unwrap();
+        for o in objs {
+            w.push(o).unwrap();
+        }
+        assert_eq!(w.rows(), 23);
+        let summary = w.finalize().unwrap();
+        assert_eq!(summary.rows, 23);
+        assert_eq!(
+            std::fs::read(&appended).unwrap(),
+            std::fs::read(&pushed).unwrap(),
+            "push and append produce identical files"
+        );
+        std::fs::remove_file(appended).ok();
+        std::fs::remove_file(pushed).ok();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let path = temp_path("empty");
+        let w = StoreWriter::create(&path, schema(), 4).unwrap();
+        let summary = w.finalize().unwrap();
+        assert_eq!(summary.rows, 0);
+        assert_eq!(summary.shards, 0);
+        let store = ShardStore::open_with_budget(&path, 0).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.num_shards(), 0);
+        assert!(store.fairness_centroid().is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unfinalized_file_is_rejected() {
+        let path = temp_path("unfinalized");
+        {
+            let mut w = StoreWriter::create(&path, schema(), 4).unwrap();
+            for o in objects(4) {
+                w.push(o).unwrap();
+            }
+            // Dropped without finalize: header still carries offset 0.
+        }
+        match ShardStore::open_with_budget(&path, 0) {
+            Err(StoreError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("finalize"), "{reason}")
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn huge_row_count_header_is_a_structured_error_not_an_overflow() {
+        use crate::format::{Header, HEADER_LEN};
+        let path = sample_store("huge_header", 8, 4);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Craft a header claiming 2^61 rows at shard size 1 (so the
+        // directory size computation would overflow), with a valid CRC so it
+        // passes Header::decode.
+        let original = Header::decode(&bytes[..HEADER_LEN]).unwrap();
+        let crafted = Header {
+            shard_size: 1,
+            total_rows: 1 << 61,
+            num_shards: 1 << 61,
+            ..original
+        };
+        bytes[..HEADER_LEN].copy_from_slice(&crafted.encode());
+        std::fs::write(&path, &bytes).unwrap();
+        match ShardStore::open_with_budget(&path, 0) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("crafted huge header must be structured, got {other:?}"),
+        }
+        // A count that does not overflow the multiply but exceeds the file
+        // must also be structured (truncated directory).
+        let crafted = Header {
+            shard_size: 1,
+            total_rows: 1 << 40,
+            num_shards: 1 << 40,
+            ..original
+        };
+        bytes[..HEADER_LEN].copy_from_slice(&crafted.encode());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ShardStore::open_with_budget(&path, 0),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // A huge *shard size* (one giant claimed shard) must not overflow
+        // the per-shard block arithmetic either.
+        let crafted = Header {
+            shard_size: 1 << 61,
+            total_rows: 1 << 61,
+            num_shards: 1,
+            ..original
+        };
+        bytes[..HEADER_LEN].copy_from_slice(&crafted.encode());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ShardStore::open_with_budget(&path, 0),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_shard_out_of_range_is_invalid_config() {
+        let path = sample_store("range", 8, 4);
+        let store = ShardStore::open_with_budget(&path, 0).unwrap();
+        assert!(matches!(
+            store.read_shard(9),
+            Err(StoreError::InvalidConfig { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cache_budget_env_parsing() {
+        // default_cache_bytes reads the environment; with the variable unset
+        // it must fall back to the default. (CI sets it for the thrash pass.)
+        match std::env::var("FAIR_CACHE_BYTES") {
+            Err(_) => assert_eq!(default_cache_bytes(), DEFAULT_CACHE_BYTES),
+            Ok(v) => {
+                let parsed: usize = v.trim().parse().unwrap();
+                assert_eq!(default_cache_bytes(), parsed);
+            }
+        }
+    }
+}

@@ -16,7 +16,8 @@ fn main() -> Result<()> {
     //    fixed-size contiguous blocks, so no whole-cohort Vec<DataObject>
     //    ever exists. The shard size comes from FAIR_SHARD_SIZE when set.
     let shard_size = default_shard_size().min(4_096);
-    let cohort = SchoolGenerator::new(SchoolConfig::small(30_000, 42)).generate_sharded(shard_size);
+    let cohort =
+        SchoolGenerator::new(SchoolConfig::small(30_000, 42)).generate_sharded(shard_size)?;
     let data = cohort.dataset();
     println!(
         "Cohort: {} students in {} shards of up to {} rows",

@@ -11,7 +11,9 @@
 //!   generators, CSV I/O, splits,
 //! * [`baselines`] ([`fair_baselines`]) — quota set-asides, Multinomial
 //!   FA\*IR, and the (Δ+2)-approximation re-ranker,
-//! * [`matching`] ([`fair_matching`]) — deferred-acceptance school choice.
+//! * [`matching`] ([`fair_matching`]) — deferred-acceptance school choice,
+//! * [`store`] ([`fair_store`]) — the persistent on-disk columnar shard store
+//!   with LRU-cached out-of-core evaluation.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use fair_core as core;
 pub use fair_data as data;
 pub use fair_matching as matching;
 pub use fair_opt as opt;
+pub use fair_store as store;
 
 /// One-stop import for applications: everything from the core prelude plus
 /// the dataset generators, baselines, and the matching simulator.
@@ -63,4 +66,5 @@ pub mod prelude {
         SchoolChoiceSimulator, SchoolRanking, StudentPreferences,
     };
     pub use fair_opt::{Adam, AdamConfig, LadderSchedule, RollingAverage, RollingWindow, Step};
+    pub use fair_store::{write_source, CacheStats, ShardStore, StoreError, StoreWriter};
 }

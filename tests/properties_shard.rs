@@ -76,7 +76,7 @@ proptest! {
             fair_ranking::core::metrics::scaled_disparate_impact_at_k(&view, &ranking, k).unwrap();
 
         for shard_size in SHARD_SIZES {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             prop_assert_eq!(data.len(), flat.len());
 
             let sharded_disp = shmetrics::disparity_at_k(&data, &ranker, &bonus, k).unwrap();
@@ -119,7 +119,7 @@ proptest! {
         let m = selection_size(flat.len(), k).unwrap();
 
         for shard_size in SHARD_SIZES {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             let scores = shranking::effective_scores(&data, &ranker, &bonus);
             prop_assert_eq!(bits(&serial_scores), bits(&scores),
                 "scores, shard size {}", shard_size);
@@ -150,7 +150,7 @@ proptest! {
         };
         let serial = run_full_dca(&flat, &ranker, &objective, &config, None, true).unwrap();
         for shard_size in SHARD_SIZES {
-            let data = ShardedDataset::from_dataset(&flat, shard_size);
+            let data = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
             let sharded =
                 run_full_dca_sharded(&data, &ranker, &objective, &config, None, true).unwrap();
             prop_assert_eq!(bits(&serial.bonus), bits(&sharded.bonus),
@@ -186,7 +186,7 @@ fn short_final_shard_is_bitwise_equivalent() {
     let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
     let bonus = [2.5_f64, 0.25];
     let ranking = RankedSelection::from_scores(effective_scores(&view, &ranker, &bonus));
-    let data = ShardedDataset::from_dataset(&flat, 7);
+    let data = ShardedDataset::from_dataset(&flat, 7).unwrap();
     assert_eq!(data.num_shards(), 4);
     assert_eq!(data.shard(3).len(), 2);
     for k in [0.05, 0.3, 1.0] {
