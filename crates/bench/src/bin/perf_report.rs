@@ -29,6 +29,11 @@
 //! run-to-run on some boxes, and a median absorbs that where a single run or
 //! a best-of can land on either mode.
 //!
+//! Schema v4 adds a **serving-layer measurement**: a `fair-serve` instance
+//! on an ephemeral port answering the synchronous metrics endpoint
+//! (disparity@k over a 10k in-memory cohort) at three client concurrency
+//! levels, reported as requests/sec (`serve` in the JSON).
+//!
 //! The summary line checks the headline claim directly: Core DCA's per-step
 //! time at the largest cohort must stay within 2x of the 10k per-step time.
 
@@ -38,6 +43,7 @@ use fair_core::metrics::{disparity_at_k, log_discounted_disparity, ndcg_at_k, Lo
 use fair_core::prelude::*;
 use fair_data::store::school_to_store;
 use fair_data::{SchoolConfig, SchoolGenerator};
+use fair_serve::{serve, AuditService, Client, MetricsRequest};
 use fair_store::{column_bytes, CacheStats, ShardStore};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -284,6 +290,85 @@ fn measure_cohort(n: usize, reps: usize) -> CohortReport {
     }
 }
 
+/// Throughput of the synchronous metrics endpoint at one client concurrency
+/// level.
+struct ServeLevel {
+    concurrency: usize,
+    requests: usize,
+    requests_per_sec: f64,
+}
+
+/// The serving-layer measurement: requests/sec on `POST
+/// /stores/{name}/metrics` (disparity@k) at three concurrency levels.
+struct ServeReport {
+    store_rows: usize,
+    workers: usize,
+    levels: Vec<ServeLevel>,
+}
+
+/// Stand up a `fair-serve` instance on an ephemeral port with an in-memory
+/// 10k school cohort and hammer the metrics endpoint from `concurrency`
+/// client threads (each request a fresh connection, exactly as the wire
+/// protocol prescribes). Median-of-`reps` wall clock per burst.
+fn measure_serve(reps: usize) -> ServeReport {
+    let store_rows = 10_000;
+    let data = SchoolGenerator::new(SchoolConfig::small(store_rows, 42))
+        .generate_sharded(fair_core::default_shard_size())
+        .expect("positive shard size")
+        .into_dataset();
+    let service = AuditService::new();
+    service
+        .catalog
+        .register_memory("bench", data)
+        .expect("register bench cohort");
+    let workers = fair_core::max_workers().clamp(2, 8);
+    let server = serve(service, "127.0.0.1:0", workers).expect("bind bench server");
+    let addr = server.addr();
+    let request = MetricsRequest {
+        k: 0.05,
+        bonus: None,
+        weights: None,
+        metrics: Some(vec!["disparity".to_string()]),
+    };
+
+    // Warm the connection path and the metric scratch buffers.
+    let warm = Client::new(addr);
+    for _ in 0..4 {
+        warm.metrics("bench", &request).expect("warm-up request");
+    }
+
+    let mut levels = Vec::new();
+    for &concurrency in &[1_usize, 4, 8] {
+        let total_requests = 96; // divisible by every level
+        let per_client = total_requests / concurrency;
+        let burst_ms = time_median(reps, || {
+            std::thread::scope(|scope| {
+                for _ in 0..concurrency {
+                    let client = Client::new(addr);
+                    let request = &request;
+                    scope.spawn(move || {
+                        for _ in 0..per_client {
+                            let result = client.metrics("bench", request).expect("metrics request");
+                            assert!(result.disparity.is_some());
+                        }
+                    });
+                }
+            });
+        });
+        levels.push(ServeLevel {
+            concurrency,
+            requests: total_requests,
+            requests_per_sec: total_requests as f64 / (burst_ms / 1e3),
+        });
+    }
+    server.shutdown();
+    ServeReport {
+        store_rows,
+        workers,
+        levels,
+    }
+}
+
 fn json_number(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -292,13 +377,19 @@ fn json_number(v: f64) -> String {
     }
 }
 
-fn render_json(mode: &str, reps: usize, reports: &[CohortReport], ratio: Option<f64>) -> String {
+fn render_json(
+    mode: &str,
+    reps: usize,
+    reports: &[CohortReport],
+    serve_report: &ServeReport,
+    ratio: Option<f64>,
+) -> String {
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 3,");
+    let _ = writeln!(s, "  \"schema_version\": 4,");
     let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"repeats\": {reps},");
@@ -379,6 +470,26 @@ fn render_json(mode: &str, reps: usize, reports: &[CohortReport], ratio: Option<
         });
     }
     s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"serve\": {{ \"store_rows\": {}, \"workers\": {}, \"endpoint\": \"POST /stores/{{name}}/metrics (disparity_at_k)\", \"levels\": [",
+        serve_report.store_rows, serve_report.workers
+    );
+    for (i, level) in serve_report.levels.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"concurrency\": {}, \"requests\": {}, \"requests_per_sec\": {} }}{}",
+            level.concurrency,
+            level.requests,
+            json_number(level.requests_per_sec),
+            if i + 1 == serve_report.levels.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    s.push_str("  ] },\n");
     match ratio {
         Some(v) => {
             let _ = writeln!(
@@ -483,6 +594,18 @@ fn main() {
         reports.push(r);
     }
 
+    let serve_report = measure_serve(reps);
+    println!(
+        "\naudit service ({} workers, {}-row store, one connection per request):",
+        serve_report.workers, serve_report.store_rows
+    );
+    for level in &serve_report.levels {
+        println!(
+            "  {:>2} concurrent clients: {:>8.0} requests/sec ({} requests)",
+            level.concurrency, level.requests_per_sec, level.requests
+        );
+    }
+
     let ratio = (reports.len() > 1).then(|| {
         reports.last().unwrap().core_per_step_us / reports.first().unwrap().core_per_step_us
     });
@@ -495,7 +618,7 @@ fn main() {
         );
     }
 
-    let json = render_json(mode, reps, &reports, ratio);
+    let json = render_json(mode, reps, &reports, &serve_report, ratio);
     std::fs::write(&out_path, &json).expect("write BENCH_DCA.json");
     println!("\nWrote {}", out_path.display());
 

@@ -10,6 +10,7 @@
 
 use crate::dataset::Dataset;
 use crate::dca::config::DcaConfig;
+use crate::dca::control::RunControl;
 use crate::dca::core::{clamp_bonus, CoreTraceEntry};
 use crate::dca::objective::Objective;
 use crate::dca::scratch::DcaScratch;
@@ -86,6 +87,7 @@ where
         config,
         initial,
         trace,
+        &RunControl::new(),
         |bonus, out| objective.evaluate_into(&view, ranker, bonus, eval, out),
     )
 }
@@ -95,17 +97,20 @@ where
 /// serial runner and [`crate::dca::run_full_dca_sharded`] execute exactly
 /// this driver, so their bonus trajectories can only differ through the
 /// `evaluate` callback itself — which is what the serial==sharded bit-for-bit
-/// guarantee rests on.
+/// guarantee rests on. `control` is consulted at every step boundary
+/// (cancellation) and notified after every completed step (progress); the
+/// default control adds one relaxed atomic load per step and nothing else.
 ///
 /// # Errors
-/// Returns an error for invalid configurations, empty cohorts, or evaluation
-/// failures.
+/// Returns an error for invalid configurations, empty cohorts, evaluation
+/// failures, or a cancellation requested through `control`.
 pub(crate) fn run_full_descent(
     dims: usize,
     cohort_len: usize,
     config: &DcaConfig,
     initial: Option<Vec<f64>>,
     trace: bool,
+    control: &RunControl,
     mut evaluate: impl FnMut(&[f64], &mut Vec<f64>) -> Result<()>,
 ) -> Result<FullDcaOutcome> {
     // Full DCA ignores the sample size, so validate a copy with a size that
@@ -126,8 +131,10 @@ pub(crate) fn run_full_descent(
     let mut steps = 0_usize;
     let mut objects_scored = 0_usize;
 
+    let total_steps = config.core_steps();
     for &lr in &config.learning_rates {
         for _ in 0..config.iterations_per_rate {
+            control.checkpoint()?;
             evaluate(&bonus, &mut direction)?;
             debug_assert_eq!(direction.len(), dims);
             for (b, d) in bonus.iter_mut().zip(&direction) {
@@ -144,6 +151,7 @@ pub(crate) fn run_full_descent(
                     bonus: bonus.clone(),
                 });
             }
+            control.report(steps, total_steps);
         }
     }
 

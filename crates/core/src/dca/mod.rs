@@ -35,6 +35,7 @@
 //! ```
 
 pub mod config;
+pub mod control;
 pub mod core;
 pub mod full;
 pub mod objective;
@@ -44,13 +45,17 @@ pub mod sharded;
 
 pub use self::core::{run_core_dca, run_core_dca_with, CoreDcaOutcome, CoreTraceEntry};
 pub use config::{DcaConfig, CLT_MINIMUM};
+pub use control::{DcaProgress, RunControl};
 pub use full::{run_full_dca, run_full_dca_with, FullDcaOutcome};
 pub use objective::{
     FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact, TopKDisparity,
 };
 pub use refine::{run_refinement, run_refinement_with, RefinementOutcome};
 pub use scratch::{DcaScratch, EvalScratch};
-pub use sharded::{run_core_dca_sharded, run_full_dca_sharded, ShardedObjective};
+pub use sharded::{
+    run_core_dca_sharded, run_core_dca_sharded_controlled, run_full_dca_sharded,
+    run_full_dca_sharded_controlled, ShardedObjective,
+};
 
 use crate::bonus::BonusVector;
 use crate::dataset::Dataset;

@@ -21,6 +21,7 @@
 
 use crate::dataset::Dataset;
 use crate::dca::config::DcaConfig;
+use crate::dca::control::RunControl;
 use crate::dca::core::{clamp_bonus, CoreDcaOutcome, CoreTraceEntry};
 use crate::dca::full::FullDcaOutcome;
 use crate::dca::objective::Objective;
@@ -132,6 +133,42 @@ where
     R: Ranker + ?Sized,
     O: ShardedObjective + ?Sized,
 {
+    run_full_dca_sharded_controlled(
+        data,
+        ranker,
+        objective,
+        config,
+        initial,
+        trace,
+        &RunControl::new(),
+    )
+}
+
+/// [`run_full_dca_sharded`] under a [`RunControl`]: the identical descent
+/// loop, plus a cancellation check at every step boundary and a progress
+/// report after every completed step. A run that is never cancelled produces
+/// the bit-identical trajectory of the uncontrolled runner — which is what
+/// lets a serving layer expose background Full-DCA jobs without forking the
+/// algorithm.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, objective
+/// failures, or [`FairError::Cancelled`] when `control` is cancelled mid-run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_full_dca_sharded_controlled<S, R, O>(
+    data: &S,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+    control: &RunControl,
+) -> Result<FullDcaOutcome>
+where
+    S: ShardSource + ?Sized,
+    R: Ranker + ?Sized,
+    O: ShardedObjective + ?Sized,
+{
     let mut scratch = ShardedEvalScratch::new();
     crate::dca::full::run_full_descent(
         data.schema().num_fairness(),
@@ -139,6 +176,7 @@ where
         config,
         initial,
         trace,
+        control,
         |bonus, out| objective.evaluate_sharded(data, ranker, bonus, &mut scratch, out),
     )
 }
@@ -158,6 +196,40 @@ pub fn run_core_dca_sharded<S, R, O>(
     config: &DcaConfig,
     initial: Option<Vec<f64>>,
     trace: bool,
+) -> Result<CoreDcaOutcome>
+where
+    S: ShardSource + ?Sized,
+    R: Ranker + ?Sized,
+    O: Objective + ?Sized,
+{
+    run_core_dca_sharded_controlled(
+        data,
+        ranker,
+        objective,
+        config,
+        initial,
+        trace,
+        &RunControl::new(),
+    )
+}
+
+/// [`run_core_dca_sharded`] under a [`RunControl`]: the identical per-shard
+/// sampled descent, plus a cancellation check at every step boundary and a
+/// progress report after every completed step. Never-cancelled runs draw the
+/// identical seeded sample stream and produce the bit-identical trajectory.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty datasets, objective
+/// failures, or [`FairError::Cancelled`] when `control` is cancelled mid-run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_core_dca_sharded_controlled<S, R, O>(
+    data: &S,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+    control: &RunControl,
 ) -> Result<CoreDcaOutcome>
 where
     S: ShardSource + ?Sized,
@@ -185,8 +257,10 @@ where
     let mut steps = 0_usize;
     let mut objects_scored = 0_usize;
 
+    let total_steps = config.core_steps();
     for &lr in &config.learning_rates {
         for _ in 0..config.iterations_per_rate {
+            control.checkpoint()?;
             let step_seed: u64 = master.gen();
             data.sample_indices_into(step_seed, config.sample_size, &mut sample_indices)?;
             gather.clear();
@@ -228,6 +302,7 @@ where
                     bonus: bonus.clone(),
                 });
             }
+            control.report(steps, total_steps);
         }
     }
 
@@ -341,6 +416,102 @@ mod tests {
                 norm(&after)
             );
         }
+    }
+
+    #[test]
+    fn controlled_runs_match_uncontrolled_and_report_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let flat = dyadic_biased(600, 21);
+        let data = ShardedDataset::from_dataset(&flat, 64).unwrap();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let cfg = config();
+
+        let steps_seen = Arc::new(AtomicUsize::new(0));
+        let captured = steps_seen.clone();
+        let total = cfg.core_steps();
+        let control = RunControl::with_progress(move |p| {
+            assert_eq!(p.total_steps, total);
+            captured.store(p.step, Ordering::Relaxed);
+        });
+
+        let plain = run_full_dca_sharded(&data, &ranker, &objective, &cfg, None, true).unwrap();
+        let controlled =
+            run_full_dca_sharded_controlled(&data, &ranker, &objective, &cfg, None, true, &control)
+                .unwrap();
+        assert_eq!(plain.bonus, controlled.bonus, "identical trajectory");
+        assert_eq!(plain.trace.len(), controlled.trace.len());
+        assert_eq!(steps_seen.load(Ordering::Relaxed), total);
+
+        let plain = run_core_dca_sharded(&data, &ranker, &objective, &cfg, None, false).unwrap();
+        let controlled = run_core_dca_sharded_controlled(
+            &data,
+            &ranker,
+            &objective,
+            &cfg,
+            None,
+            false,
+            &RunControl::new(),
+        )
+        .unwrap();
+        assert_eq!(plain.bonus, controlled.bonus, "identical sample stream");
+    }
+
+    #[test]
+    fn cancellation_stops_both_runners_at_a_step_boundary() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Weak};
+
+        let flat = dyadic_biased(500, 17);
+        let data = ShardedDataset::from_dataset(&flat, 64).unwrap();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let cfg = config();
+
+        // Pre-cancelled: not a single step runs.
+        let control = RunControl::new();
+        control.cancel();
+        assert!(matches!(
+            run_full_dca_sharded_controlled(
+                &data, &ranker, &objective, &cfg, None, false, &control
+            ),
+            Err(FairError::Cancelled)
+        ));
+        assert!(matches!(
+            run_core_dca_sharded_controlled(
+                &data, &ranker, &objective, &cfg, None, false, &control
+            ),
+            Err(FairError::Cancelled)
+        ));
+
+        // Mid-run: a progress hook that cancels its own control at step 3 —
+        // the run must stop at the next step boundary, not run to completion.
+        let last_step = Arc::new(AtomicUsize::new(0));
+        let seen = last_step.clone();
+        let control = Arc::new_cyclic(|weak: &Weak<RunControl>| {
+            let weak = weak.clone();
+            RunControl::with_progress(move |p| {
+                seen.store(p.step, Ordering::Relaxed);
+                if p.step == 3 {
+                    if let Some(c) = weak.upgrade() {
+                        c.cancel();
+                    }
+                }
+            })
+        });
+        match run_core_dca_sharded_controlled(
+            &data, &ranker, &objective, &cfg, None, false, &control,
+        ) {
+            Err(FairError::Cancelled) => {}
+            other => panic!("expected mid-run cancellation, got {other:?}"),
+        }
+        assert_eq!(
+            last_step.load(Ordering::Relaxed),
+            3,
+            "exactly 3 steps run before the cancellation takes effect"
+        );
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum FairError {
     /// An operation requiring ground-truth outcome labels (e.g. the
     /// false-positive-rate objective) was applied to a dataset without labels.
     MissingLabels,
+    /// A long-running operation (a DCA descent) was cooperatively cancelled
+    /// through its [`crate::dca::RunControl`] before it finished.
+    Cancelled,
 }
 
 impl fmt::Display for FairError {
@@ -79,6 +82,7 @@ impl fmt::Display for FairError {
                     "operation requires ground-truth outcome labels on every object"
                 )
             }
+            Self::Cancelled => write!(f, "operation was cancelled before completion"),
         }
     }
 }
@@ -110,6 +114,7 @@ mod tests {
         };
         assert!(e.to_string().contains("sample size"));
         assert!(FairError::MissingLabels.to_string().contains("labels"));
+        assert!(FairError::Cancelled.to_string().contains("cancelled"));
         assert!(FairError::EmptyDataset.to_string().contains("non-empty"));
         let e = FairError::InvalidValue {
             attribute: "low_income".into(),

@@ -80,7 +80,7 @@ pub use dataset::{Dataset, SampleView};
 pub use dca::{Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch};
 pub use error::{FairError, Result};
 pub use object::{DataObject, ObjectId, ObjectView};
-pub use parallel::parallel_map;
+pub use parallel::{max_workers, parallel_map};
 pub use shard::{
     default_shard_size, for_each_shard_run, shard_seed, ShardSource, ShardView, ShardedDataset,
 };
@@ -92,10 +92,11 @@ pub mod prelude {
     pub use crate::calibrate::{calibrate_proportion, CalibrationResult, CalibrationTarget};
     pub use crate::dataset::{Dataset, SampleView};
     pub use crate::dca::{
-        run_core_dca, run_core_dca_sharded, run_core_dca_with, run_full_dca, run_full_dca_sharded,
-        run_full_dca_with, run_refinement, run_refinement_with, Dca, DcaConfig, DcaReport,
-        DcaResult, DcaScratch, EvalScratch, FprDifferenceObjective, LogDiscountedObjective,
-        Objective, ScaledDisparateImpact, ShardedObjective, TopKDisparity,
+        run_core_dca, run_core_dca_sharded, run_core_dca_sharded_controlled, run_core_dca_with,
+        run_full_dca, run_full_dca_sharded, run_full_dca_sharded_controlled, run_full_dca_with,
+        run_refinement, run_refinement_with, Dca, DcaConfig, DcaProgress, DcaReport, DcaResult,
+        DcaScratch, EvalScratch, FprDifferenceObjective, LogDiscountedObjective, Objective,
+        RunControl, ScaledDisparateImpact, ShardedObjective, TopKDisparity,
     };
     pub use crate::error::{FairError, Result};
     pub use crate::explain::{
@@ -108,7 +109,7 @@ pub mod prelude {
         DisparityVector, LogDiscountConfig,
     };
     pub use crate::object::{DataObject, ObjectId, ObjectView};
-    pub use crate::parallel::parallel_map;
+    pub use crate::parallel::{max_workers, parallel_map};
     pub use crate::ranking::{
         base_scores, base_scores_into, effective_scores, effective_scores_into, selection_size,
         NormalizedWeightedSum, RankedSelection, Ranker, SingleFeatureRanker, WeightedSumRanker,

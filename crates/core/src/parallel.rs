@@ -62,14 +62,34 @@ where
         .collect()
 }
 
+/// The worker-pool ceiling every [`parallel_map`] call (and anything else
+/// sizing a pool off this crate, e.g. the `fair-serve` request workers)
+/// respects: the `FAIR_THREADS` environment variable when set to a positive
+/// integer, [`std::thread::available_parallelism`] otherwise. Service
+/// deployments use the override to pin CPU usage — e.g. `FAIR_THREADS=2` on
+/// a box shared with other tenants.
+#[must_use]
+pub fn max_workers() -> usize {
+    thread_override(std::env::var("FAIR_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Parse a `FAIR_THREADS` value: a positive integer caps the pool; anything
+/// else (unset, empty, `0`, garbage) falls back to the hardware count.
+fn thread_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+}
+
 /// Number of scoped workers [`parallel_map`] spawns for `items` work items:
-/// the machine's available parallelism, capped at the item count (an item
-/// can occupy at most one worker, so extra threads would only idle).
+/// [`max_workers`] (the `FAIR_THREADS`-overridable machine parallelism),
+/// capped at the item count (an item can occupy at most one worker, so extra
+/// threads would only idle).
 fn worker_count(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items)
+    max_workers().min(items)
 }
 
 #[cfg(test)]
@@ -115,21 +135,77 @@ mod tests {
 
     #[test]
     fn worker_count_is_capped_at_the_item_count() {
-        let cores = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let ceiling = max_workers();
         assert_eq!(worker_count(0), 0);
         assert_eq!(worker_count(1), 1);
         assert_eq!(
             worker_count(2),
-            cores.min(2),
+            ceiling.min(2),
             "never more workers than items"
         );
         assert_eq!(
             worker_count(1_000_000),
-            cores,
-            "never more workers than cores"
+            ceiling,
+            "never more workers than the ceiling"
         );
+    }
+
+    #[test]
+    fn fair_threads_override_parses_strictly() {
+        assert_eq!(thread_override(None), None);
+        assert_eq!(thread_override(Some("")), None);
+        assert_eq!(thread_override(Some("0")), None, "zero falls back");
+        assert_eq!(thread_override(Some("not-a-number")), None);
+        assert_eq!(thread_override(Some("-3")), None);
+        assert_eq!(thread_override(Some("1")), Some(1));
+        assert_eq!(thread_override(Some(" 6 ")), Some(6), "whitespace trimmed");
+    }
+
+    #[test]
+    fn max_workers_respects_the_environment() {
+        // max_workers reads FAIR_THREADS; with the variable unset it must be
+        // the hardware parallelism, with it set (CI pins it in one matrix
+        // pass) it must be exactly the override. Read-only, so this cannot
+        // race with other tests using the pool.
+        let hardware = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        match thread_override(std::env::var("FAIR_THREADS").ok().as_deref()) {
+            None => assert_eq!(max_workers(), hardware),
+            Some(v) => assert_eq!(max_workers(), v),
+        }
+        assert!(max_workers() > 0);
+    }
+
+    #[test]
+    fn fair_threads_pins_the_pool_in_a_child_process() {
+        // Spawn this test binary once more with FAIR_THREADS=1, filtered to
+        // the helper test below that prints the resolved worker ceiling — an
+        // end-to-end check of the override without racing the parent
+        // process's environment.
+        let exe = std::env::current_exe().expect("test binary path");
+        let out = std::process::Command::new(exe)
+            .args([
+                "parallel::tests::print_max_workers_for_child",
+                "--exact",
+                "--nocapture",
+            ])
+            .env("FAIR_THREADS", "1")
+            .output()
+            .expect("spawn child test process");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("max_workers=1"),
+            "child with FAIR_THREADS=1 must report a pool of 1, got:\n{stdout}"
+        );
+    }
+
+    #[test]
+    fn print_max_workers_for_child() {
+        // Helper for `fair_threads_pins_the_pool_in_a_child_process`: prints
+        // the resolved ceiling so the parent can assert on it. Harmless when
+        // run directly (it just prints the current value).
+        println!("max_workers={}", max_workers());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Error types shared by the server and the client.
+
+use crate::json::JsonError;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the audit service and its client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Underlying socket/file I/O failure.
+    Io(io::Error),
+    /// The peer violated the wire protocol (malformed HTTP or JSON).
+    Protocol(String),
+    /// The server answered with an error status; `status` is the HTTP code
+    /// and `message` the server's structured `error` field.
+    Api {
+        /// HTTP status code of the response.
+        status: u16,
+        /// The server's explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "audit-service I/O error: {e}"),
+            Self::Protocol(m) => write!(f, "wire-protocol violation: {m}"),
+            Self::Api { status, message } => {
+                write!(f, "audit service returned {status}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<JsonError> for ServeError {
+    fn from(e: JsonError) -> Self {
+        Self::Protocol(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// A server-side request failure: an HTTP status plus a message, rendered as
+/// `{"error": message}`. Handlers return this; the router turns it into the
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Human-readable explanation (the response body's `error` field).
+    pub message: String,
+}
+
+impl ApiError {
+    /// 400 Bad Request.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// 404 Not Found.
+    #[must_use]
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    /// 409 Conflict.
+    #[must_use]
+    pub fn conflict(message: impl Into<String>) -> Self {
+        Self {
+            status: 409,
+            message: message.into(),
+        }
+    }
+
+    /// 422 Unprocessable (a well-formed request the engine rejected).
+    #[must_use]
+    pub fn unprocessable(message: impl Into<String>) -> Self {
+        Self {
+            status: 422,
+            message: message.into(),
+        }
+    }
+
+    /// 429 Too Many Requests (the running-job ceiling).
+    #[must_use]
+    pub fn too_many_jobs(message: impl Into<String>) -> Self {
+        Self {
+            status: 429,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ServeError::Api {
+            status: 404,
+            message: "no such store".into(),
+        };
+        assert!(e.to_string().contains("404"));
+        assert!(e.to_string().contains("no such store"));
+        assert!(ServeError::Protocol("bad header".into())
+            .to_string()
+            .contains("bad header"));
+        let io = ServeError::from(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"));
+        assert!(io.to_string().contains("refused"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    #[test]
+    fn api_error_constructors_carry_their_status() {
+        assert_eq!(ApiError::bad_request("x").status, 400);
+        assert_eq!(ApiError::not_found("x").status, 404);
+        assert_eq!(ApiError::conflict("x").status, 409);
+        assert_eq!(ApiError::unprocessable("x").status, 422);
+    }
+}

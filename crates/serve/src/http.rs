@@ -1,0 +1,362 @@
+//! A deliberately small HTTP/1.1 implementation over [`std::net::TcpStream`].
+//!
+//! The service speaks exactly the subset the wire protocol needs: one
+//! request per connection (`Connection: close` on every response), JSON
+//! bodies sized by `Content-Length`, and a fixed status vocabulary. Hard
+//! limits on the request line, header block, and body keep a hostile peer
+//! from ballooning memory; every violation is a structured
+//! [`ServeError::Protocol`], never a panic.
+
+use crate::error::{Result, ServeError};
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Ceiling on the request line + header block, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Ceiling on a request or response body, bytes.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+    /// The raw body (empty when the request carries none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The path split into non-empty `/`-separated segments.
+    #[must_use]
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Read and parse one request from the stream.
+///
+/// # Errors
+/// Returns [`ServeError::Protocol`] for malformed or oversized requests and
+/// [`ServeError::Io`] for socket failures.
+pub fn read_request(stream: &TcpStream) -> Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader, MAX_HEAD_BYTES)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("request line without a target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("request line without a version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Protocol(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut content_length = 0_usize;
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_line(&mut reader, MAX_HEAD_BYTES)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ServeError::Protocol("header block too large".into()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().map_err(|_| {
+                    ServeError::Protocol(format!("invalid Content-Length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0_u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Write a JSON response with the given status and close-delimited framing.
+///
+/// # Errors
+/// Returns [`ServeError::Io`] on socket failure.
+pub fn write_response(stream: &TcpStream, status: u16, body: &str) -> Result<()> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            reason(status),
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    let mut stream = stream;
+    stream.write_all(&out)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Read one HTTP response (status + body) from the stream.
+///
+/// # Errors
+/// Returns [`ServeError::Protocol`] for malformed or oversized responses and
+/// [`ServeError::Io`] for socket failures.
+pub fn read_response(stream: &TcpStream) -> Result<(u16, Vec<u8>)> {
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader, MAX_HEAD_BYTES)?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("empty status line".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Protocol(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServeError::Protocol("status line without a numeric code".into()))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut head_bytes = status_line.len();
+    loop {
+        let line = read_line(&mut reader, MAX_HEAD_BYTES)?;
+        // Same cumulative cap as the request side: a peer streaming header
+        // lines forever must be a protocol error, not an unbounded loop.
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ServeError::Protocol("header block too large".into()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.trim().parse::<usize>().map_err(|_| {
+                    ServeError::Protocol(format!("invalid Content-Length `{}`", value.trim()))
+                })?);
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) if len > MAX_BODY_BYTES => {
+            return Err(ServeError::Protocol("response body too large".into()))
+        }
+        Some(len) => {
+            let mut body = vec![0_u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            // Close-delimited body (the server always sends Content-Length;
+            // tolerate its absence for robustness).
+            let mut body = Vec::new();
+            reader
+                .take(MAX_BODY_BYTES as u64 + 1)
+                .read_to_end(&mut body)?;
+            if body.len() > MAX_BODY_BYTES {
+                return Err(ServeError::Protocol("response body too large".into()));
+            }
+            body
+        }
+    };
+    Ok((status, body))
+}
+
+/// Read one CRLF (or bare-LF) terminated line, without the terminator.
+fn read_line(reader: &mut BufReader<&TcpStream>, limit: usize) -> Result<String> {
+    let mut buf = Vec::new();
+    let mut byte = [0_u8; 1];
+    loop {
+        let n = reader.read(&mut byte)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(ServeError::Protocol("connection closed mid-message".into()));
+            }
+            break;
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > limit {
+            return Err(ServeError::Protocol("line too long".into()));
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ServeError::Protocol("non-UTF8 header line".into()))
+}
+
+/// The reason phrase for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Run `client` against a one-shot server closure on an ephemeral port.
+    fn with_pair(server: impl FnOnce(TcpStream) + Send + 'static, client: impl FnOnce(TcpStream)) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            server(conn);
+        });
+        let conn = TcpStream::connect(addr).unwrap();
+        client(conn);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn request_round_trips_with_body() {
+        with_pair(
+            |conn| {
+                let req = read_request(&conn).unwrap();
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/stores/x/metrics");
+                assert_eq!(req.segments(), vec!["stores", "x", "metrics"]);
+                assert_eq!(req.body, br#"{"k":0.1}"#);
+                write_response(&conn, 200, r#"{"ok":true}"#).unwrap();
+            },
+            |conn| {
+                let body = br#"{"k":0.1}"#;
+                let head = format!(
+                    "POST /stores/x/metrics?ignored=1 HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                );
+                let mut w = &conn;
+                w.write_all(head.as_bytes()).unwrap();
+                w.write_all(body).unwrap();
+                let (status, body) = read_response(&conn).unwrap();
+                assert_eq!(status, 200);
+                assert_eq!(body, br#"{"ok":true}"#);
+            },
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "NOT-HTTP\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SMTP/1.0\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ] {
+            let owned = bad.to_string();
+            with_pair(
+                move |conn| {
+                    let err = read_request(&conn).unwrap_err();
+                    assert!(matches!(err, ServeError::Protocol(_)), "{owned:?}: {err}");
+                },
+                |conn| {
+                    let mut w = &conn;
+                    w.write_all(bad.as_bytes()).unwrap();
+                    drop(conn);
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_before_allocation() {
+        with_pair(
+            |conn| {
+                let err = read_request(&conn).unwrap_err();
+                assert!(err.to_string().contains("limit"), "{err}");
+            },
+            |conn| {
+                let mut w = &conn;
+                w.write_all(b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n")
+                    .unwrap();
+                drop(conn);
+            },
+        );
+    }
+
+    #[test]
+    fn closed_connection_mid_message_is_a_protocol_error() {
+        with_pair(
+            |conn| {
+                let err = read_request(&conn).unwrap_err();
+                assert!(matches!(err, ServeError::Protocol(_) | ServeError::Io(_)));
+            },
+            |conn| {
+                let mut w = &conn;
+                w.write_all(b"GET /st").unwrap();
+                drop(conn);
+            },
+        );
+    }
+
+    #[test]
+    fn endless_response_headers_are_a_protocol_error_not_a_spin() {
+        with_pair(
+            |conn| {
+                let mut w = &conn;
+                w.write_all(b"HTTP/1.1 200 OK\r\n").unwrap();
+                // Stream header lines past the cumulative cap; the client
+                // must bail with a protocol error instead of looping.
+                let line = format!("X-Pad: {}\r\n", "a".repeat(1024));
+                for _ in 0..(MAX_HEAD_BYTES / line.len() + 4) {
+                    if w.write_all(line.as_bytes()).is_err() {
+                        break; // client already hung up
+                    }
+                }
+            },
+            |conn| {
+                let err = read_response(&conn).unwrap_err();
+                assert!(err.to_string().contains("header block"), "{err}");
+            },
+        );
+    }
+
+    #[test]
+    fn response_without_content_length_reads_to_close() {
+        with_pair(
+            |conn| {
+                let mut w = &conn;
+                w.write_all(b"HTTP/1.1 200 OK\r\n\r\n{\"ok\":1}").unwrap();
+                drop(conn);
+            },
+            |conn| {
+                let (status, body) = read_response(&conn).unwrap();
+                assert_eq!(status, 200);
+                assert_eq!(body, b"{\"ok\":1}");
+            },
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # fair-serve — the concurrent fairness-audit service
+//!
+//! The serving layer of the reproduction: a long-lived process that owns a
+//! **catalog** of cohort stores (on-disk `fair-store` files and in-memory
+//! synthetic cohorts) and answers concurrent audit traffic over a small
+//! HTTP/1.1 + JSON wire protocol — all std-only, hand-rolled on
+//! [`std::net::TcpListener`] and a worker thread pool sized by
+//! [`fair_core::max_workers`] (the `FAIR_THREADS` knob).
+//!
+//! Two classes of work, split the way production analytics engines split
+//! them:
+//!
+//! * **synchronous endpoints** for cheap queries — catalog listing, schema,
+//!   whole-cohort stats, and the sharded fairness metrics
+//!   (disparity / nDCG / log-discounted / FPR / disparate impact at `k`),
+//!   each a few milliseconds through [`fair_core::metrics::sharded`];
+//! * **background jobs** for expensive work — Full/Core DCA descents run by
+//!   the [`jobs::JobManager`] on their own threads, wired to the engine
+//!   through [`fair_core::dca::RunControl`] for live progress reporting and
+//!   cooperative cancellation (`DELETE /jobs/{id}`).
+//!
+//! Everything the server computes is **bit-identical to the library path**:
+//! the sharded kernels are the same code, and the wire format round-trips
+//! `f64` bits exactly ([`json`]). An uncancelled job with seed `s` produces
+//! precisely the `run_full_dca_sharded` / `run_core_dca_sharded` trajectory
+//! for seed `s`.
+//!
+//! ```no_run
+//! use fair_serve::{serve, AuditService, Client, MetricsRequest};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = AuditService::new();
+//! let server = serve(service, "127.0.0.1:0", 4)?; // ephemeral port
+//! let client = Client::new(server.addr());
+//! client.register_disk_store("cohort", "cohort.fss")?;
+//! let audit = client.metrics("cohort", &MetricsRequest::baseline(0.05))?;
+//! println!("disparity@5% = {:?}", audit.disparity);
+//! server.shutdown(); // drains workers, cancels + joins jobs
+//! # Ok(()) }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(clippy::all)]
+
+pub mod catalog;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod server;
+
+pub use catalog::{Catalog, CohortStore, StoreEntry};
+pub use client::{
+    Client, JobRequest, JobResult, JobView, MetricsRequest, MetricsResult, StoreInfo,
+};
+pub use error::{ApiError, Result, ServeError};
+pub use jobs::{Job, JobKind, JobManager, JobOutcome, JobPhase, JobSpec};
+pub use json::{Json, JsonError};
+pub use server::{serve, AuditService, ServerHandle};

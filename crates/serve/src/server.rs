@@ -1,0 +1,901 @@
+//! The audit server: a worker-pool HTTP front end over the catalog and the
+//! job manager.
+//!
+//! One accept thread feeds connections to a fixed pool of request workers
+//! (pool size defaults to [`fair_core::max_workers`], so `FAIR_THREADS`
+//! pins the service's CPU use just like the evaluation engine's). Cheap
+//! queries (catalog, schema, stats, metrics) are answered synchronously on
+//! the worker; expensive work (DCA) is delegated to the
+//! [`JobManager`] and observed through the job endpoints.
+//!
+//! | Method & path | Action |
+//! |---|---|
+//! | `GET /health` | liveness + counters |
+//! | `GET /stores` | list registered stores |
+//! | `POST /stores` | register a disk store (`path`) or generate a synthetic one (`generate`) |
+//! | `DELETE /stores/{name}` | deregister (in-flight work keeps its handle) |
+//! | `GET /stores/{name}/schema` | feature + fairness attribute names |
+//! | `GET /stores/{name}/stats` | rows, layout, centroid, group frequencies, cache counters |
+//! | `POST /stores/{name}/metrics` | disparity / nDCG / log-discounted / FPR / DI at `k` |
+//! | `POST /jobs` | launch a background DCA run |
+//! | `GET /jobs`, `GET /jobs/{id}` | job status + progress + result |
+//! | `DELETE /jobs/{id}` | cooperative cancellation |
+//!
+//! Shutdown is clean by construction: [`ServerHandle::shutdown`] stops the
+//! accept loop, drains and joins every request worker, then cancels and
+//! joins every job thread.
+
+use crate::catalog::{Catalog, StoreEntry};
+use crate::error::ApiError;
+use crate::http::{read_request, write_response, Request};
+use crate::jobs::{Job, JobKind, JobManager, JobSpec};
+use crate::json::Json;
+use fair_core::metrics::sharded as shmetrics;
+use fair_core::metrics::LogDiscountConfig;
+use fair_core::ranking::WeightedSumRanker;
+use fair_core::{default_shard_size, DcaConfig, ShardSource};
+use fair_data::{CompasConfig, CompasGenerator, SchoolConfig, SchoolGenerator};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection socket timeout: a stalled peer releases its worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The service state shared by every request worker: the store catalog and
+/// the background-job manager.
+#[derive(Debug, Default)]
+pub struct AuditService {
+    /// Named stores.
+    pub catalog: Catalog,
+    /// Background DCA jobs.
+    pub jobs: JobManager,
+}
+
+impl AuditService {
+    /// An empty service.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Dispatch one parsed request. Public so tests (and the in-process
+    /// perf harness) can exercise routing without sockets.
+    #[must_use]
+    pub fn route(&self, req: &Request) -> (u16, Json) {
+        match self.dispatch(req) {
+            Ok((status, body)) => (status, body),
+            Err(e) => (e.status, Json::obj(vec![("error", Json::Str(e.message))])),
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> Result<(u16, Json), ApiError> {
+        let segments = req.segments();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["health"]) => Ok((
+                200,
+                Json::obj(vec![
+                    ("status", Json::str("ok")),
+                    ("stores", Json::num(self.catalog.len() as f64)),
+                    ("jobs", Json::num(self.jobs.len() as f64)),
+                ]),
+            )),
+            ("GET", ["stores"]) => Ok((
+                200,
+                Json::obj(vec![(
+                    "stores",
+                    Json::Arr(self.catalog.list().iter().map(|e| store_info(e)).collect()),
+                )]),
+            )),
+            ("POST", ["stores"]) => self.register_store(req),
+            ("DELETE", ["stores", name]) => {
+                self.catalog.remove(name)?;
+                Ok((200, Json::obj(vec![("removed", Json::str(*name))])))
+            }
+            ("GET", ["stores", name, "schema"]) => {
+                let entry = self.catalog.get(name)?;
+                let schema = entry.store.schema();
+                Ok((
+                    200,
+                    Json::obj(vec![
+                        ("features", Json::str_arr(schema.features())),
+                        ("fairness", Json::str_arr(&schema.fairness_names())),
+                    ]),
+                ))
+            }
+            ("GET", ["stores", name, "stats"]) => self.store_stats(name),
+            ("POST", ["stores", name, "metrics"]) => self.metrics(name, req),
+            ("POST", ["jobs"]) => self.submit_job(req),
+            ("GET", ["jobs"]) => Ok((
+                200,
+                Json::obj(vec![(
+                    "jobs",
+                    Json::Arr(self.jobs.list().iter().map(|j| job_view(j)).collect()),
+                )]),
+            )),
+            ("GET", ["jobs", id]) => {
+                let job = self.jobs.get(id)?;
+                Ok((200, job_view(&job)))
+            }
+            ("DELETE", ["jobs", id]) => {
+                let job = self.jobs.cancel(id)?;
+                Ok((200, job_view(&job)))
+            }
+            (_, _) => Err(ApiError {
+                status: if matches!(req.method.as_str(), "GET" | "POST" | "DELETE") {
+                    404
+                } else {
+                    405
+                },
+                message: format!("no route for {} {}", req.method, req.path),
+            }),
+        }
+    }
+
+    fn register_store(&self, req: &Request) -> Result<(u16, Json), ApiError> {
+        let body = parse_body(req)?;
+        let name = require_str(&body, "name")?;
+        let entry = if let Some(path) = body.get("path") {
+            let path = path
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("`path` must be a string"))?;
+            self.catalog.register_disk(name, path)?
+        } else if let Some(generate) = body.get("generate") {
+            let kind = require_str(generate, "kind")?;
+            let rows = generate
+                .get("rows")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ApiError::bad_request("`generate.rows` must be a count"))?;
+            if rows == 0 || rows > 50_000_000 {
+                return Err(ApiError::bad_request("`generate.rows` must be in [1, 5e7]"));
+            }
+            let seed = match generate.get("seed") {
+                None => 42,
+                Some(v) => parse_seed(v).ok_or_else(|| {
+                    ApiError::bad_request(
+                        "`generate.seed` must be a non-negative integer \
+                         (pass seeds above 2^53 as a decimal string)",
+                    )
+                })?,
+            };
+            let shard_size = generate
+                .get("shard_size")
+                .and_then(Json::as_usize)
+                .unwrap_or_else(default_shard_size);
+            let data = match kind {
+                "school" => SchoolGenerator::new(SchoolConfig::small(rows, seed))
+                    .generate_sharded(shard_size)
+                    .map_err(|e| ApiError::bad_request(format!("generate failed: {e}")))?
+                    .into_dataset(),
+                "compas" => CompasGenerator::new(CompasConfig::small(rows, seed))
+                    .generate_sharded(shard_size)
+                    .map_err(|e| ApiError::bad_request(format!("generate failed: {e}")))?,
+                other => {
+                    return Err(ApiError::bad_request(format!(
+                        "`generate.kind` must be `school` or `compas`, got `{other}`"
+                    )))
+                }
+            };
+            self.catalog.register_memory(name, data)?
+        } else {
+            return Err(ApiError::bad_request(
+                "registration needs `path` (disk store) or `generate` (synthetic cohort)",
+            ));
+        };
+        Ok((201, Json::obj(vec![("store", store_info(&entry))])))
+    }
+
+    fn store_stats(&self, name: &str) -> Result<(u16, Json), ApiError> {
+        let entry = self.catalog.get(name)?;
+        let store = &entry.store;
+        let dims = store.schema().num_fairness();
+        let mut pairs = vec![
+            ("name", Json::str(name)),
+            ("kind", Json::str(store.kind())),
+            ("rows", Json::num(store.len() as f64)),
+            ("shards", Json::num(store.num_shards() as f64)),
+            ("shard_size", Json::num(store.shard_size() as f64)),
+            ("fully_labelled", Json::Bool(store.fully_labelled())),
+        ];
+        if store.is_empty() {
+            pairs.push(("fairness_centroid", Json::Null));
+            pairs.push(("group_frequencies", Json::Null));
+        } else {
+            // One shard pass for centroid sums *and* per-dimension group
+            // counts: the trait helpers would each rescan (and, for a paged
+            // store, re-page) the whole cohort. Per-shard partials combine
+            // in shard order, so the centroid is bit-identical to
+            // `ShardSource::fairness_centroid`.
+            let (sums, counts) = store.reduce_shards(
+                (vec![0.0_f64; dims], vec![0_usize; dims]),
+                |shard| {
+                    let d = shard.data();
+                    let mut sums = vec![0.0_f64; dims];
+                    let mut counts = vec![0_usize; dims];
+                    for i in 0..d.len() {
+                        for ((s, c), v) in sums.iter_mut().zip(&mut counts).zip(d.fairness_row(i)) {
+                            *s += v;
+                            if *v >= 0.5 {
+                                *c += 1;
+                            }
+                        }
+                    }
+                    (sums, counts)
+                },
+                |(mut sums, mut counts), (ps, pc)| {
+                    for (s, p) in sums.iter_mut().zip(&ps) {
+                        *s += p;
+                    }
+                    for (c, p) in counts.iter_mut().zip(&pc) {
+                        *c += p;
+                    }
+                    (sums, counts)
+                },
+            );
+            let n = store.len() as f64;
+            let centroid: Vec<f64> = sums.into_iter().map(|s| s / n).collect();
+            pairs.push(("fairness_centroid", Json::num_arr(&centroid)));
+            let freqs: Vec<f64> = counts.into_iter().map(|c| c as f64 / n).collect();
+            pairs.push(("group_frequencies", Json::num_arr(&freqs)));
+        }
+        if let Some(cache) = store.cache_stats() {
+            pairs.push((
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::num(cache.hits as f64)),
+                    ("misses", Json::num(cache.misses as f64)),
+                    ("evictions", Json::num(cache.evictions as f64)),
+                    ("resident_bytes", Json::num(cache.resident_bytes as f64)),
+                    ("peak_bytes", Json::num(cache.peak_bytes as f64)),
+                    ("budget_bytes", Json::num(cache.budget_bytes as f64)),
+                ]),
+            ));
+        }
+        Ok((
+            200,
+            Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+        ))
+    }
+
+    fn metrics(&self, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
+        let entry = self.catalog.get(name)?;
+        let store = &entry.store;
+        let body = parse_body(req)?;
+        let dims = store.schema().num_fairness();
+        let num_features = store.schema().num_features();
+
+        let k = body
+            .get("k")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ApiError::bad_request("`k` (selection fraction) is required"))?;
+        let bonus = match body.get("bonus") {
+            None => vec![0.0; dims],
+            Some(v) => v
+                .as_f64_vec()
+                .ok_or_else(|| ApiError::bad_request("`bonus` must be a number array"))?,
+        };
+        if bonus.len() != dims {
+            return Err(ApiError::bad_request(format!(
+                "{} bonus values for a {dims}-attribute schema",
+                bonus.len()
+            )));
+        }
+        let weights = match body.get("weights") {
+            None => vec![1.0; num_features],
+            Some(v) => v
+                .as_f64_vec()
+                .ok_or_else(|| ApiError::bad_request("`weights` must be a number array"))?,
+        };
+        // The scoring kernel zips features with weights and would silently
+        // truncate a short vector — a wrong-length request must be a 400,
+        // not a 200 with wrong numbers.
+        if weights.len() != num_features {
+            return Err(ApiError::bad_request(format!(
+                "{} ranker weights for a {num_features}-feature schema",
+                weights.len()
+            )));
+        }
+        let ranker = WeightedSumRanker::new(weights)
+            .map_err(|e| ApiError::bad_request(format!("invalid ranker weights: {e}")))?;
+        let requested = match body.get("metrics") {
+            None => vec!["disparity".to_string(), "ndcg".to_string()],
+            Some(v) => v
+                .as_str_vec()
+                .ok_or_else(|| ApiError::bad_request("`metrics` must be a string array"))?,
+        };
+
+        let engine = |e: fair_core::FairError| ApiError::unprocessable(e.to_string());
+        let mut pairs = vec![
+            ("store", Json::str(name)),
+            ("rows", Json::num(store.len() as f64)),
+            ("k", Json::num(k)),
+        ];
+        for metric in &requested {
+            let value = match metric.as_str() {
+                "disparity" => Json::num_arr(
+                    &shmetrics::disparity_at_k(store, &ranker, &bonus, k).map_err(engine)?,
+                ),
+                "ndcg" => {
+                    Json::num(shmetrics::ndcg_at_k(store, &ranker, &bonus, k).map_err(engine)?)
+                }
+                "log_discounted" => Json::num_arr(
+                    &shmetrics::log_discounted_disparity(
+                        store,
+                        &ranker,
+                        &bonus,
+                        &LogDiscountConfig::default(),
+                    )
+                    .map_err(engine)?,
+                ),
+                "fpr_difference" => Json::num_arr(
+                    &shmetrics::fpr_difference_at_k(store, &ranker, &bonus, k).map_err(engine)?,
+                ),
+                "disparate_impact" => Json::num_arr(
+                    &shmetrics::scaled_disparate_impact_at_k(store, &ranker, &bonus, k)
+                        .map_err(engine)?,
+                ),
+                other => {
+                    return Err(ApiError::bad_request(format!(
+                        "unknown metric `{other}` (expected disparity, ndcg, log_discounted, \
+                         fpr_difference, disparate_impact)"
+                    )))
+                }
+            };
+            pairs.push((leak_metric_name(metric), value));
+        }
+        Ok((
+            200,
+            Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+        ))
+    }
+
+    fn submit_job(&self, req: &Request) -> Result<(u16, Json), ApiError> {
+        let body = parse_body(req)?;
+        let store_name = require_str(&body, "store")?;
+        let entry = self.catalog.get(store_name)?;
+        let kind = JobKind::parse(require_str(&body, "kind")?)?;
+        let k = body
+            .get("k")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ApiError::bad_request("`k` (selection fraction) is required"))?;
+        let weights = match body.get("weights") {
+            None => None,
+            Some(v) => Some(
+                v.as_f64_vec()
+                    .ok_or_else(|| ApiError::bad_request("`weights` must be a number array"))?,
+            ),
+        };
+        let config = job_config(body.get("config"))?;
+        let job = self.jobs.submit(
+            entry,
+            JobSpec {
+                kind,
+                k,
+                weights,
+                config,
+            },
+        )?;
+        Ok((202, job_view(&job)))
+    }
+}
+
+/// Build a [`DcaConfig`] from the optional wire `config` object. Refinement
+/// is always disabled: jobs run the core/full descent the endpoints expose.
+fn job_config(body: Option<&Json>) -> Result<DcaConfig, ApiError> {
+    let mut config = DcaConfig {
+        refinement_iterations: 0,
+        ..DcaConfig::default()
+    };
+    let Some(body) = body else {
+        return Ok(config);
+    };
+    if let Some(v) = body.get("seed") {
+        config.seed = parse_seed(v).ok_or_else(|| {
+            ApiError::bad_request(
+                "`config.seed` must be a non-negative integer \
+                 (pass seeds above 2^53 as a decimal string)",
+            )
+        })?;
+    }
+    if let Some(v) = body.get("sample_size") {
+        config.sample_size = v
+            .as_usize()
+            .ok_or_else(|| ApiError::bad_request("`config.sample_size` must be a count"))?;
+    }
+    if let Some(v) = body.get("iterations_per_rate") {
+        config.iterations_per_rate = v
+            .as_usize()
+            .ok_or_else(|| ApiError::bad_request("`config.iterations_per_rate` must be a count"))?;
+    }
+    if let Some(v) = body.get("learning_rates") {
+        config.learning_rates = v
+            .as_f64_vec()
+            .ok_or_else(|| ApiError::bad_request("`config.learning_rates` must be numbers"))?;
+    }
+    Ok(config)
+}
+
+/// Parse a `u64` seed off the wire: a JSON number when it is unambiguously
+/// representable as one (integral, **strictly below** 2^53 — 2^53 itself is
+/// the rounded image of 2^53+1, so a number token that large may already
+/// have been silently altered by `f64` parsing), or a decimal string for
+/// the full range. The [`crate::Client`] picks the encoding automatically.
+fn parse_seed(v: &Json) -> Option<u64> {
+    match v {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9_007_199_254_740_992.0 => {
+            Some(*n as u64)
+        }
+        Json::Str(s) => s.parse::<u64>().ok(),
+        _ => None,
+    }
+}
+
+/// The wire representation of a catalog entry.
+fn store_info(entry: &StoreEntry) -> Json {
+    let mut pairs = vec![
+        ("name", Json::str(entry.name.clone())),
+        ("kind", Json::str(entry.store.kind())),
+        ("rows", Json::num(entry.store.len() as f64)),
+        ("shards", Json::num(entry.store.num_shards() as f64)),
+        ("shard_size", Json::num(entry.store.shard_size() as f64)),
+    ];
+    if let Some(path) = &entry.path {
+        pairs.push(("path", Json::str(path.display().to_string())));
+    }
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// The wire representation of a job.
+fn job_view(job: &Job) -> Json {
+    // One consistent read: phase/result/error must agree (a `completed`
+    // state with a `null` result would break clients waiting on the job).
+    let (phase, result, error) = job.snapshot();
+    let result = match result {
+        None => Json::Null,
+        Some(r) => Json::obj(vec![
+            ("bonus", Json::num_arr(&r.bonus)),
+            ("steps", Json::num(r.steps as f64)),
+            ("objects_scored", Json::num(r.objects_scored as f64)),
+        ]),
+    };
+    Json::obj(vec![
+        ("id", Json::str(job.id.clone())),
+        ("store", Json::str(job.store.clone())),
+        ("kind", Json::str(job.spec.kind.as_str())),
+        ("state", Json::str(phase.as_str())),
+        ("step", Json::num(job.step() as f64)),
+        ("total_steps", Json::num(job.total_steps() as f64)),
+        ("result", result),
+        ("error", error.map_or(Json::Null, Json::Str)),
+    ])
+}
+
+fn parse_body(req: &Request) -> Result<Json, ApiError> {
+    if req.body.is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+fn require_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    body.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("`{key}` (string) is required")))
+}
+
+/// Metric names are a closed set; map them to `'static` for the ordered
+/// response pairs without allocating per request.
+fn leak_metric_name(name: &str) -> &'static str {
+    match name {
+        "disparity" => "disparity",
+        "ndcg" => "ndcg",
+        "log_discounted" => "log_discounted",
+        "fpr_difference" => "fpr_difference",
+        "disparate_impact" => "disparate_impact",
+        _ => unreachable!("validated above"),
+    }
+}
+
+/// A running server: its bound address plus everything needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: Arc<AuditService>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the listener is bound to (resolves the ephemeral port of
+    /// a `127.0.0.1:0` bind).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (register fixtures in-process, inspect
+    /// jobs).
+    #[must_use]
+    pub fn service(&self) -> &Arc<AuditService> {
+        &self.service
+    }
+
+    /// Stop accepting, drain and join the request workers, then cancel and
+    /// join every background job. When this returns, no server thread is
+    /// alive.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the accept thread exits (for the binary's foreground
+    /// mode; an external `shutdown` is not possible afterwards, so this is
+    /// effectively run-forever).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.jobs.shutdown();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.jobs.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Bind `addr` (use port `0` for an ephemeral port) and serve `service` on a
+/// pool of `workers` request threads until [`ServerHandle::shutdown`].
+///
+/// # Errors
+/// Returns the bind error, if any; everything after the bind runs on the
+/// server's own threads.
+pub fn serve(
+    service: Arc<AuditService>,
+    addr: impl ToSocketAddrs,
+    workers: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = workers.max(1);
+
+    let accept_service = service.clone();
+    let accept_stop = stop.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("fair-serve-accept".into())
+        .spawn(move || {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            let rx = Arc::new(Mutex::new(rx));
+            let mut pool = Vec::with_capacity(workers);
+            for i in 0..workers {
+                let rx = rx.clone();
+                let service = accept_service.clone();
+                pool.push(
+                    std::thread::Builder::new()
+                        .name(format!("fair-serve-worker-{i}"))
+                        .spawn(move || loop {
+                            // Hold the lock only for the blocking receive;
+                            // release before handling so another worker can
+                            // wait for the next connection.
+                            let conn = { rx.lock().expect("worker queue poisoned").recv() };
+                            match conn {
+                                Ok(conn) => handle_connection(&service, &conn),
+                                Err(_) => break, // channel closed: shutdown
+                            }
+                        })
+                        .expect("spawn request worker"),
+                );
+            }
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(conn) = conn {
+                    // A send can only fail after shutdown closed the pool.
+                    if tx.send(conn).is_err() {
+                        break;
+                    }
+                }
+            }
+            drop(tx);
+            for worker in pool {
+                let _ = worker.join();
+            }
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}
+
+/// Serve one connection: parse, route, respond. Peer-side protocol
+/// violations get a 400 (best effort — the socket may already be gone).
+/// Handler panics — e.g. a disk store whose backing file was truncated
+/// after open, which the infallible `with_shard` engine path surfaces as a
+/// panic — are caught and answered with a 500, so a failing store can never
+/// kill request workers and starve the pool.
+fn handle_connection(service: &AuditService, conn: &TcpStream) {
+    let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let _ = conn.set_nodelay(true);
+    match read_request(conn) {
+        Ok(req) => {
+            let routed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.route(&req)));
+            let (status, body) = match routed {
+                Ok(response) => response,
+                Err(panic) => (
+                    500,
+                    Json::obj(vec![(
+                        "error",
+                        Json::str(format!(
+                            "internal error: {}",
+                            crate::jobs::panic_message(&*panic)
+                        )),
+                    )]),
+                ),
+            };
+            let _ = write_response(conn, status, &body.render());
+        }
+        Err(e) => {
+            let body = Json::obj(vec![("error", Json::str(e.to_string()))]).render();
+            let _ = write_response(conn, 400, &body);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn service_with_store(rows: usize) -> Arc<AuditService> {
+        let service = AuditService::new();
+        let (status, body) = service.route(&request(
+            "POST",
+            "/stores",
+            &format!(
+                r#"{{"name":"cohort","generate":{{"kind":"school","rows":{rows},"seed":7,"shard_size":64}}}}"#
+            ),
+        ));
+        assert_eq!(status, 201, "{}", body.render());
+        service
+    }
+
+    #[test]
+    fn health_and_listing_routes_answer() {
+        let service = service_with_store(200);
+        let (status, body) = service.route(&request("GET", "/health", ""));
+        assert_eq!(status, 200);
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(body.get("stores").unwrap().as_usize(), Some(1));
+
+        let (status, body) = service.route(&request("GET", "/stores", ""));
+        assert_eq!(status, 200);
+        let stores = body.get("stores").unwrap().as_arr().unwrap();
+        assert_eq!(stores.len(), 1);
+        assert_eq!(stores[0].get("name").unwrap().as_str(), Some("cohort"));
+        assert_eq!(stores[0].get("kind").unwrap().as_str(), Some("memory"));
+        assert_eq!(stores[0].get("rows").unwrap().as_usize(), Some(200));
+
+        let (status, body) = service.route(&request("GET", "/stores/cohort/schema", ""));
+        assert_eq!(status, 200);
+        let features = body.get("features").unwrap().as_str_vec().unwrap();
+        let fairness = body.get("fairness").unwrap().as_str_vec().unwrap();
+        assert!(!features.is_empty());
+        assert!(!fairness.is_empty());
+
+        let (status, body) = service.route(&request("GET", "/stores/cohort/stats", ""));
+        assert_eq!(status, 200, "{}", body.render());
+        assert_eq!(
+            body.get("fairness_centroid")
+                .unwrap()
+                .as_f64_vec()
+                .unwrap()
+                .len(),
+            fairness.len()
+        );
+    }
+
+    #[test]
+    fn metrics_route_computes_requested_metrics() {
+        let service = service_with_store(300);
+        let (status, body) = service.route(&request(
+            "POST",
+            "/stores/cohort/metrics",
+            r#"{"k":0.1,"metrics":["disparity","ndcg","disparate_impact"]}"#,
+        ));
+        assert_eq!(status, 200, "{}", body.render());
+        assert!(body.get("disparity").unwrap().as_f64_vec().is_some());
+        assert!(body.get("ndcg").unwrap().as_f64().is_some());
+        assert!(body.get("disparate_impact").unwrap().as_f64_vec().is_some());
+        assert!(body.get("log_discounted").is_none(), "not requested");
+    }
+
+    #[test]
+    fn routing_errors_are_structured() {
+        let service = service_with_store(100);
+        for (method, path, body, expected) in [
+            ("GET", "/nope", "", 404),
+            ("PUT", "/stores", "", 405),
+            ("GET", "/stores/ghost/schema", "", 404),
+            ("POST", "/stores/cohort/metrics", "not json", 400),
+            (
+                "POST",
+                "/stores/cohort/metrics",
+                r#"{"k":0.1,"metrics":["nope"]}"#,
+                400,
+            ),
+            ("POST", "/stores/cohort/metrics", r#"{}"#, 400),
+            (
+                "POST",
+                "/stores/cohort/metrics",
+                r#"{"k":0.1,"bonus":[1,2,3,4,5,6,7]}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/stores",
+                r#"{"name":"cohort","generate":{"kind":"school","rows":10}}"#,
+                409,
+            ),
+            ("POST", "/stores", r#"{"name":"x"}"#, 400),
+            (
+                "POST",
+                "/stores",
+                r#"{"name":"x","generate":{"kind":"martian","rows":10}}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/jobs",
+                r#"{"store":"ghost","kind":"full","k":0.1}"#,
+                404,
+            ),
+            (
+                "POST",
+                "/jobs",
+                r#"{"store":"cohort","kind":"walk","k":0.1}"#,
+                400,
+            ),
+            ("GET", "/jobs/job-9", "", 404),
+            ("DELETE", "/stores/ghost", "", 404),
+        ] {
+            let (status, resp) = service.route(&request(method, path, body));
+            assert_eq!(
+                status,
+                expected,
+                "{method} {path} {body} -> {}",
+                resp.render()
+            );
+            assert!(resp.get("error").is_some(), "{method} {path}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_numeric_seeds_are_rejected_strings_accepted() {
+        let service = service_with_store(100);
+        // 2^53+1 as a number token: f64 parsing already rounded it to 2^53,
+        // so the server must refuse rather than run a silently-altered seed.
+        let (status, body) = service.route(&request(
+            "POST",
+            "/jobs",
+            r#"{"store":"cohort","kind":"core","k":0.2,
+                "config":{"seed":9007199254740993,"sample_size":30,
+                          "learning_rates":[1.0],"iterations_per_rate":1}}"#,
+        ));
+        assert_eq!(status, 400, "{}", body.render());
+        assert!(
+            body.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("seed"),
+            "{}",
+            body.render()
+        );
+        // The same seed as a decimal string is exact and accepted.
+        let (status, body) = service.route(&request(
+            "POST",
+            "/jobs",
+            r#"{"store":"cohort","kind":"core","k":0.2,
+                "config":{"seed":"9007199254740993","sample_size":30,
+                          "learning_rates":[1.0],"iterations_per_rate":1}}"#,
+        ));
+        assert_eq!(status, 202, "{}", body.render());
+        service.jobs.shutdown();
+    }
+
+    #[test]
+    fn fpr_on_unlabelled_school_store_is_unprocessable() {
+        // The school generator emits unlabelled rows; FPR requires labels.
+        let service = service_with_store(100);
+        let (status, body) = service.route(&request(
+            "POST",
+            "/stores/cohort/metrics",
+            r#"{"k":0.2,"metrics":["fpr_difference"]}"#,
+        ));
+        assert_eq!(status, 422, "{}", body.render());
+    }
+
+    #[test]
+    fn compas_generation_and_labelled_metrics_work() {
+        let service = AuditService::new();
+        let (status, _) = service.route(&request(
+            "POST",
+            "/stores",
+            r#"{"name":"defendants","generate":{"kind":"compas","rows":200,"seed":3,"shard_size":32}}"#,
+        ));
+        assert_eq!(status, 201);
+        let (status, body) = service.route(&request(
+            "POST",
+            "/stores/defendants/metrics",
+            r#"{"k":0.3,"metrics":["fpr_difference","log_discounted"]}"#,
+        ));
+        assert_eq!(status, 200, "{}", body.render());
+        assert!(body.get("fpr_difference").unwrap().as_f64_vec().is_some());
+    }
+
+    #[test]
+    fn store_removal_keeps_running_jobs_alive() {
+        let service = service_with_store(400);
+        let (status, job) = service.route(&request(
+            "POST",
+            "/jobs",
+            r#"{"store":"cohort","kind":"core","k":0.2,
+                "config":{"seed":9,"sample_size":60,"learning_rates":[4.0,1.0],"iterations_per_rate":10}}"#,
+        ));
+        assert_eq!(status, 202, "{}", job.render());
+        let id = job.get("id").unwrap().as_str().unwrap().to_string();
+        let (status, _) = service.route(&request("DELETE", "/stores/cohort", ""));
+        assert_eq!(status, 200);
+        // The job still finishes against its pinned Arc.
+        for _ in 0..2000 {
+            let (_, view) = service.route(&request("GET", &format!("/jobs/{id}"), ""));
+            let state = view.get("state").unwrap().as_str().unwrap().to_string();
+            if state == "completed" {
+                assert!(view.get("result").unwrap().get("bonus").is_some());
+                service.jobs.shutdown();
+                return;
+            }
+            assert!(state == "queued" || state == "running", "{state}");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!("job never completed");
+    }
+}

@@ -168,6 +168,30 @@ impl ShardStore {
     /// Returns a structured error for any I/O failure or any header, schema,
     /// or directory corruption — truncated files included. Never panics.
     pub fn open_with_budget(path: impl AsRef<Path>, budget: usize) -> Result<Self> {
+        let path = path.as_ref();
+        // Pre-screen the two classic mis-uses *before* any header read, so
+        // they surface as clear structured errors instead of an
+        // `IsADirectory` I/O error or a baffling "truncated header"
+        // corruption report.
+        let meta = std::fs::metadata(path)?;
+        if meta.is_dir() {
+            return Err(StoreError::InvalidConfig {
+                reason: format!(
+                    "`{}` is a directory, not an FSS1 shard file",
+                    path.display()
+                ),
+            });
+        }
+        if meta.len() == 0 {
+            return Err(StoreError::Corrupt {
+                offset: 0,
+                what: "file header".into(),
+                reason: format!(
+                    "`{}` is empty (0 bytes): not an FSS1 shard file",
+                    path.display()
+                ),
+            });
+        }
         let file = StoreFile::new(File::open(path)?);
         let file_len = file.file.metadata()?.len();
 
@@ -809,6 +833,43 @@ mod tests {
         std::fs::write(&path, &original).unwrap();
         ShardStore::open_with_budget(&path, 0).unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_on_a_directory_is_a_structured_error() {
+        // Regression: opening a directory used to fall through to the first
+        // positional read and surface as a raw `IsADirectory` I/O error.
+        let dir = std::env::temp_dir().join(format!("fair_store_dir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        match ShardStore::open_with_budget(&dir, 0) {
+            Err(StoreError::InvalidConfig { reason }) => {
+                assert!(reason.contains("directory"), "{reason}");
+            }
+            other => panic!("expected a structured directory error, got {other:?}"),
+        }
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn open_on_a_zero_length_file_is_a_structured_error() {
+        // Regression: a zero-length file used to report a confusing
+        // "truncated: 52 bytes expected" header corruption; it now says the
+        // file is empty outright.
+        let path = temp_path("zero_len");
+        std::fs::write(&path, b"").unwrap();
+        match ShardStore::open_with_budget(&path, 0) {
+            Err(StoreError::Corrupt { reason, offset, .. }) => {
+                assert_eq!(offset, 0);
+                assert!(reason.contains("empty"), "{reason}");
+            }
+            other => panic!("expected a structured empty-file error, got {other:?}"),
+        }
+        // A missing file is still a plain I/O error (NotFound).
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            ShardStore::open_with_budget(&path, 0),
+            Err(StoreError::Io(_))
+        ));
     }
 
     #[test]

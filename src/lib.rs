@@ -13,7 +13,10 @@
 //!   FA\*IR, and the (Δ+2)-approximation re-ranker,
 //! * [`matching`] ([`fair_matching`]) — deferred-acceptance school choice,
 //! * [`store`] ([`fair_store`]) — the persistent on-disk columnar shard store
-//!   with LRU-cached out-of-core evaluation.
+//!   with LRU-cached out-of-core evaluation,
+//! * [`serve`] ([`fair_serve`]) — the concurrent audit service: store
+//!   catalog, synchronous metric endpoints, background DCA jobs, and the
+//!   wire protocol + typed client.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use fair_core as core;
 pub use fair_data as data;
 pub use fair_matching as matching;
 pub use fair_opt as opt;
+pub use fair_serve as serve;
 pub use fair_store as store;
 
 /// One-stop import for applications: everything from the core prelude plus

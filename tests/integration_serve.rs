@@ -1,0 +1,314 @@
+//! End-to-end acceptance tests for the `fair-serve` audit service: a real
+//! server on an ephemeral port, a registered on-disk store, concurrent
+//! clients, background DCA jobs with progress + cancellation, and a clean
+//! shutdown.
+//!
+//! The central claims under test:
+//!
+//! 1. metric results fetched through the wire are **bit-identical** to the
+//!    library path (`fair_core::metrics::sharded` over the same store), for
+//!    every concurrent client;
+//! 2. a completed Full-DCA job reproduces the **exact seeded trajectory** of
+//!    `run_full_dca_sharded` with the same configuration;
+//! 3. a long job is cancellable mid-run and reports the partial progress it
+//!    made;
+//! 4. shutdown drains every worker and job thread, after which the port no
+//!    longer answers.
+
+use fair_ranking::core::metrics::sharded as shmetrics;
+use fair_ranking::prelude::*;
+use fair_ranking::serve::{
+    serve, AuditService, Client, JobKind, JobRequest, MetricsRequest, ServeError,
+};
+use std::time::Duration;
+
+const ROWS: usize = 3_000;
+const RUBRIC_WEIGHTS: [f64; 2] = [0.55, 0.45];
+
+fn temp_store(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fair_serve_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}_{}.fss", std::process::id()))
+}
+
+/// Stream a school cohort onto disk and return the path.
+fn school_store(name: &str) -> std::path::PathBuf {
+    let path = temp_store(name);
+    let generator = SchoolGenerator::new(SchoolConfig::small(ROWS, 4242));
+    fair_ranking::data::store::school_to_store(&generator, default_shard_size(), &path).unwrap();
+    path
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn service_end_to_end_concurrent_audits_jobs_and_shutdown() {
+    let path = school_store("e2e");
+    let server = serve(AuditService::new(), "127.0.0.1:0", 4).unwrap();
+    let addr = server.addr();
+    let client = Client::new(addr);
+
+    // --- Registration + catalog surface -------------------------------
+    client.health().unwrap();
+    let info = client
+        .register_disk_store("school", path.to_str().unwrap())
+        .unwrap();
+    assert_eq!(info.rows, ROWS);
+    assert_eq!(info.kind, "disk");
+    let listed = client.stores().unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].name, "school");
+    let (features, fairness) = client.schema("school").unwrap();
+    assert_eq!(features.len(), RUBRIC_WEIGHTS.len());
+    assert_eq!(fairness.len(), 4, "school schema has 4 fairness attributes");
+    let stats = client.stats("school").unwrap();
+    assert_eq!(stats.get("rows").unwrap().as_usize(), Some(ROWS));
+    assert!(stats.get("cache").is_some(), "disk stores expose the cache");
+
+    // --- Library reference values -------------------------------------
+    let reference_store = ShardStore::open(&path).unwrap();
+    let ranker = WeightedSumRanker::new(RUBRIC_WEIGHTS.to_vec()).unwrap();
+    let k = 0.1;
+    let bonus = vec![1.5, 0.0, 4.0, 0.25];
+    let lib_disparity = shmetrics::disparity_at_k(&reference_store, &ranker, &bonus, k).unwrap();
+    let lib_ndcg = shmetrics::ndcg_at_k(&reference_store, &ranker, &bonus, k).unwrap();
+
+    // --- Concurrent clients, bit-identical results ---------------------
+    let request = MetricsRequest {
+        k,
+        bonus: Some(bonus.clone()),
+        weights: Some(RUBRIC_WEIGHTS.to_vec()),
+        metrics: Some(vec!["disparity".into(), "ndcg".into()]),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let client = Client::new(addr);
+            let request = request.clone();
+            let lib_disparity = &lib_disparity;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let result = client.metrics("school", &request).unwrap();
+                    assert_eq!(result.rows, ROWS);
+                    assert_eq!(
+                        bits(&result.disparity.clone().unwrap()),
+                        bits(lib_disparity),
+                        "wire disparity == library bits"
+                    );
+                    assert_eq!(result.ndcg.unwrap().to_bits(), lib_ndcg.to_bits());
+                }
+            });
+        }
+    });
+
+    // --- A Full-DCA job reproduces the library trajectory --------------
+    let job_req = JobRequest {
+        store: "school".into(),
+        kind: JobKind::Full,
+        k,
+        weights: Some(RUBRIC_WEIGHTS.to_vec()),
+        seed: 77,
+        sample_size: None,
+        learning_rates: Some(vec![8.0, 1.0]),
+        iterations_per_rate: Some(10),
+    };
+    let submitted = client.submit_job(&job_req).unwrap();
+    assert_eq!(submitted.total_steps, 20);
+    let done = client
+        .wait_for_job(&submitted.id, Duration::from_secs(120))
+        .unwrap();
+    assert_eq!(done.state, "completed", "error: {:?}", done.error);
+    assert_eq!(done.step, 20, "progress counter reaches the total");
+    let job_result = done.result.unwrap();
+
+    let lib_config = DcaConfig {
+        learning_rates: vec![8.0, 1.0],
+        iterations_per_rate: 10,
+        refinement_iterations: 0,
+        seed: 77,
+        ..DcaConfig::default()
+    };
+    let lib_dca = run_full_dca_sharded(
+        &reference_store,
+        &ranker,
+        &TopKDisparity::new(k),
+        &lib_config,
+        None,
+        false,
+    )
+    .unwrap();
+    assert_eq!(
+        bits(&job_result.bonus),
+        bits(&lib_dca.bonus),
+        "job trajectory == run_full_dca_sharded, bit for bit"
+    );
+    assert_eq!(job_result.steps, lib_dca.steps);
+    assert_eq!(job_result.objects_scored, lib_dca.objects_scored);
+
+    // --- A second, long job is cancellable mid-run ----------------------
+    let long_req = JobRequest {
+        store: "school".into(),
+        kind: JobKind::Full,
+        k,
+        weights: Some(RUBRIC_WEIGHTS.to_vec()),
+        seed: 78,
+        sample_size: None,
+        learning_rates: Some(vec![4.0, 2.0, 1.0, 0.5]),
+        iterations_per_rate: Some(5_000),
+    };
+    let long_job = client.submit_job(&long_req).unwrap();
+    assert_eq!(long_job.total_steps, 20_000);
+    // Wait for real progress so the cancellation demonstrably lands mid-run.
+    let mut observed_step = 0;
+    for _ in 0..3_000 {
+        let view = client.job(&long_job.id).unwrap();
+        observed_step = view.step;
+        if observed_step >= 3 || view.is_terminal() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(observed_step >= 3, "the long job never reported progress");
+    client.cancel_job(&long_job.id).unwrap();
+    let cancelled = client
+        .wait_for_job(&long_job.id, Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(cancelled.state, "cancelled");
+    assert!(
+        cancelled.step < cancelled.total_steps,
+        "cancelled well before the 20k steps ({} run)",
+        cancelled.step
+    );
+    assert!(cancelled.result.is_none());
+
+    // --- Clean shutdown -------------------------------------------------
+    let jobs_before_shutdown = server.service().jobs.len();
+    assert_eq!(jobs_before_shutdown, 2);
+    server.shutdown();
+    match Client::new(addr)
+        .with_timeout(Duration::from_millis(500))
+        .health()
+    {
+        Err(ServeError::Io(_) | ServeError::Protocol(_)) => {}
+        other => panic!("the port must stop answering after shutdown, got {other:?}"),
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn wire_errors_surface_as_structured_api_failures() {
+    let server = serve(AuditService::new(), "127.0.0.1:0", 2).unwrap();
+    let client = Client::new(server.addr());
+
+    match client.metrics("ghost", &MetricsRequest::baseline(0.1)) {
+        Err(ServeError::Api {
+            status: 404,
+            message,
+        }) => {
+            assert!(message.contains("ghost"), "{message}");
+        }
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.register_disk_store("bad", "/nonexistent/path.fss") {
+        Err(ServeError::Api { status: 422, .. }) => {}
+        other => panic!("expected 422, got {other:?}"),
+    }
+    // Registering a synthetic cohort over the wire and auditing it.
+    let info = client.register_synthetic("syn", "compas", 500, 9).unwrap();
+    assert_eq!(info.kind, "memory");
+    assert_eq!(info.rows, 500);
+    let result = client
+        .metrics(
+            "syn",
+            &MetricsRequest {
+                k: 0.2,
+                bonus: None,
+                weights: None,
+                metrics: Some(vec!["disparity".into(), "fpr_difference".into()]),
+            },
+        )
+        .unwrap();
+    assert!(result.disparity.is_some());
+    assert!(result.fpr_difference.is_some(), "COMPAS rows are labelled");
+    // Duplicate registration conflicts.
+    match client.register_synthetic("syn", "compas", 10, 9) {
+        Err(ServeError::Api { status: 409, .. }) => {}
+        other => panic!("expected 409, got {other:?}"),
+    }
+
+    // A seed above 2^53 must round-trip the wire exactly (JSON numbers are
+    // f64; the client switches to a string encoding): the job's trajectory
+    // is the library trajectory for that very seed, not a rounded one.
+    let big_seed = u64::MAX - 1; // not representable as f64
+    let job = client
+        .submit_job(&JobRequest {
+            store: "syn".into(),
+            kind: JobKind::Core,
+            k: 0.2,
+            weights: None,
+            seed: big_seed,
+            sample_size: Some(60),
+            learning_rates: Some(vec![4.0, 1.0]),
+            iterations_per_rate: Some(5),
+        })
+        .unwrap();
+    let done = client
+        .wait_for_job(&job.id, Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.state, "completed", "error: {:?}", done.error);
+    let local = CompasGenerator::new(CompasConfig::small(500, 9))
+        .generate_sharded(default_shard_size())
+        .unwrap();
+    let num_features = local.schema().num_features();
+    let uniform = WeightedSumRanker::new(vec![1.0; num_features]).unwrap();
+    let lib = run_core_dca_sharded(
+        &local,
+        &uniform,
+        &TopKDisparity::new(0.2),
+        &DcaConfig {
+            sample_size: 60,
+            learning_rates: vec![4.0, 1.0],
+            iterations_per_rate: 5,
+            refinement_iterations: 0,
+            seed: big_seed,
+            ..DcaConfig::default()
+        },
+        None,
+        false,
+    )
+    .unwrap();
+    assert_eq!(
+        bits(&done.result.unwrap().bonus),
+        bits(&lib.bonus),
+        "a >2^53 seed reaches the engine unrounded"
+    );
+
+    client.remove_store("syn").unwrap();
+    assert!(client.stores().unwrap().is_empty());
+
+    // A disk store whose backing file goes bad *after* registration: the
+    // page-in panic must surface as a 500 on that request without killing
+    // the worker — the pool keeps serving afterwards.
+    let doomed = school_store("doomed");
+    client
+        .register_disk_store("doomed", doomed.to_str().unwrap())
+        .unwrap();
+    std::fs::write(&doomed, b"not a store anymore").unwrap();
+    for _ in 0..4 {
+        // More failing requests than workers: a killed worker would hang
+        // the later ones instead of answering.
+        match client.metrics("doomed", &MetricsRequest::baseline(0.1)) {
+            Err(ServeError::Api {
+                status: 500,
+                message,
+            }) => {
+                assert!(message.contains("internal error"), "{message}");
+            }
+            other => panic!("expected 500 from the broken store, got {other:?}"),
+        }
+    }
+    client.health().unwrap();
+    std::fs::remove_file(doomed).ok();
+    server.shutdown();
+}

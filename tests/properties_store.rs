@@ -308,6 +308,109 @@ fn paged_evaluation_stays_under_the_cache_budget() {
     std::fs::remove_file(path).ok();
 }
 
+/// Concurrency regression for the serving layer: N request threads hammer
+/// *one* shared `ShardStore` handle in different shard orders while the
+/// budget forces continuous eviction. Every thread must observe every shard
+/// bit-identical to the in-memory (serial) reference — a stale or
+/// mid-eviction read would corrupt the comparison — and the pin-while-
+/// borrowed accounting must keep `peak_bytes <= budget` even with all
+/// threads pinning simultaneously.
+#[test]
+fn concurrent_paged_reads_are_bit_identical_and_stay_under_budget() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 4;
+    let shard_size = 32_usize;
+    let num_shards = 40_usize;
+    let n = shard_size * num_shards;
+    let rows: Vec<Row> = (0..n as u32)
+        .map(|i| {
+            (
+                (i * 811) % 8192,
+                i % 5 == 0,
+                ((i * 31) % 257) as u16,
+                i % 2 == 1,
+            )
+        })
+        .collect();
+    let flat = dataset_from_rows(&rows);
+    let mem = ShardedDataset::from_dataset(&flat, shard_size).unwrap();
+    let path = temp_path("concurrent");
+    write_source(&mem, &path).unwrap();
+
+    let shard_bytes = column_bytes(mem.shard(0).data());
+    // Room for each thread's pinned shard plus one, far below the cohort —
+    // every round of the hammer loop below must evict.
+    let budget = (THREADS + 1) * shard_bytes;
+    assert!(
+        budget < num_shards * shard_bytes,
+        "budget must force paging"
+    );
+    let store = std::sync::Arc::new(ShardStore::open_with_budget(&path, budget).unwrap());
+
+    // Serial reference: per-shard bit patterns off the in-memory source.
+    let reference: Vec<(Vec<u64>, Vec<u64>, u64)> = (0..num_shards)
+        .map(|i| {
+            let d = mem.shard(i).data();
+            (
+                bits(d.features_matrix()),
+                bits(d.fairness_matrix()),
+                d.ids().iter().map(|id| id.0).sum::<u64>(),
+            )
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = store.clone();
+            let reference = &reference;
+            scope.spawn(move || {
+                // Each thread walks the shards with a different coprime
+                // stride, so at any instant the threads are pinning
+                // different shards and evicting each other's.
+                let stride = [1, 3, 7, 9, 11, 13, 17, 19][t];
+                for round in 0..ROUNDS {
+                    for j in 0..num_shards {
+                        let i = (j * stride + round + t) % num_shards;
+                        store.with_shard(i, |view| {
+                            let d = view.data();
+                            let (ref f, ref a, id_sum) = reference[i];
+                            assert_eq!(&bits(d.features_matrix()), f, "shard {i} features");
+                            assert_eq!(&bits(d.fairness_matrix()), a, "shard {i} fairness");
+                            assert_eq!(
+                                d.ids().iter().map(|id| id.0).sum::<u64>(),
+                                id_sum,
+                                "shard {i} ids"
+                            );
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = store.cache_stats();
+    assert!(
+        stats.peak_bytes <= budget,
+        "concurrent pinning must never push the peak {} over the budget {budget}",
+        stats.peak_bytes
+    );
+    assert!(
+        stats.evictions > 0,
+        "the hammer loop must continuously evict ({stats:?})"
+    );
+    assert!(
+        stats.misses >= num_shards as u64,
+        "every shard pages in at least once"
+    );
+    assert_eq!(stats.pinned_shards, 0, "no pins survive the threads");
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * ROUNDS * num_shards) as u64,
+        "every access is either a hit or a miss"
+    );
+    std::fs::remove_file(path).ok();
+}
+
 /// Corrupted files must surface as structured `StoreError`s through the
 /// public API — never a panic, never a silently wrong decode.
 #[test]
