@@ -34,17 +34,25 @@
 //! (disparity@k over a 10k in-memory cohort) at three client concurrency
 //! levels, reported as requests/sec (`serve` in the JSON).
 //!
+//! Schema v5 reworks the out-of-core section around the one-sweep audit
+//! planner and shard readahead: the paged disparity is timed with the
+//! readahead thread on *and* off, the cache counters now include
+//! prefetch hits/wasted, small cohorts page through deliberately small
+//! shards so even `--quick` exercises eviction, and a `multi_metric`
+//! sub-section times one five-metric `MetricPlan` sweep against five
+//! sequential per-metric paged sweeps on a fully labelled COMPAS store.
+//!
 //! The summary line checks the headline claim directly: Core DCA's per-step
 //! time at the largest cohort must stay within 2x of the 10k per-step time.
 
 use fair_bench::datasets::ExperimentScale;
-use fair_core::metrics::sharded as shmetrics;
+use fair_core::metrics::sharded::{self as shmetrics, MetricKind, MetricPlan};
 use fair_core::metrics::{disparity_at_k, log_discounted_disparity, ndcg_at_k, LogDiscountConfig};
 use fair_core::prelude::*;
-use fair_data::store::school_to_store;
-use fair_data::{SchoolConfig, SchoolGenerator};
+use fair_data::store::{compas_to_store, school_to_store};
+use fair_data::{CompasConfig, CompasGenerator, SchoolConfig, SchoolGenerator};
 use fair_serve::{serve, AuditService, Client, MetricsRequest};
-use fair_store::{column_bytes, CacheStats, ShardStore};
+use fair_store::{CacheStats, ShardStore};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -81,11 +89,31 @@ struct OutOfCoreReport {
     store_write_ms: f64,
     /// Cache byte budget the paged evaluation ran under.
     budget_bytes: usize,
-    /// disparity@k end-to-end over the store, ms (median).
+    /// Shard size of the on-disk layout (small cohorts deliberately page
+    /// through small shards so even `--quick` exercises eviction).
+    shard_size: usize,
+    /// Readahead depth the prefetch-on timings ran with.
+    prefetch: usize,
+    /// disparity@k end-to-end over the store with readahead on, ms (median).
     disparity_ms: f64,
+    /// disparity@k with the readahead thread disabled, ms (median).
+    disparity_no_prefetch_ms: f64,
     /// nDCG@k end-to-end over the store, ms (median).
     ndcg_ms: f64,
-    /// Cumulative cache counters after the timed runs.
+    /// Cumulative cache counters after the readahead-on timed runs.
+    cache: CacheStats,
+    /// One-sweep multi-metric plan vs sequential per-metric paged sweeps.
+    multi_metric: MultiMetricReport,
+}
+
+/// One five-metric `MetricPlan` sweep vs five sequential per-metric paged
+/// sweeps, on a fully labelled COMPAS store (the school cohort leaves rows
+/// unlabelled, which the FPR metric rejects).
+struct MultiMetricReport {
+    rows: usize,
+    one_sweep_ms: f64,
+    sequential_ms: f64,
+    speedup: f64,
     cache: CacheStats,
 }
 
@@ -237,35 +265,54 @@ fn measure_cohort(n: usize, reps: usize) -> CohortReport {
 
     // Out-of-core: stream the same cohort onto disk, then evaluate through
     // the paged shard cache at a quarter-cohort budget (clamped so the
-    // worker pool's pinned working set always fits).
+    // worker pool's pinned working set always fits). Small cohorts get a
+    // small shard layout so paging and eviction genuinely happen even in
+    // `--quick` mode, where one 64k shard would swallow the whole cohort.
     let generator = SchoolGenerator::new(SchoolConfig::small(n, 42));
     let store_path =
         std::env::temp_dir().join(format!("fair_perf_report_{n}_{}.fss", std::process::id()));
+    let oo_shard_size = if n <= 16 * 1024 { 1024 } else { shard_size };
     let write_start = Instant::now();
-    school_to_store(&generator, shard_size, &store_path).expect("write cohort store");
+    school_to_store(&generator, oo_shard_size, &store_path).expect("write cohort store");
     let store_write_ms = write_start.elapsed().as_secs_f64() * 1e3;
-    let shard_bytes = column_bytes(sharded.shard(0).data());
-    let total_column_bytes: usize = (0..sharded.num_shards())
-        .map(|i| column_bytes(sharded.shard(i).data()))
-        .sum();
+    let per_row = 8 * (dataset.schema().num_features() + dataset.schema().num_fairness()) + 8 + 1;
+    let shard_bytes = oo_shard_size.min(n) * per_row;
+    let total_column_bytes = n * per_row;
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let budget_bytes = (total_column_bytes / 4).max((workers + 1) * shard_bytes);
-    let store = ShardStore::open_with_budget(&store_path, budget_bytes).expect("open cohort store");
+    let prefetch = fair_store::default_prefetch();
+    let store = ShardStore::open_with_options(&store_path, budget_bytes, prefetch)
+        .expect("open cohort store");
+    let oo_disparity_ms = time_median(reps, || {
+        shmetrics::disparity_at_k(&store, &rubric, &bonus, 0.05).unwrap()
+    });
+    let oo_ndcg_ms = time_median(reps, || {
+        shmetrics::ndcg_at_k(&store, &rubric, &bonus, 0.05).unwrap()
+    });
+    let cache = store.cache_stats();
+    drop(store);
+    // Same store, readahead thread off: what the prefetcher is worth.
+    let store = ShardStore::open_with_options(&store_path, budget_bytes, 0)
+        .expect("open cohort store without readahead");
+    let disparity_no_prefetch_ms = time_median(reps, || {
+        shmetrics::disparity_at_k(&store, &rubric, &bonus, 0.05).unwrap()
+    });
+    drop(store);
+    std::fs::remove_file(&store_path).ok();
+    let multi_metric = measure_multi_metric(n, oo_shard_size, budget_bytes, prefetch, reps);
     let out_of_core = OutOfCoreReport {
         store_write_ms,
         budget_bytes,
-        disparity_ms: time_median(reps, || {
-            shmetrics::disparity_at_k(&store, &rubric, &bonus, 0.05).unwrap()
-        }),
-        ndcg_ms: time_median(reps, || {
-            shmetrics::ndcg_at_k(&store, &rubric, &bonus, 0.05).unwrap()
-        }),
-        cache: store.cache_stats(),
+        shard_size: oo_shard_size,
+        prefetch,
+        disparity_ms: oo_disparity_ms,
+        disparity_no_prefetch_ms,
+        ndcg_ms: oo_ndcg_ms,
+        cache,
+        multi_metric,
     };
-    drop(store);
-    std::fs::remove_file(&store_path).ok();
 
     CohortReport {
         n,
@@ -287,6 +334,54 @@ fn measure_cohort(n: usize, reps: usize) -> CohortReport {
         serial_e2e,
         sharded_e2e,
         out_of_core,
+    }
+}
+
+/// Time one five-metric `MetricPlan` sweep against five sequential
+/// per-metric paged sweeps — the before/after of the `POST /stores/{name}/
+/// metrics` rewiring. Runs on a COMPAS store (every row labelled, so the
+/// FPR metric is measurable) of the same size, same shard layout, same
+/// quarter-cohort budget.
+fn measure_multi_metric(
+    n: usize,
+    shard_size: usize,
+    budget_bytes: usize,
+    prefetch: usize,
+    reps: usize,
+) -> MultiMetricReport {
+    let generator = CompasGenerator::new(CompasConfig::small(n, 42));
+    let store_path = std::env::temp_dir().join(format!(
+        "fair_perf_report_compas_{n}_{}.fss",
+        std::process::id()
+    ));
+    compas_to_store(&generator, shard_size, &store_path).expect("write compas store");
+    let dims = CompasGenerator::schema().num_fairness();
+    let ranker = WeightedSumRanker::new(vec![1.0]).expect("one weight");
+    let bonus = vec![0.0; dims];
+    let k = 0.05;
+    let log_cfg = LogDiscountConfig::default();
+
+    let store = ShardStore::open_with_options(&store_path, budget_bytes, prefetch)
+        .expect("open compas store");
+    let plan = MetricPlan::new(&MetricKind::ALL, k);
+    let one_sweep_ms = time_median(reps, || plan.evaluate(&store, &ranker, &bonus).unwrap());
+    // The pre-planner serving path: one full paged sweep per metric.
+    let sequential_ms = time_median(reps, || {
+        shmetrics::disparity_at_k(&store, &ranker, &bonus, k).unwrap();
+        shmetrics::ndcg_at_k(&store, &ranker, &bonus, k).unwrap();
+        shmetrics::log_discounted_disparity(&store, &ranker, &bonus, &log_cfg).unwrap();
+        shmetrics::fpr_difference_at_k(&store, &ranker, &bonus, k).unwrap();
+        shmetrics::scaled_disparate_impact_at_k(&store, &ranker, &bonus, k).unwrap();
+    });
+    let cache = store.cache_stats();
+    drop(store);
+    std::fs::remove_file(&store_path).ok();
+    MultiMetricReport {
+        rows: n,
+        one_sweep_ms,
+        sequential_ms,
+        speedup: sequential_ms / one_sweep_ms,
+        cache,
     }
 }
 
@@ -389,7 +484,7 @@ fn render_json(
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 4,");
+    let _ = writeln!(s, "  \"schema_version\": 5,");
     let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"repeats\": {reps},");
@@ -453,15 +548,39 @@ fn render_json(
         let o = &r.out_of_core;
         let _ = writeln!(
             s,
-            "      \"out_of_core\": {{ \"store_write_ms\": {}, \"budget_bytes\": {}, \"disparity_at_k_ms\": {}, \"ndcg_at_k_ms\": {}, \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"peak_bytes\": {} }} }}",
+            "      \"out_of_core\": {{ \"store_write_ms\": {}, \"budget_bytes\": {}, \"shard_size\": {}, \"prefetch\": {}, \"disparity_at_k_ms\": {}, \"disparity_at_k_no_prefetch_ms\": {}, \"ndcg_at_k_ms\": {},",
             json_number(o.store_write_ms),
             o.budget_bytes,
+            o.shard_size,
+            o.prefetch,
             json_number(o.disparity_ms),
+            json_number(o.disparity_no_prefetch_ms),
             json_number(o.ndcg_ms),
+        );
+        let _ = writeln!(
+            s,
+            "        \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"peak_bytes\": {}, \"prefetch_hits\": {}, \"prefetch_wasted\": {} }},",
             o.cache.hits,
             o.cache.misses,
             o.cache.evictions,
             o.cache.peak_bytes,
+            o.cache.prefetch_hits,
+            o.cache.prefetch_wasted,
+        );
+        let m = &o.multi_metric;
+        let _ = writeln!(
+            s,
+            "        \"multi_metric\": {{ \"store\": \"compas\", \"rows\": {}, \"metrics\": 5, \"one_sweep_ms\": {}, \"sequential_ms\": {}, \"speedup\": {}, \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"peak_bytes\": {}, \"prefetch_hits\": {}, \"prefetch_wasted\": {} }} }} }}",
+            m.rows,
+            json_number(m.one_sweep_ms),
+            json_number(m.sequential_ms),
+            json_number(m.speedup),
+            m.cache.hits,
+            m.cache.misses,
+            m.cache.evictions,
+            m.cache.peak_bytes,
+            m.cache.prefetch_hits,
+            m.cache.prefetch_wasted,
         );
         s.push_str(if i + 1 == reports.len() {
             "    }\n"
@@ -580,16 +699,27 @@ fn main() {
             r.serial_e2e.ndcg_ms / r.sharded_e2e.ndcg_ms,
         );
         println!(
-            "{:>9}  out-of-core (budget {} KiB): write {:.1}ms, disparity {:.3}ms, nDCG {:.3}ms; cache {}h/{}m/{}e, peak {} KiB",
+            "{:>9}  out-of-core (budget {} KiB, {} x {} shards, prefetch {}): write {:.1}ms, disparity {:.3}ms (no-prefetch {:.3}ms), nDCG {:.3}ms; cache {}h/{}m/{}e, {}ph/{}pw, peak {} KiB",
             "",
             r.out_of_core.budget_bytes / 1024,
+            r.n.div_ceil(r.out_of_core.shard_size),
+            r.out_of_core.shard_size,
+            r.out_of_core.prefetch,
             r.out_of_core.store_write_ms,
             r.out_of_core.disparity_ms,
+            r.out_of_core.disparity_no_prefetch_ms,
             r.out_of_core.ndcg_ms,
             r.out_of_core.cache.hits,
             r.out_of_core.cache.misses,
             r.out_of_core.cache.evictions,
+            r.out_of_core.cache.prefetch_hits,
+            r.out_of_core.cache.prefetch_wasted,
             r.out_of_core.cache.peak_bytes / 1024,
+        );
+        let m = &r.out_of_core.multi_metric;
+        println!(
+            "{:>9}  one-sweep audit plan (compas, 5 metrics): {:.3}ms vs {:.3}ms sequential ({:.2}x)",
+            "", m.one_sweep_ms, m.sequential_ms, m.speedup,
         );
         reports.push(r);
     }

@@ -26,18 +26,22 @@
 use crate::dca::scratch::EvalScratch;
 use crate::error::{FairError, Result};
 use crate::metrics::LogDiscountConfig;
-use crate::ranking::sharded::{base_scores, effective_scores, selected_at_k, top_m};
+use crate::ranking::sharded::{selected_at_k, top_m};
 use crate::ranking::topk::selection_size;
 use crate::ranking::Ranker;
 use crate::shard::ShardSource;
 
 /// Scratch buffers reused across sharded metric evaluations (scores,
-/// selection, mask), so repeated evaluation — the sharded full-DCA loop —
+/// selection, mask, and the paged-source column retention of
+/// [`MetricPlan`]), so repeated evaluation — the sharded full-DCA loop —
 /// avoids re-allocating cohort-sized vectors.
 #[derive(Debug, Clone, Default)]
 pub struct ShardedEvalScratch {
     /// Effective scores, global row order.
     pub(crate) scores: Vec<f64>,
+    /// Base (zero-bonus) scores, global row order — filled only when the
+    /// plan includes nDCG.
+    pub(crate) base: Vec<f64>,
     /// Global top-k selection mask.
     pub(crate) mask: Vec<bool>,
     /// `(shard, rank)` pairs of the selection, sorted by shard — the
@@ -45,6 +49,32 @@ pub struct ShardedEvalScratch {
     pub(crate) order: Vec<(usize, usize)>,
     /// Gathered fairness rows of the selection, in rank order.
     pub(crate) gathered: Vec<f64>,
+    /// Fairness rows of the whole cohort, retained **per shard** during a
+    /// paged-source sweep so measurement never re-pages a shard. The
+    /// per-shard buffers are moved out of the sweep results as-is — never
+    /// concatenated — and indexed through [`Retained`].
+    pub(crate) fairness: Vec<Vec<f64>>,
+    /// Labels retained per shard during a paged-source sweep (FPR metrics
+    /// only).
+    pub(crate) labels: Vec<Vec<Option<bool>>>,
+}
+
+/// Row lookup over the per-shard columns a paged-source sweep retained:
+/// global row `p` lives in shard `p / shard_size` at row `p % shard_size`.
+/// Avoiding the flat concatenation saves a second cohort-sized copy of the
+/// fairness matrix per evaluation.
+struct Retained<'a> {
+    fairness: &'a [Vec<f64>],
+    labels: &'a [Vec<Option<bool>>],
+    shard_size: usize,
+    dims: usize,
+}
+
+impl Retained<'_> {
+    fn row(&self, p: usize) -> &[f64] {
+        let off = (p % self.shard_size) * self.dims;
+        &self.fairness[p / self.shard_size][off..off + self.dims]
+    }
 }
 
 impl ShardedEvalScratch {
@@ -96,40 +126,512 @@ fn gather_fairness_rows_into<S: ShardSource + ?Sized>(
     );
 }
 
-/// Mean of the fairness rows at `positions` (global indices), accumulated
-/// serially **in the given order** — the same summation order the serial
-/// selection centroids use, so the result is bit-for-bit identical to
-/// [`crate::dataset::SampleView::fairness_centroid_of`] on the flattened
-/// dataset. Rows are pre-gathered shard by shard
-/// ([`gather_fairness_rows_into`]) into the scratch buffers, so an
-/// out-of-core source pages each shard at most once and the DCA hot loop
-/// allocates nothing in the steady state.
-fn centroid_of_positions_into<S: ShardSource + ?Sized>(
-    data: &S,
-    positions: &[usize],
-    scratch: &mut ShardedEvalScratch,
-    out: &mut Vec<f64>,
-) -> Result<()> {
-    let dims = data.schema().num_fairness();
-    out.clear();
-    out.resize(dims, 0.0);
-    if positions.is_empty() {
-        return Err(FairError::EmptyDataset);
-    }
-    gather_fairness_rows_into(data, positions, &mut scratch.order, &mut scratch.gathered);
-    for row in scratch.gathered.chunks_exact(dims) {
-        for (a, v) in out.iter_mut().zip(row) {
-            *a += v;
+// ---------------------------------------------------------------------
+// The audit planner: every requested metric in one paged sweep.
+// ---------------------------------------------------------------------
+
+/// The closed set of whole-cohort audit metrics a [`MetricPlan`] can
+/// evaluate. Names are the wire names the audit service accepts — a closed
+/// static lookup, so no dynamic metric name ever needs to be materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Selection-centroid disparity at `k` ([`disparity_at_k`]).
+    Disparity,
+    /// nDCG of the adjusted ranking against the original ([`ndcg_at_k`]).
+    Ndcg,
+    /// Logarithmically discounted disparity ([`log_discounted_disparity`]).
+    LogDiscounted,
+    /// FPR-difference vector at `k` ([`fpr_difference_at_k`]).
+    FprDifference,
+    /// Signed scaled disparate impact at `k`
+    /// ([`scaled_disparate_impact_at_k`]).
+    DisparateImpact,
+}
+
+impl MetricKind {
+    /// Every metric, in canonical order.
+    pub const ALL: [Self; 5] = [
+        Self::Disparity,
+        Self::Ndcg,
+        Self::LogDiscounted,
+        Self::FprDifference,
+        Self::DisparateImpact,
+    ];
+
+    /// The static wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Disparity => "disparity",
+            Self::Ndcg => "ndcg",
+            Self::LogDiscounted => "log_discounted",
+            Self::FprDifference => "fpr_difference",
+            Self::DisparateImpact => "disparate_impact",
         }
     }
-    for a in out.iter_mut() {
-        *a /= positions.len() as f64;
+
+    /// Parse a wire name; `None` for anything outside the closed set.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|kind| kind.name() == name)
     }
-    Ok(())
+}
+
+/// One evaluated metric: per-fairness-dimension vector or scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A single number (nDCG).
+    Scalar(f64),
+    /// One value per fairness dimension.
+    Vector(Vec<f64>),
+}
+
+impl MetricValue {
+    /// The scalar payload, if this is a scalar metric.
+    #[must_use]
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Self::Scalar(v) => Some(*v),
+            Self::Vector(_) => None,
+        }
+    }
+
+    /// The vector payload, if this is a vector metric.
+    #[must_use]
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            Self::Scalar(_) => None,
+            Self::Vector(v) => Some(v),
+        }
+    }
+}
+
+/// The result of one plan evaluation: `(kind, value)` pairs in plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricReport {
+    values: Vec<(MetricKind, MetricValue)>,
+}
+
+impl MetricReport {
+    /// The evaluated `(kind, value)` pairs, in plan order.
+    #[must_use]
+    pub fn values(&self) -> &[(MetricKind, MetricValue)] {
+        &self.values
+    }
+
+    /// The value for `kind`, if the plan included it.
+    #[must_use]
+    pub fn get(&self, kind: MetricKind) -> Option<&MetricValue> {
+        self.values.iter().find(|(k, _)| *k == kind).map(|(_, v)| v)
+    }
+
+    /// Consume the report, yielding the `(kind, value)` pairs in plan order.
+    #[must_use]
+    pub fn into_values(self) -> Vec<(MetricKind, MetricValue)> {
+        self.values
+    }
+
+    /// Remove and return the value for `kind`.
+    fn take(&mut self, kind: MetricKind) -> Option<MetricValue> {
+        let at = self.values.iter().position(|(k, _)| *k == kind)?;
+        Some(self.values.remove(at).1)
+    }
+}
+
+/// An audit plan: the set of metrics to evaluate together at one `k`.
+///
+/// Evaluation runs **one** [`ShardSource::map_shards`] sweep for the whole
+/// request: the per-shard kernel computes every column-derived quantity any
+/// requested metric needs (base and effective scores, population fairness
+/// sums) and — on paged sources ([`ShardSource::paged`]) — retains the
+/// fairness/label columns, so the storage layer pages each shard exactly
+/// once no matter how many metrics are requested. Selection then runs on the
+/// score vectors alone (pure layout arithmetic, nothing paged), and each
+/// metric's measurement phase reuses the shared selection and retained
+/// columns. Every value is bit-for-bit identical to the corresponding
+/// standalone sharded metric function — which are themselves thin
+/// single-metric plans.
+#[derive(Debug, Clone)]
+pub struct MetricPlan {
+    kinds: Vec<MetricKind>,
+    k: f64,
+    log: LogDiscountConfig,
+}
+
+/// Per-shard result of the combined scoring sweep.
+struct ShardSweep {
+    scores: Vec<f64>,
+    base: Vec<f64>,
+    fair_sums: Vec<f64>,
+    fairness: Vec<f64>,
+    labels: Vec<Option<bool>>,
+}
+
+impl MetricPlan {
+    /// Plan the given metrics at selection fraction `k`, deduplicated while
+    /// preserving first-occurrence order. The log-discount configuration
+    /// defaults to [`LogDiscountConfig::default`]; see
+    /// [`Self::with_log_config`].
+    #[must_use]
+    pub fn new(kinds: &[MetricKind], k: f64) -> Self {
+        let mut dedup = Vec::with_capacity(kinds.len().min(MetricKind::ALL.len()));
+        for &kind in kinds {
+            if !dedup.contains(&kind) {
+                dedup.push(kind);
+            }
+        }
+        Self {
+            kinds: dedup,
+            k,
+            log: LogDiscountConfig::default(),
+        }
+    }
+
+    /// Replace the log-discount configuration used by
+    /// [`MetricKind::LogDiscounted`].
+    #[must_use]
+    pub fn with_log_config(mut self, config: LogDiscountConfig) -> Self {
+        self.log = config;
+        self
+    }
+
+    /// The planned metrics, deduplicated, in first-occurrence order.
+    #[must_use]
+    pub fn kinds(&self) -> &[MetricKind] {
+        &self.kinds
+    }
+
+    /// Evaluate the plan with fresh scratch buffers.
+    ///
+    /// # Errors
+    /// Returns an error on an empty dataset, an invalid `k` (only when a
+    /// selection metric is planned), an invalid log-discount configuration
+    /// (only when the log metric is planned), or missing labels (only when
+    /// the FPR metric is planned).
+    pub fn evaluate<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+        &self,
+        data: &S,
+        ranker: &R,
+        bonus: &[f64],
+    ) -> Result<MetricReport> {
+        self.evaluate_with(data, ranker, bonus, &mut ShardedEvalScratch::new())
+    }
+
+    /// [`Self::evaluate`] reusing caller-provided scratch buffers.
+    ///
+    /// # Errors
+    /// As [`Self::evaluate`].
+    ///
+    /// # Panics
+    /// Panics if `bonus.len()` differs from the schema's fairness
+    /// dimensionality (the scoring-kernel contract).
+    pub fn evaluate_with<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+        &self,
+        data: &S,
+        ranker: &R,
+        bonus: &[f64],
+        scratch: &mut ShardedEvalScratch,
+    ) -> Result<MetricReport> {
+        let has = |kind| self.kinds.contains(&kind);
+        let want_disparity = has(MetricKind::Disparity);
+        let want_ndcg = has(MetricKind::Ndcg);
+        let want_log = has(MetricKind::LogDiscounted);
+        let want_fpr = has(MetricKind::FprDifference);
+        let want_di = has(MetricKind::DisparateImpact);
+        // Validation, in the standalone metrics' order: the log config
+        // before the empty check, `k` only when a selection metric needs it.
+        if want_log {
+            self.log.validate()?;
+        }
+        if self.kinds.is_empty() {
+            return Ok(MetricReport { values: Vec::new() });
+        }
+        if data.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        let need_counts = want_fpr || want_di;
+        let need_selected = want_disparity || want_ndcg || need_counts;
+        let count = if need_selected {
+            selection_size(data.len(), self.k)?
+        } else {
+            0
+        };
+        let checkpoints = if want_log {
+            self.log.checkpoints(data.len())
+        } else {
+            Vec::new()
+        };
+        let log_last = checkpoints.last().copied().unwrap_or(0);
+
+        let dims = data.schema().num_fairness();
+        let need_pop = want_disparity || want_log;
+        let need_fairness = want_disparity || want_log || need_counts;
+        // Paged sources retain the measurement columns during the sweep so
+        // nothing below re-pages a shard; in-memory sources re-walk shards
+        // for free and skip the copies. Both paths are bit-identical.
+        let retain = data.paged() && need_fairness;
+        let retain_labels = data.paged() && want_fpr;
+
+        assert_eq!(bonus.len(), dims, "bonus vector dimensionality mismatch");
+
+        // --- Phase 1: the one combined sweep. Each per-row kernel below is
+        // exactly its standalone counterpart (`base_scores`,
+        // `adjust_base_scores`, `effective_scores`, `fairness_centroid`), so
+        // every derived quantity is bit-for-bit the standalone one.
+        let per_shard = data.map_shards(|shard| {
+            let d = shard.data();
+            let n = d.len();
+            // One fused pass: the base score and the bonus increment are
+            // computed per row exactly as the standalone kernels do
+            // (`base + increment` in the same order), with the base column
+            // kept only when the plan includes nDCG.
+            let mut base = Vec::new();
+            if want_ndcg {
+                base.reserve(n);
+            }
+            let mut scores = Vec::with_capacity(n);
+            scores.extend((0..n).map(|i| {
+                let b = match ranker.feature_score(d.feature_row(i)) {
+                    Some(score) => score,
+                    None => ranker.base_score(d.row(i)),
+                };
+                if want_ndcg {
+                    base.push(b);
+                }
+                let increment: f64 = d
+                    .fairness_row(i)
+                    .iter()
+                    .zip(bonus)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                b + increment
+            }));
+            let mut fair_sums = Vec::new();
+            if need_pop {
+                fair_sums = vec![0.0_f64; dims];
+                for i in 0..n {
+                    for (a, v) in fair_sums.iter_mut().zip(d.fairness_row(i)) {
+                        *a += v;
+                    }
+                }
+            }
+            let mut fairness = Vec::new();
+            if retain {
+                // The SoA fairness matrix is contiguous and row-major: one
+                // memcpy retains the whole shard.
+                fairness.extend_from_slice(d.fairness_matrix());
+            }
+            let mut labels = Vec::new();
+            if retain_labels {
+                labels.extend_from_slice(d.labels());
+            }
+            ShardSweep {
+                scores,
+                base,
+                fair_sums,
+                fairness,
+                labels,
+            }
+        });
+
+        // Deterministic in-order combine.
+        scratch.scores.clear();
+        scratch.scores.reserve(data.len());
+        scratch.base.clear();
+        if want_ndcg {
+            scratch.base.reserve(data.len());
+        }
+        scratch.fairness.clear();
+        scratch.labels.clear();
+        let mut pop_sums = vec![0.0_f64; dims];
+        for shard in per_shard {
+            scratch.scores.extend_from_slice(&shard.scores);
+            if want_ndcg {
+                scratch.base.extend_from_slice(&shard.base);
+            }
+            if need_pop {
+                for (a, p) in pop_sums.iter_mut().zip(&shard.fair_sums) {
+                    *a += p;
+                }
+            }
+            if retain {
+                scratch.fairness.push(shard.fairness);
+            }
+            if retain_labels {
+                scratch.labels.push(shard.labels);
+            }
+        }
+        // Exactly `fairness_centroid`: ordered sums divided once.
+        let pop: Vec<f64> = pop_sums.iter().map(|s| s / data.len() as f64).collect();
+
+        // --- Phase 2: shared selection — score vectors and shard layout
+        // only, nothing paged. One top-`count` serves disparity, the rate
+        // metrics, and nDCG's measured prefix (identical inputs, identical
+        // canonical output).
+        // The log-discounted prefix and the top-`count` selection are both
+        // prefixes of the same canonical ranking (top_m of a larger count
+        // starts with top_m of a smaller one, bit for bit), so one partial
+        // selection at the larger cutoff serves both.
+        let take = count.max(log_last);
+        let ranked = if take > 0 {
+            top_m(data, &scratch.scores, take)
+        } else {
+            Vec::new()
+        };
+        let selected = &ranked[..count];
+
+        // --- Phase 3: per-metric measurement from the shared intermediates.
+        let retained = Retained {
+            fairness: &scratch.fairness,
+            labels: &scratch.labels,
+            shard_size: data.shard_size(),
+            dims,
+        };
+        let mut counts: Option<GroupCounts> = None;
+        if need_counts {
+            scratch.mask.clear();
+            scratch.mask.resize(data.len(), false);
+            for &p in selected {
+                scratch.mask[p] = true;
+            }
+            counts = Some(if retain {
+                tally_retained(&retained, &scratch.mask, want_fpr)?
+            } else {
+                tally_counts(data, &scratch.mask, want_fpr)?
+            });
+        }
+
+        let mut values = Vec::with_capacity(self.kinds.len());
+        for &kind in &self.kinds {
+            let value = match kind {
+                MetricKind::Disparity => {
+                    let mut out = vec![0.0; dims];
+                    if selected.is_empty() {
+                        return Err(FairError::EmptyDataset);
+                    }
+                    if retain {
+                        // Rank-order accumulation straight from the retained
+                        // rows — the same additions, in the same order, as
+                        // the gathered walk below.
+                        for &p in selected {
+                            for (a, v) in out.iter_mut().zip(retained.row(p)) {
+                                *a += v;
+                            }
+                        }
+                        for a in out.iter_mut() {
+                            *a /= selected.len() as f64;
+                        }
+                    } else {
+                        gather_fairness_rows_into(
+                            data,
+                            selected,
+                            &mut scratch.order,
+                            &mut scratch.gathered,
+                        );
+                        for row in scratch.gathered.chunks_exact(dims) {
+                            for (a, v) in out.iter_mut().zip(row) {
+                                *a += v;
+                            }
+                        }
+                        for a in out.iter_mut() {
+                            *a /= selected.len() as f64;
+                        }
+                    }
+                    for (s, a) in out.iter_mut().zip(&pop) {
+                        *s -= a;
+                    }
+                    MetricValue::Vector(out)
+                }
+                MetricKind::Ndcg => {
+                    // Same non-negativity shift as the serial metric,
+                    // computed in the same left-to-right order.
+                    let min = scratch.base.iter().copied().fold(f64::INFINITY, f64::min);
+                    let shift = if min < 0.0 { -min } else { 0.0 };
+                    let original = top_m(data, &scratch.base, count);
+                    let ideal_weights: Vec<f64> =
+                        original.iter().map(|&p| scratch.base[p] + shift).collect();
+                    let measured_weights: Vec<f64> =
+                        selected.iter().map(|&p| scratch.base[p] + shift).collect();
+                    let ideal = crate::metrics::dcg(&ideal_weights);
+                    MetricValue::Scalar(if ideal == 0.0 {
+                        1.0
+                    } else {
+                        (crate::metrics::dcg(&measured_weights) / ideal).clamp(0.0, 1.0)
+                    })
+                }
+                MetricKind::LogDiscounted => {
+                    // The shared canonical ranking already extends to the
+                    // last checkpoint.
+                    let prefix = &ranked[..log_last];
+                    if !retain {
+                        // One shard-sequential gather for the whole ranked
+                        // prefix, exactly like the standalone metric.
+                        gather_fairness_rows_into(
+                            data,
+                            prefix,
+                            &mut scratch.order,
+                            &mut scratch.gathered,
+                        );
+                    }
+                    let row = |rank: usize| -> &[f64] {
+                        if retain {
+                            retained.row(prefix[rank])
+                        } else {
+                            &scratch.gathered[rank * dims..(rank + 1) * dims]
+                        }
+                    };
+                    let mut out = vec![0.0; dims];
+                    let mut running = vec![0.0; dims];
+                    let mut consumed = 0_usize;
+                    let mut z = 0.0;
+                    let mut empty = false;
+                    for &cnt in &checkpoints {
+                        debug_assert!(cnt >= consumed, "checkpoints must be increasing");
+                        let weight = 1.0 / ((cnt as f64) + 1.0).log2();
+                        for rank in consumed..cnt {
+                            for (a, v) in running.iter_mut().zip(row(rank)) {
+                                *a += v;
+                            }
+                        }
+                        consumed = cnt;
+                        if cnt == 0 {
+                            empty = true;
+                            break;
+                        }
+                        for ((o, r), a) in out.iter_mut().zip(&running).zip(&pop) {
+                            *o += weight * (r / cnt as f64 - a);
+                        }
+                        z += weight;
+                    }
+                    if empty {
+                        return Err(FairError::EmptyDataset);
+                    }
+                    if z > 0.0 {
+                        for a in out.iter_mut() {
+                            *a /= z;
+                        }
+                    }
+                    MetricValue::Vector(out)
+                }
+                MetricKind::FprDifference => {
+                    let counts = counts.as_ref().expect("counts tallied");
+                    let (per_group, overall) = fpr_rates(counts, dims);
+                    MetricValue::Vector(per_group.into_iter().map(|f| f - overall).collect())
+                }
+                MetricKind::DisparateImpact => {
+                    let counts = counts.as_ref().expect("counts tallied");
+                    MetricValue::Vector(disparate_impact_from_counts(counts, dims))
+                }
+            };
+            values.push((kind, value));
+        }
+        Ok(MetricReport { values })
+    }
 }
 
 /// Disparity of the top-`k` selection (Definition 3): selection centroid
-/// minus population centroid, the population side reduced shard-wise.
+/// minus population centroid, the population side reduced shard-wise. A thin
+/// single-metric [`MetricPlan`].
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid `k`.
@@ -163,23 +665,21 @@ pub fn disparity_at_k_into<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
     scratch: &mut ShardedEvalScratch,
     out: &mut Vec<f64>,
 ) -> Result<()> {
-    if data.is_empty() {
-        return Err(FairError::EmptyDataset);
+    let mut report =
+        MetricPlan::new(&[MetricKind::Disparity], k).evaluate_with(data, ranker, bonus, scratch)?;
+    match report.take(MetricKind::Disparity) {
+        Some(MetricValue::Vector(v)) => {
+            *out = v;
+            Ok(())
+        }
+        _ => unreachable!("planned metric always reported"),
     }
-    let all = data.fairness_centroid()?;
-    crate::ranking::sharded::effective_scores_into(data, ranker, bonus, &mut scratch.scores);
-    let selected = selected_at_k(data, &scratch.scores, k)?;
-    centroid_of_positions_into(data, &selected, scratch, out)?;
-    for (s, a) in out.iter_mut().zip(&all) {
-        *s -= a;
-    }
-    Ok(())
 }
 
 /// nDCG@k of the bonus-adjusted ranking against the original (zero-bonus)
 /// ranking — the sharded counterpart of [`crate::metrics::ndcg_at_k`], with
 /// both top-`k` prefixes found by per-shard partial selection instead of full
-/// sorts.
+/// sorts. A thin single-metric [`MetricPlan`].
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid `k`.
@@ -189,34 +689,17 @@ pub fn ndcg_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
     bonus: &[f64],
     k: f64,
 ) -> Result<f64> {
-    if data.is_empty() {
-        return Err(FairError::EmptyDataset);
+    let report = MetricPlan::new(&[MetricKind::Ndcg], k).evaluate(data, ranker, bonus)?;
+    match report.get(MetricKind::Ndcg) {
+        Some(MetricValue::Scalar(v)) => Ok(*v),
+        _ => unreachable!("planned metric always reported"),
     }
-    let count = selection_size(data.len(), k)?;
-    let base = base_scores(data, ranker);
-    // Same non-negativity shift as the serial metric, computed in the same
-    // left-to-right order.
-    let min = base.iter().copied().fold(f64::INFINITY, f64::min);
-    let shift = if min < 0.0 { -min } else { 0.0 };
-
-    let original = top_m(data, &base, count);
-    // The adjusted scores reuse the base vector (same arithmetic as scoring
-    // from scratch, bit for bit) instead of re-running the ranker.
-    let adjusted_scores = crate::ranking::sharded::adjust_base_scores(data, &base, bonus);
-    let measured = top_m(data, &adjusted_scores, count);
-
-    let ideal_weights: Vec<f64> = original.iter().map(|&p| base[p] + shift).collect();
-    let measured_weights: Vec<f64> = measured.iter().map(|&p| base[p] + shift).collect();
-    let ideal = crate::metrics::dcg(&ideal_weights);
-    if ideal == 0.0 {
-        return Ok(1.0);
-    }
-    Ok((crate::metrics::dcg(&measured_weights) / ideal).clamp(0.0, 1.0))
 }
 
 /// Logarithmically discounted disparity (Section IV-E) — scoring and
 /// checkpoint-prefix selection run shard-wise; the running prefix sums walk
-/// the merged ranked prefix in rank order, exactly like the serial metric.
+/// the merged ranked prefix in rank order, exactly like the serial metric. A
+/// thin single-metric [`MetricPlan`] (the selection fraction is unused).
 ///
 /// # Errors
 /// Returns an error on an empty dataset or invalid configuration.
@@ -226,49 +709,13 @@ pub fn log_discounted_disparity<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
     bonus: &[f64],
     config: &LogDiscountConfig,
 ) -> Result<Vec<f64>> {
-    config.validate()?;
-    if data.is_empty() {
-        return Err(FairError::EmptyDataset);
+    let mut report = MetricPlan::new(&[MetricKind::LogDiscounted], 1.0)
+        .with_log_config(*config)
+        .evaluate(data, ranker, bonus)?;
+    match report.take(MetricKind::LogDiscounted) {
+        Some(MetricValue::Vector(v)) => Ok(v),
+        _ => unreachable!("planned metric always reported"),
     }
-    let checkpoints = config.checkpoints(data.len());
-    let last = checkpoints.last().copied().unwrap_or(0);
-    let scores = effective_scores(data, ranker, bonus);
-    let prefix = top_m(data, &scores, last);
-    // One shard-sequential gather for the whole ranked prefix: the running
-    // prefix sums below walk it in rank order without re-paging shards.
-    let mut order = Vec::new();
-    let mut prefix_rows = Vec::new();
-    gather_fairness_rows_into(data, &prefix, &mut order, &mut prefix_rows);
-
-    let dims = data.schema().num_fairness();
-    let mut out = vec![0.0; dims];
-    let all = data.fairness_centroid()?;
-    let mut running = vec![0.0; dims];
-    let mut consumed = 0_usize;
-    let mut z = 0.0;
-    for &count in &checkpoints {
-        debug_assert!(count >= consumed, "checkpoints must be increasing");
-        let weight = 1.0 / ((count as f64) + 1.0).log2();
-        for row in prefix_rows[consumed * dims..count * dims].chunks_exact(dims) {
-            for (a, v) in running.iter_mut().zip(row) {
-                *a += v;
-            }
-        }
-        consumed = count;
-        if count == 0 {
-            return Err(FairError::EmptyDataset);
-        }
-        for ((o, r), a) in out.iter_mut().zip(&running).zip(&all) {
-            *o += weight * (r / count as f64 - a);
-        }
-        z += weight;
-    }
-    if z > 0.0 {
-        for a in out.iter_mut() {
-            *a /= z;
-        }
-    }
-    Ok(out)
 }
 
 /// Per-shard selection/label counts for the rate-based metrics, reduced by
@@ -323,28 +770,13 @@ impl GroupCounts {
     }
 }
 
-/// Build the global top-`k` selection mask into `scratch`, then tally
-/// per-group counts shard by shard. `need_labels` makes unlabelled rows an
-/// error (the FPR metrics).
-fn selection_counts<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+/// Tally per-group counts shard by shard against a global selection `mask`.
+/// `need_labels` makes unlabelled rows an error (the FPR metrics).
+fn tally_counts<S: ShardSource + ?Sized>(
     data: &S,
-    ranker: &R,
-    bonus: &[f64],
-    k: f64,
+    mask: &[bool],
     need_labels: bool,
-    scratch: &mut ShardedEvalScratch,
 ) -> Result<GroupCounts> {
-    if data.is_empty() {
-        return Err(FairError::EmptyDataset);
-    }
-    crate::ranking::sharded::effective_scores_into(data, ranker, bonus, &mut scratch.scores);
-    let selected = selected_at_k(data, &scratch.scores, k)?;
-    scratch.mask.clear();
-    scratch.mask.resize(data.len(), false);
-    for &p in &selected {
-        scratch.mask[p] = true;
-    }
-    let mask = &scratch.mask;
     let dims = data.schema().num_fairness();
     let per_shard = data.map_shards(|shard| -> Result<GroupCounts> {
         let d = shard.data();
@@ -394,24 +826,75 @@ fn selection_counts<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
     Ok(total)
 }
 
-/// Per-group and overall false-positive rates of the top-`k` selection — the
-/// sharded counterpart of [`crate::metrics::group_fpr_at_k`].
-///
-/// # Errors
-/// Returns an error on empty datasets, invalid `k`, or missing labels.
-pub fn group_fpr_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
-    data: &S,
-    ranker: &R,
-    bonus: &[f64],
-    k: f64,
-) -> Result<(Vec<f64>, f64)> {
-    let counts = selection_counts(data, ranker, bonus, k, true, &mut ShardedEvalScratch::new())?;
+/// [`tally_counts`] over columns retained during a paged-source sweep: the
+/// same per-row tallies, walked serially in global (= shard) order — integer
+/// counts, so the result is exactly the shard-wise reduction's, and the
+/// first missing label in shard order raises the same error.
+fn tally_retained(
+    retained: &Retained<'_>,
+    mask: &[bool],
+    need_labels: bool,
+) -> Result<GroupCounts> {
+    let dims = retained.dims;
+    let mut counts = GroupCounts::new(dims);
+    // Walk shard by shard (same global row order as the serial tally) so
+    // the hot loop indexes each shard's buffer directly instead of doing
+    // two divisions per row.
+    let mut start = 0;
+    let mut sidx = 0;
+    while start < mask.len() {
+        let rows = retained.shard_size.min(mask.len() - start);
+        let fair = &retained.fairness[sidx];
+        for r in 0..rows {
+            let selected = mask[start + r];
+            let row = &fair[r * dims..(r + 1) * dims];
+            // `in_group`: fairness value at `dim` is `>= 0.5`.
+            for (dim, value) in row.iter().enumerate() {
+                if *value >= 0.5 {
+                    counts.member_total[dim] += 1;
+                    if selected {
+                        counts.member_selected[dim] += 1;
+                    }
+                } else {
+                    counts.other_total[dim] += 1;
+                    if selected {
+                        counts.other_selected[dim] += 1;
+                    }
+                }
+            }
+            if need_labels {
+                let label = retained.labels[sidx][r].ok_or(FairError::MissingLabels)?;
+                if label {
+                    continue;
+                }
+                counts.total_neg += 1;
+                if selected {
+                    counts.total_fp += 1;
+                }
+                for (dim, value) in row.iter().enumerate() {
+                    if *value >= 0.5 {
+                        counts.group_neg[dim] += 1;
+                        if selected {
+                            counts.group_fp[dim] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        start += rows;
+        sidx += 1;
+    }
+    Ok(counts)
+}
+
+/// Per-group and overall false-positive rates from tallied counts.
+fn fpr_rates(counts: &GroupCounts, dims: usize) -> (Vec<f64>, f64) {
     let overall = if counts.total_neg == 0 {
         0.0
     } else {
         counts.total_fp as f64 / counts.total_neg as f64
     };
-    let per_group = (0..data.schema().num_fairness())
+    let per_group = (0..dims)
         .map(|d| {
             if counts.group_neg[d] == 0 {
                 0.0
@@ -420,45 +903,12 @@ pub fn group_fpr_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
             }
         })
         .collect();
-    Ok((per_group, overall))
+    (per_group, overall)
 }
 
-/// FPR-difference vector (`FPR_group − FPR_overall`) of the top-`k`
-/// selection — the sharded counterpart of
-/// [`crate::metrics::fpr_difference_at_k`].
-///
-/// # Errors
-/// Returns an error on empty datasets, invalid `k`, or missing labels.
-pub fn fpr_difference_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
-    data: &S,
-    ranker: &R,
-    bonus: &[f64],
-    k: f64,
-) -> Result<Vec<f64>> {
-    let (per_group, overall) = group_fpr_at_k(data, ranker, bonus, k)?;
-    Ok(per_group.into_iter().map(|f| f - overall).collect())
-}
-
-/// Signed, scaled disparate impact of the top-`k` selection — the sharded
-/// counterpart of [`crate::metrics::scaled_disparate_impact_at_k`].
-///
-/// # Errors
-/// Returns an error on an empty dataset or invalid `k`.
-pub fn scaled_disparate_impact_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
-    data: &S,
-    ranker: &R,
-    bonus: &[f64],
-    k: f64,
-) -> Result<Vec<f64>> {
-    let counts = selection_counts(
-        data,
-        ranker,
-        bonus,
-        k,
-        false,
-        &mut ShardedEvalScratch::new(),
-    )?;
-    Ok((0..data.schema().num_fairness())
+/// Signed scaled disparate impact per dimension from tallied counts.
+fn disparate_impact_from_counts(counts: &GroupCounts, dims: usize) -> Vec<f64> {
+    (0..dims)
         .map(|d| {
             let (p1, p0) = if counts.member_total[d] == 0 || counts.other_total[d] == 0 {
                 (0.0, 0.0)
@@ -480,7 +930,87 @@ pub fn scaled_disparate_impact_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>
             let sign = if p1 >= p0 { 1.0 } else { -1.0 };
             sign * (1.0 - di)
         })
-        .collect())
+        .collect()
+}
+
+/// Build the global top-`k` selection mask into `scratch`, then tally
+/// per-group counts shard by shard. `need_labels` makes unlabelled rows an
+/// error (the FPR metrics).
+fn selection_counts<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+    need_labels: bool,
+    scratch: &mut ShardedEvalScratch,
+) -> Result<GroupCounts> {
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    crate::ranking::sharded::effective_scores_into(data, ranker, bonus, &mut scratch.scores);
+    let selected = selected_at_k(data, &scratch.scores, k)?;
+    scratch.mask.clear();
+    scratch.mask.resize(data.len(), false);
+    for &p in &selected {
+        scratch.mask[p] = true;
+    }
+    tally_counts(data, &scratch.mask, need_labels)
+}
+
+/// Per-group and overall false-positive rates of the top-`k` selection — the
+/// sharded counterpart of [`crate::metrics::group_fpr_at_k`].
+///
+/// # Errors
+/// Returns an error on empty datasets, invalid `k`, or missing labels.
+pub fn group_fpr_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<(Vec<f64>, f64)> {
+    let counts = selection_counts(data, ranker, bonus, k, true, &mut ShardedEvalScratch::new())?;
+    Ok(fpr_rates(&counts, data.schema().num_fairness()))
+}
+
+/// FPR-difference vector (`FPR_group − FPR_overall`) of the top-`k`
+/// selection — the sharded counterpart of
+/// [`crate::metrics::fpr_difference_at_k`]. A thin single-metric
+/// [`MetricPlan`].
+///
+/// # Errors
+/// Returns an error on empty datasets, invalid `k`, or missing labels.
+pub fn fpr_difference_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<Vec<f64>> {
+    let mut report =
+        MetricPlan::new(&[MetricKind::FprDifference], k).evaluate(data, ranker, bonus)?;
+    match report.take(MetricKind::FprDifference) {
+        Some(MetricValue::Vector(v)) => Ok(v),
+        _ => unreachable!("planned metric always reported"),
+    }
+}
+
+/// Signed, scaled disparate impact of the top-`k` selection — the sharded
+/// counterpart of [`crate::metrics::scaled_disparate_impact_at_k`]. A thin
+/// single-metric [`MetricPlan`].
+///
+/// # Errors
+/// Returns an error on an empty dataset or invalid `k`.
+pub fn scaled_disparate_impact_at_k<S: ShardSource + ?Sized, R: Ranker + ?Sized>(
+    data: &S,
+    ranker: &R,
+    bonus: &[f64],
+    k: f64,
+) -> Result<Vec<f64>> {
+    let mut report =
+        MetricPlan::new(&[MetricKind::DisparateImpact], k).evaluate(data, ranker, bonus)?;
+    match report.take(MetricKind::DisparateImpact) {
+        Some(MetricValue::Vector(v)) => Ok(v),
+        _ => unreachable!("planned metric always reported"),
+    }
 }
 
 /// The serial reference for a sharded evaluation: flatten and evaluate with

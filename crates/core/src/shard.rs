@@ -173,6 +173,17 @@ pub trait ShardSource: Sync {
     /// fallible API (e.g. `ShardStore::read_shard`).
     fn with_shard<T>(&self, index: usize, f: impl FnOnce(ShardView<'_>) -> T) -> T;
 
+    /// Whether [`Self::with_shard`] may be expensive to repeat — an
+    /// out-of-core source that reads and decodes shards from storage (and may
+    /// evict them again under a cache budget). Metric plans consult this to
+    /// choose between re-walking shards, which is free for in-memory sources,
+    /// and retaining the few columns their measurement phase needs during the
+    /// scoring sweep so the storage layer pages each shard exactly once. The
+    /// choice never changes results — both strategies are bit-identical.
+    fn paged(&self) -> bool {
+        false
+    }
+
     // ------------------------------------------------------------------
     // Shard layout arithmetic.
     // ------------------------------------------------------------------

@@ -251,6 +251,8 @@ impl AuditService {
                     ("resident_bytes", Json::num(cache.resident_bytes as f64)),
                     ("peak_bytes", Json::num(cache.peak_bytes as f64)),
                     ("budget_bytes", Json::num(cache.budget_bytes as f64)),
+                    ("prefetch_hits", Json::num(cache.prefetch_hits as f64)),
+                    ("prefetch_wasted", Json::num(cache.prefetch_wasted as f64)),
                 ]),
             ));
         }
@@ -306,45 +308,38 @@ impl AuditService {
                 .as_str_vec()
                 .ok_or_else(|| ApiError::bad_request("`metrics` must be a string array"))?,
         };
+        let kinds: Vec<shmetrics::MetricKind> = requested
+            .iter()
+            .map(|metric| {
+                shmetrics::MetricKind::parse(metric).ok_or_else(|| {
+                    ApiError::bad_request(format!(
+                        "unknown metric `{metric}` (expected disparity, ndcg, log_discounted, \
+                         fpr_difference, disparate_impact)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
 
-        let engine = |e: fair_core::FairError| ApiError::unprocessable(e.to_string());
+        // One plan, one sweep: every requested metric is computed from a
+        // single pass over the store's shards. The plan deduplicates
+        // repeated names, keeping first-occurrence response order.
+        let plan =
+            shmetrics::MetricPlan::new(&kinds, k).with_log_config(LogDiscountConfig::default());
+        let report = plan
+            .evaluate(store, &ranker, &bonus)
+            .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+
         let mut pairs = vec![
             ("store", Json::str(name)),
             ("rows", Json::num(store.len() as f64)),
             ("k", Json::num(k)),
         ];
-        for metric in &requested {
-            let value = match metric.as_str() {
-                "disparity" => Json::num_arr(
-                    &shmetrics::disparity_at_k(store, &ranker, &bonus, k).map_err(engine)?,
-                ),
-                "ndcg" => {
-                    Json::num(shmetrics::ndcg_at_k(store, &ranker, &bonus, k).map_err(engine)?)
-                }
-                "log_discounted" => Json::num_arr(
-                    &shmetrics::log_discounted_disparity(
-                        store,
-                        &ranker,
-                        &bonus,
-                        &LogDiscountConfig::default(),
-                    )
-                    .map_err(engine)?,
-                ),
-                "fpr_difference" => Json::num_arr(
-                    &shmetrics::fpr_difference_at_k(store, &ranker, &bonus, k).map_err(engine)?,
-                ),
-                "disparate_impact" => Json::num_arr(
-                    &shmetrics::scaled_disparate_impact_at_k(store, &ranker, &bonus, k)
-                        .map_err(engine)?,
-                ),
-                other => {
-                    return Err(ApiError::bad_request(format!(
-                        "unknown metric `{other}` (expected disparity, ndcg, log_discounted, \
-                         fpr_difference, disparate_impact)"
-                    )))
-                }
+        for (kind, value) in report.into_values() {
+            let json = match value {
+                shmetrics::MetricValue::Scalar(v) => Json::num(v),
+                shmetrics::MetricValue::Vector(v) => Json::num_arr(&v),
             };
-            pairs.push((leak_metric_name(metric), value));
+            pairs.push((kind.name(), json));
         }
         Ok((
             200,
@@ -486,19 +481,6 @@ fn require_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ApiError> {
     body.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| ApiError::bad_request(format!("`{key}` (string) is required")))
-}
-
-/// Metric names are a closed set; map them to `'static` for the ordered
-/// response pairs without allocating per request.
-fn leak_metric_name(name: &str) -> &'static str {
-    match name {
-        "disparity" => "disparity",
-        "ndcg" => "ndcg",
-        "log_discounted" => "log_discounted",
-        "fpr_difference" => "fpr_difference",
-        "disparate_impact" => "disparate_impact",
-        _ => unreachable!("validated above"),
-    }
 }
 
 /// A running server: its bound address plus everything needed to stop it.
@@ -745,6 +727,41 @@ mod tests {
         assert!(body.get("ndcg").unwrap().as_f64().is_some());
         assert!(body.get("disparate_impact").unwrap().as_f64_vec().is_some());
         assert!(body.get("log_discounted").is_none(), "not requested");
+    }
+
+    #[test]
+    fn metrics_route_deduplicates_repeated_names_keeping_first_occurrence_order() {
+        let service = service_with_store(300);
+        let (status, body) = service.route(&request(
+            "POST",
+            "/stores/cohort/metrics",
+            r#"{"k":0.1,"metrics":["ndcg","disparity","ndcg","log_discounted","disparity"]}"#,
+        ));
+        assert_eq!(status, 200, "{}", body.render());
+        let Json::Obj(pairs) = &body else {
+            panic!("object response expected");
+        };
+        let metric_keys: Vec<&str> = pairs
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| !matches!(*k, "store" | "rows" | "k"))
+            .collect();
+        assert_eq!(
+            metric_keys,
+            ["ndcg", "disparity", "log_discounted"],
+            "each metric once, in first-occurrence order"
+        );
+        // The deduplicated multi-metric answer matches the single-metric one.
+        let (status, single) = service.route(&request(
+            "POST",
+            "/stores/cohort/metrics",
+            r#"{"k":0.1,"metrics":["disparity"]}"#,
+        ));
+        assert_eq!(status, 200);
+        assert_eq!(
+            body.get("disparity").unwrap().as_f64_vec().unwrap(),
+            single.get("disparity").unwrap().as_f64_vec().unwrap()
+        );
     }
 
     #[test]

@@ -38,12 +38,15 @@ pub const DIR_ENTRY_LEN: usize = 16;
 // Checksums.
 // ---------------------------------------------------------------------
 
-/// CRC32 (IEEE 802.3, reflected) lookup table, built once.
-fn crc_table() -> &'static [u32; 256] {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0_u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
+/// Slice-by-16 CRC32 (IEEE 802.3, reflected) lookup tables, built once.
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[t][b]` advances
+/// byte `b` through `t` additional zero bytes, which lets the hot loop fold
+/// 16 input bytes per iteration instead of one.
+fn crc_tables() -> &'static [[u32; 256]; 16] {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 16]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0_u32; 256]; 16];
+        for (i, slot) in tables[0].iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
                 crc = if crc & 1 != 0 {
@@ -54,17 +57,46 @@ fn crc_table() -> &'static [u32; 256] {
             }
             *slot = crc;
         }
-        table
+        for t in 1..16 {
+            for i in 0..256 {
+                let prev = tables[t - 1][i];
+                tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            }
+        }
+        tables
     })
 }
 
-/// CRC32 (IEEE) of `bytes` — the per-block integrity check.
+/// CRC32 (IEEE) of `bytes` — the per-block integrity check. Processes 16
+/// bytes per iteration (slice-by-16): column blocks are megabytes, and the
+/// byte-at-a-time loop was the dominant cost of paging a shard in.
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let table = crc_table();
+    let t = crc_tables();
     let mut crc = 0xFFFF_FFFF_u32;
-    for &b in bytes {
-        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4")) ^ crc;
+        let b = |i: usize| chunk[i] as usize;
+        crc = t[15][(lo & 0xFF) as usize]
+            ^ t[14][((lo >> 8) & 0xFF) as usize]
+            ^ t[13][((lo >> 16) & 0xFF) as usize]
+            ^ t[12][(lo >> 24) as usize]
+            ^ t[11][b(4)]
+            ^ t[10][b(5)]
+            ^ t[9][b(6)]
+            ^ t[8][b(7)]
+            ^ t[7][b(8)]
+            ^ t[6][b(9)]
+            ^ t[5][b(10)]
+            ^ t[4][b(11)]
+            ^ t[3][b(12)]
+            ^ t[2][b(13)]
+            ^ t[1][b(14)]
+            ^ t[0][b(15)];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -434,6 +466,25 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn crc32_slice_by_16_matches_byte_at_a_time() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let table = &crc_tables()[0];
+            let mut crc = 0xFFFF_FFFF_u32;
+            for &b in bytes {
+                crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+            }
+            !crc
+        }
+        // Every alignment of the 16-byte main loop plus its remainder tail.
+        let data: Vec<u8> = (0..1024_u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
+            .collect();
+        for len in [0, 1, 7, 15, 16, 17, 31, 32, 33, 100, 255, 1000, 1024] {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

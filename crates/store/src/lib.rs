@@ -53,5 +53,8 @@ pub mod reader;
 pub mod writer;
 
 pub use error::{Result, StoreError};
-pub use reader::{column_bytes, default_cache_bytes, CacheStats, ShardStore, DEFAULT_CACHE_BYTES};
+pub use reader::{
+    column_bytes, default_cache_bytes, default_prefetch, CacheStats, ShardStore,
+    DEFAULT_CACHE_BYTES, DEFAULT_PREFETCH,
+};
 pub use writer::{write_source, StoreSummary, StoreWriter};

@@ -14,6 +14,15 @@
 //! * **pin while borrowed** — [`fair_core::ShardSource::with_shard`] pins the
 //!   shard for the duration of the kernel closure; a pinned shard is never
 //!   evicted, so a parallel worker can never have its block freed mid-kernel;
+//! * **readahead** — the metric sweeps walk shards in ascending order, so a
+//!   background decode thread ([`default_prefetch`], `FAIR_PREFETCH`)
+//!   prefetches the next shards' column blocks while kernels consume the
+//!   current one. Prefetched shards are admitted unpinned and strictly
+//!   within the budget (a prefetch never displaces the pinned working set or
+//!   overflows the budget), an on-demand access waits for an in-flight
+//!   prefetch decode instead of decoding the block a second time, and the
+//!   `prefetch_hits` / `prefetch_wasted` counters make the readahead's value
+//!   observable;
 //! * **observability** — hit/miss/eviction counters and a peak-resident-bytes
 //!   high-water mark ([`ShardStore::cache_stats`]) make the out-of-core
 //!   claim testable: evaluating a cohort larger than the budget must leave
@@ -25,13 +34,28 @@ use crate::format::{
     DIR_ENTRY_LEN, HEADER_LEN,
 };
 use fair_core::{Dataset, ObjectId, SchemaRef, ShardSource, ShardView};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::File;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Default cache budget (bytes) when `FAIR_CACHE_BYTES` is not set.
 pub const DEFAULT_CACHE_BYTES: usize = 256 * 1024 * 1024;
+
+/// Default readahead depth (shards) when `FAIR_PREFETCH` is not set: one
+/// shard of pipeline headroom beyond the one being decoded.
+pub const DEFAULT_PREFETCH: usize = 2;
+
+/// The readahead depth: the `FAIR_PREFETCH` environment variable when set to
+/// an unsigned integer (`0` disables the background decode thread entirely),
+/// [`DEFAULT_PREFETCH`] otherwise.
+#[must_use]
+pub fn default_prefetch() -> usize {
+    std::env::var("FAIR_PREFETCH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_PREFETCH)
+}
 
 /// The shard-cache byte budget: the `FAIR_CACHE_BYTES` environment variable
 /// when set to an unsigned integer (`0` disables retention entirely — every
@@ -74,6 +98,13 @@ pub struct CacheStats {
     pub pinned_shards: usize,
     /// The configured byte budget.
     pub budget_bytes: usize,
+    /// Cache hits that were served from a shard the readahead thread decoded
+    /// before any kernel asked for it.
+    pub prefetch_hits: u64,
+    /// Prefetched shards that were decoded but never used: either evicted
+    /// untouched, or dropped at admission because the budget was consumed by
+    /// the pinned working set.
+    pub prefetch_wasted: u64,
 }
 
 struct CacheEntry {
@@ -81,6 +112,8 @@ struct CacheEntry {
     bytes: usize,
     pins: usize,
     last_used: u64,
+    /// Admitted by the readahead thread and not yet touched by a kernel.
+    prefetched: bool,
 }
 
 #[derive(Default)]
@@ -92,6 +125,21 @@ struct CacheState {
     hits: u64,
     misses: u64,
     evictions: u64,
+    prefetch_hits: u64,
+    prefetch_wasted: u64,
+    /// Shard indices queued for the readahead thread, in request order.
+    queue: VecDeque<usize>,
+    /// Shards currently being decoded (by the readahead thread or an
+    /// on-demand pin). An access to an in-flight shard waits on the condvar
+    /// instead of decoding the same block a second time.
+    inflight: HashSet<usize>,
+    /// Set on drop to shut the readahead thread down.
+    stop: bool,
+    /// The most recently pinned shard index. The readahead thread drops
+    /// queued work that is no longer within the prefetch window of this
+    /// position — decoding a shard the sweep has already passed (or that a
+    /// restarted sweep left behind) would only evict useful residents.
+    last_access: usize,
 }
 
 /// Positional reads shared by concurrent page-ins.
@@ -126,48 +174,97 @@ impl StoreFile {
     }
 }
 
-/// An open FSS1 shard file: validated layout, on-demand shard paging, and
-/// the LRU cache. Implements [`ShardSource`], so every sharded metric,
-/// ranking kernel, and DCA driver evaluates straight off the disk file with
-/// memory bounded by the cache budget.
-pub struct ShardStore {
+/// Everything the paging and readahead machinery needs, shared between the
+/// store handle and the background prefetch thread.
+struct StoreInner {
     file: StoreFile,
     schema: SchemaRef,
     shard_size: usize,
     total_rows: usize,
     directory: Vec<ShardEntry>,
     budget: usize,
+    /// Readahead depth in shards; `0` means no background thread exists.
+    prefetch: usize,
     cache: Mutex<CacheState>,
+    /// Wakes pins waiting for an in-flight decode of the shard they need.
+    cond: Condvar,
+    /// Wakes the readahead thread when new work lands on the queue. A
+    /// separate condvar keeps on-demand misses from waking the (usually
+    /// idle) prefetcher — a pointless context switch per page-in otherwise.
+    work: Condvar,
+}
+
+/// An open FSS1 shard file: validated layout, on-demand shard paging, the
+/// LRU cache, and optional background readahead. Implements [`ShardSource`],
+/// so every sharded metric, ranking kernel, and DCA driver evaluates
+/// straight off the disk file with memory bounded by the cache budget.
+pub struct ShardStore {
+    inner: Arc<StoreInner>,
+    prefetcher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ShardStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardStore")
-            .field("rows", &self.total_rows)
-            .field("shards", &self.directory.len())
-            .field("shard_size", &self.shard_size)
-            .field("budget_bytes", &self.budget)
+            .field("rows", &self.inner.total_rows)
+            .field("shards", &self.inner.directory.len())
+            .field("shard_size", &self.inner.shard_size)
+            .field("budget_bytes", &self.inner.budget)
+            .field("prefetch", &self.inner.prefetch)
             .finish()
+    }
+}
+
+impl Drop for ShardStore {
+    fn drop(&mut self) {
+        if let Some(handle) = self.prefetcher.take() {
+            {
+                let mut st = match self.inner.cache.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                st.stop = true;
+            }
+            self.inner.cond.notify_all();
+            self.inner.work.notify_all();
+            let _ = handle.join();
+        }
     }
 }
 
 impl ShardStore {
     /// Open a store with the environment-resolved cache budget
-    /// ([`default_cache_bytes`]).
+    /// ([`default_cache_bytes`]) and readahead depth ([`default_prefetch`]).
     ///
     /// # Errors
     /// Returns a structured error for any I/O failure or any header, schema,
     /// or directory corruption — truncated files included. Never panics.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        Self::open_with_budget(path, default_cache_bytes())
+        Self::open_with_options(path, default_cache_bytes(), default_prefetch())
     }
 
-    /// Open a store with an explicit cache byte budget.
+    /// Open a store with an explicit cache byte budget and the
+    /// environment-resolved readahead depth ([`default_prefetch`]).
     ///
     /// # Errors
     /// Returns a structured error for any I/O failure or any header, schema,
     /// or directory corruption — truncated files included. Never panics.
     pub fn open_with_budget(path: impl AsRef<Path>, budget: usize) -> Result<Self> {
+        Self::open_with_options(path, budget, default_prefetch())
+    }
+
+    /// Open a store with an explicit cache byte budget and readahead depth
+    /// (`prefetch` shards decoded ahead of each access; `0` disables the
+    /// background thread).
+    ///
+    /// # Errors
+    /// Returns a structured error for any I/O failure or any header, schema,
+    /// or directory corruption — truncated files included. Never panics.
+    pub fn open_with_options(
+        path: impl AsRef<Path>,
+        budget: usize,
+        prefetch: usize,
+    ) -> Result<Self> {
         let path = path.as_ref();
         // Pre-screen the two classic mis-uses *before* any header read, so
         // they surface as clear structured errors instead of an
@@ -353,21 +450,42 @@ impl ShardStore {
             }
         }
 
-        Ok(Self {
+        let inner = Arc::new(StoreInner {
             file,
             schema,
             shard_size,
             total_rows,
             directory,
             budget,
+            prefetch,
             cache: Mutex::new(CacheState::default()),
-        })
+            cond: Condvar::new(),
+            work: Condvar::new(),
+        });
+        // A single-shard (or empty) store has nothing to read ahead of.
+        let prefetcher = if prefetch > 0 && inner.directory.len() > 1 {
+            let worker = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("fair-store-prefetch".into())
+                    .spawn(move || worker.prefetch_loop())?,
+            )
+        } else {
+            None
+        };
+        Ok(Self { inner, prefetcher })
     }
 
     /// The configured cache byte budget.
     #[must_use]
     pub fn cache_budget(&self) -> usize {
-        self.budget
+        self.inner.budget
+    }
+
+    /// The configured readahead depth in shards (`0` = disabled).
+    #[must_use]
+    pub fn prefetch_depth(&self) -> usize {
+        self.inner.prefetch
     }
 
     /// Snapshot of the cache counters.
@@ -376,7 +494,7 @@ impl ShardStore {
     /// Panics if the cache lock is poisoned (a kernel panicked mid-access).
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        let st = self.cache.lock().expect("shard cache poisoned");
+        let st = self.inner.cache.lock().expect("shard cache poisoned");
         CacheStats {
             hits: st.hits,
             misses: st.misses,
@@ -384,7 +502,9 @@ impl ShardStore {
             resident_bytes: st.resident,
             peak_bytes: st.peak,
             pinned_shards: st.entries.values().filter(|e| e.pins > 0).count(),
-            budget_bytes: self.budget,
+            budget_bytes: self.inner.budget,
+            prefetch_hits: st.prefetch_hits,
+            prefetch_wasted: st.prefetch_wasted,
         }
     }
 
@@ -396,16 +516,16 @@ impl ShardStore {
     /// Returns [`StoreError::InvalidConfig`] for an out-of-range index, and a
     /// structured corruption or I/O error when the block fails its checksums.
     pub fn read_shard(&self, index: usize) -> Result<Arc<Dataset>> {
-        if index >= self.directory.len() {
+        if index >= self.inner.directory.len() {
             return Err(StoreError::InvalidConfig {
                 reason: format!(
                     "shard {index} out of range ({} shards)",
-                    self.directory.len()
+                    self.inner.directory.len()
                 ),
             });
         }
-        let data = self.pin(index)?;
-        self.unpin(index);
+        let data = self.inner.pin(index)?;
+        self.inner.unpin(index);
         Ok(data)
     }
 
@@ -415,12 +535,14 @@ impl ShardStore {
     /// # Errors
     /// Returns the first corruption or I/O error encountered.
     pub fn verify(&self) -> Result<()> {
-        for i in 0..self.directory.len() {
-            self.load_shard(i)?;
+        for i in 0..self.inner.directory.len() {
+            self.inner.load_shard(i)?;
         }
         Ok(())
     }
+}
 
+impl StoreInner {
     /// Decode shard `index` straight from disk (no cache interaction).
     fn load_shard(&self, index: usize) -> Result<Dataset> {
         let entry = self.directory[index];
@@ -508,33 +630,65 @@ impl ShardStore {
         )?)
     }
 
-    /// Look the shard up in the cache (pinning it) or page it in on a miss.
+    /// Look the shard up in the cache (pinning it) or page it in on a miss,
+    /// scheduling readahead of the following shards either way.
     fn pin(&self, index: usize) -> Result<Arc<Dataset>> {
         {
             let mut st = self.cache.lock().expect("shard cache poisoned");
-            st.tick += 1;
-            let tick = st.tick;
-            if let Some(e) = st.entries.get_mut(&index) {
-                e.pins += 1;
-                e.last_used = tick;
-                let data = e.data.clone();
-                st.hits += 1;
-                return Ok(data);
+            st.last_access = index;
+            loop {
+                st.tick += 1;
+                let tick = st.tick;
+                if let Some(e) = st.entries.get_mut(&index) {
+                    e.pins += 1;
+                    e.last_used = tick;
+                    let was_prefetched = std::mem::take(&mut e.prefetched);
+                    let data = e.data.clone();
+                    if was_prefetched {
+                        st.prefetch_hits += 1;
+                    }
+                    st.hits += 1;
+                    self.schedule_readahead(&mut st, index);
+                    return Ok(data);
+                }
+                if st.inflight.contains(&index) {
+                    // Someone (usually the readahead thread) is decoding this
+                    // very shard: wait for it instead of decoding the block a
+                    // second time.
+                    st = self.cond.wait(st).expect("shard cache poisoned");
+                    continue;
+                }
+                break;
             }
             st.misses += 1;
+            st.inflight.insert(index);
+            self.schedule_readahead(&mut st, index);
         }
         // Decode outside the lock so concurrent workers page different
-        // shards in parallel. Two workers racing on the same shard decode it
-        // twice; the loser adopts the winner's copy below.
-        let data = Arc::new(self.load_shard(index)?);
-        let bytes = column_bytes(&data);
+        // shards in parallel; `inflight` makes racers on the *same* shard
+        // wait above instead of decoding the block twice.
+        let decoded = self.load_shard(index);
         let mut st = self.cache.lock().expect("shard cache poisoned");
+        st.inflight.remove(&index);
+        self.cond.notify_all();
+        let data = match decoded {
+            Ok(d) => Arc::new(d),
+            Err(e) => return Err(e),
+        };
+        let bytes = column_bytes(&data);
         st.tick += 1;
         let tick = st.tick;
         if let Some(e) = st.entries.get_mut(&index) {
+            // The readahead thread admitted the shard while we were
+            // decoding; adopt its copy.
             e.pins += 1;
             e.last_used = tick;
-            return Ok(e.data.clone());
+            let was_prefetched = std::mem::take(&mut e.prefetched);
+            let data = e.data.clone();
+            if was_prefetched {
+                st.prefetch_hits += 1;
+            }
+            return Ok(data);
         }
         // Make room *before* admitting, so the resident set only ever
         // exceeds the budget by what is genuinely pinned.
@@ -548,6 +702,7 @@ impl ShardStore {
                 bytes,
                 pins: 1,
                 last_used: tick,
+                prefetched: false,
             },
         );
         Ok(data)
@@ -563,6 +718,121 @@ impl ShardStore {
         }
         evict_until(&mut st, self.budget);
     }
+
+    /// Estimated column bytes of shard `index` from its directory entry —
+    /// exact for this fixed-width layout, no decode needed.
+    fn shard_bytes(&self, index: usize) -> usize {
+        let per_row = 8 * (self.schema.num_features() + self.schema.num_fairness()) + 8 + 1;
+        usize::try_from(self.directory[index].rows)
+            .unwrap_or(usize::MAX)
+            .saturating_mul(per_row)
+    }
+
+    /// Queue the shards following `index` for the readahead thread. Skips
+    /// shards that are already resident, being decoded, queued, or too big
+    /// to ever be admitted under the budget.
+    ///
+    /// The effective depth is capped by the budget headroom: one slot stays
+    /// reserved for the pinned shard and one for the next on-demand page-in,
+    /// and only what fits beyond that is read ahead. With no headroom the
+    /// readahead stands down entirely — prefetching into a cache that must
+    /// evict the prefetched shard before it is used only burns decode time.
+    fn schedule_readahead(&self, st: &mut CacheState, index: usize) {
+        if self.prefetch == 0 {
+            return;
+        }
+        let Some(last) = self.directory.len().checked_sub(1) else {
+            return;
+        };
+        let slots = (self.budget / self.shard_bytes(index).max(1)).saturating_sub(2);
+        let depth = self.prefetch.min(slots);
+        if depth == 0 {
+            return;
+        }
+        let mut scheduled = false;
+        for next in index + 1..=(index + depth).min(last) {
+            if st.entries.contains_key(&next)
+                || st.inflight.contains(&next)
+                || st.queue.contains(&next)
+            {
+                continue;
+            }
+            if self.shard_bytes(next) > self.budget {
+                continue;
+            }
+            // Bound the queue so a scattered access pattern cannot pile up
+            // stale work faster than the thread drains it.
+            if st.queue.len() >= self.prefetch * 4 {
+                break;
+            }
+            st.queue.push_back(next);
+            scheduled = true;
+        }
+        if scheduled {
+            self.work.notify_all();
+        }
+    }
+
+    /// The readahead thread: pop a queued shard, decode it outside the lock,
+    /// and admit it unpinned — strictly within the budget. Decode errors are
+    /// deliberately swallowed: the on-demand path decodes the same block and
+    /// surfaces the error where the caller can see it.
+    fn prefetch_loop(&self) {
+        let mut st = self.cache.lock().expect("shard cache poisoned");
+        loop {
+            if st.stop {
+                return;
+            }
+            let Some(index) = st.queue.pop_front() else {
+                st = self.work.wait(st).expect("shard cache poisoned");
+                continue;
+            };
+            if st.entries.contains_key(&index) || st.inflight.contains(&index) {
+                continue;
+            }
+            // Drop stale work: if the reader has moved on (or a new sweep
+            // restarted behind us), decoding this shard would evict shards
+            // that are still useful just to admit one that is not.
+            if index <= st.last_access || index > st.last_access + self.prefetch {
+                continue;
+            }
+            st.inflight.insert(index);
+            drop(st);
+            let decoded = self.load_shard(index);
+            st = self.cache.lock().expect("shard cache poisoned");
+            st.inflight.remove(&index);
+            if let Ok(data) = decoded {
+                admit_prefetched(&mut st, self.budget, index, Arc::new(data));
+            }
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// Admit a prefetched shard unpinned, evicting LRU unpinned shards to make
+/// room first. If the budget is consumed by the pinned working set the
+/// decode is dropped (counted as wasted) rather than overflowing the budget.
+fn admit_prefetched(st: &mut CacheState, budget: usize, index: usize, data: Arc<Dataset>) {
+    let bytes = column_bytes(&data);
+    evict_until(st, budget.saturating_sub(bytes));
+    if st.resident.saturating_add(bytes) > budget {
+        st.prefetch_wasted += 1;
+        return;
+    }
+    st.tick += 1;
+    let tick = st.tick;
+    st.resident += bytes;
+    st.peak = st.peak.max(st.resident);
+    st.entries.insert(
+        index,
+        CacheEntry {
+            data,
+            bytes,
+            pins: 0,
+            last_used: tick,
+            prefetched: true,
+        },
+    );
 }
 
 /// Evict least-recently-used unpinned shards until at most `target` column
@@ -580,6 +850,9 @@ fn evict_until(st: &mut CacheState, target: usize) {
                 let e = st.entries.remove(&k).expect("victim exists");
                 st.resident -= e.bytes;
                 st.evictions += 1;
+                if e.prefetched {
+                    st.prefetch_wasted += 1;
+                }
             }
             None => break,
         }
@@ -617,7 +890,7 @@ fn relabel(e: StoreError, what: &str) -> StoreError {
 }
 
 struct PinGuard<'a> {
-    store: &'a ShardStore,
+    store: &'a StoreInner,
     index: usize,
     data: Arc<Dataset>,
 }
@@ -630,19 +903,25 @@ impl Drop for PinGuard<'_> {
 
 impl ShardSource for ShardStore {
     fn schema(&self) -> &SchemaRef {
-        &self.schema
+        &self.inner.schema
     }
 
     fn len(&self) -> usize {
-        self.total_rows
+        self.inner.total_rows
     }
 
     fn shard_size(&self) -> usize {
-        self.shard_size
+        self.inner.shard_size
     }
 
     fn num_shards(&self) -> usize {
-        self.directory.len()
+        self.inner.directory.len()
+    }
+
+    /// Shards live on disk behind the cache: metric plans retain their
+    /// measurement columns during the scoring sweep instead of re-paging.
+    fn paged(&self) -> bool {
+        true
     }
 
     /// Page the shard in (cache hit or disk read), pin it for the duration
@@ -659,19 +938,23 @@ impl ShardSource for ShardStore {
     /// [`ShardStore::read_shard`] for fallible access.
     fn with_shard<T>(&self, index: usize, f: impl FnOnce(ShardView<'_>) -> T) -> T {
         assert!(
-            index < self.directory.len(),
+            index < self.inner.directory.len(),
             "shard {index} out of bounds ({})",
-            self.directory.len()
+            self.inner.directory.len()
         );
         let guard = PinGuard {
-            store: self,
+            store: &self.inner,
             index,
-            data: match self.pin(index) {
+            data: match self.inner.pin(index) {
                 Ok(data) => data,
                 Err(e) => panic!("fair-store: cannot page in shard {index}: {e}"),
             },
         };
-        f(ShardView::new(index, index * self.shard_size, &guard.data))
+        f(ShardView::new(
+            index,
+            index * self.inner.shard_size,
+            &guard.data,
+        ))
     }
 }
 
@@ -781,8 +1064,9 @@ mod tests {
         let shard_bytes = column_bytes(&store.read_shard(0).unwrap());
         drop(store);
 
-        // Room for exactly two shards.
-        let store = ShardStore::open_with_budget(&path, 2 * shard_bytes).unwrap();
+        // Room for exactly two shards. Readahead off: this test asserts
+        // exact counter values, which a background decode would perturb.
+        let store = ShardStore::open_with_options(&path, 2 * shard_bytes, 0).unwrap();
         store.with_shard(0, |_| ());
         store.with_shard(1, |_| ());
         assert_eq!(store.cache_stats().resident_bytes, 2 * shard_bytes);
@@ -800,6 +1084,90 @@ mod tests {
         store.with_shard(1, |_| ());
         assert_eq!(store.cache_stats().misses, misses + 1);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn readahead_decodes_the_next_shards_before_they_are_asked_for() {
+        let path = sample_store("prefetch_hits", 40, 8); // 5 shards
+        let store = ShardStore::open_with_options(&path, usize::MAX, 2).unwrap();
+        let shard_bytes = column_bytes(&store.read_shard(0).unwrap());
+        // That first access was a miss and queued shards 1 and 2; wait for
+        // the background thread to admit both.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while store.cache_stats().resident_bytes < 3 * shard_bytes
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            store.cache_stats().resident_bytes,
+            3 * shard_bytes,
+            "readahead admits shards 1 and 2 behind the access to shard 0"
+        );
+        store.read_shard(1).unwrap();
+        store.read_shard(2).unwrap();
+        let stats = store.cache_stats();
+        assert_eq!(stats.misses, 1, "only shard 0 ever touched the disk path");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.prefetch_hits, 2);
+        assert_eq!(stats.prefetch_wasted, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn readahead_never_overflows_the_byte_budget() {
+        let path = sample_store("prefetch_budget", 40, 8); // 5 shards
+        let probe = ShardStore::open_with_options(&path, usize::MAX, 0).unwrap();
+        let shard_bytes = column_bytes(&probe.read_shard(0).unwrap());
+        drop(probe);
+
+        // Room for three shards (pinned + next + one readahead slot), depth
+        // 2 requested: sweep the whole store several times. Whatever the
+        // background thread manages to slip in, the peak must stay within
+        // the budget and every access must resolve.
+        let store = ShardStore::open_with_options(&path, 3 * shard_bytes, 2).unwrap();
+        for _ in 0..3 {
+            for i in 0..store.num_shards() {
+                store.with_shard(i, |view| assert_eq!(view.len(), 8));
+            }
+        }
+        let stats = store.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 15, "every access is counted");
+        assert!(
+            stats.peak_bytes <= 3 * shard_bytes,
+            "peak {} exceeds budget {}",
+            stats.peak_bytes,
+            3 * shard_bytes
+        );
+        assert!(stats.prefetch_hits <= stats.hits);
+
+        // A budget with no readahead headroom (two shards) stands the
+        // prefetcher down instead of thrashing: no wasted decodes at all.
+        drop(store);
+        let tight = ShardStore::open_with_options(&path, 2 * shard_bytes, 2).unwrap();
+        for i in 0..tight.num_shards() {
+            tight.with_shard(i, |view| assert_eq!(view.len(), 8));
+        }
+        let stats = tight.cache_stats();
+        assert_eq!(stats.misses, 5, "no headroom means no readahead at all");
+        assert_eq!(stats.prefetch_hits, 0);
+        assert_eq!(stats.prefetch_wasted, 0);
+        assert!(stats.peak_bytes <= 2 * shard_bytes);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn prefetch_env_parsing() {
+        // default_prefetch reads the environment; with the variable unset it
+        // must fall back to the default. (CI sets FAIR_PREFETCH=0 for the
+        // no-readahead thrash pass.)
+        match std::env::var("FAIR_PREFETCH") {
+            Err(_) => assert_eq!(default_prefetch(), DEFAULT_PREFETCH),
+            Ok(v) => {
+                let parsed: usize = v.trim().parse().unwrap();
+                assert_eq!(default_prefetch(), parsed);
+            }
+        }
     }
 
     #[test]
@@ -893,6 +1261,18 @@ mod tests {
         }
         assert!(failures > 0, "a flipped byte must fail at least one shard");
         assert!(store.verify().is_err());
+        // With readahead on, the corruption error must still surface on the
+        // on-demand path even though the background thread swallows its own
+        // decode failure for the same shard.
+        let store = ShardStore::open_with_options(&path, usize::MAX, 2).unwrap();
+        let mut failures = 0;
+        for i in 0..store.num_shards() {
+            if let Err(e) = store.read_shard(i) {
+                assert!(matches!(e, StoreError::Corrupt { .. }), "{e}");
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "corruption must surface with readahead on");
         std::fs::remove_file(path).ok();
     }
 
