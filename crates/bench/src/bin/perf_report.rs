@@ -42,6 +42,13 @@
 //! sub-section times one five-metric `MetricPlan` sweep against five
 //! sequential per-metric paged sweeps on a fully labelled COMPAS store.
 //!
+//! Schema v6 adds a **fleet measurement** (`fleet` in the JSON): the same
+//! cohort served by one vs three `fair-serve` workers behind a
+//! `FleetCoordinator`, timing the distributed Full-DCA per-step cost against
+//! the local sharded runner (the coordinator + wire overhead), the 3-worker
+//! vs 1-worker speedup, and distributed disparity sweeps/sec — with a
+//! one-off bit-identity check against the local trajectory.
+//!
 //! The summary line checks the headline claim directly: Core DCA's per-step
 //! time at the largest cohort must stay within 2x of the 10k per-step time.
 
@@ -51,9 +58,12 @@ use fair_core::metrics::{disparity_at_k, log_discounted_disparity, ndcg_at_k, Lo
 use fair_core::prelude::*;
 use fair_data::store::{compas_to_store, school_to_store};
 use fair_data::{CompasConfig, CompasGenerator, SchoolConfig, SchoolGenerator};
-use fair_serve::{serve, AuditService, Client, MetricsRequest};
+use fair_serve::{
+    serve, AuditService, Client, FleetConfig, FleetCoordinator, MetricsRequest, ServerHandle,
+};
 use fair_store::{CacheStats, ShardStore};
 use std::fmt::Write as _;
+use std::net::SocketAddr;
 use std::time::Instant;
 
 /// Timed numbers for one cohort size.
@@ -464,6 +474,141 @@ fn measure_serve(reps: usize) -> ServeReport {
     }
 }
 
+/// The fleet measurement: one cohort, one vs three workers behind a
+/// `FleetCoordinator`, against the local sharded runner as the baseline.
+struct FleetBench {
+    rows: usize,
+    shard_size: usize,
+    num_shards: usize,
+    k: f64,
+    /// Local `run_full_dca_sharded` per-step time, ms (the no-wire baseline).
+    local_full_step_ms: f64,
+    /// Distributed per-step time with a single worker, ms.
+    single_full_step_ms: f64,
+    /// Distributed per-step time with three workers, ms.
+    fleet3_full_step_ms: f64,
+    /// `single / local`: what the coordinator + wire round trip costs.
+    coordinator_overhead: f64,
+    /// `single / fleet3`: what two extra workers buy.
+    speedup_3_vs_1: f64,
+    /// Distributed disparity@k sweeps per second on the 3-worker fleet.
+    disparity_sweeps_per_sec: f64,
+    /// Partial-reduce requests the coordinator issued across the timed runs.
+    requests: u64,
+}
+
+/// Time the fleet layer on a `rows`-row school cohort: local sharded runner
+/// vs 1-worker fleet vs 3-worker fleet, plus distributed disparity sweeps.
+/// The shard layout is explicit (`rows / 16`-row shards) so the placement
+/// genuinely spreads work across three workers regardless of cohort size,
+/// and the reference runner shards identically.
+fn measure_fleet(rows: usize, reps: usize) -> FleetBench {
+    let k = 0.01; // small k keeps per-range partial responses compact
+    let shard_size = (rows / 16).max(1024);
+    let data = SchoolGenerator::new(SchoolConfig::small(rows, 42))
+        .generate_sharded(shard_size)
+        .expect("positive shard size")
+        .into_dataset();
+    let weights = [0.55, 0.45];
+    let ranker = WeightedSumRanker::new(weights.to_vec()).expect("rubric weights");
+    let objective = TopKDisparity::new(k);
+    let config = DcaConfig {
+        learning_rates: vec![1.0],
+        iterations_per_rate: 5,
+        refinement_iterations: 0,
+        seed: 7,
+        ..DcaConfig::default()
+    };
+
+    let local_outcome =
+        run_full_dca_sharded(&data, &ranker, &objective, &config, None, false).expect("local DCA");
+    let steps = local_outcome.steps as f64;
+    let local_full_ms = time_median(reps, || {
+        run_full_dca_sharded(&data, &ranker, &objective, &config, None, false).expect("local DCA")
+    });
+
+    let spawn = |n: usize| -> (Vec<ServerHandle>, Vec<SocketAddr>) {
+        (0..n)
+            .map(|_| {
+                let service = AuditService::new();
+                service
+                    .catalog
+                    .register_memory("bench", data.clone())
+                    .expect("register bench cohort");
+                let server = serve(service, "127.0.0.1:0", 4).expect("bind fleet worker");
+                let addr = server.addr();
+                (server, addr)
+            })
+            .unzip()
+    };
+
+    let (handles1, addrs1) = spawn(1);
+    let fleet1 =
+        FleetCoordinator::connect("bench", &addrs1, FleetConfig::default()).expect("connect 1w");
+    let single_outcome = fleet1
+        .run_full_dca(k, Some(&weights), &config, None, false)
+        .expect("1-worker DCA");
+    assert_eq!(
+        single_outcome
+            .bonus
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        local_outcome
+            .bonus
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "the fleet trajectory must match the local runner bit for bit"
+    );
+    let single_full_ms = time_median(reps, || {
+        fleet1
+            .run_full_dca(k, Some(&weights), &config, None, false)
+            .expect("1-worker DCA")
+    });
+    let mut requests = fleet1.report().requests;
+    for h in handles1 {
+        h.shutdown();
+    }
+
+    let (handles3, addrs3) = spawn(3);
+    let fleet3 =
+        FleetCoordinator::connect("bench", &addrs3, FleetConfig::default()).expect("connect 3w");
+    let fleet3_full_ms = time_median(reps, || {
+        fleet3
+            .run_full_dca(k, Some(&weights), &config, None, false)
+            .expect("3-worker DCA")
+    });
+    let bonus = vec![1.0, 10.0, 12.0, 12.0];
+    let sweeps = 20;
+    let sweep_burst_ms = time_median(reps, || {
+        for _ in 0..sweeps {
+            fleet3
+                .disparity(k, &bonus, Some(&weights))
+                .expect("fleet disparity");
+        }
+    });
+    requests += fleet3.report().requests;
+    let num_shards = fleet3.placement().num_shards();
+    for h in handles3 {
+        h.shutdown();
+    }
+
+    FleetBench {
+        rows,
+        shard_size,
+        num_shards,
+        k,
+        local_full_step_ms: local_full_ms / steps,
+        single_full_step_ms: single_full_ms / steps,
+        fleet3_full_step_ms: fleet3_full_ms / steps,
+        coordinator_overhead: single_full_ms / local_full_ms,
+        speedup_3_vs_1: single_full_ms / fleet3_full_ms,
+        disparity_sweeps_per_sec: sweeps as f64 / (sweep_burst_ms / 1e3),
+        requests,
+    }
+}
+
 fn json_number(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -477,6 +622,7 @@ fn render_json(
     reps: usize,
     reports: &[CohortReport],
     serve_report: &ServeReport,
+    fleet: &FleetBench,
     ratio: Option<f64>,
 ) -> String {
     let threads = std::thread::available_parallelism()
@@ -484,7 +630,7 @@ fn render_json(
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 5,");
+    let _ = writeln!(s, "  \"schema_version\": 6,");
     let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"repeats\": {reps},");
@@ -609,6 +755,21 @@ fn render_json(
         );
     }
     s.push_str("  ] },\n");
+    let _ = writeln!(
+        s,
+        "  \"fleet\": {{ \"rows\": {}, \"shard_size\": {}, \"num_shards\": {}, \"k\": {}, \"local_full_step_ms\": {}, \"single_worker_full_step_ms\": {}, \"three_worker_full_step_ms\": {}, \"coordinator_overhead\": {}, \"speedup_3_vs_1\": {}, \"disparity_sweeps_per_sec\": {}, \"requests\": {} }},",
+        fleet.rows,
+        fleet.shard_size,
+        fleet.num_shards,
+        fleet.k,
+        json_number(fleet.local_full_step_ms),
+        json_number(fleet.single_full_step_ms),
+        json_number(fleet.fleet3_full_step_ms),
+        json_number(fleet.coordinator_overhead),
+        json_number(fleet.speedup_3_vs_1),
+        json_number(fleet.disparity_sweeps_per_sec),
+        fleet.requests,
+    );
     match ratio {
         Some(v) => {
             let _ = writeln!(
@@ -736,6 +897,25 @@ fn main() {
         );
     }
 
+    let fleet_rows = if quick { 10_000 } else { 1_000_000 };
+    let fleet = measure_fleet(fleet_rows, reps);
+    println!(
+        "\nfleet coordinator ({} rows, {} x {} shards, k={}):",
+        fleet.rows, fleet.num_shards, fleet.shard_size, fleet.k
+    );
+    println!(
+        "  full-DCA per step: local {:.3}ms, 1 worker {:.3}ms ({:.2}x overhead), 3 workers {:.3}ms ({:.2}x vs 1)",
+        fleet.local_full_step_ms,
+        fleet.single_full_step_ms,
+        fleet.coordinator_overhead,
+        fleet.fleet3_full_step_ms,
+        fleet.speedup_3_vs_1,
+    );
+    println!(
+        "  distributed disparity sweeps: {:.0}/sec on 3 workers ({} partial-reduce requests total)",
+        fleet.disparity_sweeps_per_sec, fleet.requests,
+    );
+
     let ratio = (reports.len() > 1).then(|| {
         reports.last().unwrap().core_per_step_us / reports.first().unwrap().core_per_step_us
     });
@@ -748,7 +928,7 @@ fn main() {
         );
     }
 
-    let json = render_json(mode, reps, &reports, &serve_report, ratio);
+    let json = render_json(mode, reps, &reports, &serve_report, &fleet, ratio);
     std::fs::write(&out_path, &json).expect("write BENCH_DCA.json");
     println!("\nWrote {}", out_path.display());
 

@@ -93,18 +93,19 @@ where
 }
 
 /// The one Full-DCA descent loop: CLT-bypassing validation, initial-bonus
-/// clamp, the learning-rate schedule, and step/trace accounting. Both the
-/// serial runner and [`crate::dca::run_full_dca_sharded`] execute exactly
-/// this driver, so their bonus trajectories can only differ through the
-/// `evaluate` callback itself — which is what the serial==sharded bit-for-bit
-/// guarantee rests on. `control` is consulted at every step boundary
-/// (cancellation) and notified after every completed step (progress); the
-/// default control adds one relaxed atomic load per step and nothing else.
+/// clamp, the learning-rate schedule, and step/trace accounting. The serial
+/// runner, [`crate::dca::run_full_dca_sharded`], and distributed coordinators
+/// (via [`crate::dca::partial`]) all execute exactly this driver, so their
+/// bonus trajectories can only differ through the `evaluate` callback itself
+/// — which is what the serial==sharded==distributed bit-for-bit guarantee
+/// rests on. `control` is consulted at every step boundary (cancellation) and
+/// notified after every completed step (progress); the default control adds
+/// one relaxed atomic load per step and nothing else.
 ///
 /// # Errors
 /// Returns an error for invalid configurations, empty cohorts, evaluation
 /// failures, or a cancellation requested through `control`.
-pub(crate) fn run_full_descent(
+pub fn run_full_descent(
     dims: usize,
     cohort_len: usize,
     config: &DcaConfig,

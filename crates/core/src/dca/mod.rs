@@ -39,6 +39,7 @@ pub mod control;
 pub mod core;
 pub mod full;
 pub mod objective;
+pub mod partial;
 pub mod refine;
 pub mod scratch;
 pub mod sharded;
@@ -46,15 +47,16 @@ pub mod sharded;
 pub use self::core::{run_core_dca, run_core_dca_with, CoreDcaOutcome, CoreTraceEntry};
 pub use config::{DcaConfig, CLT_MINIMUM};
 pub use control::{DcaProgress, RunControl};
-pub use full::{run_full_dca, run_full_dca_with, FullDcaOutcome};
+pub use full::{run_full_dca, run_full_dca_with, run_full_descent, FullDcaOutcome};
 pub use objective::{
     FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact, TopKDisparity,
 };
+pub use partial::{combine_disparity_partials, disparity_partials, DisparityPartial};
 pub use refine::{run_refinement, run_refinement_with, RefinementOutcome};
 pub use scratch::{DcaScratch, EvalScratch};
 pub use sharded::{
-    run_core_dca_sharded, run_core_dca_sharded_controlled, run_full_dca_sharded,
-    run_full_dca_sharded_controlled, ShardedObjective,
+    run_core_dca_gathered, run_core_dca_sharded, run_core_dca_sharded_controlled,
+    run_full_dca_sharded, run_full_dca_sharded_controlled, ShardedObjective,
 };
 
 use crate::bonus::BonusVector;

@@ -19,6 +19,7 @@
 //! [`crate::dca::run_core_dca`], so their trajectories are not comparable
 //! step for step; each is reproducible under its own seed.
 
+use crate::attributes::SchemaRef;
 use crate::dataset::Dataset;
 use crate::dca::config::DcaConfig;
 use crate::dca::control::RunControl;
@@ -236,34 +237,18 @@ where
     R: Ranker + ?Sized,
     O: Objective + ?Sized,
 {
-    let dims = data.schema().num_fairness();
-    config.validate(dims)?;
-    if data.is_empty() {
-        return Err(FairError::EmptyDataset);
-    }
-
-    let mut bonus = initial.unwrap_or_else(|| vec![0.0; dims]);
-    assert_eq!(bonus.len(), dims, "initial bonus dimensionality mismatch");
-    clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
-
-    // The master stream only emits one step seed per step; every shard's
-    // sampling RNG is split off that seed (shard_seed), so the sample a shard
-    // draws is independent of how many other shards exist on this node.
-    let mut master = StdRng::seed_from_u64(config.seed);
     let mut sample_indices = Vec::new();
-    let mut gather = Dataset::with_capacity(data.schema().clone(), config.sample_size);
-    let mut scratch = DcaScratch::new();
-    let mut trace_entries = Vec::new();
-    let mut steps = 0_usize;
-    let mut objects_scored = 0_usize;
-
-    let total_steps = config.core_steps();
-    for &lr in &config.learning_rates {
-        for _ in 0..config.iterations_per_rate {
-            control.checkpoint()?;
-            let step_seed: u64 = master.gen();
+    run_core_dca_gathered(
+        data.schema(),
+        data.len(),
+        ranker,
+        objective,
+        config,
+        initial,
+        trace,
+        control,
+        |step_seed, gather| {
             data.sample_indices_into(step_seed, config.sample_size, &mut sample_indices)?;
-            gather.clear();
             // The sample comes back grouped by shard, so each run of indices
             // pages its shard in exactly once (a cache hit per run for the
             // in-memory source, one decode per run for a paged store).
@@ -278,6 +263,68 @@ where
                     }
                 },
             );
+            Ok(())
+        },
+    )
+}
+
+/// The one Core-DCA descent loop over a caller-supplied **gather step**: the
+/// master RNG emits one `step_seed` per step, `gather_step` fills the cleared
+/// scratch dataset with that step's sample rows, and the ordinary sampled
+/// [`Objective`] is evaluated on the gathered block. The local sharded runner
+/// ([`run_core_dca_sharded`]) and distributed coordinators both execute
+/// exactly this driver, differing only in where the gather fetches rows —
+/// which is why a coordinator that concatenates each worker's
+/// [`crate::shard::sample_indices_range_into`] slice in ascending shard order
+/// reproduces the local trajectory bit for bit.
+///
+/// # Errors
+/// Returns an error for invalid configurations, empty cohorts, gather or
+/// objective failures, or a cancellation requested through `control`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_core_dca_gathered<R, O>(
+    schema: &SchemaRef,
+    cohort_len: usize,
+    ranker: &R,
+    objective: &O,
+    config: &DcaConfig,
+    initial: Option<Vec<f64>>,
+    trace: bool,
+    control: &RunControl,
+    mut gather_step: impl FnMut(u64, &mut Dataset) -> Result<()>,
+) -> Result<CoreDcaOutcome>
+where
+    R: Ranker + ?Sized,
+    O: Objective + ?Sized,
+{
+    let dims = schema.num_fairness();
+    config.validate(dims)?;
+    if cohort_len == 0 {
+        return Err(FairError::EmptyDataset);
+    }
+
+    let mut bonus = initial.unwrap_or_else(|| vec![0.0; dims]);
+    assert_eq!(bonus.len(), dims, "initial bonus dimensionality mismatch");
+    clamp_bonus(&mut bonus, config.polarity, config.caps.as_ref());
+
+    // The master stream only emits one step seed per step; every shard's
+    // sampling RNG is split off that seed (shard_seed), so the sample a shard
+    // draws is independent of how many other shards exist on this node — or
+    // of which node holds them.
+    let mut master = StdRng::seed_from_u64(config.seed);
+    let mut gather = Dataset::with_capacity(schema.clone(), config.sample_size);
+    let mut scratch = DcaScratch::new();
+    let mut trace_entries = Vec::new();
+    let mut steps = 0_usize;
+    let mut objects_scored = 0_usize;
+
+    let total_steps = config.core_steps();
+    for &lr in &config.learning_rates {
+        for _ in 0..config.iterations_per_rate {
+            control.checkpoint()?;
+            let step_seed: u64 = master.gen();
+            gather.clear();
+            gather_step(step_seed, &mut gather)?;
             let sample = gather.full_view();
             objective.evaluate_into(
                 &sample,
@@ -512,6 +559,62 @@ mod tests {
             3,
             "exactly 3 steps run before the cancellation takes effect"
         );
+    }
+
+    /// A coordinator gathering each step's sample from per-range workers
+    /// (`sample_indices_range_into`, concatenated in ascending range order)
+    /// reproduces the single-node sharded trajectory bit for bit.
+    #[test]
+    fn gathered_core_dca_over_range_samples_matches_the_sharded_runner_bitwise() {
+        let flat = dyadic_biased(900, 13);
+        let data = ShardedDataset::from_dataset(&flat, 64).unwrap();
+        let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
+        let objective = TopKDisparity::new(0.2);
+        let cfg = config();
+        let local = run_core_dca_sharded(&data, &ranker, &objective, &cfg, None, true).unwrap();
+
+        let cuts = [0, 3, 5, data.num_shards()];
+        let mut indices = Vec::new();
+        let distributed = run_core_dca_gathered(
+            data.schema(),
+            data.len(),
+            &ranker,
+            &objective,
+            &cfg,
+            None,
+            true,
+            &RunControl::new(),
+            |step_seed, gather| {
+                for range in cuts.windows(2) {
+                    crate::shard::sample_indices_range_into(
+                        &data,
+                        step_seed,
+                        cfg.sample_size,
+                        range[0]..range[1],
+                        &mut indices,
+                    )?;
+                    crate::shard::for_each_shard_run(
+                        &data,
+                        &indices,
+                        |&g| g / data.shard_size(),
+                        |view, run| {
+                            let d = view.data();
+                            for &g in run {
+                                gather.push_row(d.row(g - view.offset()));
+                            }
+                        },
+                    );
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        let a: Vec<u64> = local.bonus.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = distributed.bonus.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "range-gathered Core DCA is bit-identical");
+        for (s, t) in local.trace.iter().zip(&distributed.trace) {
+            assert_eq!(s.bonus, t.bonus, "step {}", s.step);
+        }
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Production distributed systems fail in ways unit tests rarely exercise:
+//! stalled peers, dropped connections, half-written responses, corrupted
+//! payloads, crash-looping replicas. This module gives the workspace one
+//! shared, deterministic way to provoke those failures at **named fault
+//! points** — a store's shard decode, the serve layer's request path — so the
+//! retry/timeout/re-dispatch machinery above them is testable in-process and
+//! in CI.
+//!
+//! A [`FaultPlan`] is a list of [`FaultSpec`]s, each naming a fault point, an
+//! optional context filter, a [`FaultMode`], and an activation budget. Plans
+//! parse from the `FAIR_FAULT` environment variable with the grammar
+//!
+//! ```text
+//! FAIR_FAULT = spec (";" spec)*
+//! spec       = point ["@" ctx] ":" mode
+//! mode       = "delay" ":" millis [":" count]
+//!            | ("drop" | "close-mid-body" | "corrupt" | "500" | "panic") [":" count]
+//! ```
+//!
+//! * `point` — the fault point's name (`decode`, `serve`, …) or `*` for any.
+//! * `ctx` — a substring filter on the checkpoint's context string (a request
+//!   path, a store path + shard), so a fault can target one store or one
+//!   route without touching unrelated traffic in the same process.
+//! * `count` — how many times the spec fires before going inert (a "burst");
+//!   omitted means unlimited.
+//!
+//! `FAIR_FAULT="serve@/partials:500:3"` answers the first three partial-reduce
+//! requests with an injected 500; `FAIR_FAULT="decode@#shard1:panic:1"` makes
+//! the first decode of shard 1 panic. Code under test consults
+//! [`check`] (the process-global plan, initialised from the environment) or an
+//! explicitly installed plan; when no spec matches, the checkpoint costs one
+//! atomic load on a shared `Arc`.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// What an activated fault does at its checkpoint. The interpretation is the
+/// checkpoint's: the store's decode path honours `Delay`/`Panic`, the serve
+/// request path honours all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Stall for the given duration before proceeding normally.
+    Delay(Duration),
+    /// Drop the connection / abandon the operation without a response.
+    Drop,
+    /// Send response headers plus a truncated body, then close.
+    CloseMidBody,
+    /// Deliver a response whose body bytes have been garbled.
+    Corrupt,
+    /// Answer with an injected HTTP 500.
+    Status500,
+    /// Panic at the checkpoint.
+    Panic,
+}
+
+impl FaultMode {
+    /// The grammar name of this mode.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Delay(_) => "delay",
+            Self::Drop => "drop",
+            Self::CloseMidBody => "close-mid-body",
+            Self::Corrupt => "corrupt",
+            Self::Status500 => "500",
+            Self::Panic => "panic",
+        }
+    }
+}
+
+/// One parsed fault: where it fires, what it does, and how often.
+#[derive(Debug)]
+pub struct FaultSpec {
+    /// Fault-point name, or `*` to match every point.
+    pub point: String,
+    /// Context substring filter (`None` matches every context).
+    pub ctx: Option<String>,
+    /// The failure to inject.
+    pub mode: FaultMode,
+    /// Remaining activations; `i64::MAX` means unlimited.
+    budget: AtomicI64,
+}
+
+impl FaultSpec {
+    fn matches(&self, point: &str, ctx: &str) -> bool {
+        (self.point == "*" || self.point == point)
+            && self.ctx.as_ref().is_none_or(|c| ctx.contains(c.as_str()))
+    }
+
+    /// Consume one activation; `false` once the burst budget is spent.
+    fn consume(&self) -> bool {
+        let mut current = self.budget.load(Ordering::Relaxed);
+        loop {
+            if current == i64::MAX {
+                return true; // unlimited: no decrement, no contention
+            }
+            if current <= 0 {
+                return false;
+            }
+            match self.budget.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// A set of fault specs consulted at named checkpoints. An empty plan (the
+/// default) injects nothing.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan has no specs (checkpoints are then free).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Parse a plan from the `FAIR_FAULT` grammar (see the module docs).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed spec.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let mut specs = Vec::new();
+        for raw in input.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            specs.push(parse_spec(raw)?);
+        }
+        Ok(Self { specs })
+    }
+
+    /// The plan the `FAIR_FAULT` environment variable describes; the empty
+    /// plan when unset. A malformed value is reported on stderr and treated
+    /// as empty — fault injection must never take a production process down
+    /// by itself.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("FAIR_FAULT") {
+            Err(_) => Self::none(),
+            Ok(value) => FaultPlan::parse(&value).unwrap_or_else(|e| {
+                eprintln!("ignoring malformed FAIR_FAULT: {e}");
+                Self::none()
+            }),
+        }
+    }
+
+    /// Consult the plan at a fault point. Returns the mode to inject when a
+    /// matching spec with remaining budget exists (consuming one activation),
+    /// `None` otherwise.
+    #[must_use]
+    pub fn check(&self, point: &str, ctx: &str) -> Option<FaultMode> {
+        self.specs
+            .iter()
+            .find(|s| s.matches(point, ctx) && s.consume())
+            .map(|s| s.mode.clone())
+    }
+}
+
+fn parse_spec(raw: &str) -> Result<FaultSpec, String> {
+    let (target, rest) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("`{raw}`: expected `point:mode`"))?;
+    let (point, ctx) = match target.split_once('@') {
+        Some((p, c)) => (p, Some(c.to_string())),
+        None => (target, None),
+    };
+    if point.is_empty() {
+        return Err(format!("`{raw}`: empty fault point"));
+    }
+    let mut fields = rest.split(':');
+    let mode_name = fields.next().unwrap_or("");
+    let parse_count = |field: Option<&str>| -> Result<i64, String> {
+        match field {
+            None => Ok(i64::MAX),
+            Some(c) => c
+                .parse::<i64>()
+                .ok()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| format!("`{raw}`: count must be a positive integer")),
+        }
+    };
+    let (mode, budget) = match mode_name {
+        "delay" => {
+            let millis = fields
+                .next()
+                .and_then(|m| m.parse::<u64>().ok())
+                .ok_or_else(|| format!("`{raw}`: delay needs a millisecond parameter"))?;
+            (
+                FaultMode::Delay(Duration::from_millis(millis)),
+                parse_count(fields.next())?,
+            )
+        }
+        "drop" => (FaultMode::Drop, parse_count(fields.next())?),
+        "close-mid-body" => (FaultMode::CloseMidBody, parse_count(fields.next())?),
+        "corrupt" => (FaultMode::Corrupt, parse_count(fields.next())?),
+        "500" => (FaultMode::Status500, parse_count(fields.next())?),
+        "panic" => (FaultMode::Panic, parse_count(fields.next())?),
+        other => return Err(format!("`{raw}`: unknown fault mode `{other}`")),
+    };
+    if fields.next().is_some() {
+        return Err(format!("`{raw}`: trailing fields after the count"));
+    }
+    Ok(FaultSpec {
+        point: point.to_string(),
+        ctx,
+        mode,
+        budget: AtomicI64::new(budget),
+    })
+}
+
+fn global_cell() -> &'static RwLock<Arc<FaultPlan>> {
+    static GLOBAL: OnceLock<RwLock<Arc<FaultPlan>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Arc::new(FaultPlan::from_env())))
+}
+
+/// The process-global plan: `FAIR_FAULT` at first use, or whatever
+/// [`install`] replaced it with.
+#[must_use]
+pub fn global() -> Arc<FaultPlan> {
+    global_cell()
+        .read()
+        .expect("fault plan lock poisoned")
+        .clone()
+}
+
+/// Replace the process-global plan (tests targeting code that consults
+/// [`check`], e.g. the store decode path). Scope specs with `@ctx` filters so
+/// concurrently running tests cannot trip each other's faults.
+pub fn install(plan: FaultPlan) {
+    *global_cell().write().expect("fault plan lock poisoned") = Arc::new(plan);
+}
+
+/// Consult the process-global plan at a fault point.
+#[must_use]
+pub fn check(point: &str, ctx: &str) -> Option<FaultMode> {
+    let plan = global();
+    if plan.is_empty() {
+        return None;
+    }
+    plan.check(point, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_mode_with_ctx_and_count() {
+        let plan = FaultPlan::parse(
+            "decode@#shard1:panic:1; serve@/partials:delay:25:3; *:drop; \
+             serve:close-mid-body:2; serve:corrupt; serve:500:4",
+        )
+        .unwrap();
+        assert_eq!(plan.specs.len(), 6);
+        assert_eq!(plan.specs[0].point, "decode");
+        assert_eq!(plan.specs[0].ctx.as_deref(), Some("#shard1"));
+        assert_eq!(plan.specs[0].mode, FaultMode::Panic);
+        assert_eq!(
+            plan.specs[1].mode,
+            FaultMode::Delay(Duration::from_millis(25))
+        );
+        assert_eq!(plan.specs[2].point, "*");
+        assert_eq!(plan.specs[2].ctx, None);
+        assert_eq!(plan.specs[5].mode.name(), "500");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "decode",           // no mode
+            ":panic",           // empty point
+            "decode:jitter",    // unknown mode
+            "decode:delay",     // delay without millis
+            "decode:delay:abc", // non-numeric millis
+            "decode:drop:0",    // zero count
+            "decode:drop:-2",   // negative count
+            "decode:drop:1:9",  // trailing field
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn matching_respects_point_and_ctx_substring() {
+        let plan = FaultPlan::parse("serve@/stores/a/partials:500").unwrap();
+        assert_eq!(
+            plan.check("serve", "/stores/a/partials"),
+            Some(FaultMode::Status500)
+        );
+        assert_eq!(plan.check("serve", "/stores/b/partials"), None);
+        assert_eq!(plan.check("decode", "/stores/a/partials"), None);
+        let any = FaultPlan::parse("*:drop").unwrap();
+        assert_eq!(any.check("anything", "anywhere"), Some(FaultMode::Drop));
+    }
+
+    #[test]
+    fn burst_counts_exhaust_and_unlimited_specs_do_not() {
+        let plan = FaultPlan::parse("p:500:2").unwrap();
+        assert!(plan.check("p", "x").is_some());
+        assert!(plan.check("p", "x").is_some());
+        assert!(plan.check("p", "x").is_none(), "burst of 2 is spent");
+        let unlimited = FaultPlan::parse("p:500").unwrap();
+        for _ in 0..100 {
+            assert!(unlimited.check("p", "x").is_some());
+        }
+    }
+
+    #[test]
+    fn first_matching_spec_wins_and_exhausted_specs_fall_through() {
+        let plan = FaultPlan::parse("p:500:1; p:drop").unwrap();
+        assert_eq!(plan.check("p", "x"), Some(FaultMode::Status500));
+        assert_eq!(plan.check("p", "x"), Some(FaultMode::Drop), "falls through");
+    }
+
+    #[test]
+    fn empty_and_whitespace_plans_are_empty() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" ; ;; ").unwrap().is_empty());
+        assert!(FaultPlan::none().check("p", "x").is_none());
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`explain`] | per-applicant score breakdowns and threshold-margin explanations |
 //! | [`metrics`] | Disparity, log-discounted disparity, disparate impact, FPR difference, exposure/DDP, nDCG |
 //! | [`dca`] | Core DCA, the Adam refinement step, Full DCA, and the [`dca::Dca`] facade |
+//! | [`fault`] | deterministic fault injection (`FAIR_FAULT`) for robustness testing |
 //! | [`error`] | [`error::FairError`] and the crate-wide [`error::Result`] alias |
 //!
 //! ## Quick example
@@ -67,6 +68,7 @@ pub mod dataset;
 pub mod dca;
 pub mod error;
 pub mod explain;
+pub mod fault;
 pub mod metrics;
 pub mod object;
 pub mod parallel;
@@ -79,10 +81,12 @@ pub use calibrate::{calibrate_proportion, CalibrationResult, CalibrationTarget};
 pub use dataset::{Dataset, SampleView};
 pub use dca::{Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch};
 pub use error::{FairError, Result};
+pub use fault::{FaultMode, FaultPlan};
 pub use object::{DataObject, ObjectId, ObjectView};
 pub use parallel::{max_workers, parallel_map};
 pub use shard::{
-    default_shard_size, for_each_shard_run, shard_seed, ShardSource, ShardView, ShardedDataset,
+    default_shard_size, for_each_shard_run, sample_indices_range_into, shard_seed, ShardSource,
+    ShardView, ShardedDataset,
 };
 
 /// Convenient glob import for applications and examples.

@@ -150,7 +150,7 @@ where
 /// so partitions and sorts run on 16-byte values with branch-friendly
 /// integer comparisons instead of chasing `scores[a]`/`scores[b]` gathers.
 #[inline]
-fn descending_key(score: f64) -> u64 {
+pub(crate) fn descending_key(score: f64) -> u64 {
     let bits = score.to_bits();
     let ascending = bits ^ ((((bits as i64) >> 63) as u64) | 0x8000_0000_0000_0000);
     !ascending

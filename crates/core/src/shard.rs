@@ -478,6 +478,80 @@ fn shard_quotas<S: ShardSource + ?Sized>(data: &S, size: usize) -> Vec<usize> {
     quotas
 }
 
+/// The shard-range restriction of [`ShardSource::sample_indices_into`]: the
+/// global row indices that sampler would emit for the shards in `shards`, in
+/// the same order.
+///
+/// Quotas are apportioned over the **whole** layout and each shard samples
+/// under its own [`shard_seed`]-split RNG stream, so a node that owns only
+/// `shards` computes its slice of the global sample without seeing any other
+/// node's rows — concatenating the outputs of disjoint ranges covering
+/// `0..num_shards()` in ascending order reproduces `sample_indices_into`
+/// exactly. This is the distributed-DCA sampling primitive.
+///
+/// # Errors
+/// Returns [`FairError::EmptyDataset`] on an empty dataset,
+/// [`FairError::InvalidConfig`] when `size == 0` or the range exceeds the
+/// layout.
+pub fn sample_indices_range_into<S: ShardSource + ?Sized>(
+    data: &S,
+    seed: u64,
+    size: usize,
+    shards: std::ops::Range<usize>,
+    out: &mut Vec<usize>,
+) -> Result<()> {
+    if data.is_empty() {
+        return Err(FairError::EmptyDataset);
+    }
+    if size == 0 {
+        return Err(FairError::InvalidConfig {
+            reason: "sample size must be positive".into(),
+        });
+    }
+    if shards.start > shards.end || shards.end > data.num_shards() {
+        return Err(FairError::InvalidConfig {
+            reason: format!(
+                "shard range {}..{} exceeds the {}-shard layout",
+                shards.start,
+                shards.end,
+                data.num_shards()
+            ),
+        });
+    }
+    out.clear();
+    if size >= data.len() {
+        // The full-cohort branch of `sample_indices_into` emits every global
+        // index in order; this range's slice of that is its own row span.
+        for i in shards {
+            let offset = data.shard_offset(i);
+            out.extend(offset..offset + data.shard_len(i));
+        }
+        return Ok(());
+    }
+    let quotas = shard_quotas(data, size);
+    let indices: Vec<usize> = shards.collect();
+    let per_shard: Vec<Vec<usize>> = parallel_map(&indices, |&i| {
+        let quota = quotas[i];
+        if quota == 0 {
+            return Vec::new();
+        }
+        let len = data.shard_len(i);
+        let mut rng = StdRng::seed_from_u64(shard_seed(seed, i));
+        let mut buf = rand::seq::index::IndexBuffer::new();
+        if quota >= len {
+            buf.fill_sequential(len);
+        } else {
+            rand::seq::index::sample_into(&mut rng, len, quota, &mut buf);
+        }
+        let offset = data.shard_offset(i);
+        buf.as_slice().iter().map(|&x| offset + x).collect()
+    });
+    for indices in per_shard {
+        out.extend(indices);
+    }
+    Ok(())
+}
+
 /// A cohort stored as fixed-size shards, each a contiguous columnar block —
 /// the in-memory [`ShardSource`].
 ///
@@ -885,6 +959,53 @@ mod tests {
                 .count();
             assert_eq!(in_shard, 10, "shard {s}");
         }
+    }
+
+    #[test]
+    fn range_sampler_slices_concatenate_to_the_global_sample() {
+        let d = ShardedDataset::from_objects(schema(), objects(101), 9).unwrap();
+        let shards = d.num_shards();
+        let mut whole = Vec::new();
+        d.sample_indices_into(42, 37, &mut whole).unwrap();
+        // Every split of the shard space, including degenerate empty ranges.
+        for cut_a in 0..=shards {
+            for cut_b in cut_a..=shards {
+                let mut concat = Vec::new();
+                for range in [0..cut_a, cut_a..cut_b, cut_b..shards] {
+                    let mut part = Vec::new();
+                    sample_indices_range_into(&d, 42, 37, range, &mut part).unwrap();
+                    concat.extend(part);
+                }
+                assert_eq!(concat, whole, "split at {cut_a}/{cut_b}");
+            }
+        }
+        // The oversized-sample branch slices the same way.
+        let mut whole = Vec::new();
+        d.sample_indices_into(1, 500, &mut whole).unwrap();
+        let mut concat = Vec::new();
+        for range in [0..3, 3..shards] {
+            let mut part = Vec::new();
+            sample_indices_range_into(&d, 1, 500, range, &mut part).unwrap();
+            concat.extend(part);
+        }
+        assert_eq!(concat, whole, "oversized sample");
+    }
+
+    #[test]
+    fn range_sampler_rejects_bad_ranges_and_inputs() {
+        let d = ShardedDataset::from_objects(schema(), objects(20), 4).unwrap();
+        let mut out = Vec::new();
+        assert!(sample_indices_range_into(&d, 1, 5, 0..99, &mut out).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert!(sample_indices_range_into(&d, 1, 5, 3..1, &mut out).is_err());
+        }
+        assert!(sample_indices_range_into(&d, 1, 0, 0..1, &mut out).is_err());
+        let empty = ShardedDataset::with_shard_size(schema(), 4).unwrap();
+        assert!(matches!(
+            sample_indices_range_into(&empty, 1, 5, 0..0, &mut out),
+            Err(FairError::EmptyDataset)
+        ));
     }
 
     #[test]

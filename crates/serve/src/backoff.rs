@@ -1,0 +1,115 @@
+//! Jittered exponential backoff, shared by the fleet coordinator's retry
+//! loops, [`crate::client::Client`] connect retries, and job polling.
+//!
+//! The ideal delay doubles on every failure up to a cap; the actual delay is
+//! drawn uniformly from `[ideal/2, ideal)` ("equal jitter"), so a fleet of
+//! clients that failed together does not retry in lockstep and hammer the
+//! recovering server in synchronized waves. The jitter PRNG is a small
+//! splitmix-style generator seeded off a process-wide counter — deterministic
+//! enough to test, decorrelated across instances, and free of any wall-clock
+//! dependence.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Seed source: every backoff instance draws a distinct stream.
+static SEQ: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+/// One splitmix64 step — the standard 64-bit finalizer-based PRNG.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff with equal jitter.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    /// Next undithered delay; grows ×2 per failure until `cap`.
+    current: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and doubling up to `cap`.
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Self {
+            base,
+            cap: cap.max(base),
+            current: base,
+            rng: SEQ.fetch_add(0xa076_1d64_78bd_642f, Ordering::Relaxed),
+        }
+    }
+
+    /// The next delay: uniform in `[ideal/2, ideal)` where `ideal` doubles
+    /// per call until the cap. A zero `base` always yields zero.
+    pub fn next_delay(&mut self) -> Duration {
+        let ideal = self.current;
+        self.current = (self.current * 2).min(self.cap);
+        let nanos = u64::try_from(ideal.as_nanos()).unwrap_or(u64::MAX);
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let half = nanos / 2;
+        let jitter = splitmix(&mut self.rng) % (nanos - half).max(1);
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// Sleep for [`Backoff::next_delay`].
+    pub fn sleep(&mut self) {
+        let delay = self.next_delay();
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Reset to the base delay (call after a success).
+    pub fn reset(&mut self) {
+        self.current = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_to_the_cap_and_stay_jittered_within_bounds() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut b = Backoff::new(base, cap);
+        let mut ideal = base;
+        for _ in 0..8 {
+            let d = b.next_delay();
+            assert!(d >= ideal / 2, "{d:?} below half of {ideal:?}");
+            assert!(d < ideal, "{d:?} at or above {ideal:?}");
+            ideal = (ideal * 2).min(cap);
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_the_base_delay() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1));
+        for _ in 0..5 {
+            b.next_delay();
+        }
+        b.reset();
+        let d = b.next_delay();
+        assert!(d < Duration::from_millis(10), "{d:?} not reset");
+    }
+
+    #[test]
+    fn zero_base_never_sleeps_and_instances_decorrelate() {
+        let mut z = Backoff::new(Duration::ZERO, Duration::ZERO);
+        assert_eq!(z.next_delay(), Duration::ZERO);
+        let mut a = Backoff::new(Duration::from_millis(64), Duration::from_secs(1));
+        let mut b = Backoff::new(Duration::from_millis(64), Duration::from_secs(1));
+        let same = (0..16).filter(|_| a.next_delay() == b.next_delay()).count();
+        assert!(same < 16, "two instances drew identical jitter streams");
+    }
+}

@@ -215,6 +215,69 @@ impl Catalog {
     }
 }
 
+/// Which worker owns which contiguous shard range — the fleet coordinator's
+/// placement map for one cohort.
+///
+/// Ranges are half-open `[lo, hi)`, disjoint, and cover `0..num_shards` in
+/// order, so combining per-range partials by ascending range index is the
+/// same fold as combining per-shard partials by ascending shard index — the
+/// property the bit-identity contract of
+/// [`fair_core::dca::partial::combine_disparity_partials`] rests on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementMap {
+    /// `ranges[w]` is the shard range owned by worker `w`.
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl PlacementMap {
+    /// Split `num_shards` as evenly as possible across `workers` nodes, the
+    /// first `num_shards % workers` ranges taking one extra shard. Workers
+    /// beyond the shard count receive empty ranges.
+    #[must_use]
+    pub fn even(num_shards: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let base = num_shards / workers;
+        let extra = num_shards % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut lo = 0;
+        for w in 0..workers {
+            let span = base + usize::from(w < extra);
+            ranges.push(lo..lo + span);
+            lo += span;
+        }
+        Self { ranges }
+    }
+
+    /// The shard range owned by worker `w`.
+    #[must_use]
+    pub fn range(&self, w: usize) -> std::ops::Range<usize> {
+        self.ranges[w].clone()
+    }
+
+    /// Every `(worker, range)` pair with a non-empty range.
+    #[must_use]
+    pub fn assignments(&self) -> Vec<(usize, std::ops::Range<usize>)> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(w, r)| (w, r.clone()))
+            .collect()
+    }
+
+    /// Number of workers in the map (including empty-range workers).
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total shard count covered by the map.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.ranges.last().map_or(0, |r| r.end)
+    }
+}
+
 /// Catalog names travel in URL paths: keep them short and unambiguous.
 fn validate_name(name: &str) -> Result<(), ApiError> {
     if name.is_empty() || name.len() > 128 {
@@ -312,5 +375,26 @@ mod tests {
         assert_eq!(store.schema().num_fairness(), 1);
         let first_id = store.with_shard(1, |view| view.data().row(0).id());
         assert_eq!(first_id.0, 8);
+    }
+
+    #[test]
+    fn placement_map_covers_every_shard_exactly_once_in_order() {
+        for (shards, workers) in [(10, 3), (3, 3), (2, 5), (0, 4), (17, 1), (16, 4)] {
+            let map = PlacementMap::even(shards, workers);
+            assert_eq!(map.num_workers(), workers);
+            assert_eq!(map.num_shards(), shards, "({shards}, {workers})");
+            let mut next = 0;
+            for w in 0..workers {
+                let r = map.range(w);
+                assert_eq!(r.start, next, "gap or overlap at worker {w}");
+                assert!(r.end >= r.start);
+                // Even split: range sizes differ by at most one shard.
+                assert!(r.len() <= shards / workers + 1);
+                next = r.end;
+            }
+            assert_eq!(next, shards);
+            let covered: usize = map.assignments().iter().map(|(_, r)| r.len()).sum();
+            assert_eq!(covered, shards, "assignments drop empty ranges only");
+        }
     }
 }

@@ -6,12 +6,15 @@
 //! client decodes are **bit-identical** to the values the server computed —
 //! auditing through the service gives exactly the library's numbers.
 
+use crate::backoff::Backoff;
 use crate::error::{Result, ServeError};
 use crate::http::{read_response, MAX_BODY_BYTES};
 use crate::jobs::JobKind;
 use crate::json::Json;
+use fair_core::dca::partial::DisparityPartial;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Catalog information for one store.
@@ -135,12 +138,41 @@ pub struct JobResult {
     pub objects_scored: usize,
 }
 
+/// The gathered sample rows of a `core_sample` partial-reduce response:
+/// plain columns, range-ordered, ready to append to a gather dataset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampleRows {
+    /// Object ids, in deterministic sample order.
+    pub ids: Vec<u64>,
+    /// Row-major feature matrix.
+    pub features: Vec<f64>,
+    /// Row-major fairness matrix.
+    pub fairness: Vec<f64>,
+    /// Per-row outcome labels.
+    pub labels: Vec<Option<bool>>,
+}
+
+impl SampleRows {
+    /// Number of sampled rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the sample is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
 /// A client bound to one service address. Cheap to clone; each request opens
 /// its own connection.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    connect_retries: usize,
 }
 
 impl Client {
@@ -150,6 +182,7 @@ impl Client {
         Self {
             addr,
             timeout: Duration::from_secs(30),
+            connect_retries: 0,
         }
     }
 
@@ -157,6 +190,18 @@ impl Client {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Retry a failed TCP connect up to `retries` extra times with jittered
+    /// exponential backoff (10 ms doubling to 250 ms) before surfacing the
+    /// error. Only the *connect* is retried here — it cannot have reached a
+    /// handler, so retrying is always safe regardless of the request's
+    /// semantics. Retrying a request that may have executed is the fleet
+    /// coordinator's decision, made only for idempotent endpoints.
+    #[must_use]
+    pub fn with_connect_retries(mut self, retries: usize) -> Self {
+        self.connect_retries = retries;
         self
     }
 
@@ -335,12 +380,16 @@ impl Client {
     }
 
     /// Poll `GET /jobs/{id}` until the job reaches a terminal state or
-    /// `timeout` elapses.
+    /// `timeout` elapses. The poll interval starts at 10 ms and backs off
+    /// exponentially (with jitter) to a 1-second cap, so a long-running job
+    /// is not hammered with status requests while a short one is still
+    /// observed promptly.
     ///
     /// # Errors
     /// I/O, protocol, or API errors; [`ServeError::Protocol`] on timeout.
     pub fn wait_for_job(&self, id: &str, timeout: Duration) -> Result<JobView> {
         let start = Instant::now();
+        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_secs(1));
         loop {
             let view = self.job(id)?;
             if view.is_terminal() {
@@ -352,14 +401,88 @@ impl Client {
                     view.state
                 )));
             }
-            std::thread::sleep(Duration::from_millis(10));
+            backoff.sleep();
         }
+    }
+
+    /// `POST /stores/{name}/partials` with `kind: "disparity"`: this node's
+    /// per-shard disparity partials over the shard range, decoded back into
+    /// the engine's [`DisparityPartial`] type for
+    /// [`fair_core::dca::partial::combine_disparity_partials`].
+    ///
+    /// # Errors
+    /// I/O, protocol, or API errors.
+    pub fn disparity_partials(
+        &self,
+        store: &str,
+        bonus: &[f64],
+        weights: Option<&[f64]>,
+        count: usize,
+        shards: Range<usize>,
+    ) -> Result<Vec<DisparityPartial>> {
+        let mut pairs = vec![
+            ("kind", Json::str("disparity")),
+            ("bonus", Json::num_arr(bonus)),
+            ("count", Json::num(count as f64)),
+            ("shards", shards_json(&shards)),
+        ];
+        if let Some(weights) = weights {
+            pairs.push(("weights", Json::num_arr(weights)));
+        }
+        let resp = self.request(
+            "POST",
+            &format!("/stores/{store}/partials"),
+            Some(&Json::obj(pairs)),
+        )?;
+        resp.get("shards")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ServeError::Protocol("missing `shards` array".into()))?
+            .iter()
+            .map(parse_disparity_partial)
+            .collect()
+    }
+
+    /// `POST /stores/{name}/partials` with `kind: "core_sample"`: the
+    /// deterministic `(seed, sample_size)` Bernoulli sample rows restricted
+    /// to the shard range, as plain columns.
+    ///
+    /// # Errors
+    /// I/O, protocol, or API errors.
+    pub fn core_sample(
+        &self,
+        store: &str,
+        seed: u64,
+        sample_size: usize,
+        shards: Range<usize>,
+    ) -> Result<SampleRows> {
+        let body = Json::obj(vec![
+            ("kind", Json::str("core_sample")),
+            ("seed", seed_json(seed)),
+            ("sample_size", Json::num(sample_size as f64)),
+            ("shards", shards_json(&shards)),
+        ]);
+        let resp = self.request("POST", &format!("/stores/{store}/partials"), Some(&body))?;
+        parse_sample_rows(
+            resp.get("rows")
+                .ok_or_else(|| ServeError::Protocol("missing `rows` object".into()))?,
+        )
     }
 
     /// One request/response exchange. API-level failures (status >= 400)
     /// surface as [`ServeError::Api`] with the server's `error` message.
     fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Result<Json> {
-        let conn = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(250));
+        let mut attempt = 0;
+        let conn = loop {
+            match TcpStream::connect_timeout(&self.addr, self.timeout) {
+                Ok(conn) => break conn,
+                Err(_) if attempt < self.connect_retries => {
+                    attempt += 1;
+                    backoff.sleep();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         conn.set_read_timeout(Some(self.timeout))?;
         conn.set_write_timeout(Some(self.timeout))?;
         conn.set_nodelay(true)?;
@@ -408,6 +531,82 @@ fn seed_json(seed: u64) -> Json {
     } else {
         Json::Str(seed.to_string())
     }
+}
+
+/// Encode a shard range as the wire's `[lo, hi]` pair.
+fn shards_json(range: &Range<usize>) -> Json {
+    Json::Arr(vec![
+        Json::num(range.start as f64),
+        Json::num(range.end as f64),
+    ])
+}
+
+fn parse_disparity_partial(v: &Json) -> Result<DisparityPartial> {
+    let count = |key: &str| -> Result<usize> {
+        v.get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ServeError::Protocol(format!("partial missing `{key}`")))
+    };
+    let nums = |key: &str| -> Result<Vec<f64>> {
+        v.get(key)
+            .and_then(Json::as_f64_vec)
+            .ok_or_else(|| ServeError::Protocol(format!("partial missing `{key}`")))
+    };
+    let positions = v
+        .get("positions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Protocol("partial missing `positions`".into()))?
+        .iter()
+        .map(|p| {
+            p.as_u64()
+                .map(|u| u as usize)
+                .ok_or_else(|| ServeError::Protocol("`positions` must be counts".into()))
+        })
+        .collect::<Result<Vec<usize>>>()?;
+    Ok(DisparityPartial {
+        shard: count("shard")?,
+        rows: count("rows")?,
+        fair_sums: nums("fair_sums")?,
+        scores: nums("scores")?,
+        positions,
+        fairness: nums("fairness")?,
+    })
+}
+
+fn parse_sample_rows(v: &Json) -> Result<SampleRows> {
+    let ids = v
+        .get("ids")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Protocol("sample missing `ids`".into()))?
+        .iter()
+        .map(|p| {
+            p.as_u64()
+                .ok_or_else(|| ServeError::Protocol("`ids` must be u64".into()))
+        })
+        .collect::<Result<Vec<u64>>>()?;
+    let nums = |key: &str| -> Result<Vec<f64>> {
+        v.get(key)
+            .and_then(Json::as_f64_vec)
+            .ok_or_else(|| ServeError::Protocol(format!("sample missing `{key}`")))
+    };
+    let labels = v
+        .get("labels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Protocol("sample missing `labels`".into()))?
+        .iter()
+        .map(|p| match p.as_f64() {
+            Some(0.0) => Ok(None),
+            Some(1.0) => Ok(Some(false)),
+            Some(2.0) => Ok(Some(true)),
+            _ => Err(ServeError::Protocol("`labels` must be 0, 1, or 2".into())),
+        })
+        .collect::<Result<Vec<Option<bool>>>>()?;
+    Ok(SampleRows {
+        ids,
+        features: nums("features")?,
+        fairness: nums("fairness")?,
+        labels,
+    })
 }
 
 fn parse_store_info(v: &Json) -> Result<StoreInfo> {

@@ -1,0 +1,86 @@
+//! Applying [`fair_core::fault`] modes to live connections — the serve half
+//! of the fault-injection harness.
+//!
+//! The request path consults the process-global plan at the `"serve"` fault
+//! point with the request path as context (see
+//! [`crate::server::AuditService`]); the helpers here turn an activated mode
+//! into an observable network failure: a stalled response, a dropped
+//! connection, a garbled or truncated body, an injected 500, or a handler
+//! panic. Every mode maps to a failure a real fleet produces — which is what
+//! makes the coordinator's retry/re-dispatch logic testable on one machine.
+
+use crate::http::render_head;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Sleep for `total`, waking early if `stop` is set — so an injected delay
+/// cannot hold a graceful shutdown hostage for longer than one slice.
+pub(crate) fn stop_aware_sleep(total: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+    }
+}
+
+/// Corrupt a rendered body, returning the garbled bytes to write. Length is
+/// preserved — the advertised `Content-Length` stays truthful — but the
+/// leading bytes become `#`, which can never begin valid JSON, so the peer's
+/// parse is guaranteed to fail.
+#[must_use]
+pub(crate) fn corrupt_rendered(body: &str) -> Vec<u8> {
+    let mut bytes = body.as_bytes().to_vec();
+    for b in bytes.iter_mut().take(16) {
+        *b = b'#';
+    }
+    bytes
+}
+
+/// Write a truthful head claiming the full body, send only the first half,
+/// and return — the worker then drops the connection, so the peer sees a
+/// mid-body close.
+pub(crate) fn write_close_mid_body(conn: &TcpStream, status: u16, body: &str) {
+    let mut w = conn;
+    let _ = w.write_all(render_head(status, body.len()).as_bytes());
+    let _ = w.write_all(&body.as_bytes()[..body.len() / 2]);
+    let _ = w.flush();
+}
+
+/// Write a pre-rendered (possibly corrupted) byte body under the given
+/// status.
+pub(crate) fn write_raw_body(conn: &TcpStream, status: u16, body: &[u8]) {
+    let mut w = conn;
+    let _ = w.write_all(render_head(status, body.len()).as_bytes());
+    let _ = w.write_all(body);
+    let _ = w.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_preserves_length_and_breaks_json() {
+        let body = r#"{"store":"x","shards":[]}"#;
+        let garbled = corrupt_rendered(body);
+        assert_eq!(garbled.len(), body.len());
+        let text = std::str::from_utf8(&garbled).unwrap();
+        assert!(crate::json::Json::parse(text).is_err());
+    }
+
+    #[test]
+    fn stop_flag_cuts_an_injected_delay_short() {
+        let stop = AtomicBool::new(true);
+        let start = Instant::now();
+        stop_aware_sleep(Duration::from_secs(5), &stop);
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+}

@@ -90,20 +90,24 @@ pub fn read_request(stream: &TcpStream) -> Result<Request> {
     Ok(Request { method, path, body })
 }
 
+/// Render the response head (status line + headers + blank line) for a JSON
+/// body of `content_length` bytes. Exposed so the fault-injection layer can
+/// write a truthful head and then betray it with a truncated body.
+#[must_use]
+pub fn render_head(status: u16, content_length: usize) -> String {
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {content_length}\r\nConnection: close\r\n\r\n",
+        reason(status),
+    )
+}
+
 /// Write a JSON response with the given status and close-delimited framing.
 ///
 /// # Errors
 /// Returns [`ServeError::Io`] on socket failure.
 pub fn write_response(stream: &TcpStream, status: u16, body: &str) -> Result<()> {
     let mut out = Vec::with_capacity(body.len() + 128);
-    out.extend_from_slice(
-        format!(
-            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            reason(status),
-            body.len()
-        )
-        .as_bytes(),
-    );
+    out.extend_from_slice(render_head(status, body.len()).as_bytes());
     out.extend_from_slice(body.as_bytes());
     let mut stream = stream;
     stream.write_all(&out)?;

@@ -117,6 +117,31 @@ impl Json {
         )
     }
 
+    /// A `u64` encoded losslessly: a JSON number when it fits the f64
+    /// integer range (< 2^53), a decimal string otherwise — the convention
+    /// seeds use on the wire ([`Json::as_u64`] reverses it).
+    #[must_use]
+    pub fn u64(v: u64) -> Json {
+        if v < (1_u64 << 53) {
+            Json::Num(v as f64)
+        } else {
+            Json::Str(v.to_string())
+        }
+    }
+
+    /// The value as a `u64`: accepts non-negative integral numbers and
+    /// decimal strings (the [`Json::u64`] encoding).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v < 9_007_199_254_740_992.0 => {
+                Some(*v as u64)
+            }
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// Object field lookup (`None` on non-objects and missing keys).
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Json> {
@@ -551,5 +576,16 @@ mod tests {
     fn object_rendering_preserves_insertion_order() {
         let v = Json::obj(vec![("z", Json::num(1.0)), ("a", Json::str("x"))]);
         assert_eq!(v.render(), r#"{"z":1,"a":"x"}"#);
+    }
+
+    #[test]
+    fn u64_round_trips_through_the_wire_encoding() {
+        for v in [0, 1, (1_u64 << 53) - 1, 1_u64 << 53, u64::MAX] {
+            let encoded = Json::parse(&Json::u64(v).render()).unwrap();
+            assert_eq!(encoded.as_u64(), Some(v), "{v}");
+        }
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::str("banana").as_u64(), None);
     }
 }

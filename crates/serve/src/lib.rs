@@ -19,6 +19,15 @@
 //!   through [`fair_core::dca::RunControl`] for live progress reporting and
 //!   cooperative cancellation (`DELETE /jobs/{id}`).
 //!
+//! A third layer, [`fleet`], turns several of these servers into one logical
+//! engine: a [`FleetCoordinator`] owns a shard-range [`PlacementMap`], fans
+//! partial-reduce requests (`POST /stores/{name}/partials`) out to its
+//! workers, and combines the per-shard partials in shard order — with
+//! deadlines, jittered-backoff retries, consecutive-failure ejection, and
+//! re-dispatch of a dead worker's range to a survivor. The whole failure
+//! envelope is testable on one machine through the `FAIR_FAULT` injection
+//! harness ([`fair_core::fault`]).
+//!
 //! Everything the server computes is **bit-identical to the library path**:
 //! the sharded kernels are the same code, and the wire format round-trips
 //! `f64` bits exactly ([`json`]). An uncancelled job with seed `s` produces
@@ -42,19 +51,24 @@
 #![deny(unsafe_code)]
 #![warn(clippy::all)]
 
+pub mod backoff;
 pub mod catalog;
 pub mod client;
 pub mod error;
+pub(crate) mod fault;
+pub mod fleet;
 pub mod http;
 pub mod jobs;
 pub mod json;
 pub mod server;
 
-pub use catalog::{Catalog, CohortStore, StoreEntry};
+pub use backoff::Backoff;
+pub use catalog::{Catalog, CohortStore, PlacementMap, StoreEntry};
 pub use client::{
-    Client, JobRequest, JobResult, JobView, MetricsRequest, MetricsResult, StoreInfo,
+    Client, JobRequest, JobResult, JobView, MetricsRequest, MetricsResult, SampleRows, StoreInfo,
 };
 pub use error::{ApiError, Result, ServeError};
+pub use fleet::{FleetConfig, FleetCoordinator, FleetReport, WorkerStatus};
 pub use jobs::{Job, JobKind, JobManager, JobOutcome, JobPhase, JobSpec};
 pub use json::{Json, JsonError};
-pub use server::{serve, AuditService, ServerHandle};
+pub use server::{serve, AuditService, ServerHandle, DRAIN_DEADLINE};

@@ -17,33 +17,58 @@
 //! | `GET /stores/{name}/schema` | feature + fairness attribute names |
 //! | `GET /stores/{name}/stats` | rows, layout, centroid, group frequencies, cache counters |
 //! | `POST /stores/{name}/metrics` | disparity / nDCG / log-discounted / FPR / DI at `k` |
+//! | `POST /stores/{name}/partials` | partial-reduce for distributed evaluation (fleet workers) |
 //! | `POST /jobs` | launch a background DCA run |
 //! | `GET /jobs`, `GET /jobs/{id}` | job status + progress + result |
 //! | `DELETE /jobs/{id}` | cooperative cancellation |
 //!
-//! Shutdown is clean by construction: [`ServerHandle::shutdown`] stops the
-//! accept loop, drains and joins every request worker, then cancels and
-//! joins every job thread.
+//! Shutdown is graceful by construction: [`ServerHandle::shutdown`] stops
+//! the accept loop, gives in-flight request handlers a bounded drain window
+//! ([`DRAIN_DEADLINE`]), severs any connection still alive past it, joins
+//! every worker, then cancels and joins every job thread.
+//!
+//! The request path carries one fault-injection checkpoint (`FAIR_FAULT`
+//! point `"serve"`, context = request path): an activated mode delays,
+//! drops, truncates, garbles, or 500s the response — see
+//! [`fair_core::fault`] and [`crate::fault`].
 
 use crate::catalog::{Catalog, StoreEntry};
 use crate::error::ApiError;
 use crate::http::{read_request, write_response, Request};
 use crate::jobs::{Job, JobKind, JobManager, JobSpec};
 use crate::json::Json;
+use fair_core::dca::partial::disparity_partials;
 use fair_core::metrics::sharded as shmetrics;
 use fair_core::metrics::LogDiscountConfig;
 use fair_core::ranking::WeightedSumRanker;
-use fair_core::{default_shard_size, DcaConfig, ShardSource};
+use fair_core::{
+    default_shard_size, for_each_shard_run, sample_indices_range_into, DcaConfig, FaultMode,
+    ShardSource,
+};
 use fair_data::{CompasConfig, CompasGenerator, SchoolConfig, SchoolGenerator};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection socket timeout: a stalled peer releases its worker.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long [`ServerHandle::shutdown`] waits for in-flight handlers to
+/// finish before severing their sockets (override with `FAIR_DRAIN_MS`).
+pub const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// The effective drain window: `FAIR_DRAIN_MS` milliseconds when set and
+/// parseable, [`DRAIN_DEADLINE`] otherwise.
+fn drain_deadline() -> Duration {
+    std::env::var("FAIR_DRAIN_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(DRAIN_DEADLINE, Duration::from_millis)
+}
 
 /// The service state shared by every request worker: the store catalog and
 /// the background-job manager.
@@ -108,6 +133,7 @@ impl AuditService {
             }
             ("GET", ["stores", name, "stats"]) => self.store_stats(name),
             ("POST", ["stores", name, "metrics"]) => self.metrics(name, req),
+            ("POST", ["stores", name, "partials"]) => self.partials(name, req),
             ("POST", ["jobs"]) => self.submit_job(req),
             ("GET", ["jobs"]) => Ok((
                 200,
@@ -347,6 +373,160 @@ impl AuditService {
         ))
     }
 
+    /// Partial-reduce endpoint for fleet workers: compute this node's
+    /// contribution to a distributed evaluation over the contiguous shard
+    /// range `[lo, hi)`, leaving the final combine to the coordinator.
+    ///
+    /// Both kinds are pure functions of the request — a retried request
+    /// returns byte-identical partials, which is what makes coordinator
+    /// retries safe.
+    ///
+    /// - `disparity`: per-shard fairness sums plus range-pruned top-`count`
+    ///   candidates (see [`fair_core::dca::partial`]); combined in shard
+    ///   order the result is bit-identical to a local evaluation.
+    /// - `core_sample`: the deterministic `(seed, sample_size)` Bernoulli
+    ///   sample rows restricted to the range — the Core-DCA gather columns.
+    fn partials(&self, name: &str, req: &Request) -> Result<(u16, Json), ApiError> {
+        let entry = self.catalog.get(name)?;
+        let store = &entry.store;
+        let body = parse_body(req)?;
+        let kind = require_str(&body, "kind")?;
+        let pair = body
+            .get("shards")
+            .and_then(Json::as_arr)
+            .filter(|r| r.len() == 2)
+            .ok_or_else(|| ApiError::bad_request("`shards` must be a `[lo, hi]` pair"))?;
+        let (lo, hi) = match (pair[0].as_usize(), pair[1].as_usize()) {
+            (Some(lo), Some(hi)) if lo <= hi && hi <= store.num_shards() => (lo, hi),
+            _ => {
+                return Err(ApiError::bad_request(format!(
+                    "`shards` must satisfy 0 <= lo <= hi <= {}",
+                    store.num_shards()
+                )))
+            }
+        };
+        let dims = store.schema().num_fairness();
+        let num_features = store.schema().num_features();
+        match kind {
+            "disparity" => {
+                let bonus = match body.get("bonus") {
+                    None => vec![0.0; dims],
+                    Some(v) => v
+                        .as_f64_vec()
+                        .ok_or_else(|| ApiError::bad_request("`bonus` must be a number array"))?,
+                };
+                if bonus.len() != dims {
+                    return Err(ApiError::bad_request(format!(
+                        "{} bonus values for a {dims}-attribute schema",
+                        bonus.len()
+                    )));
+                }
+                let weights = match body.get("weights") {
+                    None => vec![1.0; num_features],
+                    Some(v) => v
+                        .as_f64_vec()
+                        .ok_or_else(|| ApiError::bad_request("`weights` must be a number array"))?,
+                };
+                if weights.len() != num_features {
+                    return Err(ApiError::bad_request(format!(
+                        "{} ranker weights for a {num_features}-feature schema",
+                        weights.len()
+                    )));
+                }
+                let ranker = WeightedSumRanker::new(weights)
+                    .map_err(|e| ApiError::bad_request(format!("invalid ranker weights: {e}")))?;
+                let count = body.get("count").and_then(Json::as_usize).ok_or_else(|| {
+                    ApiError::bad_request("`count` (global selection size) is required")
+                })?;
+                let parts = disparity_partials(store, &ranker, &bonus, count, lo..hi)
+                    .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+                let shards = Json::Arr(
+                    parts
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("shard", Json::num(p.shard as f64)),
+                                ("rows", Json::num(p.rows as f64)),
+                                ("fair_sums", Json::num_arr(&p.fair_sums)),
+                                ("scores", Json::num_arr(&p.scores)),
+                                (
+                                    "positions",
+                                    Json::Arr(
+                                        p.positions.iter().map(|&x| Json::u64(x as u64)).collect(),
+                                    ),
+                                ),
+                                ("fairness", Json::num_arr(&p.fairness)),
+                            ])
+                        })
+                        .collect(),
+                );
+                Ok((
+                    200,
+                    Json::obj(vec![("store", Json::str(name)), ("shards", shards)]),
+                ))
+            }
+            "core_sample" => {
+                let seed = body.get("seed").and_then(parse_seed).ok_or_else(|| {
+                    ApiError::bad_request(
+                        "`seed` must be a non-negative integer \
+                         (pass seeds above 2^53 as a decimal string)",
+                    )
+                })?;
+                let sample_size = body
+                    .get("sample_size")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| ApiError::bad_request("`sample_size` must be a count"))?;
+                let mut indices = Vec::new();
+                sample_indices_range_into(store, seed, sample_size, lo..hi, &mut indices)
+                    .map_err(|e| ApiError::unprocessable(e.to_string()))?;
+                let shard_size = store.shard_size();
+                let mut ids = Vec::with_capacity(indices.len());
+                let mut features = Vec::with_capacity(indices.len() * num_features);
+                let mut fairness = Vec::with_capacity(indices.len() * dims);
+                let mut labels = Vec::with_capacity(indices.len());
+                for_each_shard_run(
+                    store,
+                    &indices,
+                    |&g| g / shard_size,
+                    |view, run| {
+                        let d = view.data();
+                        for &g in run {
+                            let i = g - view.offset();
+                            ids.push(Json::u64(d.ids()[i].0));
+                            features.extend_from_slice(d.feature_row(i));
+                            fairness.extend_from_slice(d.fairness_row(i));
+                            // Labels ride as a tiny enum: 0 = unlabelled,
+                            // 1 = false, 2 = true.
+                            labels.push(Json::num(match d.labels()[i] {
+                                None => 0.0,
+                                Some(false) => 1.0,
+                                Some(true) => 2.0,
+                            }));
+                        }
+                    },
+                );
+                Ok((
+                    200,
+                    Json::obj(vec![
+                        ("store", Json::str(name)),
+                        (
+                            "rows",
+                            Json::obj(vec![
+                                ("ids", Json::Arr(ids)),
+                                ("features", Json::num_arr(&features)),
+                                ("fairness", Json::num_arr(&fairness)),
+                                ("labels", Json::Arr(labels)),
+                            ]),
+                        ),
+                    ]),
+                ))
+            }
+            other => Err(ApiError::bad_request(format!(
+                "`kind` must be `disparity` or `core_sample`, got `{other}`"
+            ))),
+        }
+    }
+
     fn submit_job(&self, req: &Request) -> Result<(u16, Json), ApiError> {
         let body = parse_body(req)?;
         let store_name = require_str(&body, "store")?;
@@ -488,6 +668,12 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Workers still running (each decrements on exit) — the drain condition.
+    live: Arc<AtomicUsize>,
+    /// Connections currently inside a handler, severable after the drain
+    /// deadline.
+    active: Arc<Mutex<HashMap<u64, TcpStream>>>,
     service: Arc<AuditService>,
 }
 
@@ -514,9 +700,10 @@ impl ServerHandle {
         &self.service
     }
 
-    /// Stop accepting, drain and join the request workers, then cancel and
-    /// join every background job. When this returns, no server thread is
-    /// alive.
+    /// Stop accepting, give in-flight handlers up to [`DRAIN_DEADLINE`] to
+    /// finish, sever any connection still open past it, join every worker,
+    /// then cancel and join every background job. When this returns, no
+    /// server thread is alive.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -528,6 +715,9 @@ impl ServerHandle {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
         self.service.jobs.shutdown();
     }
 
@@ -537,6 +727,28 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+        // The accept thread owned the queue sender, so workers now drain
+        // what was already queued and exit. Give in-flight handlers a
+        // bounded window before cutting their sockets out from under them —
+        // a severed socket fails the handler's next read/write and the
+        // worker comes home.
+        let deadline = Instant::now() + drain_deadline();
+        while self.live.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if self.live.load(Ordering::Acquire) > 0 {
+            for conn in self
+                .active
+                .lock()
+                .expect("active registry poisoned")
+                .values()
+            {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
         self.service.jobs.shutdown();
     }
@@ -566,54 +778,76 @@ pub fn serve(
     let stop = Arc::new(AtomicBool::new(false));
     let workers = workers.max(1);
 
-    let accept_service = service.clone();
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let live = Arc::new(AtomicUsize::new(workers));
+    let active: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let next_conn = Arc::new(AtomicU64::new(0));
+
+    let mut pool = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let rx = rx.clone();
+        let service = service.clone();
+        let stop = stop.clone();
+        let live = live.clone();
+        let active = active.clone();
+        let next_conn = next_conn.clone();
+        pool.push(
+            std::thread::Builder::new()
+                .name(format!("fair-serve-worker-{i}"))
+                .spawn(move || {
+                    loop {
+                        // Hold the lock only for the blocking receive;
+                        // release before handling so another worker can
+                        // wait for the next connection.
+                        let conn = { rx.lock().expect("worker queue poisoned").recv() };
+                        match conn {
+                            Ok(conn) => {
+                                // Register the connection so a blown drain
+                                // deadline can sever it mid-handler.
+                                let id = next_conn.fetch_add(1, Ordering::Relaxed);
+                                if let Ok(clone) = conn.try_clone() {
+                                    active
+                                        .lock()
+                                        .expect("active registry poisoned")
+                                        .insert(id, clone);
+                                }
+                                handle_connection(&service, &conn, &stop);
+                                active.lock().expect("active registry poisoned").remove(&id);
+                            }
+                            Err(_) => break, // channel closed: shutdown
+                        }
+                    }
+                    live.fetch_sub(1, Ordering::Release);
+                })?,
+        );
+    }
+
     let accept_stop = stop.clone();
     let accept_thread = std::thread::Builder::new()
         .name("fair-serve-accept".into())
         .spawn(move || {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
-            let rx = Arc::new(Mutex::new(rx));
-            let mut pool = Vec::with_capacity(workers);
-            for i in 0..workers {
-                let rx = rx.clone();
-                let service = accept_service.clone();
-                pool.push(
-                    std::thread::Builder::new()
-                        .name(format!("fair-serve-worker-{i}"))
-                        .spawn(move || loop {
-                            // Hold the lock only for the blocking receive;
-                            // release before handling so another worker can
-                            // wait for the next connection.
-                            let conn = { rx.lock().expect("worker queue poisoned").recv() };
-                            match conn {
-                                Ok(conn) => handle_connection(&service, &conn),
-                                Err(_) => break, // channel closed: shutdown
-                            }
-                        })
-                        .expect("spawn request worker"),
-                );
-            }
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::Relaxed) {
                     break;
                 }
                 if let Ok(conn) = conn {
-                    // A send can only fail after shutdown closed the pool.
+                    // A send can only fail after every worker exited.
                     if tx.send(conn).is_err() {
                         break;
                     }
                 }
             }
-            drop(tx);
-            for worker in pool {
-                let _ = worker.join();
-            }
+            // Dropping `tx` here lets workers drain the queue and exit.
         })?;
 
     Ok(ServerHandle {
         addr,
         stop,
         accept_thread: Some(accept_thread),
+        workers: pool,
+        live,
+        active,
         service,
     })
 }
@@ -624,14 +858,31 @@ pub fn serve(
 /// after open, which the infallible `with_shard` engine path surfaces as a
 /// panic — are caught and answered with a 500, so a failing store can never
 /// kill request workers and starve the pool.
-fn handle_connection(service: &AuditService, conn: &TcpStream) {
+///
+/// The parsed request passes the `"serve"` fault-injection checkpoint
+/// (context = request path): an armed mode delays the handler (stop-aware,
+/// so shutdown still drains), drops the connection without a response,
+/// panics inside the catch (exercising the 500 path), substitutes a 500,
+/// garbles the body under a truthful `Content-Length`, or closes mid-body.
+fn handle_connection(service: &AuditService, conn: &TcpStream, stop: &AtomicBool) {
     let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
     let _ = conn.set_nodelay(true);
     match read_request(conn) {
         Ok(req) => {
-            let routed =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.route(&req)));
+            let fault = fair_core::fault::check("serve", &req.path);
+            match fault {
+                Some(FaultMode::Drop) => return,
+                Some(FaultMode::Delay(d)) => crate::fault::stop_aware_sleep(d, stop),
+                _ => {}
+            }
+            let inject_panic = matches!(fault, Some(FaultMode::Panic));
+            let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected fault: panic");
+                }
+                service.route(&req)
+            }));
             let (status, body) = match routed {
                 Ok(response) => response,
                 Err(panic) => (
@@ -645,7 +896,27 @@ fn handle_connection(service: &AuditService, conn: &TcpStream) {
                     )]),
                 ),
             };
-            let _ = write_response(conn, status, &body.render());
+            let rendered = body.render();
+            match fault {
+                Some(FaultMode::Status500) => {
+                    let message =
+                        Json::obj(vec![("error", Json::str("injected fault: 500"))]).render();
+                    let _ = write_response(conn, 500, &message);
+                }
+                Some(FaultMode::Corrupt) => {
+                    crate::fault::write_raw_body(
+                        conn,
+                        status,
+                        &crate::fault::corrupt_rendered(&rendered),
+                    );
+                }
+                Some(FaultMode::CloseMidBody) => {
+                    crate::fault::write_close_mid_body(conn, status, &rendered);
+                }
+                _ => {
+                    let _ = write_response(conn, status, &rendered);
+                }
+            }
         }
         Err(e) => {
             let body = Json::obj(vec![("error", Json::str(e.to_string()))]).render();
@@ -914,5 +1185,190 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         panic!("job never completed");
+    }
+
+    #[test]
+    fn partials_route_validates_kind_range_and_count() {
+        let service = service_with_store(200); // 4 shards of 64
+        for (body, needle) in [
+            (r#"{"kind":"nope","shards":[0,4]}"#, "`kind` must be"),
+            (
+                r#"{"kind":"disparity","shards":[2,9],"count":10}"#,
+                "`shards`",
+            ),
+            (
+                r#"{"kind":"disparity","shards":[3,1],"count":10}"#,
+                "`shards`",
+            ),
+            (r#"{"kind":"disparity","shards":[0,4]}"#, "`count`"),
+            (
+                r#"{"kind":"core_sample","shards":[0,4],"seed":7}"#,
+                "`sample_size`",
+            ),
+        ] {
+            let (status, resp) = service.route(&request("POST", "/stores/cohort/partials", body));
+            assert_eq!(status, 400, "{body} → {}", resp.render());
+            let message = resp.get("error").unwrap().as_str().unwrap();
+            assert!(message.contains(needle), "{body} → {message}");
+        }
+        let (status, _) = service.route(&request(
+            "POST",
+            "/stores/ghost/partials",
+            r#"{"kind":"disparity","shards":[0,1],"count":5}"#,
+        ));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn disparity_partials_route_matches_the_local_kernel_bitwise() {
+        let service = service_with_store(200);
+        let entry = service.catalog.get("cohort").unwrap();
+        let dims = entry.store.schema().num_fairness();
+        let (status, resp) = service.route(&request(
+            "POST",
+            "/stores/cohort/partials",
+            r#"{"kind":"disparity","shards":[1,3],"count":20}"#,
+        ));
+        assert_eq!(status, 200, "{}", resp.render());
+        let shards = resp.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), 2);
+
+        let weights = vec![1.0; entry.store.schema().num_features()];
+        let ranker = WeightedSumRanker::new(weights).unwrap();
+        let local =
+            fair_core::dca::disparity_partials(&entry.store, &ranker, &vec![0.0; dims], 20, 1..3)
+                .unwrap();
+        for (wire, local) in shards.iter().zip(&local) {
+            assert_eq!(wire.get("shard").unwrap().as_usize().unwrap(), local.shard);
+            assert_eq!(wire.get("rows").unwrap().as_usize().unwrap(), local.rows);
+            let sums = wire.get("fair_sums").unwrap().as_f64_vec().unwrap();
+            let a: Vec<u64> = sums.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = local.fair_sums.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "fair_sums round-trip bit-exactly");
+            let scores = wire.get("scores").unwrap().as_f64_vec().unwrap();
+            let a: Vec<u64> = scores.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = local.scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "scores round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn core_sample_route_returns_the_deterministic_range_sample() {
+        let service = service_with_store(300); // 5 shards of 64
+        let entry = service.catalog.get("cohort").unwrap();
+        let (status, resp) = service.route(&request(
+            "POST",
+            "/stores/cohort/partials",
+            r#"{"kind":"core_sample","shards":[1,4],"seed":77,"sample_size":120}"#,
+        ));
+        assert_eq!(status, 200, "{}", resp.render());
+        let rows = resp.get("rows").unwrap();
+        let ids = rows.get("ids").unwrap().as_arr().unwrap();
+        let mut indices = Vec::new();
+        fair_core::sample_indices_range_into(&entry.store, 77, 120, 1..4, &mut indices).unwrap();
+        assert_eq!(ids.len(), indices.len());
+        let nf = entry.store.schema().num_features();
+        let features = rows.get("features").unwrap().as_f64_vec().unwrap();
+        assert_eq!(features.len(), indices.len() * nf);
+        // Identical request → identical bytes (purity is what makes
+        // coordinator retries safe).
+        let (_, again) = service.route(&request(
+            "POST",
+            "/stores/cohort/partials",
+            r#"{"kind":"core_sample","shards":[1,4],"seed":77,"sample_size":120}"#,
+        ));
+        assert_eq!(resp.render(), again.render());
+    }
+
+    /// The fault plan is process-global: tests that install one must not
+    /// interleave, or one test's `install` wipes another's pending spec.
+    static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn shutdown_drains_a_slow_handler_without_waiting_out_the_delay() {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let service = AuditService::new();
+        let server = serve(service, "127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+        fair_core::fault::install(
+            fair_core::FaultPlan::parse("serve@/health:delay:5000:1").unwrap(),
+        );
+        let slow = std::thread::spawn(move || {
+            let _ = crate::client::Client::new(addr).health();
+        });
+        // Let the request reach the handler's injected delay.
+        std::thread::sleep(Duration::from_millis(150));
+        let start = Instant::now();
+        server.shutdown();
+        let elapsed = start.elapsed();
+        fair_core::fault::install(fair_core::FaultPlan::none());
+        let _ = slow.join();
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "shutdown waited out the injected delay: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_severs_a_stuck_connection_after_the_drain_deadline() {
+        std::env::set_var("FAIR_DRAIN_MS", "200");
+        let service = AuditService::new();
+        let server = serve(service, "127.0.0.1:0", 1).unwrap();
+        // Open a connection and send nothing: the lone worker blocks in
+        // read_request far past the drain window.
+        let idle = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let start = Instant::now();
+        server.shutdown();
+        let elapsed = start.elapsed();
+        std::env::remove_var("FAIR_DRAIN_MS");
+        drop(idle);
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "shutdown hung on an idle connection: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn serve_fault_modes_fail_observably_then_clear() {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let service = service_with_store(100);
+        let server = serve(service, "127.0.0.1:0", 2).unwrap();
+        let client = crate::client::Client::new(server.addr());
+
+        fair_core::fault::install(fair_core::FaultPlan::parse("serve@/health:corrupt:1").unwrap());
+        assert!(
+            matches!(client.health(), Err(crate::error::ServeError::Protocol(_))),
+            "corrupted body must fail the client's JSON parse"
+        );
+
+        fair_core::fault::install(fair_core::FaultPlan::parse("serve@/health:500:1").unwrap());
+        assert!(matches!(
+            client.health(),
+            Err(crate::error::ServeError::Api { status: 500, .. })
+        ));
+
+        fair_core::fault::install(fair_core::FaultPlan::parse("serve@/health:panic:1").unwrap());
+        match client.health() {
+            Err(crate::error::ServeError::Api { status, message }) => {
+                assert_eq!(status, 500);
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected a 500 from the injected panic, got {other:?}"),
+        }
+
+        fair_core::fault::install(fair_core::FaultPlan::parse("serve@/health:drop:1").unwrap());
+        assert!(client.health().is_err(), "dropped connection must error");
+
+        fair_core::fault::install(
+            fair_core::FaultPlan::parse("serve@/health:close-mid-body:1").unwrap(),
+        );
+        assert!(client.health().is_err(), "mid-body close must error");
+
+        fair_core::fault::install(fair_core::FaultPlan::none());
+        client
+            .health()
+            .expect("faults cleared, server healthy again");
+        server.shutdown();
     }
 }

@@ -105,6 +105,10 @@ pub struct CacheStats {
     /// untouched, or dropped at admission because the budget was consumed by
     /// the pinned working set.
     pub prefetch_wasted: u64,
+    /// Background decodes that panicked. The panic is contained in the
+    /// readahead thread and surfaced to the next reader of that shard as a
+    /// structured error instead of a hang.
+    pub decode_poisoned: u64,
 }
 
 struct CacheEntry {
@@ -133,6 +137,12 @@ struct CacheState {
     /// on-demand pin). An access to an in-flight shard waits on the condvar
     /// instead of decoding the same block a second time.
     inflight: HashSet<usize>,
+    /// Panic messages of background decodes that blew up, keyed by shard.
+    /// The next reader of the shard consumes the entry as a structured
+    /// error; a retry after that decodes on demand as usual.
+    poisoned: HashMap<usize, String>,
+    /// Running count of contained background-decode panics.
+    decode_poisoned: u64,
     /// Set on drop to shut the readahead thread down.
     stop: bool,
     /// The most recently pinned shard index. The readahead thread drops
@@ -178,6 +188,9 @@ impl StoreFile {
 /// store handle and the background prefetch thread.
 struct StoreInner {
     file: StoreFile,
+    /// The opened path, used as the fault-injection context so a `FAIR_FAULT`
+    /// spec can target one store (and one shard, via `#shardN`) by substring.
+    path: String,
     schema: SchemaRef,
     shard_size: usize,
     total_rows: usize,
@@ -452,6 +465,7 @@ impl ShardStore {
 
         let inner = Arc::new(StoreInner {
             file,
+            path: path.display().to_string(),
             schema,
             shard_size,
             total_rows,
@@ -505,6 +519,7 @@ impl ShardStore {
             budget_bytes: self.inner.budget,
             prefetch_hits: st.prefetch_hits,
             prefetch_wasted: st.prefetch_wasted,
+            decode_poisoned: st.decode_poisoned,
         }
     }
 
@@ -545,6 +560,17 @@ impl ShardStore {
 impl StoreInner {
     /// Decode shard `index` straight from disk (no cache interaction).
     fn load_shard(&self, index: usize) -> Result<Dataset> {
+        // Fault point "decode", context "<path>#shardN": `panic` aborts the
+        // decode mid-flight (exercising the containment below), `delay`
+        // stalls it; the connection-shaped modes have no meaning here and are
+        // ignored.
+        match fair_core::fault::check("decode", &format!("{}#shard{}", self.path, index)) {
+            Some(fair_core::FaultMode::Panic) => {
+                panic!("injected decode fault: shard {index} of {}", self.path)
+            }
+            Some(fair_core::FaultMode::Delay(d)) => std::thread::sleep(d),
+            _ => {}
+        }
         let entry = self.directory[index];
         let rows = usize::try_from(entry.rows).expect("rows fit usize (validated at open)");
         let nf = self.schema.num_features();
@@ -651,6 +677,16 @@ impl StoreInner {
                     self.schedule_readahead(&mut st, index);
                     return Ok(data);
                 }
+                if let Some(msg) = st.poisoned.remove(&index) {
+                    // A background decode of this shard panicked. Surface it
+                    // once as a structured error; the entry is consumed, so a
+                    // retry decodes on demand as usual.
+                    return Err(StoreError::Corrupt {
+                        offset: self.directory[index].offset,
+                        what: format!("shard {index} block"),
+                        reason: format!("background decode panicked: {msg}"),
+                    });
+                }
                 if st.inflight.contains(&index) {
                     // Someone (usually the readahead thread) is decoding this
                     // very shard: wait for it instead of decoding the block a
@@ -666,14 +702,22 @@ impl StoreInner {
         }
         // Decode outside the lock so concurrent workers page different
         // shards in parallel; `inflight` makes racers on the *same* shard
-        // wait above instead of decoding the block twice.
-        let decoded = self.load_shard(index);
+        // wait above instead of decoding the block twice. A panicking decode
+        // must still clear its in-flight claim — otherwise every waiter above
+        // sleeps forever — so the panic is caught, the claim released, and
+        // the panic resumed on this (the caller's) thread.
+        let decoded =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.load_shard(index)));
         let mut st = self.cache.lock().expect("shard cache poisoned");
         st.inflight.remove(&index);
         self.cond.notify_all();
         let data = match decoded {
-            Ok(d) => Arc::new(d),
-            Err(e) => return Err(e),
+            Ok(Ok(d)) => Arc::new(d),
+            Ok(Err(e)) => return Err(e),
+            Err(panic) => {
+                drop(st);
+                std::panic::resume_unwind(panic);
+            }
         };
         let bytes = column_bytes(&data);
         st.tick += 1;
@@ -776,7 +820,10 @@ impl StoreInner {
     /// The readahead thread: pop a queued shard, decode it outside the lock,
     /// and admit it unpinned — strictly within the budget. Decode errors are
     /// deliberately swallowed: the on-demand path decodes the same block and
-    /// surfaces the error where the caller can see it.
+    /// surfaces the error where the caller can see it. Decode *panics* are
+    /// contained: the shard is marked poisoned (the next reader gets a
+    /// structured error instead of hanging on the in-flight condvar) and the
+    /// thread keeps serving the rest of the queue.
     fn prefetch_loop(&self) {
         let mut st = self.cache.lock().expect("shard cache poisoned");
         loop {
@@ -798,14 +845,33 @@ impl StoreInner {
             }
             st.inflight.insert(index);
             drop(st);
-            let decoded = self.load_shard(index);
+            let decoded =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.load_shard(index)));
             st = self.cache.lock().expect("shard cache poisoned");
             st.inflight.remove(&index);
-            if let Ok(data) = decoded {
-                admit_prefetched(&mut st, self.budget, index, Arc::new(data));
+            match decoded {
+                Ok(Ok(data)) => admit_prefetched(&mut st, self.budget, index, Arc::new(data)),
+                // Decode errors fall through to the on-demand path, which
+                // surfaces them where the caller can see them.
+                Ok(Err(_)) => {}
+                Err(panic) => {
+                    st.decode_poisoned += 1;
+                    st.poisoned.insert(index, panic_text(&*panic));
+                }
             }
             self.cond.notify_all();
         }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -996,6 +1062,39 @@ mod tests {
         let path = temp_path(name);
         write_source(&data, &path).unwrap();
         path
+    }
+
+    /// A panic inside the background decode thread must not hang readers
+    /// waiting on the in-flight condvar: the shard is poisoned, the next
+    /// reader gets a structured error once, a retry recovers, and the
+    /// readahead thread keeps serving the rest of the queue.
+    #[test]
+    fn prefetch_decode_panic_is_contained_and_surfaced() {
+        let path = sample_store("poisonfault", 48, 8); // 6 shards
+        let ctx = format!("{}#shard1", path.display());
+        fair_core::fault::install(
+            fair_core::FaultPlan::parse(&format!("decode@{ctx}:panic:1")).unwrap(),
+        );
+        let store = ShardStore::open_with_options(&path, usize::MAX, 2).unwrap();
+        store.read_shard(0).unwrap(); // queues readahead of shards 1 and 2
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while store.cache_stats().decode_poisoned == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background decode panic never surfaced"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let err = store.read_shard(1).unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+        // The poison is consumed: a retry decodes on demand and succeeds
+        // (the fault's burst budget of one activation is spent).
+        assert_eq!(store.read_shard(1).unwrap().len(), 8);
+        // The readahead thread survived the panic and still serves shards.
+        assert_eq!(store.read_shard(2).unwrap().len(), 8);
+        assert_eq!(store.cache_stats().decode_poisoned, 1);
+        fair_core::fault::install(fair_core::FaultPlan::none());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! End-to-end tests for the fleet coordinator: real audit servers on
+//! ephemeral ports acting as one DCA engine.
+//!
+//! The central claims under test:
+//!
+//! 1. a 3-worker fleet's Full- and Core-DCA trajectories and disparity
+//!    sweeps are **bit-identical** to the local sharded runners;
+//! 2. under every `FAIR_FAULT` failure mode on the partial-reduce path, a
+//!    run that the coordinator reports as successful is still bit-identical
+//!    — retries never double-count a shard range;
+//! 3. a worker killed mid-descent has its range re-dispatched to the
+//!    survivors and the descent still completes bit-identically;
+//! 4. a 500-burst ejects a worker, and health probes re-admit it once the
+//!    burst passes.
+
+use fair_ranking::core::metrics::sharded as shmetrics;
+use fair_ranking::prelude::*;
+use fair_ranking::serve::{
+    serve, AuditService, Client, FleetConfig, FleetCoordinator, ServerHandle,
+};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const ROWS: usize = 2_000;
+const SEED: u64 = 4242;
+const RUBRIC_WEIGHTS: [f64; 2] = [0.55, 0.45];
+
+/// The fault plan is process-global; tests that rely on it (or on its
+/// absence) must not interleave.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Spawn `n` audit servers, each holding the same deterministic school
+/// cohort under the name `cohort`.
+///
+/// The default 64Ki shard size would put the whole 2,000-row cohort in one
+/// shard and leave every worker but the first with an empty range; pin the
+/// shard size so the placement genuinely spreads work across the fleet.
+/// (Callers hold `FAULT_LOCK`, and [`local_cohort`] reads the same knob, so
+/// both sides of every parity check shard identically.)
+fn spawn_fleet(n: usize) -> (Vec<ServerHandle>, Vec<SocketAddr>) {
+    std::env::set_var("FAIR_SHARD_SIZE", "256");
+    let mut handles = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let server = serve(AuditService::new(), "127.0.0.1:0", 2).unwrap();
+        Client::new(server.addr())
+            .register_synthetic("cohort", "school", ROWS, SEED)
+            .unwrap();
+        addrs.push(server.addr());
+        handles.push(server);
+    }
+    (handles, addrs)
+}
+
+/// The same cohort the workers hold, built locally for reference runs.
+fn local_cohort() -> ShardedDataset {
+    SchoolGenerator::new(SchoolConfig::small(ROWS, SEED))
+        .generate_sharded(default_shard_size())
+        .unwrap()
+        .into_dataset()
+}
+
+fn quick_config(seed: u64) -> DcaConfig {
+    DcaConfig {
+        sample_size: 200,
+        learning_rates: vec![8.0, 1.0],
+        iterations_per_rate: 6,
+        refinement_iterations: 0,
+        seed,
+        ..DcaConfig::default()
+    }
+}
+
+#[test]
+fn three_worker_fleet_matches_the_local_sharded_runners_bitwise() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (handles, addrs) = spawn_fleet(3);
+    let fleet = FleetCoordinator::connect("cohort", &addrs, FleetConfig::default()).unwrap();
+    assert_eq!(fleet.rows(), ROWS);
+    assert_eq!(fleet.placement().num_workers(), 3);
+    assert_eq!(
+        fleet.placement().num_shards(),
+        8,
+        "2,000 rows / 256-row shards: every worker owns a non-empty range"
+    );
+
+    let local = local_cohort();
+    let ranker = WeightedSumRanker::new(RUBRIC_WEIGHTS.to_vec()).unwrap();
+    let k = 0.1;
+    let config = quick_config(41);
+
+    // Disparity sweep.
+    let bonus = vec![1.5, 0.0, 4.0, 0.25];
+    let wire = fleet.disparity(k, &bonus, Some(&RUBRIC_WEIGHTS)).unwrap();
+    let lib = shmetrics::disparity_at_k(&local, &ranker, &bonus, k).unwrap();
+    assert_eq!(bits(&wire), bits(&lib), "fleet disparity == library bits");
+
+    // Full DCA.
+    let fleet_full = fleet
+        .run_full_dca(k, Some(&RUBRIC_WEIGHTS), &config, None, true)
+        .unwrap();
+    let lib_full =
+        run_full_dca_sharded(&local, &ranker, &TopKDisparity::new(k), &config, None, true).unwrap();
+    assert_eq!(bits(&fleet_full.bonus), bits(&lib_full.bonus));
+    assert_eq!(fleet_full.steps, lib_full.steps);
+    for (a, b) in fleet_full.trace.iter().zip(&lib_full.trace) {
+        assert_eq!(a.bonus, b.bonus, "full trace step {}", a.step);
+    }
+
+    // Core DCA.
+    let fleet_core = fleet
+        .run_core_dca(k, Some(&RUBRIC_WEIGHTS), &config, None, true)
+        .unwrap();
+    let lib_core =
+        run_core_dca_sharded(&local, &ranker, &TopKDisparity::new(k), &config, None, true).unwrap();
+    assert_eq!(bits(&fleet_core.bonus), bits(&lib_core.bonus));
+    assert_eq!(fleet_core.objects_scored, lib_core.objects_scored);
+    for (a, b) in fleet_core.trace.iter().zip(&lib_core.trace) {
+        assert_eq!(a.bonus, b.bonus, "core trace step {}", a.step);
+    }
+
+    let report = fleet.report();
+    assert!(report.requests > 0);
+    assert_eq!(
+        report.re_dispatches, 0,
+        "a healthy fleet never fails over: {report:?}"
+    );
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn fault_matrix_runs_stay_bit_identical_whenever_the_coordinator_succeeds() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (handles, addrs) = spawn_fleet(3);
+    let fleet = FleetCoordinator::connect(
+        "cohort",
+        &addrs,
+        FleetConfig {
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let local = local_cohort();
+    let ranker = WeightedSumRanker::new(RUBRIC_WEIGHTS.to_vec()).unwrap();
+    let k = 0.1;
+    let config = quick_config(97);
+    let reference = run_core_dca_sharded(
+        &local,
+        &ranker,
+        &TopKDisparity::new(k),
+        &config,
+        None,
+        false,
+    )
+    .unwrap();
+
+    // Every fault mode on the partial-reduce path, two injections each.
+    // Each run must either fail loudly or produce the exact local result.
+    for spec in [
+        "serve@partials:delay:40:2",
+        "serve@partials:drop:2",
+        "serve@partials:corrupt:2",
+        "serve@partials:500:2",
+        "serve@partials:close-mid-body:2",
+    ] {
+        fair_ranking::core::fault::install(
+            fair_ranking::core::fault::FaultPlan::parse(spec).unwrap(),
+        );
+        let outcome = fleet
+            .run_core_dca(k, Some(&RUBRIC_WEIGHTS), &config, None, false)
+            .unwrap_or_else(|e| panic!("{spec}: coordinator gave up: {e}"));
+        fair_ranking::core::fault::install(fair_ranking::core::fault::FaultPlan::none());
+        assert_eq!(
+            bits(&outcome.bonus),
+            bits(&reference.bonus),
+            "{spec}: a run the coordinator reports as success must be exact"
+        );
+    }
+    let report = fleet.report();
+    assert!(
+        report.retries >= 4,
+        "drop/corrupt/500/close-mid-body must each force retries: {report:?}"
+    );
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn killing_a_worker_mid_descent_re_dispatches_its_range() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (mut handles, addrs) = spawn_fleet(3);
+    let fleet = FleetCoordinator::connect(
+        "cohort",
+        &addrs,
+        FleetConfig {
+            request_timeout: Duration::from_secs(5),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            eject_after: 2,
+            probe_every: 1_000, // don't waste rounds probing the corpse
+            connect_retries: 0,
+        },
+    )
+    .unwrap();
+
+    let config = quick_config(53);
+    let k = 0.1;
+
+    // The middle worker serves real traffic first, then dies: every later
+    // round must fail over its range to a survivor.
+    let bonus = vec![0.5, 0.0, 1.0, 0.0];
+    fleet.disparity(k, &bonus, Some(&RUBRIC_WEIGHTS)).unwrap();
+    assert_eq!(fleet.report().re_dispatches, 0, "all three alive so far");
+    handles.remove(1).shutdown();
+
+    let fleet_full = fleet
+        .run_full_dca(k, Some(&RUBRIC_WEIGHTS), &config, None, false)
+        .unwrap();
+
+    let local = local_cohort();
+    let ranker = WeightedSumRanker::new(RUBRIC_WEIGHTS.to_vec()).unwrap();
+    let lib_full = run_full_dca_sharded(
+        &local,
+        &ranker,
+        &TopKDisparity::new(k),
+        &config,
+        None,
+        false,
+    )
+    .unwrap();
+    assert_eq!(
+        bits(&fleet_full.bonus),
+        bits(&lib_full.bonus),
+        "losing a worker mid-run must not change the trajectory"
+    );
+    let report = fleet.report();
+    assert!(
+        report.re_dispatches > 0,
+        "the dead worker's range must move to a survivor: {report:?}"
+    );
+    assert!(
+        fleet.workers().iter().any(|w| !w.healthy),
+        "the dead worker must be ejected: {:?}",
+        fleet.workers()
+    );
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn a_500_burst_ejects_then_probes_readmit_the_worker() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (handles, addrs) = spawn_fleet(3);
+    let fleet = FleetCoordinator::connect(
+        "cohort",
+        &addrs,
+        FleetConfig {
+            max_attempts: 1, // any failure fails over immediately
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+            eject_after: 1,
+            probe_every: 1, // probe ejected workers every round
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Two injections: with `max_attempts: 1` each 500 fails a range over to
+    // the next candidate, but no single range can exhaust all three workers.
+    fair_ranking::core::fault::install(
+        fair_ranking::core::fault::FaultPlan::parse("serve@partials:500:2").unwrap(),
+    );
+    let k = 0.1;
+    let config = quick_config(7);
+    let outcome = fleet
+        .run_core_dca(k, Some(&RUBRIC_WEIGHTS), &config, None, false)
+        .unwrap();
+    fair_ranking::core::fault::install(fair_ranking::core::fault::FaultPlan::none());
+
+    let local = local_cohort();
+    let ranker = WeightedSumRanker::new(RUBRIC_WEIGHTS.to_vec()).unwrap();
+    let reference = run_core_dca_sharded(
+        &local,
+        &ranker,
+        &TopKDisparity::new(k),
+        &config,
+        None,
+        false,
+    )
+    .unwrap();
+    assert_eq!(bits(&outcome.bonus), bits(&reference.bonus));
+
+    let report = fleet.report();
+    assert!(report.ejections >= 1, "a 500 burst must eject: {report:?}");
+    assert!(
+        report.re_dispatches >= 1,
+        "ejected ranges must fail over: {report:?}"
+    );
+    assert!(
+        fleet.workers().iter().all(|w| w.healthy),
+        "probes must re-admit once the burst passes: {:?}",
+        fleet.workers()
+    );
+    for h in handles {
+        h.shutdown();
+    }
+}
