@@ -25,9 +25,11 @@
 //!   recorded alongside (`out_of_core` in the JSON).
 //!
 //! Every timing is the **median of `--repeats` runs** (default 3; recorded
-//! in the JSON as `repeats`) — the 1M Core-DCA timing is bimodal ±30%
-//! run-to-run on some boxes, and a median absorbs that where a single run or
-//! a best-of can land on either mode.
+//! in the JSON as `repeats`), preceded by one untimed warm-up pass — the 1M
+//! Core-DCA timing is bimodal ±30% run-to-run on some boxes, and a median
+//! absorbs that where a single run or a best-of can land on either mode,
+//! while the warm-up keeps one-off allocation/page-fault costs out of every
+//! sample.
 //!
 //! Schema v4 adds a **serving-layer measurement**: a `fair-serve` instance
 //! on an ephemeral port answering the synchronous metrics endpoint
@@ -48,6 +50,12 @@
 //! the local sharded runner (the coordinator + wire overhead), the 3-worker
 //! vs 1-worker speedup, and distributed disparity sweeps/sec — with a
 //! one-off bit-identity check against the local trajectory.
+//!
+//! Schema v7 adds a **kernel measurement** (`kernel` in the JSON): the same
+//! Core DCA descent timed with the scalar reference loops and with the
+//! chunked f64x4 kernels (see `fair_core::kernel`) forced in-process, per
+//! cohort size, reported as objects/sec each plus the chunked/scalar
+//! speedup.
 //!
 //! The summary line checks the headline claim directly: Core DCA's per-step
 //! time at the largest cohort must stay within 2x of the 10k per-step time.
@@ -164,6 +172,11 @@ fn full_config() -> DcaConfig {
 /// shrugging off one-off scheduler stalls.
 fn time_median<T>(reps: usize, mut routine: impl FnMut() -> T) -> f64 {
     assert!(reps > 0, "at least one repetition required");
+    // One untimed warm-up pass before the timed repetitions: the first
+    // execution pays one-off costs (cold instruction/data caches, lazy
+    // allocations, page faults on freshly mapped buffers) that the
+    // steady-state median should not include.
+    std::hint::black_box(routine());
     let mut times: Vec<f64> = (0..reps)
         .map(|_| {
             let start = Instant::now();
@@ -395,6 +408,66 @@ fn measure_multi_metric(
     }
 }
 
+/// Core DCA throughput under each kernel family, forced in-process.
+struct KernelBench {
+    n: usize,
+    scalar_objects_per_sec: f64,
+    chunked_objects_per_sec: f64,
+    /// `chunked / scalar` objects-per-second ratio.
+    speedup: f64,
+}
+
+/// Time the complete Core DCA descent (scoring-dominated) on an `n`-row
+/// cohort under the scalar reference kernels and again under the chunked
+/// f64x4 kernels, forcing the family in-process around each timing and
+/// restoring the environment's selection afterwards.
+fn measure_kernel(n: usize, reps: usize) -> KernelBench {
+    use fair_core::kernel::{self, Kernel};
+    let rubric = SchoolGenerator::rubric();
+    let objective = TopKDisparity::new(0.05);
+    let sample_size = ExperimentScale::default_scale().dca_sample_size;
+    let dataset = SchoolGenerator::new(SchoolConfig::small(n, 42))
+        .generate()
+        .into_dataset();
+    let mut scratch = DcaScratch::new();
+    let config = core_config(sample_size);
+    let mut throughput = |family: Kernel| {
+        kernel::force(family);
+        let outcome = run_core_dca_with(
+            &dataset,
+            &rubric,
+            &objective,
+            &config,
+            None,
+            false,
+            &mut scratch,
+        )
+        .expect("core DCA run");
+        let total_ms = time_median(reps, || {
+            run_core_dca_with(
+                &dataset,
+                &rubric,
+                &objective,
+                &config,
+                None,
+                false,
+                &mut scratch,
+            )
+            .expect("core DCA run")
+        });
+        outcome.objects_scored as f64 / (total_ms / 1e3)
+    };
+    let scalar_objects_per_sec = throughput(Kernel::Scalar);
+    let chunked_objects_per_sec = throughput(Kernel::Chunked);
+    kernel::force(kernel::from_env());
+    KernelBench {
+        n,
+        scalar_objects_per_sec,
+        chunked_objects_per_sec,
+        speedup: chunked_objects_per_sec / scalar_objects_per_sec,
+    }
+}
+
 /// Throughput of the synchronous metrics endpoint at one client concurrency
 /// level.
 struct ServeLevel {
@@ -621,6 +694,7 @@ fn render_json(
     mode: &str,
     reps: usize,
     reports: &[CohortReport],
+    kernels: &[KernelBench],
     serve_report: &ServeReport,
     fleet: &FleetBench,
     ratio: Option<f64>,
@@ -630,7 +704,7 @@ fn render_json(
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 6,");
+    let _ = writeln!(s, "  \"schema_version\": 7,");
     let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"repeats\": {reps},");
@@ -735,6 +809,19 @@ fn render_json(
         });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"kernel\": { \"benchmark\": \"core_dca_objects_per_sec\", \"cohorts\": [\n");
+    for (i, kb) in kernels.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"n\": {}, \"scalar_objects_per_sec\": {}, \"chunked_objects_per_sec\": {}, \"speedup\": {} }}{}",
+            kb.n,
+            json_number(kb.scalar_objects_per_sec),
+            json_number(kb.chunked_objects_per_sec),
+            json_number(kb.speedup),
+            if i + 1 == kernels.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ] },\n");
     let _ = writeln!(
         s,
         "  \"serve\": {{ \"store_rows\": {}, \"workers\": {}, \"endpoint\": \"POST /stores/{{name}}/metrics (disparity_at_k)\", \"levels\": [",
@@ -885,6 +972,24 @@ fn main() {
         reports.push(r);
     }
 
+    // Kernel families head to head: scalar reference vs chunked f64x4, Core
+    // DCA objects/sec at the smallest and largest cohort sizes.
+    let kernel_sizes: &[usize] = if quick {
+        &[10_000]
+    } else {
+        &[10_000, 1_000_000]
+    };
+    let mut kernels = Vec::new();
+    println!("\nscoring kernels (Core DCA objects/sec, scalar reference vs chunked f64x4):");
+    for &n in kernel_sizes {
+        let kb = measure_kernel(n, reps);
+        println!(
+            "  {:>9} rows: scalar {:>12.0}/s, chunked {:>12.0}/s ({:.2}x)",
+            kb.n, kb.scalar_objects_per_sec, kb.chunked_objects_per_sec, kb.speedup
+        );
+        kernels.push(kb);
+    }
+
     let serve_report = measure_serve(reps);
     println!(
         "\naudit service ({} workers, {}-row store, one connection per request):",
@@ -928,7 +1033,7 @@ fn main() {
         );
     }
 
-    let json = render_json(mode, reps, &reports, &serve_report, &fleet, ratio);
+    let json = render_json(mode, reps, &reports, &kernels, &serve_report, &fleet, ratio);
     std::fs::write(&out_path, &json).expect("write BENCH_DCA.json");
     println!("\nWrote {}", out_path.display());
 

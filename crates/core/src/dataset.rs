@@ -278,11 +278,22 @@ impl Dataset {
     /// # Errors
     /// Returns [`FairError::EmptyDataset`] on an empty dataset.
     pub fn fairness_centroid_into(&self, out: &mut Vec<f64>) -> Result<()> {
-        centroid_rows_into(
-            self.schema.num_fairness(),
-            (0..self.len()).map(|i| self.fairness_row(i)),
-            out,
-        )
+        if self.is_empty() {
+            return Err(FairError::EmptyDataset);
+        }
+        let dims = self.schema.num_fairness();
+        if dims == 0 {
+            out.clear();
+            return Ok(());
+        }
+        // One dense pass over the fairness matrix; the kernel's row order is
+        // the same as a gathered walk over 0..len, so views agree bit-wise.
+        crate::kernel::col_sums_into(&self.fairness, dims, out);
+        let n = self.len() as f64;
+        for a in out.iter_mut() {
+            *a /= n;
+        }
+        Ok(())
     }
 
     /// Centroid of the fairness attributes over a subset of object indices —
@@ -314,13 +325,7 @@ impl Dataset {
         if dim >= w {
             return 0.0;
         }
-        let count = self
-            .fairness
-            .iter()
-            .skip(dim)
-            .step_by(w)
-            .filter(|v| **v >= 0.5)
-            .count();
+        let count = crate::kernel::count_ge_half(&self.fairness, w, dim);
         count as f64 / self.len() as f64
     }
 
@@ -569,21 +574,20 @@ impl<'a> SampleView<'a> {
     }
 }
 
-/// Mean of an iterator of equally sized fairness rows, written into `out`.
+/// Mean of an iterator of equally sized fairness rows, written into `out` —
+/// accumulated by [`crate::kernel::col_sums_rows_into`], so gathered
+/// centroids share the canonical kernel order with the dense path.
 fn centroid_rows_into<'a>(
     dims: usize,
     rows: impl Iterator<Item = &'a [f64]>,
     out: &mut Vec<f64>,
 ) -> Result<()> {
-    out.clear();
-    out.resize(dims, 0.0);
-    let mut n = 0_usize;
-    for row in rows {
-        for (a, v) in out.iter_mut().zip(row) {
-            *a += v;
-        }
-        n += 1;
-    }
+    let n = if dims == 0 {
+        out.clear();
+        rows.count()
+    } else {
+        crate::kernel::col_sums_rows_into(dims, rows, out)
+    };
     if n == 0 {
         return Err(FairError::EmptyDataset);
     }

@@ -117,6 +117,10 @@ where
     }
     let dims = data.schema().num_fairness();
     assert_eq!(bonus.len(), dims, "bonus vector dimensionality mismatch");
+    let nf = data.schema().num_features();
+    let linear = ranker
+        .linear_weights()
+        .filter(|w| !w.is_empty() && w.len() == nf);
 
     let indices: Vec<usize> = shards.collect();
     let mut passes: Vec<ShardPass> = parallel_map(&indices, |&i| {
@@ -125,26 +129,25 @@ where
             let offset = shard.offset();
             let n = d.len();
             // The fused score pass of `MetricPlan::evaluate_with`, verbatim:
-            // base score then the bonus increment, summed in dimension order.
+            // the same blocked kernel passes for linear rankers, the same
+            // per-row `base + increment` fallback otherwise.
             let mut scores = Vec::with_capacity(n);
-            scores.extend((0..n).map(|i| {
-                let b = match ranker.feature_score(d.feature_row(i)) {
-                    Some(score) => score,
-                    None => ranker.base_score(d.row(i)),
-                };
-                let increment: f64 = d
-                    .fairness_row(i)
-                    .iter()
-                    .zip(bonus)
-                    .map(|(a, b)| a * b)
-                    .sum();
-                b + increment
-            }));
+            if let Some(w) = linear {
+                crate::kernel::dot_rows_into(d.features_matrix(), nf, w, &mut scores);
+                crate::kernel::add_dot_rows_into(d.fairness_matrix(), dims, bonus, &mut scores);
+            } else {
+                scores.extend((0..n).map(|i| {
+                    let b = match ranker.feature_score(d.feature_row(i)) {
+                        Some(score) => score,
+                        None => ranker.base_score(d.row(i)),
+                    };
+                    let increment = crate::kernel::dot(d.fairness_row(i), bonus);
+                    b + increment
+                }));
+            }
             let mut fair_sums = vec![0.0_f64; dims];
-            for i in 0..n {
-                for (a, v) in fair_sums.iter_mut().zip(d.fairness_row(i)) {
-                    *a += v;
-                }
+            if dims > 0 {
+                crate::kernel::col_sums_into(d.fairness_matrix(), dims, &mut fair_sums);
             }
             // Per-shard candidate selection, as `top_m`'s pruning path: keep
             // the shard's own top min(count, n) under the strict total order.
@@ -286,9 +289,7 @@ pub fn combine_disparity_partials(
     // divided once — exactly the one-sweep plan's combine.
     let mut pop_sums = vec![0.0_f64; dims];
     for p in &order {
-        for (a, s) in pop_sums.iter_mut().zip(&p.fair_sums) {
-            *a += s;
-        }
+        crate::kernel::add_row(&mut pop_sums, &p.fair_sums);
     }
     let pop: Vec<f64> = pop_sums.iter().map(|s| s / total_rows as f64).collect();
 
@@ -317,18 +318,20 @@ pub fn combine_disparity_partials(
     candidates.sort_unstable();
 
     // Selection centroid accumulated in rank order, then the subtraction —
-    // the disparity measure phase, verbatim.
+    // the disparity measure phase, verbatim: the same kernel walk over the
+    // same row sequence as the plan's retained-row accumulation.
     out.clear();
     out.resize(dims, 0.0);
-    for &(_, (slot, idx)) in &candidates {
-        let p = order[slot as usize];
-        let idx = idx as usize;
-        for (a, v) in out
-            .iter_mut()
-            .zip(&p.fairness[idx * dims..(idx + 1) * dims])
-        {
-            *a += v;
-        }
+    if dims > 0 {
+        crate::kernel::col_sums_rows_into(
+            dims,
+            candidates.iter().map(|&(_, (slot, idx))| {
+                let p = order[slot as usize];
+                let idx = idx as usize;
+                &p.fairness[idx * dims..(idx + 1) * dims]
+            }),
+            out,
+        );
     }
     for a in out.iter_mut() {
         *a /= candidates.len() as f64;

@@ -26,6 +26,7 @@
 //! | [`metrics`] | Disparity, log-discounted disparity, disparate impact, FPR difference, exposure/DDP, nDCG |
 //! | [`dca`] | Core DCA, the Adam refinement step, Full DCA, and the [`dca::Dca`] facade |
 //! | [`fault`] | deterministic fault injection (`FAIR_FAULT`) for robustness testing |
+//! | [`kernel`] | chunked f64x4 scoring/centroid kernels + the `FAIR_KERNEL` dispatch |
 //! | [`error`] | [`error::FairError`] and the crate-wide [`error::Result`] alias |
 //!
 //! ## Quick example
@@ -69,6 +70,7 @@ pub mod dca;
 pub mod error;
 pub mod explain;
 pub mod fault;
+pub mod kernel;
 pub mod metrics;
 pub mod object;
 pub mod parallel;
@@ -82,6 +84,7 @@ pub use dataset::{Dataset, SampleView};
 pub use dca::{Dca, DcaConfig, DcaReport, DcaResult, DcaScratch, EvalScratch};
 pub use error::{FairError, Result};
 pub use fault::{FaultMode, FaultPlan};
+pub use kernel::Kernel;
 pub use object::{DataObject, ObjectId, ObjectView};
 pub use parallel::{max_workers, parallel_map};
 pub use shard::{

@@ -378,42 +378,48 @@ impl MetricPlan {
         // exactly its standalone counterpart (`base_scores`,
         // `adjust_base_scores`, `effective_scores`, `fairness_centroid`), so
         // every derived quantity is bit-for-bit the standalone one.
+        let nf = data.schema().num_features();
+        let linear = ranker
+            .linear_weights()
+            .filter(|w| !w.is_empty() && w.len() == nf);
         let per_shard = data.map_shards(|shard| {
             let d = shard.data();
             let n = d.len();
             // One fused pass: the base score and the bonus increment are
             // computed per row exactly as the standalone kernels do
             // (`base + increment` in the same order), with the base column
-            // kept only when the plan includes nDCG.
+            // kept only when the plan includes nDCG. Linear rankers run the
+            // shard as blocked kernel passes; per-row arithmetic is the same
+            // kernel::dot pair as the fallback, so both are bit-identical.
             let mut base = Vec::new();
-            if want_ndcg {
-                base.reserve(n);
-            }
             let mut scores = Vec::with_capacity(n);
-            scores.extend((0..n).map(|i| {
-                let b = match ranker.feature_score(d.feature_row(i)) {
-                    Some(score) => score,
-                    None => ranker.base_score(d.row(i)),
-                };
+            if let Some(w) = linear {
                 if want_ndcg {
-                    base.push(b);
+                    crate::kernel::dot_rows_into(d.features_matrix(), nf, w, &mut base);
+                    scores.extend_from_slice(&base);
+                } else {
+                    crate::kernel::dot_rows_into(d.features_matrix(), nf, w, &mut scores);
                 }
-                let increment: f64 = d
-                    .fairness_row(i)
-                    .iter()
-                    .zip(bonus)
-                    .map(|(a, b)| a * b)
-                    .sum();
-                b + increment
-            }));
-            let mut fair_sums = Vec::new();
-            if need_pop {
-                fair_sums = vec![0.0_f64; dims];
-                for i in 0..n {
-                    for (a, v) in fair_sums.iter_mut().zip(d.fairness_row(i)) {
-                        *a += v;
+                crate::kernel::add_dot_rows_into(d.fairness_matrix(), dims, bonus, &mut scores);
+            } else {
+                if want_ndcg {
+                    base.reserve(n);
+                }
+                scores.extend((0..n).map(|i| {
+                    let b = match ranker.feature_score(d.feature_row(i)) {
+                        Some(score) => score,
+                        None => ranker.base_score(d.row(i)),
+                    };
+                    if want_ndcg {
+                        base.push(b);
                     }
-                }
+                    let increment = crate::kernel::dot(d.fairness_row(i), bonus);
+                    b + increment
+                }));
+            }
+            let mut fair_sums = Vec::new();
+            if need_pop && dims > 0 {
+                crate::kernel::col_sums_into(d.fairness_matrix(), dims, &mut fair_sums);
             }
             let mut fairness = Vec::new();
             if retain {
@@ -450,9 +456,7 @@ impl MetricPlan {
                 scratch.base.extend_from_slice(&shard.base);
             }
             if need_pop {
-                for (a, p) in pop_sums.iter_mut().zip(&shard.fair_sums) {
-                    *a += p;
-                }
+                crate::kernel::add_row(&mut pop_sums, &shard.fair_sums);
             }
             if retain {
                 scratch.fairness.push(shard.fairness);
@@ -505,33 +509,32 @@ impl MetricPlan {
         for &kind in &self.kinds {
             let value = match kind {
                 MetricKind::Disparity => {
-                    let mut out = vec![0.0; dims];
                     if selected.is_empty() {
                         return Err(FairError::EmptyDataset);
                     }
-                    if retain {
-                        // Rank-order accumulation straight from the retained
-                        // rows — the same additions, in the same order, as
-                        // the gathered walk below.
-                        for &p in selected {
-                            for (a, v) in out.iter_mut().zip(retained.row(p)) {
-                                *a += v;
-                            }
-                        }
-                        for a in out.iter_mut() {
-                            *a /= selected.len() as f64;
-                        }
-                    } else {
-                        gather_fairness_rows_into(
-                            data,
-                            selected,
-                            &mut scratch.order,
-                            &mut scratch.gathered,
-                        );
-                        for row in scratch.gathered.chunks_exact(dims) {
-                            for (a, v) in out.iter_mut().zip(row) {
-                                *a += v;
-                            }
+                    let mut out = vec![0.0; dims];
+                    if dims > 0 {
+                        if retain {
+                            // Rank-order accumulation straight from the
+                            // retained rows — the same kernel walk, over the
+                            // same row sequence, as the gathered path below.
+                            crate::kernel::col_sums_rows_into(
+                                dims,
+                                selected.iter().map(|&p| retained.row(p)),
+                                &mut out,
+                            );
+                        } else {
+                            gather_fairness_rows_into(
+                                data,
+                                selected,
+                                &mut scratch.order,
+                                &mut scratch.gathered,
+                            );
+                            crate::kernel::col_sums_rows_into(
+                                dims,
+                                scratch.gathered.chunks_exact(dims),
+                                &mut out,
+                            );
                         }
                         for a in out.iter_mut() {
                             *a /= selected.len() as f64;
@@ -589,9 +592,9 @@ impl MetricPlan {
                         debug_assert!(cnt >= consumed, "checkpoints must be increasing");
                         let weight = 1.0 / ((cnt as f64) + 1.0).log2();
                         for rank in consumed..cnt {
-                            for (a, v) in running.iter_mut().zip(row(rank)) {
-                                *a += v;
-                            }
+                            // Sequential prefix accumulation (element-wise,
+                            // order-free) — parity with the serial metric.
+                            crate::kernel::add_row(&mut running, row(rank));
                         }
                         consumed = cnt;
                         if cnt == 0 {

@@ -92,7 +92,7 @@ impl<'a> ObjectView<'a> {
             self.fairness.len(),
             "bonus vector dimensionality mismatch"
         );
-        self.fairness.iter().zip(bonus).map(|(a, b)| a * b).sum()
+        crate::kernel::dot(self.fairness, bonus)
     }
 
     /// Copy the viewed row into an owned [`DataObject`].
@@ -206,7 +206,7 @@ impl DataObject {
             self.fairness.len(),
             "bonus vector dimensionality mismatch"
         );
-        self.fairness.iter().zip(bonus).map(|(a, b)| a * b).sum()
+        crate::kernel::dot(&self.fairness, bonus)
     }
 
     /// Replace the label (used by dataset builders that attach outcomes after

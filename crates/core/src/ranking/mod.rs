@@ -48,6 +48,17 @@ pub trait Ranker: Send + Sync {
         None
     }
 
+    /// The weight vector of a *plain linear* ranker — one whose base score
+    /// is exactly `dot(features, weights)` with no normalization or other
+    /// per-row transform. Returning `Some` — the default is `None` — lets
+    /// the scoring paths run the matrix as one blocked
+    /// [`crate::kernel::dot_rows_into`] pass instead of a per-row virtual
+    /// call. Each row's value is computed by the same [`crate::kernel::dot`]
+    /// kernel either way, so the fast path is bit-for-bit the slow one.
+    fn linear_weights(&self) -> Option<&[f64]> {
+        None
+    }
+
     /// A short human-readable description of the ranking function, used in
     /// explanations shown to stakeholders.
     fn describe(&self) -> String {
@@ -62,6 +73,9 @@ impl<T: Ranker + ?Sized> Ranker for &T {
     fn feature_score(&self, features: &[f64]) -> Option<f64> {
         (**self).feature_score(features)
     }
+    fn linear_weights(&self) -> Option<&[f64]> {
+        (**self).linear_weights()
+    }
     fn describe(&self) -> String {
         (**self).describe()
     }
@@ -73,6 +87,9 @@ impl<T: Ranker + ?Sized> Ranker for Box<T> {
     }
     fn feature_score(&self, features: &[f64]) -> Option<f64> {
         (**self).feature_score(features)
+    }
+    fn linear_weights(&self) -> Option<&[f64]> {
+        (**self).linear_weights()
     }
     fn describe(&self) -> String {
         (**self).describe()
@@ -111,9 +128,25 @@ pub fn effective_scores_into<R: Ranker + ?Sized>(
         view.schema().num_fairness(),
         "bonus vector dimensionality mismatch"
     );
+    let dataset = view.dataset();
+    if let Some(weights) = ranker.linear_weights().filter(|w| !w.is_empty()) {
+        // Plain linear ranker: one blocked gather over the feature and
+        // fairness matrices. Per-row arithmetic is the same kernel::dot
+        // pair as the fallback below, so the value is bit-identical.
+        crate::kernel::gathered_linear_scores_into(
+            dataset.features_matrix(),
+            view.schema().num_features(),
+            weights,
+            dataset.fairness_matrix(),
+            bonus.len(),
+            bonus,
+            view.indices(),
+            out,
+        );
+        return;
+    }
     out.clear();
     out.reserve(view.len());
-    let dataset = view.dataset();
     out.extend(view.indices().iter().map(|&i| {
         // Feature-only rankers skip the id/label gathers entirely; sampled
         // scoring then touches just two cache lines per row.
@@ -121,12 +154,7 @@ pub fn effective_scores_into<R: Ranker + ?Sized>(
             Some(score) => score,
             None => ranker.base_score(dataset.row(i)),
         };
-        let increment: f64 = dataset
-            .fairness_row(i)
-            .iter()
-            .zip(bonus)
-            .map(|(a, b)| a * b)
-            .sum();
+        let increment = crate::kernel::dot(dataset.fairness_row(i), bonus);
         base + increment
     }));
 }

@@ -65,7 +65,11 @@ impl Ranker for WeightedSumRanker {
     }
 
     fn feature_score(&self, features: &[f64]) -> Option<f64> {
-        Some(features.iter().zip(&self.weights).map(|(a, w)| a * w).sum())
+        Some(crate::kernel::dot(features, &self.weights))
+    }
+
+    fn linear_weights(&self) -> Option<&[f64]> {
+        Some(&self.weights)
     }
 
     fn describe(&self) -> String {

@@ -50,22 +50,29 @@ where
         data.schema().num_fairness(),
         "bonus vector dimensionality mismatch"
     );
+    let nf = data.schema().num_features();
+    // Plain linear rankers run each shard as two blocked matrix passes; the
+    // per-row arithmetic is the same kernel::dot pair as the fallback, so
+    // both paths produce bit-identical scores.
+    let linear = ranker
+        .linear_weights()
+        .filter(|w| !w.is_empty() && w.len() == nf);
     let per_shard = data.map_shards(|shard| {
         let d = shard.data();
         let mut scores = Vec::with_capacity(d.len());
-        scores.extend((0..d.len()).map(|i| {
-            let base = match ranker.feature_score(d.feature_row(i)) {
-                Some(score) => score,
-                None => ranker.base_score(d.row(i)),
-            };
-            let increment: f64 = d
-                .fairness_row(i)
-                .iter()
-                .zip(bonus)
-                .map(|(a, b)| a * b)
-                .sum();
-            base + increment
-        }));
+        if let Some(w) = linear {
+            crate::kernel::dot_rows_into(d.features_matrix(), nf, w, &mut scores);
+            crate::kernel::add_dot_rows_into(d.fairness_matrix(), bonus.len(), bonus, &mut scores);
+        } else {
+            scores.extend((0..d.len()).map(|i| {
+                let base = match ranker.feature_score(d.feature_row(i)) {
+                    Some(score) => score,
+                    None => ranker.base_score(d.row(i)),
+                };
+                let increment = crate::kernel::dot(d.fairness_row(i), bonus);
+                base + increment
+            }));
+        }
         scores
     });
     out.clear();
@@ -98,15 +105,14 @@ where
     let per_shard = data.map_shards(|shard| {
         let d = shard.data();
         let mut scores = Vec::with_capacity(d.len());
-        scores.extend((0..d.len()).map(|i| {
-            let increment: f64 = d
-                .fairness_row(i)
-                .iter()
-                .zip(bonus)
-                .map(|(a, b)| a * b)
-                .sum();
-            base[shard.global_index(i)] + increment
-        }));
+        if !d.is_empty() {
+            // Shards cover contiguous global ranges: seed with the base
+            // slice, then add the increments in one blocked pass. The add
+            // is the same kernel::dot per row as effective_scores'.
+            let offset = shard.global_index(0);
+            scores.extend_from_slice(&base[offset..offset + d.len()]);
+            crate::kernel::add_dot_rows_into(d.fairness_matrix(), bonus.len(), bonus, &mut scores);
+        }
         scores
     });
     let mut out = Vec::with_capacity(data.len());
@@ -123,15 +129,23 @@ where
     S: ShardSource + ?Sized,
     R: Ranker + ?Sized,
 {
+    let nf = data.schema().num_features();
+    let linear = ranker
+        .linear_weights()
+        .filter(|w| !w.is_empty() && w.len() == nf);
     let per_shard = data.map_shards(|shard| {
         let d = shard.data();
         let mut scores = Vec::with_capacity(d.len());
-        scores.extend(
-            (0..d.len()).map(|i| match ranker.feature_score(d.feature_row(i)) {
-                Some(score) => score,
-                None => ranker.base_score(d.row(i)),
-            }),
-        );
+        if let Some(w) = linear {
+            crate::kernel::dot_rows_into(d.features_matrix(), nf, w, &mut scores);
+        } else {
+            scores.extend(
+                (0..d.len()).map(|i| match ranker.feature_score(d.feature_row(i)) {
+                    Some(score) => score,
+                    None => ranker.base_score(d.row(i)),
+                }),
+            );
+        }
         scores
     });
     let mut out = Vec::with_capacity(data.len());

@@ -293,22 +293,18 @@ pub trait ShardSource: Sync {
             return Err(FairError::EmptyDataset);
         }
         let dims = self.schema().num_fairness();
+        if dims == 0 {
+            return Ok(Vec::new());
+        }
         let sums = self.reduce_shards(
             vec![0.0_f64; dims],
             |shard| {
-                let mut acc = vec![0.0_f64; dims];
-                let d = shard.data();
-                for i in 0..d.len() {
-                    for (a, v) in acc.iter_mut().zip(d.fairness_row(i)) {
-                        *a += v;
-                    }
-                }
+                let mut acc = Vec::new();
+                crate::kernel::col_sums_into(shard.data().fairness_matrix(), dims, &mut acc);
                 acc
             },
             |mut acc, partial| {
-                for (a, p) in acc.iter_mut().zip(&partial) {
-                    *a += p;
-                }
+                crate::kernel::add_row(&mut acc, &partial);
                 acc
             },
         );
@@ -322,14 +318,10 @@ pub trait ShardSource: Sync {
         if self.is_empty() || dim >= self.schema().num_fairness() {
             return 0.0;
         }
+        let dims = self.schema().num_fairness();
         let count = self.reduce_shards(
             0_usize,
-            |shard| {
-                let d = shard.data();
-                (0..d.len())
-                    .filter(|&i| d.fairness_row(i)[dim] >= 0.5)
-                    .count()
-            },
+            |shard| crate::kernel::count_ge_half(shard.data().fairness_matrix(), dims, dim),
             |acc, c| acc + c,
         );
         count as f64 / self.len() as f64

@@ -150,6 +150,9 @@ pub struct SampleRows {
     pub fairness: Vec<f64>,
     /// Per-row outcome labels.
     pub labels: Vec<Option<bool>>,
+    /// Whether the worker answered from its `core_sample` LRU (the rows are
+    /// byte-identical either way; this is observability, not semantics).
+    pub cached: bool,
 }
 
 impl SampleRows {
@@ -462,10 +465,12 @@ impl Client {
             ("shards", shards_json(&shards)),
         ]);
         let resp = self.request("POST", &format!("/stores/{store}/partials"), Some(&body))?;
-        parse_sample_rows(
+        let mut rows = parse_sample_rows(
             resp.get("rows")
                 .ok_or_else(|| ServeError::Protocol("missing `rows` object".into()))?,
-        )
+        )?;
+        rows.cached = resp.get("cached").and_then(Json::as_bool).unwrap_or(false);
+        Ok(rows)
     }
 
     /// One request/response exchange. API-level failures (status >= 400)
@@ -606,6 +611,7 @@ fn parse_sample_rows(v: &Json) -> Result<SampleRows> {
         features: nums("features")?,
         fairness: nums("fairness")?,
         labels,
+        cached: false,
     })
 }
 

@@ -113,6 +113,9 @@ pub struct FleetReport {
     pub ejections: u64,
     /// Ejected workers re-admitted by a health probe.
     pub readmissions: u64,
+    /// `core_sample` responses the workers answered from their gather LRU
+    /// (repeated `(seed, step)` requests — retries, re-run descents).
+    pub partials_cache_hits: u64,
 }
 
 /// A coordinator for one cohort served by a fleet of audit servers.
@@ -129,6 +132,7 @@ pub struct FleetCoordinator {
     re_dispatches: AtomicU64,
     ejections: AtomicU64,
     readmissions: AtomicU64,
+    partials_cache_hits: AtomicU64,
 }
 
 impl FleetCoordinator {
@@ -202,6 +206,7 @@ impl FleetCoordinator {
             re_dispatches: AtomicU64::new(0),
             ejections: AtomicU64::new(0),
             readmissions: AtomicU64::new(0),
+            partials_cache_hits: AtomicU64::new(0),
         })
     }
 
@@ -247,6 +252,7 @@ impl FleetCoordinator {
             re_dispatches: self.re_dispatches.load(Ordering::Relaxed),
             ejections: self.ejections.load(Ordering::Relaxed),
             readmissions: self.readmissions.load(Ordering::Relaxed),
+            partials_cache_hits: self.partials_cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -342,6 +348,11 @@ impl FleetCoordinator {
                     .map_err(wire_to_engine)?;
                 // Ranges arrive in ascending order, so appending them in
                 // sequence reproduces the local gather exactly.
+                let hits = samples.iter().filter(|rows| rows.cached).count();
+                if hits > 0 {
+                    self.partials_cache_hits
+                        .fetch_add(hits as u64, Ordering::Relaxed);
+                }
                 for rows in &samples {
                     if rows.features.len() != rows.len() * nf
                         || rows.fairness.len() != rows.len() * na

@@ -70,6 +70,58 @@ fn drain_deadline() -> Duration {
         .map_or(DRAIN_DEADLINE, Duration::from_millis)
 }
 
+/// How many `core_sample` gathers a worker keeps around. A fleet descent
+/// issues one request per `(seed, step)` per shard range, so a re-run of the
+/// same descent (a retried coordinator, a timing loop, a repeated audit)
+/// replays recent keys; a handful of entries is enough to absorb that
+/// without holding more than a few sample-sized row blocks.
+const SAMPLE_CACHE_CAPACITY: usize = 32;
+
+/// Identity of one `core_sample` gather: the addressed store plus the
+/// request parameters that determine the sampled rows. Catalog mutations
+/// (register/deregister) clear the whole cache, so a re-registered name can
+/// never serve the previous cohort's rows; the row count guards the
+/// remaining case of a store growing underneath its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SampleKey {
+    /// Catalog name the request addressed.
+    store: String,
+    /// Store length at gather time — an appended store misses.
+    rows: usize,
+    lo: usize,
+    hi: usize,
+    seed: u64,
+    sample_size: usize,
+}
+
+/// A tiny worker-side LRU over rendered `core_sample` row blocks. The gather
+/// is a pure function of the key, so a hit returns byte-identical columns —
+/// exactly what a coordinator retry or a repeated descent would recompute.
+#[derive(Debug, Default)]
+struct SampleCache {
+    /// Most-recently-used last.
+    entries: Vec<(SampleKey, Json)>,
+}
+
+impl SampleCache {
+    fn get(&mut self, key: &SampleKey) -> Option<Json> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let hit = self.entries.remove(pos);
+        let value = hit.1.clone();
+        self.entries.push(hit);
+        Some(value)
+    }
+
+    fn put(&mut self, key: SampleKey, value: Json) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == &key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= SAMPLE_CACHE_CAPACITY {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, value));
+    }
+}
+
 /// The service state shared by every request worker: the store catalog and
 /// the background-job manager.
 #[derive(Debug, Default)]
@@ -78,6 +130,11 @@ pub struct AuditService {
     pub catalog: Catalog,
     /// Background DCA jobs.
     pub jobs: JobManager,
+    /// Recently served `core_sample` gathers (see [`SampleCache`]).
+    sample_cache: Mutex<SampleCache>,
+    /// `core_sample` partial requests answered from the cache. Reported by
+    /// `GET /health` and echoed per response as the `cached` flag.
+    pub partials_cache_hits: AtomicU64,
 }
 
 impl AuditService {
@@ -106,6 +163,10 @@ impl AuditService {
                     ("status", Json::str("ok")),
                     ("stores", Json::num(self.catalog.len() as f64)),
                     ("jobs", Json::num(self.jobs.len() as f64)),
+                    (
+                        "partials_cache_hits",
+                        Json::num(self.partials_cache_hits.load(Ordering::Relaxed) as f64),
+                    ),
                 ]),
             )),
             ("GET", ["stores"]) => Ok((
@@ -115,9 +176,14 @@ impl AuditService {
                     Json::Arr(self.catalog.list().iter().map(|e| store_info(e)).collect()),
                 )]),
             )),
-            ("POST", ["stores"]) => self.register_store(req),
+            ("POST", ["stores"]) => {
+                let response = self.register_store(req)?;
+                self.clear_sample_cache();
+                Ok(response)
+            }
             ("DELETE", ["stores", name]) => {
                 self.catalog.remove(name)?;
+                self.clear_sample_cache();
                 Ok((200, Json::obj(vec![("removed", Json::str(*name))])))
             }
             ("GET", ["stores", name, "schema"]) => {
@@ -159,6 +225,17 @@ impl AuditService {
                 message: format!("no route for {} {}", req.method, req.path),
             }),
         }
+    }
+
+    /// Drop every cached `core_sample` gather — called on catalog mutations,
+    /// whose rarity (control-plane registrations) makes a full clear cheaper
+    /// than tracking per-name dependencies.
+    fn clear_sample_cache(&self) {
+        self.sample_cache
+            .lock()
+            .expect("sample cache poisoned")
+            .entries
+            .clear();
     }
 
     fn register_store(&self, req: &Request) -> Result<(u16, Json), ApiError> {
@@ -476,6 +553,33 @@ impl AuditService {
                     .get("sample_size")
                     .and_then(Json::as_usize)
                     .ok_or_else(|| ApiError::bad_request("`sample_size` must be a count"))?;
+                // The gather is a pure function of the key, so an identical
+                // request body (a repeated descent, a coordinator retry)
+                // can be answered from the worker-side LRU without paging
+                // the sampled shards again.
+                let key = SampleKey {
+                    store: name.to_string(),
+                    rows: store.len(),
+                    lo,
+                    hi,
+                    seed,
+                    sample_size,
+                };
+                let cached = {
+                    let mut cache = self.sample_cache.lock().expect("sample cache poisoned");
+                    cache.get(&key)
+                };
+                if let Some(rows) = cached {
+                    self.partials_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((
+                        200,
+                        Json::obj(vec![
+                            ("store", Json::str(name)),
+                            ("cached", Json::Bool(true)),
+                            ("rows", rows),
+                        ]),
+                    ));
+                }
                 let mut indices = Vec::new();
                 sample_indices_range_into(store, seed, sample_size, lo..hi, &mut indices)
                     .map_err(|e| ApiError::unprocessable(e.to_string()))?;
@@ -505,19 +609,22 @@ impl AuditService {
                         }
                     },
                 );
+                let rows = Json::obj(vec![
+                    ("ids", Json::Arr(ids)),
+                    ("features", Json::num_arr(&features)),
+                    ("fairness", Json::num_arr(&fairness)),
+                    ("labels", Json::Arr(labels)),
+                ]);
+                self.sample_cache
+                    .lock()
+                    .expect("sample cache poisoned")
+                    .put(key, rows.clone());
                 Ok((
                     200,
                     Json::obj(vec![
                         ("store", Json::str(name)),
-                        (
-                            "rows",
-                            Json::obj(vec![
-                                ("ids", Json::Arr(ids)),
-                                ("features", Json::num_arr(&features)),
-                                ("fairness", Json::num_arr(&fairness)),
-                                ("labels", Json::Arr(labels)),
-                            ]),
-                        ),
+                        ("cached", Json::Bool(false)),
+                        ("rows", rows),
                     ]),
                 ))
             }
@@ -1270,14 +1377,60 @@ mod tests {
         let nf = entry.store.schema().num_features();
         let features = rows.get("features").unwrap().as_f64_vec().unwrap();
         assert_eq!(features.len(), indices.len() * nf);
-        // Identical request → identical bytes (purity is what makes
-        // coordinator retries safe).
+        // Identical request → identical row bytes (purity is what makes
+        // coordinator retries safe); the repeat is answered from the
+        // worker-side LRU and says so.
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)));
         let (_, again) = service.route(&request(
             "POST",
             "/stores/cohort/partials",
             r#"{"kind":"core_sample","shards":[1,4],"seed":77,"sample_size":120}"#,
         ));
-        assert_eq!(resp.render(), again.render());
+        assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            resp.get("rows").unwrap().render(),
+            again.get("rows").unwrap().render()
+        );
+        assert_eq!(service.partials_cache_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn core_sample_cache_keys_on_parameters_and_registration() {
+        let service = service_with_store(300);
+        let body = r#"{"kind":"core_sample","shards":[0,3],"seed":5,"sample_size":60}"#;
+        let (_, first) = service.route(&request("POST", "/stores/cohort/partials", body));
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        // A different seed, range, or sample size is a different gather.
+        for other in [
+            r#"{"kind":"core_sample","shards":[0,3],"seed":6,"sample_size":60}"#,
+            r#"{"kind":"core_sample","shards":[0,2],"seed":5,"sample_size":60}"#,
+            r#"{"kind":"core_sample","shards":[0,3],"seed":5,"sample_size":61}"#,
+        ] {
+            let (status, resp) = service.route(&request("POST", "/stores/cohort/partials", other));
+            assert_eq!(status, 200, "{}", resp.render());
+            assert_eq!(resp.get("cached"), Some(&Json::Bool(false)), "{other}");
+        }
+        // The original key is still resident and hits.
+        let (_, hit) = service.route(&request("POST", "/stores/cohort/partials", body));
+        assert_eq!(hit.get("cached"), Some(&Json::Bool(true)));
+        // Deregistering clears the cache: after a re-registration the same
+        // request misses rather than serving the old cohort's rows.
+        let (status, _) = service.route(&request("DELETE", "/stores/cohort", ""));
+        assert_eq!(status, 200);
+        let (status, _) = service.route(&request(
+            "POST",
+            "/stores",
+            r#"{"name":"cohort","generate":{"kind":"school","rows":300,"seed":8,"shard_size":64}}"#,
+        ));
+        assert_eq!(status, 201);
+        let (_, fresh) = service.route(&request("POST", "/stores/cohort/partials", body));
+        assert_eq!(fresh.get("cached"), Some(&Json::Bool(false)));
+        assert_ne!(
+            fresh.get("rows").unwrap().render(),
+            first.get("rows").unwrap().render(),
+            "a different cohort samples different rows"
+        );
+        assert_eq!(service.partials_cache_hits.load(Ordering::Relaxed), 1);
     }
 
     /// The fault plan is process-global: tests that install one must not

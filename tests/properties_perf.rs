@@ -73,14 +73,15 @@ proptest! {
         let bonus = [2.5_f64, 7.25];
         let ranker = WeightedSumRanker::new(vec![1.0]).unwrap();
 
-        // Array-of-structs reference: iterate the owned objects exactly the
-        // way the pre-refactor Dataset did.
-        let mut acc = vec![0.0_f64; 2];
-        for o in &objects {
-            for (a, v) in acc.iter_mut().zip(o.fairness()) {
-                *a += v;
-            }
-        }
+        // Array-of-structs reference: row-iterated accumulation over the
+        // owned objects, in the canonical kernel order the columnar store
+        // also uses (see `fair_core::kernel`).
+        let mut acc = Vec::new();
+        fair_ranking::core::kernel::col_sums_rows_into(
+            2,
+            objects.iter().map(|o| o.fairness()),
+            &mut acc,
+        );
         for a in &mut acc {
             *a /= objects.len() as f64;
         }
