@@ -57,6 +57,15 @@
 //! cohort size, reported as objects/sec each plus the chunked/scalar
 //! speedup.
 //!
+//! Schema v8 adds an **observability measurement** (`obs` in the JSON): the
+//! same sharded Core DCA descent driven through `RunControl` with no
+//! progress hook vs with the per-step duration histogram hook the job
+//! manager installs (`fair_core::dca::step_duration_hook`), reported as
+//! per-step cost each plus the instrumented/plain ratio — the acceptance
+//! budget is < 5% overhead — together with a one-off bit-identity check of
+//! the two trajectories and the latency and size of one `GET /metrics`
+//! scrape against a live server.
+//!
 //! The summary line checks the headline claim directly: Core DCA's per-step
 //! time at the largest cohort must stay within 2x of the 10k per-step time.
 
@@ -682,6 +691,117 @@ fn measure_fleet(rows: usize, reps: usize) -> FleetBench {
     }
 }
 
+/// The observability tax: instrumented vs plain Core DCA, plus one
+/// `/metrics` scrape.
+struct ObsBench {
+    rows: usize,
+    /// Per-step cost through `RunControl` with no progress hook, µs.
+    plain_per_step_us: f64,
+    /// Per-step cost with the job manager's step-duration histogram hook, µs.
+    instrumented_per_step_us: f64,
+    /// `instrumented / plain` — the acceptance budget is < 1.05.
+    per_step_overhead: f64,
+    /// Median latency of one `GET /metrics` scrape, ms.
+    scrape_ms: f64,
+    /// Size of the rendered exposition at scrape time, bytes.
+    scrape_bytes: usize,
+}
+
+/// Time the same sharded Core DCA descent with and without the per-step
+/// observability hook, verify the trajectories are bit-identical, and time
+/// a `/metrics` scrape against a live server that has seen traffic.
+fn measure_obs(rows: usize, reps: usize) -> ObsBench {
+    use fair_core::dca::{run_core_dca_sharded_controlled, step_duration_hook, RunControl};
+    use fair_core::obs;
+
+    let rubric = SchoolGenerator::rubric();
+    let objective = TopKDisparity::new(0.05);
+    let sample_size = ExperimentScale::default_scale().dca_sample_size;
+    let data = SchoolGenerator::new(SchoolConfig::small(rows, 42))
+        .generate_sharded(fair_core::default_shard_size())
+        .expect("positive shard size")
+        .into_dataset();
+    let config = core_config(sample_size);
+
+    let plain_control = RunControl::new();
+    let mut run_plain = || {
+        run_core_dca_sharded_controlled(
+            &data,
+            &rubric,
+            &objective,
+            &config,
+            None,
+            false,
+            &plain_control,
+        )
+        .expect("plain core DCA run")
+    };
+    let hook = step_duration_hook(obs::histogram("fair_bench_obs_step_duration_us", &[]));
+    let hooked_control = RunControl::with_progress(move |p| {
+        std::hint::black_box(&p);
+        hook(p);
+    });
+    let mut run_hooked = || {
+        run_core_dca_sharded_controlled(
+            &data,
+            &rubric,
+            &objective,
+            &config,
+            None,
+            false,
+            &hooked_control,
+        )
+        .expect("instrumented core DCA run")
+    };
+
+    let plain = run_plain();
+    let hooked = run_hooked();
+    assert_eq!(
+        plain.bonus.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        hooked.bonus.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "the instrumented descent must stay bit-identical"
+    );
+    let steps = plain.steps as f64;
+    let plain_ms = time_median(reps, &mut run_plain);
+    let instrumented_ms = time_median(reps, &mut run_hooked);
+
+    // A live server that has seen traffic, so the scrape renders a populated
+    // registry (route series, job counters, store counters from this very
+    // process), not an empty page.
+    let service = AuditService::new();
+    let small = SchoolGenerator::new(SchoolConfig::small(2_000, 42))
+        .generate_sharded(fair_core::default_shard_size())
+        .expect("positive shard size")
+        .into_dataset();
+    service
+        .catalog
+        .register_memory("obs-bench", small)
+        .expect("register obs cohort");
+    let server = serve(service, "127.0.0.1:0", 2).expect("bind obs server");
+    let client = Client::new(server.addr());
+    let request = MetricsRequest {
+        k: 0.05,
+        bonus: None,
+        weights: None,
+        metrics: Some(vec!["disparity".to_string()]),
+    };
+    for _ in 0..8 {
+        client.metrics("obs-bench", &request).expect("obs traffic");
+    }
+    let scrape_bytes = client.metrics_text().expect("scrape").len();
+    let scrape_ms = time_median(reps, || client.metrics_text().expect("scrape"));
+    server.shutdown();
+
+    ObsBench {
+        rows,
+        plain_per_step_us: plain_ms * 1e3 / steps,
+        instrumented_per_step_us: instrumented_ms * 1e3 / steps,
+        per_step_overhead: instrumented_ms / plain_ms,
+        scrape_ms,
+        scrape_bytes,
+    }
+}
+
 fn json_number(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -690,6 +810,7 @@ fn json_number(v: f64) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     mode: &str,
     reps: usize,
@@ -697,6 +818,7 @@ fn render_json(
     kernels: &[KernelBench],
     serve_report: &ServeReport,
     fleet: &FleetBench,
+    obs: &ObsBench,
     ratio: Option<f64>,
 ) -> String {
     let threads = std::thread::available_parallelism()
@@ -704,7 +826,7 @@ fn render_json(
         .unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 7,");
+    let _ = writeln!(s, "  \"schema_version\": 8,");
     let _ = writeln!(s, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"repeats\": {reps},");
@@ -856,6 +978,16 @@ fn render_json(
         json_number(fleet.speedup_3_vs_1),
         json_number(fleet.disparity_sweeps_per_sec),
         fleet.requests,
+    );
+    let _ = writeln!(
+        s,
+        "  \"obs\": {{ \"rows\": {}, \"core_plain_per_step_us\": {}, \"core_instrumented_per_step_us\": {}, \"per_step_overhead\": {}, \"metrics_scrape_ms\": {}, \"metrics_scrape_bytes\": {} }},",
+        obs.rows,
+        json_number(obs.plain_per_step_us),
+        json_number(obs.instrumented_per_step_us),
+        json_number(obs.per_step_overhead),
+        json_number(obs.scrape_ms),
+        obs.scrape_bytes,
     );
     match ratio {
         Some(v) => {
@@ -1021,6 +1153,19 @@ fn main() {
         fleet.disparity_sweeps_per_sec, fleet.requests,
     );
 
+    let obs_rows = if quick { 10_000 } else { 100_000 };
+    let obs = measure_obs(obs_rows, reps);
+    println!(
+        "\nobservability ({} rows): Core DCA per step {:.2}us plain vs {:.2}us instrumented \
+         ({:.3}x, budget 1.05x); /metrics scrape {:.3}ms ({} bytes)",
+        obs.rows,
+        obs.plain_per_step_us,
+        obs.instrumented_per_step_us,
+        obs.per_step_overhead,
+        obs.scrape_ms,
+        obs.scrape_bytes,
+    );
+
     let ratio = (reports.len() > 1).then(|| {
         reports.last().unwrap().core_per_step_us / reports.first().unwrap().core_per_step_us
     });
@@ -1033,7 +1178,16 @@ fn main() {
         );
     }
 
-    let json = render_json(mode, reps, &reports, &kernels, &serve_report, &fleet, ratio);
+    let json = render_json(
+        mode,
+        reps,
+        &reports,
+        &kernels,
+        &serve_report,
+        &fleet,
+        &obs,
+        ratio,
+    );
     std::fs::write(&out_path, &json).expect("write BENCH_DCA.json");
     println!("\nWrote {}", out_path.display());
 

@@ -103,6 +103,34 @@ impl RunControl {
     }
 }
 
+/// A progress hook that records the wall-clock duration of each descent step
+/// into `histogram` — the building block behind the serve layer's per-step
+/// job histograms and the bench suite's instrumentation-overhead contrast.
+///
+/// Timing lives entirely inside the callback (the caller's layer), never in
+/// the descent itself: the step loop is identical with or without the hook,
+/// so trajectories stay bit-identical. The first report measures from hook
+/// construction; subsequent reports measure from the previous report.
+/// Compose it with other bookkeeping by calling the returned closure from a
+/// wrapper hook.
+pub fn step_duration_hook(
+    histogram: std::sync::Arc<crate::obs::Histogram>,
+) -> impl Fn(DcaProgress) + Send + Sync + 'static {
+    let last = std::sync::Mutex::new(std::time::Instant::now());
+    move |_p: DcaProgress| {
+        let mut last = last.lock().expect("step timer lock poisoned");
+        let now = std::time::Instant::now();
+        let us = u64::try_from(
+            now.duration_since(*last)
+                .as_micros()
+                .min(u128::from(u64::MAX)),
+        )
+        .unwrap_or(u64::MAX);
+        *last = now;
+        histogram.record(us);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

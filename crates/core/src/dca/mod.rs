@@ -46,7 +46,7 @@ pub mod sharded;
 
 pub use self::core::{run_core_dca, run_core_dca_with, CoreDcaOutcome, CoreTraceEntry};
 pub use config::{DcaConfig, CLT_MINIMUM};
-pub use control::{DcaProgress, RunControl};
+pub use control::{step_duration_hook, DcaProgress, RunControl};
 pub use full::{run_full_dca, run_full_dca_with, run_full_descent, FullDcaOutcome};
 pub use objective::{
     FprDifferenceObjective, LogDiscountedObjective, Objective, ScaledDisparateImpact, TopKDisparity,

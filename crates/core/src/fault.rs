@@ -158,7 +158,7 @@ impl FaultPlan {
         match std::env::var("FAIR_FAULT") {
             Err(_) => Self::none(),
             Ok(value) => FaultPlan::parse(&value).unwrap_or_else(|e| {
-                eprintln!("ignoring malformed FAIR_FAULT: {e}");
+                crate::obs::warn("fault", &format!("ignoring malformed FAIR_FAULT: {e}"));
                 Self::none()
             }),
         }
@@ -250,14 +250,29 @@ pub fn install(plan: FaultPlan) {
     *global_cell().write().expect("fault plan lock poisoned") = Arc::new(plan);
 }
 
-/// Consult the process-global plan at a fault point.
+/// Consult the process-global plan at a fault point. Activations are
+/// observable: each one bumps `fair_fault_injections_total{point,mode}` and
+/// emits a tagged `fault.inject` event, so fault-matrix tests (and a
+/// production operator reading `/metrics`) can see exactly which injected
+/// failures fired where.
 #[must_use]
 pub fn check(point: &str, ctx: &str) -> Option<FaultMode> {
     let plan = global();
     if plan.is_empty() {
         return None;
     }
-    plan.check(point, ctx)
+    let mode = plan.check(point, ctx)?;
+    crate::obs::counter(
+        "fair_fault_injections_total",
+        &[("point", point), ("mode", mode.name())],
+    )
+    .inc();
+    crate::obs::Event::new("fault.inject")
+        .field("point", point)
+        .field("ctx", ctx)
+        .field("mode", mode.name())
+        .emit();
+    Some(mode)
 }
 
 #[cfg(test)]

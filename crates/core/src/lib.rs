@@ -27,6 +27,7 @@
 //! | [`dca`] | Core DCA, the Adam refinement step, Full DCA, and the [`dca::Dca`] facade |
 //! | [`fault`] | deterministic fault injection (`FAIR_FAULT`) for robustness testing |
 //! | [`kernel`] | chunked f64x4 scoring/centroid kernels + the `FAIR_KERNEL` dispatch |
+//! | [`obs`] | metrics registry (counters/gauges/histograms, Prometheus exposition) + `FAIR_LOG` structured tracing |
 //! | [`error`] | [`error::FairError`] and the crate-wide [`error::Result`] alias |
 //!
 //! ## Quick example
@@ -73,6 +74,7 @@ pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod object;
+pub mod obs;
 pub mod parallel;
 pub mod ranking;
 pub mod shard;
@@ -101,9 +103,10 @@ pub mod prelude {
     pub use crate::dca::{
         run_core_dca, run_core_dca_sharded, run_core_dca_sharded_controlled, run_core_dca_with,
         run_full_dca, run_full_dca_sharded, run_full_dca_sharded_controlled, run_full_dca_with,
-        run_refinement, run_refinement_with, Dca, DcaConfig, DcaProgress, DcaReport, DcaResult,
-        DcaScratch, EvalScratch, FprDifferenceObjective, LogDiscountedObjective, Objective,
-        RunControl, ScaledDisparateImpact, ShardedObjective, TopKDisparity,
+        run_refinement, run_refinement_with, step_duration_hook, Dca, DcaConfig, DcaProgress,
+        DcaReport, DcaResult, DcaScratch, EvalScratch, FprDifferenceObjective,
+        LogDiscountedObjective, Objective, RunControl, ScaledDisparateImpact, ShardedObjective,
+        TopKDisparity,
     };
     pub use crate::error::{FairError, Result};
     pub use crate::explain::{

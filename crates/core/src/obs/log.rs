@@ -1,0 +1,442 @@
+//! Span-based structured logging to stderr, governed by `FAIR_LOG`.
+//!
+//! `FAIR_LOG=off|text|json` (default `off`) selects the emission format:
+//! one line per [`Span`] close or [`Event`] emit, carrying the target, the
+//! span duration in microseconds, and any attached fields. `text` renders
+//! `key=value` pairs for eyeballs; `json` renders one JSON object per line
+//! for machines (the CI smoke gate asserts every stderr line parses).
+//!
+//! Request correlation rides on trace ids: [`next_trace_id`] mints a
+//! 16-hex-char id at the HTTP accept path, the `x-fair-trace` request
+//! header carries it across the fleet, and every span/event tagged with
+//! [`Span::trace`] shares it — so a coordinator retry and the worker-side
+//! handler span it provoked line up under one id.
+//!
+//! Tests observe emission without scraping stderr through the capture sink:
+//! [`capture`] returns a guard that mirrors every record into an in-memory
+//! buffer regardless of mode; [`captured`] snapshots it. Records are
+//! cheap no-ops when the mode is `off` and no capture is active.
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Emission format, from `FAIR_LOG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMode {
+    /// No stderr emission (the default).
+    Off,
+    /// Human-readable `key=value` lines.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogMode {
+    /// Parse a `FAIR_LOG` value; `None` for unrecognised input.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" => Some(Self::Off),
+            "text" | "1" => Some(Self::Text),
+            "json" => Some(Self::Json),
+            _ => None,
+        }
+    }
+}
+
+const MODE_UNSET: u8 = u8::MAX;
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// The active emission mode, resolved from `FAIR_LOG` on first use.
+/// Unrecognised values disable emission and leave one plain warning on
+/// stderr rather than silently eating a typo.
+#[must_use]
+pub fn log_mode() -> LogMode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => LogMode::Off,
+        1 => LogMode::Text,
+        2 => LogMode::Json,
+        _ => {
+            let mode = match std::env::var("FAIR_LOG") {
+                Ok(v) => LogMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("ignoring unrecognised FAIR_LOG value {v:?} (want off|text|json)");
+                    LogMode::Off
+                }),
+                Err(_) => LogMode::Off,
+            };
+            set_log_mode(mode);
+            mode
+        }
+    }
+}
+
+/// Override the emission mode (tests, embedders). Later `FAIR_LOG` reads
+/// are ignored once set.
+pub fn set_log_mode(mode: LogMode) {
+    let v = match mode {
+        LogMode::Off => 0,
+        LogMode::Text => 1,
+        LogMode::Json => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// One emitted record, as seen by the test capture sink.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// `"span"` or `"event"`.
+    pub kind: &'static str,
+    /// The dotted subsystem target (`serve.request`, `fleet.eject`, …).
+    pub target: &'static str,
+    /// Span duration in microseconds (`None` for events).
+    pub duration_us: Option<u64>,
+    /// Attached `(key, value)` fields in attachment order.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Record {
+    /// The value of field `key`, if attached.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+static CAPTURE_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+const CAPTURE_CAP: usize = 8192;
+
+fn capture_buffer() -> &'static Mutex<Vec<Record>> {
+    static BUF: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    BUF.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Keeps the capture sink active while alive; concurrent guards share one
+/// buffer, so tests should filter [`captured`] by target and trace id.
+#[derive(Debug)]
+pub struct CaptureGuard(());
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        CAPTURE_ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Start mirroring records into the in-memory capture buffer.
+#[must_use]
+pub fn capture() -> CaptureGuard {
+    CAPTURE_ACTIVE.fetch_add(1, Ordering::SeqCst);
+    CaptureGuard(())
+}
+
+/// Snapshot the capture buffer (records from every active guard).
+#[must_use]
+pub fn captured() -> Vec<Record> {
+    capture_buffer()
+        .lock()
+        .expect("capture lock poisoned")
+        .clone()
+}
+
+fn capture_active() -> bool {
+    CAPTURE_ACTIVE.load(Ordering::SeqCst) > 0
+}
+
+/// Whether building record fields is worthwhile right now.
+#[must_use]
+pub fn log_enabled() -> bool {
+    log_mode() != LogMode::Off || capture_active()
+}
+
+/// Mint a process-unique 16-hex-char trace id (splitmix64 over a
+/// time-and-pid seed plus a monotone counter — wall clock touches only the
+/// serve layer, never kernel math).
+#[must_use]
+pub fn next_trace_id() -> String {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+        nanos ^ (u64::from(std::process::id()) << 32)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut z = seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    format!("{z:016x}")
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn now_us() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| {
+        u64::try_from(d.as_micros().min(u128::from(u64::MAX))).unwrap_or(u64::MAX)
+    })
+}
+
+fn emit(record: &Record) {
+    match log_mode() {
+        LogMode::Off => {}
+        LogMode::Text => {
+            let mut line = format!("{} target={}", record.kind, record.target);
+            if let Some(d) = record.duration_us {
+                line.push_str(&format!(" duration_us={d}"));
+            }
+            for (k, v) in &record.fields {
+                if v.contains(' ') || v.is_empty() {
+                    line.push_str(&format!(" {k}={v:?}"));
+                } else {
+                    line.push_str(&format!(" {k}={v}"));
+                }
+            }
+            eprintln!("{line}");
+        }
+        LogMode::Json => {
+            let mut line = format!(
+                "{{\"kind\":\"{}\",\"target\":\"{}\",\"ts_us\":{}",
+                record.kind,
+                json_escape(record.target),
+                now_us()
+            );
+            if let Some(d) = record.duration_us {
+                line.push_str(&format!(",\"duration_us\":{d}"));
+            }
+            for (k, v) in &record.fields {
+                line.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            line.push('}');
+            eprintln!("{line}");
+        }
+    }
+    if capture_active() {
+        let mut buf = capture_buffer().lock().expect("capture lock poisoned");
+        if buf.len() < CAPTURE_CAP {
+            buf.push(record.clone());
+        }
+    }
+}
+
+/// A timed scope: emits one record on drop (or [`Span::close`]) carrying
+/// its target, wall-clock duration in microseconds, and attached fields.
+/// Construction is a single `Instant::now()` when logging is disabled.
+#[derive(Debug)]
+pub struct Span {
+    target: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, String)>,
+    enabled: bool,
+}
+
+impl Span {
+    /// Open a span for `target`.
+    #[must_use]
+    pub fn new(target: &'static str) -> Self {
+        Self {
+            target,
+            start: Instant::now(),
+            fields: Vec::new(),
+            enabled: log_enabled(),
+        }
+    }
+
+    /// Attach a field (no-op while logging is disabled).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Display) -> Self {
+        if self.enabled {
+            self.fields.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Attach the trace id under the conventional `trace` key.
+    #[must_use]
+    pub fn trace(self, id: &str) -> Self {
+        self.field("trace", id)
+    }
+
+    /// Elapsed time since the span opened.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros().min(u128::from(u64::MAX)))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Close explicitly (equivalent to dropping).
+    pub fn close(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        emit(&Record {
+            kind: "span",
+            target: self.target,
+            duration_us: Some(
+                u64::try_from(self.start.elapsed().as_micros().min(u128::from(u64::MAX)))
+                    .unwrap_or(u64::MAX),
+            ),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+/// A point-in-time structured record (job state change, fault injection,
+/// startup config, …). Build with fields, then [`Event::emit`].
+#[derive(Debug)]
+pub struct Event {
+    target: &'static str,
+    fields: Vec<(&'static str, String)>,
+    enabled: bool,
+}
+
+impl Event {
+    /// Start an event for `target`.
+    #[must_use]
+    pub fn new(target: &'static str) -> Self {
+        Self {
+            target,
+            fields: Vec::new(),
+            enabled: log_enabled(),
+        }
+    }
+
+    /// Attach a field (no-op while logging is disabled).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Display) -> Self {
+        if self.enabled {
+            self.fields.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Attach the trace id under the conventional `trace` key.
+    #[must_use]
+    pub fn trace(self, id: &str) -> Self {
+        self.field("trace", id)
+    }
+
+    /// Emit the record.
+    pub fn emit(self) {
+        if !self.enabled {
+            return;
+        }
+        emit(&Record {
+            kind: "event",
+            target: self.target,
+            duration_us: None,
+            fields: self.fields,
+        });
+    }
+}
+
+/// A diagnostic that must reach stderr even with logging off (malformed
+/// env vars, contained panics): plain text under `off`/`text`, a JSON
+/// event line under `json` so the every-line-parses contract holds.
+pub fn warn(target: &'static str, message: &str) {
+    match log_mode() {
+        LogMode::Json => {
+            eprintln!(
+                "{{\"kind\":\"warn\",\"target\":\"{}\",\"ts_us\":{},\"message\":\"{}\"}}",
+                json_escape(target),
+                now_us(),
+                json_escape(message)
+            );
+        }
+        _ => eprintln!("[{target}] {message}"),
+    }
+    if capture_active() {
+        let mut buf = capture_buffer().lock().expect("capture lock poisoned");
+        if buf.len() < CAPTURE_CAP {
+            buf.push(Record {
+                kind: "warn",
+                target,
+                duration_us: None,
+                fields: vec![("message", message.to_string())],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(LogMode::parse("off"), Some(LogMode::Off));
+        assert_eq!(LogMode::parse(""), Some(LogMode::Off));
+        assert_eq!(LogMode::parse("TEXT"), Some(LogMode::Text));
+        assert_eq!(LogMode::parse("json"), Some(LogMode::Json));
+        assert_eq!(LogMode::parse(" json "), Some(LogMode::Json));
+        assert_eq!(LogMode::parse("yaml"), None);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_hex() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn capture_sees_spans_and_events() {
+        let guard = capture();
+        let trace = next_trace_id();
+        Event::new("test.capture.event")
+            .trace(&trace)
+            .field("k", "v1 v2")
+            .emit();
+        Span::new("test.capture.span")
+            .trace(&trace)
+            .field("n", 7)
+            .close();
+        let records: Vec<Record> = captured()
+            .into_iter()
+            .filter(|r| r.field("trace") == Some(trace.as_str()))
+            .collect();
+        drop(guard);
+        assert_eq!(records.len(), 2, "{records:?}");
+        let event = &records[0];
+        assert_eq!(event.kind, "event");
+        assert_eq!(event.target, "test.capture.event");
+        assert_eq!(event.field("k"), Some("v1 v2"));
+        assert_eq!(event.duration_us, None);
+        let span = &records[1];
+        assert_eq!(span.kind, "span");
+        assert_eq!(span.field("n"), Some("7"));
+        assert!(span.duration_us.is_some());
+    }
+
+    #[test]
+    fn json_escaping_covers_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

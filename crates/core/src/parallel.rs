@@ -8,7 +8,7 @@
 //! worker pool and return the results in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Apply `f` to every item of `items` on up to
 /// [`std::thread::available_parallelism`] scoped worker threads, returning
@@ -34,6 +34,14 @@ where
     // count is additionally capped at the item count so tiny inputs (e.g. a
     // two-shard dataset on a 16-core machine) never spawn idle threads.
     let workers = worker_count(n);
+    // One relaxed increment per sweep (not per item): sweeps are shard-or
+    // coarser grained, so this is invisible next to the spawned work. The
+    // handle is resolved once per process, keeping the registry lock off the
+    // sweep path entirely.
+    static SWEEPS: OnceLock<std::sync::Arc<crate::obs::Counter>> = OnceLock::new();
+    SWEEPS
+        .get_or_init(|| crate::obs::counter("fair_parallel_sweeps_total", &[]))
+        .inc();
     if n <= 1 || workers <= 1 {
         return items.iter().map(f).collect();
     }

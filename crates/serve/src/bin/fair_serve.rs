@@ -10,8 +10,8 @@
 //! and the evaluation engine's per-request parallelism; `FAIR_CACHE_BYTES`
 //! bounds each disk store's resident shard cache.
 
-use fair_core::ShardSource;
-use fair_serve::{serve, AuditService};
+use fair_core::{obs, Kernel};
+use fair_serve::{serve, AuditService, DRAIN_DEADLINE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,7 +55,7 @@ fn main() {
                      Endpoints: GET /health | GET /stores | POST /stores | GET /stores/{{name}}/schema|stats\n\
                      | POST /stores/{{name}}/metrics | POST /jobs | GET /jobs/{{id}} | DELETE /jobs/{{id}}\n\n\
                      Knobs: FAIR_THREADS (worker + engine pool cap), FAIR_CACHE_BYTES (shard cache budget),\n\
-                     FAIR_SHARD_SIZE (layout of generated cohorts)."
+                     FAIR_SHARD_SIZE (layout of generated cohorts), FAIR_LOG=off|text|json (span/event log)."
                 );
                 return;
             }
@@ -67,11 +67,9 @@ fn main() {
     let service = AuditService::new();
     for (name, path) in &registrations {
         match service.catalog.register_disk(name, path) {
-            Ok(entry) => eprintln!(
-                "registered `{name}` <- {path} ({} rows, {} shards)",
-                entry.store.len(),
-                entry.store.num_shards()
-            ),
+            // `catalog.register` already emitted the structured event; this
+            // path only has to fail loudly.
+            Ok(_) => {}
             Err(e) => {
                 eprintln!("error: cannot register `{name}`: {}", e.message);
                 std::process::exit(1);
@@ -86,6 +84,25 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // One structured line with every resolved knob, so a log collector can
+    // reconstruct the process configuration without scraping the CLI.
+    let drain_ms = std::env::var("FAIR_DRAIN_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DRAIN_DEADLINE.as_millis() as u64);
+    let kernel = match fair_core::kernel::active() {
+        Kernel::Chunked => "chunked",
+        Kernel::Scalar => "scalar",
+    };
+    obs::Event::new("serve.start")
+        .field("addr", server.addr())
+        .field("workers", workers)
+        .field("stores", registrations.len())
+        .field("drain_ms", drain_ms)
+        .field("cache_bytes", fair_store::default_cache_bytes())
+        .field("prefetch", fair_store::default_prefetch())
+        .field("kernel", kernel)
+        .emit();
     // Scripted callers parse this line to find the ephemeral port.
     println!(
         "fair-serve listening on {} ({workers} workers)",

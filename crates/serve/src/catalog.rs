@@ -13,7 +13,7 @@
 //! pulls a cohort out from under an in-flight request or job.
 
 use crate::error::ApiError;
-use fair_core::{SchemaRef, ShardSource, ShardView, ShardedDataset};
+use fair_core::{obs, SchemaRef, ShardSource, ShardView, ShardedDataset};
 use fair_store::{CacheStats, ShardStore};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -161,6 +161,17 @@ impl Catalog {
         }
         let entry = Arc::new(entry);
         entries.insert(entry.name.clone(), entry.clone());
+        obs::counter(
+            "fair_serve_stores_registered_total",
+            &[("kind", entry.store.kind())],
+        )
+        .inc();
+        obs::Event::new("catalog.register")
+            .field("name", &entry.name)
+            .field("kind", entry.store.kind())
+            .field("rows", entry.store.len())
+            .field("shards", entry.store.num_shards())
+            .emit();
         Ok(entry)
     }
 
@@ -187,7 +198,12 @@ impl Catalog {
             .write()
             .expect("catalog lock poisoned")
             .remove(name)
-            .map(|_| ())
+            .map(|entry| {
+                obs::Event::new("catalog.remove")
+                    .field("name", name)
+                    .field("kind", entry.store.kind())
+                    .emit();
+            })
             .ok_or_else(|| ApiError::not_found(format!("no store named `{name}`")))
     }
 

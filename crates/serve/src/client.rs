@@ -113,6 +113,10 @@ pub struct JobView {
     pub step: usize,
     /// Total steps.
     pub total_steps: usize,
+    /// Wall-clock milliseconds spent queued (serve-layer bookkeeping).
+    pub queued_ms: u64,
+    /// Wall-clock milliseconds spent running (still ticking while running).
+    pub running_ms: u64,
     /// The outcome, once completed.
     pub result: Option<JobResult>,
     /// The failure message, once failed.
@@ -176,6 +180,7 @@ pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
     connect_retries: usize,
+    trace: Option<String>,
 }
 
 impl Client {
@@ -186,7 +191,17 @@ impl Client {
             addr,
             timeout: Duration::from_secs(30),
             connect_retries: 0,
+            trace: None,
         }
+    }
+
+    /// Attach a trace id: every request carries it in the `x-fair-trace`
+    /// header, so the server-side handler spans correlate with the caller's
+    /// spans (the fleet coordinator sets one id per fan-out round).
+    #[must_use]
+    pub fn with_trace(mut self, id: impl Into<String>) -> Self {
+        self.trace = Some(id.into());
+        self
     }
 
     /// Override the per-request socket timeout.
@@ -214,6 +229,15 @@ impl Client {
     /// I/O, protocol, or API errors.
     pub fn health(&self) -> Result<()> {
         self.request("GET", "/health", None).map(|_| ())
+    }
+
+    /// `GET /health`, returning the parsed body (status, uptime, request
+    /// counter) instead of discarding it.
+    ///
+    /// # Errors
+    /// I/O, protocol, or API errors.
+    pub fn health_info(&self) -> Result<Json> {
+        self.request("GET", "/health", None)
     }
 
     /// `GET /stores`.
@@ -473,39 +497,27 @@ impl Client {
         Ok(rows)
     }
 
+    /// `GET /metrics`: the server's [`fair_core::obs`] registry in raw
+    /// Prometheus text exposition format (no JSON parsing — the body is not
+    /// JSON).
+    ///
+    /// # Errors
+    /// I/O or protocol errors; [`ServeError::Api`] on non-2xx statuses.
+    pub fn metrics_text(&self) -> Result<String> {
+        let (status, raw) = self.exchange("GET", "/metrics", None)?;
+        if status >= 400 {
+            return Err(ServeError::Api {
+                status,
+                message: format!("GET /metrics answered {status}"),
+            });
+        }
+        String::from_utf8(raw).map_err(|_| ServeError::Protocol("non-UTF8 metrics body".into()))
+    }
+
     /// One request/response exchange. API-level failures (status >= 400)
     /// surface as [`ServeError::Api`] with the server's `error` message.
     fn request(&self, method: &str, path: &str, body: Option<&Json>) -> Result<Json> {
-        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(250));
-        let mut attempt = 0;
-        let conn = loop {
-            match TcpStream::connect_timeout(&self.addr, self.timeout) {
-                Ok(conn) => break conn,
-                Err(_) if attempt < self.connect_retries => {
-                    attempt += 1;
-                    backoff.sleep();
-                }
-                Err(e) => return Err(e.into()),
-            }
-        };
-        conn.set_read_timeout(Some(self.timeout))?;
-        conn.set_write_timeout(Some(self.timeout))?;
-        conn.set_nodelay(true)?;
-        let rendered = body.map(Json::render).unwrap_or_default();
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.addr,
-            rendered.len()
-        );
-        let mut w = &conn;
-        w.write_all(head.as_bytes())?;
-        w.write_all(rendered.as_bytes())?;
-        w.flush()?;
-
-        let (status, raw) = read_response(&conn)?;
-        if raw.len() > MAX_BODY_BYTES {
-            return Err(ServeError::Protocol("response body too large".into()));
-        }
+        let (status, raw) = self.exchange(method, path, body)?;
         let text = std::str::from_utf8(&raw)
             .map_err(|_| ServeError::Protocol("non-UTF8 response body".into()))?;
         let json = if text.is_empty() {
@@ -522,6 +534,47 @@ impl Client {
             return Err(ServeError::Api { status, message });
         }
         Ok(json)
+    }
+
+    /// The raw wire exchange shared by the JSON path and `/metrics`: connect
+    /// (with retries), send one request, read `(status, body bytes)`.
+    fn exchange(&self, method: &str, path: &str, body: Option<&Json>) -> Result<(u16, Vec<u8>)> {
+        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(250));
+        let mut attempt = 0;
+        let conn = loop {
+            match TcpStream::connect_timeout(&self.addr, self.timeout) {
+                Ok(conn) => break conn,
+                Err(_) if attempt < self.connect_retries => {
+                    attempt += 1;
+                    backoff.sleep();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        conn.set_read_timeout(Some(self.timeout))?;
+        conn.set_write_timeout(Some(self.timeout))?;
+        conn.set_nodelay(true)?;
+        let rendered = body.map(Json::render).unwrap_or_default();
+        let trace_header = self
+            .trace
+            .as_deref()
+            .map(|id| format!("{}: {id}\r\n", crate::http::TRACE_HEADER))
+            .unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n",
+            self.addr,
+            rendered.len()
+        );
+        let mut w = &conn;
+        w.write_all(head.as_bytes())?;
+        w.write_all(rendered.as_bytes())?;
+        w.flush()?;
+
+        let (status, raw) = read_response(&conn)?;
+        if raw.len() > MAX_BODY_BYTES {
+            return Err(ServeError::Protocol("response body too large".into()));
+        }
+        Ok((status, raw))
     }
 }
 
@@ -670,6 +723,8 @@ fn parse_job_view(v: &Json) -> Result<JobView> {
         state: str_field("state")?,
         step: v.get("step").and_then(Json::as_usize).unwrap_or(0),
         total_steps: v.get("total_steps").and_then(Json::as_usize).unwrap_or(0),
+        queued_ms: v.get("queued_ms").and_then(Json::as_u64).unwrap_or(0),
+        running_ms: v.get("running_ms").and_then(Json::as_u64).unwrap_or(0),
         result,
         error: v.get("error").and_then(Json::as_str).map(str::to_string),
     })

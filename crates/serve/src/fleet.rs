@@ -27,6 +27,14 @@
 //!
 //! Deterministic 4xx rejections are *not* retried or re-dispatched — a
 //! request every healthy node rejects is the caller's bug, not a fault.
+//!
+//! Every escalation is observable: the coordinator mints one trace id per
+//! fan-out round and sends it to every worker via `x-fair-trace` (so a
+//! retried range's server-side spans correlate with the round), mirrors its
+//! [`FleetReport`] counters into `fair_fleet_*` registry series, times each
+//! worker's requests into `fair_fleet_request_duration_us{worker}`, and
+//! emits `fleet.retry` / `fleet.redispatch` / `fleet.eject` /
+//! `fleet.readmit` events.
 
 use crate::backoff::Backoff;
 use crate::catalog::PlacementMap;
@@ -37,13 +45,14 @@ use fair_core::dca::{
     run_core_dca_gathered, run_full_descent, CoreDcaOutcome, FullDcaOutcome, RunControl,
     TopKDisparity,
 };
+use fair_core::obs;
 use fair_core::ranking::{selection_size, WeightedSumRanker};
 use fair_core::{DataObject, DcaConfig, FairError, Schema, SchemaRef};
 use std::net::SocketAddr;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Retry, timeout, and health-probing knobs for a [`FleetCoordinator`].
 #[derive(Debug, Clone)]
@@ -87,6 +96,36 @@ struct WorkerState {
     healthy: bool,
     consecutive_failures: u32,
     rounds_since_eject: usize,
+    /// Registry histogram of this worker's request latencies
+    /// (`fair_fleet_request_duration_us{worker=addr}`), resolved at connect.
+    duration: Arc<obs::Histogram>,
+}
+
+/// Registry handles for the coordinator's counters, resolved once at
+/// connect. The [`FleetReport`] atomics stay the per-coordinator exact view;
+/// these are the process-total series `/metrics` exposes (several
+/// coordinators in one process sum here).
+#[derive(Debug)]
+struct FleetObs {
+    requests: Arc<obs::Counter>,
+    retries: Arc<obs::Counter>,
+    re_dispatches: Arc<obs::Counter>,
+    ejections: Arc<obs::Counter>,
+    readmissions: Arc<obs::Counter>,
+    partials_cache_hits: Arc<obs::Counter>,
+}
+
+impl Default for FleetObs {
+    fn default() -> Self {
+        Self {
+            requests: obs::counter("fair_fleet_requests_total", &[]),
+            retries: obs::counter("fair_fleet_retries_total", &[]),
+            re_dispatches: obs::counter("fair_fleet_re_dispatches_total", &[]),
+            ejections: obs::counter("fair_fleet_ejections_total", &[]),
+            readmissions: obs::counter("fair_fleet_readmissions_total", &[]),
+            partials_cache_hits: obs::counter("fair_fleet_partials_cache_hits_total", &[]),
+        }
+    }
 }
 
 /// A public snapshot of one worker's health.
@@ -133,6 +172,7 @@ pub struct FleetCoordinator {
     ejections: AtomicU64,
     readmissions: AtomicU64,
     partials_cache_hits: AtomicU64,
+    obs: FleetObs,
 }
 
 impl FleetCoordinator {
@@ -187,6 +227,10 @@ impl FleetCoordinator {
             .into_iter()
             .zip(addrs)
             .map(|(client, &addr)| WorkerState {
+                duration: obs::histogram(
+                    "fair_fleet_request_duration_us",
+                    &[("worker", &addr.to_string())],
+                ),
                 addr,
                 client,
                 healthy: true,
@@ -207,6 +251,7 @@ impl FleetCoordinator {
             ejections: AtomicU64::new(0),
             readmissions: AtomicU64::new(0),
             partials_cache_hits: AtomicU64::new(0),
+            obs: FleetObs::default(),
         })
     }
 
@@ -352,6 +397,7 @@ impl FleetCoordinator {
                 if hits > 0 {
                     self.partials_cache_hits
                         .fetch_add(hits as u64, Ordering::Relaxed);
+                    self.obs.partials_cache_hits.add(hits as u64);
                 }
                 for rows in &samples {
                     if rows.features.len() != rows.len() * nf
@@ -393,22 +439,32 @@ impl FleetCoordinator {
 
     /// Dispatch `op` for every placement range concurrently, with
     /// retry/failover per range, returning results in ascending range
-    /// order.
+    /// order. The whole round shares one trace id, carried to every worker
+    /// in the `x-fair-trace` header — so a retried range's handler spans
+    /// line up with this round's `fleet.fan_out` span under one id.
     fn fan_out<T: Send>(
         &self,
         op: impl Fn(&Client, Range<usize>) -> Result<T> + Sync,
     ) -> Result<Vec<T>> {
         self.probe_ejected();
+        let trace = obs::next_trace_id();
         let assignments = self.placement.assignments();
+        let span = obs::Span::new("fleet.fan_out")
+            .trace(&trace)
+            .field("store", &self.store)
+            .field("ranges", assignments.len());
         let results: Vec<Result<T>> = std::thread::scope(|scope| {
             let op = &op;
+            let trace = &trace;
             let handles: Vec<_> = assignments
                 .iter()
                 .map(|(owner, range)| {
                     let owner = *owner;
                     let range = range.clone();
                     scope.spawn(move || {
-                        self.run_range(owner, range.clone(), |client| op(client, range.clone()))
+                        self.run_range(owner, range.clone(), trace, |client| {
+                            op(client, range.clone())
+                        })
                     })
                 })
                 .collect();
@@ -423,6 +479,7 @@ impl FleetCoordinator {
                 })
                 .collect()
         });
+        span.close();
         results.into_iter().collect()
     }
 
@@ -433,23 +490,40 @@ impl FleetCoordinator {
         &self,
         owner: usize,
         range: Range<usize>,
+        trace: &str,
         op: impl Fn(&Client) -> Result<T>,
     ) -> Result<T> {
         let mut last_error: Option<ServeError> = None;
         for (slot, w) in self.candidate_order(owner).into_iter().enumerate() {
-            let client = {
-                self.workers.lock().expect("fleet worker table poisoned")[w]
-                    .client
-                    .clone()
+            let (client, addr, duration) = {
+                let workers = self.workers.lock().expect("fleet worker table poisoned");
+                (
+                    workers[w].client.clone().with_trace(trace),
+                    workers[w].addr,
+                    workers[w].duration.clone(),
+                )
             };
             let mut backoff = Backoff::new(self.config.backoff_base, self.config.backoff_cap);
             for attempt in 0..self.config.max_attempts.max(1) {
                 self.requests.fetch_add(1, Ordering::Relaxed);
-                match op(&client) {
+                self.obs.requests.inc();
+                let start = Instant::now();
+                let outcome = op(&client);
+                duration.record(
+                    u64::try_from(start.elapsed().as_micros().min(u128::from(u64::MAX)))
+                        .unwrap_or(u64::MAX),
+                );
+                match outcome {
                     Ok(value) => {
                         self.record_success(w);
                         if slot > 0 {
                             self.re_dispatches.fetch_add(1, Ordering::Relaxed);
+                            self.obs.re_dispatches.inc();
+                            obs::Event::new("fleet.redispatch")
+                                .trace(trace)
+                                .field("worker", addr)
+                                .field("shards", format!("{range:?}"))
+                                .emit();
                         }
                         return Ok(value);
                     }
@@ -463,6 +537,12 @@ impl FleetCoordinator {
                         last_error = Some(e);
                         if attempt + 1 < self.config.max_attempts.max(1) {
                             self.retries.fetch_add(1, Ordering::Relaxed);
+                            self.obs.retries.inc();
+                            obs::Event::new("fleet.retry")
+                                .trace(trace)
+                                .field("worker", addr)
+                                .field("attempt", attempt + 1)
+                                .emit();
                             backoff.sleep();
                         }
                     }
@@ -494,6 +574,10 @@ impl FleetCoordinator {
         if !state.healthy {
             state.healthy = true;
             self.readmissions.fetch_add(1, Ordering::Relaxed);
+            self.obs.readmissions.inc();
+            obs::Event::new("fleet.readmit")
+                .field("worker", state.addr)
+                .emit();
         }
     }
 
@@ -505,6 +589,11 @@ impl FleetCoordinator {
             state.healthy = false;
             state.rounds_since_eject = 0;
             self.ejections.fetch_add(1, Ordering::Relaxed);
+            self.obs.ejections.inc();
+            obs::Event::new("fleet.eject")
+                .field("worker", state.addr)
+                .field("consecutive_failures", state.consecutive_failures)
+                .emit();
         }
     }
 
@@ -525,6 +614,7 @@ impl FleetCoordinator {
         };
         for (w, client) in due {
             self.requests.fetch_add(1, Ordering::Relaxed);
+            self.obs.requests.inc();
             if client.health().is_ok() {
                 self.record_success(w);
             } else {

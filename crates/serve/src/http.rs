@@ -16,6 +16,11 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Ceiling on a request or response body, bytes.
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
+/// The request header carrying the caller's trace id across processes, so
+/// one id spans a fleet coordinator request and the worker-side handler
+/// span it lands on.
+pub const TRACE_HEADER: &str = "x-fair-trace";
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -25,9 +30,23 @@ pub struct Request {
     pub path: String,
     /// The raw body (empty when the request carries none).
     pub body: Vec<u8>,
+    /// The [`TRACE_HEADER`] value, when the caller sent one; the server
+    /// mints a fresh id at the accept path otherwise.
+    pub trace: Option<String>,
 }
 
 impl Request {
+    /// A request with no trace header (tests, in-process dispatch).
+    #[must_use]
+    pub fn new(method: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
+        Self {
+            method: method.into(),
+            path: path.into(),
+            body,
+            trace: None,
+        }
+    }
+
     /// The path split into non-empty `/`-separated segments.
     #[must_use]
     pub fn segments(&self) -> Vec<&str> {
@@ -62,6 +81,7 @@ pub fn read_request(stream: &TcpStream) -> Result<Request> {
     let path = target.split('?').next().unwrap_or("").to_string();
 
     let mut content_length = 0_usize;
+    let mut trace: Option<String> = None;
     let mut head_bytes = request_line.len();
     loop {
         let line = read_line(&mut reader, MAX_HEAD_BYTES)?;
@@ -73,10 +93,18 @@ pub fn read_request(stream: &TcpStream) -> Result<Request> {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().map_err(|_| {
                     ServeError::Protocol(format!("invalid Content-Length `{}`", value.trim()))
                 })?;
+            } else if name.eq_ignore_ascii_case(TRACE_HEADER) {
+                let id = value.trim();
+                // Bound what a hostile peer can push into log lines: trace
+                // ids are short opaque tokens, not a transport for payloads.
+                if !id.is_empty() && id.len() <= 64 {
+                    trace = Some(id.to_string());
+                }
             }
         }
     }
@@ -87,7 +115,12 @@ pub fn read_request(stream: &TcpStream) -> Result<Request> {
     }
     let mut body = vec![0_u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        trace,
+    })
 }
 
 /// Render the response head (status line + headers + blank line) for a JSON
@@ -108,6 +141,26 @@ pub fn render_head(status: u16, content_length: usize) -> String {
 pub fn write_response(stream: &TcpStream, status: u16, body: &str) -> Result<()> {
     let mut out = Vec::with_capacity(body.len() + 128);
     out.extend_from_slice(render_head(status, body.len()).as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    let mut stream = stream;
+    stream.write_all(&out)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Write a plain-text response (the Prometheus `/metrics` exposition — the
+/// one endpoint whose body is not JSON).
+///
+/// # Errors
+/// Returns [`ServeError::Io`] on socket failure.
+pub fn write_text_response(stream: &TcpStream, status: u16, body: &str) -> Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body.as_bytes());
     let mut stream = stream;
     stream.write_all(&out)?;
@@ -254,12 +307,13 @@ mod tests {
                 assert_eq!(req.path, "/stores/x/metrics");
                 assert_eq!(req.segments(), vec!["stores", "x", "metrics"]);
                 assert_eq!(req.body, br#"{"k":0.1}"#);
+                assert_eq!(req.trace.as_deref(), Some("abc123def456"));
                 write_response(&conn, 200, r#"{"ok":true}"#).unwrap();
             },
             |conn| {
                 let body = br#"{"k":0.1}"#;
                 let head = format!(
-                    "POST /stores/x/metrics?ignored=1 HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                    "POST /stores/x/metrics?ignored=1 HTTP/1.1\r\nHost: t\r\nX-Fair-Trace: abc123def456\r\nContent-Length: {}\r\n\r\n",
                     body.len()
                 );
                 let mut w = &conn;

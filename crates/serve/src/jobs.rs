@@ -18,14 +18,17 @@
 use crate::catalog::StoreEntry;
 use crate::error::ApiError;
 use fair_core::dca::{
-    run_core_dca_sharded_controlled, run_full_dca_sharded_controlled, RunControl, TopKDisparity,
+    run_core_dca_sharded_controlled, run_full_dca_sharded_controlled, step_duration_hook,
+    RunControl, TopKDisparity,
 };
+use fair_core::obs;
 use fair_core::ranking::WeightedSumRanker;
 use fair_core::{DcaConfig, FairError, ShardSource};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Which DCA variant a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +128,12 @@ struct JobState {
     phase: JobPhase,
     result: Option<JobOutcome>,
     error: Option<String>,
+    /// When the submission was accepted.
+    submitted: Instant,
+    /// When the job thread began the descent (`Running`).
+    started: Option<Instant>,
+    /// When the job reached a terminal phase.
+    finished: Option<Instant>,
 }
 
 /// One background DCA run. All accessors take `&self`; the struct is shared
@@ -209,6 +218,26 @@ impl Job {
     pub fn snapshot(&self) -> (JobPhase, Option<JobOutcome>, Option<String>) {
         let st = self.state.lock().expect("job state poisoned");
         (st.phase, st.result.clone(), st.error.clone())
+    }
+
+    /// `(queued_ms, running_ms)`: wall-clock milliseconds the job spent
+    /// waiting for its thread's prologue and descending, both still ticking
+    /// while the respective phase is current. Wall-clock lives here at the
+    /// serve layer only — the descent itself never reads a clock.
+    ///
+    /// # Panics
+    /// Panics if the state lock is poisoned.
+    #[must_use]
+    pub fn timings(&self) -> (u64, u64) {
+        let st = self.state.lock().expect("job state poisoned");
+        let now = Instant::now();
+        let ms = |d: std::time::Duration| u64::try_from(d.as_millis()).unwrap_or(u64::MAX);
+        let queued_until = st.started.or(st.finished).unwrap_or(now);
+        let queued = ms(queued_until.duration_since(st.submitted));
+        let running = st
+            .started
+            .map_or(0, |s| ms(st.finished.unwrap_or(now).duration_since(s)));
+        (queued, running)
     }
 }
 
@@ -384,8 +413,17 @@ impl JobManager {
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         let step = Arc::new(AtomicUsize::new(0));
         let hook_step = step.clone();
+        // One progress hook feeds both consumers: the lock-free step counter
+        // the status endpoint reads, and the per-step duration histogram
+        // (timing lives in the hook, so the descent loop — and therefore the
+        // trajectory — is identical to the uninstrumented library call).
+        let step_timer = step_duration_hook(obs::histogram(
+            "fair_serve_job_step_duration_us",
+            &[("kind", spec.kind.as_str())],
+        ));
         let control = Arc::new(RunControl::with_progress(move |p| {
             hook_step.store(p.step, Ordering::Relaxed);
+            step_timer(p);
         }));
         let job = Arc::new(Job {
             id: id.clone(),
@@ -398,8 +436,22 @@ impl JobManager {
                 phase: JobPhase::Queued,
                 result: None,
                 error: None,
+                submitted: Instant::now(),
+                started: None,
+                finished: None,
             }),
         });
+        obs::counter(
+            "fair_serve_jobs_submitted_total",
+            &[("kind", job.spec.kind.as_str())],
+        )
+        .inc();
+        obs::Event::new("job.submit")
+            .field("id", &job.id)
+            .field("store", &job.store)
+            .field("kind", job.spec.kind.as_str())
+            .field("total_steps", job.total_steps)
+            .emit();
 
         // Registration + spawn + handle tracking happen under the handle
         // lock, with the draining flag re-checked inside it: `shutdown` sets
@@ -509,10 +561,17 @@ fn execute(job: &Arc<Job>, entry: &Arc<StoreEntry>) {
         let mut st = job.state.lock().expect("job state poisoned");
         if job.control.is_cancelled() {
             st.phase = JobPhase::Cancelled;
+            st.finished = Some(Instant::now());
+            record_terminal(job, JobPhase::Cancelled, None);
             return;
         }
         st.phase = JobPhase::Running;
+        st.started = Some(Instant::now());
     }
+    obs::Event::new("job.state")
+        .field("id", &job.id)
+        .field("state", JobPhase::Running.as_str())
+        .emit();
     let weights = job
         .spec
         .weights
@@ -553,24 +612,47 @@ fn execute(job: &Arc<Job>, entry: &Arc<StoreEntry>) {
         }
     }));
 
-    let mut st = job.state.lock().expect("job state poisoned");
-    match outcome {
-        Ok(Ok(result)) => {
-            st.phase = JobPhase::Completed;
-            st.result = Some(result);
+    let phase = {
+        let mut st = job.state.lock().expect("job state poisoned");
+        match outcome {
+            Ok(Ok(result)) => {
+                st.phase = JobPhase::Completed;
+                st.result = Some(result);
+            }
+            Ok(Err(FairError::Cancelled)) => {
+                st.phase = JobPhase::Cancelled;
+            }
+            Ok(Err(e)) => {
+                st.phase = JobPhase::Failed;
+                st.error = Some(e.to_string());
+            }
+            Err(panic) => {
+                st.phase = JobPhase::Failed;
+                st.error = Some(panic_message(&*panic).to_string());
+            }
         }
-        Ok(Err(FairError::Cancelled)) => {
-            st.phase = JobPhase::Cancelled;
-        }
-        Ok(Err(e)) => {
-            st.phase = JobPhase::Failed;
-            st.error = Some(e.to_string());
-        }
-        Err(panic) => {
-            st.phase = JobPhase::Failed;
-            st.error = Some(panic_message(&*panic).to_string());
-        }
+        st.finished = Some(Instant::now());
+        st.phase
+    };
+    record_terminal(job, phase, job.error().as_deref());
+}
+
+/// Bump the terminal-state counter and emit the lifecycle event for a job
+/// reaching `phase`.
+fn record_terminal(job: &Arc<Job>, phase: JobPhase, error: Option<&str>) {
+    obs::counter(
+        "fair_serve_jobs_finished_total",
+        &[("state", phase.as_str())],
+    )
+    .inc();
+    let mut event = obs::Event::new("job.state")
+        .field("id", &job.id)
+        .field("state", phase.as_str())
+        .field("steps", job.step());
+    if let Some(error) = error {
+        event = event.field("error", error);
     }
+    event.emit();
 }
 
 #[cfg(test)]
@@ -673,6 +755,35 @@ mod tests {
         assert_eq!(wait_terminal(&a), JobPhase::Completed);
         assert_eq!(wait_terminal(&b), JobPhase::Completed);
         assert_eq!(a.result().unwrap().bonus, b.result().unwrap().bonus);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn timings_freeze_once_terminal() {
+        let catalog = Catalog::new();
+        let entry = catalog
+            .register_memory("cohort", biased_cohort(300))
+            .unwrap();
+        let manager = JobManager::new();
+        let job = manager
+            .submit(
+                entry,
+                JobSpec {
+                    kind: JobKind::Core,
+                    k: 0.2,
+                    weights: None,
+                    config: quick_config(),
+                },
+            )
+            .unwrap();
+        assert_eq!(wait_terminal(&job), JobPhase::Completed);
+        let first = job.timings();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(
+            job.timings(),
+            first,
+            "terminal jobs stop accumulating wall-clock"
+        );
         manager.shutdown();
     }
 

@@ -28,6 +28,14 @@
 //! envelope is testable on one machine through the `FAIR_FAULT` injection
 //! harness ([`fair_core::fault`]).
 //!
+//! The whole stack is observable through [`fair_core::obs`]: every layer
+//! records into the process-wide metrics registry (per-route counters and
+//! latency histograms, job lifecycle and per-step durations, shard-cache
+//! hit rates, fleet retries/ejections), exposed as Prometheus text at
+//! `GET /metrics`; `FAIR_LOG=text|json` turns on span/event logging with
+//! per-request trace ids that propagate coordinator→worker via the
+//! `x-fair-trace` header.
+//!
 //! Everything the server computes is **bit-identical to the library path**:
 //! the sharded kernels are the same code, and the wire format round-trips
 //! `f64` bits exactly ([`json`]). An uncancelled job with seed `s` produces

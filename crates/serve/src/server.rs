@@ -10,7 +10,8 @@
 //!
 //! | Method & path | Action |
 //! |---|---|
-//! | `GET /health` | liveness + counters |
+//! | `GET /health` | liveness + counters + uptime |
+//! | `GET /metrics` | the process-wide [`fair_core::obs`] registry in Prometheus text format |
 //! | `GET /stores` | list registered stores |
 //! | `POST /stores` | register a disk store (`path`) or generate a synthetic one (`generate`) |
 //! | `DELETE /stores/{name}` | deregister (in-flight work keeps its handle) |
@@ -31,15 +32,25 @@
 //! point `"serve"`, context = request path): an activated mode delays,
 //! drops, truncates, garbles, or 500s the response — see
 //! [`fair_core::fault`] and [`crate::fault`].
+//!
+//! Every dispatched request is counted and timed into the process-wide
+//! [`fair_core::obs`] registry under its route *template* (`POST
+//! /stores/{name}/metrics`, never the literal path — label cardinality
+//! stays bounded by the route table), and wrapped in one `serve.request`
+//! span whose trace id comes from the `x-fair-trace` request header when
+//! the caller supplies one (the fleet coordinator does, so worker spans
+//! line up with the coordinator round that provoked them) or is minted at
+//! the accept path otherwise.
 
 use crate::catalog::{Catalog, StoreEntry};
 use crate::error::ApiError;
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_text_response, Request};
 use crate::jobs::{Job, JobKind, JobManager, JobSpec};
 use crate::json::Json;
 use fair_core::dca::partial::disparity_partials;
 use fair_core::metrics::sharded as shmetrics;
 use fair_core::metrics::LogDiscountConfig;
+use fair_core::obs;
 use fair_core::ranking::WeightedSumRanker;
 use fair_core::{
     default_shard_size, for_each_shard_run, sample_indices_range_into, DcaConfig, FaultMode,
@@ -122,6 +133,71 @@ impl SampleCache {
     }
 }
 
+/// Registry handles the request path touches, resolved once per service so
+/// dispatch never takes the registry's name-lookup lock for a known route.
+#[derive(Debug)]
+struct ServeObs {
+    /// Service construction time — the `/health` uptime origin.
+    started: Instant,
+    /// Every dispatched request, regardless of route or outcome.
+    requests_total: Arc<obs::Counter>,
+    /// Connections currently inside a request handler.
+    in_flight: Arc<obs::Gauge>,
+    /// Per-`(route template, status class)` counter and per-template
+    /// latency histogram, created on each template's first hit.
+    #[allow(clippy::type_complexity)]
+    routes: Mutex<HashMap<(&'static str, &'static str), (Arc<obs::Counter>, Arc<obs::Histogram>)>>,
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            requests_total: obs::counter("fair_serve_requests_total", &[]),
+            in_flight: obs::gauge("fair_serve_in_flight", &[]),
+            routes: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The route *template* a request resolves to — the bounded label set the
+/// per-route metrics are keyed by (`{name}`/`{id}` instead of user input).
+fn route_template(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["health"]) => "GET /health",
+        ("GET", ["metrics"]) => "GET /metrics",
+        ("GET", ["stores"]) => "GET /stores",
+        ("POST", ["stores"]) => "POST /stores",
+        ("DELETE", ["stores", _]) => "DELETE /stores/{name}",
+        ("GET", ["stores", _, "schema"]) => "GET /stores/{name}/schema",
+        ("GET", ["stores", _, "stats"]) => "GET /stores/{name}/stats",
+        ("POST", ["stores", _, "metrics"]) => "POST /stores/{name}/metrics",
+        ("POST", ["stores", _, "partials"]) => "POST /stores/{name}/partials",
+        ("POST", ["jobs"]) => "POST /jobs",
+        ("GET", ["jobs"]) => "GET /jobs",
+        ("GET", ["jobs", _]) => "GET /jobs/{id}",
+        ("DELETE", ["jobs", _]) => "DELETE /jobs/{id}",
+        _ => "other",
+    }
+}
+
+/// Decrements the in-flight gauge however the handler exits (early returns
+/// on dropped connections included).
+struct InFlightGuard(Arc<obs::Gauge>);
+
+impl InFlightGuard {
+    fn enter(gauge: &Arc<obs::Gauge>) -> Self {
+        gauge.add(1);
+        Self(gauge.clone())
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
+
 /// The service state shared by every request worker: the store catalog and
 /// the background-job manager.
 #[derive(Debug, Default)]
@@ -135,6 +211,8 @@ pub struct AuditService {
     /// `core_sample` partial requests answered from the cache. Reported by
     /// `GET /health` and echoed per response as the `cached` flag.
     pub partials_cache_hits: AtomicU64,
+    /// Request-path registry handles (see [`ServeObs`]).
+    obs: ServeObs,
 }
 
 impl AuditService {
@@ -145,13 +223,55 @@ impl AuditService {
     }
 
     /// Dispatch one parsed request. Public so tests (and the in-process
-    /// perf harness) can exercise routing without sockets.
+    /// perf harness) can exercise routing without sockets. In-process calls
+    /// land in the same per-route counters and latency histograms as
+    /// socket-served traffic.
     #[must_use]
     pub fn route(&self, req: &Request) -> (u16, Json) {
-        match self.dispatch(req) {
+        let start = Instant::now();
+        let (status, body) = match self.dispatch(req) {
             Ok((status, body)) => (status, body),
             Err(e) => (e.status, Json::obj(vec![("error", Json::Str(e.message))])),
-        }
+        };
+        self.observe_route(route_template(&req.method, &req.segments()), status, start);
+        (status, body)
+    }
+
+    /// The process-wide [`fair_core::obs`] registry rendered in Prometheus
+    /// text exposition format — the body `GET /metrics` serves.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        obs::render_prometheus()
+    }
+
+    /// Count and time one dispatched request under its route template.
+    fn observe_route(&self, route: &'static str, status: u16, start: Instant) {
+        self.obs.requests_total.inc();
+        let class = match status {
+            s if s < 400 => "2xx",
+            s if s < 500 => "4xx",
+            _ => "5xx",
+        };
+        let (count, duration) = {
+            let mut routes = self.obs.routes.lock().expect("route obs poisoned");
+            routes
+                .entry((route, class))
+                .or_insert_with(|| {
+                    (
+                        obs::counter(
+                            "fair_serve_route_requests_total",
+                            &[("route", route), ("class", class)],
+                        ),
+                        obs::histogram("fair_serve_request_duration_us", &[("route", route)]),
+                    )
+                })
+                .clone()
+        };
+        count.inc();
+        duration.record(
+            u64::try_from(start.elapsed().as_micros().min(u128::from(u64::MAX)))
+                .unwrap_or(u64::MAX),
+        );
     }
 
     fn dispatch(&self, req: &Request) -> Result<(u16, Json), ApiError> {
@@ -166,6 +286,14 @@ impl AuditService {
                     (
                         "partials_cache_hits",
                         Json::num(self.partials_cache_hits.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "uptime_ms",
+                        Json::num(self.obs.started.elapsed().as_millis() as f64),
+                    ),
+                    (
+                        "requests_total",
+                        Json::num(self.obs.requests_total.get() as f64),
                     ),
                 ]),
             )),
@@ -735,6 +863,7 @@ fn job_view(job: &Job) -> Json {
     // One consistent read: phase/result/error must agree (a `completed`
     // state with a `null` result would break clients waiting on the job).
     let (phase, result, error) = job.snapshot();
+    let (queued_ms, running_ms) = job.timings();
     let result = match result {
         None => Json::Null,
         Some(r) => Json::obj(vec![
@@ -750,6 +879,8 @@ fn job_view(job: &Job) -> Json {
         ("state", Json::str(phase.as_str())),
         ("step", Json::num(job.step() as f64)),
         ("total_steps", Json::num(job.total_steps() as f64)),
+        ("queued_ms", Json::num(queued_ms as f64)),
+        ("running_ms", Json::num(running_ms as f64)),
         ("result", result),
         ("error", error.map_or(Json::Null, Json::Str)),
     ])
@@ -977,11 +1108,37 @@ fn handle_connection(service: &AuditService, conn: &TcpStream, stop: &AtomicBool
     let _ = conn.set_nodelay(true);
     match read_request(conn) {
         Ok(req) => {
+            let _in_flight = InFlightGuard::enter(&service.obs.in_flight);
+            // A caller-supplied trace id (the fleet coordinator's) wins, so
+            // a retried round's worker spans line up under one id; a bare
+            // request gets a fresh id minted here at the accept path.
+            let trace = req.trace.clone().unwrap_or_else(obs::next_trace_id);
+            let span = obs::Span::new("serve.request")
+                .trace(&trace)
+                .field("method", &req.method)
+                .field("path", &req.path);
             let fault = fair_core::fault::check("serve", &req.path);
             match fault {
-                Some(FaultMode::Drop) => return,
+                Some(FaultMode::Drop) => {
+                    span.field("dropped", true).close();
+                    return;
+                }
                 Some(FaultMode::Delay(d)) => crate::fault::stop_aware_sleep(d, stop),
                 _ => {}
+            }
+            // The exposition endpoint bypasses the JSON route table: it
+            // answers plain text and must never deadlock on itself, so it
+            // renders the registry directly on the worker.
+            if req.method == "GET" && req.path == "/metrics" {
+                // Rendered before the route observation lands, so a scrape
+                // reports every *previous* scrape but not itself — the price
+                // of an honest render-cost histogram.
+                let start = Instant::now();
+                let text = service.metrics_text();
+                service.observe_route("GET /metrics", 200, start);
+                span.field("status", 200_u16).close();
+                let _ = write_text_response(conn, 200, &text);
+                return;
             }
             let inject_panic = matches!(fault, Some(FaultMode::Panic));
             let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1003,6 +1160,7 @@ fn handle_connection(service: &AuditService, conn: &TcpStream, stop: &AtomicBool
                     )]),
                 ),
             };
+            span.field("status", status).close();
             let rendered = body.render();
             match fault {
                 Some(FaultMode::Status500) => {
@@ -1037,11 +1195,7 @@ mod tests {
     use super::*;
 
     fn request(method: &str, path: &str, body: &str) -> Request {
-        Request {
-            method: method.to_string(),
-            path: path.to_string(),
-            body: body.as_bytes().to_vec(),
-        }
+        Request::new(method, path, body.as_bytes().to_vec())
     }
 
     fn service_with_store(rows: usize) -> Arc<AuditService> {
@@ -1089,6 +1243,42 @@ mod tests {
                 .unwrap()
                 .len(),
             fairness.len()
+        );
+    }
+
+    #[test]
+    fn health_reports_uptime_and_a_monotone_request_count() {
+        let service = service_with_store(100);
+        let (status, first) = service.route(&request("GET", "/health", ""));
+        assert_eq!(status, 200);
+        assert!(first.get("uptime_ms").unwrap().as_f64().unwrap() >= 0.0);
+        let count = |body: &Json| body.get("requests_total").unwrap().as_usize().unwrap();
+        let (_, second) = service.route(&request("GET", "/health", ""));
+        assert!(
+            count(&second) > count(&first),
+            "{} then {}",
+            count(&first),
+            count(&second)
+        );
+    }
+
+    #[test]
+    fn routed_traffic_lands_in_the_route_metrics() {
+        let service = service_with_store(100);
+        let _ = service.route(&request("GET", "/health", ""));
+        let _ = service.route(&request("GET", "/nope", ""));
+        let text = service.metrics_text();
+        assert!(
+            text.contains(r#"fair_serve_route_requests_total{class="2xx",route="GET /health"}"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"fair_serve_route_requests_total{class="4xx",route="other"}"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"fair_serve_request_duration_us_count{route="GET /health"}"#),
+            "{text}"
         );
     }
 

@@ -26,14 +26,17 @@
 //! * **observability** — hit/miss/eviction counters and a peak-resident-bytes
 //!   high-water mark ([`ShardStore::cache_stats`]) make the out-of-core
 //!   claim testable: evaluating a cohort larger than the budget must leave
-//!   `peak_bytes <= budget`.
+//!   `peak_bytes <= budget`. The counters are homed in the process-wide
+//!   [`fair_core::obs`] registry (`fair_store_*` series, summed across every
+//!   open store, scraped at `GET /metrics`); [`CacheStats`] stays as the
+//!   exact per-store view.
 
 use crate::error::{Result, StoreError};
 use crate::format::{
     crc32, decode_directory, decode_schema, fnv1a64, shard_block_len, Header, ShardEntry,
     DIR_ENTRY_LEN, HEADER_LEN,
 };
-use fair_core::{Dataset, ObjectId, SchemaRef, ShardSource, ShardView};
+use fair_core::{obs, Dataset, ObjectId, SchemaRef, ShardSource, ShardView};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::File;
 use std::path::Path;
@@ -120,8 +123,37 @@ struct CacheEntry {
     prefetched: bool,
 }
 
+/// Handles into the process-wide [`fair_core::obs`] registry, resolved once
+/// per store open. Every open store shares the same `fair_store_*` series
+/// (the registry deduplicates by name), so `/metrics` reports process totals
+/// while [`CacheStats`] keeps the exact per-store view.
+struct CacheObs {
+    hits: Arc<obs::Counter>,
+    misses: Arc<obs::Counter>,
+    evictions: Arc<obs::Counter>,
+    prefetch_hits: Arc<obs::Counter>,
+    prefetch_wasted: Arc<obs::Counter>,
+    decode_poisoned: Arc<obs::Counter>,
+    resident_bytes: Arc<obs::Gauge>,
+}
+
+impl Default for CacheObs {
+    fn default() -> Self {
+        Self {
+            hits: obs::counter("fair_store_cache_hits_total", &[]),
+            misses: obs::counter("fair_store_cache_misses_total", &[]),
+            evictions: obs::counter("fair_store_cache_evictions_total", &[]),
+            prefetch_hits: obs::counter("fair_store_prefetch_hits_total", &[]),
+            prefetch_wasted: obs::counter("fair_store_prefetch_wasted_total", &[]),
+            decode_poisoned: obs::counter("fair_store_decode_poisoned_total", &[]),
+            resident_bytes: obs::gauge("fair_store_resident_bytes", &[]),
+        }
+    }
+}
+
 #[derive(Default)]
 struct CacheState {
+    obs: CacheObs,
     entries: HashMap<usize, CacheEntry>,
     tick: u64,
     resident: usize,
@@ -242,6 +274,15 @@ impl Drop for ShardStore {
             self.inner.work.notify_all();
             let _ = handle.join();
         }
+        // The registry outlives the store: return this store's resident
+        // bytes so the process-wide gauge keeps summing only open stores.
+        let st = match self.inner.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        st.obs
+            .resident_bytes
+            .sub(i64::try_from(st.resident).unwrap_or(i64::MAX));
     }
 }
 
@@ -672,8 +713,10 @@ impl StoreInner {
                     let data = e.data.clone();
                     if was_prefetched {
                         st.prefetch_hits += 1;
+                        st.obs.prefetch_hits.inc();
                     }
                     st.hits += 1;
+                    st.obs.hits.inc();
                     self.schedule_readahead(&mut st, index);
                     return Ok(data);
                 }
@@ -697,6 +740,7 @@ impl StoreInner {
                 break;
             }
             st.misses += 1;
+            st.obs.misses.inc();
             st.inflight.insert(index);
             self.schedule_readahead(&mut st, index);
         }
@@ -731,6 +775,7 @@ impl StoreInner {
             let data = e.data.clone();
             if was_prefetched {
                 st.prefetch_hits += 1;
+                st.obs.prefetch_hits.inc();
             }
             return Ok(data);
         }
@@ -739,6 +784,9 @@ impl StoreInner {
         evict_until(&mut st, self.budget.saturating_sub(bytes));
         st.resident += bytes;
         st.peak = st.peak.max(st.resident);
+        st.obs
+            .resident_bytes
+            .add(i64::try_from(bytes).unwrap_or(i64::MAX));
         st.entries.insert(
             index,
             CacheEntry {
@@ -856,6 +904,12 @@ impl StoreInner {
                 Ok(Err(_)) => {}
                 Err(panic) => {
                     st.decode_poisoned += 1;
+                    st.obs.decode_poisoned.inc();
+                    obs::Event::new("store.decode_poisoned")
+                        .field("path", &self.path)
+                        .field("shard", index)
+                        .field("panic", panic_text(&*panic))
+                        .emit();
                     st.poisoned.insert(index, panic_text(&*panic));
                 }
             }
@@ -883,12 +937,16 @@ fn admit_prefetched(st: &mut CacheState, budget: usize, index: usize, data: Arc<
     evict_until(st, budget.saturating_sub(bytes));
     if st.resident.saturating_add(bytes) > budget {
         st.prefetch_wasted += 1;
+        st.obs.prefetch_wasted.inc();
         return;
     }
     st.tick += 1;
     let tick = st.tick;
     st.resident += bytes;
     st.peak = st.peak.max(st.resident);
+    st.obs
+        .resident_bytes
+        .add(i64::try_from(bytes).unwrap_or(i64::MAX));
     st.entries.insert(
         index,
         CacheEntry {
@@ -915,9 +973,14 @@ fn evict_until(st: &mut CacheState, target: usize) {
             Some(k) => {
                 let e = st.entries.remove(&k).expect("victim exists");
                 st.resident -= e.bytes;
+                st.obs
+                    .resident_bytes
+                    .sub(i64::try_from(e.bytes).unwrap_or(i64::MAX));
                 st.evictions += 1;
+                st.obs.evictions.inc();
                 if e.prefetched {
                     st.prefetch_wasted += 1;
+                    st.obs.prefetch_wasted.inc();
                 }
             }
             None => break,

@@ -14,6 +14,7 @@
 //!    burst passes.
 
 use fair_ranking::core::metrics::sharded as shmetrics;
+use fair_ranking::core::obs;
 use fair_ranking::prelude::*;
 use fair_ranking::serve::{
     serve, AuditService, Client, FleetConfig, FleetCoordinator, ServerHandle,
@@ -272,6 +273,69 @@ fn killing_a_worker_mid_descent_re_dispatches_its_range() {
         "the dead worker must be ejected: {:?}",
         fleet.workers()
     );
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn one_trace_id_spans_coordinator_retries_and_worker_handlers() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _capture = obs::capture();
+    let (handles, addrs) = spawn_fleet(2);
+    let fleet = FleetCoordinator::connect(
+        "cohort",
+        &addrs,
+        FleetConfig {
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A 500 burst on the partial-reduce path forces coordinator retries;
+    // the workers are in-process, so their handler spans land in the same
+    // capture buffer as the coordinator's events.
+    fair_ranking::core::fault::install(
+        fair_ranking::core::fault::FaultPlan::parse("serve@partials:500:2").unwrap(),
+    );
+    let bonus = vec![0.5, 0.0, 1.0, 0.0];
+    fleet.disparity(0.1, &bonus, Some(&RUBRIC_WEIGHTS)).unwrap();
+    fair_ranking::core::fault::install(fair_ranking::core::fault::FaultPlan::none());
+    assert!(fleet.report().retries >= 1, "{:?}", fleet.report());
+
+    let records = obs::captured();
+    // Other tests share the capture buffer: anchor on this coordinator's
+    // retry events and follow their trace id down to the worker spans.
+    let retry = records
+        .iter()
+        .find(|r| r.target == "fleet.retry")
+        .expect("the 500 burst must emit a retry event");
+    let trace = retry.field("trace").expect("retries carry the trace id");
+    let fan_out = records
+        .iter()
+        .find(|r| r.target == "fleet.fan_out" && r.field("trace") == Some(trace))
+        .expect("the retry's trace id names a fan-out round");
+    assert_eq!(fan_out.kind, "span");
+    assert_eq!(fan_out.field("store"), Some("cohort"));
+    let worker_spans: Vec<_> = records
+        .iter()
+        .filter(|r| r.target == "serve.request" && r.field("trace") == Some(trace))
+        .collect();
+    assert!(
+        worker_spans.len() >= 2,
+        "the retried range reaches a worker handler at least twice under \
+         the same trace id, got {}",
+        worker_spans.len()
+    );
+    assert!(
+        worker_spans
+            .iter()
+            .all(|r| r.field("path").is_some_and(|p| p.ends_with("/partials"))),
+        "{worker_spans:?}"
+    );
+
     for h in handles {
         h.shutdown();
     }

@@ -16,6 +16,7 @@
 //!    longer answers.
 
 use fair_ranking::core::metrics::sharded as shmetrics;
+use fair_ranking::core::obs;
 use fair_ranking::prelude::*;
 use fair_ranking::serve::{
     serve, AuditService, Client, JobKind, JobRequest, MetricsRequest, ServeError,
@@ -311,4 +312,161 @@ fn wire_errors_surface_as_structured_api_failures() {
     client.health().unwrap();
     std::fs::remove_file(doomed).ok();
     server.shutdown();
+}
+
+/// Check one Prometheus text-format line: a comment or `name{labels} value`.
+///
+/// The registry is process-global, so this test asserts shape and presence,
+/// never exact counts — sibling tests in this binary record concurrently.
+fn assert_prometheus_line(line: &str) {
+    if let Some(rest) = line.strip_prefix("# TYPE ") {
+        let mut parts = rest.split(' ');
+        let name = parts.next().unwrap_or("");
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        assert!(
+            matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+            "bad TYPE kind in {line:?}"
+        );
+        assert_eq!(parts.next(), None, "trailing tokens in {line:?}");
+        return;
+    }
+    let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+        panic!("sample line without a value: {line:?}");
+    });
+    assert!(
+        value.parse::<f64>().is_ok(),
+        "unparseable sample value in {line:?}"
+    );
+    let name = series.split('{').next().unwrap();
+    assert!(
+        name.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+        "bad series name in {line:?}"
+    );
+    if let Some(labels) = series
+        .strip_prefix(name)
+        .and_then(|s| s.strip_prefix('{'))
+        .and_then(|s| s.strip_suffix('}'))
+    {
+        for pair in labels.split("\",") {
+            let (k, v) = pair
+                .split_once("=\"")
+                .unwrap_or_else(|| panic!("bad label pair {pair:?} in {line:?}"));
+            let v = v.strip_suffix('"').unwrap_or(v);
+            assert!(!k.is_empty() && !v.contains('"'), "bad label in {line:?}");
+        }
+    }
+}
+
+#[test]
+fn metrics_endpoint_exposes_every_layer_as_valid_prometheus_text() {
+    let path = school_store("prom");
+    let server = serve(AuditService::new(), "127.0.0.1:0", 2).unwrap();
+    let client = Client::new(server.addr());
+
+    // Traffic through every layer: routes, a disk store, a finished job.
+    client.health().unwrap();
+    client
+        .register_disk_store("prom", path.to_str().unwrap())
+        .unwrap();
+    client
+        .metrics("prom", &MetricsRequest::baseline(0.1))
+        .unwrap();
+    let job = client
+        .submit_job(&JobRequest {
+            store: "prom".into(),
+            kind: JobKind::Core,
+            k: 0.1,
+            weights: Some(RUBRIC_WEIGHTS.to_vec()),
+            seed: 5,
+            sample_size: Some(100),
+            learning_rates: Some(vec![4.0]),
+            iterations_per_rate: Some(3),
+        })
+        .unwrap();
+    let done = client
+        .wait_for_job(&job.id, Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.state, "completed", "error: {:?}", done.error);
+    // Wall-clock timings freeze at the terminal transition: two fetches of
+    // a finished job agree exactly.
+    std::thread::sleep(Duration::from_millis(15));
+    let refetched = client.job(&job.id).unwrap();
+    assert_eq!(refetched.queued_ms, done.queued_ms);
+    assert_eq!(refetched.running_ms, done.running_ms);
+
+    // A scrape reports previous scrapes, not itself: warm the route series
+    // up with one throwaway scrape before asserting on the exposition.
+    client.metrics_text().unwrap();
+    let text = client.metrics_text().unwrap();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        assert_prometheus_line(line);
+    }
+    for needle in [
+        "# TYPE fair_serve_requests_total counter",
+        "# TYPE fair_serve_request_duration_us histogram",
+        "fair_serve_route_requests_total{class=\"2xx\",route=\"GET /health\"}",
+        "fair_serve_route_requests_total{class=\"2xx\",route=\"GET /metrics\"}",
+        "fair_serve_request_duration_us_bucket{route=\"POST /stores/{name}/metrics\",le=\"+Inf\"}",
+        "fair_serve_jobs_submitted_total{kind=\"core\"}",
+        "fair_serve_jobs_finished_total{state=\"completed\"}",
+        "fair_serve_job_step_duration_us_count{kind=\"core\"}",
+        "fair_serve_stores_registered_total{kind=\"disk\"}",
+        "fair_store_cache_misses_total",
+        "fair_store_resident_bytes",
+        "fair_serve_in_flight",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // The unlabeled total is monotone across scrapes, and /health mirrors it.
+    let count = |t: &str| -> u64 {
+        t.lines()
+            .find(|l| l.starts_with("fair_serve_requests_total "))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .map_or(0, |v| v as u64)
+    };
+    let first = count(&text);
+    assert!(first > 0);
+    let health = client.health_info().unwrap();
+    assert!(health.get("uptime_ms").is_some(), "{health:?}");
+    let reported = health
+        .get("requests_total")
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(reported >= first, "health echoes the request counter");
+    assert!(count(&client.metrics_text().unwrap()) > first);
+
+    server.shutdown();
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn request_spans_carry_the_caller_supplied_trace_id() {
+    let _guard = obs::capture();
+    let server = serve(AuditService::new(), "127.0.0.1:0", 2).unwrap();
+    let trace = obs::next_trace_id();
+    Client::new(server.addr())
+        .with_trace(&trace)
+        .health()
+        .unwrap();
+    server.shutdown();
+
+    let spans: Vec<_> = obs::captured()
+        .into_iter()
+        .filter(|r| r.target == "serve.request" && r.field("trace") == Some(trace.as_str()))
+        .collect();
+    assert_eq!(spans.len(), 1, "exactly one handler span carries the id");
+    assert_eq!(spans[0].kind, "span");
+    assert_eq!(spans[0].field("path"), Some("/health"));
+    assert_eq!(spans[0].field("status"), Some("200"));
+    assert!(spans[0].duration_us.is_some());
 }
