@@ -178,7 +178,14 @@ where
         initial,
         trace,
         control,
-        |bonus, out| objective.evaluate_sharded(data, ranker, bonus, &mut scratch, out),
+        |bonus, out| {
+            // Phase attribution wraps the whole shard-sweep evaluation (one
+            // scope per step, outside every kernel); inert unless the caller
+            // installed a job profile, and the clock never feeds back into
+            // the descent, so trajectories stay bit-identical.
+            let _score = crate::obs::profile::scope(crate::obs::Phase::Score);
+            objective.evaluate_sharded(data, ranker, bonus, &mut scratch, out)
+        },
     )
 }
 
@@ -248,6 +255,10 @@ where
         trace,
         control,
         |step_seed, gather| {
+            // One sample-phase scope per step covers the draw and the
+            // shard-run gather; page-ins it triggers open nested scopes that
+            // subtract themselves from this one on the same thread.
+            let _sample = crate::obs::profile::scope(crate::obs::Phase::Sample);
             data.sample_indices_into(step_seed, config.sample_size, &mut sample_indices)?;
             // The sample comes back grouped by shard, so each run of indices
             // pages its shard in exactly once (a cache hit per run for the
@@ -326,13 +337,16 @@ where
             gather.clear();
             gather_step(step_seed, &mut gather)?;
             let sample = gather.full_view();
-            objective.evaluate_into(
-                &sample,
-                ranker,
-                &bonus,
-                &mut scratch.eval,
-                &mut scratch.direction,
-            )?;
+            {
+                let _score = crate::obs::profile::scope(crate::obs::Phase::Score);
+                objective.evaluate_into(
+                    &sample,
+                    ranker,
+                    &bonus,
+                    &mut scratch.eval,
+                    &mut scratch.direction,
+                )?;
+            }
             let direction = &scratch.direction;
             debug_assert_eq!(direction.len(), dims);
             for (b, d) in bonus.iter_mut().zip(direction) {

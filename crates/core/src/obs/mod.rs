@@ -16,6 +16,11 @@
 //!   `FAIR_LOG=off|text|json`. Trace ids minted by [`next_trace_id`] ride
 //!   the `x-fair-trace` header so fleet coordinator retries correlate with
 //!   worker-side handler spans.
+//! * **Profiles** ([`profile`]): per-job phase attribution — a
+//!   [`JobProfile`] of pre-sized atomics carried by a thread-local handle,
+//!   with [`PhaseScope`] guards wrapping kernel invocations at the layer
+//!   boundaries (paging, decode, score sweeps, sample gathers, partial
+//!   combines, worker round trips). Inert unless a profile is installed.
 //!
 //! Instrumentation never alters computation: kernels stay wall-clock-free
 //! and every DCA/metric output is bit-identical with observability on or
@@ -28,15 +33,17 @@
 //! tests.
 
 pub mod log;
+pub mod profile;
 pub mod registry;
 
 pub use log::{
     capture, captured, log_enabled, log_mode, next_trace_id, set_log_mode, warn, CaptureGuard,
     Event, LogMode, Record, Span,
 };
+pub use profile::{JobProfile, Phase, PhaseScope, PhaseStats, StepBreakdown, PROFILE_RING};
 pub use registry::{
     bucket_index, bucket_upper_bound, global, Counter, Gauge, Histogram, Registry,
-    HISTOGRAM_BUCKETS,
+    HISTOGRAM_BUCKETS, RESERVOIR_SLOTS,
 };
 
 use std::sync::Arc;

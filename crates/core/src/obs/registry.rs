@@ -11,9 +11,13 @@
 //!
 //! Histograms bucket by powers of two (`le ∈ {1, 2, 4, …, 2^30, +Inf}`,
 //! conventionally microseconds) and keep an exact `sum` and `count`
-//! alongside the buckets, so averages are exact and quantiles are tight to
-//! one bucket boundary: [`Histogram::quantile`] returns the upper bound of
-//! the bucket containing the requested rank.
+//! alongside the buckets, so averages are exact. Quantiles come from a
+//! fixed [`RESERVOIR_SLOTS`]-slot exact-value reservoir maintained next to
+//! the buckets (Algorithm R with a splitmix64 hash of the observation index
+//! as the replacement coin — deterministic and wall-clock-free):
+//! [`Histogram::quantile`] returns an actually observed value, exact while
+//! `count ≤ 512` and a uniform-sample estimate above, instead of a bucket
+//! ceiling. `_sum`/`_count`/`_bucket` stay exact regardless.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -21,6 +25,19 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of histogram buckets: `le = 2^0 … 2^30`, then `+Inf`.
 pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Slots in the exact-value quantile reservoir each histogram carries.
+pub const RESERVOIR_SLOTS: usize = 512;
+
+/// One splitmix64 finalizer step — the replacement coin for the reservoir.
+/// A hash of the observation index (not a clock, not a shared RNG) keeps
+/// recording wall-clock-free and deterministic for a given arrival order.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A monotone event counter.
 #[derive(Debug, Default)]
@@ -71,18 +88,23 @@ impl Gauge {
     }
 }
 
-/// A log-bucketed distribution with an exact sum and count.
+/// A log-bucketed distribution with an exact sum and count, plus a
+/// fixed-size exact-value reservoir for quantiles.
 ///
 /// Values are `u64` (the convention throughout the workspace is
 /// microseconds). Bucket `i < 31` holds values `v ≤ 2^i`; bucket 31 is
-/// `+Inf`. `record` is three relaxed atomic adds — safe for concurrent
-/// recording from any number of threads with no lost updates, which the
-/// unit tests pin via sum/count invariants.
+/// `+Inf`. `record` is three relaxed atomic adds plus at most one relaxed
+/// store into the reservoir — safe for concurrent recording from any number
+/// of threads with no lost updates in `sum`/`count`/buckets, which the unit
+/// tests pin via sum/count invariants. (A racing reservoir replacement may
+/// drop one of two simultaneous candidates for the same slot; the reservoir
+/// is a sample by construction, so that only perturbs the sample.)
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
     count: AtomicU64,
+    reservoir: [AtomicU64; RESERVOIR_SLOTS],
 }
 
 impl Default for Histogram {
@@ -91,6 +113,7 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            reservoir: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -116,7 +139,20 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        // `n` is this observation's 0-based index in arrival order. The
+        // first RESERVOIR_SLOTS observations fill the reservoir verbatim;
+        // afterwards observation n replaces a uniformly hashed slot with
+        // probability RESERVOIR_SLOTS/(n+1) — Algorithm R, with splitmix64(n)
+        // standing in for the random coin so recording stays clock-free.
+        let n = self.count.fetch_add(1, Ordering::Relaxed);
+        if (n as usize) < RESERVOIR_SLOTS {
+            self.reservoir[n as usize].store(value, Ordering::Relaxed);
+        } else {
+            let j = splitmix64(n) % (n + 1);
+            if (j as usize) < RESERVOIR_SLOTS {
+                self.reservoir[j as usize].store(value, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Exact number of recorded observations.
@@ -138,25 +174,28 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
-    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
-    /// containing rank `⌈q·count⌉`; `None` when empty or when the rank
-    /// lands in the `+Inf` bucket.
+    /// The `q`-quantile (`0 < q ≤ 1`) as an actually recorded value: rank
+    /// `⌈q·len⌉` of the sorted reservoir sample. Exact while
+    /// `count ≤ RESERVOIR_SLOTS`; above that, a uniform-sample estimate
+    /// whose error shrinks with the reservoir size (the value returned is
+    /// still always one that was genuinely observed, never a bucket
+    /// ceiling). `None` when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        let snap = self.snapshot();
-        let total: u64 = snap.iter().sum();
+        let total = self.count();
         if total == 0 {
             return None;
         }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut cum = 0u64;
-        for (i, c) in snap.iter().enumerate() {
-            cum += c;
-            if cum >= rank {
-                return bucket_upper_bound(i);
-            }
-        }
-        None
+        let filled = usize::try_from(total)
+            .unwrap_or(usize::MAX)
+            .min(RESERVOIR_SLOTS);
+        let mut sample: Vec<u64> = self.reservoir[..filled]
+            .iter()
+            .map(|v| v.load(Ordering::Relaxed))
+            .collect();
+        sample.sort_unstable();
+        let rank = ((q * filled as f64).ceil() as usize).clamp(1, filled);
+        Some(sample[rank - 1])
     }
 }
 
@@ -437,25 +476,52 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_return_bucket_upper_bounds() {
+    fn histogram_quantiles_are_exact_recorded_values_below_reservoir_capacity() {
         let h = Histogram::default();
         assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
-        // 100 values in bucket le=1, 0 elsewhere: every quantile is 1.
+        // 100 values of 1: every quantile is exactly 1.
         for _ in 0..100 {
             h.record(1);
         }
         assert_eq!(h.quantile(0.5), Some(1));
         assert_eq!(h.quantile(0.99), Some(1));
-        // Add 100 values of 1000 (bucket le=1024): p50 stays at the first
-        // mass, p90/p99 move to the second.
+        // Add 100 values of 1000: p50 stays at the first mass; p90/p99 are
+        // the exact value 1000, not its 1024 bucket ceiling.
         for _ in 0..100 {
             h.record(1000);
         }
         assert_eq!(h.quantile(0.5), Some(1));
-        assert_eq!(h.quantile(0.9), Some(1024));
-        assert_eq!(h.quantile(0.99), Some(1024));
+        assert_eq!(h.quantile(0.9), Some(1000));
+        assert_eq!(h.quantile(0.99), Some(1000));
         assert_eq!(h.sum(), 100 + 100 * 1000);
         assert_eq!(h.count(), 200);
+    }
+
+    #[test]
+    fn reservoir_replacement_keeps_quantiles_observed_and_sum_exact() {
+        // Far past the reservoir capacity: quantiles must still be values
+        // that were genuinely recorded (here: the single recorded magnitude
+        // per tercile), monotone in q, and `_sum`/`_count` stay exact.
+        let h = Histogram::default();
+        let n: u64 = 30_000;
+        for i in 0..n {
+            h.record(match i % 3 {
+                0 => 10,
+                1 => 100,
+                _ => 1000,
+            });
+        }
+        assert_eq!(h.count(), n);
+        assert_eq!(h.sum(), (n / 3) * (10 + 100 + 1000));
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(matches!(p50, 10 | 100 | 1000), "observed value, got {p50}");
+        assert_eq!(p99, 1000, "top percentile of a third-heavy tail");
+        assert!(p50 <= p99, "quantiles are monotone");
+        // With 10k observations per magnitude, a 512-slot uniform sample
+        // putting the median anywhere but the middle magnitude would be a
+        // gross sampling failure.
+        assert_eq!(p50, 100);
     }
 
     #[test]
@@ -499,8 +565,9 @@ mod tests {
         assert!(text.contains("latency_us_bucket{route=\"GET /health\",le=\"+Inf\"} 2\n"));
         assert!(text.contains("latency_us_sum{route=\"GET /health\"} 903\n"));
         assert!(text.contains("latency_us_count{route=\"GET /health\"} 2\n"));
-        assert!(text.contains("latency_us_p50{route=\"GET /health\"} 4\n"));
-        assert!(text.contains("latency_us_p99{route=\"GET /health\"} 1024\n"));
+        // Quantile gauges carry exact reservoir values, not bucket ceilings.
+        assert!(text.contains("latency_us_p50{route=\"GET /health\"} 3\n"));
+        assert!(text.contains("latency_us_p99{route=\"GET /health\"} 900\n"));
         // Every non-comment line is `name{labels} value`.
         for line in text.lines() {
             if line.starts_with('#') {

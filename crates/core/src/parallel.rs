@@ -48,15 +48,25 @@ where
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Carry the caller's per-job profile handle (if any) into the pool: a
+    // shard paged in by a worker thread is still this job's page-in time.
+    // The inline path above runs on the calling thread, where the handle is
+    // already installed.
+    let profile = crate::obs::profile::current();
     std::thread::scope(|scope| {
+        let (next, slots, f) = (&next, &slots, &f);
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let profile = profile.clone();
+            scope.spawn(move || {
+                let _profile_guard = profile.map(crate::obs::profile::install);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(&items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 }
-                let result = f(&items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -214,6 +224,23 @@ mod tests {
         // the resolved ceiling so the parent can assert on it. Harmless when
         // run directly (it just prints the current value).
         println!("max_workers={}", max_workers());
+    }
+
+    #[test]
+    fn installed_profile_propagates_into_pool_workers() {
+        use crate::obs::profile::{self, Phase};
+        let p = crate::obs::JobProfile::new();
+        let _g = profile::install(p.clone());
+        let items: Vec<usize> = (0..64).collect();
+        let _ = parallel_map(&items, |&i| {
+            let _s = profile::scope(Phase::Decode);
+            std::hint::black_box(i)
+        });
+        assert_eq!(
+            p.stats()[Phase::Decode as usize].count,
+            64,
+            "every worker-side scope lands in the caller's profile"
+        );
     }
 
     #[test]

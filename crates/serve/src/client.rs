@@ -96,6 +96,10 @@ pub struct JobRequest {
     pub learning_rates: Option<Vec<f64>>,
     /// Iterations per rate (`None` keeps the server default).
     pub iterations_per_rate: Option<usize>,
+    /// Fleet worker addresses (`host:port` strings). `None` runs the job
+    /// on the serving node; `Some` makes the job's descent fan out to these
+    /// workers, all under the submitting request's trace id.
+    pub workers: Option<Vec<String>>,
 }
 
 /// A job's status as reported by the service.
@@ -105,6 +109,9 @@ pub struct JobView {
     pub id: String,
     /// Store the job audits.
     pub store: String,
+    /// The trace id every event of this job carries (the submitting
+    /// request's, or one the server minted at accept).
+    pub trace: String,
     /// `"full"` or `"core"`.
     pub kind: String,
     /// `queued` / `running` / `completed` / `failed` / `cancelled`.
@@ -383,9 +390,22 @@ impl Client {
         if let Some(weights) = &req.weights {
             pairs.push(("weights", Json::num_arr(weights)));
         }
+        if let Some(workers) = &req.workers {
+            pairs.push(("workers", Json::str_arr(workers)));
+        }
         let body = Json::obj(pairs);
         let resp = self.request("POST", "/jobs", Some(&body))?;
         parse_job_view(&resp)
+    }
+
+    /// `GET /jobs/{id}/profile`: the job's phase profile — per-phase
+    /// attributed time plus the per-step breakdown ring — as raw JSON (the
+    /// shape is additive across versions, so a typed view would ossify it).
+    ///
+    /// # Errors
+    /// I/O, protocol, or API errors.
+    pub fn job_profile(&self, id: &str) -> Result<Json> {
+        self.request("GET", &format!("/jobs/{id}/profile"), None)
     }
 
     /// `GET /jobs/{id}`.
@@ -719,6 +739,11 @@ fn parse_job_view(v: &Json) -> Result<JobView> {
     Ok(JobView {
         id: str_field("id")?,
         store: str_field("store")?,
+        trace: v
+            .get("trace")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
         kind: str_field("kind")?,
         state: str_field("state")?,
         step: v.get("step").and_then(Json::as_usize).unwrap_or(0),

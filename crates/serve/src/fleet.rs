@@ -28,13 +28,17 @@
 //! Deterministic 4xx rejections are *not* retried or re-dispatched — a
 //! request every healthy node rejects is the caller's bug, not a fault.
 //!
-//! Every escalation is observable: the coordinator mints one trace id per
-//! fan-out round and sends it to every worker via `x-fair-trace` (so a
-//! retried range's server-side spans correlate with the round), mirrors its
-//! [`FleetReport`] counters into `fair_fleet_*` registry series, times each
-//! worker's requests into `fair_fleet_request_duration_us{worker}`, and
-//! emits `fleet.retry` / `fleet.redispatch` / `fleet.eject` /
-//! `fleet.readmit` events.
+//! Every escalation is observable: the coordinator carries one trace id —
+//! the caller's, via [`FleetCoordinator::with_trace`], or one minted per
+//! fan-out round when unset — and sends it to every worker via
+//! `x-fair-trace` (so a retried range's server-side spans correlate with
+//! the submitting request), mirrors its [`FleetReport`] counters into
+//! `fair_fleet_*` registry series, times each worker's requests into
+//! `fair_fleet_request_duration_us{worker}`, and emits `fleet.retry` /
+//! `fleet.redispatch` / `fleet.eject` / `fleet.readmit` events. When a
+//! per-job profile is installed on the dispatching thread, every worker
+//! round trip is attributed to the [`Wire`](obs::Phase::Wire) phase and
+//! partial combining to [`Combine`](obs::Phase::Combine).
 
 use crate::backoff::Backoff;
 use crate::catalog::PlacementMap;
@@ -173,6 +177,10 @@ pub struct FleetCoordinator {
     readmissions: AtomicU64,
     partials_cache_hits: AtomicU64,
     obs: FleetObs,
+    /// Trace id stamped on every fan-out round and worker request. `None`
+    /// (the default) mints a fresh id per round; a coordinator driving a
+    /// traced job sets the job's id here so one id spans the whole descent.
+    trace: Option<String>,
 }
 
 impl FleetCoordinator {
@@ -252,7 +260,18 @@ impl FleetCoordinator {
             readmissions: AtomicU64::new(0),
             partials_cache_hits: AtomicU64::new(0),
             obs: FleetObs::default(),
+            trace: None,
         })
+    }
+
+    /// Stamp `trace` on every fan-out round and worker request instead of
+    /// minting a fresh id per round — so a traced job's submit request, its
+    /// descent steps, and every worker-side handler span (retries and
+    /// re-dispatches included) correlate under one id.
+    #[must_use]
+    pub fn with_trace(mut self, trace: &str) -> Self {
+        self.trace = Some(trace.to_string());
+        self
     }
 
     /// The cohort name the fleet evaluates.
@@ -311,6 +330,7 @@ impl FleetCoordinator {
         let count = selection_size(self.rows, k).map_err(engine_error)?;
         let partials = self.collect_partials(bonus, weights, count)?;
         let mut out = Vec::new();
+        let _combine = fair_core::obs::profile::scope(obs::Phase::Combine);
         combine_disparity_partials(
             self.rows,
             self.schema.num_fairness(),
@@ -337,6 +357,25 @@ impl FleetCoordinator {
         initial: Option<Vec<f64>>,
         trace: bool,
     ) -> Result<FullDcaOutcome> {
+        self.run_full_dca_controlled(k, weights, config, initial, trace, &RunControl::new())
+    }
+
+    /// [`run_full_dca`](Self::run_full_dca) with caller-supplied
+    /// cancellation and progress reporting — the variant the job manager
+    /// drives, so a fleet-backed job is cancellable and step-profiled like
+    /// a local one.
+    ///
+    /// # Errors
+    /// Wire errors once every worker is exhausted; engine validation errors.
+    pub fn run_full_dca_controlled(
+        &self,
+        k: f64,
+        weights: Option<&[f64]>,
+        config: &DcaConfig,
+        initial: Option<Vec<f64>>,
+        trace: bool,
+        control: &RunControl,
+    ) -> Result<FullDcaOutcome> {
         let dims = self.schema.num_fairness();
         let count = selection_size(self.rows, k).map_err(engine_error)?;
         run_full_descent(
@@ -345,11 +384,15 @@ impl FleetCoordinator {
             config,
             initial,
             trace,
-            &RunControl::new(),
+            control,
             |bonus, out| {
                 let partials = self
                     .collect_partials(bonus, weights, count)
                     .map_err(wire_to_engine)?;
+                // Combining is the coordinator's own CPU slice of a fleet
+                // step; the round trips themselves accrue as Wire inside
+                // `run_range`.
+                let _combine = fair_core::obs::profile::scope(obs::Phase::Combine);
                 combine_disparity_partials(self.rows, dims, count, &partials, out)
             },
         )
@@ -371,6 +414,23 @@ impl FleetCoordinator {
         initial: Option<Vec<f64>>,
         trace: bool,
     ) -> Result<CoreDcaOutcome> {
+        self.run_core_dca_controlled(k, weights, config, initial, trace, &RunControl::new())
+    }
+
+    /// [`run_core_dca`](Self::run_core_dca) with caller-supplied
+    /// cancellation and progress reporting.
+    ///
+    /// # Errors
+    /// Wire errors once every worker is exhausted; engine validation errors.
+    pub fn run_core_dca_controlled(
+        &self,
+        k: f64,
+        weights: Option<&[f64]>,
+        config: &DcaConfig,
+        initial: Option<Vec<f64>>,
+        trace: bool,
+        control: &RunControl,
+    ) -> Result<CoreDcaOutcome> {
         let nf = self.schema.num_features();
         let na = self.schema.num_fairness();
         let ranker = WeightedSumRanker::new(weights.map_or_else(|| vec![1.0; nf], <[f64]>::to_vec))
@@ -384,7 +444,7 @@ impl FleetCoordinator {
             config,
             initial,
             trace,
-            &RunControl::new(),
+            control,
             |step_seed, gather| {
                 let samples = self
                     .fan_out(|client, range| {
@@ -439,20 +499,24 @@ impl FleetCoordinator {
 
     /// Dispatch `op` for every placement range concurrently, with
     /// retry/failover per range, returning results in ascending range
-    /// order. The whole round shares one trace id, carried to every worker
-    /// in the `x-fair-trace` header — so a retried range's handler spans
-    /// line up with this round's `fleet.fan_out` span under one id.
+    /// order. The whole round shares one trace id — the coordinator's own
+    /// ([`with_trace`](Self::with_trace)) or a fresh mint — carried to
+    /// every worker in the `x-fair-trace` header, so a retried range's
+    /// handler spans line up with this round's `fleet.fan_out` span under
+    /// one id. The dispatching thread's job profile (if any) is carried
+    /// into the per-range threads so worker round trips accrue as Wire.
     fn fan_out<T: Send>(
         &self,
         op: impl Fn(&Client, Range<usize>) -> Result<T> + Sync,
     ) -> Result<Vec<T>> {
         self.probe_ejected();
-        let trace = obs::next_trace_id();
+        let trace = self.trace.clone().unwrap_or_else(obs::next_trace_id);
         let assignments = self.placement.assignments();
         let span = obs::Span::new("fleet.fan_out")
             .trace(&trace)
             .field("store", &self.store)
             .field("ranges", assignments.len());
+        let profile = fair_core::obs::profile::current();
         let results: Vec<Result<T>> = std::thread::scope(|scope| {
             let op = &op;
             let trace = &trace;
@@ -461,7 +525,9 @@ impl FleetCoordinator {
                 .map(|(owner, range)| {
                     let owner = *owner;
                     let range = range.clone();
+                    let profile = profile.clone();
                     scope.spawn(move || {
+                        let _profile_guard = profile.map(fair_core::obs::profile::install);
                         self.run_range(owner, range.clone(), trace, |client| {
                             op(client, range.clone())
                         })
@@ -508,7 +574,13 @@ impl FleetCoordinator {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 self.obs.requests.inc();
                 let start = Instant::now();
-                let outcome = op(&client);
+                let outcome = {
+                    // Wire time for the requesting job: the full round trip
+                    // including the worker's server-side compute, which is
+                    // exactly what the coordinator waits on.
+                    let _wire = fair_core::obs::profile::scope(obs::Phase::Wire);
+                    op(&client)
+                };
                 duration.record(
                     u64::try_from(start.elapsed().as_micros().min(u128::from(u64::MAX)))
                         .unwrap_or(u64::MAX),

@@ -17,14 +17,17 @@
 
 use crate::catalog::StoreEntry;
 use crate::error::ApiError;
+use crate::fleet::{FleetConfig, FleetCoordinator};
 use fair_core::dca::{
     run_core_dca_sharded_controlled, run_full_dca_sharded_controlled, step_duration_hook,
     RunControl, TopKDisparity,
 };
 use fair_core::obs;
+use fair_core::obs::{JobProfile, Phase};
 use fair_core::ranking::WeightedSumRanker;
 use fair_core::{DcaConfig, FairError, ShardSource};
 use std::collections::BTreeMap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -110,6 +113,11 @@ pub struct JobSpec {
     pub weights: Option<Vec<f64>>,
     /// The descent configuration (seed, sample size, ladder, iterations).
     pub config: DcaConfig,
+    /// Fleet worker addresses. `None` runs the descent locally against the
+    /// registered store; `Some` drives it through a [`FleetCoordinator`]
+    /// over these workers (each must serve the store under the same name),
+    /// carrying the job's trace id into every fan-out round.
+    pub workers: Option<Vec<SocketAddr>>,
 }
 
 /// The successful outcome of a job.
@@ -144,11 +152,17 @@ pub struct Job {
     pub id: String,
     /// The catalog name of the audited store.
     pub store: String,
+    /// The trace id every event and span of this job carries — the
+    /// submitting request's `x-fair-trace` value (or a fresh mint), so the
+    /// submit request, each descent step, fleet fan-out rounds, and
+    /// worker-side handler spans all correlate under one id.
+    pub trace: String,
     /// The submitted spec.
     pub spec: JobSpec,
     control: Arc<RunControl>,
     step: Arc<AtomicUsize>,
     total_steps: usize,
+    profile: Arc<JobProfile>,
     state: Mutex<JobState>,
 }
 
@@ -183,6 +197,15 @@ impl Job {
     #[must_use]
     pub fn total_steps(&self) -> usize {
         self.total_steps
+    }
+
+    /// The job's phase profile: where this job's time went, accumulated by
+    /// the [`PhaseScope`](fair_core::obs::PhaseScope) guards at the layer
+    /// boundaries while the descent runs (installed on the job thread and
+    /// carried into engine pool workers and fleet dispatch threads).
+    #[must_use]
+    pub fn profile(&self) -> &Arc<JobProfile> {
+        &self.profile
     }
 
     /// The outcome, once [`JobPhase::Completed`].
@@ -373,12 +396,19 @@ impl JobManager {
 
     /// Validate `spec` against the store and launch the descent on its own
     /// thread. Returns the job immediately (phase `Queued` until the thread
-    /// starts running).
+    /// starts running). `trace` is the submitting request's trace id;
+    /// `None` mints a fresh one — either way every event the job emits
+    /// carries it.
     ///
     /// # Errors
     /// `400` for invalid selection fractions, weight dimensionality, or DCA
     /// configuration; `409` while the manager is shutting down.
-    pub fn submit(&self, entry: Arc<StoreEntry>, spec: JobSpec) -> Result<Arc<Job>, ApiError> {
+    pub fn submit(
+        &self,
+        entry: Arc<StoreEntry>,
+        spec: JobSpec,
+        trace: Option<String>,
+    ) -> Result<Arc<Job>, ApiError> {
         if self.draining.load(Ordering::Relaxed) {
             return Err(ApiError::conflict("the service is shutting down"));
         }
@@ -411,27 +441,41 @@ impl JobManager {
         }
 
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let trace = trace.unwrap_or_else(obs::next_trace_id);
+        let profile = JobProfile::new();
         let step = Arc::new(AtomicUsize::new(0));
         let hook_step = step.clone();
-        // One progress hook feeds both consumers: the lock-free step counter
-        // the status endpoint reads, and the per-step duration histogram
+        // One progress hook feeds every consumer: the lock-free step counter
+        // the status endpoint reads, the per-step duration histogram, the
+        // profile's step-boundary snapshot, and the per-step trace event
         // (timing lives in the hook, so the descent loop — and therefore the
         // trajectory — is identical to the uninstrumented library call).
         let step_timer = step_duration_hook(obs::histogram(
             "fair_serve_job_step_duration_us",
             &[("kind", spec.kind.as_str())],
         ));
+        let hook_profile = profile.clone();
+        let hook_trace = trace.clone();
+        let hook_id = id.clone();
         let control = Arc::new(RunControl::with_progress(move |p| {
             hook_step.store(p.step, Ordering::Relaxed);
             step_timer(p);
+            hook_profile.end_step(p.step);
+            obs::Event::new("job.step")
+                .trace(&hook_trace)
+                .field("id", &hook_id)
+                .field("step", p.step)
+                .emit();
         }));
         let job = Arc::new(Job {
             id: id.clone(),
             store: entry.name.clone(),
+            trace,
             total_steps: spec.config.core_steps(),
             spec,
             control,
             step,
+            profile,
             state: Mutex::new(JobState {
                 phase: JobPhase::Queued,
                 result: None,
@@ -447,6 +491,7 @@ impl JobManager {
         )
         .inc();
         obs::Event::new("job.submit")
+            .trace(&job.trace)
             .field("id", &job.id)
             .field("store", &job.store)
             .field("kind", job.spec.kind.as_str())
@@ -528,6 +573,13 @@ impl JobManager {
     pub fn cancel(&self, id: &str) -> Result<Arc<Job>, ApiError> {
         let job = self.get(id)?;
         job.control.cancel();
+        // Tagged with the *job's* trace id so the cancellation correlates
+        // with the descent it stops, whichever connection requested it.
+        obs::Event::new("job.cancel")
+            .trace(&job.trace)
+            .field("id", &job.id)
+            .field("step", job.step())
+            .emit();
         Ok(job)
     }
 
@@ -569,15 +621,23 @@ fn execute(job: &Arc<Job>, entry: &Arc<StoreEntry>) {
         st.started = Some(Instant::now());
     }
     obs::Event::new("job.state")
+        .trace(&job.trace)
         .field("id", &job.id)
         .field("state", JobPhase::Running.as_str())
         .emit();
+    // Every PhaseScope the descent opens — on this thread, in engine pool
+    // workers, in fleet dispatch threads — lands in this job's profile.
+    // Installing a profile changes attribution only, never the trajectory.
+    let _profile_guard = fair_core::obs::profile::install(job.profile.clone());
     let weights = job
         .spec
         .weights
         .clone()
         .unwrap_or_else(|| vec![1.0; entry.store.schema().num_features()]);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(addrs) = &job.spec.workers {
+            return execute_fleet(job, addrs);
+        }
         let ranker = WeightedSumRanker::new(weights)?;
         let objective = TopKDisparity::new(job.spec.k);
         match job.spec.kind {
@@ -637,15 +697,79 @@ fn execute(job: &Arc<Job>, entry: &Arc<StoreEntry>) {
     record_terminal(job, phase, job.error().as_deref());
 }
 
-/// Bump the terminal-state counter and emit the lifecycle event for a job
-/// reaching `phase`.
+/// Run the job's descent through a [`FleetCoordinator`] over `addrs`,
+/// stamped with the job's trace id — so every fan-out round and worker-side
+/// handler span of the whole descent correlates with the submitting
+/// request. Wire failures surface as engine errors; a descent the control
+/// flag stopped stays a cancellation rather than a failure.
+fn execute_fleet(job: &Arc<Job>, addrs: &[SocketAddr]) -> Result<JobOutcome, FairError> {
+    let wire = |e: crate::error::ServeError| {
+        if job.control.is_cancelled() {
+            FairError::Cancelled
+        } else {
+            FairError::InvalidConfig {
+                reason: format!("fleet descent failed: {e}"),
+            }
+        }
+    };
+    let fleet = FleetCoordinator::connect(&job.store, addrs, FleetConfig::default())
+        .map_err(wire)?
+        .with_trace(&job.trace);
+    let weights = job.spec.weights.as_deref();
+    match job.spec.kind {
+        JobKind::Full => fleet
+            .run_full_dca_controlled(
+                job.spec.k,
+                weights,
+                &job.spec.config,
+                None,
+                false,
+                &job.control,
+            )
+            .map(|o| JobOutcome {
+                bonus: o.bonus,
+                steps: o.steps,
+                objects_scored: o.objects_scored,
+            })
+            .map_err(wire),
+        JobKind::Core => fleet
+            .run_core_dca_controlled(
+                job.spec.k,
+                weights,
+                &job.spec.config,
+                None,
+                false,
+                &job.control,
+            )
+            .map(|o| JobOutcome {
+                bonus: o.bonus,
+                steps: o.steps,
+                objects_scored: o.objects_scored,
+            })
+            .map_err(wire),
+    }
+}
+
+/// Bump the terminal-state counter, flush the job's phase totals into the
+/// `fair_profile_phase_ms` histogram family, and emit the lifecycle event
+/// for a job reaching `phase`.
 fn record_terminal(job: &Arc<Job>, phase: JobPhase, error: Option<&str>) {
     obs::counter(
         "fair_serve_jobs_finished_total",
         &[("state", phase.as_str())],
     )
     .inc();
+    // One observation per phase per job: "how many ms did jobs spend in
+    // phase X" as a fleet-wide distribution, complementing the per-job
+    // exact breakdown at `GET /jobs/{id}/profile`.
+    for (phase, stats) in Phase::ALL.iter().zip(job.profile.stats()) {
+        if stats.count > 0 {
+            obs::histogram("fair_profile_phase_ms", &[("phase", phase.name())])
+                .record(stats.total_us / 1_000);
+        }
+    }
     let mut event = obs::Event::new("job.state")
+        .trace(&job.trace)
         .field("id", &job.id)
         .field("state", phase.as_str())
         .field("steps", job.step());
@@ -709,8 +833,9 @@ mod tests {
             k: 0.2,
             weights: None,
             config: quick_config(),
+            workers: None,
         };
-        let job = manager.submit(entry.clone(), spec).unwrap();
+        let job = manager.submit(entry.clone(), spec, None).unwrap();
         assert_eq!(job.id, "job-1");
         assert_eq!(wait_terminal(&job), JobPhase::Completed);
         assert_eq!(job.step(), job.total_steps());
@@ -749,9 +874,10 @@ mod tests {
             k: 0.2,
             weights: Some(vec![1.0]),
             config: quick_config(),
+            workers: None,
         };
-        let a = manager.submit(entry.clone(), spec.clone()).unwrap();
-        let b = manager.submit(entry, spec).unwrap();
+        let a = manager.submit(entry.clone(), spec.clone(), None).unwrap();
+        let b = manager.submit(entry, spec, None).unwrap();
         assert_eq!(wait_terminal(&a), JobPhase::Completed);
         assert_eq!(wait_terminal(&b), JobPhase::Completed);
         assert_eq!(a.result().unwrap().bonus, b.result().unwrap().bonus);
@@ -773,7 +899,9 @@ mod tests {
                     k: 0.2,
                     weights: None,
                     config: quick_config(),
+                    workers: None,
                 },
+                None,
             )
             .unwrap();
         assert_eq!(wait_terminal(&job), JobPhase::Completed);
@@ -799,30 +927,40 @@ mod tests {
             k: 0.2,
             weights: None,
             config: quick_config(),
+            workers: None,
         };
         let mut bad_k = base.clone();
         bad_k.k = 1.5;
         assert_eq!(
-            manager.submit(entry.clone(), bad_k).unwrap_err().status,
+            manager
+                .submit(entry.clone(), bad_k, None)
+                .unwrap_err()
+                .status,
             400
         );
         let mut bad_w = base.clone();
         bad_w.weights = Some(vec![1.0, 2.0]);
         assert_eq!(
-            manager.submit(entry.clone(), bad_w).unwrap_err().status,
+            manager
+                .submit(entry.clone(), bad_w, None)
+                .unwrap_err()
+                .status,
             400
         );
         let mut bad_cfg = base.clone();
         bad_cfg.config.learning_rates = vec![];
         assert_eq!(
-            manager.submit(entry.clone(), bad_cfg).unwrap_err().status,
+            manager
+                .submit(entry.clone(), bad_cfg, None)
+                .unwrap_err()
+                .status,
             400
         );
         assert_eq!(manager.get("job-99").unwrap_err().status, 404);
         assert_eq!(manager.cancel("job-99").unwrap_err().status, 404);
         assert!(manager.is_empty());
         manager.shutdown();
-        assert_eq!(manager.submit(entry, base).unwrap_err().status, 409);
+        assert_eq!(manager.submit(entry, base, None).unwrap_err().status, 409);
     }
 
     #[test]
@@ -844,14 +982,15 @@ mod tests {
                 seed: 1,
                 ..DcaConfig::default()
             },
+            workers: None,
         };
         for _ in 0..4 {
-            let job = manager.submit(entry.clone(), quick.clone()).unwrap();
+            let job = manager.submit(entry.clone(), quick.clone(), None).unwrap();
             assert_eq!(wait_terminal(&job), JobPhase::Completed);
         }
         // The next submission reaps: at most 2 retained terminal records
         // plus the new job survive. The newest records win.
-        let job5 = manager.submit(entry, quick).unwrap();
+        let job5 = manager.submit(entry, quick, None).unwrap();
         let ids: Vec<String> = manager.list().iter().map(|j| j.id.clone()).collect();
         assert!(ids.len() <= 3, "{ids:?}");
         assert!(ids.contains(&job5.id));
@@ -883,14 +1022,17 @@ mod tests {
                 seed: 5,
                 ..DcaConfig::default()
             },
+            workers: None,
         };
-        let first = manager.submit(entry.clone(), long.clone()).unwrap();
-        let rejected = manager.submit(entry.clone(), long.clone()).unwrap_err();
+        let first = manager.submit(entry.clone(), long.clone(), None).unwrap();
+        let rejected = manager
+            .submit(entry.clone(), long.clone(), None)
+            .unwrap_err();
         assert_eq!(rejected.status, 429, "{}", rejected.message);
         manager.cancel(&first.id).unwrap();
         assert!(wait_terminal(&first).is_terminal());
         // The slot is free again.
-        let second = manager.submit(entry, long).unwrap();
+        let second = manager.submit(entry, long, None).unwrap();
         manager.cancel(&second.id).unwrap();
         assert!(wait_terminal(&second).is_terminal());
         manager.shutdown();
@@ -916,8 +1058,9 @@ mod tests {
                 seed: 5,
                 ..DcaConfig::default()
             },
+            workers: None,
         };
-        let job = manager.submit(entry, spec).unwrap();
+        let job = manager.submit(entry, spec, None).unwrap();
         // Let it make some progress, then cancel.
         for _ in 0..2000 {
             if job.step() > 2 {

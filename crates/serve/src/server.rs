@@ -175,6 +175,7 @@ fn route_template(method: &str, segments: &[&str]) -> &'static str {
         ("POST", ["stores", _, "partials"]) => "POST /stores/{name}/partials",
         ("POST", ["jobs"]) => "POST /jobs",
         ("GET", ["jobs"]) => "GET /jobs",
+        ("GET", ["jobs", _, "profile"]) => "GET /jobs/{id}/profile",
         ("GET", ["jobs", _]) => "GET /jobs/{id}",
         ("DELETE", ["jobs", _]) => "DELETE /jobs/{id}",
         _ => "other",
@@ -200,7 +201,7 @@ impl Drop for InFlightGuard {
 
 /// The service state shared by every request worker: the store catalog and
 /// the background-job manager.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AuditService {
     /// Named stores.
     pub catalog: Catalog,
@@ -213,6 +214,30 @@ pub struct AuditService {
     pub partials_cache_hits: AtomicU64,
     /// Request-path registry handles (see [`ServeObs`]).
     obs: ServeObs,
+    /// How long a rendered `/metrics` body stays servable (milliseconds).
+    /// `0` (the default) renders fresh per scrape; `FAIR_SCRAPE_CACHE_MS`
+    /// sets it at construction for deployments where several scrapers (or a
+    /// tight-interval one) would otherwise pay the full render each time.
+    scrape_cache_ms: u64,
+    /// The last rendered exposition body and when it was rendered.
+    scrape_cache: Mutex<Option<(Instant, String)>>,
+}
+
+impl Default for AuditService {
+    fn default() -> Self {
+        Self {
+            catalog: Catalog::default(),
+            jobs: JobManager::default(),
+            sample_cache: Mutex::new(SampleCache::default()),
+            partials_cache_hits: AtomicU64::new(0),
+            obs: ServeObs::default(),
+            scrape_cache_ms: std::env::var("FAIR_SCRAPE_CACHE_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(0),
+            scrape_cache: Mutex::new(None),
+        }
+    }
 }
 
 impl AuditService {
@@ -220,6 +245,17 @@ impl AuditService {
     #[must_use]
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// An empty service whose `/metrics` body is cached for `ms`
+    /// milliseconds per render, regardless of `FAIR_SCRAPE_CACHE_MS` —
+    /// deterministic for tests and embedders.
+    #[must_use]
+    pub fn with_scrape_cache_ms(ms: u64) -> Arc<Self> {
+        Arc::new(Self {
+            scrape_cache_ms: ms,
+            ..Self::default()
+        })
     }
 
     /// Dispatch one parsed request. Public so tests (and the in-process
@@ -238,10 +274,32 @@ impl AuditService {
     }
 
     /// The process-wide [`fair_core::obs`] registry rendered in Prometheus
-    /// text exposition format — the body `GET /metrics` serves.
+    /// text exposition format, always freshly rendered.
     #[must_use]
     pub fn metrics_text(&self) -> String {
         obs::render_prometheus()
+    }
+
+    /// The body `GET /metrics` serves: a fresh render, unless a previous
+    /// render is younger than the configured snapshot window
+    /// (`FAIR_SCRAPE_CACHE_MS` / [`with_scrape_cache_ms`](Self::with_scrape_cache_ms)),
+    /// in which case the cached body is returned byte-identically. A window
+    /// of `0` (the default) bypasses the cache entirely.
+    #[must_use]
+    pub fn metrics_text_cached(&self) -> String {
+        if self.scrape_cache_ms == 0 {
+            return self.metrics_text();
+        }
+        let window = Duration::from_millis(self.scrape_cache_ms);
+        let mut cache = self.scrape_cache.lock().expect("scrape cache poisoned");
+        if let Some((rendered_at, body)) = cache.as_ref() {
+            if rendered_at.elapsed() < window {
+                return body.clone();
+            }
+        }
+        let body = self.metrics_text();
+        *cache = Some((Instant::now(), body.clone()));
+        body
     }
 
     /// Count and time one dispatched request under its route template.
@@ -336,6 +394,10 @@ impl AuditService {
                     Json::Arr(self.jobs.list().iter().map(|j| job_view(j)).collect()),
                 )]),
             )),
+            ("GET", ["jobs", id, "profile"]) => {
+                let job = self.jobs.get(id)?;
+                Ok((200, profile_view(&job)))
+            }
             ("GET", ["jobs", id]) => {
                 let job = self.jobs.get(id)?;
                 Ok((200, job_view(&job)))
@@ -779,6 +841,32 @@ impl AuditService {
             ),
         };
         let config = job_config(body.get("config"))?;
+        let workers = match body.get("workers") {
+            None => None,
+            Some(v) => {
+                let addrs = v
+                    .as_str_vec()
+                    .ok_or_else(|| ApiError::bad_request("`workers` must be a string array"))?;
+                if addrs.is_empty() {
+                    return Err(ApiError::bad_request("`workers` must not be empty"));
+                }
+                Some(
+                    addrs
+                        .iter()
+                        .map(|a| {
+                            a.parse::<SocketAddr>().map_err(|_| {
+                                ApiError::bad_request(format!(
+                                    "`workers` entry `{a}` is not a socket address"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        };
+        // The submitting request's trace id (minted at the accept path when
+        // the caller supplies none) becomes the job's: every event and
+        // fan-out round of the descent correlates with this submission.
         let job = self.jobs.submit(
             entry,
             JobSpec {
@@ -786,7 +874,9 @@ impl AuditService {
                 k,
                 weights,
                 config,
+                workers,
             },
+            req.trace.clone(),
         )?;
         Ok((202, job_view(&job)))
     }
@@ -875,6 +965,7 @@ fn job_view(job: &Job) -> Json {
     Json::obj(vec![
         ("id", Json::str(job.id.clone())),
         ("store", Json::str(job.store.clone())),
+        ("trace", Json::str(job.trace.clone())),
         ("kind", Json::str(job.spec.kind.as_str())),
         ("state", Json::str(phase.as_str())),
         ("step", Json::num(job.step() as f64)),
@@ -883,6 +974,61 @@ fn job_view(job: &Job) -> Json {
         ("running_ms", Json::num(running_ms as f64)),
         ("result", result),
         ("error", error.map_or(Json::Null, Json::Str)),
+    ])
+}
+
+/// The wire representation of a job's phase profile (`GET
+/// /jobs/{id}/profile`): per-phase totals plus the per-step breakdown ring
+/// of the last [`fair_core::obs::PROFILE_RING`] steps. Readable while the
+/// job runs (a live snapshot) and stable once it is terminal.
+fn profile_view(job: &Job) -> Json {
+    let (_, running_ms) = job.timings();
+    let profile = job.profile();
+    let phases = Json::Obj(
+        profile
+            .stats()
+            .iter()
+            .map(|s| {
+                (
+                    s.phase.name().to_string(),
+                    Json::obj(vec![
+                        ("total_us", Json::u64(s.total_us)),
+                        ("count", Json::u64(s.count)),
+                        ("max_us", Json::u64(s.max_us)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let steps = Json::Arr(
+        profile
+            .steps()
+            .iter()
+            .map(|b| {
+                Json::obj(vec![
+                    ("step", Json::num(b.step as f64)),
+                    (
+                        "phase_us",
+                        Json::Obj(
+                            fair_core::obs::Phase::ALL
+                                .iter()
+                                .zip(&b.phase_us)
+                                .filter(|(_, &us)| us > 0)
+                                .map(|(p, &us)| (p.name().to_string(), Json::u64(us)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("id", Json::str(job.id.clone())),
+        ("trace", Json::str(job.trace.clone())),
+        ("state", Json::str(job.phase().as_str())),
+        ("running_ms", Json::num(running_ms as f64)),
+        ("phases", phases),
+        ("steps", steps),
     ])
 }
 
@@ -1107,12 +1253,17 @@ fn handle_connection(service: &AuditService, conn: &TcpStream, stop: &AtomicBool
     let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
     let _ = conn.set_nodelay(true);
     match read_request(conn) {
-        Ok(req) => {
+        Ok(mut req) => {
             let _in_flight = InFlightGuard::enter(&service.obs.in_flight);
-            // A caller-supplied trace id (the fleet coordinator's) wins, so
-            // a retried round's worker spans line up under one id; a bare
-            // request gets a fresh id minted here at the accept path.
+            // A caller-supplied trace id (the fleet coordinator's, a traced
+            // client's) wins, so a retried round's worker spans line up
+            // under one id; a bare request gets a fresh id minted here at
+            // the accept path. Either way the resolved id is written back
+            // onto the request, so downstream consumers (job submission)
+            // adopt the same id this connection's span carries.
             let trace = req.trace.clone().unwrap_or_else(obs::next_trace_id);
+            req.trace = Some(trace.clone());
+            let req = req;
             let span = obs::Span::new("serve.request")
                 .trace(&trace)
                 .field("method", &req.method)
@@ -1132,9 +1283,11 @@ fn handle_connection(service: &AuditService, conn: &TcpStream, stop: &AtomicBool
             if req.method == "GET" && req.path == "/metrics" {
                 // Rendered before the route observation lands, so a scrape
                 // reports every *previous* scrape but not itself — the price
-                // of an honest render-cost histogram.
+                // of an honest render-cost histogram. (Cache hits land in
+                // the same histogram: the observed latency distribution is
+                // what scrapers actually experienced.)
                 let start = Instant::now();
-                let text = service.metrics_text();
+                let text = service.metrics_text_cached();
                 service.observe_route("GET /metrics", 200, start);
                 span.field("status", 200_u16).close();
                 let _ = write_text_response(conn, 200, &text);
@@ -1280,6 +1433,75 @@ mod tests {
             text.contains(r#"fair_serve_request_duration_us_count{route="GET /health"}"#),
             "{text}"
         );
+    }
+
+    #[test]
+    fn scrape_cache_serves_one_render_per_window() {
+        // A wide window: the second scrape must be the byte-identical cached
+        // body even though fresh traffic landed in the registry in between.
+        let service = AuditService::with_scrape_cache_ms(600_000);
+        let first = service.metrics_text_cached();
+        let _ = service.route(&request("GET", "/health", ""));
+        let second = service.metrics_text_cached();
+        assert_eq!(first, second, "within the window the cached body serves");
+        // A fresh render does see the new traffic.
+        assert_ne!(
+            service.metrics_text(),
+            second,
+            "an uncached render reflects the /health hit the cache hides"
+        );
+        // Window 0 (the default) bypasses the cache entirely.
+        let live = AuditService::new();
+        let a = live.metrics_text_cached();
+        let _ = live.route(&request("GET", "/health", ""));
+        assert_ne!(a, live.metrics_text_cached(), "0 disables the cache");
+    }
+
+    #[test]
+    fn job_profile_route_answers_with_phase_totals_and_the_job_trace() {
+        let service = service_with_store(400);
+        let mut submit = request(
+            "POST",
+            "/jobs",
+            r#"{"store":"cohort","kind":"full","k":0.2,"config":{"seed":5,"iterations_per_rate":4,"learning_rates":[4.0,1.0]}}"#,
+        );
+        submit.trace = Some("trace-profile-unit".into());
+        let (status, body) = service.route(&submit);
+        assert_eq!(status, 202, "{}", body.render());
+        assert_eq!(
+            body.get("trace").unwrap().as_str(),
+            Some("trace-profile-unit"),
+            "the job adopts the submitting request's trace id"
+        );
+        let id = body.get("id").unwrap().as_str().unwrap().to_string();
+        for _ in 0..2000 {
+            let (_, view) = service.route(&request("GET", &format!("/jobs/{id}"), ""));
+            if view.get("state").unwrap().as_str() == Some("completed") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (status, profile) = service.route(&request("GET", &format!("/jobs/{id}/profile"), ""));
+        assert_eq!(status, 200, "{}", profile.render());
+        assert_eq!(
+            profile.get("trace").unwrap().as_str(),
+            Some("trace-profile-unit")
+        );
+        let phases = profile.get("phases").unwrap();
+        let score = phases.get("score").unwrap();
+        assert!(
+            score.get("count").unwrap().as_u64().unwrap() > 0,
+            "a completed full descent scored every step: {}",
+            profile.render()
+        );
+        assert!(!profile.get("steps").unwrap().as_arr().unwrap().is_empty());
+        assert_eq!(
+            service
+                .route(&request("GET", "/jobs/job-999/profile", ""))
+                .0,
+            404
+        );
+        service.jobs.shutdown();
     }
 
     #[test]

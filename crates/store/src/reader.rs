@@ -601,6 +601,14 @@ impl ShardStore {
 impl StoreInner {
     /// Decode shard `index` straight from disk (no cache interaction).
     fn load_shard(&self, index: usize) -> Result<Dataset> {
+        // Attribute this page-in to the requesting job, when one is profiled
+        // on this thread (the job thread inline, or a pool worker that
+        // `parallel_map` re-installed the handle on): the whole load is
+        // `decode` self-time, with the raw disk read carved out below as a
+        // nested `page_in` scope. The readahead thread carries no profile,
+        // so background decodes attribute to nobody — only time a job
+        // genuinely waited for is charged to it.
+        let _decode = fair_core::obs::profile::scope(fair_core::obs::Phase::Decode);
         // Fault point "decode", context "<path>#shardN": `panic` aborts the
         // decode mid-flight (exercising the containment below), `delay`
         // stalls it; the connection-shaped modes have no meaning here and are
@@ -617,13 +625,16 @@ impl StoreInner {
         let nf = self.schema.num_features();
         let na = self.schema.num_fairness();
         let block_len = shard_block_len(entry.rows, nf, na);
-        let bytes = read_block(
-            &self.file,
-            entry.offset,
-            usize::try_from(block_len).expect("block fits usize"),
-            "shard block",
-        )
-        .map_err(|e| relabel(e, &format!("shard {index} block")))?;
+        let bytes = {
+            let _io = fair_core::obs::profile::scope(fair_core::obs::Phase::PageIn);
+            read_block(
+                &self.file,
+                entry.offset,
+                usize::try_from(block_len).expect("block fits usize"),
+                "shard block",
+            )
+            .map_err(|e| relabel(e, &format!("shard {index} block")))?
+        };
 
         let mut pos = 0_usize;
         let take = |pos: &mut usize, n: usize| -> &[u8] {
@@ -733,7 +744,9 @@ impl StoreInner {
                 if st.inflight.contains(&index) {
                     // Someone (usually the readahead thread) is decoding this
                     // very shard: wait for it instead of decoding the block a
-                    // second time.
+                    // second time. The wait is page-in time from the
+                    // requesting job's point of view.
+                    let _wait = fair_core::obs::profile::scope(fair_core::obs::Phase::PageIn);
                     st = self.cond.wait(st).expect("shard cache poisoned");
                     continue;
                 }

@@ -77,6 +77,7 @@ fn main() {
             sample_size: None,
             learning_rates: Some(vec![8.0, 1.0]),
             iterations_per_rate: Some(15),
+            workers: None,
         })
         .expect("submit job");
     println!("launched {} ({} steps total)", job.id, job.total_steps);
@@ -130,6 +131,7 @@ fn main() {
             sample_size: None,
             learning_rates: Some(vec![4.0, 2.0, 1.0]),
             iterations_per_rate: Some(10_000),
+            workers: None,
         })
         .expect("submit long job");
     loop {

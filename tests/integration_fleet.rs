@@ -17,7 +17,7 @@ use fair_ranking::core::metrics::sharded as shmetrics;
 use fair_ranking::core::obs;
 use fair_ranking::prelude::*;
 use fair_ranking::serve::{
-    serve, AuditService, Client, FleetConfig, FleetCoordinator, ServerHandle,
+    serve, AuditService, Client, FleetConfig, FleetCoordinator, JobKind, JobRequest, ServerHandle,
 };
 use std::net::SocketAddr;
 use std::sync::Mutex;
@@ -282,6 +282,10 @@ fn killing_a_worker_mid_descent_re_dispatches_its_range() {
 fn one_trace_id_spans_coordinator_retries_and_worker_handlers() {
     let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let _capture = obs::capture();
+    // The capture buffer is shared and append-only; other tests in this
+    // binary (serialized by FAULT_LOCK) leave their own fleet traffic in
+    // it, so only look at records emitted from here on.
+    let base = obs::captured().len();
     let (handles, addrs) = spawn_fleet(2);
     let fleet = FleetCoordinator::connect(
         "cohort",
@@ -305,9 +309,9 @@ fn one_trace_id_spans_coordinator_retries_and_worker_handlers() {
     fair_ranking::core::fault::install(fair_ranking::core::fault::FaultPlan::none());
     assert!(fleet.report().retries >= 1, "{:?}", fleet.report());
 
-    let records = obs::captured();
-    // Other tests share the capture buffer: anchor on this coordinator's
-    // retry events and follow their trace id down to the worker spans.
+    let records = obs::captured().split_off(base);
+    // Anchor on this coordinator's retry events and follow their trace id
+    // down to the worker spans.
     let retry = records
         .iter()
         .find(|r| r.target == "fleet.retry")
@@ -336,6 +340,112 @@ fn one_trace_id_spans_coordinator_retries_and_worker_handlers() {
         "{worker_spans:?}"
     );
 
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn a_traced_job_pins_one_id_from_submit_to_worker_spans_under_faults() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _capture = obs::capture();
+    let (handles, addrs) = spawn_fleet(3);
+
+    // A fourth node fronts the fleet: a job submitted to it with `workers`
+    // fans its descent out to the three workers, and everything the job
+    // touches — accept, queue, every step, every fan-out round, every retry,
+    // every worker handler — must carry the *submitting request's* trace id.
+    let front = serve(AuditService::new(), "127.0.0.1:0", 2).unwrap();
+    let trace = obs::next_trace_id();
+    let client = Client::new(front.addr()).with_trace(&trace);
+    client
+        .register_synthetic("cohort", "school", ROWS, SEED)
+        .unwrap();
+
+    // A 500 burst on the partial-reduce path forces coordinator retries
+    // mid-job; retried dispatches must not mint fresh ids.
+    fair_ranking::core::fault::install(
+        fair_ranking::core::fault::FaultPlan::parse("serve@partials:500:2").unwrap(),
+    );
+    let config = quick_config(97);
+    let job = client
+        .submit_job(&JobRequest {
+            store: "cohort".into(),
+            kind: JobKind::Core,
+            k: 0.1,
+            weights: Some(RUBRIC_WEIGHTS.to_vec()),
+            seed: config.seed,
+            sample_size: Some(config.sample_size),
+            learning_rates: Some(config.learning_rates.clone()),
+            iterations_per_rate: Some(config.iterations_per_rate),
+            workers: Some(addrs.iter().map(SocketAddr::to_string).collect()),
+        })
+        .unwrap();
+    assert_eq!(job.trace, trace, "the job adopts the submitter's trace id");
+    let done = client
+        .wait_for_job(&job.id, Duration::from_secs(60))
+        .unwrap();
+    fair_ranking::core::fault::install(fair_ranking::core::fault::FaultPlan::none());
+    assert_eq!(done.state, "completed", "error: {:?}", done.error);
+
+    // The faulted fleet run still lands on the exact local trajectory.
+    let local = local_cohort();
+    let ranker = WeightedSumRanker::new(RUBRIC_WEIGHTS.to_vec()).unwrap();
+    let reference = run_core_dca_sharded(
+        &local,
+        &ranker,
+        &TopKDisparity::new(0.1),
+        &config,
+        None,
+        false,
+    )
+    .unwrap();
+    assert_eq!(
+        bits(&done.result.as_ref().unwrap().bonus),
+        bits(&reference.bonus),
+        "a traced fleet job under faults is still bit-identical"
+    );
+
+    let records = obs::captured();
+    let with_trace = |target: &str| {
+        records
+            .iter()
+            .filter(|r| r.target == target && r.field("trace") == Some(&trace))
+            .count()
+    };
+    assert!(with_trace("job.submit") >= 1, "accept event traced");
+    assert!(
+        with_trace("job.step") >= config.learning_rates.len() * config.iterations_per_rate,
+        "every descent step event traced"
+    );
+    assert!(
+        with_trace("job.state") >= 2,
+        "queued/running/terminal traced"
+    );
+    assert!(
+        with_trace("fleet.fan_out") >= 1,
+        "fan-out rounds reuse the job's id instead of minting per round"
+    );
+    assert!(with_trace("fleet.retry") >= 1, "retries stay correlated");
+    let worker_partials = records
+        .iter()
+        .filter(|r| {
+            r.target == "serve.request"
+                && r.field("trace") == Some(&trace)
+                && r.field("path").is_some_and(|p| p.ends_with("/partials"))
+        })
+        .count();
+    assert!(
+        worker_partials >= 2,
+        "worker handler spans (incl. the retried range) carry the job's id, \
+         got {worker_partials}"
+    );
+    assert!(
+        with_trace("serve.request") > worker_partials,
+        "the front node's own request spans (submit, polls) share the id too"
+    );
+
+    front.shutdown();
     for h in handles {
         h.shutdown();
     }

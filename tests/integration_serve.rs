@@ -113,6 +113,7 @@ fn service_end_to_end_concurrent_audits_jobs_and_shutdown() {
         sample_size: None,
         learning_rates: Some(vec![8.0, 1.0]),
         iterations_per_rate: Some(10),
+        workers: None,
     };
     let submitted = client.submit_job(&job_req).unwrap();
     assert_eq!(submitted.total_steps, 20);
@@ -157,6 +158,7 @@ fn service_end_to_end_concurrent_audits_jobs_and_shutdown() {
         sample_size: None,
         learning_rates: Some(vec![4.0, 2.0, 1.0, 0.5]),
         iterations_per_rate: Some(5_000),
+        workers: None,
     };
     let long_job = client.submit_job(&long_req).unwrap();
     assert_eq!(long_job.total_steps, 20_000);
@@ -252,6 +254,7 @@ fn wire_errors_surface_as_structured_api_failures() {
             sample_size: Some(60),
             learning_rates: Some(vec![4.0, 1.0]),
             iterations_per_rate: Some(5),
+            workers: None,
         })
         .unwrap();
     let done = client
@@ -389,6 +392,7 @@ fn metrics_endpoint_exposes_every_layer_as_valid_prometheus_text() {
             sample_size: Some(100),
             learning_rates: Some(vec![4.0]),
             iterations_per_rate: Some(3),
+            workers: None,
         })
         .unwrap();
     let done = client
@@ -447,6 +451,84 @@ fn metrics_endpoint_exposes_every_layer_as_valid_prometheus_text() {
 
     server.shutdown();
     std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn job_profile_accounts_for_the_running_time_and_carries_the_trace() {
+    // A memory store keeps every phase on the job thread's scope tree (no
+    // background page-ins), so the attributed phase total must match the
+    // serve layer's wall clock: within 5% of `running_ms`, plus a small
+    // absolute floor for millisecond rounding on either side.
+    let server = serve(AuditService::new(), "127.0.0.1:0", 2).unwrap();
+    let trace = obs::next_trace_id();
+    let client = Client::new(server.addr()).with_trace(&trace);
+    client
+        .register_synthetic("profiled", "school", 400_000, 11)
+        .unwrap();
+    let job = client
+        .submit_job(&JobRequest {
+            store: "profiled".into(),
+            kind: JobKind::Full,
+            k: 0.1,
+            weights: Some(RUBRIC_WEIGHTS.to_vec()),
+            seed: 3,
+            sample_size: None,
+            learning_rates: Some(vec![8.0, 1.0]),
+            iterations_per_rate: Some(10),
+            workers: None,
+        })
+        .unwrap();
+    assert_eq!(
+        job.trace, trace,
+        "the job adopts the submitting request's trace id"
+    );
+    let done = client
+        .wait_for_job(&job.id, Duration::from_secs(120))
+        .unwrap();
+    assert_eq!(done.state, "completed", "error: {:?}", done.error);
+    assert_eq!(done.trace, trace, "status responses keep reporting it");
+
+    let profile = client.job_profile(&job.id).unwrap();
+    assert_eq!(profile.get("id").unwrap().as_str(), Some(job.id.as_str()));
+    assert_eq!(profile.get("trace").unwrap().as_str(), Some(trace.as_str()));
+    assert_eq!(profile.get("state").unwrap().as_str(), Some("completed"));
+    let phases = profile.get("phases").unwrap();
+    let mut total_us = 0.0;
+    for name in ["page_in", "decode", "score", "sample", "combine", "wire"] {
+        let entry = phases
+            .get(name)
+            .unwrap_or_else(|| panic!("phase `{name}` missing: {}", profile.render()));
+        for field in ["total_us", "count", "max_us"] {
+            assert!(entry.get(field).unwrap().as_f64().is_some());
+        }
+        total_us += entry.get("total_us").unwrap().as_f64().unwrap();
+    }
+    let score = phases.get("score").unwrap();
+    assert_eq!(
+        score.get("count").unwrap().as_u64(),
+        Some(20),
+        "a full descent opens one score scope per step"
+    );
+    let running_ms = profile.get("running_ms").unwrap().as_f64().unwrap();
+    let total_ms = total_us / 1_000.0;
+    assert!(
+        (total_ms - running_ms).abs() <= 0.05 * running_ms + 4.0,
+        "attributed {total_ms:.1} ms vs wall-clock {running_ms:.1} ms"
+    );
+    let steps = profile.get("steps").unwrap().as_arr().unwrap();
+    assert!(!steps.is_empty() && steps.len() <= 32, "breakdown ring");
+    for step in steps {
+        assert!(step.get("step").unwrap().as_usize().is_some());
+        assert!(step.get("phase_us").is_some());
+    }
+
+    // The per-job flush landed in the registry's profile histogram family.
+    let text = client.metrics_text().unwrap();
+    assert!(
+        text.contains("fair_profile_phase_ms_count{phase=\"score\"}"),
+        "terminal jobs flush phase totals into fair_profile_phase_ms:\n{text}"
+    );
+    server.shutdown();
 }
 
 #[test]
